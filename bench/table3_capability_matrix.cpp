@@ -1,0 +1,81 @@
+// Table III: comparison between DIO and other tracers — captured
+// information, filtering, pipeline integration, analysis customization,
+// predefined visualizations, and per-use-case support.
+//
+// Each tracer implementation self-reports its capabilities; the rows below
+// are generated from those descriptors (not hard-coded prose), so the table
+// stays truthful to what the code actually does.
+#include <cstdio>
+#include <vector>
+
+#include "backend/store.h"
+#include "baselines/dio_adapter.h"
+#include "baselines/strace_sim.h"
+#include "baselines/sysdig_sim.h"
+#include "oskernel/kernel.h"
+
+using namespace dio;
+
+namespace {
+const char* Mark(bool value) { return value ? "yes" : "-"; }
+const char* UseCase(const std::string& value) {
+  return value.empty() ? "-" : value.c_str();
+}
+}  // namespace
+
+int main() {
+  os::Kernel kernel;
+  backend::ElasticStore store;
+  baselines::StraceSim strace(&kernel);
+  baselines::SysdigSim sysdig(&kernel);
+  baselines::DioAdapter dio(&kernel, &store, tracer::TracerOptions{});
+
+  std::vector<baselines::TracerCapabilities> rows = {
+      strace.capabilities(), sysdig.capabilities(), dio.capabilities()};
+
+  std::printf("TABLE III: tracer capability comparison (implemented tracers)\n\n");
+  std::printf("%-28s", "capability");
+  for (const auto& row : rows) std::printf(" %-9s", row.name.c_str());
+  std::printf("\n%s\n", std::string(28 + 10 * rows.size(), '-').c_str());
+
+  const auto print_row = [&](const char* label, auto getter) {
+    std::printf("%-28s", label);
+    for (const auto& row : rows) std::printf(" %-9s", getter(row));
+    std::printf("\n");
+  };
+  print_row("syscall info (args/ret)", [](const auto& r) {
+    return Mark(r.syscall_info);
+  });
+  print_row("f_offset", [](const auto& r) { return Mark(r.file_offset); });
+  print_row("f_type", [](const auto& r) { return Mark(r.file_type); });
+  print_row("proc_name", [](const auto& r) { return Mark(r.proc_name); });
+  print_row("filters at tracing", [](const auto& r) {
+    return Mark(r.filters);
+  });
+  print_row("pipeline (O/I)", [](const auto& r) {
+    return r.pipeline.c_str();
+  });
+  print_row("customizable analysis", [](const auto& r) {
+    return Mark(r.customizable_analysis);
+  });
+  print_row("predefined visualizations", [](const auto& r) {
+    return Mark(r.predefined_visualizations);
+  });
+  print_row("use case SIII-B (data loss)", [](const auto& r) {
+    return UseCase(r.usecase_data_loss);
+  });
+  print_row("use case SIII-C (contention)", [](const auto& r) {
+    return UseCase(r.usecase_contention);
+  });
+
+  std::printf(
+      "\npaper-vs-measured: as in Table III, only DIO provides f_offset, an\n"
+      "inline (I) integrated pipeline, customizable analysis, and full\n"
+      "trace+analysis (TA) support for both use cases.\n");
+
+  // Machine-readable export.
+  Json out = Json::MakeArray();
+  for (const auto& row : rows) out.Append(row.ToJson());
+  std::printf("\njson: %s\n", out.Dump().c_str());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Config-file-driven, filtered tracing (§II-F): the tracer is configured
+// entirely from an INI file — session name, syscall subset, watched paths —
+// exactly like the paper's deployment ("All these configurations ... can be
+// set through a configuration file").
+//
+// Build & run:  ./build/examples/filtered_tracing [config-file]
+#include <cstdio>
+
+#include "backend/bulk_client.h"
+#include "backend/store.h"
+#include "common/config.h"
+#include "oskernel/kernel.h"
+#include "tracer/tracer.h"
+#include "viz/dashboard.h"
+
+using namespace dio;
+
+namespace {
+
+constexpr char kDefaultConfig[] = R"(
+# DIO tracer configuration (see §II-F)
+[tracer]
+session = filtered-run
+# Only trace the data-path syscalls...
+syscalls = openat, read, write, close
+# ...touching the watched directory.
+paths = /data/watched
+ring_bytes_per_cpu = 1048576
+batch_size = 128
+enrich = true
+kernel_filtering = true
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Expected<Config> config =
+      argc > 1 ? Config::ParseFile(argv[1]) : Config::ParseString(kDefaultConfig);
+  if (!config.ok()) {
+    std::fprintf(stderr, "config error: %s\n",
+                 config.status().ToString().c_str());
+    return 1;
+  }
+  auto options = tracer::TracerOptions::FromConfig(*config);
+  if (!options.ok()) {
+    std::fprintf(stderr, "bad tracer options: %s\n",
+                 options.status().ToString().c_str());
+    return 1;
+  }
+
+  os::Kernel kernel;
+  (void)kernel.MountDevice("/data", 7340032, {});
+  backend::ElasticStore store;
+  backend::BulkClient client(&store, options->session_name);
+  tracer::DioTracer dio(&kernel, &client, *options);
+  if (!dio.Start().ok()) return 1;
+
+  // A workload touching both watched and unwatched files.
+  const os::Pid pid = kernel.CreateProcess("app");
+  const os::Tid tid = kernel.SpawnThread(pid, "app");
+  {
+    os::ScopedTask task(kernel, pid, tid);
+    kernel.sys_mkdir("/data/watched", 0755);
+    kernel.sys_mkdir("/data/ignored", 0755);
+    for (const std::string dir : {"watched", "ignored"}) {
+      const auto fd = static_cast<os::Fd>(kernel.sys_openat(
+          os::kAtFdCwd, "/data/" + dir + "/app.log",
+          os::openflag::kWriteOnly | os::openflag::kCreate));
+      for (int i = 0; i < 20; ++i) kernel.sys_write(fd, "record\n");
+      kernel.sys_fsync(fd);  // fsync not in the syscall filter either
+      kernel.sys_close(fd);
+    }
+  }
+  dio.Stop();
+
+  viz::Dashboards dashboards(&store, options->session_name);
+  auto table = dashboards.SyscallTable();
+  if (table.ok()) {
+    std::printf("---- filtered session '%s' ----\n%s",
+                options->session_name.c_str(), table->Render().c_str());
+  }
+  const tracer::TracerStats stats = dio.stats();
+  std::printf(
+      "\nkernel-side filters rejected %llu events; %llu shipped "
+      "(only openat/read/write/close on /data/watched)\n",
+      static_cast<unsigned long long>(stats.filtered_out),
+      static_cast<unsigned long long>(stats.emitted));
+  return 0;
+}

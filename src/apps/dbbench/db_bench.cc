@@ -1,0 +1,120 @@
+#include "apps/dbbench/db_bench.h"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "common/random.h"
+#include "common/zipfian.h"
+
+namespace dio::apps::dbbench {
+
+DbBench::DbBench(os::Kernel* kernel, lsmkv::Db* db, DbBenchOptions options)
+    : kernel_(kernel), db_(db), options_(options) {
+  value_pattern_.resize(options_.value_bytes);
+  Random rng(options_.seed);
+  for (char& c : value_pattern_) {
+    c = static_cast<char>('a' + rng.Uniform(26));
+  }
+}
+
+std::string DbBench::KeyFor(std::uint64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "user%012llu",
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+Status DbBench::Fill() {
+  const os::Tid tid = db_->RegisterClientThread(options_.client_comm);
+  os::ScopedTask task(*kernel_, db_->pid(), tid);
+  for (std::uint64_t i = 0; i < options_.num_keys; ++i) {
+    DIO_RETURN_IF_ERROR(db_->Put(KeyFor(i), value_pattern_));
+  }
+  db_->WaitForQuiescence();
+  return Status::Ok();
+}
+
+void DbBench::ClientLoop(int thread_index, Nanos deadline,
+                         WindowedLatencyRecorder* recorder,
+                         DbBenchResult* result, std::mutex* result_mu) {
+  const os::Tid tid = db_->RegisterClientThread(options_.client_comm);
+  os::ScopedTask task(*kernel_, db_->pid(), tid);
+
+  Random op_rng(options_.seed * 7919 + static_cast<std::uint64_t>(thread_index));
+  ScrambledZipfianGenerator keys(
+      options_.num_keys,
+      options_.seed + static_cast<std::uint64_t>(thread_index));
+
+  Histogram local_latency;
+  std::uint64_t ops = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t misses = 0;
+
+  const std::uint64_t per_thread_limit =
+      options_.ops_limit == 0
+          ? 0
+          : options_.ops_limit /
+                static_cast<std::uint64_t>(options_.client_threads);
+
+  Clock* clock = kernel_->clock();
+  while (true) {
+    if (per_thread_limit != 0 && ops >= per_thread_limit) break;
+    if (per_thread_limit == 0 && clock->NowNanos() >= deadline) break;
+
+    const std::string key = KeyFor(keys.Next());
+    const bool is_read = op_rng.NextDouble() < options_.read_fraction;
+    const Nanos start = clock->NowNanos();
+    if (is_read) {
+      auto value = db_->Get(key);
+      if (!value.ok()) ++misses;
+      ++reads;
+    } else {
+      (void)db_->Put(key, value_pattern_);
+      ++updates;
+    }
+    const Nanos latency = clock->NowNanos() - start;
+    local_latency.Record(latency);
+    recorder->Record(latency);
+    ++ops;
+  }
+
+  std::scoped_lock lock(*result_mu);
+  result->total_ops += ops;
+  result->reads += reads;
+  result->updates += updates;
+  result->read_misses += misses;
+  result->latency.Merge(local_latency);
+}
+
+DbBenchResult DbBench::Run() {
+  DbBenchResult result;
+  std::mutex result_mu;
+  WindowedLatencyRecorder recorder(kernel_->clock(), options_.latency_window);
+
+  const Nanos start = kernel_->clock()->NowNanos();
+  const Nanos deadline = start + options_.duration;
+  {
+    std::vector<std::jthread> clients;
+    clients.reserve(static_cast<std::size_t>(options_.client_threads));
+    for (int i = 0; i < options_.client_threads; ++i) {
+      clients.emplace_back([this, i, deadline, &recorder, &result,
+                            &result_mu] {
+        ClientLoop(i, deadline, &recorder, &result, &result_mu);
+      });
+    }
+  }
+  const Nanos end = kernel_->clock()->NowNanos();
+
+  result.duration_seconds =
+      static_cast<double>(end - start) / static_cast<double>(kSecond);
+  result.throughput_ops_sec =
+      result.duration_seconds == 0.0
+          ? 0.0
+          : static_cast<double>(result.total_ops) / result.duration_seconds;
+  result.windows = recorder.Windows();
+  return result;
+}
+
+}  // namespace dio::apps::dbbench

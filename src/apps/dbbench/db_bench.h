@@ -1,0 +1,65 @@
+// db_bench-style workload driver (§III-C methodology): N client threads in a
+// closed loop issuing a YCSB-A mix (50% reads / 50% updates, Zipfian keys)
+// against the LSM store, recording per-operation latency into time windows
+// so the Fig. 3 p99-over-time series can be regenerated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/lsmkv/db.h"
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "common/latency_recorder.h"
+#include "common/status.h"
+
+namespace dio::apps::dbbench {
+
+struct DbBenchOptions {
+  int client_threads = 8;  // the paper uses 8 db_bench client threads
+  std::uint64_t num_keys = 50'000;
+  std::size_t value_bytes = 256;
+  double read_fraction = 0.5;  // YCSB-A
+  Nanos duration = 10 * kSecond;
+  std::uint64_t ops_limit = 0;  // 0 = run for `duration`
+  Nanos latency_window = 500 * kMillisecond;
+  std::uint64_t seed = 42;
+  std::string client_comm = "db_bench";
+};
+
+struct DbBenchResult {
+  std::uint64_t total_ops = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t read_misses = 0;
+  double duration_seconds = 0.0;
+  double throughput_ops_sec = 0.0;
+  Histogram latency;                    // all operations
+  std::vector<LatencyWindow> windows;   // p99 over time (Fig. 3 series)
+};
+
+class DbBench {
+ public:
+  DbBench(os::Kernel* kernel, lsmkv::Db* db, DbBenchOptions options);
+
+  // Sequentially loads keys 0..num_keys-1 (db_bench `fillseq`).
+  Status Fill();
+
+  // Closed-loop mixed workload across client_threads threads.
+  DbBenchResult Run();
+
+  static std::string KeyFor(std::uint64_t index);
+
+ private:
+  void ClientLoop(int thread_index, Nanos deadline,
+                  WindowedLatencyRecorder* recorder, DbBenchResult* result,
+                  std::mutex* result_mu);
+
+  os::Kernel* kernel_;
+  lsmkv::Db* db_;
+  DbBenchOptions options_;
+  std::string value_pattern_;
+};
+
+}  // namespace dio::apps::dbbench

@@ -1,0 +1,144 @@
+#include "apps/flb/fluentbit.h"
+
+#include <chrono>
+
+namespace dio::apps::flb {
+
+FluentBit::FluentBit(os::Kernel* kernel, FluentBitOptions options)
+    : kernel_(kernel), options_(std::move(options)) {
+  if (options_.pipeline_comm.empty()) {
+    options_.pipeline_comm =
+        options_.mode == Mode::kBuggyV14 ? "fluent-bit" : "flb-pipeline";
+  }
+  pid_ = kernel_->CreateProcess("fluent-bit");
+  tid_ = kernel_->SpawnThread(pid_, options_.pipeline_comm);
+}
+
+FluentBit::~FluentBit() {
+  Stop();
+  kernel_->ExitProcess(pid_);
+}
+
+void FluentBit::Start() {
+  if (running_.exchange(true)) return;
+  pipeline_ = std::jthread([this](std::stop_token st) { PipelineLoop(st); });
+}
+
+void FluentBit::Stop() {
+  if (!running_.exchange(false)) return;
+  if (pipeline_.joinable()) {
+    pipeline_.request_stop();
+    pipeline_.join();
+  }
+}
+
+void FluentBit::PipelineLoop(const std::stop_token& stop) {
+  os::ScopedTask task(*kernel_, pid_, tid_);
+  while (!stop.stop_requested()) {
+    ScanOnce();
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(options_.scan_interval));
+  }
+  // Final close on shutdown.
+  if (fd_ != os::kNoFd) {
+    kernel_->sys_close(fd_);
+    fd_ = os::kNoFd;
+  }
+}
+
+void FluentBit::ScanOnce() {
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.scans;
+  }
+  os::StatBuf st;
+  const std::int64_t rc = kernel_->sys_stat(options_.watch_path, &st);
+  if (rc == -os::err::kENOENT) {
+    HandleDisappeared();
+    return;
+  }
+  if (rc != 0) return;
+
+  // Rotation/recreation while we still hold the old generation's fd.
+  if (fd_ != os::kNoFd && st.ino != current_ino_) {
+    HandleDisappeared();
+  }
+  if (fd_ == os::kNoFd) {
+    OpenAndSeek(st.ino);
+    if (fd_ == os::kNoFd) return;
+  }
+  DrainNewContent();
+}
+
+void FluentBit::HandleDisappeared() {
+  if (fd_ == os::kNoFd) return;
+  kernel_->sys_close(fd_);
+  fd_ = os::kNoFd;
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.deletions_observed;
+  }
+  if (options_.mode == Mode::kFixedV205) {
+    // The v2.0.5 fix: retire the database entry when the file goes away.
+    db_.Remove(options_.watch_path, current_ino_);
+  }
+  current_ino_ = 0;
+  position_ = 0;
+  partial_.clear();
+}
+
+void FluentBit::OpenAndSeek(os::InodeNum ino) {
+  const std::int64_t fd = kernel_->sys_openat(os::kAtFdCwd,
+                                              options_.watch_path,
+                                              os::openflag::kReadOnly);
+  if (fd < 0) return;
+  fd_ = static_cast<os::Fd>(fd);
+  current_ino_ = ino;
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.reopens;
+  }
+  // Resume from the number of bytes already processed for this
+  // (name, inode) pair — the stale-entry read happens right here in v1.4.0.
+  const std::uint64_t offset =
+      db_.Get(options_.watch_path, ino).value_or(0);
+  position_ = offset;
+  if (offset > 0) {
+    kernel_->sys_lseek(fd_, static_cast<std::int64_t>(offset), os::kSeekSet);
+  }
+}
+
+void FluentBit::DrainNewContent() {
+  std::string chunk;
+  while (true) {
+    const std::int64_t n =
+        kernel_->sys_read(fd_, &chunk, options_.read_chunk);
+    if (n <= 0) break;  // 0 = EOF probe (visible in the Fig. 2 trace)
+    position_ += static_cast<std::uint64_t>(n);
+    db_.Set(options_.watch_path, current_ino_, position_);
+    std::scoped_lock lock(mu_);
+    stats_.bytes_collected += static_cast<std::uint64_t>(n);
+    partial_ += chunk;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t nl = partial_.find('\n', start);
+      if (nl == std::string::npos) break;
+      records_.push_back(partial_.substr(start, nl - start));
+      ++stats_.records_collected;
+      start = nl + 1;
+    }
+    partial_.erase(0, start);
+  }
+}
+
+FluentBitStats FluentBit::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+std::vector<std::string> FluentBit::collected_records() const {
+  std::scoped_lock lock(mu_);
+  return records_;
+}
+
+}  // namespace dio::apps::flb

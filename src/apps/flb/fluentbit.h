@@ -1,0 +1,104 @@
+// MiniFlb: a log processor/forwarder with a `tail` input plugin, faithful to
+// the I/O behaviour of Fluent Bit's tail input as traced in Fig. 2:
+//
+//   * polls the watched file with stat(2);
+//   * keeps the file open across scans; closes it when the file disappears;
+//   * on (re)open, seeks to the offset recorded in a position database keyed
+//     (name, inode);
+//   * reads new content to EOF (the trailing read that returns 0 is the EOF
+//     probe visible in the paper's tables);
+//   * records processed bytes back into the position database.
+//
+// Mode::kBuggyV14 reproduces issue #1875: position-db entries are NOT
+// removed when files are deleted, so a recreated file that recycles the
+// inode number resumes at a stale offset and data is lost.
+// Mode::kFixedV205 removes the entry on deletion, reading from offset 0.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/flb/position_db.h"
+#include "common/clock.h"
+#include "oskernel/kernel.h"
+
+namespace dio::apps::flb {
+
+enum class Mode {
+  kBuggyV14,   // Fluent Bit v1.4.0 (issue #1875 present)
+  kFixedV205,  // Fluent Bit v2.0.5 (fix applied)
+};
+
+struct FluentBitOptions {
+  Mode mode = Mode::kBuggyV14;
+  std::string watch_path;           // single tailed file
+  Nanos scan_interval = 20 * kMillisecond;
+  // Thread comm visible to the tracer: the paper shows "fluent-bit" for
+  // v1.4.0 and "flb-pipeline" for v2.0.5.
+  std::string pipeline_comm;
+  std::uint64_t read_chunk = 32768;
+};
+
+struct FluentBitStats {
+  std::uint64_t scans = 0;
+  std::uint64_t bytes_collected = 0;
+  std::uint64_t records_collected = 0;  // newline-terminated records
+  std::uint64_t reopens = 0;
+  std::uint64_t deletions_observed = 0;
+};
+
+class FluentBit {
+ public:
+  FluentBit(os::Kernel* kernel, FluentBitOptions options);
+  ~FluentBit();
+
+  FluentBit(const FluentBit&) = delete;
+  FluentBit& operator=(const FluentBit&) = delete;
+
+  // Spawns the pipeline thread (its own simulated process).
+  void Start();
+  void Stop();
+
+  // Runs exactly one scan iteration on the caller's thread (which must be
+  // bound to a kernel task). Used by deterministic tests and the Fig. 2
+  // harness, which interleaves app and Fluent Bit steps explicitly.
+  void ScanOnce();
+
+  [[nodiscard]] FluentBitStats stats() const;
+  [[nodiscard]] std::vector<std::string> collected_records() const;
+  [[nodiscard]] os::Pid pid() const { return pid_; }
+  [[nodiscard]] os::Tid tid() const { return tid_; }
+  [[nodiscard]] const PositionDb& position_db() const { return db_; }
+
+ private:
+  void PipelineLoop(const std::stop_token& stop);
+  void HandleDisappeared();
+  void OpenAndSeek(os::InodeNum ino);
+  void DrainNewContent();
+
+  os::Kernel* kernel_;
+  FluentBitOptions options_;
+  os::Pid pid_ = os::kNoPid;
+  os::Tid tid_ = os::kNoTid;
+
+  PositionDb db_;
+
+  // Tail state (single watched file).
+  os::Fd fd_ = os::kNoFd;
+  os::InodeNum current_ino_ = 0;
+  std::uint64_t position_ = 0;  // bytes processed of the open generation
+  std::string partial_;         // carry-over of an unterminated record
+
+  mutable std::mutex mu_;
+  FluentBitStats stats_;
+  std::vector<std::string> records_;
+
+  std::jthread pipeline_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace dio::apps::flb

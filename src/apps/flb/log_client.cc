@@ -1,0 +1,32 @@
+#include "apps/flb/log_client.h"
+
+namespace dio::apps::flb {
+
+LogClient::LogClient(os::Kernel* kernel, std::string comm)
+    : kernel_(kernel) {
+  pid_ = kernel_->CreateProcess(comm);
+  tid_ = kernel_->SpawnThread(pid_, std::move(comm));
+}
+
+LogClient::~LogClient() { kernel_->ExitProcess(pid_); }
+
+std::int64_t LogClient::WriteLog(const std::string& path,
+                                 std::string_view payload, bool append) {
+  os::ScopedTask task(*kernel_, pid_, tid_);
+  std::uint32_t flags = os::openflag::kWriteOnly | os::openflag::kCreate;
+  if (append) flags |= os::openflag::kAppend;
+  const std::int64_t fd = kernel_->sys_openat(os::kAtFdCwd, path, flags);
+  if (fd < 0) return fd;
+  const std::int64_t n =
+      kernel_->sys_write(static_cast<os::Fd>(fd), payload);
+  kernel_->sys_close(static_cast<os::Fd>(fd));
+  if (n > 0) bytes_written_ += static_cast<std::uint64_t>(n);
+  return n;
+}
+
+std::int64_t LogClient::RemoveLog(const std::string& path) {
+  os::ScopedTask task(*kernel_, pid_, tid_);
+  return kernel_->sys_unlink(path);
+}
+
+}  // namespace dio::apps::flb

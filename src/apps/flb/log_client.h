@@ -1,0 +1,39 @@
+// The "app" of §III-B: a client program that generates log files with the
+// exact I/O behaviour reported in fluent-bit issue #1875 — create, write,
+// close, delete, then recreate the same file name (which recycles the inode
+// number) and write again.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "oskernel/kernel.h"
+
+namespace dio::apps::flb {
+
+class LogClient {
+ public:
+  LogClient(os::Kernel* kernel, std::string comm = "app");
+  ~LogClient();
+
+  LogClient(const LogClient&) = delete;
+  LogClient& operator=(const LogClient&) = delete;
+
+  // Each call issues openat(O_CREAT) + write + close on the caller's thread
+  // (bound via ScopedTask internally). Returns bytes written or -errno.
+  std::int64_t WriteLog(const std::string& path, std::string_view payload,
+                        bool append = true);
+  std::int64_t RemoveLog(const std::string& path);
+
+  [[nodiscard]] os::Pid pid() const { return pid_; }
+  [[nodiscard]] os::Tid tid() const { return tid_; }
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  os::Kernel* kernel_;
+  os::Pid pid_;
+  os::Tid tid_;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace dio::apps::flb

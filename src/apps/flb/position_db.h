@@ -1,0 +1,52 @@
+// Tail-plugin position database: tracks how many bytes of each watched file
+// have been processed, keyed by (file name, inode number) — the same keying
+// Fluent Bit uses, and the root cause of issue #1875: when a deleted file's
+// inode number is recycled by a new file with the same name, a stale entry
+// resolves and reading resumes at the wrong offset (§III-B).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "oskernel/types.h"
+
+namespace dio::apps::flb {
+
+class PositionDb {
+ public:
+  using Key = std::pair<std::string, os::InodeNum>;
+
+  void Set(const std::string& name, os::InodeNum ino, std::uint64_t offset) {
+    std::scoped_lock lock(mu_);
+    entries_[{name, ino}] = offset;
+  }
+
+  [[nodiscard]] std::optional<std::uint64_t> Get(const std::string& name,
+                                                 os::InodeNum ino) const {
+    std::scoped_lock lock(mu_);
+    auto it = entries_.find({name, ino});
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  // v2.0.5 behaviour: entries are removed when the file is deleted.
+  void Remove(const std::string& name, os::InodeNum ino) {
+    std::scoped_lock lock(mu_);
+    entries_.erase({name, ino});
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::scoped_lock lock(mu_);
+    return entries_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<Key, std::uint64_t> entries_;
+};
+
+}  // namespace dio::apps::flb

@@ -1,0 +1,620 @@
+#include "apps/lsmkv/db.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace dio::apps::lsmkv {
+
+Db::Db(os::Kernel* kernel, LsmOptions options)
+    : kernel_(kernel),
+      options_(std::move(options)),
+      cache_(options_.block_cache_bytes),
+      memtable_(std::make_shared<Memtable>()),
+      levels_(static_cast<std::size_t>(options_.max_levels)) {
+  pid_ = kernel_->CreateProcess("rocksdb");
+}
+
+Db::~Db() {
+  Close();
+  kernel_->ExitProcess(pid_);
+}
+
+std::string Db::TablePath(std::uint64_t id) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/sst_%06llu.sst",
+                static_cast<unsigned long long>(id));
+  return options_.db_path + buf;
+}
+
+Status Db::Open() {
+  if (opened_) return FailedPrecondition("db already open");
+  opened_ = true;
+
+  // Bootstrap thread: a transient task owned by the DB process.
+  const os::Tid boot_tid = kernel_->SpawnThread(pid_, "rocksdb:open");
+  os::ScopedTask boot(*kernel_, pid_, boot_tid);
+
+  // mkdir -p for the db path.
+  std::string partial;
+  for (const std::string& part : Split(options_.db_path.substr(1), '/')) {
+    if (part.empty()) continue;
+    partial += "/" + part;
+    const std::int64_t rc = kernel_->sys_mkdir(partial, 0755);
+    if (rc != 0 && rc != -os::err::kEEXIST) {
+      return Unavailable("mkdir failed: " + partial);
+    }
+  }
+
+  // Recovery: replay any WAL files left behind (ordered by id), then load
+  // any SSTables into L0 (no MANIFEST in this reproduction — levels beyond
+  // L0 are rebuilt by compaction).
+  std::vector<std::string> entries = kernel_->vfs().ListDir(options_.db_path);
+  std::sort(entries.begin(), entries.end());
+  for (const std::string& name : entries) {
+    if (name.starts_with("wal_") && name.ends_with(".log")) {
+      auto replayed = WriteAheadLog::Replay(
+          kernel_, options_.db_path + "/" + name,
+          [this](std::string key, std::string value) {
+            memtable_->Put(key, std::move(value));
+          },
+          [this](std::string key) { memtable_->Delete(key); });
+      if (replayed.ok()) {
+        kernel_->sys_unlink(options_.db_path + "/" + name);
+      }
+    } else if (name.starts_with("sst_") && name.ends_with(".sst")) {
+      TableMeta meta;
+      meta.path = options_.db_path + "/" + name;
+      meta.id = next_file_id_++;
+      auto table = OpenTable(meta);
+      if (table.ok()) {
+        levels_[0].push_back(std::move(table.value()));
+      }
+    }
+  }
+
+  wal_ = std::make_unique<WriteAheadLog>(
+      kernel_, options_.db_path + "/wal_" +
+                   std::to_string(next_wal_id_++) + ".log");
+  if (!wal_->ok()) return Unavailable("cannot open wal");
+
+  flush_pool_ = std::make_unique<ThreadPool>(
+      static_cast<std::size_t>(options_.flush_threads), "rocksdb:high",
+      [this](std::size_t, const std::string& name) {
+        const os::Tid tid = kernel_->SpawnThread(pid_, name);
+        kernel_->BindCurrentThread(pid_, tid);
+      });
+  compaction_pool_ = std::make_unique<ThreadPool>(
+      static_cast<std::size_t>(options_.compaction_threads), "rocksdb:low",
+      [this](std::size_t, const std::string& name) {
+        const os::Tid tid = kernel_->SpawnThread(pid_, name);
+        kernel_->BindCurrentThread(pid_, tid);
+      });
+
+  {
+    std::scoped_lock lock(mu_);
+    RebuildSnapshotLocked();
+    MaybeScheduleCompactionLocked();
+  }
+  return Status::Ok();
+}
+
+void Db::Close() {
+  {
+    std::scoped_lock lock(mu_);
+    if (!opened_ || closing_) return;
+    closing_ = true;
+  }
+  stall_cv_.notify_all();
+  WaitForQuiescence();
+  flush_pool_.reset();
+  compaction_pool_.reset();
+  // Teardown I/O (WAL close + every table reader's close) runs under a
+  // bound task so traced close events are attributed to the DB process.
+  const os::Tid tid = kernel_->SpawnThread(pid_, "rocksdb:close");
+  os::ScopedTask task(*kernel_, pid_, tid);
+  if (wal_) wal_->Close();
+  std::scoped_lock lock(mu_);
+  snapshot_.reset();
+  for (auto& level : levels_) level.clear();
+}
+
+os::Tid Db::RegisterClientThread(const std::string& comm) {
+  return kernel_->SpawnThread(pid_, comm);
+}
+
+void Db::RebuildSnapshotLocked() {
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->mem = memtable_;
+  snapshot->imm = imm_;
+  snapshot->levels = levels_;
+  snapshot_ = std::move(snapshot);
+}
+
+// ---- write path -------------------------------------------------------------
+
+Status Db::Put(const std::string& key, std::string value) {
+  std::unique_lock lock(mu_);
+  if (closing_) return Unavailable("db closing");
+  const Nanos stall_start = kernel_->clock()->NowNanos();
+  bool stalled = false;
+  stall_cv_.wait(lock, [this, &stalled] {
+    if (closing_) return true;
+    const bool l0_full = levels_[0].size() >=
+                         static_cast<std::size_t>(options_.l0_stop_trigger);
+    const bool flush_backlog =
+        imm_ != nullptr &&
+        memtable_->ApproximateBytes() >= options_.memtable_bytes;
+    if (l0_full || flush_backlog) {
+      stalled = true;
+      return false;
+    }
+    return true;
+  });
+  if (closing_) return Unavailable("db closing");
+  if (stalled) {
+    ++stats_.stall_count;
+    stats_.stall_ns += kernel_->clock()->NowNanos() - stall_start;
+  }
+
+  // WAL append + memtable insert under the write lock (RocksDB serializes
+  // its write group the same way).
+  DIO_RETURN_IF_ERROR(wal_->AppendPut(key, value, options_.wal_sync_writes));
+  memtable_->Put(key, std::move(value));
+  ++stats_.puts;
+
+  if (memtable_->ApproximateBytes() >= options_.memtable_bytes &&
+      imm_ == nullptr) {
+    ScheduleFlushLocked();
+  }
+  return Status::Ok();
+}
+
+Status Db::Delete(const std::string& key) {
+  std::unique_lock lock(mu_);
+  if (closing_) return Unavailable("db closing");
+  DIO_RETURN_IF_ERROR(wal_->AppendDelete(key, options_.wal_sync_writes));
+  memtable_->Delete(key);
+  ++stats_.deletes;
+  if (memtable_->ApproximateBytes() >= options_.memtable_bytes &&
+      imm_ == nullptr) {
+    ScheduleFlushLocked();
+  }
+  return Status::Ok();
+}
+
+void Db::ScheduleFlushLocked() {
+  imm_ = memtable_;
+  memtable_ = std::make_shared<Memtable>();
+  std::string old_wal_path = wal_->path();
+  wal_->Close();
+  wal_ = std::make_unique<WriteAheadLog>(
+      kernel_, options_.db_path + "/wal_" +
+                   std::to_string(next_wal_id_++) + ".log");
+  RebuildSnapshotLocked();
+  flush_inflight_ = true;
+  std::shared_ptr<Memtable> imm = imm_;
+  flush_pool_->Submit([this, imm, old_wal_path] {
+    FlushJob(imm, old_wal_path);
+  });
+}
+
+Expected<Db::TablePtr> Db::OpenTable(TableMeta meta) {
+  auto reader = SSTableReader::Open(kernel_, meta.path);
+  if (!reader.ok()) return reader.status();
+  if (meta.min_key.empty() && !reader->index().empty()) {
+    // Recovered table: reconstruct the key range from a scan.
+    std::string min_key;
+    std::string max_key;
+    std::uint64_t entries = 0;
+    reader->Scan(options_.compaction_io_chunk,
+                 [&](const std::string& key, const ValueOrTombstone&) {
+                   if (entries == 0) min_key = key;
+                   max_key = key;
+                   ++entries;
+                 });
+    meta.min_key = min_key;
+    meta.max_key = max_key;
+    meta.entries = entries;
+  }
+  auto table = std::make_shared<Table>(std::move(meta),
+                                       std::move(reader.value()));
+  const std::uint64_t file_id = table->meta.id;
+  table->reader.set_block_fetcher(
+      [this, file_id](const SSTableReader& r,
+                      const BlockIndexEntry& e) -> Expected<std::string> {
+        const BlockCache::Key key{file_id, e.offset};
+        if (auto hit = cache_.Get(key)) return std::move(*hit);
+        auto block = r.ReadBlock(e);
+        if (block.ok()) cache_.Put(key, block.value());
+        return block;
+      });
+  return table;
+}
+
+Expected<Db::TablePtr> Db::BuildTable(
+    const std::vector<std::pair<std::string, ValueOrTombstone>>& entries,
+    std::size_t begin, std::size_t end) {
+  std::uint64_t id;
+  {
+    std::scoped_lock lock(mu_);
+    id = next_file_id_++;
+  }
+  TableMeta meta;
+  meta.id = id;
+  SSTableBuilder builder(kernel_, TablePath(id), options_.block_bytes);
+  for (std::size_t i = begin; i < end; ++i) {
+    DIO_RETURN_IF_ERROR(builder.Add(entries[i].first, entries[i].second));
+  }
+  auto built = builder.Finish();
+  if (!built.ok()) return built.status();
+  built->id = id;
+  return OpenTable(std::move(built.value()));
+}
+
+void Db::FlushJob(std::shared_ptr<Memtable> imm, std::string wal_path) {
+  // Runs on the high-priority pool thread (comm rocksdb:high0, bound).
+  std::vector<std::pair<std::string, ValueOrTombstone>> entries;
+  entries.reserve(imm->entries());
+  imm->ForEach([&](const std::string& key, const ValueOrTombstone& value) {
+    entries.emplace_back(key, value);
+  });
+
+  auto table = BuildTable(entries, 0, entries.size());
+  if (!table.ok()) {
+    log::Error("flush failed: ", table.status().ToString());
+    return;
+  }
+  kernel_->sys_unlink(wal_path);
+
+  {
+    std::scoped_lock lock(mu_);
+    levels_[0].push_back(std::move(table.value()));
+    imm_.reset();
+    flush_inflight_ = false;
+    ++stats_.flushes;
+    RebuildSnapshotLocked();
+    MaybeScheduleCompactionLocked();
+  }
+  stall_cv_.notify_all();
+}
+
+// ---- compaction -------------------------------------------------------------
+
+std::uint64_t Db::LevelBytesLocked(int level) const {
+  std::uint64_t total = 0;
+  for (const TablePtr& table : levels_[static_cast<std::size_t>(level)]) {
+    total += table->meta.bytes;
+  }
+  return total;
+}
+
+std::uint64_t Db::TargetBytes(int level) const {
+  std::uint64_t target = options_.level1_bytes;
+  for (int l = 1; l < level; ++l) {
+    target *= static_cast<std::uint64_t>(options_.level_size_multiplier);
+  }
+  return target;
+}
+
+bool Db::HasCompactionWorkLocked() const {
+  if (levels_[0].size() >=
+          static_cast<std::size_t>(options_.l0_compaction_trigger) &&
+      !l0_compaction_running_) {
+    return true;
+  }
+  for (int level = 1; level + 1 < options_.max_levels; ++level) {
+    if (LevelBytesLocked(level) > TargetBytes(level)) return true;
+  }
+  return false;
+}
+
+void Db::MaybeScheduleCompactionLocked() {
+  if (closing_) return;
+  if (!HasCompactionWorkLocked()) return;
+  const int budget = options_.compaction_threads -
+                     compactions_inflight_ - compaction_jobs_queued_;
+  if (budget <= 0) return;
+  ++compaction_jobs_queued_;
+  compaction_pool_->Submit([this] { CompactionWorker(); });
+}
+
+namespace {
+bool Overlaps(const TableMeta& a, const std::string& min_key,
+              const std::string& max_key) {
+  return !(a.max_key < min_key || max_key < a.min_key);
+}
+}  // namespace
+
+std::optional<Db::CompactionTask> Db::PickCompactionLocked() {
+  const auto is_busy = [this](const TablePtr& table) {
+    return busy_files_.contains(table->meta.id);
+  };
+
+  // L0 -> L1 (exclusive; all L0 files participate).
+  if (levels_[0].size() >=
+          static_cast<std::size_t>(options_.l0_compaction_trigger) &&
+      !l0_compaction_running_) {
+    bool any_busy = std::any_of(levels_[0].begin(), levels_[0].end(), is_busy);
+    if (!any_busy) {
+      CompactionTask task;
+      task.level = 0;
+      task.inputs_upper = levels_[0];
+      std::string min_key;
+      std::string max_key;
+      bool first = true;
+      for (const TablePtr& table : task.inputs_upper) {
+        if (first || table->meta.min_key < min_key) min_key = table->meta.min_key;
+        if (first || max_key < table->meta.max_key) max_key = table->meta.max_key;
+        first = false;
+      }
+      bool lower_busy = false;
+      for (const TablePtr& table : levels_[1]) {
+        if (Overlaps(table->meta, min_key, max_key)) {
+          if (is_busy(table)) {
+            lower_busy = true;
+            break;
+          }
+          task.inputs_lower.push_back(table);
+        }
+      }
+      if (!lower_busy) {
+        for (const TablePtr& t : task.inputs_upper) busy_files_.insert(t->meta.id);
+        for (const TablePtr& t : task.inputs_lower) busy_files_.insert(t->meta.id);
+        l0_compaction_running_ = true;
+        bool deeper = false;
+        for (int l = 2; l < options_.max_levels; ++l) {
+          if (!levels_[static_cast<std::size_t>(l)].empty()) deeper = true;
+        }
+        task.bottommost = !deeper;
+        return task;
+      }
+    }
+  }
+
+  // Ln -> Ln+1 for overfull levels; disjoint file sets run in parallel.
+  for (int level = 1; level + 1 < options_.max_levels; ++level) {
+    if (LevelBytesLocked(level) <= TargetBytes(level)) continue;
+    for (const TablePtr& candidate :
+         levels_[static_cast<std::size_t>(level)]) {
+      if (is_busy(candidate)) continue;
+      CompactionTask task;
+      task.level = level;
+      task.inputs_upper.push_back(candidate);
+      bool lower_busy = false;
+      for (const TablePtr& table :
+           levels_[static_cast<std::size_t>(level + 1)]) {
+        if (Overlaps(table->meta, candidate->meta.min_key,
+                     candidate->meta.max_key)) {
+          if (is_busy(table)) {
+            lower_busy = true;
+            break;
+          }
+          task.inputs_lower.push_back(table);
+        }
+      }
+      if (lower_busy) continue;
+      for (const TablePtr& t : task.inputs_upper) busy_files_.insert(t->meta.id);
+      for (const TablePtr& t : task.inputs_lower) busy_files_.insert(t->meta.id);
+      bool deeper = false;
+      for (int l = level + 2; l < options_.max_levels; ++l) {
+        if (!levels_[static_cast<std::size_t>(l)].empty()) deeper = true;
+      }
+      task.bottommost = !deeper;
+      return task;
+    }
+  }
+  return std::nullopt;
+}
+
+void Db::CompactionWorker() {
+  // Runs on a low-priority pool thread (comm rocksdb:lowX, bound).
+  while (true) {
+    std::optional<CompactionTask> task;
+    {
+      std::scoped_lock lock(mu_);
+      if (compaction_jobs_queued_ > 0) --compaction_jobs_queued_;
+      if (closing_) return;
+      task = PickCompactionLocked();
+      if (!task.has_value()) return;
+      ++compactions_inflight_;
+      // Cascade: if more disjoint work exists, wake another worker.
+      MaybeScheduleCompactionLocked();
+    }
+    DoCompaction(std::move(*task));
+    {
+      std::scoped_lock lock(mu_);
+      --compactions_inflight_;
+      MaybeScheduleCompactionLocked();
+    }
+    stall_cv_.notify_all();
+  }
+}
+
+void Db::DoCompaction(CompactionTask task) {
+  // Merge inputs, older first so newer versions overwrite. Within L0,
+  // lower file id = older. Lower-level inputs are older than upper-level.
+  std::map<std::string, ValueOrTombstone> merged;
+  std::uint64_t bytes_read = 0;
+  const auto ingest = [&](const TablePtr& table) {
+    table->reader.Scan(options_.compaction_io_chunk,
+                       [&](const std::string& key,
+                           const ValueOrTombstone& value) {
+                         merged[key] = value;
+                       });
+    bytes_read += table->meta.bytes;
+  };
+  for (const TablePtr& table : task.inputs_lower) ingest(table);
+  std::vector<TablePtr> upper_sorted = task.inputs_upper;
+  std::sort(upper_sorted.begin(), upper_sorted.end(),
+            [](const TablePtr& a, const TablePtr& b) {
+              return a->meta.id < b->meta.id;  // older first
+            });
+  for (const TablePtr& table : upper_sorted) ingest(table);
+
+  // Materialize, dropping tombstones at the bottommost level.
+  std::vector<std::pair<std::string, ValueOrTombstone>> entries;
+  entries.reserve(merged.size());
+  for (auto& [key, value] : merged) {
+    if (task.bottommost && value.deleted) continue;
+    entries.emplace_back(key, std::move(value));
+  }
+
+  // Cut outputs at the target table size.
+  std::vector<TablePtr> outputs;
+  std::size_t begin = 0;
+  std::uint64_t bytes_written = 0;
+  while (begin < entries.size()) {
+    std::size_t end = begin;
+    std::size_t bytes = 0;
+    while (end < entries.size() && bytes < options_.sstable_target_bytes) {
+      bytes += entries[end].first.size() + entries[end].second.value.size() + 9;
+      ++end;
+    }
+    auto table = BuildTable(entries, begin, end);
+    if (!table.ok()) {
+      log::Error("compaction output failed: ", table.status().ToString());
+      break;
+    }
+    bytes_written += (*table)->meta.bytes;
+    outputs.push_back(std::move(table.value()));
+    begin = end;
+  }
+
+  // Install results.
+  std::vector<TablePtr> to_delete;
+  {
+    std::scoped_lock lock(mu_);
+    const auto remove_inputs = [&](int level,
+                                   const std::vector<TablePtr>& inputs) {
+      auto& files = levels_[static_cast<std::size_t>(level)];
+      for (const TablePtr& input : inputs) {
+        files.erase(std::remove_if(files.begin(), files.end(),
+                                   [&](const TablePtr& t) {
+                                     return t->meta.id == input->meta.id;
+                                   }),
+                    files.end());
+        busy_files_.erase(input->meta.id);
+        to_delete.push_back(input);
+      }
+    };
+    remove_inputs(task.level, task.inputs_upper);
+    remove_inputs(task.level + 1, task.inputs_lower);
+    auto& lower = levels_[static_cast<std::size_t>(task.level + 1)];
+    for (TablePtr& output : outputs) lower.push_back(std::move(output));
+    std::sort(lower.begin(), lower.end(),
+              [](const TablePtr& a, const TablePtr& b) {
+                return a->meta.min_key < b->meta.min_key;
+              });
+    if (task.level == 0) l0_compaction_running_ = false;
+    ++stats_.compactions;
+    stats_.compaction_bytes_read += bytes_read;
+    stats_.compaction_bytes_written += bytes_written;
+    RebuildSnapshotLocked();
+  }
+
+  // Delete the input files (outside the lock; charged to this thread).
+  for (const TablePtr& table : to_delete) {
+    cache_.EvictFile(table->meta.id);
+    kernel_->sys_unlink(table->meta.path);
+  }
+}
+
+// ---- read path --------------------------------------------------------------
+
+Expected<std::string> Db::Get(const std::string& key) {
+  std::shared_ptr<const Snapshot> snapshot;
+  {
+    std::scoped_lock lock(mu_);
+    if (closing_ || snapshot_ == nullptr) return Unavailable("db closing");
+    ++stats_.gets;
+    snapshot = snapshot_;
+  }
+  const auto finish =
+      [this](const ValueOrTombstone& v) -> Expected<std::string> {
+    if (v.deleted) return NotFound("key deleted");
+    std::scoped_lock lock(mu_);
+    ++stats_.get_hits;
+    return v.value;
+  };
+
+  if (auto found = snapshot->mem->Get(key)) return finish(*found);
+  if (snapshot->imm) {
+    if (auto found = snapshot->imm->Get(key)) return finish(*found);
+  }
+  // L0: newest first.
+  const auto& l0 = snapshot->levels[0];
+  for (auto it = l0.rbegin(); it != l0.rend(); ++it) {
+    const TableMeta& meta = (*it)->meta;
+    if (key < meta.min_key || meta.max_key < key) continue;
+    if (auto found = (*it)->reader.Get(key)) return finish(*found);
+  }
+  // L1+: non-overlapping; binary search by range.
+  for (std::size_t level = 1; level < snapshot->levels.size(); ++level) {
+    const auto& files = snapshot->levels[level];
+    auto it = std::upper_bound(
+        files.begin(), files.end(), key,
+        [](const std::string& k, const TablePtr& t) {
+          return k < t->meta.min_key;
+        });
+    if (it == files.begin()) continue;
+    --it;
+    const TableMeta& meta = (*it)->meta;
+    if (key < meta.min_key || meta.max_key < key) continue;
+    if (auto found = (*it)->reader.Get(key)) return finish(*found);
+  }
+  return NotFound("key absent: " + key);
+}
+
+// ---- introspection ----------------------------------------------------------
+
+LsmStats Db::stats() const {
+  std::scoped_lock lock(mu_);
+  LsmStats out = stats_;
+  out.block_cache_hits = cache_.hits();
+  out.block_cache_misses = cache_.misses();
+  return out;
+}
+
+std::vector<std::size_t> Db::LevelFileCounts() const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::size_t> out;
+  out.reserve(levels_.size());
+  for (const auto& level : levels_) out.push_back(level.size());
+  return out;
+}
+
+std::vector<std::uint64_t> Db::LevelBytes() const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::uint64_t> out;
+  for (int level = 0; level < options_.max_levels; ++level) {
+    out.push_back(LevelBytesLocked(level));
+  }
+  return out;
+}
+
+int Db::ActiveCompactions() const {
+  std::scoped_lock lock(mu_);
+  return compactions_inflight_;
+}
+
+void Db::WaitForQuiescence() {
+  while (true) {
+    if (flush_pool_) flush_pool_->Drain();
+    if (compaction_pool_) compaction_pool_->Drain();
+    std::scoped_lock lock(mu_);
+    if (flush_inflight_ || compactions_inflight_ > 0 ||
+        compaction_jobs_queued_ > 0) {
+      continue;
+    }
+    if (!closing_ && HasCompactionWorkLocked() && compaction_pool_) {
+      MaybeScheduleCompactionLocked();
+      continue;
+    }
+    return;
+  }
+}
+
+}  // namespace dio::apps::lsmkv

@@ -1,0 +1,143 @@
+// Db: an embedded LSM key-value store over the OS substrate, mirroring the
+// RocksDB deployment of §III-C:
+//   * writes append to a WAL and a skiplist memtable,
+//   * full memtables flush to L0 on a dedicated high-priority thread
+//     (comm "rocksdb:high0"),
+//   * leveled compaction runs on a low-priority pool
+//     (comms "rocksdb:low0".."rocksdb:low6"); L0->L1 is exclusive, deeper
+//     compactions on disjoint files run in parallel,
+//   * writers STALL when L0 is full or the flush lags — the SILK-style
+//     client latency spike mechanism,
+//   * reads go memtable -> immutable -> block cache -> SSTables (pread64).
+//
+// Every byte of I/O flows through the substrate syscalls on the calling
+// thread, so DIO traces exactly what Fig. 4 shows: client threads
+// ("db_bench"), the flush thread, and compaction threads competing for the
+// shared disk.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/lsmkv/block_cache.h"
+#include "apps/lsmkv/memtable.h"
+#include "apps/lsmkv/options.h"
+#include "apps/lsmkv/sstable.h"
+#include "apps/lsmkv/wal.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "oskernel/kernel.h"
+
+namespace dio::apps::lsmkv {
+
+class Db {
+ public:
+  Db(os::Kernel* kernel, LsmOptions options);
+  ~Db();
+
+  Db(const Db&) = delete;
+  Db& operator=(const Db&) = delete;
+
+  // Creates the directory tree, recovers any WAL left on the filesystem,
+  // and starts the background pools. Must be called once before use.
+  Status Open();
+  // Flush/compaction pools drain and stop. Idempotent.
+  void Close();
+
+  // Client operations. The calling thread must be bound to a kernel task
+  // (use RegisterClientThread + ScopedTask, or any bound task).
+  Status Put(const std::string& key, std::string value);
+  Status Delete(const std::string& key);
+  Expected<std::string> Get(const std::string& key);
+
+  // Creates a client thread (comm e.g. "db_bench") in the DB's process.
+  os::Tid RegisterClientThread(const std::string& comm);
+
+  [[nodiscard]] os::Pid pid() const { return pid_; }
+  [[nodiscard]] LsmStats stats() const;
+  [[nodiscard]] const LsmOptions& options() const { return options_; }
+
+  // Introspection for tests / benches.
+  [[nodiscard]] std::vector<std::size_t> LevelFileCounts() const;
+  [[nodiscard]] std::vector<std::uint64_t> LevelBytes() const;
+  [[nodiscard]] int ActiveCompactions() const;
+  // Blocks until no flush or compaction work remains.
+  void WaitForQuiescence();
+
+ private:
+  struct Table {
+    TableMeta meta;
+    SSTableReader reader;
+    Table(TableMeta m, SSTableReader r)
+        : meta(std::move(m)), reader(std::move(r)) {}
+  };
+  using TablePtr = std::shared_ptr<Table>;
+
+  // Immutable read view swapped atomically on structural changes.
+  struct Snapshot {
+    std::shared_ptr<Memtable> mem;
+    std::shared_ptr<Memtable> imm;
+    std::vector<std::vector<TablePtr>> levels;
+  };
+
+  struct CompactionTask {
+    int level = 0;  // inputs from `level` and `level + 1`
+    std::vector<TablePtr> inputs_upper;
+    std::vector<TablePtr> inputs_lower;
+    bool bottommost = false;
+  };
+
+  // All Locked() methods require mu_ held.
+  void RebuildSnapshotLocked();
+  void ScheduleFlushLocked();
+  void MaybeScheduleCompactionLocked();
+  std::optional<CompactionTask> PickCompactionLocked();
+  [[nodiscard]] bool HasCompactionWorkLocked() const;
+  [[nodiscard]] std::uint64_t LevelBytesLocked(int level) const;
+  [[nodiscard]] std::uint64_t TargetBytes(int level) const;
+
+  void FlushJob(std::shared_ptr<Memtable> imm, std::string wal_path);
+  void CompactionWorker();
+  void DoCompaction(CompactionTask task);
+
+  Expected<TablePtr> BuildTable(
+      const std::vector<std::pair<std::string, ValueOrTombstone>>& entries,
+      std::size_t begin, std::size_t end);
+  Expected<TablePtr> OpenTable(TableMeta meta);
+  std::string TablePath(std::uint64_t id) const;
+
+  os::Kernel* kernel_;
+  LsmOptions options_;
+  os::Pid pid_ = os::kNoPid;
+
+  BlockCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable stall_cv_;
+  std::shared_ptr<Memtable> memtable_;
+  std::shared_ptr<Memtable> imm_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  std::uint64_t next_file_id_ = 1;
+  std::uint64_t next_wal_id_ = 1;
+  std::vector<std::vector<TablePtr>> levels_;
+  std::shared_ptr<const Snapshot> snapshot_;
+  std::set<std::uint64_t> busy_files_;
+  bool l0_compaction_running_ = false;
+  int compactions_inflight_ = 0;
+  int compaction_jobs_queued_ = 0;
+  bool flush_inflight_ = false;
+  bool closing_ = false;
+  LsmStats stats_;
+
+  std::unique_ptr<ThreadPool> flush_pool_;
+  std::unique_ptr<ThreadPool> compaction_pool_;
+  bool opened_ = false;
+};
+
+}  // namespace dio::apps::lsmkv

@@ -1,0 +1,70 @@
+// Memtable: skiplist of key -> (value | tombstone) with byte accounting.
+// Thread-safe; the DB swaps a full memtable to "immutable" and hands it to
+// the flush thread.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "apps/lsmkv/skiplist.h"
+
+namespace dio::apps::lsmkv {
+
+// A value or a deletion marker.
+struct ValueOrTombstone {
+  bool deleted = false;
+  std::string value;
+};
+
+class Memtable {
+ public:
+  Memtable() = default;
+
+  void Put(const std::string& key, std::string value) {
+    std::scoped_lock lock(mu_);
+    approximate_bytes_ += key.size() + value.size() + 32;
+    list_.Insert(key, ValueOrTombstone{false, std::move(value)});
+  }
+
+  void Delete(const std::string& key) {
+    std::scoped_lock lock(mu_);
+    approximate_bytes_ += key.size() + 32;
+    list_.Insert(key, ValueOrTombstone{true, {}});
+  }
+
+  // nullopt = key unknown here; a present-but-deleted entry returns a
+  // ValueOrTombstone with deleted=true (the caller must stop the search).
+  [[nodiscard]] std::optional<ValueOrTombstone> Get(
+      const std::string& key) const {
+    std::scoped_lock lock(mu_);
+    const ValueOrTombstone* found = list_.Find(key);
+    if (found == nullptr) return std::nullopt;
+    return *found;
+  }
+
+  [[nodiscard]] std::size_t ApproximateBytes() const {
+    std::scoped_lock lock(mu_);
+    return approximate_bytes_;
+  }
+  [[nodiscard]] std::size_t entries() const {
+    std::scoped_lock lock(mu_);
+    return list_.size();
+  }
+  [[nodiscard]] bool empty() const { return entries() == 0; }
+
+  // Ordered scan (used by the flush job; the memtable is immutable by then
+  // but locking is kept for safety).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    std::scoped_lock lock(mu_);
+    list_.ForEach(fn);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  SkipList<ValueOrTombstone> list_;
+  std::size_t approximate_bytes_ = 0;
+};
+
+}  // namespace dio::apps::lsmkv

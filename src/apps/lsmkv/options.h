@@ -1,0 +1,58 @@
+// Tuning knobs for the LSM KVS, defaulted to mirror the §III-C RocksDB
+// deployment at laptop scale: 1 high-priority flush thread, 7 low-priority
+// compaction threads, L0 build-up triggering compactions, and write stalls
+// when L0 is full — the machinery behind SILK-style client latency spikes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+
+namespace dio::apps::lsmkv {
+
+struct LsmOptions {
+  std::string db_path = "/data/db";
+
+  // Memtable / WAL.
+  std::size_t memtable_bytes = 1u << 20;  // flush threshold
+  bool wal_sync_writes = false;           // fsync per write (db_bench: off)
+
+  // SSTable geometry.
+  std::size_t block_bytes = 4096;
+  std::size_t sstable_target_bytes = 1u << 20;
+
+  // Leveled compaction.
+  int l0_compaction_trigger = 4;   // schedule L0->L1 at this many L0 files
+  int l0_stop_trigger = 12;        // stall writes at this many L0 files
+  std::uint64_t level1_bytes = 8u << 20;
+  int level_size_multiplier = 10;
+  std::size_t compaction_io_chunk = 256u << 10;  // read/write chunk size
+  int max_levels = 7;
+
+  // Background threads (the paper's RocksDB config: 1 flush + 7 compaction).
+  int flush_threads = 1;
+  int compaction_threads = 7;
+
+  // Block cache (user-space, like RocksDB's; absorbs hot reads so only
+  // misses hit the disk through syscalls).
+  std::size_t block_cache_bytes = 8u << 20;
+};
+
+struct LsmStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t get_hits = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t compaction_bytes_read = 0;
+  std::uint64_t compaction_bytes_written = 0;
+  std::uint64_t stall_count = 0;       // writes that hit a stall condition
+  Nanos stall_ns = 0;                  // total time writers spent stalled
+  std::uint64_t block_cache_hits = 0;
+  std::uint64_t block_cache_misses = 0;
+};
+
+}  // namespace dio::apps::lsmkv

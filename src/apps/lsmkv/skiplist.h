@@ -1,0 +1,105 @@
+// A classic skiplist keyed by std::string — the memtable's ordered core
+// (RocksDB's memtable is likewise a skiplist). Single-writer-at-a-time by
+// contract (the memtable serializes writers); readers take the same lock in
+// Memtable, so no lock-free tricks are needed here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dio::apps::lsmkv {
+
+template <typename Value>
+class SkipList {
+ public:
+  static constexpr int kMaxHeight = 12;
+
+  SkipList() : head_(std::make_unique<Node>("", Value{}, kMaxHeight)) {}
+
+  // Inserts or overwrites. Returns true if the key was new.
+  bool Insert(const std::string& key, Value value) {
+    Node* prev[kMaxHeight];
+    Node* node = FindGreaterOrEqual(key, prev);
+    if (node != nullptr && node->key == key) {
+      node->value = std::move(value);
+      return false;
+    }
+    const int height = RandomHeight();
+    if (height > height_) {
+      for (int level = height_; level < height; ++level) {
+        prev[level] = head_.get();
+      }
+      height_ = height;
+    }
+    auto owned = std::make_unique<Node>(key, std::move(value), height);
+    Node* raw = owned.get();
+    for (int level = 0; level < height; ++level) {
+      raw->next[level] = prev[level]->next[level];
+      prev[level]->next[level] = raw;
+    }
+    nodes_.push_back(std::move(owned));
+    ++size_;
+    return true;
+  }
+
+  [[nodiscard]] const Value* Find(const std::string& key) const {
+    Node* node = FindGreaterOrEqual(key, nullptr);
+    if (node != nullptr && node->key == key) return &node->value;
+    return nullptr;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  // In-order traversal.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (Node* node = head_->next[0]; node != nullptr; node = node->next[0]) {
+      fn(node->key, node->value);
+    }
+  }
+
+ private:
+  struct Node {
+    Node(std::string k, Value v, int height)
+        : key(std::move(k)), value(std::move(v)), next(height, nullptr) {}
+    std::string key;
+    Value value;
+    std::vector<Node*> next;
+  };
+
+  Node* FindGreaterOrEqual(const std::string& key, Node** prev) const {
+    Node* node = head_.get();
+    int level = height_ - 1;
+    while (true) {
+      Node* next = node->next[level];
+      if (next != nullptr && next->key < key) {
+        node = next;
+      } else {
+        if (prev != nullptr) prev[level] = node;
+        if (level == 0) return next;
+        --level;
+      }
+    }
+  }
+
+  int RandomHeight() {
+    int height = 1;
+    // P = 1/4 branching, like LevelDB/RocksDB.
+    while (height < kMaxHeight && rng_.OneIn(4)) ++height;
+    return height;
+  }
+
+  std::unique_ptr<Node> head_;
+  std::vector<std::unique_ptr<Node>> nodes_;  // ownership
+  int height_ = 1;
+  std::size_t size_ = 0;
+  Random rng_{0xdb5eedULL};
+};
+
+}  // namespace dio::apps::lsmkv

@@ -1,0 +1,280 @@
+#include "apps/lsmkv/sstable.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dio::apps::lsmkv {
+
+namespace {
+
+void AppendU32(std::string* out, std::uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 4);
+}
+void AppendU64(std::string* out, std::uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 8);
+}
+std::uint32_t ReadU32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+std::uint64_t ReadU64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+// ---- builder ----------------------------------------------------------------
+
+SSTableBuilder::SSTableBuilder(os::Kernel* kernel, std::string path,
+                               std::size_t block_bytes)
+    : kernel_(kernel), path_(std::move(path)), block_bytes_(block_bytes) {
+  const std::int64_t fd = kernel_->sys_open(
+      path_, os::openflag::kWriteOnly | os::openflag::kCreate |
+                 os::openflag::kTruncate);
+  if (fd >= 0) fd_ = static_cast<os::Fd>(fd);
+  meta_.path = path_;
+}
+
+Status SSTableBuilder::Add(const std::string& key,
+                           const ValueOrTombstone& value) {
+  if (fd_ < 0) return FailedPrecondition("sstable not open: " + path_);
+  if (meta_.entries > 0 && key <= meta_.max_key) {
+    return InvalidArgument("keys must be added in increasing order");
+  }
+  if (buffer_.empty()) block_first_key_ = key;
+  buffer_.push_back(value.deleted ? 1 : 0);
+  AppendU32(&buffer_, static_cast<std::uint32_t>(key.size()));
+  AppendU32(&buffer_, static_cast<std::uint32_t>(value.value.size()));
+  buffer_ += key;
+  buffer_ += value.value;
+
+  if (meta_.entries == 0) meta_.min_key = key;
+  meta_.max_key = key;
+  ++meta_.entries;
+
+  if (buffer_.size() >= block_bytes_) return FlushBlock();
+  return Status::Ok();
+}
+
+Status SSTableBuilder::FlushBlock() {
+  if (buffer_.empty()) return Status::Ok();
+  index_.push_back(BlockIndexEntry{
+      block_first_key_, offset_, static_cast<std::uint32_t>(buffer_.size())});
+  const std::int64_t n = kernel_->sys_write(fd_, buffer_);
+  if (n != static_cast<std::int64_t>(buffer_.size())) {
+    return Unavailable("sstable block write failed");
+  }
+  offset_ += buffer_.size();
+  buffer_.clear();
+  return Status::Ok();
+}
+
+Expected<TableMeta> SSTableBuilder::Finish() {
+  if (finished_) return FailedPrecondition("already finished");
+  DIO_RETURN_IF_ERROR(FlushBlock());
+  // Index block.
+  std::string index_block;
+  for (const BlockIndexEntry& entry : index_) {
+    AppendU32(&index_block, static_cast<std::uint32_t>(entry.first_key.size()));
+    index_block += entry.first_key;
+    AppendU64(&index_block, entry.offset);
+    AppendU32(&index_block, entry.length);
+  }
+  const std::uint64_t index_offset = offset_;
+  std::string trailer;
+  AppendU64(&trailer, index_offset);
+  AppendU64(&trailer, index_block.size());
+  AppendU64(&trailer, kSstMagic);
+  if (kernel_->sys_write(fd_, index_block) !=
+      static_cast<std::int64_t>(index_block.size())) {
+    return Unavailable("sstable index write failed");
+  }
+  if (kernel_->sys_write(fd_, trailer) !=
+      static_cast<std::int64_t>(trailer.size())) {
+    return Unavailable("sstable trailer write failed");
+  }
+  kernel_->sys_fsync(fd_);
+  kernel_->sys_close(fd_);
+  fd_ = os::kNoFd;
+  finished_ = true;
+  meta_.bytes = index_offset + index_block.size() + trailer.size();
+  return meta_;
+}
+
+void SSTableBuilder::Abandon() {
+  if (fd_ >= 0) {
+    kernel_->sys_close(fd_);
+    fd_ = os::kNoFd;
+  }
+  kernel_->sys_unlink(path_);
+  finished_ = true;
+}
+
+// ---- reader -----------------------------------------------------------------
+
+Expected<SSTableReader> SSTableReader::Open(os::Kernel* kernel,
+                                            const std::string& path) {
+  const std::int64_t fd = kernel->sys_open(path, os::openflag::kReadOnly);
+  if (fd < 0) return NotFound("sstable missing: " + path);
+  SSTableReader reader(kernel, path, static_cast<os::Fd>(fd));
+
+  os::StatBuf st;
+  if (kernel->sys_fstat(reader.fd_, &st) != 0 || st.size < 24) {
+    kernel->sys_close(reader.fd_);
+    reader.fd_ = os::kNoFd;
+    return InvalidArgument("sstable truncated: " + path);
+  }
+  std::string trailer;
+  if (kernel->sys_pread64(reader.fd_, &trailer, 24,
+                          static_cast<std::int64_t>(st.size - 24)) != 24) {
+    kernel->sys_close(reader.fd_);
+    reader.fd_ = os::kNoFd;
+    return InvalidArgument("sstable trailer unreadable: " + path);
+  }
+  const std::uint64_t index_offset = ReadU64(trailer.data());
+  const std::uint64_t index_length = ReadU64(trailer.data() + 8);
+  const std::uint64_t magic = ReadU64(trailer.data() + 16);
+  if (magic != kSstMagic || index_offset + index_length + 24 != st.size) {
+    kernel->sys_close(reader.fd_);
+    reader.fd_ = os::kNoFd;
+    return InvalidArgument("sstable corrupt: " + path);
+  }
+  std::string index_block;
+  if (kernel->sys_pread64(reader.fd_, &index_block, index_length,
+                          static_cast<std::int64_t>(index_offset)) !=
+      static_cast<std::int64_t>(index_length)) {
+    kernel->sys_close(reader.fd_);
+    reader.fd_ = os::kNoFd;
+    return InvalidArgument("sstable index unreadable: " + path);
+  }
+  std::size_t pos = 0;
+  while (pos + 4 <= index_block.size()) {
+    const std::uint32_t klen = ReadU32(index_block.data() + pos);
+    pos += 4;
+    if (pos + klen + 12 > index_block.size()) {
+      return InvalidArgument("sstable index corrupt: " + path);
+    }
+    BlockIndexEntry entry;
+    entry.first_key = index_block.substr(pos, klen);
+    pos += klen;
+    entry.offset = ReadU64(index_block.data() + pos);
+    pos += 8;
+    entry.length = ReadU32(index_block.data() + pos);
+    pos += 4;
+    reader.index_.push_back(std::move(entry));
+  }
+  return reader;
+}
+
+SSTableReader::~SSTableReader() {
+  if (fd_ >= 0 && kernel_ != nullptr) kernel_->sys_close(fd_);
+}
+
+SSTableReader::SSTableReader(SSTableReader&& other) noexcept {
+  *this = std::move(other);
+}
+
+SSTableReader& SSTableReader::operator=(SSTableReader&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0 && kernel_ != nullptr) kernel_->sys_close(fd_);
+    kernel_ = other.kernel_;
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    index_ = std::move(other.index_);
+    fetcher_ = std::move(other.fetcher_);
+    other.fd_ = os::kNoFd;
+    other.kernel_ = nullptr;
+  }
+  return *this;
+}
+
+Expected<std::string> SSTableReader::ReadBlock(
+    const BlockIndexEntry& entry) const {
+  std::string block;
+  const std::int64_t n =
+      kernel_->sys_pread64(fd_, &block, entry.length,
+                           static_cast<std::int64_t>(entry.offset));
+  if (n != static_cast<std::int64_t>(entry.length)) {
+    return Unavailable("sstable block read failed: " + path_);
+  }
+  return block;
+}
+
+Status ParseBlock(const std::string& block,
+                  const std::function<void(std::string,
+                                           ValueOrTombstone)>& fn) {
+  std::size_t pos = 0;
+  while (pos + 9 <= block.size()) {
+    const std::uint8_t type = static_cast<std::uint8_t>(block[pos]);
+    const std::uint32_t klen = ReadU32(block.data() + pos + 1);
+    const std::uint32_t vlen = ReadU32(block.data() + pos + 5);
+    pos += 9;
+    if (pos + klen + vlen > block.size()) {
+      return InvalidArgument("block record overruns block");
+    }
+    std::string key = block.substr(pos, klen);
+    pos += klen;
+    ValueOrTombstone value;
+    value.deleted = type == 1;
+    value.value = block.substr(pos, vlen);
+    pos += vlen;
+    fn(std::move(key), std::move(value));
+  }
+  return pos == block.size()
+             ? Status::Ok()
+             : InvalidArgument("trailing garbage in block");
+}
+
+std::optional<ValueOrTombstone> SSTableReader::Get(
+    const std::string& key) const {
+  if (index_.empty()) return std::nullopt;
+  // Find the last block whose first_key <= key.
+  auto it = std::upper_bound(
+      index_.begin(), index_.end(), key,
+      [](const std::string& k, const BlockIndexEntry& e) {
+        return k < e.first_key;
+      });
+  if (it == index_.begin()) return std::nullopt;
+  --it;
+  Expected<std::string> block =
+      fetcher_ ? fetcher_(*this, *it) : ReadBlock(*it);
+  if (!block.ok()) return std::nullopt;
+
+  std::optional<ValueOrTombstone> result;
+  ParseBlock(*block, [&](std::string k, ValueOrTombstone v) {
+    if (k == key) result = std::move(v);
+  });
+  return result;
+}
+
+Status SSTableReader::Scan(
+    std::size_t chunk_bytes,
+    const std::function<void(const std::string&, const ValueOrTombstone&)>&
+        fn) const {
+  // Sequential read of the data area in chunk_bytes units, then parse.
+  std::uint64_t data_end = 0;
+  for (const BlockIndexEntry& entry : index_) {
+    data_end = std::max(data_end, entry.offset + entry.length);
+  }
+  std::string data;
+  data.reserve(data_end);
+  std::uint64_t pos = 0;
+  std::string chunk;
+  while (pos < data_end) {
+    const std::uint64_t want =
+        std::min<std::uint64_t>(chunk_bytes, data_end - pos);
+    const std::int64_t n = kernel_->sys_pread64(
+        fd_, &chunk, want, static_cast<std::int64_t>(pos));
+    if (n <= 0) return Unavailable("sstable scan read failed: " + path_);
+    data += chunk;
+    pos += static_cast<std::uint64_t>(n);
+  }
+  return ParseBlock(data, [&](std::string k, ValueOrTombstone v) {
+    fn(k, v);
+  });
+}
+
+}  // namespace dio::apps::lsmkv

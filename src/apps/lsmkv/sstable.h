@@ -1,0 +1,130 @@
+// SSTable: sorted immutable table on the substrate VFS.
+//
+// Layout:
+//   data blocks:  repeated records { u8 type, u32 klen, u32 vlen, key, value }
+//                 sorted by key, cut at ~block_bytes boundaries
+//   index block:  repeated { u32 klen, key(first key of block),
+//                            u64 offset, u32 length }
+//   trailer (24B): u64 index_offset, u64 index_length, u64 magic
+//
+// The builder streams blocks through write(2); the reader loads the index
+// once and serves point lookups with one pread64(2) per (uncached) block —
+// this is the read path whose latency the Fig. 3 experiment observes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/lsmkv/memtable.h"
+#include "common/status.h"
+#include "oskernel/kernel.h"
+
+namespace dio::apps::lsmkv {
+
+constexpr std::uint64_t kSstMagic = 0xD10D10D10D10D1ULL;
+
+struct TableMeta {
+  std::uint64_t id = 0;
+  std::string path;
+  std::string min_key;
+  std::string max_key;
+  std::uint64_t bytes = 0;
+  std::uint64_t entries = 0;
+};
+
+struct BlockIndexEntry {
+  std::string first_key;
+  std::uint64_t offset = 0;
+  std::uint32_t length = 0;
+};
+
+class SSTableBuilder {
+ public:
+  SSTableBuilder(os::Kernel* kernel, std::string path,
+                 std::size_t block_bytes);
+
+  // Keys must be added in strictly increasing order.
+  Status Add(const std::string& key, const ValueOrTombstone& value);
+  // Flushes the tail block, writes index + trailer, fsyncs and closes.
+  Expected<TableMeta> Finish();
+  // Abandons the table (removes the partial file).
+  void Abandon();
+
+  [[nodiscard]] std::uint64_t bytes_so_far() const { return offset_ + buffer_.size(); }
+
+ private:
+  Status FlushBlock();
+
+  os::Kernel* kernel_;
+  std::string path_;
+  std::size_t block_bytes_;
+  os::Fd fd_ = os::kNoFd;
+  std::string buffer_;            // current data block
+  std::string block_first_key_;
+  std::vector<BlockIndexEntry> index_;
+  std::uint64_t offset_ = 0;
+  TableMeta meta_;
+  bool finished_ = false;
+};
+
+class SSTableReader {
+ public:
+  // Opens the table and loads its index (one open + fstat + 2 preads).
+  static Expected<SSTableReader> Open(os::Kernel* kernel,
+                                      const std::string& path);
+  ~SSTableReader();
+
+  SSTableReader(SSTableReader&& other) noexcept;
+  SSTableReader& operator=(SSTableReader&& other) noexcept;
+  SSTableReader(const SSTableReader&) = delete;
+  SSTableReader& operator=(const SSTableReader&) = delete;
+
+  // Point lookup. `read_block` is invoked to fetch a data block; the DB
+  // routes it through the block cache. Returns nullopt when absent.
+  [[nodiscard]] std::optional<ValueOrTombstone> Get(
+      const std::string& key) const;
+
+  // Full ordered scan (compaction input). Reads sequentially in
+  // `chunk_bytes` units through read(2).
+  Status Scan(std::size_t chunk_bytes,
+              const std::function<void(const std::string&,
+                                       const ValueOrTombstone&)>& fn) const;
+
+  [[nodiscard]] const std::vector<BlockIndexEntry>& index() const {
+    return index_;
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  // Block fetch hook (set by the DB to interpose its block cache). When
+  // unset, blocks are pread64()'d directly.
+  using BlockFetcher =
+      std::function<Expected<std::string>(const SSTableReader&,
+                                          const BlockIndexEntry&)>;
+  void set_block_fetcher(BlockFetcher fetcher) {
+    fetcher_ = std::move(fetcher);
+  }
+
+  // Direct block read (used by the default path and by the cache on miss).
+  [[nodiscard]] Expected<std::string> ReadBlock(
+      const BlockIndexEntry& entry) const;
+
+ private:
+  SSTableReader(os::Kernel* kernel, std::string path, os::Fd fd)
+      : kernel_(kernel), path_(std::move(path)), fd_(fd) {}
+
+  os::Kernel* kernel_ = nullptr;
+  std::string path_;
+  os::Fd fd_ = os::kNoFd;
+  std::vector<BlockIndexEntry> index_;
+  BlockFetcher fetcher_;
+};
+
+// Parses the records of one data block, calling fn(key, value) in order.
+Status ParseBlock(const std::string& block,
+                  const std::function<void(std::string,
+                                           ValueOrTombstone)>& fn);
+
+}  // namespace dio::apps::lsmkv

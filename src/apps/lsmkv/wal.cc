@@ -1,0 +1,53 @@
+#include "apps/lsmkv/wal.h"
+
+#include <cstring>
+
+namespace dio::apps::lsmkv {
+
+WriteAheadLog::WriteAheadLog(os::Kernel* kernel, std::string path)
+    : kernel_(kernel), path_(std::move(path)) {
+  const std::int64_t fd = kernel_->sys_open(
+      path_, os::openflag::kWriteOnly | os::openflag::kCreate |
+                 os::openflag::kTruncate | os::openflag::kAppend);
+  if (fd >= 0) fd_ = static_cast<os::Fd>(fd);
+}
+
+WriteAheadLog::~WriteAheadLog() { Close(); }
+
+void WriteAheadLog::Close() {
+  if (fd_ >= 0) {
+    kernel_->sys_close(fd_);
+    fd_ = os::kNoFd;
+  }
+}
+
+Status WriteAheadLog::Append(std::uint8_t type, std::string_view key,
+                             std::string_view value, bool sync) {
+  if (fd_ < 0) return FailedPrecondition("wal not open");
+  std::string record;
+  record.reserve(9 + key.size() + value.size());
+  record.push_back(static_cast<char>(type));
+  const auto klen = static_cast<std::uint32_t>(key.size());
+  const auto vlen = static_cast<std::uint32_t>(value.size());
+  record.append(reinterpret_cast<const char*>(&klen), 4);
+  record.append(reinterpret_cast<const char*>(&vlen), 4);
+  record.append(key);
+  record.append(value);
+  const std::int64_t n = kernel_->sys_write(fd_, record);
+  if (n != static_cast<std::int64_t>(record.size())) {
+    return Unavailable("wal write failed");
+  }
+  if (sync) kernel_->sys_fdatasync(fd_);
+  return Status::Ok();
+}
+
+Status WriteAheadLog::AppendPut(std::string_view key, std::string_view value,
+                                bool sync) {
+  return Append(0, key, value, sync);
+}
+
+Status WriteAheadLog::AppendDelete(std::string_view key, bool sync) {
+  return Append(1, key, {}, sync);
+}
+
+}  // namespace dio::apps::lsmkv

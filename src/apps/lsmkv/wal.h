@@ -1,0 +1,93 @@
+// Write-ahead log: length-prefixed Put/Delete records appended through the
+// substrate's write(2). One log per memtable generation; replayed on open.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "oskernel/kernel.h"
+
+namespace dio::apps::lsmkv {
+
+class WriteAheadLog {
+ public:
+  // Opens (creating/truncating) `path` on the calling kernel task.
+  WriteAheadLog(os::Kernel* kernel, std::string path);
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  [[nodiscard]] bool ok() const { return fd_ >= 0; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  // Appends one record; optionally fdatasync()s.
+  Status AppendPut(std::string_view key, std::string_view value, bool sync);
+  Status AppendDelete(std::string_view key, bool sync);
+
+  // Closes the fd (the file stays for replay until the DB unlinks it).
+  void Close();
+
+  // Replays a log file, invoking put(key, value) / del(key) per record.
+  // Returns the number of records applied.
+  template <typename PutFn, typename DelFn>
+  static Expected<std::size_t> Replay(os::Kernel* kernel,
+                                      const std::string& path, PutFn&& put,
+                                      DelFn&& del);
+
+ private:
+  Status Append(std::uint8_t type, std::string_view key,
+                std::string_view value, bool sync);
+
+  os::Kernel* kernel_;
+  std::string path_;
+  os::Fd fd_ = os::kNoFd;
+};
+
+// ---- implementation of the templated replay --------------------------------
+
+template <typename PutFn, typename DelFn>
+Expected<std::size_t> WriteAheadLog::Replay(os::Kernel* kernel,
+                                            const std::string& path,
+                                            PutFn&& put, DelFn&& del) {
+  const std::int64_t fd =
+      kernel->sys_open(path, os::openflag::kReadOnly);
+  if (fd < 0) return NotFound("wal not found: " + path);
+  std::string content;
+  std::string chunk;
+  while (true) {
+    const std::int64_t n =
+        kernel->sys_read(static_cast<os::Fd>(fd), &chunk, 1u << 20);
+    if (n <= 0) break;
+    content += chunk;
+  }
+  kernel->sys_close(static_cast<os::Fd>(fd));
+
+  std::size_t records = 0;
+  std::size_t pos = 0;
+  while (pos + 9 <= content.size()) {
+    const std::uint8_t type = static_cast<std::uint8_t>(content[pos]);
+    std::uint32_t klen = 0;
+    std::uint32_t vlen = 0;
+    std::memcpy(&klen, content.data() + pos + 1, 4);
+    std::memcpy(&vlen, content.data() + pos + 5, 4);
+    pos += 9;
+    if (pos + klen + vlen > content.size()) break;  // torn tail record
+    std::string key = content.substr(pos, klen);
+    pos += klen;
+    std::string value = content.substr(pos, vlen);
+    pos += vlen;
+    if (type == 0) {
+      put(std::move(key), std::move(value));
+    } else {
+      del(std::move(key));
+    }
+    ++records;
+  }
+  return records;
+}
+
+}  // namespace dio::apps::lsmkv

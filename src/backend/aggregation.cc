@@ -1,0 +1,244 @@
+#include "backend/aggregation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dio::backend {
+
+Aggregation Aggregation::Terms(std::string field, std::size_t size) {
+  Aggregation agg(Kind::kTerms);
+  agg.field_ = std::move(field);
+  agg.size_ = size;
+  return agg;
+}
+
+Aggregation Aggregation::Histogram(std::string field, std::int64_t interval) {
+  Aggregation agg(Kind::kHistogram);
+  agg.field_ = std::move(field);
+  agg.interval_ = interval <= 0 ? 1 : interval;
+  return agg;
+}
+
+Aggregation Aggregation::DateHistogram(std::string field,
+                                       std::int64_t interval) {
+  Aggregation agg = Histogram(std::move(field), interval);
+  agg.kind_ = Kind::kDateHistogram;
+  return agg;
+}
+
+Aggregation Aggregation::Stats(std::string field) {
+  Aggregation agg(Kind::kStats);
+  agg.field_ = std::move(field);
+  return agg;
+}
+
+Aggregation Aggregation::Percentiles(std::string field,
+                                     std::vector<double> percents) {
+  Aggregation agg(Kind::kPercentiles);
+  agg.field_ = std::move(field);
+  agg.percents_ = std::move(percents);
+  return agg;
+}
+
+Aggregation& Aggregation::SubAgg(std::string name, Aggregation agg) {
+  subs_.emplace_back(std::move(name), std::move(agg));
+  return *this;
+}
+
+Expected<Aggregation> Aggregation::FromJson(const Json& dsl) {
+  if (!dsl.is_object() || dsl.as_object().empty()) {
+    return InvalidArgument("aggregation must be a non-empty object");
+  }
+  std::optional<Aggregation> agg;
+  const Json* subs = nullptr;
+  for (const JsonMember& member : dsl.as_object()) {
+    const std::string& kind = member.first;
+    const Json& body = member.second;
+    if (kind == "aggs" || kind == "aggregations") {
+      subs = &body;
+      continue;
+    }
+    if (agg.has_value()) {
+      return InvalidArgument("aggregation has more than one kind");
+    }
+    const std::string field = body.GetString("field");
+    if (field.empty()) {
+      return InvalidArgument(kind + " needs a \"field\"");
+    }
+    if (kind == "terms") {
+      agg = Terms(field, static_cast<std::size_t>(body.GetInt("size", 0)));
+    } else if (kind == "histogram" || kind == "date_histogram") {
+      const std::int64_t interval = body.GetInt("interval", 0);
+      if (interval <= 0) {
+        return InvalidArgument(kind + " needs a positive \"interval\"");
+      }
+      agg = kind == "histogram" ? Histogram(field, interval)
+                                : DateHistogram(field, interval);
+    } else if (kind == "stats") {
+      agg = Stats(field);
+    } else if (kind == "percentiles") {
+      std::vector<double> percents;
+      const Json* list = body.Find("percents");
+      if (list != nullptr && list->is_array()) {
+        for (const Json& p : list->as_array()) {
+          if (p.is_number()) percents.push_back(p.as_double());
+        }
+      }
+      if (percents.empty()) percents = {50.0, 95.0, 99.0};
+      agg = Percentiles(field, std::move(percents));
+    } else {
+      return InvalidArgument("unknown aggregation kind: " + kind);
+    }
+  }
+  if (!agg.has_value()) {
+    return InvalidArgument("aggregation object has no kind");
+  }
+  if (subs != nullptr) {
+    if (!subs->is_object()) {
+      return InvalidArgument("aggs must be an object of named aggregations");
+    }
+    for (const JsonMember& named : subs->as_object()) {
+      auto sub = FromJson(named.second);
+      if (!sub.ok()) return sub;
+      agg->SubAgg(named.first, std::move(sub.value()));
+    }
+  }
+  return std::move(*agg);
+}
+
+Expected<Aggregation> Aggregation::FromJsonText(std::string_view text) {
+  auto parsed = Json::Parse(text);
+  if (!parsed.ok()) return parsed.status();
+  return FromJson(*parsed);
+}
+
+namespace {
+
+// Stable string key for grouping arbitrary JSON terms.
+std::string GroupKey(const Json& value) {
+  switch (value.type()) {
+    case Json::Type::kString: return "s:" + value.as_string();
+    case Json::Type::kInt: return "i:" + std::to_string(value.as_int());
+    case Json::Type::kDouble: return "d:" + std::to_string(value.as_double());
+    case Json::Type::kBool: return value.as_bool() ? "b:1" : "b:0";
+    default: return "?:" + value.Dump();
+  }
+}
+
+}  // namespace
+
+AggResult Aggregation::Execute(const std::vector<const Json*>& docs) const {
+  AggResult result;
+  switch (kind_) {
+    case Kind::kTerms: {
+      struct Group {
+        Json key;
+        std::vector<const Json*> docs;
+      };
+      std::map<std::string, Group> groups;
+      for (const Json* doc : docs) {
+        const Json* value = doc->Find(field_);
+        if (value == nullptr) continue;
+        Group& group = groups[GroupKey(*value)];
+        if (group.docs.empty()) group.key = *value;
+        group.docs.push_back(doc);
+      }
+      result.buckets.reserve(groups.size());
+      for (auto& [key, group] : groups) {
+        AggBucket bucket;
+        bucket.key = group.key;
+        bucket.doc_count = static_cast<std::int64_t>(group.docs.size());
+        for (const auto& [sub_name, sub_agg] : subs_) {
+          bucket.sub[sub_name] = sub_agg.Execute(group.docs);
+        }
+        result.buckets.push_back(std::move(bucket));
+      }
+      std::stable_sort(result.buckets.begin(), result.buckets.end(),
+                       [](const AggBucket& a, const AggBucket& b) {
+                         return a.doc_count > b.doc_count;
+                       });
+      if (size_ > 0 && result.buckets.size() > size_) {
+        result.buckets.resize(size_);
+      }
+      break;
+    }
+    case Kind::kHistogram:
+    case Kind::kDateHistogram: {
+      struct Group {
+        std::vector<const Json*> docs;
+      };
+      std::map<std::int64_t, Group> groups;
+      for (const Json* doc : docs) {
+        const Json* value = doc->Find(field_);
+        if (value == nullptr || !value->is_number()) continue;
+        std::int64_t v = value->as_int();
+        std::int64_t bucket_start = (v / interval_) * interval_;
+        if (v < 0 && v % interval_ != 0) bucket_start -= interval_;
+        groups[bucket_start].docs.push_back(doc);
+      }
+      for (auto& [start, group] : groups) {
+        AggBucket bucket;
+        bucket.key = Json(start);
+        bucket.doc_count = static_cast<std::int64_t>(group.docs.size());
+        for (const auto& [sub_name, sub_agg] : subs_) {
+          bucket.sub[sub_name] = sub_agg.Execute(group.docs);
+        }
+        result.buckets.push_back(std::move(bucket));
+      }
+      break;
+    }
+    case Kind::kStats: {
+      std::int64_t count = 0;
+      double sum = 0, min = 0, max = 0;
+      for (const Json* doc : docs) {
+        const Json* value = doc->Find(field_);
+        if (value == nullptr || !value->is_number()) continue;
+        const double v = value->as_double();
+        if (count == 0) {
+          min = max = v;
+        } else {
+          min = std::min(min, v);
+          max = std::max(max, v);
+        }
+        sum += v;
+        ++count;
+      }
+      result.metrics.Set("count", count);
+      result.metrics.Set("min", min);
+      result.metrics.Set("max", max);
+      result.metrics.Set("sum", sum);
+      result.metrics.Set("avg", count == 0 ? 0.0 : sum / count);
+      break;
+    }
+    case Kind::kPercentiles: {
+      std::vector<double> values;
+      values.reserve(docs.size());
+      for (const Json* doc : docs) {
+        const Json* value = doc->Find(field_);
+        if (value != nullptr && value->is_number()) {
+          values.push_back(value->as_double());
+        }
+      }
+      std::sort(values.begin(), values.end());
+      Json out = Json::MakeObject();
+      for (double p : percents_) {
+        double v = 0.0;
+        if (!values.empty()) {
+          // Nearest-rank with linear interpolation.
+          const double rank =
+              (p / 100.0) * static_cast<double>(values.size() - 1);
+          const auto lo = static_cast<std::size_t>(std::floor(rank));
+          const auto hi = static_cast<std::size_t>(std::ceil(rank));
+          const double frac = rank - std::floor(rank);
+          v = values[lo] * (1.0 - frac) + values[hi] * frac;
+        }
+        out.Set(std::to_string(p), v);
+      }
+      result.metrics = std::move(out);
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace dio::backend

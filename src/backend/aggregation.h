@@ -1,0 +1,86 @@
+// Aggregations over query results: the Elasticsearch subset DIO's dashboards
+// use — terms (group by field), (date_)histogram (time bucketing),
+// stats / percentiles (latency summaries) — with arbitrary-depth
+// sub-aggregation (Fig. 4 is terms(comm) x date_histogram(time_enter)).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace dio::backend {
+
+class Aggregation;
+
+struct AggBucket {
+  Json key;                 // term value or numeric bucket start
+  std::int64_t doc_count = 0;
+  // Sub-aggregation results keyed by name.
+  std::map<std::string, struct AggResult> sub;
+};
+
+struct AggResult {
+  // Bucketed aggs fill `buckets`; metric aggs fill `metrics`.
+  std::vector<AggBucket> buckets;
+  Json metrics = Json::MakeObject();
+};
+
+class Aggregation {
+ public:
+  enum class Kind { kTerms, kHistogram, kDateHistogram, kStats, kPercentiles };
+
+  // Top `size` terms by doc count (0 = all, sorted by count desc).
+  static Aggregation Terms(std::string field, std::size_t size = 0);
+  static Aggregation Histogram(std::string field, std::int64_t interval);
+  // Identical math to Histogram; named for parity with the ES DSL.
+  static Aggregation DateHistogram(std::string field, std::int64_t interval);
+  static Aggregation Stats(std::string field);
+  static Aggregation Percentiles(std::string field,
+                                 std::vector<double> percents);
+
+  // Attaches a named sub-aggregation (bucketed aggs only).
+  Aggregation& SubAgg(std::string name, Aggregation agg);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] const std::string& field() const { return field_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::int64_t interval() const { return interval_; }
+  [[nodiscard]] const std::vector<double>& percents() const {
+    return percents_;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, Aggregation>>& subs()
+      const {
+    return subs_;
+  }
+
+  // Parses the Elasticsearch aggregation DSL subset:
+  //   {"terms": {"field": "comm", "size": 5}, "aggs": {"<name>": {...}}}
+  //   {"histogram": {"field": "ret", "interval": 100}, "aggs": {...}}
+  //   {"date_histogram": {"field": "time_enter", "interval": 1000000}}
+  //   {"stats": {"field": "duration_ns"}}
+  //   {"percentiles": {"field": "duration_ns", "percents": [50, 99]}}
+  static Expected<Aggregation> FromJson(const Json& dsl);
+  static Expected<Aggregation> FromJsonText(std::string_view text);
+
+  // Executes against a set of documents (pointers remain owned by caller).
+  [[nodiscard]] AggResult Execute(
+      const std::vector<const Json*>& docs) const;
+
+ private:
+  explicit Aggregation(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::string field_;
+  std::size_t size_ = 0;
+  std::int64_t interval_ = 1;
+  std::vector<double> percents_;
+  std::vector<std::pair<std::string, Aggregation>> subs_;
+};
+
+}  // namespace dio::backend

@@ -1,0 +1,87 @@
+#include "backend/bulk_client.h"
+
+#include <chrono>
+
+#include "backend/correlation.h"
+
+namespace dio::backend {
+
+BulkClient::BulkClient(ElasticStore* store, std::string index,
+                       BulkClientOptions options, Clock* clock)
+    : store_(store),
+      index_(std::move(index)),
+      options_(options),
+      clock_(clock) {
+  sender_ = std::jthread([this](std::stop_token st) { SenderLoop(st); });
+}
+
+BulkClient::~BulkClient() {
+  Flush();
+  {
+    std::scoped_lock lock(mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  // jthread requests stop and joins.
+}
+
+void BulkClient::IndexBatch(std::vector<Json> documents) {
+  if (documents.empty()) return;
+  std::unique_lock lock(mu_);
+  queue_cv_.wait(lock, [this] {
+    return queue_.size() < options_.max_queued_batches || stopping_;
+  });
+  if (stopping_) return;
+  queue_.push_back(std::move(documents));
+  queue_cv_.notify_all();
+}
+
+void BulkClient::Flush() {
+  {
+    std::unique_lock lock(mu_);
+    drained_cv_.wait(lock, [this] { return queue_.empty() && !sending_; });
+  }
+  store_->Refresh(index_);
+  if (options_.auto_correlate) {
+    FilePathCorrelator correlator(store_);
+    (void)correlator.Run(index_);
+  }
+}
+
+void BulkClient::SenderLoop(const std::stop_token& stop) {
+  while (true) {
+    std::vector<Json> batch;
+    {
+      std::unique_lock lock(mu_);
+      queue_cv_.wait(lock, [this, &stop] {
+        return !queue_.empty() || stop.stop_requested() || stopping_;
+      });
+      if (queue_.empty()) {
+        if (stop.stop_requested() || stopping_) return;
+        continue;
+      }
+      batch = std::move(queue_.front());
+      queue_.pop_front();
+      sending_ = true;
+      queue_cv_.notify_all();
+    }
+    // Network hop to the backend server.
+    if (options_.network_latency_ns > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(options_.network_latency_ns));
+    }
+    store_->Bulk(index_, std::move(batch));
+    bool refresh = false;
+    {
+      std::scoped_lock lock(mu_);
+      ++batches_sent_;
+      sending_ = false;
+      refresh = options_.refresh_every_batches > 0 &&
+                batches_sent_ % options_.refresh_every_batches == 0;
+      if (queue_.empty()) drained_cv_.notify_all();
+    }
+    if (refresh) store_->Refresh(index_);
+  }
+}
+
+}  // namespace dio::backend

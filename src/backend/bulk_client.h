@@ -1,0 +1,76 @@
+// BulkClient: the tracer-side client for the backend (the go-elasticsearch
+// bulk API stand-in, §II-E). Batches are queued and shipped by a sender
+// thread after a configurable network latency, keeping indexing entirely off
+// the traced application's critical path (§II "Asynchronous event handling").
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "backend/store.h"
+#include "common/clock.h"
+#include "tracer/sink.h"
+
+namespace dio::backend {
+
+struct BulkClientOptions {
+  // Simulated one-way network latency to the backend server (the paper runs
+  // the pipeline on separate machines).
+  Nanos network_latency_ns = 200 * kMicrosecond;
+  // Bounded send queue: when full, the *sender* blocks (backpressure is
+  // absorbed by the tracer's ring buffers, not the application).
+  std::size_t max_queued_batches = 1024;
+  // Refresh the index after every N batches so data is searchable in
+  // near real-time (0 = only on Flush).
+  std::size_t refresh_every_batches = 8;
+  // §II-E: "The file path correlation algorithm can be automatically
+  // executed by the tracer or on-demand by users." When true, Flush() runs
+  // the correlation algorithm after refreshing, so file_path is populated
+  // without user intervention.
+  bool auto_correlate = false;
+};
+
+class BulkClient final : public tracer::EventSink {
+ public:
+  BulkClient(ElasticStore* store, std::string index,
+             BulkClientOptions options = {},
+             Clock* clock = SteadyClock::Instance());
+  ~BulkClient() override;
+
+  BulkClient(const BulkClient&) = delete;
+  BulkClient& operator=(const BulkClient&) = delete;
+
+  void IndexBatch(std::vector<Json> documents) override;
+  // Drains the queue, indexes everything, refreshes the index.
+  void Flush() override;
+
+  [[nodiscard]] std::uint64_t batches_sent() const {
+    std::scoped_lock lock(mu_);
+    return batches_sent_;
+  }
+  [[nodiscard]] const std::string& index() const { return index_; }
+
+ private:
+  void SenderLoop(const std::stop_token& stop);
+
+  ElasticStore* store_;
+  std::string index_;
+  BulkClientOptions options_;
+  Clock* clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable drained_cv_;
+  std::deque<std::vector<Json>> queue_;
+  std::uint64_t batches_sent_ = 0;
+  bool sending_ = false;  // a batch is in flight to the store
+  bool stopping_ = false;
+  std::jthread sender_;
+};
+
+}  // namespace dio::backend

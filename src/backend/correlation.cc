@@ -1,0 +1,51 @@
+#include "backend/correlation.h"
+
+namespace dio::backend {
+
+Expected<CorrelationStats> FilePathCorrelator::Run(const std::string& index) {
+  CorrelationStats stats;
+  tag_to_path_.clear();
+
+  // Step 1: harvest tag -> path from open-type events.
+  SearchRequest open_request;
+  open_request.query = Query::And({
+      Query::Terms("syscall", {Json("open"), Json("openat"), Json("creat")}),
+      Query::Exists("file_tag"),
+      Query::Exists("path"),
+  });
+  open_request.size = std::numeric_limits<std::size_t>::max();
+  auto open_events = store_->Search(index, open_request);
+  if (!open_events.ok()) return open_events.status();
+  for (const Hit& hit : open_events->hits) {
+    const std::string tag = hit.source.GetString("file_tag");
+    const std::string path = hit.source.GetString("path");
+    if (!tag.empty() && !path.empty()) {
+      tag_to_path_.emplace(tag, path);
+    }
+  }
+  stats.tags_discovered = tag_to_path_.size();
+
+  // Step 2: update every tagged event with the resolved path.
+  auto updated = store_->UpdateByQuery(
+      index, Query::Exists("file_tag"), [&](Json& doc) {
+        if (doc.Has("file_path")) return;
+        auto it = tag_to_path_.find(doc.GetString("file_tag"));
+        if (it != tag_to_path_.end()) {
+          doc.Set("file_path", it->second);
+        }
+      });
+  if (!updated.ok()) return updated.status();
+
+  // Step 3: count outcomes.
+  auto resolved = store_->Count(
+      index,
+      Query::And({Query::Exists("file_tag"), Query::Exists("file_path")}));
+  if (!resolved.ok()) return resolved.status();
+  auto tagged = store_->Count(index, Query::Exists("file_tag"));
+  if (!tagged.ok()) return tagged.status();
+  stats.events_updated = *resolved;
+  stats.events_unresolved = *tagged - *resolved;
+  return stats;
+}
+
+}  // namespace dio::backend

@@ -1,0 +1,449 @@
+#include "backend/store.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <mutex>
+
+namespace dio::backend {
+
+Expected<SearchRequest> SearchRequest::FromJson(const Json& body) {
+  if (!body.is_object()) {
+    return InvalidArgument("search body must be an object");
+  }
+  SearchRequest request;
+  for (const JsonMember& member : body.as_object()) {
+    const std::string& key = member.first;
+    const Json& value = member.second;
+    if (key == "query") {
+      auto query = Query::FromJson(value);
+      if (!query.ok()) return query.status();
+      request.query = std::move(query.value());
+    } else if (key == "sort") {
+      if (!value.is_array()) {
+        return InvalidArgument("sort must be an array");
+      }
+      for (const Json& spec : value.as_array()) {
+        if (spec.is_string()) {
+          request.sort.push_back({spec.as_string(), true});
+        } else if (spec.is_object() && spec.as_object().size() == 1) {
+          const auto& [field, opts] = spec.as_object().front();
+          const bool ascending = opts.GetString("order", "asc") != "desc";
+          request.sort.push_back({field, ascending});
+        } else {
+          return InvalidArgument("bad sort spec");
+        }
+      }
+    } else if (key == "from") {
+      if (!value.is_number() || value.as_int() < 0) {
+        return InvalidArgument("from must be a non-negative number");
+      }
+      request.from = static_cast<std::size_t>(value.as_int());
+    } else if (key == "size") {
+      if (!value.is_number() || value.as_int() < 0) {
+        return InvalidArgument("size must be a non-negative number");
+      }
+      request.size = static_cast<std::size_t>(value.as_int());
+    } else {
+      return InvalidArgument("unknown search body key: " + key);
+    }
+  }
+  return request;
+}
+
+Expected<SearchRequest> SearchRequest::FromJsonText(std::string_view text) {
+  auto parsed = Json::Parse(text);
+  if (!parsed.ok()) return parsed.status();
+  return FromJson(*parsed);
+}
+
+Status ElasticStore::CreateIndex(const std::string& name) {
+  std::unique_lock lock(indices_mu_);
+  if (indices_.contains(name)) {
+    return AlreadyExists("index exists: " + name);
+  }
+  indices_[name] = std::make_shared<Shard>();
+  return Status::Ok();
+}
+
+Status ElasticStore::DeleteIndex(const std::string& name) {
+  std::unique_lock lock(indices_mu_);
+  if (indices_.erase(name) == 0) return NotFound("no such index: " + name);
+  return Status::Ok();
+}
+
+std::vector<std::string> ElasticStore::ListIndices() const {
+  std::shared_lock lock(indices_mu_);
+  std::vector<std::string> names;
+  names.reserve(indices_.size());
+  for (const auto& [name, shard] : indices_) names.push_back(name);
+  return names;
+}
+
+bool ElasticStore::HasIndex(const std::string& name) const {
+  std::shared_lock lock(indices_mu_);
+  return indices_.contains(name);
+}
+
+std::shared_ptr<ElasticStore::Shard> ElasticStore::Find(
+    const std::string& name) {
+  std::shared_lock lock(indices_mu_);
+  auto it = indices_.find(name);
+  return it == indices_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const ElasticStore::Shard> ElasticStore::Find(
+    const std::string& name) const {
+  std::shared_lock lock(indices_mu_);
+  auto it = indices_.find(name);
+  return it == indices_.end() ? nullptr : it->second;
+}
+
+void ElasticStore::Bulk(const std::string& index, std::vector<Json> documents) {
+  std::shared_ptr<Shard> shard = Find(index);
+  if (shard == nullptr) {
+    // Auto-create (like ES with auto_create_index on).
+    {
+      std::unique_lock lock(indices_mu_);
+      auto it = indices_.find(index);
+      if (it == indices_.end()) {
+        indices_[index] = std::make_shared<Shard>();
+      }
+    }
+    shard = Find(index);
+  }
+  std::unique_lock lock(shard->mu);
+  ++shard->bulk_requests;
+  for (Json& doc : documents) {
+    shard->pending.push_back(std::move(doc));
+  }
+}
+
+std::string ElasticStore::TermKey(const Json& value) {
+  switch (value.type()) {
+    case Json::Type::kString: return "s:" + value.as_string();
+    case Json::Type::kInt: return "i:" + std::to_string(value.as_int());
+    case Json::Type::kDouble: {
+      // Integral doubles share the int key so term queries match across
+      // numeric types (like ES numeric coercion).
+      const double d = value.as_double();
+      const auto i = static_cast<std::int64_t>(d);
+      if (static_cast<double>(i) == d) return "i:" + std::to_string(i);
+      return "d:" + std::to_string(d);
+    }
+    case Json::Type::kBool: return value.as_bool() ? "b:1" : "b:0";
+    default: return "j:" + value.Dump();
+  }
+}
+
+void ElasticStore::IndexDoc(Shard& shard, DocId id, const Json& doc) {
+  if (!doc.is_object()) return;
+  for (const JsonMember& member : doc.as_object()) {
+    const std::string& field = member.first;
+    const Json& value = member.second;
+    if (value.is_array() || value.is_object() || value.is_null()) continue;
+    auto& postings = shard.terms[field][TermKey(value)];
+    if (postings.empty() || postings.back() != id) postings.push_back(id);
+    if (value.is_number()) {
+      shard.numerics[field].emplace_back(value.as_int(), id);
+      shard.numerics_dirty = true;
+    }
+  }
+}
+
+void ElasticStore::Refresh(const std::string& index) {
+  std::shared_ptr<Shard> shard = Find(index);
+  if (shard == nullptr) return;
+  std::unique_lock lock(shard->mu);
+  for (Json& doc : shard->pending) {
+    const DocId id = shard->docs.size();
+    shard->docs.push_back(std::move(doc));
+    IndexDoc(*shard, id, shard->docs.back());
+  }
+  shard->pending.clear();
+  if (shard->numerics_dirty) {
+    for (auto& [field, entries] : shard->numerics) {
+      std::sort(entries.begin(), entries.end());
+    }
+    shard->numerics_dirty = false;
+  }
+}
+
+void ElasticStore::RefreshAll() {
+  for (const std::string& name : ListIndices()) Refresh(name);
+}
+
+namespace {
+
+std::vector<DocId> Intersect(std::vector<DocId> a, std::vector<DocId> b) {
+  std::vector<DocId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<DocId> Union(std::vector<DocId> a, std::vector<DocId> b) {
+  std::vector<DocId> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+std::vector<DocId> Dedup(std::vector<DocId> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+std::optional<std::vector<DocId>> ElasticStore::Candidates(
+    const Shard& shard, const Query& query) {
+  switch (query.type()) {
+    case Query::Type::kTerm:
+    case Query::Type::kTerms: {
+      auto field_it = shard.terms.find(query.field());
+      if (field_it == shard.terms.end()) return std::vector<DocId>{};
+      std::vector<DocId> out;
+      for (const Json& value : query.values()) {
+        auto term_it = field_it->second.find(TermKey(value));
+        if (term_it != field_it->second.end()) {
+          out = Union(std::move(out), term_it->second);
+        }
+      }
+      return Dedup(std::move(out));
+    }
+    case Query::Type::kRange: {
+      if (shard.numerics_dirty) return std::nullopt;  // pending resort
+      auto field_it = shard.numerics.find(query.field());
+      if (field_it == shard.numerics.end()) return std::vector<DocId>{};
+      const auto& entries = field_it->second;
+      auto lo = entries.begin();
+      auto hi = entries.end();
+      if (query.gte().has_value()) {
+        lo = std::lower_bound(
+            entries.begin(), entries.end(),
+            std::make_pair(*query.gte(), std::numeric_limits<DocId>::min()));
+      }
+      if (query.lte().has_value()) {
+        hi = std::upper_bound(
+            entries.begin(), entries.end(),
+            std::make_pair(*query.lte(), std::numeric_limits<DocId>::max()));
+      }
+      std::vector<DocId> out;
+      out.reserve(static_cast<std::size_t>(std::distance(lo, hi)));
+      for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+      return Dedup(std::move(out));
+    }
+    case Query::Type::kPrefix: {
+      auto field_it = shard.terms.find(query.field());
+      if (field_it == shard.terms.end()) return std::vector<DocId>{};
+      const std::string key_prefix = "s:" + query.prefix();
+      std::vector<DocId> out;
+      for (const auto& [term, postings] : field_it->second) {
+        if (term.starts_with(key_prefix)) {
+          out = Union(std::move(out), postings);
+        }
+      }
+      return Dedup(std::move(out));
+    }
+    case Query::Type::kAnd: {
+      std::optional<std::vector<DocId>> narrowed;
+      for (const Query& clause : query.clauses()) {
+        auto candidates = Candidates(shard, clause);
+        if (!candidates.has_value()) continue;  // clause needs a scan
+        narrowed = narrowed.has_value()
+                       ? Intersect(std::move(*narrowed),
+                                   std::move(*candidates))
+                       : std::move(*candidates);
+      }
+      return narrowed;  // nullopt if no clause was indexable
+    }
+    case Query::Type::kOr: {
+      std::vector<DocId> out;
+      for (const Query& clause : query.clauses()) {
+        auto candidates = Candidates(shard, clause);
+        if (!candidates.has_value()) return std::nullopt;  // must scan
+        out = Union(std::move(out), std::move(*candidates));
+      }
+      return out;
+    }
+    case Query::Type::kMatchAll:
+    case Query::Type::kExists:
+    case Query::Type::kNot:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::vector<DocId> ElasticStore::MatchingDocs(const Shard& shard,
+                                              const Query& query) {
+  std::vector<DocId> matches;
+  auto candidates = Candidates(shard, query);
+  if (candidates.has_value()) {
+    for (DocId id : *candidates) {
+      if (id < shard.docs.size() && query.Matches(shard.docs[id])) {
+        matches.push_back(id);
+      }
+    }
+  } else {
+    for (DocId id = 0; id < shard.docs.size(); ++id) {
+      if (query.Matches(shard.docs[id])) matches.push_back(id);
+    }
+  }
+  return matches;
+}
+
+Expected<SearchResult> ElasticStore::Search(const std::string& index,
+                                            const SearchRequest& request) const {
+  const std::shared_ptr<const Shard> shard = Find(index);
+  if (shard == nullptr) return NotFound("no such index: " + index);
+  std::shared_lock lock(shard->mu);
+
+  std::vector<DocId> matches = MatchingDocs(*shard, request.query);
+
+  if (!request.sort.empty()) {
+    std::stable_sort(
+        matches.begin(), matches.end(), [&](DocId a, DocId b) {
+          for (const SortSpec& spec : request.sort) {
+            const Json* va = shard->docs[a].Find(spec.field);
+            const Json* vb = shard->docs[b].Find(spec.field);
+            // Missing values sort last regardless of direction.
+            if (va == nullptr && vb == nullptr) continue;
+            if (va == nullptr) return false;
+            if (vb == nullptr) return true;
+            int cmp = 0;
+            if (va->is_number() && vb->is_number()) {
+              const double da = va->as_double();
+              const double db = vb->as_double();
+              cmp = da < db ? -1 : (da > db ? 1 : 0);
+            } else if (va->is_string() && vb->is_string()) {
+              cmp = va->as_string().compare(vb->as_string());
+            }
+            if (cmp != 0) return spec.ascending ? cmp < 0 : cmp > 0;
+          }
+          return a < b;
+        });
+  }
+
+  SearchResult result;
+  result.total = matches.size();
+  const std::size_t start = std::min(request.from, matches.size());
+  const std::size_t end = std::min(start + request.size, matches.size());
+  result.hits.reserve(end - start);
+  for (std::size_t i = start; i < end; ++i) {
+    result.hits.push_back(Hit{matches[i], shard->docs[matches[i]]});
+  }
+  return result;
+}
+
+Expected<std::size_t> ElasticStore::Count(const std::string& index,
+                                          const Query& query) const {
+  const std::shared_ptr<const Shard> shard = Find(index);
+  if (shard == nullptr) return NotFound("no such index: " + index);
+  std::shared_lock lock(shard->mu);
+  return MatchingDocs(*shard, query).size();
+}
+
+Expected<AggResult> ElasticStore::Aggregate(const std::string& index,
+                                            const Query& query,
+                                            const Aggregation& agg) const {
+  const std::shared_ptr<const Shard> shard = Find(index);
+  if (shard == nullptr) return NotFound("no such index: " + index);
+  std::shared_lock lock(shard->mu);
+  std::vector<DocId> matches = MatchingDocs(*shard, query);
+  std::vector<const Json*> docs;
+  docs.reserve(matches.size());
+  for (DocId id : matches) docs.push_back(&shard->docs[id]);
+  return agg.Execute(docs);
+}
+
+Expected<std::size_t> ElasticStore::UpdateByQuery(
+    const std::string& index, const Query& query,
+    const std::function<void(Json&)>& update) {
+  std::shared_ptr<Shard> shard = Find(index);
+  if (shard == nullptr) return NotFound("no such index: " + index);
+  std::unique_lock lock(shard->mu);
+  std::vector<DocId> matches = MatchingDocs(*shard, query);
+  for (DocId id : matches) {
+    update(shard->docs[id]);
+    // Re-index the updated document: postings become a superset (stale
+    // entries are filtered by re-verification at query time).
+    IndexDoc(*shard, id, shard->docs[id]);
+    ++shard->updates;
+  }
+  if (shard->numerics_dirty) {
+    for (auto& [field, entries] : shard->numerics) {
+      std::sort(entries.begin(), entries.end());
+    }
+    shard->numerics_dirty = false;
+  }
+  return matches.size();
+}
+
+Expected<IndexStats> ElasticStore::Stats(const std::string& index) const {
+  const std::shared_ptr<const Shard> shard = Find(index);
+  if (shard == nullptr) return NotFound("no such index: " + index);
+  std::shared_lock lock(shard->mu);
+  IndexStats stats;
+  stats.doc_count = shard->docs.size();
+  stats.pending_count = shard->pending.size();
+  stats.bulk_requests = shard->bulk_requests;
+  stats.updates = shard->updates;
+  return stats;
+}
+
+Status ElasticStore::SaveIndex(const std::string& index,
+                               const std::string& file_path) const {
+  const std::shared_ptr<const Shard> shard = Find(index);
+  if (shard == nullptr) return NotFound("no such index: " + index);
+  std::ofstream out(file_path, std::ios::trunc);
+  if (!out) return Unavailable("cannot open for writing: " + file_path);
+  std::shared_lock lock(shard->mu);
+  Json header = Json::MakeObject();
+  header.Set("dio_index_snapshot", index);
+  header.Set("docs", static_cast<std::int64_t>(shard->docs.size()));
+  out << header.Dump() << "\n";
+  for (const Json& doc : shard->docs) {
+    out << doc.Dump() << "\n";
+  }
+  out.close();
+  if (!out) return Unavailable("write failed: " + file_path);
+  return Status::Ok();
+}
+
+Expected<std::string> ElasticStore::LoadIndex(const std::string& file_path,
+                                              const std::string& rename_to) {
+  std::ifstream in(file_path);
+  if (!in) return NotFound("cannot open snapshot: " + file_path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return InvalidArgument("empty snapshot: " + file_path);
+  }
+  auto header = Json::Parse(line);
+  if (!header.ok() || !header->Has("dio_index_snapshot")) {
+    return InvalidArgument("not a DIO index snapshot: " + file_path);
+  }
+  const std::string index = rename_to.empty()
+                                ? header->GetString("dio_index_snapshot")
+                                : rename_to;
+  if (HasIndex(index)) {
+    return AlreadyExists("index exists: " + index);
+  }
+  DIO_RETURN_IF_ERROR(CreateIndex(index));
+  std::vector<Json> batch;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto doc = Json::Parse(line);
+    if (!doc.ok()) {
+      (void)DeleteIndex(index);
+      return InvalidArgument("corrupt snapshot line: " + doc.status().message());
+    }
+    batch.push_back(std::move(doc.value()));
+  }
+  Bulk(index, std::move(batch));
+  Refresh(index);
+  return index;
+}
+
+}  // namespace dio::backend

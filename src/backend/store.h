@@ -1,0 +1,146 @@
+// ElasticStore: an embedded document store standing in for Elasticsearch
+// (§II-C). It reproduces the properties DIO depends on:
+//   * schemaless JSON documents ("distinct fields corresponding to syscall
+//     arguments"),
+//   * bulk indexing with near-real-time visibility (documents become
+//     searchable at the next refresh, like ES's refresh_interval),
+//   * term/range/prefix/bool queries with per-field inverted + numeric
+//     indexes,
+//   * aggregations (terms, histograms, percentiles) with sub-aggregations,
+//   * update-by-query, which the file-path correlation algorithm uses.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "backend/aggregation.h"
+#include "backend/query.h"
+#include "common/clock.h"
+#include "common/json.h"
+#include "common/status.h"
+
+namespace dio::backend {
+
+using DocId = std::uint64_t;
+
+struct Hit {
+  DocId id = 0;
+  Json source;
+};
+
+struct SortSpec {
+  std::string field;
+  bool ascending = true;
+};
+
+struct SearchRequest {
+  Query query = Query::MatchAll();
+  std::vector<SortSpec> sort;  // empty = docid (ingestion) order
+  std::size_t from = 0;
+  std::size_t size = 10'000;
+
+  // Parses an Elasticsearch-style search body:
+  //   {"query": {...}, "sort": ["time_enter", {"ret": {"order": "desc"}}],
+  //    "from": 0, "size": 100}
+  static Expected<SearchRequest> FromJson(const Json& body);
+  static Expected<SearchRequest> FromJsonText(std::string_view text);
+};
+
+struct SearchResult {
+  std::vector<Hit> hits;
+  std::size_t total = 0;  // matches before from/size paging
+};
+
+struct IndexStats {
+  std::size_t doc_count = 0;       // searchable documents
+  std::size_t pending_count = 0;   // bulked but not yet refreshed
+  std::uint64_t bulk_requests = 0;
+  std::uint64_t updates = 0;
+};
+
+class ElasticStore {
+ public:
+  ElasticStore() = default;
+
+  // Index management. Bulk() auto-creates missing indices (like ES).
+  Status CreateIndex(const std::string& name);
+  Status DeleteIndex(const std::string& name);
+  [[nodiscard]] std::vector<std::string> ListIndices() const;
+  [[nodiscard]] bool HasIndex(const std::string& name) const;
+
+  // Bulk ingestion: documents are buffered and become searchable at the
+  // next Refresh() (near-real-time semantics).
+  void Bulk(const std::string& index, std::vector<Json> documents);
+  // Makes all buffered documents searchable.
+  void Refresh(const std::string& index);
+  void RefreshAll();
+
+  [[nodiscard]] Expected<SearchResult> Search(const std::string& index,
+                                              const SearchRequest& request) const;
+  [[nodiscard]] Expected<std::size_t> Count(const std::string& index,
+                                            const Query& query) const;
+  [[nodiscard]] Expected<AggResult> Aggregate(const std::string& index,
+                                              const Query& query,
+                                              const Aggregation& agg) const;
+
+  // Applies `update` to every matching document; returns #updated.
+  Expected<std::size_t> UpdateByQuery(const std::string& index,
+                                      const Query& query,
+                                      const std::function<void(Json&)>& update);
+
+  [[nodiscard]] Expected<IndexStats> Stats(const std::string& index) const;
+
+  // Durable snapshots (post-mortem analysis across process restarts, §II):
+  // writes one JSON document per line, prefixed by a header line.
+  Status SaveIndex(const std::string& index, const std::string& file_path) const;
+  // Loads a snapshot into a new index named by the snapshot header (or
+  // `rename_to` if non-empty). Fails if the target index already exists.
+  Expected<std::string> LoadIndex(const std::string& file_path,
+                                  const std::string& rename_to = "");
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::vector<Json> docs;          // docid = position
+    std::vector<Json> pending;       // bulked, not yet refreshed
+    // term index: field -> canonical term -> posting list (docids,
+    // ascending). Postings may be stale supersets after updates; queries
+    // re-verify against the document.
+    std::unordered_map<std::string,
+                       std::unordered_map<std::string, std::vector<DocId>>>
+        terms;
+    // numeric index: field -> (value, docid) sorted by value.
+    std::unordered_map<std::string,
+                       std::vector<std::pair<std::int64_t, DocId>>>
+        numerics;
+    bool numerics_dirty = false;
+    std::uint64_t bulk_requests = 0;
+    std::uint64_t updates = 0;
+  };
+
+  static std::string TermKey(const Json& value);
+  static void IndexDoc(Shard& shard, DocId id, const Json& doc);
+  // Candidate docids for the query via indexes (superset of matches), or
+  // nullopt when the query cannot be served by an index (falls back to
+  // scanning). Caller verifies candidates with Query::Matches.
+  static std::optional<std::vector<DocId>> Candidates(const Shard& shard,
+                                                      const Query& query);
+  static std::vector<DocId> MatchingDocs(const Shard& shard,
+                                         const Query& query);
+
+  std::shared_ptr<Shard> Find(const std::string& name);
+  std::shared_ptr<const Shard> Find(const std::string& name) const;
+
+  mutable std::shared_mutex indices_mu_;
+  std::map<std::string, std::shared_ptr<Shard>> indices_;
+};
+
+}  // namespace dio::backend

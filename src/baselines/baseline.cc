@@ -1,0 +1,21 @@
+#include "baselines/baseline.h"
+
+namespace dio::baselines {
+
+Json TracerCapabilities::ToJson() const {
+  Json out = Json::MakeObject();
+  out.Set("name", name);
+  out.Set("syscall_info", syscall_info);
+  out.Set("f_offset", file_offset);
+  out.Set("f_type", file_type);
+  out.Set("proc_name", proc_name);
+  out.Set("filters", filters);
+  out.Set("pipeline", pipeline);
+  out.Set("customizable", customizable_analysis);
+  out.Set("predefined_vis", predefined_visualizations);
+  out.Set("usecase_data_loss", usecase_data_loss);
+  out.Set("usecase_contention", usecase_contention);
+  return out;
+}
+
+}  // namespace dio::baselines

@@ -1,0 +1,52 @@
+// Common interface the Table II / Table III / §III-D harnesses drive:
+// vanilla (no tracing), strace-sim, sysdig-sim, and DIO itself (adapter).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace dio::baselines {
+
+// Table III capability row, self-reported by each tracer implementation.
+struct TracerCapabilities {
+  std::string name;
+  bool syscall_info = false;   // type, args, return value
+  bool file_offset = false;    // f_offset enrichment
+  bool file_type = false;      // f_type enrichment
+  bool proc_name = false;      // process/thread name enrichment
+  bool filters = false;        // tracing-phase filtering
+  // Analysis pipeline integration: "-" none, "O" offline, "I" inline.
+  std::string pipeline = "-";
+  bool customizable_analysis = false;
+  bool predefined_visualizations = false;
+  // Use-case support: "" none, "T" traces the needed info, "TA" traces and
+  // provides the analysis to diagnose it.
+  std::string usecase_data_loss;     // §III-B
+  std::string usecase_contention;    // §III-C
+
+  [[nodiscard]] Json ToJson() const;
+};
+
+class TracerBaseline {
+ public:
+  virtual ~TracerBaseline() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual Status Start() = 0;
+  virtual void Stop() = 0;
+
+  [[nodiscard]] virtual TracerCapabilities capabilities() const = 0;
+
+  // Events fully captured (post-drop).
+  [[nodiscard]] virtual std::uint64_t events_captured() const = 0;
+  // Events lost anywhere in the pipeline.
+  [[nodiscard]] virtual std::uint64_t events_dropped() const = 0;
+  // Fraction of captured events for which the tracer cannot report the file
+  // path (§III-D: DIO <= 5%, Sysdig ~45%).
+  [[nodiscard]] virtual double pathless_ratio() const = 0;
+};
+
+}  // namespace dio::baselines

@@ -1,0 +1,56 @@
+#include "baselines/dio_adapter.h"
+
+namespace dio::baselines {
+
+DioAdapter::DioAdapter(os::Kernel* kernel, backend::ElasticStore* store,
+                       tracer::TracerOptions options,
+                       backend::BulkClientOptions client_options)
+    : kernel_(kernel), store_(store) {
+  client_ = std::make_unique<backend::BulkClient>(
+      store_, options.session_name, client_options, kernel_->clock());
+  tracer_ = std::make_unique<tracer::DioTracer>(kernel_, client_.get(),
+                                                std::move(options));
+}
+
+Status DioAdapter::Start() { return tracer_->Start(); }
+
+void DioAdapter::Stop() {
+  tracer_->Stop();
+  client_->Flush();
+}
+
+const std::string& DioAdapter::index() const { return tracer_->session(); }
+
+std::uint64_t DioAdapter::events_captured() const {
+  return tracer_->stats().emitted;
+}
+
+std::uint64_t DioAdapter::events_dropped() const {
+  const tracer::TracerStats stats = tracer_->stats();
+  return stats.ring_dropped + stats.pending_overflow;
+}
+
+double DioAdapter::pathless_ratio() const {
+  backend::FilePathCorrelator correlator(store_);
+  auto stats = correlator.Run(tracer_->session());
+  if (!stats.ok()) return 0.0;
+  return stats->unresolved_ratio();
+}
+
+TracerCapabilities DioAdapter::capabilities() const {
+  TracerCapabilities caps;
+  caps.name = "DIO";
+  caps.syscall_info = true;
+  caps.file_offset = true;
+  caps.file_type = true;
+  caps.proc_name = true;
+  caps.filters = true;
+  caps.pipeline = "I";  // inline, near real-time
+  caps.customizable_analysis = true;
+  caps.predefined_visualizations = true;
+  caps.usecase_data_loss = "TA";
+  caps.usecase_contention = "TA";
+  return caps;
+}
+
+}  // namespace dio::baselines

@@ -1,0 +1,46 @@
+// Adapter exposing the real DIO pipeline (tracer + backend + correlation)
+// through the baseline harness interface, so Table II / §III-D compare all
+// tracers uniformly.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "backend/bulk_client.h"
+#include "backend/correlation.h"
+#include "backend/store.h"
+#include "baselines/baseline.h"
+#include "tracer/tracer.h"
+
+namespace dio::baselines {
+
+class DioAdapter final : public TracerBaseline {
+ public:
+  // `kernel` and `store` must outlive the adapter: the owned bulk client
+  // flushes into the store during destruction.
+  DioAdapter(os::Kernel* kernel, backend::ElasticStore* store,
+             tracer::TracerOptions options,
+             backend::BulkClientOptions client_options = {});
+
+  [[nodiscard]] std::string name() const override { return "DIO"; }
+  Status Start() override;
+  void Stop() override;
+
+  [[nodiscard]] TracerCapabilities capabilities() const override;
+  [[nodiscard]] std::uint64_t events_captured() const override;
+  [[nodiscard]] std::uint64_t events_dropped() const override;
+  // Runs the file-path correlation algorithm, then reports the fraction of
+  // tagged events left without a resolved path.
+  [[nodiscard]] double pathless_ratio() const override;
+
+  [[nodiscard]] tracer::DioTracer& tracer() { return *tracer_; }
+  [[nodiscard]] const std::string& index() const;
+
+ private:
+  os::Kernel* kernel_;
+  backend::ElasticStore* store_;
+  std::unique_ptr<backend::BulkClient> client_;
+  std::unique_ptr<tracer::DioTracer> tracer_;
+};
+
+}  // namespace dio::baselines

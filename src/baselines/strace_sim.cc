@@ -1,0 +1,101 @@
+#include "baselines/strace_sim.h"
+
+namespace dio::baselines {
+
+namespace {
+void SpinFor(Clock* clock, Nanos duration) {
+  if (duration <= 0) return;
+  const Nanos deadline = clock->NowNanos() + duration;
+  while (clock->NowNanos() < deadline) {
+  }
+}
+}  // namespace
+
+StraceSim::StraceSim(os::Kernel* kernel, StraceOptions options)
+    : kernel_(kernel), options_(options) {}
+
+StraceSim::~StraceSim() { Stop(); }
+
+Status StraceSim::Start() {
+  if (started_) return FailedPrecondition("strace-sim already started");
+  started_ = true;
+  os::TracepointRegistry& registry = kernel_->tracepoints();
+  for (const os::SyscallDescriptor& desc : os::SyscallTable()) {
+    attachments_.push_back(registry.AttachEnter(
+        desc.nr, [this](const os::SysEnterContext& ctx) {
+          OnStop(ctx.nr, /*is_exit=*/false, ctx.args, 0, ctx.tid);
+        }));
+    attachments_.push_back(registry.AttachExit(
+        desc.nr, [this](const os::SysExitContext& ctx) {
+          OnStop(ctx.nr, /*is_exit=*/true, ctx.args, ctx.ret, ctx.tid);
+        }));
+  }
+  return Status::Ok();
+}
+
+void StraceSim::Stop() {
+  for (os::AttachId id : attachments_) {
+    kernel_->tracepoints().Detach(id);
+  }
+  attachments_.clear();
+  started_ = false;
+}
+
+void StraceSim::OnStop(os::SyscallNr nr, bool is_exit,
+                       const os::SyscallArgs* args, std::int64_t ret,
+                       os::Tid tid) {
+  // The tracee traps and the single-threaded tracer serializes all stops.
+  std::scoped_lock lock(tracer_mu_);
+  SpinFor(kernel_->clock(), options_.per_stop_cost_ns);
+  if (!is_exit) return;  // the line is emitted at syscall exit
+
+  events_.fetch_add(1, std::memory_order_relaxed);
+  std::string line = "[tid ";
+  line += std::to_string(tid);
+  line += "] ";
+  line += os::SyscallName(nr);
+  line += "(";
+  if (args != nullptr && !args->path.empty()) {
+    line += "\"" + args->path + "\"";
+    with_path_.fetch_add(1, std::memory_order_relaxed);
+  } else if (args != nullptr && args->fd != os::kNoFd) {
+    line += std::to_string(args->fd);
+  }
+  line += ") = ";
+  line += std::to_string(ret);
+  if (output_.size() < options_.max_output_lines) {
+    output_.push_back(std::move(line));
+  }
+}
+
+double StraceSim::pathless_ratio() const {
+  const std::uint64_t total = events_.load(std::memory_order_relaxed);
+  if (total == 0) return 0.0;
+  const std::uint64_t with_path = with_path_.load(std::memory_order_relaxed);
+  return 1.0 - static_cast<double>(with_path) / static_cast<double>(total);
+}
+
+std::vector<std::string> StraceSim::output_tail(std::size_t n) const {
+  std::scoped_lock lock(tracer_mu_);
+  const std::size_t start = output_.size() > n ? output_.size() - n : 0;
+  return {output_.begin() + static_cast<std::ptrdiff_t>(start),
+          output_.end()};
+}
+
+TracerCapabilities StraceSim::capabilities() const {
+  TracerCapabilities caps;
+  caps.name = "strace";
+  caps.syscall_info = true;
+  caps.file_offset = false;
+  caps.file_type = false;
+  caps.proc_name = false;
+  caps.filters = true;  // -e trace=..., -p pid
+  caps.pipeline = "-";
+  caps.customizable_analysis = false;
+  caps.predefined_visualizations = false;
+  caps.usecase_data_loss = "";   // cannot observe fd offsets
+  caps.usecase_contention = "T";
+  return caps;
+}
+
+}  // namespace dio::baselines

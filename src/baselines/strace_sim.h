@@ -1,0 +1,70 @@
+// strace-sim: a ptrace-style tracer baseline.
+//
+// Why strace is slow (§III-D / [11] Gebai & Dagenais): every syscall stops
+// the tracee twice (entry + exit); each stop traps to the kernel, context-
+// switches to the single-threaded tracer process, which decodes and writes a
+// text line, then resumes the tracee. We reproduce both costs:
+//   * a fixed per-stop penalty on the traced thread (trap + 2 context
+//     switches), busy-waited because it sits ON the critical path, and
+//   * serialization: one tracer handles all threads' stops, so concurrent
+//     syscalls queue on the tracer's lock — which is what hides concurrency
+//     effects in multithreaded workloads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "common/clock.h"
+#include "oskernel/kernel.h"
+
+namespace dio::baselines {
+
+struct StraceOptions {
+  // Cost of one ptrace stop: trap, two context switches to/from the
+  // tracer, and the tracer's decode+format work. ~10us is representative of
+  // full ptrace round trips on commodity hardware (Gebai & Dagenais [11]).
+  Nanos per_stop_cost_ns = 10 * kMicrosecond;
+  // Cap on retained output lines (memory bound for long runs).
+  std::size_t max_output_lines = 1u << 20;
+};
+
+class StraceSim final : public TracerBaseline {
+ public:
+  StraceSim(os::Kernel* kernel, StraceOptions options = {});
+  ~StraceSim() override;
+
+  [[nodiscard]] std::string name() const override { return "strace"; }
+  Status Start() override;
+  void Stop() override;
+
+  [[nodiscard]] TracerCapabilities capabilities() const override;
+  [[nodiscard]] std::uint64_t events_captured() const override {
+    return events_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t events_dropped() const override { return 0; }
+  // strace prints path arguments but has no fd -> path resolution at all.
+  [[nodiscard]] double pathless_ratio() const override;
+
+  [[nodiscard]] std::vector<std::string> output_tail(std::size_t n) const;
+
+ private:
+  void OnStop(os::SyscallNr nr, bool is_exit, const os::SyscallArgs* args,
+              std::int64_t ret, os::Tid tid);
+
+  os::Kernel* kernel_;
+  StraceOptions options_;
+  // ptrace stand-in: hooks installed directly on the syscall tracepoints.
+  std::vector<os::AttachId> attachments_;
+  std::atomic<std::uint64_t> events_{0};
+  std::atomic<std::uint64_t> with_path_{0};
+
+  mutable std::mutex tracer_mu_;  // the single-threaded tracer process
+  std::vector<std::string> output_;
+  bool started_ = false;
+};
+
+}  // namespace dio::baselines

@@ -1,0 +1,23 @@
+// Vanilla baseline: no tracing at all (the Table II reference row).
+#pragma once
+
+#include "baselines/baseline.h"
+
+namespace dio::baselines {
+
+class Vanilla final : public TracerBaseline {
+ public:
+  [[nodiscard]] std::string name() const override { return "vanilla"; }
+  Status Start() override { return Status::Ok(); }
+  void Stop() override {}
+  [[nodiscard]] TracerCapabilities capabilities() const override {
+    TracerCapabilities caps;
+    caps.name = "vanilla";
+    return caps;
+  }
+  [[nodiscard]] std::uint64_t events_captured() const override { return 0; }
+  [[nodiscard]] std::uint64_t events_dropped() const override { return 0; }
+  [[nodiscard]] double pathless_ratio() const override { return 0.0; }
+};
+
+}  // namespace dio::baselines

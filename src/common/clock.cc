@@ -1,0 +1,18 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace dio {
+
+Nanos SteadyClock::NowNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+SteadyClock* SteadyClock::Instance() {
+  static SteadyClock clock;
+  return &clock;
+}
+
+}  // namespace dio

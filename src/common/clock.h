@@ -1,0 +1,50 @@
+// Clock abstraction: the whole system reads time through a Clock* so tests
+// can inject a ManualClock while experiments run on the steady clock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace dio {
+
+// Nanoseconds since an arbitrary (monotonic) epoch.
+using Nanos = std::int64_t;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual Nanos NowNanos() const = 0;
+};
+
+// Wraps std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+ public:
+  [[nodiscard]] Nanos NowNanos() const override;
+
+  // Process-wide instance; never destroyed concerns do not apply (static).
+  static SteadyClock* Instance();
+};
+
+// Manually advanced clock for deterministic tests.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(Nanos start = 0) : now_(start) {}
+
+  [[nodiscard]] Nanos NowNanos() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void AdvanceNanos(Nanos delta) {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void SetNanos(Nanos value) { now_.store(value, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<Nanos> now_;
+};
+
+// Convenience literals.
+constexpr Nanos kMicrosecond = 1'000;
+constexpr Nanos kMillisecond = 1'000'000;
+constexpr Nanos kSecond = 1'000'000'000;
+
+}  // namespace dio

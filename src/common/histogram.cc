@@ -1,0 +1,120 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace dio {
+
+Histogram::Histogram()
+    : buckets_(static_cast<std::size_t>(kBucketGroups) * kSubBuckets, 0) {}
+
+std::size_t Histogram::BucketFor(std::int64_t value) {
+  if (value < 0) value = 0;
+  const auto uv = static_cast<std::uint64_t>(value);
+  if (uv < kSubBuckets) return static_cast<std::size_t>(uv);
+  const int msb = 63 - std::countl_zero(uv);
+  const int group = msb - kSubBucketBits + 1;
+  const auto sub =
+      static_cast<std::size_t>((uv >> (msb - kSubBucketBits)) & (kSubBuckets - 1));
+  const std::size_t idx = static_cast<std::size_t>(group) * kSubBuckets + sub;
+  return std::min(idx, static_cast<std::size_t>(kBucketGroups) * kSubBuckets - 1);
+}
+
+std::int64_t Histogram::BucketMidpoint(std::size_t bucket) {
+  const std::size_t group = bucket / kSubBuckets;
+  const std::size_t sub = bucket % kSubBuckets;
+  if (group == 0) return static_cast<std::int64_t>(sub);
+  const int shift = static_cast<int>(group) - 1;
+  const std::uint64_t base = (static_cast<std::uint64_t>(kSubBuckets) + sub)
+                             << shift;
+  const std::uint64_t width = 1ULL << shift;
+  return static_cast<std::int64_t>(base + width / 2);
+}
+
+void Histogram::Record(std::int64_t value) { RecordN(value, 1); }
+
+void Histogram::RecordN(std::int64_t value, std::int64_t count) {
+  if (count <= 0) return;
+  buckets_[BucketFor(value)] += count;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  for (std::int64_t i = 0; i < count; ++i) {
+    ++count_;
+    sum_ += value;
+    const double delta = static_cast<double>(value) - mean_acc_;
+    mean_acc_ += delta / static_cast<double>(count_);
+    m2_acc_ += delta * (static_cast<double>(value) - mean_acc_);
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  // Parallel-variance merge (Chan et al.).
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_acc_ - mean_acc_;
+  const double n = n1 + n2;
+  mean_acc_ += delta * n2 / n;
+  m2_acc_ += other.m2_acc_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::stddev() const {
+  if (count_ < 2) return 0.0;
+  return std::sqrt(m2_acc_ / static_cast<double>(count_ - 1));
+}
+
+std::int64_t Histogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::int64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::clamp(BucketMidpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  mean_acc_ = 0.0;
+  m2_acc_ = 0.0;
+  min_ = 0;
+  max_ = 0;
+}
+
+std::string Histogram::Summary() const {
+  std::string out;
+  out += "count=" + std::to_string(count_);
+  out += " mean=" + FormatFixed(mean(), 1) + "ns";
+  out += " p50=" + std::to_string(p50()) + "ns";
+  out += " p99=" + std::to_string(p99()) + "ns";
+  out += " max=" + std::to_string(max()) + "ns";
+  return out;
+}
+
+}  // namespace dio

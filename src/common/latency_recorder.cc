@@ -1,0 +1,47 @@
+#include "common/latency_recorder.h"
+
+namespace dio {
+
+WindowedLatencyRecorder::WindowedLatencyRecorder(Clock* clock, Nanos window)
+    : clock_(clock), window_(window <= 0 ? kSecond : window),
+      origin_(clock_->NowNanos()) {}
+
+void WindowedLatencyRecorder::Record(Nanos latency) {
+  const Nanos now = clock_->NowNanos();
+  const Nanos offset = now - origin_;
+  const Nanos start = origin_ + (offset / window_) * window_;
+  std::scoped_lock lock(mu_);
+  if (slots_.empty() || slots_.back().start < start) {
+    slots_.push_back(Slot{start, Histogram{}});
+  }
+  // Late arrivals (rare, bounded by thread scheduling) fold into the most
+  // recent window.
+  slots_.back().hist.Record(latency);
+  total_.Record(latency);
+}
+
+std::vector<LatencyWindow> WindowedLatencyRecorder::Windows() const {
+  std::scoped_lock lock(mu_);
+  std::vector<LatencyWindow> out;
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    LatencyWindow w;
+    w.window_start = slot.start - origin_;
+    w.count = slot.hist.count();
+    w.p50 = slot.hist.p50();
+    w.p99 = slot.hist.p99();
+    w.max = slot.hist.max();
+    w.throughput_ops_per_sec =
+        static_cast<double>(slot.hist.count()) /
+        (static_cast<double>(window_) / static_cast<double>(kSecond));
+    out.push_back(w);
+  }
+  return out;
+}
+
+Histogram WindowedLatencyRecorder::Total() const {
+  std::scoped_lock lock(mu_);
+  return total_;
+}
+
+}  // namespace dio

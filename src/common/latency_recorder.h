@@ -1,0 +1,55 @@
+// Windowed latency recorder: maintains per-time-window histograms so the
+// Fig. 3 harness can report the 99th percentile over time for client
+// operations, exactly as the paper plots it.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/histogram.h"
+
+namespace dio {
+
+struct LatencyWindow {
+  Nanos window_start = 0;
+  std::int64_t count = 0;
+  std::int64_t p50 = 0;
+  std::int64_t p99 = 0;
+  std::int64_t max = 0;
+  double throughput_ops_per_sec = 0.0;
+};
+
+class WindowedLatencyRecorder {
+ public:
+  // `window` is the bucketing granularity for the time series.
+  WindowedLatencyRecorder(Clock* clock, Nanos window);
+
+  // Thread-safe; `latency` in nanoseconds, stamped at completion time.
+  void Record(Nanos latency);
+
+  // Snapshot of all closed + current windows, in time order.
+  [[nodiscard]] std::vector<LatencyWindow> Windows() const;
+
+  // Aggregate over the whole run.
+  [[nodiscard]] Histogram Total() const;
+
+  [[nodiscard]] Nanos window() const { return window_; }
+
+ private:
+  struct Slot {
+    Nanos start;
+    Histogram hist;
+  };
+
+  Clock* clock_;
+  Nanos window_;
+  Nanos origin_;
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;
+  Histogram total_;
+};
+
+}  // namespace dio

@@ -1,0 +1,41 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace dio::log {
+
+namespace {
+std::atomic<int> g_min_level{static_cast<int>(Level::kInfo)};
+std::mutex g_write_mu;
+
+std::string_view LevelName(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetMinLevel(Level level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+Level MinLevel() {
+  return static_cast<Level>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void Write(Level level, std::string_view message) {
+  std::scoped_lock lock(g_write_mu);
+  std::fprintf(stderr, "[%.*s] %.*s\n",
+               static_cast<int>(LevelName(level).size()),
+               LevelName(level).data(), static_cast<int>(message.size()),
+               message.data());
+}
+
+}  // namespace dio::log

@@ -1,0 +1,57 @@
+// Tiny leveled logger. Thread-safe, writes to stderr. Intended for tool
+// diagnostics, not the event hot path (events go through the ring buffer).
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace dio::log {
+
+enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void SetMinLevel(Level level);
+[[nodiscard]] Level MinLevel();
+
+void Write(Level level, std::string_view message);
+
+namespace internal {
+inline void AppendAll(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void AppendAll(std::ostringstream& os, const T& first, const Rest&... rest) {
+  os << first;
+  AppendAll(os, rest...);
+}
+}  // namespace internal
+
+template <typename... Args>
+void Debug(const Args&... args) {
+  if (MinLevel() > Level::kDebug) return;
+  std::ostringstream os;
+  internal::AppendAll(os, args...);
+  Write(Level::kDebug, os.str());
+}
+
+template <typename... Args>
+void Info(const Args&... args) {
+  if (MinLevel() > Level::kInfo) return;
+  std::ostringstream os;
+  internal::AppendAll(os, args...);
+  Write(Level::kInfo, os.str());
+}
+
+template <typename... Args>
+void Warn(const Args&... args) {
+  if (MinLevel() > Level::kWarn) return;
+  std::ostringstream os;
+  internal::AppendAll(os, args...);
+  Write(Level::kWarn, os.str());
+}
+
+template <typename... Args>
+void Error(const Args&... args) {
+  std::ostringstream os;
+  internal::AppendAll(os, args...);
+  Write(Level::kError, os.str());
+}
+
+}  // namespace dio::log

@@ -1,0 +1,55 @@
+// Small, fast, seedable PRNG (xoshiro256**) for workload generators.
+// Header-only; each generator instance is single-threaded by design.
+#pragma once
+
+#include <cstdint>
+
+namespace dio {
+
+class Random {
+ public:
+  explicit Random(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding.
+    std::uint64_t z = seed;
+    for (auto& word : state_) {
+      z += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+      word = x ^ (x >> 31);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound).
+  std::uint64_t Uniform(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    return Next() % bound;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  bool OneIn(std::uint64_t n) { return n != 0 && Uniform(n) == 0; }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace dio

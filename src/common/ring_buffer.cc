@@ -1,0 +1,100 @@
+#include "common/ring_buffer.h"
+
+#include <bit>
+#include <cstring>
+
+namespace dio {
+
+namespace {
+std::size_t RoundUpPow2(std::size_t v) {
+  if (v < 64) v = 64;
+  return std::bit_ceil(v);
+}
+}  // namespace
+
+ByteRingBuffer::ByteRingBuffer(std::size_t capacity_bytes)
+    : capacity_(RoundUpPow2(capacity_bytes)),
+      mask_(capacity_ - 1),
+      data_(capacity_) {}
+
+bool ByteRingBuffer::TryPush(std::span<const std::byte> record) {
+  const std::size_t payload = record.size();
+  // Header + payload, rounded to 8 bytes so headers never wrap and stay
+  // naturally aligned (capacity is a power of two >= 64).
+  const std::size_t need = (kHeaderSize + payload + kAlign - 1) & ~(kAlign - 1);
+  if (need > capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  std::uint64_t head = head_.load(std::memory_order_relaxed);
+  while (true) {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head + need - tail > capacity_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (head_.compare_exchange_weak(head, head + need,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+      break;
+    }
+  }
+
+  // Write header (contiguous by construction), then payload, then commit.
+  auto* hdr = reinterpret_cast<RecordHeader*>(&data_[Index(head)]);
+  hdr->length = static_cast<std::uint32_t>(payload);
+  const std::size_t payload_start = Index(head + kHeaderSize);
+  const std::size_t first_chunk =
+      std::min(payload, capacity_ - payload_start);
+  if (first_chunk > 0) {
+    std::memcpy(&data_[payload_start], record.data(), first_chunk);
+  }
+  if (payload > first_chunk) {
+    std::memcpy(&data_[0], record.data() + first_chunk,
+                payload - first_chunk);
+  }
+  // Publish: committed flag release-stores after the payload writes.
+  reinterpret_cast<std::atomic<std::uint32_t>*>(&hdr->committed)
+      ->store(1, std::memory_order_release);
+  pushed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ByteRingBuffer::TryPop(std::vector<std::byte>& out) {
+  const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  if (tail == head) return false;
+
+  auto* hdr = reinterpret_cast<RecordHeader*>(&data_[Index(tail)]);
+  const std::uint32_t committed =
+      reinterpret_cast<std::atomic<std::uint32_t>*>(&hdr->committed)
+          ->load(std::memory_order_acquire);
+  if (committed == 0) return false;  // producer still writing this record
+
+  const std::size_t payload = hdr->length;
+  out.resize(payload);
+  const std::size_t payload_start = Index(tail + kHeaderSize);
+  const std::size_t first_chunk =
+      std::min(payload, capacity_ - payload_start);
+  if (first_chunk > 0) {
+    std::memcpy(out.data(), &data_[payload_start], first_chunk);
+  }
+  if (payload > first_chunk) {
+    std::memcpy(out.data() + first_chunk, &data_[0], payload - first_chunk);
+  }
+  // Reset the commit flag so a future lap of the ring starts uncommitted.
+  reinterpret_cast<std::atomic<std::uint32_t>*>(&hdr->committed)
+      ->store(0, std::memory_order_relaxed);
+  const std::size_t need = (kHeaderSize + payload + kAlign - 1) & ~(kAlign - 1);
+  tail_.store(tail + need, std::memory_order_release);
+  return true;
+}
+
+std::size_t ByteRingBuffer::ApproxBytesUsed() const {
+  const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  return static_cast<std::size_t>(head - tail);
+}
+
+}  // namespace dio

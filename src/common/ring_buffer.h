@@ -1,0 +1,67 @@
+// MPSC byte ring buffer modelled after the BPF ring buffer (BPF_MAP_TYPE_RINGBUF):
+//  - multiple producers reserve space with a CAS on the head cursor,
+//  - each record carries a header with its length and a commit flag,
+//  - a single consumer walks records in order and stops at the first
+//    uncommitted record,
+//  - when the buffer is full the record is DROPPED and a counter incremented —
+//    this is the §III-D behaviour ("new I/O events ... are discarded").
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dio {
+
+class ByteRingBuffer {
+ public:
+  // `capacity_bytes` is rounded up to a power of two, minimum 64.
+  explicit ByteRingBuffer(std::size_t capacity_bytes);
+
+  ByteRingBuffer(const ByteRingBuffer&) = delete;
+  ByteRingBuffer& operator=(const ByteRingBuffer&) = delete;
+
+  // Producer side. Returns false (and counts a drop) if there is no room.
+  // Thread-safe for concurrent producers.
+  bool TryPush(std::span<const std::byte> record);
+
+  // Consumer side. Single consumer only. Appends the record payload to `out`
+  // and returns true, or returns false if no committed record is available.
+  bool TryPop(std::vector<std::byte>& out);
+
+  // Number of committed-but-unconsumed bytes (approximate under concurrency).
+  [[nodiscard]] std::size_t ApproxBytesUsed() const;
+
+  [[nodiscard]] std::size_t capacity_bytes() const { return capacity_; }
+  [[nodiscard]] std::uint64_t dropped_records() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t pushed_records() const {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct RecordHeader {
+    std::uint32_t length;     // payload bytes
+    std::uint32_t committed;  // 0 while being written, 1 when readable
+  };
+  static constexpr std::size_t kHeaderSize = sizeof(RecordHeader);
+  static constexpr std::size_t kAlign = 8;
+
+  [[nodiscard]] std::size_t Index(std::uint64_t cursor) const {
+    return static_cast<std::size_t>(cursor) & mask_;
+  }
+
+  std::size_t capacity_;
+  std::size_t mask_;
+  std::vector<std::byte> data_;
+  // head_: next byte to reserve (producers). tail_: next byte to read.
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> pushed_{0};
+};
+
+}  // namespace dio

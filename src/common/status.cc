@@ -1,0 +1,67 @@
+#include "common/status.h"
+
+namespace dio {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+Status InvalidArgument(std::string msg) {
+  return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+Status NotFound(std::string msg) {
+  return {ErrorCode::kNotFound, std::move(msg)};
+}
+Status AlreadyExists(std::string msg) {
+  return {ErrorCode::kAlreadyExists, std::move(msg)};
+}
+Status OutOfRange(std::string msg) {
+  return {ErrorCode::kOutOfRange, std::move(msg)};
+}
+Status ResourceExhausted(std::string msg) {
+  return {ErrorCode::kResourceExhausted, std::move(msg)};
+}
+Status FailedPrecondition(std::string msg) {
+  return {ErrorCode::kFailedPrecondition, std::move(msg)};
+}
+Status Unavailable(std::string msg) {
+  return {ErrorCode::kUnavailable, std::move(msg)};
+}
+Status PermissionDenied(std::string msg) {
+  return {ErrorCode::kPermissionDenied, std::move(msg)};
+}
+Status Unimplemented(std::string msg) {
+  return {ErrorCode::kUnimplemented, std::move(msg)};
+}
+Status Internal(std::string msg) {
+  return {ErrorCode::kInternal, std::move(msg)};
+}
+
+}  // namespace dio

@@ -1,0 +1,121 @@
+// Status / Expected: error propagation without exceptions on fallible paths.
+//
+// Follows the Core Guidelines split: exceptions are reserved for programmer
+// errors and construction failures; everything that can fail at runtime in a
+// recoverable way returns a Status or an Expected<T>.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace dio {
+
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kPermissionDenied,
+  kUnimplemented,
+  kInternal,
+};
+
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A cheap value type describing the outcome of an operation.
+class Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  [[nodiscard]] bool ok() const { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+Status InvalidArgument(std::string msg);
+Status NotFound(std::string msg);
+Status AlreadyExists(std::string msg);
+Status OutOfRange(std::string msg);
+Status ResourceExhausted(std::string msg);
+Status FailedPrecondition(std::string msg);
+Status Unavailable(std::string msg);
+Status PermissionDenied(std::string msg);
+Status Unimplemented(std::string msg);
+Status Internal(std::string msg);
+
+// Expected<T>: either a T or a non-ok Status. Accessing value() on an error
+// is a programmer error and aborts.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : rep_(std::move(value)) {}  // NOLINT: implicit by design
+  Expected(Status status) : rep_(std::move(status)) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(rep_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    Check();
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T& value() & {
+    Check();
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T&& value() && {
+    Check();
+    return std::get<T>(std::move(rep_));
+  }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+  [[nodiscard]] Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  void Check() const {
+    if (!ok()) std::abort();
+  }
+  std::variant<T, Status> rep_;
+};
+
+// Propagate a non-ok Status from an expression that yields Status.
+#define DIO_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::dio::Status dio_status_ = (expr);            \
+    if (!dio_status_.ok()) return dio_status_;     \
+  } while (false)
+
+}  // namespace dio

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dio {
+
+// Splits on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view input, char sep);
+
+// Splits on `sep`, trimming whitespace and dropping empty fields.
+std::vector<std::string> SplitAndTrim(std::string_view input, char sep);
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+std::string_view TrimWhitespace(std::string_view s);
+
+std::string ToLower(std::string_view s);
+
+// "1,234,567" style thousands separators, used by table renderers to match
+// the paper's timestamp formatting.
+std::string WithThousandsSeparators(std::int64_t value);
+
+// Fixed-point decimal string, e.g. FormatFixed(1.3721, 2) == "1.37".
+std::string FormatFixed(double value, int decimals);
+
+// "03h48m" style duration formatting used by the Table II harness.
+std::string FormatHoursMinutes(double seconds);
+
+// FNV-1a 64-bit hash.
+std::uint64_t Fnv1a(std::string_view data);
+
+}  // namespace dio

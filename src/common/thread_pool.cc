@@ -1,0 +1,70 @@
+#include "common/thread_pool.h"
+
+namespace dio {
+
+ThreadPool::ThreadPool(
+    std::size_t num_threads, std::string name_prefix,
+    std::function<void(std::size_t, const std::string&)> on_thread_start)
+    : on_thread_start_(std::move(on_thread_start)) {
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    std::string name = name_prefix + std::to_string(i);
+    threads_.emplace_back(
+        [this, i, name] { WorkerLoop(i, name); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  // jthread joins in destructor.
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::scoped_lock lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Drain() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::scoped_lock lock(mu_);
+  return queue_.size();
+}
+
+std::size_t ThreadPool::active_workers() const {
+  std::scoped_lock lock(mu_);
+  return active_;
+}
+
+void ThreadPool::WorkerLoop(std::size_t index, const std::string& name) {
+  if (on_thread_start_) on_thread_start_(index, name);
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::scoped_lock lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace dio

@@ -1,0 +1,54 @@
+// Fixed-size thread pool with named worker threads.
+//
+// The LSM store uses two pools mirroring RocksDB's: a high-priority pool
+// (flushes, named "rocksdb:high0") and a low-priority pool (compactions,
+// named "rocksdb:low0".."low6"). Names matter: DIO aggregates Fig. 4 by
+// thread name.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dio {
+
+class ThreadPool {
+ public:
+  // `name_prefix` yields thread names "<prefix><index>".
+  // `on_thread_start(index, name)` runs in each worker before its loop —
+  // used to register the thread with the OS substrate.
+  ThreadPool(std::size_t num_threads, std::string name_prefix,
+             std::function<void(std::size_t, const std::string&)>
+                 on_thread_start = {});
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and all workers are idle.
+  void Drain();
+
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] std::size_t num_threads() const { return threads_.size(); }
+  [[nodiscard]] std::size_t active_workers() const;
+
+ private:
+  void WorkerLoop(std::size_t index, const std::string& name);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::function<void(std::size_t, const std::string&)> on_thread_start_;
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace dio

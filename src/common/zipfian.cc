@@ -1,0 +1,48 @@
+#include "common/zipfian.h"
+
+#include <cmath>
+
+namespace dio {
+
+double ZipfianGenerator::ZetaStatic(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t num_items, double theta,
+                                   std::uint64_t seed)
+    : num_items_(num_items == 0 ? 1 : num_items),
+      theta_(theta),
+      zeta_n_(ZetaStatic(num_items_, theta)),
+      alpha_(1.0 / (1.0 - theta)),
+      eta_((1.0 - std::pow(2.0 / static_cast<double>(num_items_), 1.0 - theta)) /
+           (1.0 - ZetaStatic(2, theta) / zeta_n_)),
+      zeta2_theta_(ZetaStatic(2, theta)),
+      rng_(seed) {}
+
+std::uint64_t ZipfianGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zeta_n_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto value = static_cast<std::uint64_t>(
+      static_cast<double>(num_items_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return value >= num_items_ ? num_items_ - 1 : value;
+}
+
+std::uint64_t ScrambledZipfianGenerator::Next() {
+  const std::uint64_t v = zipf_.Next();
+  // FNV-1a-style 64-bit scrambling.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (v >> (i * 8)) & 0xFF;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash % num_items_;
+}
+
+}  // namespace dio

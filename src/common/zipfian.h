@@ -1,0 +1,50 @@
+// YCSB-style Zipfian and scrambled-Zipfian key generators (Gray et al.),
+// used by the db_bench workload driver for YCSB-A (§III-C).
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace dio {
+
+class ZipfianGenerator {
+ public:
+  static constexpr double kDefaultTheta = 0.99;
+
+  ZipfianGenerator(std::uint64_t num_items, double theta = kDefaultTheta,
+                   std::uint64_t seed = 42);
+
+  // Returns a value in [0, num_items). Lower values are hotter.
+  std::uint64_t Next();
+
+  [[nodiscard]] std::uint64_t num_items() const { return num_items_; }
+
+ private:
+  static double ZetaStatic(std::uint64_t n, double theta);
+
+  std::uint64_t num_items_;
+  double theta_;
+  double zeta_n_;
+  double alpha_;
+  double eta_;
+  double zeta2_theta_;
+  Random rng_;
+};
+
+// Scrambles the Zipfian output with a hash so hot keys are spread over the
+// keyspace (YCSB's ScrambledZipfianGenerator).
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(std::uint64_t num_items,
+                            std::uint64_t seed = 42)
+      : num_items_(num_items), zipf_(num_items, ZipfianGenerator::kDefaultTheta, seed) {}
+
+  std::uint64_t Next();
+
+ private:
+  std::uint64_t num_items_;
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace dio

@@ -1,0 +1,138 @@
+// Bounded eBPF-style maps.
+//
+// Real BPF maps have a fixed max_entries declared at load time and fail
+// inserts when full — a failure mode the DIO tracer inherits (a full pending
+// map means an entry/exit pair cannot be aggregated and the event is lost).
+// We reproduce exactly that contract.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace dio::ebpf {
+
+// BPF_MAP_TYPE_HASH. Sharded to keep producer contention low (real per-CPU
+// hash maps avoid cross-CPU contention similarly).
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class BpfHashMap {
+ public:
+  explicit BpfHashMap(std::size_t max_entries, std::size_t shards = 16)
+      : max_entries_(max_entries),
+        shards_(std::max<std::size_t>(1, std::min(shards, kMaxShards))) {}
+
+  // Insert or overwrite (BPF_ANY). Returns false when the map is full.
+  bool Update(const Key& key, Value value) {
+    Shard& shard = ShardFor(key);
+    std::scoped_lock lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      it->second = std::move(value);
+      return true;
+    }
+    if (size_.load(std::memory_order_relaxed) >= max_entries_) return false;
+    shard.map.emplace(key, std::move(value));
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Insert only if absent (BPF_NOEXIST). Returns false if present or full.
+  bool Insert(const Key& key, Value value) {
+    Shard& shard = ShardFor(key);
+    std::scoped_lock lock(shard.mu);
+    if (shard.map.contains(key)) return false;
+    if (size_.load(std::memory_order_relaxed) >= max_entries_) return false;
+    shard.map.emplace(key, std::move(value));
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  [[nodiscard]] std::optional<Value> Lookup(const Key& key) const {
+    const Shard& shard = ShardFor(key);
+    std::scoped_lock lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) return std::nullopt;
+    return it->second;
+  }
+
+  // Removes and returns the value (common BPF pattern: lookup_and_delete).
+  std::optional<Value> Take(const Key& key) {
+    Shard& shard = ShardFor(key);
+    std::scoped_lock lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) return std::nullopt;
+    Value value = std::move(it->second);
+    shard.map.erase(it);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return value;
+  }
+
+  bool Delete(const Key& key) { return Take(key).has_value(); }
+
+  [[nodiscard]] std::size_t size() const {
+    return size_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t max_entries() const { return max_entries_; }
+
+  void Clear() {
+    for (auto& shard : shards_storage_) {
+      std::scoped_lock lock(shard.mu);
+      shard.map.clear();
+    }
+    size_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Value, Hash> map;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return shards_storage_[Hash{}(key) % shards_];
+  }
+  const Shard& ShardFor(const Key& key) const {
+    return shards_storage_[Hash{}(key) % shards_];
+  }
+
+  static constexpr std::size_t kMaxShards = 64;
+
+  std::size_t max_entries_;
+  std::size_t shards_;
+  std::array<Shard, kMaxShards> shards_storage_;  // shards_ <= kMaxShards used
+  std::atomic<std::size_t> size_{0};
+};
+
+// BPF_MAP_TYPE_ARRAY of per-CPU counters (BPF_MAP_TYPE_PERCPU_ARRAY shape).
+class BpfPerCpuCounter {
+ public:
+  explicit BpfPerCpuCounter(int num_cpus)
+      : counters_(static_cast<std::size_t>(num_cpus)) {}
+
+  void Add(int cpu, std::uint64_t delta) {
+    counters_[static_cast<std::size_t>(cpu) % counters_.size()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t Sum() const {
+    std::uint64_t total = 0;
+    for (const auto& counter : counters_) {
+      total += counter.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) PaddedCounter {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::vector<PaddedCounter> counters_;
+};
+
+}  // namespace dio::ebpf

@@ -1,0 +1,29 @@
+#include "ebpf/program.h"
+
+#include "ebpf/verifier.h"
+
+namespace dio::ebpf {
+
+Expected<BpfLink> BpfLoader::AttachSysEnter(const ProgramSpec& spec,
+                                            os::SysEnterHandler handler) {
+  DIO_RETURN_IF_ERROR(VerifyProgram(spec));
+  if (spec.type != ProgramType::kTracepointSysEnter) {
+    return InvalidArgument("program type does not match sys_enter attach");
+  }
+  const os::AttachId id =
+      registry_->AttachEnter(spec.syscall, std::move(handler));
+  return BpfLink(registry_, id);
+}
+
+Expected<BpfLink> BpfLoader::AttachSysExit(const ProgramSpec& spec,
+                                           os::SysExitHandler handler) {
+  DIO_RETURN_IF_ERROR(VerifyProgram(spec));
+  if (spec.type != ProgramType::kTracepointSysExit) {
+    return InvalidArgument("program type does not match sys_exit attach");
+  }
+  const os::AttachId id =
+      registry_->AttachExit(spec.syscall, std::move(handler));
+  return BpfLink(registry_, id);
+}
+
+}  // namespace dio::ebpf

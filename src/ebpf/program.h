@@ -1,0 +1,85 @@
+// eBPF program objects and attachment links.
+//
+// A program is a named handler plus resource declarations. Loading runs the
+// verifier (see verifier.h); attaching binds the handler to a syscall
+// tracepoint in the OS substrate and returns an RAII link, mirroring the
+// bpf_program__attach_tracepoint() flow of libbpf/BCC the paper's tracer
+// uses.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "oskernel/syscall_nr.h"
+#include "oskernel/tracepoint.h"
+
+namespace dio::ebpf {
+
+enum class ProgramType {
+  kTracepointSysEnter,
+  kTracepointSysExit,
+};
+
+struct ProgramSpec {
+  std::string name;      // like a kernel prog name: <= 15 chars, [a-z0-9_]
+  ProgramType type = ProgramType::kTracepointSysEnter;
+  os::SyscallNr syscall = os::SyscallNr::kRead;
+  // Declared resource bounds, checked by the verifier.
+  std::size_t max_maps = 8;
+  std::size_t stack_bytes = 512;  // eBPF stack limit
+};
+
+// RAII attachment: detaches on destruction.
+class BpfLink {
+ public:
+  BpfLink() = default;
+  BpfLink(os::TracepointRegistry* registry, os::AttachId id)
+      : registry_(registry), id_(id) {}
+  ~BpfLink() { Detach(); }
+
+  BpfLink(BpfLink&& other) noexcept { *this = std::move(other); }
+  BpfLink& operator=(BpfLink&& other) noexcept {
+    if (this != &other) {
+      Detach();
+      registry_ = std::exchange(other.registry_, nullptr);
+      id_ = std::exchange(other.id_, 0);
+    }
+    return *this;
+  }
+  BpfLink(const BpfLink&) = delete;
+  BpfLink& operator=(const BpfLink&) = delete;
+
+  void Detach() {
+    if (registry_ != nullptr) {
+      registry_->Detach(id_);
+      registry_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] bool attached() const { return registry_ != nullptr; }
+
+ private:
+  os::TracepointRegistry* registry_ = nullptr;
+  os::AttachId id_ = 0;
+};
+
+// Loads (verifies) and attaches programs.
+class BpfLoader {
+ public:
+  explicit BpfLoader(os::TracepointRegistry* registry) : registry_(registry) {}
+
+  // Verifier gate + attach. The handler runs synchronously in syscall
+  // context, like a real tracepoint BPF program.
+  Expected<BpfLink> AttachSysEnter(const ProgramSpec& spec,
+                                   os::SysEnterHandler handler);
+  Expected<BpfLink> AttachSysExit(const ProgramSpec& spec,
+                                  os::SysExitHandler handler);
+
+ private:
+  os::TracepointRegistry* registry_;
+};
+
+}  // namespace dio::ebpf

@@ -1,0 +1,78 @@
+// Per-CPU ring buffer array, the kernel/user-space handoff DIO uses (§II-B):
+// eBPF programs (producers, in syscall context) reserve space on the ring of
+// the CPU they run on; a user-space consumer polls all rings. When a ring is
+// full the record is dropped and counted — the §III-D discard behaviour.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/ring_buffer.h"
+
+namespace dio::ebpf {
+
+class PerCpuRingBuffer {
+ public:
+  PerCpuRingBuffer(int num_cpus, std::size_t bytes_per_cpu) {
+    rings_.reserve(static_cast<std::size_t>(num_cpus));
+    for (int i = 0; i < num_cpus; ++i) {
+      rings_.push_back(std::make_unique<dio::ByteRingBuffer>(bytes_per_cpu));
+    }
+  }
+
+  // Producer path (called from "kernel" context on the syscall thread).
+  bool Output(int cpu, std::span<const std::byte> record) {
+    return RingOf(cpu).TryPush(record);
+  }
+
+  // Consumer path: drains up to `max_records` records across all CPUs into
+  // `sink`. Returns the number of records consumed.
+  template <typename Sink>
+  std::size_t Poll(Sink&& sink, std::size_t max_records) {
+    std::size_t consumed = 0;
+    std::vector<std::byte> scratch;
+    // Round-robin across CPUs so one busy CPU cannot starve the others.
+    bool any = true;
+    while (consumed < max_records && any) {
+      any = false;
+      for (auto& ring : rings_) {
+        if (consumed >= max_records) break;
+        if (ring->TryPop(scratch)) {
+          sink(std::span<const std::byte>(scratch));
+          ++consumed;
+          any = true;
+        }
+      }
+    }
+    return consumed;
+  }
+
+  [[nodiscard]] std::uint64_t TotalDropped() const {
+    std::uint64_t total = 0;
+    for (const auto& ring : rings_) total += ring->dropped_records();
+    return total;
+  }
+
+  [[nodiscard]] std::uint64_t TotalPushed() const {
+    std::uint64_t total = 0;
+    for (const auto& ring : rings_) total += ring->pushed_records();
+    return total;
+  }
+
+  [[nodiscard]] int num_cpus() const { return static_cast<int>(rings_.size()); }
+  [[nodiscard]] std::size_t bytes_per_cpu() const {
+    return rings_.empty() ? 0 : rings_.front()->capacity_bytes();
+  }
+
+ private:
+  dio::ByteRingBuffer& RingOf(int cpu) {
+    return *rings_[static_cast<std::size_t>(cpu) % rings_.size()];
+  }
+
+  std::vector<std::unique_ptr<dio::ByteRingBuffer>> rings_;
+};
+
+}  // namespace dio::ebpf

@@ -1,0 +1,33 @@
+#include "ebpf/verifier.h"
+
+#include <cctype>
+
+namespace dio::ebpf {
+
+Status VerifyProgram(const ProgramSpec& spec) {
+  if (spec.name.empty() || spec.name.size() > kMaxProgNameLen) {
+    return InvalidArgument("program name must be 1.." +
+                           std::to_string(kMaxProgNameLen) + " chars: '" +
+                           spec.name + "'");
+  }
+  for (char c : spec.name) {
+    if (!std::islower(static_cast<unsigned char>(c)) &&
+        !std::isdigit(static_cast<unsigned char>(c)) && c != '_') {
+      return InvalidArgument("program name has invalid character: '" +
+                             spec.name + "'");
+    }
+  }
+  if (spec.stack_bytes > kMaxStackBytes) {
+    return InvalidArgument("stack request exceeds MAX_BPF_STACK (" +
+                           std::to_string(kMaxStackBytes) + ")");
+  }
+  if (spec.max_maps > kMaxMapsPerProg) {
+    return InvalidArgument("too many maps for one program");
+  }
+  if (spec.syscall >= os::SyscallNr::kCount) {
+    return InvalidArgument("unknown syscall tracepoint");
+  }
+  return Status::Ok();
+}
+
+}  // namespace dio::ebpf

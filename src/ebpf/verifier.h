@@ -1,0 +1,19 @@
+// Load-time checks mirroring the classes of constraint the in-kernel eBPF
+// verifier enforces: bounded resource declarations and well-formed program
+// metadata. (We obviously cannot verify arbitrary C++ handler code; the
+// point is that the runtime rejects specs that a real verifier would.)
+#pragma once
+
+#include "common/status.h"
+#include "ebpf/program.h"
+
+namespace dio::ebpf {
+
+// Kernel limits (values from the real implementation where meaningful).
+constexpr std::size_t kMaxProgNameLen = 15;   // BPF_OBJ_NAME_LEN - 1
+constexpr std::size_t kMaxStackBytes = 512;   // MAX_BPF_STACK
+constexpr std::size_t kMaxMapsPerProg = 64;
+
+Status VerifyProgram(const ProgramSpec& spec);
+
+}  // namespace dio::ebpf

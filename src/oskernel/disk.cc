@@ -1,0 +1,78 @@
+#include "oskernel/disk.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace dio::os {
+
+BlockDevice::BlockDevice(BlockDeviceOptions options, Clock* clock)
+    : options_(std::move(options)),
+      clock_(clock),
+      ns_per_byte_(static_cast<double>(kSecond) /
+                   options_.bandwidth_bytes_per_sec) {}
+
+Nanos BlockDevice::Read(std::uint64_t bytes) {
+  return Access(bytes, 0, /*is_write=*/false, /*is_flush=*/false);
+}
+
+Nanos BlockDevice::Write(std::uint64_t bytes) {
+  return Access(bytes, 0, /*is_write=*/true, /*is_flush=*/false);
+}
+
+Nanos BlockDevice::Flush(std::uint64_t dirty_bytes) {
+  return Access(dirty_bytes, options_.flush_latency_ns, /*is_write=*/true,
+                /*is_flush=*/true);
+}
+
+Nanos BlockDevice::Access(std::uint64_t bytes, Nanos extra_latency,
+                          bool is_write, bool is_flush) {
+  const Nanos service =
+      options_.base_latency_ns + extra_latency +
+      static_cast<Nanos>(static_cast<double>(bytes) * ns_per_byte_);
+  const Nanos now = clock_->NowNanos();
+
+  Nanos start;
+  {
+    std::scoped_lock lock(mu_);
+    start = std::max(now, next_free_ns_);
+    next_free_ns_ = start + service;
+    if (is_flush) {
+      ++stats_.flushes;
+      stats_.bytes_written += bytes;
+    } else if (is_write) {
+      ++stats_.writes;
+      stats_.bytes_written += bytes;
+    } else {
+      ++stats_.reads;
+      stats_.bytes_read += bytes;
+    }
+    stats_.busy_ns += service;
+    stats_.queue_wait_ns += start - now;
+  }
+
+  const Nanos completion = start + service;
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.real_sleep) {
+    // Sleep until the modelled completion time. Coarse sleeps for long waits,
+    // then settle with a short spin for sub-30us precision.
+    Nanos remaining = completion - clock_->NowNanos();
+    while (remaining > 30 * kMicrosecond) {
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(remaining - 20 * kMicrosecond));
+      remaining = completion - clock_->NowNanos();
+    }
+    while (clock_->NowNanos() < completion) {
+      std::this_thread::yield();
+    }
+  }
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+  return completion - now;
+}
+
+BlockDeviceStats BlockDevice::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace dio::os

@@ -1,0 +1,43 @@
+#include "oskernel/inode.h"
+
+namespace dio::os {
+
+InodeTable::InodeTable(InodeNum first_ino) : next_never_used_(first_ino) {}
+
+Inode* InodeTable::Allocate(FileType type, Nanos now) {
+  InodeNum ino;
+  if (!free_list_.empty()) {
+    ino = *free_list_.begin();
+    free_list_.erase(free_list_.begin());
+  } else {
+    ino = next_never_used_++;
+  }
+  auto inode = std::make_unique<Inode>();
+  inode->ino = ino;
+  inode->type = type;
+  inode->mode = ModeFromFileType(type);
+  inode->nlink = type == FileType::kDirectory ? 2 : 1;
+  inode->atime_ns = inode->mtime_ns = inode->ctime_ns = now;
+  Inode* raw = inode.get();
+  live_[ino] = std::move(inode);
+  return raw;
+}
+
+void InodeTable::Free(InodeNum ino) {
+  auto it = live_.find(ino);
+  if (it == live_.end()) return;
+  live_.erase(it);
+  free_list_.insert(ino);
+}
+
+Inode* InodeTable::Get(InodeNum ino) {
+  auto it = live_.find(ino);
+  return it == live_.end() ? nullptr : it->second.get();
+}
+
+const Inode* InodeTable::Get(InodeNum ino) const {
+  auto it = live_.find(ino);
+  return it == live_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace dio::os

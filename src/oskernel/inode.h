@@ -1,0 +1,77 @@
+// Inode and inode table for one simulated filesystem.
+//
+// Inode numbers are recycled lowest-free-first, like ext4's bitmap allocator.
+// This recycling is what makes the Fluent Bit data-loss scenario (§III-B)
+// reproducible: a deleted file's inode number is handed to the next file
+// created, so a position database keyed by (name, inode) resolves to stale
+// state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "oskernel/types.h"
+
+namespace dio::os {
+
+struct Inode {
+  InodeNum ino = 0;
+  FileType type = FileType::kUnknown;
+  std::uint32_t mode = 0;
+  std::uint64_t nlink = 0;
+
+  // Regular file payload. Directories use `entries`; symlinks use `target`.
+  std::string data;
+  std::map<std::string, InodeNum> entries;
+  std::string symlink_target;
+
+  // Extended attributes (name -> value).
+  std::map<std::string, std::string> xattrs;
+
+  Nanos atime_ns = 0;
+  Nanos mtime_ns = 0;
+  Nanos ctime_ns = 0;
+
+  // Number of open file descriptions referencing this inode. An inode whose
+  // nlink dropped to zero is only freed when the last fd closes (POSIX
+  // deferred deletion) — required for the inode-recycling scenario.
+  std::uint32_t open_refs = 0;
+
+  [[nodiscard]] std::uint64_t size() const {
+    return type == FileType::kDirectory ? entries.size() : data.size();
+  }
+};
+
+class InodeTable {
+ public:
+  // Inode numbers start at `first_ino` (filesystems reserve low numbers;
+  // we default to 2 so the root directory takes ino 2, like ext4).
+  explicit InodeTable(InodeNum first_ino = 2);
+
+  InodeTable(const InodeTable&) = delete;
+  InodeTable& operator=(const InodeTable&) = delete;
+
+  // Allocates the lowest free inode number.
+  Inode* Allocate(FileType type, Nanos now);
+
+  // Releases an inode number back to the free pool. The inode must exist.
+  void Free(InodeNum ino);
+
+  [[nodiscard]] Inode* Get(InodeNum ino);
+  [[nodiscard]] const Inode* Get(InodeNum ino) const;
+
+  [[nodiscard]] std::size_t live_count() const { return live_.size(); }
+
+ private:
+  InodeNum next_never_used_;
+  std::set<InodeNum> free_list_;  // recycled numbers, lowest-first
+  std::map<InodeNum, std::unique_ptr<Inode>> live_;
+};
+
+}  // namespace dio::os

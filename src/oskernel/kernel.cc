@@ -1,0 +1,689 @@
+#include "oskernel/kernel.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dio::os {
+
+namespace {
+
+// Identity of the task bound to this OS thread (the kernel's `current`).
+struct BoundTask {
+  Pid pid = kNoPid;
+  Tid tid = kNoTid;
+  std::string comm;
+};
+thread_local BoundTask t_task;
+
+}  // namespace
+
+// KernelView implementation: what eBPF programs may read from kernel
+// structures (task_struct, files_struct, struct file, struct inode).
+class KernelViewImpl final : public KernelView {
+ public:
+  explicit KernelViewImpl(Kernel* kernel) : kernel_(kernel) {}
+
+  [[nodiscard]] std::optional<FdView> LookupFd(Pid pid, Fd fd) const override {
+    auto ofd = kernel_->procs_.LookupFd(pid, fd);
+    if (ofd == nullptr) return std::nullopt;
+    FdView view;
+    view.dev = ofd->dev;
+    view.ino = ofd->ino;
+    view.type = ofd->type;
+    view.offset = ofd->offset.load(std::memory_order_relaxed);
+    view.path = ofd->path;
+    return view;
+  }
+
+  [[nodiscard]] std::optional<PathView> ResolvePath(
+      std::string_view path) const override {
+    return kernel_->vfs_.ResolvePathView(path);
+  }
+
+  [[nodiscard]] std::optional<std::string> ProcessName(
+      Pid pid) const override {
+    return kernel_->procs_.ProcessName(pid);
+  }
+
+  [[nodiscard]] int cpu_of(Tid tid) const override {
+    const int cpus = kernel_->options_.num_cpus;
+    return static_cast<int>(tid % cpus);
+  }
+
+ private:
+  Kernel* kernel_;
+};
+
+// Fires sys_enter on construction and sys_exit via Finish(). Cheap when no
+// tracer is attached (two relaxed loads).
+class Kernel::ScopedSyscall {
+ public:
+  ScopedSyscall(Kernel* kernel, SyscallNr nr, SyscallArgs* args)
+      : kernel_(kernel), nr_(nr), args_(args) {
+    kernel_->syscall_counts_[static_cast<std::size_t>(nr)].fetch_add(
+        1, std::memory_order_relaxed);
+    if (kernel_->tracepoints_.HasEnter(nr_)) {
+      SysEnterContext ctx{nr_,
+                          t_task.pid,
+                          t_task.tid,
+                          t_task.comm,
+                          kernel_->clock_->NowNanos(),
+                          args_,
+                          kernel_->view_.get()};
+      kernel_->tracepoints_.FireEnter(ctx);
+    }
+  }
+
+  std::int64_t Finish(std::int64_t ret) {
+    if (kernel_->tracepoints_.HasExit(nr_)) {
+      SysExitContext ctx{nr_,
+                         t_task.pid,
+                         t_task.tid,
+                         t_task.comm,
+                         kernel_->clock_->NowNanos(),
+                         ret,
+                         args_,
+                         kernel_->view_.get()};
+      kernel_->tracepoints_.FireExit(ctx);
+    }
+    return ret;
+  }
+
+ private:
+  Kernel* kernel_;
+  SyscallNr nr_;
+  SyscallArgs* args_;
+};
+
+Kernel::Kernel(KernelOptions options, Clock* clock)
+    : options_(options),
+      clock_(clock),
+      procs_(clock),
+      vfs_(clock),
+      view_(std::make_unique<KernelViewImpl>(this)) {}
+
+Kernel::~Kernel() = default;
+
+Expected<BlockDevice*> Kernel::MountDevice(std::string prefix, DeviceNum dev,
+                                           BlockDeviceOptions options,
+                                           std::uint64_t capacity_bytes) {
+  auto device = std::make_unique<BlockDevice>(std::move(options), clock_);
+  BlockDevice* raw = device.get();
+  dio::Status status =
+      vfs_.AddMount(std::move(prefix), dev, raw, capacity_bytes);
+  if (!status.ok()) return status;
+  devices_.push_back(std::move(device));
+  return raw;
+}
+
+Pid Kernel::CreateProcess(std::string name, Pid parent) {
+  return procs_.CreateProcess(std::move(name), parent);
+}
+
+Tid Kernel::SpawnThread(Pid pid, std::string comm) {
+  return procs_.CreateThread(pid, std::move(comm));
+}
+
+void Kernel::ExitProcess(Pid pid) {
+  // Close every open fd first so orphaned inodes are freed (POSIX).
+  for (const auto& ofd : procs_.AllFds(pid)) {
+    vfs_.ReleaseOpenRef(ofd->dev, ofd->ino);
+  }
+  procs_.ExitProcess(pid);
+}
+
+void Kernel::BindCurrentThread(Pid pid, Tid tid) {
+  t_task.pid = pid;
+  t_task.tid = tid;
+  auto thread = procs_.GetThread(tid);
+  t_task.comm = thread ? thread->comm : "unbound";
+}
+
+void Kernel::UnbindCurrentThread() {
+  t_task.pid = kNoPid;
+  t_task.tid = kNoTid;
+  t_task.comm.clear();
+}
+
+bool Kernel::CurrentThreadBound() { return t_task.tid != kNoTid; }
+Tid Kernel::CurrentTid() { return t_task.tid; }
+Pid Kernel::CurrentPid() { return t_task.pid; }
+
+std::uint64_t Kernel::TotalSyscalls() const {
+  std::uint64_t total = 0;
+  for (const auto& count : syscall_counts_) {
+    total += count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// ---- open / close ----------------------------------------------------------
+
+std::int64_t Kernel::DoOpen(SyscallNr nr, const std::string& path,
+                            std::uint32_t flags, std::uint32_t mode) {
+  SyscallArgs args;
+  args.path = path;
+  args.flags = flags;
+  args.mode = mode;
+  args.raw = {0, flags, mode, 0, 0, 0};
+  ScopedSyscall scope(this, nr, &args);
+
+  OpenResolution res;
+  const int rc = vfs_.ResolveForOpen(path, flags, mode, &res);
+  if (rc != 0) return scope.Finish(rc);
+
+  auto ofd = std::make_shared<OpenFileDescription>();
+  ofd->dev = res.dev;
+  ofd->ino = res.ino;
+  ofd->type = res.type;
+  ofd->flags = flags;
+  ofd->path = path;
+  ofd->opened_at = clock_->NowNanos();
+  ofd->device = res.device;
+  const Fd fd = procs_.AllocateFd(t_task.pid, std::move(ofd));
+  if (fd == kNoFd) {
+    vfs_.ReleaseOpenRef(res.dev, res.ino);
+    return scope.Finish(-err::kEMFILE);
+  }
+  return scope.Finish(fd);
+}
+
+std::int64_t Kernel::sys_creat(const std::string& path, std::uint32_t mode) {
+  return DoOpen(SyscallNr::kCreat, path,
+                openflag::kWriteOnly | openflag::kCreate | openflag::kTruncate,
+                mode);
+}
+
+std::int64_t Kernel::sys_open(const std::string& path, std::uint32_t flags,
+                              std::uint32_t mode) {
+  return DoOpen(SyscallNr::kOpen, path, flags, mode);
+}
+
+std::int64_t Kernel::sys_openat(Fd dirfd, const std::string& path,
+                                std::uint32_t flags, std::uint32_t mode) {
+  (void)dirfd;  // absolute paths only; dirfd is conventionally AT_FDCWD
+  return DoOpen(SyscallNr::kOpenat, path, flags, mode);
+}
+
+std::int64_t Kernel::sys_close(Fd fd) {
+  SyscallArgs args;
+  args.fd = fd;
+  args.raw = {static_cast<std::uint64_t>(fd), 0, 0, 0, 0, 0};
+  ScopedSyscall scope(this, SyscallNr::kClose, &args);
+  auto ofd = procs_.ReleaseFd(t_task.pid, fd);
+  if (ofd == nullptr) return scope.Finish(-err::kEBADF);
+  vfs_.ReleaseOpenRef(ofd->dev, ofd->ino);
+  return scope.Finish(0);
+}
+
+// ---- data ------------------------------------------------------------------
+
+std::int64_t Kernel::DoRead(SyscallNr nr, Fd fd, std::string* buf,
+                            std::uint64_t count, std::int64_t explicit_offset) {
+  SyscallArgs args;
+  args.fd = fd;
+  args.count = count;
+  args.offset = explicit_offset;
+  args.raw = {static_cast<std::uint64_t>(fd), 0, count,
+              static_cast<std::uint64_t>(explicit_offset), 0, 0};
+  ScopedSyscall scope(this, nr, &args);
+
+  auto ofd = procs_.LookupFd(t_task.pid, fd);
+  if (ofd == nullptr) return scope.Finish(-err::kEBADF);
+  if (ofd->type == FileType::kDirectory) return scope.Finish(-err::kEISDIR);
+  if (explicit_offset >= 0 && ofd->type != FileType::kRegular) {
+    return scope.Finish(-err::kESPIPE);
+  }
+
+  const std::uint64_t offset =
+      explicit_offset >= 0 ? static_cast<std::uint64_t>(explicit_offset)
+                           : ofd->offset.load(std::memory_order_relaxed);
+  const std::int64_t n = vfs_.Read(ofd->dev, ofd->ino, offset, count, buf);
+  if (n < 0) return scope.Finish(n);
+  if (explicit_offset < 0) {
+    ofd->offset.store(offset + static_cast<std::uint64_t>(n),
+                      std::memory_order_relaxed);
+  }
+  if (ofd->device != nullptr && n > 0) {
+    ofd->device->Read(static_cast<std::uint64_t>(n));
+  }
+  return scope.Finish(n);
+}
+
+std::int64_t Kernel::sys_read(Fd fd, std::string* buf, std::uint64_t count) {
+  return DoRead(SyscallNr::kRead, fd, buf, count, -1);
+}
+
+std::int64_t Kernel::sys_pread64(Fd fd, std::string* buf, std::uint64_t count,
+                                 std::int64_t offset) {
+  if (offset < 0) {
+    SyscallArgs args;
+    args.fd = fd;
+    args.count = count;
+    args.offset = offset;
+    ScopedSyscall scope(this, SyscallNr::kPread64, &args);
+    return scope.Finish(-err::kEINVAL);
+  }
+  return DoRead(SyscallNr::kPread64, fd, buf, count, offset);
+}
+
+std::int64_t Kernel::sys_readv(Fd fd, std::string* buf,
+                               std::span<const std::uint64_t> iov_lens) {
+  const std::uint64_t total =
+      std::accumulate(iov_lens.begin(), iov_lens.end(), std::uint64_t{0});
+  return DoRead(SyscallNr::kReadv, fd, buf, total, -1);
+}
+
+std::int64_t Kernel::DoWrite(SyscallNr nr, Fd fd, std::string_view data,
+                             std::int64_t explicit_offset) {
+  SyscallArgs args;
+  args.fd = fd;
+  args.count = data.size();
+  args.offset = explicit_offset;
+  args.raw = {static_cast<std::uint64_t>(fd), 0, data.size(),
+              static_cast<std::uint64_t>(explicit_offset), 0, 0};
+  ScopedSyscall scope(this, nr, &args);
+
+  auto ofd = procs_.LookupFd(t_task.pid, fd);
+  if (ofd == nullptr) return scope.Finish(-err::kEBADF);
+  if ((ofd->flags & openflag::kAccessMask) == openflag::kReadOnly) {
+    return scope.Finish(-err::kEBADF);
+  }
+  if (explicit_offset >= 0 && ofd->type != FileType::kRegular) {
+    return scope.Finish(-err::kESPIPE);
+  }
+
+  const bool append =
+      explicit_offset < 0 && (ofd->flags & openflag::kAppend) != 0;
+  const std::uint64_t offset =
+      explicit_offset >= 0 ? static_cast<std::uint64_t>(explicit_offset)
+                           : ofd->offset.load(std::memory_order_relaxed);
+  std::uint64_t offset_used = offset;
+  const std::int64_t n =
+      vfs_.Write(ofd->dev, ofd->ino, offset, data, append, &offset_used);
+  if (n < 0) return scope.Finish(n);
+  if (explicit_offset < 0) {
+    ofd->offset.store(offset_used + static_cast<std::uint64_t>(n),
+                      std::memory_order_relaxed);
+  }
+  ofd->dirty_bytes.fetch_add(static_cast<std::uint64_t>(n),
+                             std::memory_order_relaxed);
+  if (ofd->device != nullptr && n > 0) {
+    ofd->device->Write(static_cast<std::uint64_t>(n));
+  }
+  return scope.Finish(n);
+}
+
+std::int64_t Kernel::sys_write(Fd fd, std::string_view data) {
+  return DoWrite(SyscallNr::kWrite, fd, data, -1);
+}
+
+std::int64_t Kernel::sys_pwrite64(Fd fd, std::string_view data,
+                                  std::int64_t offset) {
+  if (offset < 0) {
+    SyscallArgs args;
+    args.fd = fd;
+    args.count = data.size();
+    args.offset = offset;
+    ScopedSyscall scope(this, SyscallNr::kPwrite64, &args);
+    return scope.Finish(-err::kEINVAL);
+  }
+  return DoWrite(SyscallNr::kPwrite64, fd, data, offset);
+}
+
+std::int64_t Kernel::sys_writev(Fd fd,
+                                std::span<const std::string_view> iov) {
+  std::string joined;
+  std::size_t total = 0;
+  for (std::string_view piece : iov) total += piece.size();
+  joined.reserve(total);
+  for (std::string_view piece : iov) joined += piece;
+  return DoWrite(SyscallNr::kWritev, fd, joined, -1);
+}
+
+std::int64_t Kernel::sys_lseek(Fd fd, std::int64_t offset, int whence) {
+  SyscallArgs args;
+  args.fd = fd;
+  args.offset = offset;
+  args.whence = whence;
+  args.raw = {static_cast<std::uint64_t>(fd),
+              static_cast<std::uint64_t>(offset),
+              static_cast<std::uint64_t>(whence), 0, 0, 0};
+  ScopedSyscall scope(this, SyscallNr::kLseek, &args);
+
+  auto ofd = procs_.LookupFd(t_task.pid, fd);
+  if (ofd == nullptr) return scope.Finish(-err::kEBADF);
+  if (ofd->type == FileType::kPipe || ofd->type == FileType::kSocket) {
+    return scope.Finish(-err::kESPIPE);
+  }
+
+  std::int64_t base = 0;
+  switch (whence) {
+    case kSeekSet:
+      base = 0;
+      break;
+    case kSeekCur:
+      base = static_cast<std::int64_t>(
+          ofd->offset.load(std::memory_order_relaxed));
+      break;
+    case kSeekEnd: {
+      StatBuf st;
+      const int rc = vfs_.StatInode(ofd->dev, ofd->ino, &st);
+      if (rc != 0) return scope.Finish(rc);
+      base = static_cast<std::int64_t>(st.size);
+      break;
+    }
+    default:
+      return scope.Finish(-err::kEINVAL);
+  }
+  const std::int64_t target = base + offset;
+  if (target < 0) return scope.Finish(-err::kEINVAL);
+  ofd->offset.store(static_cast<std::uint64_t>(target),
+                    std::memory_order_relaxed);
+  return scope.Finish(target);
+}
+
+std::int64_t Kernel::sys_truncate(const std::string& path,
+                                  std::uint64_t size) {
+  SyscallArgs args;
+  args.path = path;
+  args.count = size;
+  ScopedSyscall scope(this, SyscallNr::kTruncate, &args);
+  return scope.Finish(vfs_.TruncatePath(path, size));
+}
+
+std::int64_t Kernel::sys_ftruncate(Fd fd, std::uint64_t size) {
+  SyscallArgs args;
+  args.fd = fd;
+  args.count = size;
+  ScopedSyscall scope(this, SyscallNr::kFtruncate, &args);
+  auto ofd = procs_.LookupFd(t_task.pid, fd);
+  if (ofd == nullptr) return scope.Finish(-err::kEBADF);
+  return scope.Finish(vfs_.TruncateInode(ofd->dev, ofd->ino, size));
+}
+
+std::int64_t Kernel::DoSync(SyscallNr nr, Fd fd) {
+  SyscallArgs args;
+  args.fd = fd;
+  ScopedSyscall scope(this, nr, &args);
+  auto ofd = procs_.LookupFd(t_task.pid, fd);
+  if (ofd == nullptr) return scope.Finish(-err::kEBADF);
+  ofd->dirty_bytes.store(0, std::memory_order_relaxed);
+  if (ofd->device != nullptr) {
+    // Writes are charged at write() time (write-through); fsync pays the
+    // device flush latency.
+    ofd->device->Flush(0);
+  }
+  return scope.Finish(0);
+}
+
+std::int64_t Kernel::sys_fsync(Fd fd) { return DoSync(SyscallNr::kFsync, fd); }
+std::int64_t Kernel::sys_fdatasync(Fd fd) {
+  return DoSync(SyscallNr::kFdatasync, fd);
+}
+
+// ---- metadata ----------------------------------------------------------
+
+std::int64_t Kernel::DoRename(SyscallNr nr, Fd olddirfd,
+                              const std::string& from, Fd newdirfd,
+                              const std::string& to, std::uint32_t flags) {
+  (void)olddirfd;
+  (void)newdirfd;
+  SyscallArgs args;
+  args.path = from;
+  args.path2 = to;
+  args.flags = flags;
+  ScopedSyscall scope(this, nr, &args);
+  return scope.Finish(vfs_.Rename(from, to));
+}
+
+std::int64_t Kernel::sys_rename(const std::string& from,
+                                const std::string& to) {
+  return DoRename(SyscallNr::kRename, kAtFdCwd, from, kAtFdCwd, to, 0);
+}
+
+std::int64_t Kernel::sys_renameat(Fd olddirfd, const std::string& from,
+                                  Fd newdirfd, const std::string& to) {
+  return DoRename(SyscallNr::kRenameat, olddirfd, from, newdirfd, to, 0);
+}
+
+std::int64_t Kernel::sys_renameat2(Fd olddirfd, const std::string& from,
+                                   Fd newdirfd, const std::string& to,
+                                   std::uint32_t flags) {
+  return DoRename(SyscallNr::kRenameat2, olddirfd, from, newdirfd, to, flags);
+}
+
+std::int64_t Kernel::sys_unlink(const std::string& path) {
+  SyscallArgs args;
+  args.path = path;
+  ScopedSyscall scope(this, SyscallNr::kUnlink, &args);
+  return scope.Finish(vfs_.Unlink(path));
+}
+
+std::int64_t Kernel::sys_unlinkat(Fd dirfd, const std::string& path,
+                                  std::uint32_t flags) {
+  (void)dirfd;
+  SyscallArgs args;
+  args.path = path;
+  args.flags = flags;
+  ScopedSyscall scope(this, SyscallNr::kUnlinkat, &args);
+  if (flags & kAtRemovedir) return scope.Finish(vfs_.Rmdir(path));
+  return scope.Finish(vfs_.Unlink(path));
+}
+
+std::int64_t Kernel::sys_stat(const std::string& path, StatBuf* out) {
+  SyscallArgs args;
+  args.path = path;
+  ScopedSyscall scope(this, SyscallNr::kStat, &args);
+  return scope.Finish(vfs_.StatPath(path, /*follow_symlink=*/true, out));
+}
+
+std::int64_t Kernel::sys_lstat(const std::string& path, StatBuf* out) {
+  SyscallArgs args;
+  args.path = path;
+  ScopedSyscall scope(this, SyscallNr::kLstat, &args);
+  return scope.Finish(vfs_.StatPath(path, /*follow_symlink=*/false, out));
+}
+
+std::int64_t Kernel::sys_fstat(Fd fd, StatBuf* out) {
+  SyscallArgs args;
+  args.fd = fd;
+  ScopedSyscall scope(this, SyscallNr::kFstat, &args);
+  auto ofd = procs_.LookupFd(t_task.pid, fd);
+  if (ofd == nullptr) return scope.Finish(-err::kEBADF);
+  return scope.Finish(vfs_.StatInode(ofd->dev, ofd->ino, out));
+}
+
+std::int64_t Kernel::sys_fstatfs(Fd fd, StatFsBuf* out) {
+  SyscallArgs args;
+  args.fd = fd;
+  ScopedSyscall scope(this, SyscallNr::kFstatfs, &args);
+  auto ofd = procs_.LookupFd(t_task.pid, fd);
+  if (ofd == nullptr) return scope.Finish(-err::kEBADF);
+  // Fabricated filesystem geometry (250 GiB volume, mostly free).
+  out->block_size = 4096;
+  out->blocks = (250ULL << 30) / 4096;
+  out->blocks_free = out->blocks * 9 / 10;
+  out->files = 1 << 20;
+  return scope.Finish(0);
+}
+
+std::int64_t Kernel::sys_newfstatat(Fd dirfd, const std::string& path,
+                                    StatBuf* out, std::uint32_t flags) {
+  (void)dirfd;
+  SyscallArgs args;
+  args.path = path;
+  args.flags = flags;
+  ScopedSyscall scope(this, SyscallNr::kNewfstatat, &args);
+  const bool follow = (flags & kAtSymlinkNofollow) == 0;
+  return scope.Finish(vfs_.StatPath(path, follow, out));
+}
+
+// ---- extended attributes -------------------------------------------------
+
+std::int64_t Kernel::sys_setxattr(const std::string& path,
+                                  const std::string& name,
+                                  std::string_view value) {
+  SyscallArgs args;
+  args.path = path;
+  args.name = name;
+  args.count = value.size();
+  ScopedSyscall scope(this, SyscallNr::kSetxattr, &args);
+  return scope.Finish(vfs_.SetXattrPath(path, true, name, value));
+}
+
+std::int64_t Kernel::sys_lsetxattr(const std::string& path,
+                                   const std::string& name,
+                                   std::string_view value) {
+  SyscallArgs args;
+  args.path = path;
+  args.name = name;
+  args.count = value.size();
+  ScopedSyscall scope(this, SyscallNr::kLsetxattr, &args);
+  return scope.Finish(vfs_.SetXattrPath(path, false, name, value));
+}
+
+std::int64_t Kernel::sys_fsetxattr(Fd fd, const std::string& name,
+                                   std::string_view value) {
+  SyscallArgs args;
+  args.fd = fd;
+  args.name = name;
+  args.count = value.size();
+  ScopedSyscall scope(this, SyscallNr::kFsetxattr, &args);
+  auto ofd = procs_.LookupFd(t_task.pid, fd);
+  if (ofd == nullptr) return scope.Finish(-err::kEBADF);
+  return scope.Finish(vfs_.SetXattrInode(ofd->dev, ofd->ino, name, value));
+}
+
+std::int64_t Kernel::sys_getxattr(const std::string& path,
+                                  const std::string& name,
+                                  std::string* value) {
+  SyscallArgs args;
+  args.path = path;
+  args.name = name;
+  ScopedSyscall scope(this, SyscallNr::kGetxattr, &args);
+  return scope.Finish(vfs_.GetXattrPath(path, true, name, value));
+}
+
+std::int64_t Kernel::sys_lgetxattr(const std::string& path,
+                                   const std::string& name,
+                                   std::string* value) {
+  SyscallArgs args;
+  args.path = path;
+  args.name = name;
+  ScopedSyscall scope(this, SyscallNr::kLgetxattr, &args);
+  return scope.Finish(vfs_.GetXattrPath(path, false, name, value));
+}
+
+std::int64_t Kernel::sys_fgetxattr(Fd fd, const std::string& name,
+                                   std::string* value) {
+  SyscallArgs args;
+  args.fd = fd;
+  args.name = name;
+  ScopedSyscall scope(this, SyscallNr::kFgetxattr, &args);
+  auto ofd = procs_.LookupFd(t_task.pid, fd);
+  if (ofd == nullptr) return scope.Finish(-err::kEBADF);
+  return scope.Finish(vfs_.GetXattrInode(ofd->dev, ofd->ino, name, value));
+}
+
+std::int64_t Kernel::sys_removexattr(const std::string& path,
+                                     const std::string& name) {
+  SyscallArgs args;
+  args.path = path;
+  args.name = name;
+  ScopedSyscall scope(this, SyscallNr::kRemovexattr, &args);
+  return scope.Finish(vfs_.RemoveXattrPath(path, true, name));
+}
+
+std::int64_t Kernel::sys_lremovexattr(const std::string& path,
+                                      const std::string& name) {
+  SyscallArgs args;
+  args.path = path;
+  args.name = name;
+  ScopedSyscall scope(this, SyscallNr::kLremovexattr, &args);
+  return scope.Finish(vfs_.RemoveXattrPath(path, false, name));
+}
+
+std::int64_t Kernel::sys_fremovexattr(Fd fd, const std::string& name) {
+  SyscallArgs args;
+  args.fd = fd;
+  args.name = name;
+  ScopedSyscall scope(this, SyscallNr::kFremovexattr, &args);
+  auto ofd = procs_.LookupFd(t_task.pid, fd);
+  if (ofd == nullptr) return scope.Finish(-err::kEBADF);
+  return scope.Finish(vfs_.RemoveXattrInode(ofd->dev, ofd->ino, name));
+}
+
+std::int64_t Kernel::sys_listxattr(const std::string& path,
+                                   std::vector<std::string>* names) {
+  SyscallArgs args;
+  args.path = path;
+  ScopedSyscall scope(this, SyscallNr::kListxattr, &args);
+  return scope.Finish(vfs_.ListXattrPath(path, true, names));
+}
+
+std::int64_t Kernel::sys_llistxattr(const std::string& path,
+                                    std::vector<std::string>* names) {
+  SyscallArgs args;
+  args.path = path;
+  ScopedSyscall scope(this, SyscallNr::kLlistxattr, &args);
+  return scope.Finish(vfs_.ListXattrPath(path, false, names));
+}
+
+std::int64_t Kernel::sys_flistxattr(Fd fd, std::vector<std::string>* names) {
+  SyscallArgs args;
+  args.fd = fd;
+  ScopedSyscall scope(this, SyscallNr::kFlistxattr, &args);
+  auto ofd = procs_.LookupFd(t_task.pid, fd);
+  if (ofd == nullptr) return scope.Finish(-err::kEBADF);
+  return scope.Finish(vfs_.ListXattrInode(ofd->dev, ofd->ino, names));
+}
+
+// ---- directory management -------------------------------------------------
+
+std::int64_t Kernel::DoMknod(SyscallNr nr, Fd dirfd, const std::string& path,
+                             std::uint32_t mode) {
+  (void)dirfd;
+  SyscallArgs args;
+  args.path = path;
+  args.mode = mode;
+  ScopedSyscall scope(this, nr, &args);
+  return scope.Finish(vfs_.Mknod(path, mode));
+}
+
+std::int64_t Kernel::sys_mknod(const std::string& path, std::uint32_t mode) {
+  return DoMknod(SyscallNr::kMknod, kAtFdCwd, path, mode);
+}
+
+std::int64_t Kernel::sys_mknodat(Fd dirfd, const std::string& path,
+                                 std::uint32_t mode) {
+  return DoMknod(SyscallNr::kMknodat, dirfd, path, mode);
+}
+
+std::int64_t Kernel::DoMkdir(SyscallNr nr, Fd dirfd, const std::string& path,
+                             std::uint32_t mode) {
+  (void)dirfd;
+  SyscallArgs args;
+  args.path = path;
+  args.mode = mode;
+  ScopedSyscall scope(this, nr, &args);
+  return scope.Finish(vfs_.Mkdir(path, mode));
+}
+
+std::int64_t Kernel::sys_mkdir(const std::string& path, std::uint32_t mode) {
+  return DoMkdir(SyscallNr::kMkdir, kAtFdCwd, path, mode);
+}
+
+std::int64_t Kernel::sys_mkdirat(Fd dirfd, const std::string& path,
+                                 std::uint32_t mode) {
+  return DoMkdir(SyscallNr::kMkdirat, dirfd, path, mode);
+}
+
+std::int64_t Kernel::sys_rmdir(const std::string& path) {
+  SyscallArgs args;
+  args.path = path;
+  ScopedSyscall scope(this, SyscallNr::kRmdir, &args);
+  return scope.Finish(vfs_.Rmdir(path));
+}
+
+}  // namespace dio::os

@@ -1,0 +1,214 @@
+// Kernel facade: the syscall ABI applications program against.
+//
+// Every syscall (i) binds to the calling thread's task identity, (ii) fires
+// the sys_enter tracepoint, (iii) executes against the VFS — charging block
+// device service time for data operations, which makes disk contention real —
+// and (iv) fires sys_exit with the errno-style return value. This is the
+// exact observation surface DIO's eBPF tracer attaches to (§II-B).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "oskernel/disk.h"
+#include "oskernel/process.h"
+#include "oskernel/syscall_nr.h"
+#include "oskernel/tracepoint.h"
+#include "oskernel/types.h"
+#include "oskernel/vfs.h"
+
+namespace dio::os {
+
+// fstatfs(2) result (subset).
+struct StatFsBuf {
+  std::uint64_t block_size = 4096;
+  std::uint64_t blocks = 0;
+  std::uint64_t blocks_free = 0;
+  std::uint64_t files = 0;
+};
+
+// newfstatat / unlinkat flags.
+constexpr std::uint32_t kAtSymlinkNofollow = 0x100;
+constexpr std::uint32_t kAtRemovedir = 0x200;
+
+struct KernelOptions {
+  int num_cpus = 4;  // the paper's tracer machine has a 4-core CPU
+};
+
+class Kernel {
+ public:
+  explicit Kernel(KernelOptions options = {},
+                  Clock* clock = SteadyClock::Instance());
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // ---- topology -----------------------------------------------------------
+  [[nodiscard]] Clock* clock() const { return clock_; }
+  [[nodiscard]] int num_cpus() const { return options_.num_cpus; }
+  [[nodiscard]] Vfs& vfs() { return vfs_; }
+  [[nodiscard]] ProcessManager& processes() { return procs_; }
+  [[nodiscard]] TracepointRegistry& tracepoints() { return tracepoints_; }
+  [[nodiscard]] KernelView& view() { return *view_; }
+
+  // Creates a block device owned by the kernel and mounts a filesystem
+  // backed by it. `capacity_bytes` bounds file data on the mount
+  // (0 = unbounded); exceeding it makes writes fail with -ENOSPC.
+  Expected<BlockDevice*> MountDevice(std::string prefix, DeviceNum dev,
+                                     BlockDeviceOptions options,
+                                     std::uint64_t capacity_bytes = 0);
+
+  // ---- task management ----------------------------------------------------
+  Pid CreateProcess(std::string name, Pid parent = kNoPid);
+  Tid SpawnThread(Pid pid, std::string comm);
+  void ExitProcess(Pid pid);
+
+  // Binds the calling OS thread to task (pid, tid). Syscalls from this
+  // thread are attributed to that task. Must be balanced with Unbind.
+  void BindCurrentThread(Pid pid, Tid tid);
+  void UnbindCurrentThread();
+  [[nodiscard]] static bool CurrentThreadBound();
+  [[nodiscard]] static Tid CurrentTid();
+  [[nodiscard]] static Pid CurrentPid();
+
+  // ---- syscalls: data -----------------------------------------------------
+  std::int64_t sys_read(Fd fd, std::string* buf, std::uint64_t count);
+  std::int64_t sys_pread64(Fd fd, std::string* buf, std::uint64_t count,
+                           std::int64_t offset);
+  std::int64_t sys_readv(Fd fd, std::string* buf,
+                         std::span<const std::uint64_t> iov_lens);
+  std::int64_t sys_write(Fd fd, std::string_view data);
+  std::int64_t sys_pwrite64(Fd fd, std::string_view data, std::int64_t offset);
+  std::int64_t sys_writev(Fd fd, std::span<const std::string_view> iov);
+  std::int64_t sys_lseek(Fd fd, std::int64_t offset, int whence);
+  std::int64_t sys_truncate(const std::string& path, std::uint64_t size);
+  std::int64_t sys_ftruncate(Fd fd, std::uint64_t size);
+  std::int64_t sys_fsync(Fd fd);
+  std::int64_t sys_fdatasync(Fd fd);
+
+  // ---- syscalls: metadata -------------------------------------------------
+  std::int64_t sys_creat(const std::string& path, std::uint32_t mode);
+  std::int64_t sys_open(const std::string& path, std::uint32_t flags,
+                        std::uint32_t mode = 0644);
+  std::int64_t sys_openat(Fd dirfd, const std::string& path,
+                          std::uint32_t flags, std::uint32_t mode = 0644);
+  std::int64_t sys_close(Fd fd);
+  std::int64_t sys_rename(const std::string& from, const std::string& to);
+  std::int64_t sys_renameat(Fd olddirfd, const std::string& from, Fd newdirfd,
+                            const std::string& to);
+  std::int64_t sys_renameat2(Fd olddirfd, const std::string& from, Fd newdirfd,
+                             const std::string& to, std::uint32_t flags);
+  std::int64_t sys_unlink(const std::string& path);
+  std::int64_t sys_unlinkat(Fd dirfd, const std::string& path,
+                            std::uint32_t flags);
+  std::int64_t sys_stat(const std::string& path, StatBuf* out);
+  std::int64_t sys_lstat(const std::string& path, StatBuf* out);
+  std::int64_t sys_fstat(Fd fd, StatBuf* out);
+  std::int64_t sys_fstatfs(Fd fd, StatFsBuf* out);
+  std::int64_t sys_newfstatat(Fd dirfd, const std::string& path, StatBuf* out,
+                              std::uint32_t flags);
+
+  // ---- syscalls: extended attributes --------------------------------------
+  std::int64_t sys_setxattr(const std::string& path, const std::string& name,
+                            std::string_view value);
+  std::int64_t sys_lsetxattr(const std::string& path, const std::string& name,
+                             std::string_view value);
+  std::int64_t sys_fsetxattr(Fd fd, const std::string& name,
+                             std::string_view value);
+  std::int64_t sys_getxattr(const std::string& path, const std::string& name,
+                            std::string* value);
+  std::int64_t sys_lgetxattr(const std::string& path, const std::string& name,
+                             std::string* value);
+  std::int64_t sys_fgetxattr(Fd fd, const std::string& name,
+                             std::string* value);
+  std::int64_t sys_removexattr(const std::string& path,
+                               const std::string& name);
+  std::int64_t sys_lremovexattr(const std::string& path,
+                                const std::string& name);
+  std::int64_t sys_fremovexattr(Fd fd, const std::string& name);
+  std::int64_t sys_listxattr(const std::string& path,
+                             std::vector<std::string>* names);
+  std::int64_t sys_llistxattr(const std::string& path,
+                              std::vector<std::string>* names);
+  std::int64_t sys_flistxattr(Fd fd, std::vector<std::string>* names);
+
+  // ---- syscalls: directory management -------------------------------------
+  std::int64_t sys_mknod(const std::string& path, std::uint32_t mode);
+  std::int64_t sys_mknodat(Fd dirfd, const std::string& path,
+                           std::uint32_t mode);
+  std::int64_t sys_mkdir(const std::string& path, std::uint32_t mode);
+  std::int64_t sys_mkdirat(Fd dirfd, const std::string& path,
+                           std::uint32_t mode);
+  std::int64_t sys_rmdir(const std::string& path);
+
+  // ---- instrumentation ----------------------------------------------------
+  [[nodiscard]] std::uint64_t SyscallCount(SyscallNr nr) const {
+    return syscall_counts_[static_cast<std::size_t>(nr)].load(
+        std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t TotalSyscalls() const;
+
+ private:
+  friend class KernelViewImpl;
+  class ScopedSyscall;
+
+  std::int64_t DoOpen(SyscallNr nr, const std::string& path,
+                      std::uint32_t flags, std::uint32_t mode);
+  std::int64_t DoRead(SyscallNr nr, Fd fd, std::string* buf,
+                      std::uint64_t count, std::int64_t explicit_offset);
+  std::int64_t DoWrite(SyscallNr nr, Fd fd, std::string_view data,
+                       std::int64_t explicit_offset);
+  std::int64_t DoSync(SyscallNr nr, Fd fd);
+  std::int64_t DoRename(SyscallNr nr, Fd olddirfd, const std::string& from,
+                        Fd newdirfd, const std::string& to,
+                        std::uint32_t flags);
+  std::int64_t DoMknod(SyscallNr nr, Fd dirfd, const std::string& path,
+                       std::uint32_t mode);
+  std::int64_t DoMkdir(SyscallNr nr, Fd dirfd, const std::string& path,
+                       std::uint32_t mode);
+
+  KernelOptions options_;
+  Clock* clock_;
+  ProcessManager procs_;
+  Vfs vfs_;
+  TracepointRegistry tracepoints_;
+  std::unique_ptr<KernelView> view_;
+  std::vector<std::unique_ptr<BlockDevice>> devices_;
+  std::array<std::atomic<std::uint64_t>, kNumSyscalls> syscall_counts_{};
+};
+
+// RAII task binding for an OS thread running simulated-application code.
+// Nestable: restores the previous binding (if any) on destruction.
+class ScopedTask {
+ public:
+  ScopedTask(Kernel& kernel, Pid pid, Tid tid)
+      : kernel_(kernel),
+        prev_pid_(Kernel::CurrentPid()),
+        prev_tid_(Kernel::CurrentTid()) {
+    kernel_.BindCurrentThread(pid, tid);
+  }
+  ~ScopedTask() {
+    if (prev_tid_ != kNoTid) {
+      kernel_.BindCurrentThread(prev_pid_, prev_tid_);
+    } else {
+      kernel_.UnbindCurrentThread();
+    }
+  }
+  ScopedTask(const ScopedTask&) = delete;
+  ScopedTask& operator=(const ScopedTask&) = delete;
+
+ private:
+  Kernel& kernel_;
+  Pid prev_pid_;
+  Tid prev_tid_;
+};
+
+}  // namespace dio::os

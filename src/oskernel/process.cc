@@ -1,0 +1,130 @@
+#include "oskernel/process.h"
+
+#include <algorithm>
+
+namespace dio::os {
+
+Pid ProcessManager::CreateProcess(std::string name, Pid parent) {
+  std::scoped_lock lock(mu_);
+  const Pid pid = next_pid_++;
+  Process proc;
+  proc.pid = pid;
+  proc.parent = parent;
+  proc.name = std::move(name);
+  processes_[pid] = std::move(proc);
+  return pid;
+}
+
+Tid ProcessManager::CreateThread(Pid pid, std::string comm) {
+  std::scoped_lock lock(mu_);
+  auto it = processes_.find(pid);
+  if (it == processes_.end() || !it->second.alive) return kNoTid;
+  const Tid tid = next_tid_++;
+  Thread thread;
+  thread.tid = tid;
+  thread.pid = pid;
+  thread.comm = comm.empty() ? it->second.name : std::move(comm);
+  threads_[tid] = std::move(thread);
+  return tid;
+}
+
+void ProcessManager::ExitThread(Tid tid) {
+  std::scoped_lock lock(mu_);
+  threads_.erase(tid);
+}
+
+void ProcessManager::ExitProcess(Pid pid) {
+  std::scoped_lock lock(mu_);
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) return;
+  it->second.alive = false;
+  it->second.fds.clear();
+  for (auto thread_it = threads_.begin(); thread_it != threads_.end();) {
+    if (thread_it->second.pid == pid) {
+      thread_it = threads_.erase(thread_it);
+    } else {
+      ++thread_it;
+    }
+  }
+}
+
+std::optional<Thread> ProcessManager::GetThread(Tid tid) const {
+  std::scoped_lock lock(mu_);
+  auto it = threads_.find(tid);
+  if (it == threads_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> ProcessManager::ProcessName(Pid pid) const {
+  std::scoped_lock lock(mu_);
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) return std::nullopt;
+  return it->second.name;
+}
+
+std::vector<Pid> ProcessManager::LivePids() const {
+  std::scoped_lock lock(mu_);
+  std::vector<Pid> out;
+  for (const auto& [pid, proc] : processes_) {
+    if (proc.alive) out.push_back(pid);
+  }
+  return out;
+}
+
+std::vector<Tid> ProcessManager::ThreadsOf(Pid pid) const {
+  std::scoped_lock lock(mu_);
+  std::vector<Tid> out;
+  for (const auto& [tid, thread] : threads_) {
+    if (thread.pid == pid) out.push_back(tid);
+  }
+  return out;
+}
+
+Fd ProcessManager::AllocateFd(Pid pid,
+                              std::shared_ptr<OpenFileDescription> ofd) {
+  std::scoped_lock lock(mu_);
+  auto it = processes_.find(pid);
+  if (it == processes_.end() || !it->second.alive) return kNoFd;
+  Process& proc = it->second;
+  // Lowest-free allocation starting at 3 (0/1/2 are std streams).
+  Fd fd = 3;
+  for (const auto& [used_fd, unused] : proc.fds) {
+    if (used_fd != fd) break;
+    ++fd;
+  }
+  proc.fds[fd] = std::move(ofd);
+  return fd;
+}
+
+std::shared_ptr<OpenFileDescription> ProcessManager::LookupFd(Pid pid,
+                                                              Fd fd) const {
+  std::scoped_lock lock(mu_);
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) return nullptr;
+  auto fd_it = it->second.fds.find(fd);
+  return fd_it == it->second.fds.end() ? nullptr : fd_it->second;
+}
+
+std::shared_ptr<OpenFileDescription> ProcessManager::ReleaseFd(Pid pid, Fd fd) {
+  std::scoped_lock lock(mu_);
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) return nullptr;
+  auto fd_it = it->second.fds.find(fd);
+  if (fd_it == it->second.fds.end()) return nullptr;
+  std::shared_ptr<OpenFileDescription> ofd = std::move(fd_it->second);
+  it->second.fds.erase(fd_it);
+  return ofd;
+}
+
+std::vector<std::shared_ptr<OpenFileDescription>> ProcessManager::AllFds(
+    Pid pid) const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::shared_ptr<OpenFileDescription>> out;
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) return out;
+  out.reserve(it->second.fds.size());
+  for (const auto& [fd, ofd] : it->second.fds) out.push_back(ofd);
+  return out;
+}
+
+}  // namespace dio::os

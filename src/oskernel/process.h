@@ -1,0 +1,93 @@
+// Process / thread registry and per-process file descriptor tables.
+//
+// Threads carry a comm name (like Linux task->comm): Fig. 2 distinguishes
+// "app" / "fluent-bit" / "flb-pipeline" and Fig. 4 aggregates by
+// "db_bench" / "rocksdb:lowX" / "rocksdb:high0" — all thread comms.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "oskernel/types.h"
+
+namespace dio::os {
+
+// One open(2) result. The offset is atomic because a description may be
+// shared across threads (e.g. an LSM WAL fd appended to by many writers).
+struct OpenFileDescription {
+  DeviceNum dev = 0;
+  InodeNum ino = 0;
+  FileType type = FileType::kUnknown;
+  std::uint32_t flags = 0;
+  std::atomic<std::uint64_t> offset{0};
+  std::string path;       // path used at open time (dentry name)
+  Nanos opened_at = 0;
+  std::atomic<std::uint64_t> dirty_bytes{0};  // written since last fsync
+  class BlockDevice* device = nullptr;  // backing device, cached at open
+};
+
+struct Thread {
+  Tid tid = kNoTid;
+  Pid pid = kNoPid;
+  std::string comm;
+};
+
+struct Process {
+  Pid pid = kNoPid;
+  Pid parent = kNoPid;
+  std::string name;
+  bool alive = true;
+  // fd -> open file description. Lowest-free fd allocation starting at 3.
+  std::map<Fd, std::shared_ptr<OpenFileDescription>> fds;
+  Fd next_fd_hint = 3;
+};
+
+class ProcessManager {
+ public:
+  explicit ProcessManager(Clock* clock) : clock_(clock) {}
+
+  Pid CreateProcess(std::string name, Pid parent = kNoPid);
+  // The first thread of a process shares the process name unless overridden.
+  Tid CreateThread(Pid pid, std::string comm);
+  void ExitThread(Tid tid);
+  void ExitProcess(Pid pid);
+
+  [[nodiscard]] std::optional<Thread> GetThread(Tid tid) const;
+  [[nodiscard]] std::optional<std::string> ProcessName(Pid pid) const;
+  [[nodiscard]] std::vector<Pid> LivePids() const;
+  [[nodiscard]] std::vector<Tid> ThreadsOf(Pid pid) const;
+
+  // Fd table operations (called by the kernel with its own locking; these
+  // take the registry lock themselves).
+  Fd AllocateFd(Pid pid, std::shared_ptr<OpenFileDescription> ofd);
+  [[nodiscard]] std::shared_ptr<OpenFileDescription> LookupFd(Pid pid,
+                                                              Fd fd) const;
+  // Removes and returns the description, or nullptr if the fd was not open.
+  std::shared_ptr<OpenFileDescription> ReleaseFd(Pid pid, Fd fd);
+  [[nodiscard]] std::vector<std::shared_ptr<OpenFileDescription>> AllFds(
+      Pid pid) const;
+
+ private:
+  Clock* clock_;
+  mutable std::mutex mu_;
+  Pid next_pid_ = 1000;
+  Tid next_tid_ = 1000;
+  std::map<Pid, Process> processes_;
+  std::map<Tid, Thread> threads_;
+};
+
+// Identity of the thread currently executing a syscall, bound via
+// ScopedThread (thread_local, like `current` in the kernel).
+struct CurrentTask {
+  Pid pid = kNoPid;
+  Tid tid = kNoTid;
+  const char* comm = nullptr;  // owned by the binding
+};
+
+}  // namespace dio::os

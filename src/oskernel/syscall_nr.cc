@@ -1,0 +1,85 @@
+#include "oskernel/syscall_nr.h"
+
+namespace dio::os {
+
+namespace {
+
+constexpr std::array<SyscallDescriptor, kNumSyscalls> kTable = {{
+    // nr, name, category, takes_fd, takes_path, data_related
+    {SyscallNr::kRead, "read", SyscallCategory::kData, true, false, true},
+    {SyscallNr::kPread64, "pread64", SyscallCategory::kData, true, false, true},
+    {SyscallNr::kReadv, "readv", SyscallCategory::kData, true, false, true},
+    {SyscallNr::kWrite, "write", SyscallCategory::kData, true, false, true},
+    {SyscallNr::kPwrite64, "pwrite64", SyscallCategory::kData, true, false, true},
+    {SyscallNr::kWritev, "writev", SyscallCategory::kData, true, false, true},
+    {SyscallNr::kLseek, "lseek", SyscallCategory::kData, true, false, true},
+    {SyscallNr::kTruncate, "truncate", SyscallCategory::kData, false, true, true},
+    {SyscallNr::kFtruncate, "ftruncate", SyscallCategory::kData, true, false, true},
+    {SyscallNr::kFsync, "fsync", SyscallCategory::kData, true, false, false},
+    {SyscallNr::kFdatasync, "fdatasync", SyscallCategory::kData, true, false, false},
+
+    {SyscallNr::kCreat, "creat", SyscallCategory::kMetadata, false, true, false},
+    {SyscallNr::kOpen, "open", SyscallCategory::kMetadata, false, true, false},
+    {SyscallNr::kOpenat, "openat", SyscallCategory::kMetadata, false, true, false},
+    {SyscallNr::kClose, "close", SyscallCategory::kMetadata, true, false, false},
+    {SyscallNr::kRename, "rename", SyscallCategory::kMetadata, false, true, false},
+    {SyscallNr::kRenameat, "renameat", SyscallCategory::kMetadata, false, true, false},
+    {SyscallNr::kRenameat2, "renameat2", SyscallCategory::kMetadata, false, true, false},
+    {SyscallNr::kUnlink, "unlink", SyscallCategory::kMetadata, false, true, false},
+    {SyscallNr::kUnlinkat, "unlinkat", SyscallCategory::kMetadata, false, true, false},
+    {SyscallNr::kStat, "stat", SyscallCategory::kMetadata, false, true, false},
+    {SyscallNr::kLstat, "lstat", SyscallCategory::kMetadata, false, true, false},
+    {SyscallNr::kFstat, "fstat", SyscallCategory::kMetadata, true, false, false},
+    {SyscallNr::kFstatfs, "fstatfs", SyscallCategory::kMetadata, true, false, false},
+    {SyscallNr::kNewfstatat, "newfstatat", SyscallCategory::kMetadata, false, true, false},
+
+    {SyscallNr::kGetxattr, "getxattr", SyscallCategory::kExtendedAttributes, false, true, false},
+    {SyscallNr::kLgetxattr, "lgetxattr", SyscallCategory::kExtendedAttributes, false, true, false},
+    {SyscallNr::kFgetxattr, "fgetxattr", SyscallCategory::kExtendedAttributes, true, false, false},
+    {SyscallNr::kSetxattr, "setxattr", SyscallCategory::kExtendedAttributes, false, true, false},
+    {SyscallNr::kLsetxattr, "lsetxattr", SyscallCategory::kExtendedAttributes, false, true, false},
+    {SyscallNr::kFsetxattr, "fsetxattr", SyscallCategory::kExtendedAttributes, true, false, false},
+    {SyscallNr::kRemovexattr, "removexattr", SyscallCategory::kExtendedAttributes, false, true, false},
+    {SyscallNr::kLremovexattr, "lremovexattr", SyscallCategory::kExtendedAttributes, false, true, false},
+    {SyscallNr::kFremovexattr, "fremovexattr", SyscallCategory::kExtendedAttributes, true, false, false},
+    {SyscallNr::kListxattr, "listxattr", SyscallCategory::kExtendedAttributes, false, true, false},
+    {SyscallNr::kLlistxattr, "llistxattr", SyscallCategory::kExtendedAttributes, false, true, false},
+    {SyscallNr::kFlistxattr, "flistxattr", SyscallCategory::kExtendedAttributes, true, false, false},
+
+    {SyscallNr::kMknod, "mknod", SyscallCategory::kDirectoryManagement, false, true, false},
+    {SyscallNr::kMknodat, "mknodat", SyscallCategory::kDirectoryManagement, false, true, false},
+    {SyscallNr::kMkdir, "mkdir", SyscallCategory::kDirectoryManagement, false, true, false},
+    {SyscallNr::kMkdirat, "mkdirat", SyscallCategory::kDirectoryManagement, false, true, false},
+    {SyscallNr::kRmdir, "rmdir", SyscallCategory::kDirectoryManagement, false, true, false},
+}};
+
+}  // namespace
+
+const std::array<SyscallDescriptor, kNumSyscalls>& SyscallTable() {
+  return kTable;
+}
+
+const SyscallDescriptor& Describe(SyscallNr nr) {
+  return kTable[static_cast<std::size_t>(nr)];
+}
+
+std::string_view SyscallName(SyscallNr nr) { return Describe(nr).name; }
+
+std::string_view CategoryName(SyscallCategory category) {
+  switch (category) {
+    case SyscallCategory::kData: return "data";
+    case SyscallCategory::kMetadata: return "metadata";
+    case SyscallCategory::kExtendedAttributes: return "extended-attributes";
+    case SyscallCategory::kDirectoryManagement: return "directory-management";
+  }
+  return "?";
+}
+
+std::optional<SyscallNr> SyscallFromName(std::string_view name) {
+  for (const SyscallDescriptor& d : kTable) {
+    if (d.name == name) return d.nr;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dio::os

@@ -1,0 +1,93 @@
+// The 42 storage-related syscalls supported by DIO (paper Table I), grouped
+// into the four categories the paper names: data, metadata, extended
+// attributes, and directory management.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace dio::os {
+
+enum class SyscallNr : std::uint8_t {
+  // -- data --
+  kRead = 0,
+  kPread64,
+  kReadv,
+  kWrite,
+  kPwrite64,
+  kWritev,
+  kLseek,
+  kTruncate,
+  kFtruncate,
+  kFsync,
+  kFdatasync,
+  // -- metadata --
+  kCreat,
+  kOpen,
+  kOpenat,
+  kClose,
+  kRename,
+  kRenameat,
+  kRenameat2,
+  kUnlink,
+  kUnlinkat,
+  kStat,
+  kLstat,
+  kFstat,
+  kFstatfs,
+  kNewfstatat,
+  // -- extended attributes --
+  kGetxattr,
+  kLgetxattr,
+  kFgetxattr,
+  kSetxattr,
+  kLsetxattr,
+  kFsetxattr,
+  kRemovexattr,
+  kLremovexattr,
+  kFremovexattr,
+  kListxattr,
+  kLlistxattr,
+  kFlistxattr,
+  // -- directory management --
+  kMknod,
+  kMknodat,
+  kMkdir,
+  kMkdirat,
+  kRmdir,
+
+  kCount,
+};
+
+constexpr std::size_t kNumSyscalls = static_cast<std::size_t>(SyscallNr::kCount);
+static_assert(kNumSyscalls == 42, "the paper's Table I lists 42 syscalls");
+
+enum class SyscallCategory : std::uint8_t {
+  kData,
+  kMetadata,
+  kExtendedAttributes,
+  kDirectoryManagement,
+};
+
+struct SyscallDescriptor {
+  SyscallNr nr;
+  std::string_view name;
+  SyscallCategory category;
+  bool takes_fd;      // first argument is a file descriptor
+  bool takes_path;    // references a path argument
+  bool data_related;  // moves file data / offsets (offset enrichment applies)
+};
+
+// Descriptor table indexed by SyscallNr.
+const std::array<SyscallDescriptor, kNumSyscalls>& SyscallTable();
+
+const SyscallDescriptor& Describe(SyscallNr nr);
+std::string_view SyscallName(SyscallNr nr);
+std::string_view CategoryName(SyscallCategory category);
+
+// Reverse lookup by name ("openat" -> kOpenat).
+std::optional<SyscallNr> SyscallFromName(std::string_view name);
+
+}  // namespace dio::os

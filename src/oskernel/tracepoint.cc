@@ -1,0 +1,128 @@
+#include "oskernel/tracepoint.h"
+
+#include <thread>
+
+namespace dio::os {
+
+namespace {
+template <typename List, typename Entry>
+std::shared_ptr<const List> WithAppended(const std::shared_ptr<const List>& old,
+                                         Entry entry) {
+  auto updated = old ? std::make_shared<List>(*old) : std::make_shared<List>();
+  updated->push_back(std::move(entry));
+  return updated;
+}
+
+template <typename List>
+std::shared_ptr<const List> WithRemoved(const std::shared_ptr<const List>& old,
+                                        AttachId id, bool* removed) {
+  if (!old) return old;
+  auto updated = std::make_shared<List>();
+  updated->reserve(old->size());
+  for (const auto& entry : *old) {
+    if (entry.id == id) {
+      *removed = true;
+    } else {
+      updated->push_back(entry);
+    }
+  }
+  return updated;
+}
+}  // namespace
+
+AttachId TracepointRegistry::AttachEnter(SyscallNr nr,
+                                         SysEnterHandler handler) {
+  std::scoped_lock lock(mutation_mu_);
+  const AttachId id = next_id_++;
+  auto& slot = enter_[static_cast<std::size_t>(nr)];
+  slot.store(WithAppended(slot.load(), Entry<SysEnterHandler>{id, std::move(handler)}));
+  return id;
+}
+
+AttachId TracepointRegistry::AttachExit(SyscallNr nr, SysExitHandler handler) {
+  std::scoped_lock lock(mutation_mu_);
+  const AttachId id = next_id_++;
+  auto& slot = exit_[static_cast<std::size_t>(nr)];
+  slot.store(WithAppended(slot.load(), Entry<SysExitHandler>{id, std::move(handler)}));
+  return id;
+}
+
+void TracepointRegistry::Detach(AttachId id) {
+  {
+    std::scoped_lock lock(mutation_mu_);
+    bool removed = false;
+    for (auto& slot : enter_) {
+      auto updated = WithRemoved(slot.load(), id, &removed);
+      if (removed) {
+        slot.store(std::move(updated));
+        break;
+      }
+    }
+    if (!removed) {
+      for (auto& slot : exit_) {
+        auto updated = WithRemoved(slot.load(), id, &removed);
+        if (removed) {
+          slot.store(std::move(updated));
+          break;
+        }
+      }
+    }
+  }
+  Synchronize();
+}
+
+void TracepointRegistry::DetachAll() {
+  {
+    std::scoped_lock lock(mutation_mu_);
+    for (auto& slot : enter_) slot.store(nullptr);
+    for (auto& slot : exit_) slot.store(nullptr);
+  }
+  Synchronize();
+}
+
+void TracepointRegistry::Synchronize() const {
+  while (active_dispatches_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+}
+
+namespace {
+// RAII dispatch marker for the detach grace period.
+class DispatchGuard {
+ public:
+  explicit DispatchGuard(std::atomic<std::uint64_t>& counter)
+      : counter_(counter) {
+    counter_.fetch_add(1, std::memory_order_acquire);
+  }
+  ~DispatchGuard() { counter_.fetch_sub(1, std::memory_order_release); }
+
+ private:
+  std::atomic<std::uint64_t>& counter_;
+};
+}  // namespace
+
+void TracepointRegistry::FireEnter(const SysEnterContext& ctx) const {
+  DispatchGuard guard(active_dispatches_);
+  const auto handlers = enter_[static_cast<std::size_t>(ctx.nr)].load();
+  if (!handlers) return;
+  for (const auto& entry : *handlers) entry.handler(ctx);
+}
+
+void TracepointRegistry::FireExit(const SysExitContext& ctx) const {
+  DispatchGuard guard(active_dispatches_);
+  const auto handlers = exit_[static_cast<std::size_t>(ctx.nr)].load();
+  if (!handlers) return;
+  for (const auto& entry : *handlers) entry.handler(ctx);
+}
+
+bool TracepointRegistry::HasEnter(SyscallNr nr) const {
+  const auto handlers = enter_[static_cast<std::size_t>(nr)].load();
+  return handlers && !handlers->empty();
+}
+
+bool TracepointRegistry::HasExit(SyscallNr nr) const {
+  const auto handlers = exit_[static_cast<std::size_t>(nr)].load();
+  return handlers && !handlers->empty();
+}
+
+}  // namespace dio::os

@@ -1,0 +1,132 @@
+// Syscall tracepoints (sys_enter / sys_exit), mirroring the Linux tracing
+// infrastructure DIO attaches to (§II-B).
+//
+// Handlers ("eBPF programs") are invoked synchronously on the calling
+// thread, exactly like real tracepoint-attached BPF programs — this is the
+// only synchronous part of DIO's pipeline, and it is what the overhead
+// experiments (Table II) measure.
+//
+// Dispatch is lock-free on the hot path: the handler list per tracepoint is
+// an immutable snapshot swapped atomically on attach/detach.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "oskernel/syscall_nr.h"
+#include "oskernel/types.h"
+
+namespace dio::os {
+
+// Typed view of a syscall's arguments, filled by the syscall layer. Raw
+// argument words are also provided (as an eBPF program would read them from
+// pt_regs); the string fields stand in for dereferencing user pointers.
+struct SyscallArgs {
+  std::array<std::uint64_t, 6> raw{};
+  Fd fd = kNoFd;
+  std::string path;    // primary path argument, already absolute
+  std::string path2;   // rename destination
+  std::string name;    // xattr name
+  std::uint64_t count = 0;   // byte count for data syscalls
+  std::int64_t offset = -1;  // explicit offset argument (pread64/pwrite64)
+  int whence = -1;           // lseek
+  std::uint32_t flags = 0;
+  std::uint32_t mode = 0;
+};
+
+// What the "kernel" exposes to tracepoint handlers for enrichment — the
+// stand-in for eBPF reading task_struct / files_struct / inode.
+class KernelView {
+ public:
+  virtual ~KernelView() = default;
+  [[nodiscard]] virtual std::optional<FdView> LookupFd(Pid pid, Fd fd) const = 0;
+  [[nodiscard]] virtual std::optional<PathView> ResolvePath(
+      std::string_view path) const = 0;
+  [[nodiscard]] virtual std::optional<std::string> ProcessName(
+      Pid pid) const = 0;
+  [[nodiscard]] virtual int cpu_of(Tid tid) const = 0;
+};
+
+struct SysEnterContext {
+  SyscallNr nr;
+  Pid pid;
+  Tid tid;
+  std::string_view comm;
+  Nanos timestamp;
+  const SyscallArgs* args;
+  KernelView* kernel;
+};
+
+struct SysExitContext {
+  SyscallNr nr;
+  Pid pid;
+  Tid tid;
+  std::string_view comm;
+  Nanos timestamp;
+  std::int64_t ret;
+  const SyscallArgs* args;  // same object the enter hook saw
+  KernelView* kernel;
+};
+
+using SysEnterHandler = std::function<void(const SysEnterContext&)>;
+using SysExitHandler = std::function<void(const SysExitContext&)>;
+
+// Opaque attachment handle; detach via TracepointRegistry::Detach.
+using AttachId = std::uint64_t;
+
+class TracepointRegistry {
+ public:
+  TracepointRegistry() = default;
+
+  AttachId AttachEnter(SyscallNr nr, SysEnterHandler handler);
+  AttachId AttachExit(SyscallNr nr, SysExitHandler handler);
+  // Detach waits for every in-flight handler invocation to finish before
+  // returning (the synchronize_rcu() grace period real BPF detach performs),
+  // so a detached program's captured state can be destroyed safely.
+  // Handlers must therefore never call Detach themselves.
+  void Detach(AttachId id);
+  void DetachAll();
+
+  // Hot path: called by the syscall layer.
+  void FireEnter(const SysEnterContext& ctx) const;
+  void FireExit(const SysExitContext& ctx) const;
+
+  // True if any handler is attached to this syscall's tracepoints (lets the
+  // syscall layer skip context assembly entirely when untraced).
+  [[nodiscard]] bool HasEnter(SyscallNr nr) const;
+  [[nodiscard]] bool HasExit(SyscallNr nr) const;
+
+ private:
+  template <typename Handler>
+  struct Entry {
+    AttachId id;
+    Handler handler;
+  };
+  template <typename Handler>
+  using HandlerList = std::vector<Entry<Handler>>;
+
+  // RCU-style grace period: waits until no handler dispatch is in flight.
+  void Synchronize() const;
+
+  // Immutable snapshots; readers load atomically, writers swap wholesale
+  // under mutation_mu_.
+  mutable std::atomic<std::uint64_t> active_dispatches_{0};
+  mutable std::mutex mutation_mu_;
+  std::uint64_t next_id_ = 1;
+  std::array<std::atomic<std::shared_ptr<const HandlerList<SysEnterHandler>>>,
+             kNumSyscalls>
+      enter_{};
+  std::array<std::atomic<std::shared_ptr<const HandlerList<SysExitHandler>>>,
+             kNumSyscalls>
+      exit_{};
+};
+
+}  // namespace dio::os

@@ -1,0 +1,46 @@
+#include "oskernel/types.h"
+
+namespace dio::os {
+
+std::string_view FileTypeName(FileType type) {
+  switch (type) {
+    case FileType::kUnknown: return "unknown";
+    case FileType::kRegular: return "regular";
+    case FileType::kDirectory: return "directory";
+    case FileType::kSymlink: return "symlink";
+    case FileType::kPipe: return "pipe";
+    case FileType::kSocket: return "socket";
+    case FileType::kBlockDevice: return "block-device";
+    case FileType::kCharDevice: return "char-device";
+  }
+  return "unknown";
+}
+
+FileType FileTypeFromMode(std::uint32_t mode) {
+  switch (mode & filemode::kTypeMask) {
+    case filemode::kRegular: return FileType::kRegular;
+    case filemode::kDirectory: return FileType::kDirectory;
+    case filemode::kCharDevice: return FileType::kCharDevice;
+    case filemode::kBlockDevice: return FileType::kBlockDevice;
+    case filemode::kFifo: return FileType::kPipe;
+    case filemode::kSocket: return FileType::kSocket;
+    case filemode::kSymlink: return FileType::kSymlink;
+    default: return FileType::kRegular;  // mknod with no type bits
+  }
+}
+
+std::uint32_t ModeFromFileType(FileType type) {
+  switch (type) {
+    case FileType::kRegular: return filemode::kRegular;
+    case FileType::kDirectory: return filemode::kDirectory;
+    case FileType::kCharDevice: return filemode::kCharDevice;
+    case FileType::kBlockDevice: return filemode::kBlockDevice;
+    case FileType::kPipe: return filemode::kFifo;
+    case FileType::kSocket: return filemode::kSocket;
+    case FileType::kSymlink: return filemode::kSymlink;
+    case FileType::kUnknown: return 0;
+  }
+  return 0;
+}
+
+}  // namespace dio::os

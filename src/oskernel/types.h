@@ -1,0 +1,124 @@
+// Core identifier and flag types for the simulated OS substrate.
+//
+// The substrate mirrors the Linux syscall ABI closely enough that DIO's
+// tracer observes the same signal a real eBPF tracer would: syscall numbers,
+// argument words, errno-style return values, PIDs/TIDs/comms, and kernel
+// structures (inodes, open file descriptions, per-fd offsets).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dio::os {
+
+using Pid = std::int32_t;
+using Tid = std::int32_t;
+using Fd = std::int32_t;
+using InodeNum = std::uint64_t;
+using DeviceNum = std::uint64_t;
+
+constexpr Pid kNoPid = -1;
+constexpr Tid kNoTid = -1;
+constexpr Fd kNoFd = -1;
+
+// File types, matching the set DIO differentiates (§II-B): regular files,
+// directories, sockets, block/char devices, pipes, symbolic links, other.
+enum class FileType : std::uint8_t {
+  kUnknown = 0,
+  kRegular,
+  kDirectory,
+  kSymlink,
+  kPipe,
+  kSocket,
+  kBlockDevice,
+  kCharDevice,
+};
+
+std::string_view FileTypeName(FileType type);
+
+// Open flags (values mirror Linux where it is cheap to do so).
+namespace openflag {
+constexpr std::uint32_t kReadOnly = 0x0;
+constexpr std::uint32_t kWriteOnly = 0x1;
+constexpr std::uint32_t kReadWrite = 0x2;
+constexpr std::uint32_t kAccessMask = 0x3;
+constexpr std::uint32_t kCreate = 0x40;     // O_CREAT
+constexpr std::uint32_t kExclusive = 0x80;  // O_EXCL
+constexpr std::uint32_t kTruncate = 0x200;  // O_TRUNC
+constexpr std::uint32_t kAppend = 0x400;    // O_APPEND
+constexpr std::uint32_t kDirectory = 0x10000;  // O_DIRECTORY
+}  // namespace openflag
+
+// Mode bits for mknod-style type selection (Linux S_IF*).
+namespace filemode {
+constexpr std::uint32_t kTypeMask = 0170000;
+constexpr std::uint32_t kRegular = 0100000;
+constexpr std::uint32_t kDirectory = 0040000;
+constexpr std::uint32_t kCharDevice = 0020000;
+constexpr std::uint32_t kBlockDevice = 0060000;
+constexpr std::uint32_t kFifo = 0010000;
+constexpr std::uint32_t kSocket = 0140000;
+constexpr std::uint32_t kSymlink = 0120000;
+}  // namespace filemode
+
+FileType FileTypeFromMode(std::uint32_t mode);
+std::uint32_t ModeFromFileType(FileType type);
+
+// lseek whence values.
+enum Whence : int { kSeekSet = 0, kSeekCur = 1, kSeekEnd = 2 };
+
+// errno values (negated in syscall returns, like the real ABI).
+namespace err {
+constexpr int kEPERM = 1;
+constexpr int kENOENT = 2;
+constexpr int kEBADF = 9;
+constexpr int kENOMEM = 12;
+constexpr int kEACCES = 13;
+constexpr int kEEXIST = 17;
+constexpr int kENOTDIR = 20;
+constexpr int kEISDIR = 21;
+constexpr int kEINVAL = 22;
+constexpr int kEMFILE = 24;
+constexpr int kENOSPC = 28;
+constexpr int kESPIPE = 29;
+constexpr int kENAMETOOLONG = 36;
+constexpr int kENOTEMPTY = 39;
+constexpr int kENODATA = 61;
+constexpr int kEOPNOTSUPP = 95;
+}  // namespace err
+
+// stat(2)-style result.
+struct StatBuf {
+  DeviceNum dev = 0;
+  InodeNum ino = 0;
+  FileType type = FileType::kUnknown;
+  std::uint32_t mode = 0;
+  std::uint64_t nlink = 0;
+  std::uint64_t size = 0;
+  std::int64_t atime_ns = 0;
+  std::int64_t mtime_ns = 0;
+  std::int64_t ctime_ns = 0;
+};
+
+// Directory file descriptor sentinel for *at syscalls: we support AT_FDCWD
+// with absolute paths (the substrate has no per-process CWD).
+constexpr Fd kAtFdCwd = -100;
+
+// Kernel-structure views exposed to tracepoint handlers for enrichment —
+// the stand-in for eBPF reading struct file / struct inode.
+struct FdView {
+  DeviceNum dev = 0;
+  InodeNum ino = 0;
+  FileType type = FileType::kUnknown;
+  std::uint64_t offset = 0;  // current file position
+  std::string path;          // dentry path recorded at open
+};
+
+struct PathView {
+  DeviceNum dev = 0;
+  InodeNum ino = 0;
+  FileType type = FileType::kUnknown;
+};
+
+}  // namespace dio::os

@@ -1,0 +1,637 @@
+#include "oskernel/vfs.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace dio::os {
+
+namespace {
+constexpr int kMaxSymlinkDepth = 8;
+constexpr std::size_t kMaxNameLen = 255;
+}  // namespace
+
+Vfs::Vfs(Clock* clock) : clock_(clock) {
+  // Root mount on device 1 (RAM-backed, no block device, unbounded).
+  auto root = std::make_unique<MountFs>("/", 1, nullptr, 0);
+  Inode* root_inode = root->inodes.Allocate(FileType::kDirectory,
+                                            clock_->NowNanos());
+  root->root = root_inode->ino;
+  mounts_.push_back(std::move(root));
+}
+
+dio::Status Vfs::AddMount(std::string prefix, DeviceNum dev,
+                          BlockDevice* device,
+                          std::uint64_t capacity_bytes) {
+  std::string normalized;
+  DIO_RETURN_IF_ERROR(NormalizePath(prefix, &normalized));
+  std::scoped_lock lock(mu_);
+  for (const auto& mount : mounts_) {
+    if (mount->prefix == normalized) {
+      return dio::AlreadyExists("mount point in use: " + normalized);
+    }
+    if (mount->dev == dev) {
+      return dio::AlreadyExists("device number in use: " +
+                                std::to_string(dev));
+    }
+  }
+  auto fs = std::make_unique<MountFs>(normalized, dev, device,
+                                      capacity_bytes);
+  Inode* root_inode = fs->inodes.Allocate(FileType::kDirectory,
+                                          clock_->NowNanos());
+  fs->root = root_inode->ino;
+  mounts_.push_back(std::move(fs));
+  // Longest prefix first.
+  std::sort(mounts_.begin(), mounts_.end(),
+            [](const auto& a, const auto& b) {
+              return a->prefix.size() > b->prefix.size();
+            });
+  return dio::Status::Ok();
+}
+
+dio::Status Vfs::NormalizePath(std::string_view path, std::string* normalized) {
+  if (path.empty() || path.front() != '/') {
+    return dio::InvalidArgument("path must be absolute");
+  }
+  std::string out = "/";
+  for (const std::string& part : Split(path.substr(1), '/')) {
+    if (part.empty() || part == ".") continue;
+    if (part == "..") {
+      return dio::InvalidArgument("'..' is not supported");
+    }
+    if (part.size() > kMaxNameLen) {
+      return dio::InvalidArgument("path component too long");
+    }
+    if (out.back() != '/') out.push_back('/');
+    out += part;
+  }
+  *normalized = std::move(out);
+  return dio::Status::Ok();
+}
+
+Vfs::MountFs* Vfs::MountFor(std::string_view path,
+                            std::string_view* remainder) const {
+  for (const auto& mount : mounts_) {
+    const std::string& prefix = mount->prefix;
+    if (prefix == "/") {
+      *remainder = path.substr(1);
+      return mount.get();
+    }
+    if (path == prefix) {
+      *remainder = "";
+      return mount.get();
+    }
+    if (path.size() > prefix.size() && path.starts_with(prefix) &&
+        path[prefix.size()] == '/') {
+      *remainder = path.substr(prefix.size() + 1);
+      return mount.get();
+    }
+  }
+  return nullptr;  // unreachable: "/" always matches
+}
+
+Vfs::MountFs* Vfs::MountByDev(DeviceNum dev) const {
+  for (const auto& mount : mounts_) {
+    if (mount->dev == dev) return mount.get();
+  }
+  return nullptr;
+}
+
+int Vfs::LocatePath(std::string_view path, bool follow_final_symlink,
+                    Located* out, int depth) const {
+  if (depth > kMaxSymlinkDepth) return -err::kEINVAL;
+  std::string normalized;
+  if (!NormalizePath(path, &normalized).ok()) return -err::kEINVAL;
+  std::string_view remainder;
+  MountFs* fs = MountFor(normalized, &remainder);
+  Inode* node = fs->inodes.Get(fs->root);
+  if (remainder.empty()) {
+    out->mount = fs;
+    out->inode = node;
+    return 0;
+  }
+  std::vector<std::string> parts = Split(remainder, '/');
+  std::string walked = fs->prefix;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (node->type != FileType::kDirectory) return -err::kENOTDIR;
+    auto it = node->entries.find(parts[i]);
+    if (it == node->entries.end()) return -err::kENOENT;
+    Inode* child = fs->inodes.Get(it->second);
+    if (child == nullptr) return -err::kENOENT;
+    const bool is_final = (i + 1 == parts.size());
+    if (child->type == FileType::kSymlink &&
+        (!is_final || follow_final_symlink)) {
+      // Absolute symlink targets only; re-resolve target + remaining parts.
+      std::string target = child->symlink_target;
+      for (std::size_t j = i + 1; j < parts.size(); ++j) {
+        target += "/" + parts[j];
+      }
+      return LocatePath(target, follow_final_symlink, out, depth + 1);
+    }
+    node = child;
+    if (walked.back() != '/') walked.push_back('/');
+    walked += parts[i];
+  }
+  out->mount = fs;
+  out->inode = node;
+  return 0;
+}
+
+int Vfs::LocateParent(std::string_view path, ParentLocated* out) const {
+  std::string normalized;
+  if (!NormalizePath(path, &normalized).ok()) return -err::kEINVAL;
+  if (normalized == "/") return -err::kEINVAL;
+  const std::size_t slash = normalized.find_last_of('/');
+  std::string parent_path = slash == 0 ? "/" : normalized.substr(0, slash);
+  std::string leaf = normalized.substr(slash + 1);
+  // The leaf may live in a mount rooted deeper than the parent path; make
+  // sure the parent resolves within the same mount as the full path.
+  std::string_view remainder;
+  MountFs* fs = MountFor(normalized, &remainder);
+  if (remainder.empty()) return -err::kEINVAL;  // path IS a mount root
+  Located parent_loc;
+  const int rc = LocatePath(parent_path, /*follow_final_symlink=*/true,
+                            &parent_loc);
+  if (rc != 0) return rc;
+  if (parent_loc.mount != fs) return -err::kEINVAL;
+  if (parent_loc.inode->type != FileType::kDirectory) return -err::kENOTDIR;
+  out->mount = parent_loc.mount;
+  out->parent = parent_loc.inode;
+  out->leaf = std::move(leaf);
+  return 0;
+}
+
+void Vfs::MaybeFreeInode(MountFs* fs, Inode* inode) {
+  if (inode->nlink == 0 && inode->open_refs == 0) {
+    if (inode->type == FileType::kRegular) {
+      fs->used_bytes -= inode->data.size();
+    }
+    fs->inodes.Free(inode->ino);
+  }
+}
+
+int Vfs::ResolveForOpen(std::string_view path, std::uint32_t flags,
+                        std::uint32_t mode, OpenResolution* out) {
+  (void)mode;
+  std::scoped_lock lock(mu_);
+  Located loc;
+  int rc = LocatePath(path, /*follow_final_symlink=*/true, &loc);
+  Inode* inode = nullptr;
+  MountFs* fs = nullptr;
+  bool created = false;
+
+  if (rc == 0) {
+    if ((flags & openflag::kCreate) && (flags & openflag::kExclusive)) {
+      return -err::kEEXIST;
+    }
+    fs = loc.mount;
+    inode = loc.inode;
+  } else if (rc == -err::kENOENT && (flags & openflag::kCreate)) {
+    ParentLocated parent;
+    rc = LocateParent(path, &parent);
+    if (rc != 0) return rc;
+    if (parent.parent->entries.contains(parent.leaf)) {
+      // Raced name (cannot happen under the lock) or symlink leaf.
+      return -err::kEEXIST;
+    }
+    fs = parent.mount;
+    inode = fs->inodes.Allocate(FileType::kRegular, clock_->NowNanos());
+    parent.parent->entries[parent.leaf] = inode->ino;
+    parent.parent->mtime_ns = clock_->NowNanos();
+    created = true;
+  } else {
+    return rc;
+  }
+
+  if (inode->type == FileType::kDirectory) {
+    if ((flags & openflag::kAccessMask) != openflag::kReadOnly) {
+      return -err::kEISDIR;
+    }
+  } else if (flags & openflag::kDirectory) {
+    return -err::kENOTDIR;
+  }
+
+  if ((flags & openflag::kTruncate) && inode->type == FileType::kRegular) {
+    fs->used_bytes -= inode->data.size();
+    inode->data.clear();
+    inode->mtime_ns = clock_->NowNanos();
+  }
+
+  ++inode->open_refs;
+  out->dev = fs->dev;
+  out->ino = inode->ino;
+  out->type = inode->type;
+  out->size = inode->size();
+  out->created = created;
+  out->device = fs->device;
+  return 0;
+}
+
+void Vfs::ReleaseOpenRef(DeviceNum dev, InodeNum ino) {
+  std::scoped_lock lock(mu_);
+  MountFs* fs = MountByDev(dev);
+  if (fs == nullptr) return;
+  Inode* inode = fs->inodes.Get(ino);
+  if (inode == nullptr) return;
+  if (inode->open_refs > 0) --inode->open_refs;
+  MaybeFreeInode(fs, inode);
+}
+
+std::int64_t Vfs::Read(DeviceNum dev, InodeNum ino, std::uint64_t offset,
+                       std::uint64_t count, std::string* out) {
+  std::scoped_lock lock(mu_);
+  MountFs* fs = MountByDev(dev);
+  if (fs == nullptr) return -err::kEBADF;
+  Inode* inode = fs->inodes.Get(ino);
+  if (inode == nullptr) return -err::kEBADF;
+  if (inode->type == FileType::kDirectory) return -err::kEISDIR;
+  if (inode->type != FileType::kRegular) return -err::kEINVAL;
+  inode->atime_ns = clock_->NowNanos();
+  if (offset >= inode->data.size()) {
+    out->clear();
+    return 0;
+  }
+  const std::uint64_t available = inode->data.size() - offset;
+  const std::uint64_t n = std::min(count, available);
+  out->assign(inode->data, offset, n);
+  return static_cast<std::int64_t>(n);
+}
+
+std::int64_t Vfs::Write(DeviceNum dev, InodeNum ino, std::uint64_t offset,
+                        std::string_view data, bool append,
+                        std::uint64_t* offset_used) {
+  std::scoped_lock lock(mu_);
+  MountFs* fs = MountByDev(dev);
+  if (fs == nullptr) return -err::kEBADF;
+  Inode* inode = fs->inodes.Get(ino);
+  if (inode == nullptr) return -err::kEBADF;
+  if (inode->type == FileType::kDirectory) return -err::kEISDIR;
+  if (inode->type != FileType::kRegular) return -err::kEINVAL;
+  const std::uint64_t at = append ? inode->data.size() : offset;
+  if (at + data.size() > inode->data.size()) {
+    const std::uint64_t growth = at + data.size() - inode->data.size();
+    if (fs->capacity_bytes != 0 &&
+        fs->used_bytes + growth > fs->capacity_bytes) {
+      return -err::kENOSPC;
+    }
+    fs->used_bytes += growth;
+    inode->data.resize(at + data.size());
+  }
+  inode->data.replace(at, data.size(), data);
+  inode->mtime_ns = clock_->NowNanos();
+  if (offset_used != nullptr) *offset_used = at;
+  return static_cast<std::int64_t>(data.size());
+}
+
+int Vfs::TruncateInode(DeviceNum dev, InodeNum ino, std::uint64_t size) {
+  std::scoped_lock lock(mu_);
+  MountFs* fs = MountByDev(dev);
+  if (fs == nullptr) return -err::kEBADF;
+  Inode* inode = fs->inodes.Get(ino);
+  if (inode == nullptr) return -err::kEBADF;
+  if (inode->type != FileType::kRegular) return -err::kEINVAL;
+  if (size > inode->data.size()) {
+    const std::uint64_t growth = size - inode->data.size();
+    if (fs->capacity_bytes != 0 &&
+        fs->used_bytes + growth > fs->capacity_bytes) {
+      return -err::kENOSPC;
+    }
+    fs->used_bytes += growth;
+  } else {
+    fs->used_bytes -= inode->data.size() - size;
+  }
+  inode->data.resize(size);
+  inode->mtime_ns = clock_->NowNanos();
+  return 0;
+}
+
+int Vfs::TruncatePath(std::string_view path, std::uint64_t size,
+                      PathView* resolved) {
+  std::scoped_lock lock(mu_);
+  Located loc;
+  const int rc = LocatePath(path, /*follow_final_symlink=*/true, &loc);
+  if (rc != 0) return rc;
+  if (loc.inode->type != FileType::kRegular) {
+    return loc.inode->type == FileType::kDirectory ? -err::kEISDIR
+                                                   : -err::kEINVAL;
+  }
+  if (size > loc.inode->data.size()) {
+    const std::uint64_t growth = size - loc.inode->data.size();
+    if (loc.mount->capacity_bytes != 0 &&
+        loc.mount->used_bytes + growth > loc.mount->capacity_bytes) {
+      return -err::kENOSPC;
+    }
+    loc.mount->used_bytes += growth;
+  } else {
+    loc.mount->used_bytes -= loc.inode->data.size() - size;
+  }
+  loc.inode->data.resize(size);
+  loc.inode->mtime_ns = clock_->NowNanos();
+  if (resolved != nullptr) {
+    resolved->dev = loc.mount->dev;
+    resolved->ino = loc.inode->ino;
+    resolved->type = loc.inode->type;
+  }
+  return 0;
+}
+
+int Vfs::StatPath(std::string_view path, bool follow_symlink, StatBuf* out) {
+  std::scoped_lock lock(mu_);
+  Located loc;
+  const int rc = LocatePath(path, follow_symlink, &loc);
+  if (rc != 0) return rc;
+  out->dev = loc.mount->dev;
+  out->ino = loc.inode->ino;
+  out->type = loc.inode->type;
+  out->mode = loc.inode->mode;
+  out->nlink = loc.inode->nlink;
+  out->size = loc.inode->size();
+  out->atime_ns = loc.inode->atime_ns;
+  out->mtime_ns = loc.inode->mtime_ns;
+  out->ctime_ns = loc.inode->ctime_ns;
+  return 0;
+}
+
+int Vfs::StatInode(DeviceNum dev, InodeNum ino, StatBuf* out) {
+  std::scoped_lock lock(mu_);
+  MountFs* fs = MountByDev(dev);
+  if (fs == nullptr) return -err::kEBADF;
+  Inode* inode = fs->inodes.Get(ino);
+  if (inode == nullptr) return -err::kEBADF;
+  out->dev = fs->dev;
+  out->ino = inode->ino;
+  out->type = inode->type;
+  out->mode = inode->mode;
+  out->nlink = inode->nlink;
+  out->size = inode->size();
+  out->atime_ns = inode->atime_ns;
+  out->mtime_ns = inode->mtime_ns;
+  out->ctime_ns = inode->ctime_ns;
+  return 0;
+}
+
+int Vfs::Unlink(std::string_view path) {
+  std::scoped_lock lock(mu_);
+  ParentLocated parent;
+  int rc = LocateParent(path, &parent);
+  if (rc != 0) return rc;
+  auto it = parent.parent->entries.find(parent.leaf);
+  if (it == parent.parent->entries.end()) return -err::kENOENT;
+  Inode* inode = parent.mount->inodes.Get(it->second);
+  if (inode == nullptr) return -err::kENOENT;
+  if (inode->type == FileType::kDirectory) return -err::kEISDIR;
+  parent.parent->entries.erase(it);
+  parent.parent->mtime_ns = clock_->NowNanos();
+  if (inode->nlink > 0) --inode->nlink;
+  inode->ctime_ns = clock_->NowNanos();
+  MaybeFreeInode(parent.mount, inode);
+  return 0;
+}
+
+int Vfs::Rename(std::string_view from, std::string_view to) {
+  std::scoped_lock lock(mu_);
+  ParentLocated src;
+  int rc = LocateParent(from, &src);
+  if (rc != 0) return rc;
+  auto src_it = src.parent->entries.find(src.leaf);
+  if (src_it == src.parent->entries.end()) return -err::kENOENT;
+
+  ParentLocated dst;
+  rc = LocateParent(to, &dst);
+  if (rc != 0) return rc;
+  if (src.mount != dst.mount) return -err::kEINVAL;  // EXDEV in real life
+
+  Inode* moving = src.mount->inodes.Get(src_it->second);
+  if (moving == nullptr) return -err::kENOENT;
+
+  // If the destination exists, POSIX replaces it (file over file).
+  auto dst_it = dst.parent->entries.find(dst.leaf);
+  if (dst_it != dst.parent->entries.end()) {
+    if (dst_it->second == src_it->second) return 0;  // same file
+    Inode* victim = dst.mount->inodes.Get(dst_it->second);
+    if (victim != nullptr) {
+      if (victim->type == FileType::kDirectory) return -err::kEISDIR;
+      if (victim->nlink > 0) --victim->nlink;
+      MaybeFreeInode(dst.mount, victim);
+    }
+    dst.parent->entries.erase(dst_it);
+  }
+
+  const InodeNum ino = src_it->second;
+  src.parent->entries.erase(src_it);
+  dst.parent->entries[dst.leaf] = ino;
+  const Nanos now = clock_->NowNanos();
+  src.parent->mtime_ns = now;
+  dst.parent->mtime_ns = now;
+  moving->ctime_ns = now;
+  return 0;
+}
+
+int Vfs::Mkdir(std::string_view path, std::uint32_t mode) {
+  (void)mode;
+  std::scoped_lock lock(mu_);
+  Located existing;
+  if (LocatePath(path, /*follow_final_symlink=*/false, &existing) == 0) {
+    return -err::kEEXIST;  // includes mount roots
+  }
+  ParentLocated parent;
+  const int rc = LocateParent(path, &parent);
+  if (rc != 0) return rc;
+  if (parent.parent->entries.contains(parent.leaf)) return -err::kEEXIST;
+  Inode* dir = parent.mount->inodes.Allocate(FileType::kDirectory,
+                                             clock_->NowNanos());
+  parent.parent->entries[parent.leaf] = dir->ino;
+  ++parent.parent->nlink;  // ".." link from the new directory
+  parent.parent->mtime_ns = clock_->NowNanos();
+  return 0;
+}
+
+int Vfs::Rmdir(std::string_view path) {
+  std::scoped_lock lock(mu_);
+  ParentLocated parent;
+  const int rc = LocateParent(path, &parent);
+  if (rc != 0) return rc;
+  auto it = parent.parent->entries.find(parent.leaf);
+  if (it == parent.parent->entries.end()) return -err::kENOENT;
+  Inode* dir = parent.mount->inodes.Get(it->second);
+  if (dir == nullptr) return -err::kENOENT;
+  if (dir->type != FileType::kDirectory) return -err::kENOTDIR;
+  if (!dir->entries.empty()) return -err::kENOTEMPTY;
+  parent.parent->entries.erase(it);
+  if (parent.parent->nlink > 2) --parent.parent->nlink;
+  parent.parent->mtime_ns = clock_->NowNanos();
+  dir->nlink = 0;
+  MaybeFreeInode(parent.mount, dir);
+  return 0;
+}
+
+int Vfs::Mknod(std::string_view path, std::uint32_t mode) {
+  std::scoped_lock lock(mu_);
+  ParentLocated parent;
+  const int rc = LocateParent(path, &parent);
+  if (rc != 0) return rc;
+  if (parent.parent->entries.contains(parent.leaf)) return -err::kEEXIST;
+  const FileType type = FileTypeFromMode(mode);
+  if (type == FileType::kDirectory || type == FileType::kSymlink) {
+    return -err::kEINVAL;
+  }
+  Inode* node = parent.mount->inodes.Allocate(type, clock_->NowNanos());
+  node->mode = mode;
+  parent.parent->entries[parent.leaf] = node->ino;
+  parent.parent->mtime_ns = clock_->NowNanos();
+  return 0;
+}
+
+int Vfs::CreateSymlink(std::string_view path, std::string target) {
+  std::scoped_lock lock(mu_);
+  ParentLocated parent;
+  const int rc = LocateParent(path, &parent);
+  if (rc != 0) return rc;
+  if (parent.parent->entries.contains(parent.leaf)) return -err::kEEXIST;
+  Inode* link = parent.mount->inodes.Allocate(FileType::kSymlink,
+                                              clock_->NowNanos());
+  link->symlink_target = std::move(target);
+  parent.parent->entries[parent.leaf] = link->ino;
+  parent.parent->mtime_ns = clock_->NowNanos();
+  return 0;
+}
+
+int Vfs::SetXattrPath(std::string_view path, bool follow,
+                      std::string_view name, std::string_view value) {
+  std::scoped_lock lock(mu_);
+  Located loc;
+  const int rc = LocatePath(path, follow, &loc);
+  if (rc != 0) return rc;
+  loc.inode->xattrs[std::string(name)] = std::string(value);
+  loc.inode->ctime_ns = clock_->NowNanos();
+  return 0;
+}
+
+int Vfs::GetXattrPath(std::string_view path, bool follow,
+                      std::string_view name, std::string* value) {
+  std::scoped_lock lock(mu_);
+  Located loc;
+  const int rc = LocatePath(path, follow, &loc);
+  if (rc != 0) return rc;
+  auto it = loc.inode->xattrs.find(std::string(name));
+  if (it == loc.inode->xattrs.end()) return -err::kENODATA;
+  *value = it->second;
+  return static_cast<int>(it->second.size());
+}
+
+int Vfs::RemoveXattrPath(std::string_view path, bool follow,
+                         std::string_view name) {
+  std::scoped_lock lock(mu_);
+  Located loc;
+  const int rc = LocatePath(path, follow, &loc);
+  if (rc != 0) return rc;
+  if (loc.inode->xattrs.erase(std::string(name)) == 0) return -err::kENODATA;
+  loc.inode->ctime_ns = clock_->NowNanos();
+  return 0;
+}
+
+int Vfs::ListXattrPath(std::string_view path, bool follow,
+                       std::vector<std::string>* names) {
+  std::scoped_lock lock(mu_);
+  Located loc;
+  const int rc = LocatePath(path, follow, &loc);
+  if (rc != 0) return rc;
+  names->clear();
+  for (const auto& [name, value] : loc.inode->xattrs) names->push_back(name);
+  return static_cast<int>(names->size());
+}
+
+int Vfs::SetXattrInode(DeviceNum dev, InodeNum ino, std::string_view name,
+                       std::string_view value) {
+  std::scoped_lock lock(mu_);
+  MountFs* fs = MountByDev(dev);
+  if (fs == nullptr) return -err::kEBADF;
+  Inode* inode = fs->inodes.Get(ino);
+  if (inode == nullptr) return -err::kEBADF;
+  inode->xattrs[std::string(name)] = std::string(value);
+  inode->ctime_ns = clock_->NowNanos();
+  return 0;
+}
+
+int Vfs::GetXattrInode(DeviceNum dev, InodeNum ino, std::string_view name,
+                       std::string* value) {
+  std::scoped_lock lock(mu_);
+  MountFs* fs = MountByDev(dev);
+  if (fs == nullptr) return -err::kEBADF;
+  Inode* inode = fs->inodes.Get(ino);
+  if (inode == nullptr) return -err::kEBADF;
+  auto it = inode->xattrs.find(std::string(name));
+  if (it == inode->xattrs.end()) return -err::kENODATA;
+  *value = it->second;
+  return static_cast<int>(it->second.size());
+}
+
+int Vfs::RemoveXattrInode(DeviceNum dev, InodeNum ino, std::string_view name) {
+  std::scoped_lock lock(mu_);
+  MountFs* fs = MountByDev(dev);
+  if (fs == nullptr) return -err::kEBADF;
+  Inode* inode = fs->inodes.Get(ino);
+  if (inode == nullptr) return -err::kEBADF;
+  if (inode->xattrs.erase(std::string(name)) == 0) return -err::kENODATA;
+  inode->ctime_ns = clock_->NowNanos();
+  return 0;
+}
+
+int Vfs::ListXattrInode(DeviceNum dev, InodeNum ino,
+                        std::vector<std::string>* names) {
+  std::scoped_lock lock(mu_);
+  MountFs* fs = MountByDev(dev);
+  if (fs == nullptr) return -err::kEBADF;
+  Inode* inode = fs->inodes.Get(ino);
+  if (inode == nullptr) return -err::kEBADF;
+  names->clear();
+  for (const auto& [name, value] : inode->xattrs) names->push_back(name);
+  return static_cast<int>(names->size());
+}
+
+std::uint64_t Vfs::UsedBytes(DeviceNum dev) const {
+  std::scoped_lock lock(mu_);
+  MountFs* fs = MountByDev(dev);
+  return fs == nullptr ? 0 : fs->used_bytes;
+}
+
+std::optional<PathView> Vfs::ResolvePathView(std::string_view path) const {
+  std::scoped_lock lock(mu_);
+  Located loc;
+  if (LocatePath(path, /*follow_final_symlink=*/true, &loc) != 0) {
+    return std::nullopt;
+  }
+  PathView view;
+  view.dev = loc.mount->dev;
+  view.ino = loc.inode->ino;
+  view.type = loc.inode->type;
+  return view;
+}
+
+BlockDevice* Vfs::DeviceOf(DeviceNum dev) const {
+  std::scoped_lock lock(mu_);
+  MountFs* fs = MountByDev(dev);
+  return fs == nullptr ? nullptr : fs->device;
+}
+
+std::optional<FileType> Vfs::TypeOf(DeviceNum dev, InodeNum ino) const {
+  std::scoped_lock lock(mu_);
+  MountFs* fs = MountByDev(dev);
+  if (fs == nullptr) return std::nullopt;
+  const Inode* inode = fs->inodes.Get(ino);
+  if (inode == nullptr) return std::nullopt;
+  return inode->type;
+}
+
+std::vector<std::string> Vfs::ListDir(std::string_view path) const {
+  std::scoped_lock lock(mu_);
+  Located loc;
+  if (LocatePath(path, /*follow_final_symlink=*/true, &loc) != 0) return {};
+  if (loc.inode->type != FileType::kDirectory) return {};
+  std::vector<std::string> out;
+  out.reserve(loc.inode->entries.size());
+  for (const auto& [name, ino] : loc.inode->entries) out.push_back(name);
+  return out;
+}
+
+}  // namespace dio::os

@@ -1,0 +1,164 @@
+// Virtual filesystem: mounts, path resolution, directories, regular file
+// data, xattrs, and POSIX deferred inode deletion.
+//
+// All operations return errno-style results (0 / positive on success,
+// negative errno on failure) because the syscall layer forwards them
+// directly as syscall return values — the signal DIO traces.
+//
+// Concurrency: one mutex guards all VFS metadata and data. Device service
+// time is charged by the *syscall layer* outside this lock, so the disk —
+// not the VFS lock — is the contended resource in experiments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "oskernel/disk.h"
+#include "oskernel/inode.h"
+#include "oskernel/types.h"
+
+namespace dio::os {
+
+// Result of resolving a path for open(2).
+struct OpenResolution {
+  DeviceNum dev = 0;
+  InodeNum ino = 0;
+  FileType type = FileType::kUnknown;
+  std::uint64_t size = 0;
+  bool created = false;
+  BlockDevice* device = nullptr;
+};
+
+class Vfs {
+ public:
+  explicit Vfs(Clock* clock);
+
+  Vfs(const Vfs&) = delete;
+  Vfs& operator=(const Vfs&) = delete;
+
+  // Mount a filesystem backed by `device` (may be nullptr for a RAM-backed
+  // fs) at `prefix` ("/" or "/mnt/data"). Longest-prefix wins at resolution.
+  // The root mount "/" is created by the constructor on a null device.
+  // `capacity_bytes` bounds the total file data on the mount (0 = unbounded);
+  // writes that would exceed it fail with -ENOSPC, and deletions free space —
+  // the failure-injection hook for dependability experiments.
+  dio::Status AddMount(std::string prefix, DeviceNum dev, BlockDevice* device,
+                       std::uint64_t capacity_bytes = 0);
+
+  // Data bytes currently stored on a mount (regular file payloads).
+  [[nodiscard]] std::uint64_t UsedBytes(DeviceNum dev) const;
+
+  // ---- open/close support -------------------------------------------------
+  // Resolves (and with kCreate, creates) the file for open(); bumps the
+  // inode's open_refs on success.
+  int ResolveForOpen(std::string_view path, std::uint32_t flags,
+                     std::uint32_t mode, OpenResolution* out);
+  // Drops an open reference; frees the inode if it is orphaned (nlink == 0).
+  void ReleaseOpenRef(DeviceNum dev, InodeNum ino);
+
+  // ---- data ---------------------------------------------------------------
+  // Reads up to `count` bytes at `offset` into `out`. Returns bytes read.
+  std::int64_t Read(DeviceNum dev, InodeNum ino, std::uint64_t offset,
+                    std::uint64_t count, std::string* out);
+  // Writes at `offset` (or at EOF if `append`); returns bytes written and
+  // stores the offset actually used in `*offset_used`.
+  std::int64_t Write(DeviceNum dev, InodeNum ino, std::uint64_t offset,
+                     std::string_view data, bool append,
+                     std::uint64_t* offset_used);
+  int TruncateInode(DeviceNum dev, InodeNum ino, std::uint64_t size);
+  int TruncatePath(std::string_view path, std::uint64_t size,
+                   PathView* resolved = nullptr);
+
+  // ---- metadata -----------------------------------------------------------
+  int StatPath(std::string_view path, bool follow_symlink, StatBuf* out);
+  int StatInode(DeviceNum dev, InodeNum ino, StatBuf* out);
+  int Unlink(std::string_view path);
+  int Rename(std::string_view from, std::string_view to);
+
+  // ---- directories / nodes ------------------------------------------------
+  int Mkdir(std::string_view path, std::uint32_t mode);
+  int Rmdir(std::string_view path);
+  int Mknod(std::string_view path, std::uint32_t mode);
+  // Test/setup helper (symlink(2) is not in the traced set, so this is not a
+  // syscall): creates a symbolic link at `path` pointing to `target`.
+  int CreateSymlink(std::string_view path, std::string target);
+
+  // ---- extended attributes ------------------------------------------------
+  int SetXattrPath(std::string_view path, bool follow, std::string_view name,
+                   std::string_view value);
+  int GetXattrPath(std::string_view path, bool follow, std::string_view name,
+                   std::string* value);
+  int RemoveXattrPath(std::string_view path, bool follow,
+                      std::string_view name);
+  int ListXattrPath(std::string_view path, bool follow,
+                    std::vector<std::string>* names);
+  int SetXattrInode(DeviceNum dev, InodeNum ino, std::string_view name,
+                    std::string_view value);
+  int GetXattrInode(DeviceNum dev, InodeNum ino, std::string_view name,
+                    std::string* value);
+  int RemoveXattrInode(DeviceNum dev, InodeNum ino, std::string_view name);
+  int ListXattrInode(DeviceNum dev, InodeNum ino,
+                     std::vector<std::string>* names);
+
+  // ---- views for tracer enrichment ----------------------------------------
+  [[nodiscard]] std::optional<PathView> ResolvePathView(
+      std::string_view path) const;
+  [[nodiscard]] BlockDevice* DeviceOf(DeviceNum dev) const;
+  [[nodiscard]] std::optional<FileType> TypeOf(DeviceNum dev,
+                                               InodeNum ino) const;
+
+  // Directory listing (for tests and tooling; readdir is not in the set).
+  [[nodiscard]] std::vector<std::string> ListDir(std::string_view path) const;
+
+ private:
+  struct MountFs {
+    std::string prefix;
+    DeviceNum dev;
+    BlockDevice* device;
+    InodeTable inodes;
+    InodeNum root;
+    std::uint64_t capacity_bytes;  // 0 = unbounded
+    std::uint64_t used_bytes = 0;  // regular-file payload bytes
+
+    MountFs(std::string p, DeviceNum d, BlockDevice* dv, std::uint64_t cap)
+        : prefix(std::move(p)), dev(d), device(dv), inodes(2), root(0),
+          capacity_bytes(cap) {}
+  };
+
+  struct Located {
+    MountFs* mount = nullptr;
+    Inode* inode = nullptr;
+  };
+  struct ParentLocated {
+    MountFs* mount = nullptr;
+    Inode* parent = nullptr;
+    std::string leaf;
+  };
+
+  // All private helpers assume mu_ is held.
+  [[nodiscard]] MountFs* MountFor(std::string_view path,
+                                  std::string_view* remainder) const;
+  int LocatePath(std::string_view path, bool follow_final_symlink,
+                 Located* out, int depth = 0) const;
+  int LocateParent(std::string_view path, ParentLocated* out) const;
+  [[nodiscard]] MountFs* MountByDev(DeviceNum dev) const;
+  void MaybeFreeInode(MountFs* fs, Inode* inode);
+
+  static dio::Status NormalizePath(std::string_view path,
+                                   std::string* normalized);
+
+  Clock* clock_;
+  mutable std::mutex mu_;
+  // Sorted by prefix length descending for longest-prefix matching.
+  std::vector<std::unique_ptr<MountFs>> mounts_;
+};
+
+}  // namespace dio::os

@@ -1,0 +1,129 @@
+#include "service/dio_service.h"
+
+namespace dio::service {
+
+Json SessionInfo::ToJson() const {
+  Json out = Json::MakeObject();
+  out.Set("name", name);
+  out.Set("owner", owner);
+  out.Set("active", active);
+  out.Set("started_at", started_at);
+  out.Set("stopped_at", stopped_at);
+  out.Set("events_emitted", static_cast<std::int64_t>(events_emitted));
+  out.Set("events_dropped", static_cast<std::int64_t>(events_dropped));
+  return out;
+}
+
+DioService::DioService(os::Kernel* kernel, backend::ElasticStore* store)
+    : kernel_(kernel), store_(store) {}
+
+DioService::~DioService() { StopAll(); }
+
+Expected<SessionInfo> DioService::StartSession(
+    tracer::TracerOptions options, std::string owner,
+    backend::BulkClientOptions client_options) {
+  if (options.session_name.empty()) {
+    return InvalidArgument("session name must not be empty");
+  }
+  std::scoped_lock lock(mu_);
+  if (sessions_.contains(options.session_name)) {
+    return AlreadyExists("session exists: " + options.session_name);
+  }
+  if (store_->HasIndex(options.session_name)) {
+    return AlreadyExists("backend index exists: " + options.session_name);
+  }
+
+  Session session;
+  session.info.name = options.session_name;
+  session.info.owner = std::move(owner);
+  session.info.active = true;
+  session.info.started_at = kernel_->clock()->NowNanos();
+  session.client = std::make_unique<backend::BulkClient>(
+      store_, options.session_name, client_options, kernel_->clock());
+  session.tracer = std::make_unique<tracer::DioTracer>(
+      kernel_, session.client.get(), std::move(options));
+  DIO_RETURN_IF_ERROR(session.tracer->Start());
+
+  SessionInfo info = session.info;
+  sessions_[info.name] = std::move(session);
+  return info;
+}
+
+Status DioService::StopSession(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) return NotFound("no such session: " + name);
+  Session& session = it->second;
+  if (!session.info.active) {
+    return FailedPrecondition("session already stopped: " + name);
+  }
+  session.tracer->Stop();
+  session.info.active = false;
+  session.info.stopped_at = kernel_->clock()->NowNanos();
+  RefreshInfoLocked(session);
+  return Status::Ok();
+}
+
+void DioService::StopAll() {
+  std::scoped_lock lock(mu_);
+  for (auto& [name, session] : sessions_) {
+    if (session.info.active) {
+      session.tracer->Stop();
+      session.info.active = false;
+      session.info.stopped_at = kernel_->clock()->NowNanos();
+      RefreshInfoLocked(session);
+    }
+  }
+}
+
+void DioService::RefreshInfoLocked(Session& session) const {
+  const tracer::TracerStats stats = session.tracer->stats();
+  session.info.events_emitted = stats.emitted;
+  session.info.events_dropped = stats.ring_dropped + stats.pending_overflow;
+}
+
+std::vector<SessionInfo> DioService::ListSessions() const {
+  std::scoped_lock lock(mu_);
+  std::vector<SessionInfo> out;
+  out.reserve(sessions_.size());
+  for (const auto& [name, session] : sessions_) {
+    SessionInfo info = session.info;
+    const tracer::TracerStats stats = session.tracer->stats();
+    info.events_emitted = stats.emitted;
+    info.events_dropped = stats.ring_dropped + stats.pending_overflow;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Expected<SessionInfo> DioService::GetSession(const std::string& name) const {
+  std::scoped_lock lock(mu_);
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) return NotFound("no such session: " + name);
+  SessionInfo info = it->second.info;
+  const tracer::TracerStats stats = it->second.tracer->stats();
+  info.events_emitted = stats.emitted;
+  info.events_dropped = stats.ring_dropped + stats.pending_overflow;
+  return info;
+}
+
+Expected<backend::CorrelationStats> DioService::Correlate(
+    const std::string& name) {
+  {
+    std::scoped_lock lock(mu_);
+    if (!sessions_.contains(name) && !store_->HasIndex(name)) {
+      return NotFound("no such session: " + name);
+    }
+  }
+  store_->Refresh(name);
+  backend::FilePathCorrelator correlator(store_);
+  return correlator.Run(name);
+}
+
+Expected<std::vector<backend::Finding>> DioService::Diagnose(
+    const std::string& name) {
+  DIO_RETURN_IF_ERROR(Correlate(name).status());
+  return backend::RunAllDetectors(store_, name);
+}
+
+}  // namespace dio::service

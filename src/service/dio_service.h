@@ -1,0 +1,82 @@
+// DioService: multi-session deployment (§II-F).
+//
+// "As the tracer component labels each tracing execution with a unique
+// session name, one can deploy DIO as a service, setting up the analysis
+// pipeline on dedicated servers and allowing multiple executions of DIO's
+// tracer on different machines and by distinct users."
+//
+// The service owns the lifecycle of named tracing sessions against one
+// shared backend: start/stop, metadata (who/when/how many events), and the
+// post-session analysis entry points (correlation, detectors).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "backend/bulk_client.h"
+#include "backend/correlation.h"
+#include "backend/detectors.h"
+#include "backend/store.h"
+#include "common/status.h"
+#include "tracer/tracer.h"
+
+namespace dio::service {
+
+struct SessionInfo {
+  std::string name;
+  std::string owner;
+  bool active = false;
+  Nanos started_at = 0;
+  Nanos stopped_at = 0;
+  std::uint64_t events_emitted = 0;
+  std::uint64_t events_dropped = 0;
+
+  [[nodiscard]] Json ToJson() const;
+};
+
+class DioService {
+ public:
+  DioService(os::Kernel* kernel, backend::ElasticStore* store);
+  ~DioService();
+
+  DioService(const DioService&) = delete;
+  DioService& operator=(const DioService&) = delete;
+
+  // Starts a tracing session; options.session_name must be unique among
+  // live AND finished sessions (each maps to a backend index).
+  Expected<SessionInfo> StartSession(
+      tracer::TracerOptions options, std::string owner = "",
+      backend::BulkClientOptions client_options = {});
+
+  // Stops tracing; the session's data stays queryable (post-mortem, §II).
+  Status StopSession(const std::string& name);
+  void StopAll();
+
+  [[nodiscard]] std::vector<SessionInfo> ListSessions() const;
+  [[nodiscard]] Expected<SessionInfo> GetSession(const std::string& name) const;
+
+  // Analysis over a session's index (live or stopped).
+  Expected<backend::CorrelationStats> Correlate(const std::string& name);
+  Expected<std::vector<backend::Finding>> Diagnose(const std::string& name);
+
+  [[nodiscard]] backend::ElasticStore* store() { return store_; }
+
+ private:
+  struct Session {
+    SessionInfo info;
+    std::unique_ptr<backend::BulkClient> client;
+    std::unique_ptr<tracer::DioTracer> tracer;
+  };
+
+  void RefreshInfoLocked(Session& session) const;
+
+  os::Kernel* kernel_;
+  backend::ElasticStore* store_;
+  mutable std::mutex mu_;
+  std::map<std::string, Session> sessions_;
+};
+
+}  // namespace dio::service

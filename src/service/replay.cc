@@ -1,0 +1,211 @@
+#include "service/replay.h"
+
+#include <limits>
+
+#include "oskernel/syscall_nr.h"
+
+namespace dio::service {
+
+TraceReplayer::TraceReplayer(os::Kernel* kernel, backend::ElasticStore* store,
+                             std::string index)
+    : kernel_(kernel), store_(store), index_(std::move(index)) {}
+
+TraceReplayer::ReplayTask& TraceReplayer::TaskFor(
+    os::Pid traced_pid, const std::string& proc_name) {
+  auto it = tasks_.find(traced_pid);
+  if (it != tasks_.end()) return it->second;
+  ReplayTask task;
+  const std::string name =
+      proc_name.empty() ? "replay-" + std::to_string(traced_pid) : proc_name;
+  task.pid = kernel_->CreateProcess(name);
+  task.tid = kernel_->SpawnThread(task.pid, name);
+  return tasks_.emplace(traced_pid, task).first->second;
+}
+
+Expected<ReplayStats> TraceReplayer::Run() {
+  backend::SearchRequest request;
+  request.query = backend::Query::MatchAll();
+  request.sort = {{"time_enter", true}};
+  request.size = std::numeric_limits<std::size_t>::max();
+  auto events = store_->Search(index_, request);
+  if (!events.ok()) return events.status();
+
+  ReplayStats stats;
+  for (const backend::Hit& hit : events->hits) {
+    const Json& doc = hit.source;
+    const std::string syscall = doc.GetString("syscall");
+    auto nr = os::SyscallFromName(syscall);
+    if (!nr.has_value()) {
+      ++stats.skipped;
+      continue;
+    }
+    const auto traced_pid = static_cast<os::Pid>(doc.GetInt("pid"));
+    const std::string proc_name = doc.GetString("proc_name");
+    const std::int64_t recorded_ret = doc.GetInt("ret");
+    const std::string path = doc.GetString("path");
+    const std::string path2 = doc.GetString("path2");
+    const auto count = static_cast<std::uint64_t>(doc.GetInt("count"));
+    const auto traced_fd = static_cast<os::Fd>(doc.GetInt("fd", -1));
+
+    ReplayTask& task = TaskFor(traced_pid, proc_name);
+    os::ScopedTask bound(*kernel_, task.pid, task.tid);
+    os::Kernel& k = *kernel_;
+
+    // Maps the traced fd argument to the replay-side fd established when
+    // the corresponding open event was replayed.
+    const auto mapped_fd = [&]() -> os::Fd {
+      auto it = fd_map_.find({traced_pid, traced_fd});
+      return it == fd_map_.end() ? os::kNoFd : it->second;
+    };
+
+    std::int64_t ret = 0;
+    bool compare_ret = true;
+    switch (*nr) {
+      case os::SyscallNr::kOpen:
+      case os::SyscallNr::kOpenat:
+      case os::SyscallNr::kCreat: {
+        const auto flags = static_cast<std::uint32_t>(doc.GetInt("flags"));
+        const auto mode = static_cast<std::uint32_t>(doc.GetInt("mode", 0644));
+        if (*nr == os::SyscallNr::kCreat) {
+          ret = k.sys_creat(path, mode);
+        } else {
+          ret = k.sys_openat(os::kAtFdCwd, path, flags, mode);
+        }
+        if (ret >= 0 && recorded_ret >= 0) {
+          fd_map_[{traced_pid, static_cast<os::Fd>(recorded_ret)}] =
+              static_cast<os::Fd>(ret);
+        }
+        // fd numbering may legitimately differ; success/failure must agree.
+        if ((ret >= 0) == (recorded_ret >= 0)) ++stats.ret_matches;
+        else ++stats.ret_mismatches;
+        compare_ret = false;
+        break;
+      }
+      case os::SyscallNr::kClose: {
+        const os::Fd fd = mapped_fd();
+        if (fd == os::kNoFd) {
+          ++stats.skipped;
+          continue;
+        }
+        fd_map_.erase({traced_pid, traced_fd});
+        ret = k.sys_close(fd);
+        break;
+      }
+      case os::SyscallNr::kRead:
+      case os::SyscallNr::kWrite:
+      case os::SyscallNr::kPread64:
+      case os::SyscallNr::kPwrite64:
+      case os::SyscallNr::kReadv:
+      case os::SyscallNr::kWritev: {
+        const os::Fd fd = mapped_fd();
+        if (fd == os::kNoFd) {
+          ++stats.skipped;
+          continue;
+        }
+        const std::int64_t offset = doc.GetInt("arg_offset", -1);
+        std::string buf;
+        switch (*nr) {
+          case os::SyscallNr::kRead:
+            ret = k.sys_read(fd, &buf, count);
+            break;
+          case os::SyscallNr::kReadv: {
+            const std::uint64_t lens[] = {count};
+            ret = k.sys_readv(fd, &buf, lens);
+            break;
+          }
+          case os::SyscallNr::kPread64:
+            ret = k.sys_pread64(fd, &buf, count, offset);
+            break;
+          case os::SyscallNr::kWrite:
+            ret = k.sys_write(fd, std::string(count, 'r'));
+            break;
+          case os::SyscallNr::kWritev: {
+            const std::string chunk(count, 'r');
+            const std::string_view iov[] = {chunk};
+            ret = k.sys_writev(fd, iov);
+            break;
+          }
+          default:  // kPwrite64
+            ret = k.sys_pwrite64(fd, std::string(count, 'r'), offset);
+            break;
+        }
+        break;
+      }
+      case os::SyscallNr::kLseek: {
+        const os::Fd fd = mapped_fd();
+        if (fd == os::kNoFd) {
+          ++stats.skipped;
+          continue;
+        }
+        ret = k.sys_lseek(fd, doc.GetInt("arg_offset", 0),
+                          static_cast<int>(doc.GetInt("whence", 0)));
+        break;
+      }
+      case os::SyscallNr::kFsync:
+      case os::SyscallNr::kFdatasync: {
+        const os::Fd fd = mapped_fd();
+        if (fd == os::kNoFd) {
+          ++stats.skipped;
+          continue;
+        }
+        ret = *nr == os::SyscallNr::kFsync ? k.sys_fsync(fd)
+                                           : k.sys_fdatasync(fd);
+        break;
+      }
+      case os::SyscallNr::kFtruncate: {
+        const os::Fd fd = mapped_fd();
+        if (fd == os::kNoFd) {
+          ++stats.skipped;
+          continue;
+        }
+        ret = k.sys_ftruncate(fd, count);
+        break;
+      }
+      case os::SyscallNr::kUnlink:
+      case os::SyscallNr::kUnlinkat:
+        ret = k.sys_unlink(path);
+        break;
+      case os::SyscallNr::kMkdir:
+      case os::SyscallNr::kMkdirat:
+        ret = k.sys_mkdir(
+            path, static_cast<std::uint32_t>(doc.GetInt("mode", 0755)));
+        break;
+      case os::SyscallNr::kRmdir:
+        ret = k.sys_rmdir(path);
+        break;
+      case os::SyscallNr::kRename:
+      case os::SyscallNr::kRenameat:
+      case os::SyscallNr::kRenameat2:
+        ret = k.sys_rename(path, path2);
+        break;
+      case os::SyscallNr::kStat: {
+        os::StatBuf st;
+        ret = k.sys_stat(path, &st);
+        break;
+      }
+      case os::SyscallNr::kLstat: {
+        os::StatBuf st;
+        ret = k.sys_lstat(path, &st);
+        break;
+      }
+      case os::SyscallNr::kTruncate:
+        ret = k.sys_truncate(path, count);
+        break;
+      default:
+        ++stats.skipped;
+        continue;
+    }
+
+    ++stats.replayed;
+    if (compare_ret) {
+      if (ret == recorded_ret) {
+        ++stats.ret_matches;
+      } else {
+        ++stats.ret_mismatches;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace dio::service

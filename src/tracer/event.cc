@@ -1,0 +1,171 @@
+#include "tracer/event.h"
+
+#include <cstring>
+
+namespace dio::tracer {
+
+namespace {
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::byte>* out) : out_(out) {}
+
+  template <typename T>
+  void Put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t at = out_->size();
+    out_->resize(at + sizeof(T));
+    std::memcpy(out_->data() + at, &value, sizeof(T));
+  }
+
+  void PutString(const std::string& s) {
+    Put<std::uint16_t>(static_cast<std::uint16_t>(
+        std::min<std::size_t>(s.size(), 0xFFFF)));
+    const std::size_t n = std::min<std::size_t>(s.size(), 0xFFFF);
+    const std::size_t at = out_->size();
+    out_->resize(at + n);
+    std::memcpy(out_->data() + at, s.data(), n);
+  }
+
+ private:
+  std::vector<std::byte>* out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  bool Get(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > bytes_.size()) return false;
+    std::memcpy(value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool GetString(std::string* s) {
+    std::uint16_t len = 0;
+    if (!Get(&len)) return false;
+    if (pos_ + len > bytes_.size()) return false;
+    s->assign(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+    pos_ += len;
+    return true;
+  }
+
+ private:
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string FileTag::ToKey() const {
+  std::string out = std::to_string(dev);
+  out.push_back('|');
+  out += std::to_string(ino);
+  out.push_back('|');
+  out += std::to_string(first_access_ts);
+  return out;
+}
+
+void SerializeEvent(const Event& event, std::vector<std::byte>* out) {
+  out->clear();
+  ByteWriter w(out);
+  w.Put<std::uint8_t>(static_cast<std::uint8_t>(event.phase));
+  w.Put<std::uint8_t>(static_cast<std::uint8_t>(event.nr));
+  w.Put<std::int32_t>(event.pid);
+  w.Put<std::int32_t>(event.tid);
+  w.Put<std::int64_t>(event.time_enter);
+  w.Put<std::int64_t>(event.time_exit);
+  w.Put<std::int64_t>(event.ret);
+  w.Put<std::int32_t>(event.cpu);
+  w.Put<std::int32_t>(event.fd);
+  w.Put<std::uint64_t>(event.count);
+  w.Put<std::int64_t>(event.arg_offset);
+  w.Put<std::int32_t>(event.whence);
+  w.Put<std::uint32_t>(event.flags);
+  w.Put<std::uint32_t>(event.mode);
+  w.Put<std::uint8_t>(static_cast<std::uint8_t>(event.file_type));
+  w.Put<std::int64_t>(event.file_offset);
+  w.Put<std::uint8_t>(event.tag.valid ? 1 : 0);
+  w.Put<std::uint64_t>(event.tag.dev);
+  w.Put<std::uint64_t>(event.tag.ino);
+  w.Put<std::int64_t>(event.tag.first_access_ts);
+  w.PutString(event.comm);
+  w.PutString(event.proc_name);
+  w.PutString(event.path);
+  w.PutString(event.path2);
+  w.PutString(event.xattr_name);
+}
+
+Expected<Event> DeserializeEvent(std::span<const std::byte> bytes) {
+  Event event;
+  ByteReader r(bytes);
+  std::uint8_t phase = 0;
+  std::uint8_t nr = 0;
+  std::uint8_t file_type = 0;
+  std::uint8_t tag_valid = 0;
+  const bool ok =
+      r.Get(&phase) && r.Get(&nr) && r.Get(&event.pid) && r.Get(&event.tid) &&
+      r.Get(&event.time_enter) && r.Get(&event.time_exit) &&
+      r.Get(&event.ret) && r.Get(&event.cpu) && r.Get(&event.fd) &&
+      r.Get(&event.count) &&
+      r.Get(&event.arg_offset) && r.Get(&event.whence) &&
+      r.Get(&event.flags) && r.Get(&event.mode) && r.Get(&file_type) &&
+      r.Get(&event.file_offset) && r.Get(&tag_valid) &&
+      r.Get(&event.tag.dev) && r.Get(&event.tag.ino) &&
+      r.Get(&event.tag.first_access_ts) && r.GetString(&event.comm) &&
+      r.GetString(&event.proc_name) && r.GetString(&event.path) &&
+      r.GetString(&event.path2) && r.GetString(&event.xattr_name);
+  if (!ok || nr >= static_cast<std::uint8_t>(os::SyscallNr::kCount) ||
+      phase > static_cast<std::uint8_t>(EventPhase::kExit)) {
+    return InvalidArgument("malformed event record");
+  }
+  event.phase = static_cast<EventPhase>(phase);
+  event.nr = static_cast<os::SyscallNr>(nr);
+  event.file_type = static_cast<os::FileType>(file_type);
+  event.tag.valid = tag_valid != 0;
+  return event;
+}
+
+Json Event::ToJson(std::string_view session) const {
+  const os::SyscallDescriptor& desc = os::Describe(nr);
+  Json doc = Json::MakeObject();
+  doc.Set("session", std::string(session));
+  doc.Set("syscall", std::string(desc.name));
+  doc.Set("category", std::string(os::CategoryName(desc.category)));
+  doc.Set("pid", static_cast<std::int64_t>(pid));
+  doc.Set("tid", static_cast<std::int64_t>(tid));
+  doc.Set("comm", comm);
+  doc.Set("proc_name", proc_name);
+  doc.Set("time_enter", time_enter);
+  doc.Set("time_exit", time_exit);
+  doc.Set("duration_ns", duration());
+  doc.Set("ret", ret);
+  doc.Set("cpu", cpu);
+  if (fd >= 0 && desc.takes_fd) doc.Set("fd", static_cast<std::int64_t>(fd));
+  if (!path.empty()) doc.Set("path", path);
+  if (!path2.empty()) doc.Set("path2", path2);
+  if (!xattr_name.empty()) doc.Set("xattr_name", xattr_name);
+  if (desc.data_related || count > 0) {
+    doc.Set("count", static_cast<std::int64_t>(count));
+  }
+  if (arg_offset >= 0) doc.Set("arg_offset", arg_offset);
+  if (whence >= 0) doc.Set("whence", static_cast<std::int64_t>(whence));
+  if (flags != 0) doc.Set("flags", static_cast<std::int64_t>(flags));
+  if (mode != 0) doc.Set("mode", static_cast<std::int64_t>(mode));
+  if (file_type != os::FileType::kUnknown) {
+    doc.Set("file_type", std::string(os::FileTypeName(file_type)));
+  }
+  if (file_offset >= 0) doc.Set("file_offset", file_offset);
+  if (tag.valid) {
+    doc.Set("file_tag", tag.ToKey());
+    doc.Set("tag_dev", static_cast<std::int64_t>(tag.dev));
+    doc.Set("tag_ino", static_cast<std::int64_t>(tag.ino));
+    doc.Set("tag_ts", tag.first_access_ts);
+  }
+  return doc;
+}
+
+}  // namespace dio::tracer

@@ -1,0 +1,85 @@
+// The DIO event: one record per syscall, aggregating the entry and exit
+// tracepoints (§II-B "Collected information") plus kernel-context enrichment
+// (file type, file offset, file tag).
+//
+// Events cross the kernel/user boundary in a compact binary form (through
+// the per-CPU ring buffers) and are converted to JSON documents in
+// user-space before being bulk-indexed at the backend — the same flow as the
+// paper's tracer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/json.h"
+#include "common/status.h"
+#include "oskernel/syscall_nr.h"
+#include "oskernel/types.h"
+
+namespace dio::tracer {
+
+// Unique identifier for the file behind an fd: device number, inode number,
+// and the timestamp of the *first syscall that touched this (dev, ino)* —
+// which disambiguates recycled inode numbers (§II-B).
+struct FileTag {
+  bool valid = false;
+  os::DeviceNum dev = 0;
+  os::InodeNum ino = 0;
+  Nanos first_access_ts = 0;
+
+  // "dev|ino|ts" — the canonical key the correlation algorithm joins on.
+  [[nodiscard]] std::string ToKey() const;
+
+  friend bool operator==(const FileTag&, const FileTag&) = default;
+};
+
+// Wire phase: DIO aggregates entry+exit into one record in kernel space
+// (kFull). The ablation mode ships the halves separately (kEnter/kExit) and
+// pairs them in user space — doubling ring traffic, which is the cost the
+// paper's design avoids (§II-B, Table III "aggregate ... at kernel-space to
+// reduce the data transferred to user-space").
+enum class EventPhase : std::uint8_t { kFull = 0, kEnter = 1, kExit = 2 };
+
+struct Event {
+  EventPhase phase = EventPhase::kFull;
+  os::SyscallNr nr = os::SyscallNr::kRead;
+  os::Pid pid = os::kNoPid;
+  os::Tid tid = os::kNoTid;
+  std::string comm;       // thread comm (task name)
+  std::string proc_name;  // process (group leader) name
+  Nanos time_enter = 0;
+  Nanos time_exit = 0;
+  std::int64_t ret = 0;
+  int cpu = 0;
+
+  // Arguments (subset relevant per syscall; unset fields keep defaults).
+  os::Fd fd = os::kNoFd;  // fd argument of fd-based syscalls
+  std::string path;
+  std::string path2;
+  std::string xattr_name;
+  std::uint64_t count = 0;
+  std::int64_t arg_offset = -1;  // pread64/pwrite64 offset argument
+  int whence = -1;
+  std::uint32_t flags = 0;
+  std::uint32_t mode = 0;
+
+  // Enrichment (§II-B).
+  os::FileType file_type = os::FileType::kUnknown;
+  std::int64_t file_offset = -1;  // -1 = not applicable
+  FileTag tag;
+
+  [[nodiscard]] Nanos duration() const { return time_exit - time_enter; }
+
+  // JSON document as indexed at the backend. `session` labels the tracing
+  // execution (§II-F).
+  [[nodiscard]] Json ToJson(std::string_view session) const;
+};
+
+// Binary wire codec for the kernel->user ring buffer handoff.
+void SerializeEvent(const Event& event, std::vector<std::byte>* out);
+Expected<Event> DeserializeEvent(std::span<const std::byte> bytes);
+
+}  // namespace dio::tracer

@@ -1,0 +1,22 @@
+// Where the tracer ships parsed events. The production implementation is
+// the backend's bulk-indexing client (backend/bulk_client.h); tests use an
+// in-memory sink.
+#pragma once
+
+#include <vector>
+
+#include "common/json.h"
+
+namespace dio::tracer {
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  // Bulk ingestion of a batch of event documents (mirrors Elasticsearch's
+  // _bulk API used by the paper's tracer).
+  virtual void IndexBatch(std::vector<Json> documents) = 0;
+  // Called at session end so the sink can flush/refresh.
+  virtual void Flush() {}
+};
+
+}  // namespace dio::tracer

@@ -1,0 +1,499 @@
+#include "tracer/tracer.h"
+
+#include <charconv>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace dio::tracer {
+
+namespace {
+
+// (dev, ino) -> 64-bit map key. Device numbers are small; inode numbers in
+// our substrate are dense and well below 2^40.
+std::uint64_t TagKey(os::DeviceNum dev, os::InodeNum ino) {
+  return (static_cast<std::uint64_t>(dev) << 40) ^ ino;
+}
+
+// Busy-wait standing in for modeled fixed instrumentation cost.
+void SpinFor(Clock* clock, Nanos duration) {
+  if (duration <= 0) return;
+  const Nanos deadline = clock->NowNanos() + duration;
+  while (clock->NowNanos() < deadline) {
+  }
+}
+
+template <typename T>
+std::vector<T> ParseIntList(const std::vector<std::string>& items) {
+  std::vector<T> out;
+  for (const std::string& item : items) {
+    T value{};
+    auto [ptr, ec] =
+        std::from_chars(item.data(), item.data() + item.size(), value);
+    if (ec == std::errc() && ptr == item.data() + item.size()) {
+      out.push_back(value);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Expected<TracerOptions> TracerOptions::FromConfig(const Config& config) {
+  TracerOptions options;
+  options.session_name =
+      config.GetString("tracer.session", options.session_name);
+  options.syscalls = config.GetList("tracer.syscalls");
+  for (const std::string& name : options.syscalls) {
+    if (!os::SyscallFromName(name).has_value()) {
+      return InvalidArgument("unknown syscall in config: " + name);
+    }
+  }
+  options.pids = ParseIntList<os::Pid>(config.GetList("tracer.pids"));
+  options.tids = ParseIntList<os::Tid>(config.GetList("tracer.tids"));
+  options.paths = config.GetList("tracer.paths");
+  options.ring_bytes_per_cpu = static_cast<std::size_t>(config.GetInt(
+      "tracer.ring_bytes_per_cpu",
+      static_cast<std::int64_t>(options.ring_bytes_per_cpu)));
+  options.pending_map_entries = static_cast<std::size_t>(config.GetInt(
+      "tracer.pending_map_entries",
+      static_cast<std::int64_t>(options.pending_map_entries)));
+  options.batch_size = static_cast<std::size_t>(config.GetInt(
+      "tracer.batch_size", static_cast<std::int64_t>(options.batch_size)));
+  options.flush_interval_ns =
+      config.GetInt("tracer.flush_interval_ns", options.flush_interval_ns);
+  options.poll_interval_ns =
+      config.GetInt("tracer.poll_interval_ns", options.poll_interval_ns);
+  options.enrich = config.GetBool("tracer.enrich", options.enrich);
+  options.aggregate_in_kernel = config.GetBool(
+      "tracer.aggregate_in_kernel", options.aggregate_in_kernel);
+  options.kernel_filtering =
+      config.GetBool("tracer.kernel_filtering", options.kernel_filtering);
+  options.hook_cost_ns =
+      config.GetInt("tracer.hook_cost_ns", options.hook_cost_ns);
+  return options;
+}
+
+DioTracer::DioTracer(os::Kernel* kernel, EventSink* sink,
+                     TracerOptions options)
+    : kernel_(kernel),
+      sink_(sink),
+      options_(std::move(options)),
+      filters_([&] {
+        FilterConfig fc;
+        for (const std::string& name : options_.syscalls) {
+          if (auto nr = os::SyscallFromName(name)) fc.syscalls.insert(*nr);
+        }
+        fc.pids.insert(options_.pids.begin(), options_.pids.end());
+        fc.tids.insert(options_.tids.begin(), options_.tids.end());
+        fc.path_prefixes = options_.paths;
+        return fc;
+      }()),
+      pending_(options_.pending_map_entries),
+      first_access_(options_.first_access_map_entries),
+      fd_tags_(options_.first_access_map_entries),
+      rings_(kernel->num_cpus(), options_.ring_bytes_per_cpu) {
+  if (filters_.config().syscalls.empty()) {
+    for (const os::SyscallDescriptor& desc : os::SyscallTable()) {
+      enabled_.insert(desc.nr);
+    }
+  } else {
+    enabled_ = filters_.config().syscalls;
+  }
+}
+
+DioTracer::~DioTracer() { Stop(); }
+
+Status DioTracer::Start() {
+  if (started_.exchange(true)) {
+    return FailedPrecondition("tracer already started");
+  }
+  ebpf::BpfLoader loader(&kernel_->tracepoints());
+  // "By default, DIO's tracer enables tracepoints for the full set of
+  // supported syscalls. However, users can specify a list of syscalls to
+  // observe, and the tracer will only activate tracepoints for those."
+  for (os::SyscallNr nr : enabled_) {
+    ebpf::ProgramSpec enter_spec;
+    enter_spec.name = "dio_enter";
+    enter_spec.type = ebpf::ProgramType::kTracepointSysEnter;
+    enter_spec.syscall = nr;
+    auto enter_link = loader.AttachSysEnter(
+        enter_spec, [this](const os::SysEnterContext& ctx) { OnEnter(ctx); });
+    if (!enter_link.ok()) return enter_link.status();
+    links_.push_back(std::move(enter_link.value()));
+
+    ebpf::ProgramSpec exit_spec;
+    exit_spec.name = "dio_exit";
+    exit_spec.type = ebpf::ProgramType::kTracepointSysExit;
+    exit_spec.syscall = nr;
+    auto exit_link = loader.AttachSysExit(
+        exit_spec, [this](const os::SysExitContext& ctx) { OnExit(ctx); });
+    if (!exit_link.ok()) return exit_link.status();
+    links_.push_back(std::move(exit_link.value()));
+  }
+  consumer_ = std::jthread([this](std::stop_token st) { ConsumerLoop(st); });
+  return Status::Ok();
+}
+
+void DioTracer::Stop() {
+  if (!started_.load() || stopped_.exchange(true)) return;
+  // Detach first so no new events are produced, then let the consumer drain.
+  for (ebpf::BpfLink& link : links_) link.Detach();
+  links_.clear();
+  if (consumer_.joinable()) {
+    consumer_.request_stop();
+    consumer_.join();
+  }
+  sink_->Flush();
+}
+
+bool DioTracer::PassesFilters(os::Pid pid, os::Tid tid,
+                              std::string_view path) const {
+  if (!filters_.MatchTask(pid, tid)) return false;
+  if (filters_.has_path_filter() && !filters_.MatchPath(path)) return false;
+  return true;
+}
+
+void DioTracer::OnEnter(const os::SysEnterContext& ctx) {
+  enter_hits_.fetch_add(1, std::memory_order_relaxed);
+  SpinFor(kernel_->clock(), options_.hook_cost_ns / 2);
+
+  const os::SyscallDescriptor& desc = os::Describe(ctx.nr);
+
+  // Snapshot the fd's kernel state at entry: for data syscalls the offset
+  // must be read *before* the kernel advances it.
+  PendingEntry entry;
+  entry.enter_ts = ctx.timestamp;
+  entry.args = *ctx.args;
+  entry.comm = std::string(ctx.comm);
+  if (desc.takes_fd) {
+    if (auto view = ctx.kernel->LookupFd(ctx.pid, ctx.args->fd)) {
+      entry.fd_view = std::move(*view);
+      entry.have_fd_view = true;
+    }
+  } else if (desc.takes_path) {
+    if (auto view = ctx.kernel->ResolvePath(ctx.args->path)) {
+      entry.path_view = *view;
+      entry.have_path_view = true;
+    }
+  }
+
+  if (options_.kernel_filtering) {
+    std::string_view path = entry.have_fd_view
+                                ? std::string_view(entry.fd_view.path)
+                                : std::string_view(ctx.args->path);
+    if (!PassesFilters(ctx.pid, ctx.tid, path)) {
+      filtered_out_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+
+  if (!options_.aggregate_in_kernel) {
+    EmitEnterHalf(ctx, entry);
+    return;
+  }
+  if (!pending_.Update(ctx.tid, std::move(entry))) {
+    pending_overflow_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+// Ablation A4 (aggregate_in_kernel = false): ship the raw enter record.
+// Enrichment is limited to entry-time kernel state — open/creat tags (which
+// need the returned fd) and close-time tag retirement are unavailable,
+// which is part of why DIO aggregates in kernel space.
+void DioTracer::EmitEnterHalf(const os::SysEnterContext& ctx,
+                              const PendingEntry& entry) {
+  Event event;
+  event.phase = EventPhase::kEnter;
+  event.nr = ctx.nr;
+  event.pid = ctx.pid;
+  event.tid = ctx.tid;
+  event.comm = entry.comm;
+  if (auto name = ctx.kernel->ProcessName(ctx.pid)) {
+    event.proc_name = std::move(*name);
+  }
+  event.time_enter = entry.enter_ts;
+  event.cpu = ctx.kernel->cpu_of(ctx.tid);
+  event.fd = entry.args.fd;
+  event.path = entry.args.path;
+  event.path2 = entry.args.path2;
+  event.xattr_name = entry.args.name;
+  event.count = entry.args.count;
+  event.arg_offset = entry.args.offset;
+  event.whence = entry.args.whence;
+  event.flags = entry.args.flags;
+  event.mode = entry.args.mode;
+  if (options_.enrich) {
+    const os::SyscallDescriptor& desc = os::Describe(ctx.nr);
+    if (desc.takes_fd && entry.have_fd_view) {
+      event.file_type = entry.fd_view.type;
+      if (desc.data_related) {
+        event.file_offset = static_cast<std::int64_t>(entry.fd_view.offset);
+      }
+      const std::uint64_t key =
+          TagKey(entry.fd_view.dev, entry.fd_view.ino);
+      first_access_.Insert(key, entry.enter_ts);
+      if (auto ts = first_access_.Lookup(key)) {
+        event.tag.valid = true;
+        event.tag.dev = entry.fd_view.dev;
+        event.tag.ino = entry.fd_view.ino;
+        event.tag.first_access_ts = *ts;
+      }
+    } else if (desc.takes_path && entry.have_path_view) {
+      event.file_type = entry.path_view.type;
+    }
+  }
+  std::vector<std::byte> wire;
+  SerializeEvent(event, &wire);
+  rings_.Output(event.cpu, wire);
+}
+
+void DioTracer::EmitExitHalf(const os::SysExitContext& ctx) {
+  Event event;
+  event.phase = EventPhase::kExit;
+  event.nr = ctx.nr;
+  event.pid = ctx.pid;
+  event.tid = ctx.tid;
+  event.time_exit = ctx.timestamp;
+  event.ret = ctx.ret;
+  event.cpu = ctx.kernel->cpu_of(ctx.tid);
+  std::vector<std::byte> wire;
+  SerializeEvent(event, &wire);
+  rings_.Output(event.cpu, wire);
+}
+
+void DioTracer::Enrich(Event* event, const PendingEntry& entry,
+                       const os::SysExitContext& ctx) {
+  const os::SyscallDescriptor& desc = os::Describe(event->nr);
+
+  // File type + file tag for fd-handling syscalls. open/openat/creat return
+  // the fd, so their kernel state is read at exit via the return value; the
+  // resolved tag is remembered per (pid, fd) so later syscalls on the fd —
+  // including a close after the file was unlinked — report the tag of the
+  // file generation the fd was opened against (Fig. 2a).
+  const auto resolve_tag = [this](os::DeviceNum dev, os::InodeNum ino,
+                                  Nanos enter_ts) {
+    const std::uint64_t key = TagKey(dev, ino);
+    // First-access timestamp: insert-if-absent, then read. Disambiguates
+    // recycled inode numbers (§III-B).
+    first_access_.Insert(key, enter_ts);
+    FileTag tag;
+    if (auto ts = first_access_.Lookup(key)) {
+      tag.valid = true;
+      tag.dev = dev;
+      tag.ino = ino;
+      tag.first_access_ts = *ts;
+    }
+    return tag;
+  };
+  const auto fd_key = [](os::Pid pid, os::Fd fd) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(pid))
+            << 32) |
+           static_cast<std::uint32_t>(fd);
+  };
+
+  if ((event->nr == os::SyscallNr::kOpen ||
+       event->nr == os::SyscallNr::kOpenat ||
+       event->nr == os::SyscallNr::kCreat) &&
+      ctx.ret >= 0) {
+    if (auto view =
+            ctx.kernel->LookupFd(ctx.pid, static_cast<os::Fd>(ctx.ret))) {
+      event->file_type = view->type;
+      event->tag = resolve_tag(view->dev, view->ino, entry.enter_ts);
+      fd_tags_.Update(fd_key(ctx.pid, static_cast<os::Fd>(ctx.ret)),
+                      event->tag);
+    }
+  } else if (desc.takes_fd) {
+    // Prefer the tag resolved at open time; fall back to kernel state for
+    // fds opened before tracing started.
+    if (auto tag = fd_tags_.Lookup(fd_key(ctx.pid, entry.args.fd))) {
+      event->tag = *tag;
+      event->file_type = entry.have_fd_view ? entry.fd_view.type
+                                            : event->file_type;
+    } else if (entry.have_fd_view) {
+      event->file_type = entry.fd_view.type;
+      event->tag = resolve_tag(entry.fd_view.dev, entry.fd_view.ino,
+                               entry.enter_ts);
+      fd_tags_.Update(fd_key(ctx.pid, entry.args.fd), event->tag);
+    }
+    if (event->nr == os::SyscallNr::kClose && ctx.ret == 0) {
+      fd_tags_.Delete(fd_key(ctx.pid, entry.args.fd));
+    }
+  } else if (desc.takes_path && entry.have_path_view) {
+    // Path-based syscalls get the file type but no tag (the paper tags
+    // "syscalls handling file descriptors").
+    event->file_type = entry.path_view.type;
+  }
+
+  // File offset for data-related syscalls (§II-B): the position being
+  // accessed, even for syscalls that do not carry it as an argument.
+  if (desc.data_related) {
+    switch (event->nr) {
+      case os::SyscallNr::kPread64:
+      case os::SyscallNr::kPwrite64:
+        event->file_offset = entry.args.offset;
+        break;
+      case os::SyscallNr::kLseek:
+        // The resulting position.
+        if (ctx.ret >= 0) event->file_offset = ctx.ret;
+        break;
+      case os::SyscallNr::kRead:
+      case os::SyscallNr::kReadv:
+      case os::SyscallNr::kWrite:
+      case os::SyscallNr::kWritev:
+        if (entry.have_fd_view) {
+          event->file_offset =
+              static_cast<std::int64_t>(entry.fd_view.offset);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // A successful unlink retires the (dev, ino) first-access entry so a
+  // recycled inode number gets a fresh tag timestamp.
+  if ((event->nr == os::SyscallNr::kUnlink ||
+       event->nr == os::SyscallNr::kUnlinkat) &&
+      ctx.ret == 0 && entry.have_path_view) {
+    first_access_.Delete(TagKey(entry.path_view.dev, entry.path_view.ino));
+  }
+}
+
+void DioTracer::OnExit(const os::SysExitContext& ctx) {
+  exit_hits_.fetch_add(1, std::memory_order_relaxed);
+  SpinFor(kernel_->clock(), options_.hook_cost_ns - options_.hook_cost_ns / 2);
+
+  if (!options_.aggregate_in_kernel) {
+    // In raw mode the exit passes filters implicitly: if the enter was
+    // filtered the user-space pairer drops the orphan exit record.
+    if (options_.kernel_filtering &&
+        !filters_.MatchTask(ctx.pid, ctx.tid)) {
+      return;
+    }
+    EmitExitHalf(ctx);
+    return;
+  }
+  auto entry = pending_.Take(ctx.tid);
+  if (!entry.has_value()) {
+    // Filtered at entry, or the pending map was full.
+    unmatched_exit_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  Event event;
+  event.nr = ctx.nr;
+  event.pid = ctx.pid;
+  event.tid = ctx.tid;
+  event.comm = std::move(entry->comm);
+  if (auto name = ctx.kernel->ProcessName(ctx.pid)) {
+    event.proc_name = std::move(*name);
+  }
+  event.time_enter = entry->enter_ts;
+  event.time_exit = ctx.timestamp;
+  event.ret = ctx.ret;
+  event.cpu = ctx.kernel->cpu_of(ctx.tid);
+  event.fd = entry->args.fd;
+  event.path = entry->args.path;
+  event.path2 = entry->args.path2;
+  event.xattr_name = entry->args.name;
+  event.count = entry->args.count;
+  event.arg_offset = entry->args.offset;
+  event.whence = entry->args.whence;
+  event.flags = entry->args.flags;
+  event.mode = entry->args.mode;
+
+  if (options_.enrich) Enrich(&event, *entry, ctx);
+
+  std::vector<std::byte> wire;
+  SerializeEvent(event, &wire);
+  rings_.Output(event.cpu, wire);  // drop counting lives in the ring
+}
+
+void DioTracer::ConsumerLoop(const std::stop_token& stop) {
+  std::vector<Json> batch;
+  batch.reserve(options_.batch_size);
+  Nanos last_flush = kernel_->clock()->NowNanos();
+  // Raw-mode pairing state: tid -> pending enter half.
+  std::unordered_map<os::Tid, Event> half_events;
+
+  const auto handle = [&](std::span<const std::byte> bytes) {
+    auto event = DeserializeEvent(bytes);
+    if (!event.ok()) {
+      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    consumed_.fetch_add(1, std::memory_order_relaxed);
+    if (event->phase == EventPhase::kEnter) {
+      half_events[event->tid] = std::move(event.value());
+      return;
+    }
+    if (event->phase == EventPhase::kExit) {
+      auto it = half_events.find(event->tid);
+      if (it == half_events.end() || it->second.nr != event->nr) {
+        unmatched_exit_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      Event merged = std::move(it->second);
+      half_events.erase(it);
+      merged.phase = EventPhase::kFull;
+      merged.time_exit = event->time_exit;
+      merged.ret = event->ret;
+      event = std::move(merged);
+    }
+    if (!options_.kernel_filtering) {
+      std::string_view path = event->path.empty() && event->tag.valid
+                                  ? std::string_view()
+                                  : std::string_view(event->path);
+      if (!PassesFilters(event->pid, event->tid, path)) {
+        user_filtered_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    batch.push_back(event->ToJson(options_.session_name));
+    if (batch.size() >= options_.batch_size) FlushBatch(&batch);
+  };
+
+  while (true) {
+    const std::size_t n = rings_.Poll(handle, 4096);
+    const Nanos now = kernel_->clock()->NowNanos();
+    if (!batch.empty() && now - last_flush >= options_.flush_interval_ns) {
+      FlushBatch(&batch);
+      last_flush = now;
+    }
+    if (n == 0) {
+      if (stop.stop_requested()) break;  // drained after detach
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(options_.poll_interval_ns));
+    }
+  }
+  if (!batch.empty()) FlushBatch(&batch);
+}
+
+void DioTracer::FlushBatch(std::vector<Json>* batch) {
+  if (batch->empty()) return;
+  emitted_.fetch_add(batch->size(), std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  sink_->IndexBatch(std::move(*batch));
+  batch->clear();
+  batch->reserve(options_.batch_size);
+}
+
+TracerStats DioTracer::stats() const {
+  TracerStats s;
+  s.enter_hits = enter_hits_.load(std::memory_order_relaxed);
+  s.exit_hits = exit_hits_.load(std::memory_order_relaxed);
+  s.filtered_out = filtered_out_.load(std::memory_order_relaxed);
+  s.pending_overflow = pending_overflow_.load(std::memory_order_relaxed);
+  s.unmatched_exit = unmatched_exit_.load(std::memory_order_relaxed);
+  s.ring_pushed = rings_.TotalPushed();
+  s.ring_dropped = rings_.TotalDropped();
+  s.consumed = consumed_.load(std::memory_order_relaxed);
+  s.user_filtered = user_filtered_.load(std::memory_order_relaxed);
+  s.emitted = emitted_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace dio::tracer

@@ -1,0 +1,156 @@
+#include "viz/dashboard.h"
+
+#include <limits>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace dio::viz {
+
+Expected<TableView> Dashboards::SyscallTable(const backend::Query& filter,
+                                             std::size_t limit) const {
+  backend::SearchRequest request;
+  request.query = filter;
+  request.sort = {{"time_enter", true}};
+  request.size = limit;
+  auto result = store_->Search(index_, request);
+  if (!result.ok()) return result.status();
+
+  TableView table;
+  table.AddColumn(TableView::TimestampColumn("time", "time_enter"));
+  table.AddColumn(TableView::TextColumn("proc_name", "comm"));
+  table.AddColumn(TableView::TextColumn("syscall", "syscall"));
+  table.AddColumn(TableView::IntColumn("ret_val", "ret"));
+  table.AddColumn(TableView::FileTagColumn("file_tag (dev_no inode_no timestamp)"));
+  table.AddColumn(TableView::OffsetColumn("offset"));
+  table.AddColumn(TableView::TextColumn("file_path", "file_path"));
+  table.AddRows(result->hits);
+  return table;
+}
+
+Expected<std::vector<Series>> Dashboards::ThreadTimelineSeries(
+    std::int64_t interval_ns) const {
+  auto agg = backend::Aggregation::Terms("comm").SubAgg(
+      "over_time",
+      backend::Aggregation::DateHistogram("time_enter", interval_ns));
+  auto result =
+      store_->Aggregate(index_, backend::Query::MatchAll(), agg);
+  if (!result.ok()) return result.status();
+  return SeriesFromTermsHistogram(*result, "over_time");
+}
+
+Expected<std::string> Dashboards::ThreadTimeline(std::int64_t interval_ns,
+                                                 int max_buckets) const {
+  auto series = ThreadTimelineSeries(interval_ns);
+  if (!series.ok()) return series.status();
+  return ChartRenderer::IntensityGrid(*series, max_buckets);
+}
+
+Expected<TableView> Dashboards::SyscallSummary() const {
+  auto agg = backend::Aggregation::Terms("syscall")
+                 .SubAgg("latency", backend::Aggregation::Stats("duration_ns"));
+  auto result = store_->Aggregate(index_, backend::Query::MatchAll(), agg);
+  if (!result.ok()) return result.status();
+
+  TableView table;
+  table.AddColumn(TableView::TextColumn("syscall", "syscall"));
+  table.AddColumn(TableView::IntColumn("events", "events"));
+  table.AddColumn(TableView::TextColumn("avg_latency_us", "avg_us"));
+  table.AddColumn(TableView::TextColumn("max_latency_us", "max_us"));
+  for (const backend::AggBucket& bucket : result->buckets) {
+    Json row = Json::MakeObject();
+    row.Set("syscall", bucket.key);
+    row.Set("events", bucket.doc_count);
+    auto latency_it = bucket.sub.find("latency");
+    if (latency_it != bucket.sub.end()) {
+      const Json& metrics = latency_it->second.metrics;
+      row.Set("avg_us",
+              FormatFixed(metrics.GetDouble("avg") / 1000.0, 1));
+      row.Set("max_us",
+              FormatFixed(metrics.GetDouble("max") / 1000.0, 1));
+    }
+    table.AddRow(row);
+  }
+  return table;
+}
+
+Expected<Series> Dashboards::LatencySeries(const std::string& comm_prefix,
+                                           std::int64_t interval_ns,
+                                           double percentile) const {
+  auto agg = backend::Aggregation::DateHistogram("time_enter", interval_ns)
+                 .SubAgg("lat", backend::Aggregation::Percentiles(
+                                    "duration_ns", {percentile}));
+  auto result = store_->Aggregate(
+      index_, backend::Query::Prefix("comm", comm_prefix), agg);
+  if (!result.ok()) return result.status();
+
+  Series series;
+  series.name = comm_prefix + " p" + FormatFixed(percentile, 0) + " (ns)";
+  for (const backend::AggBucket& bucket : result->buckets) {
+    auto lat_it = bucket.sub.find("lat");
+    if (lat_it == bucket.sub.end()) continue;
+    const Json& metrics = lat_it->second.metrics;
+    double value = 0;
+    if (!metrics.as_object().empty()) {
+      value = metrics.as_object().front().second.as_double();
+    }
+    series.points.push_back(SeriesPoint{bucket.key.as_int(), value});
+  }
+  return series;
+}
+
+Expected<std::string> Dashboards::LatencyHeatmap(std::int64_t interval_ns,
+                                                 int max_buckets) const {
+  // Pull every event's (time, duration) and bucket durations into decade
+  // bands: <1us, 1-10us, ..., >=1s.
+  backend::SearchRequest request;
+  request.query = backend::Query::Exists("duration_ns");
+  request.size = std::numeric_limits<std::size_t>::max();
+  auto events = store_->Search(index_, request);
+  if (!events.ok()) return events.status();
+
+  static const char* kBands[] = {"<1us",      "1-10us",   "10-100us",
+                                 "100us-1ms", "1-10ms",   "10-100ms",
+                                 ">=100ms"};
+  constexpr int kNumBands = 7;
+  std::map<int, Series> bands;
+  for (const backend::Hit& hit : events->hits) {
+    const std::int64_t duration = hit.source.GetInt("duration_ns");
+    int band = 0;
+    std::int64_t bound = 1000;
+    while (band < kNumBands - 1 && duration >= bound) {
+      ++band;
+      bound *= 10;
+    }
+    const std::int64_t window =
+        hit.source.GetInt("time_enter") / interval_ns * interval_ns;
+    Series& series = bands[band];
+    series.name = kBands[band];
+    bool found = false;
+    for (SeriesPoint& p : series.points) {
+      if (p.t == window) {
+        p.value += 1;
+        found = true;
+        break;
+      }
+    }
+    if (!found) series.points.push_back({window, 1.0});
+  }
+  std::vector<Series> rows;
+  for (int band = kNumBands - 1; band >= 0; --band) {
+    auto it = bands.find(band);
+    if (it != bands.end()) rows.push_back(it->second);
+  }
+  if (rows.empty()) return std::string("(no data)\n");
+  return ChartRenderer::IntensityGrid(rows, max_buckets);
+}
+
+Expected<std::string> Dashboards::SyscallShare() const {
+  auto agg = store_->Aggregate(index_, backend::Query::MatchAll(),
+                               backend::Aggregation::Terms("syscall"));
+  if (!agg.ok()) return agg.status();
+  const auto categories = CategoriesFromTerms(*agg);
+  return BarChart(categories) + "\n" + ShareBreakdown(categories);
+}
+
+}  // namespace dio::viz

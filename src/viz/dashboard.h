@@ -1,0 +1,56 @@
+// Predefined dashboards (§II-D): the stock visualizations DIO ships with,
+// each one a query + aggregation + renderer over a tracing session's index.
+// Users compose their own from the same pieces (see examples/custom_analysis).
+#pragma once
+
+#include <string>
+
+#include "backend/correlation.h"
+#include "backend/store.h"
+#include "common/status.h"
+#include "viz/table.h"
+#include "viz/timeseries.h"
+
+namespace dio::viz {
+
+class Dashboards {
+ public:
+  Dashboards(backend::ElasticStore* store, std::string index)
+      : store_(store), index_(std::move(index)) {}
+
+  // Fig. 2-style table: time, proc_name, syscall, ret, file_tag, offset —
+  // every traced event in time order (optionally filtered).
+  Expected<TableView> SyscallTable(
+      const backend::Query& filter = backend::Query::MatchAll(),
+      std::size_t limit = 1000) const;
+
+  // Fig. 4-style: syscalls over time, aggregated by thread name.
+  Expected<std::string> ThreadTimeline(std::int64_t interval_ns,
+                                       int max_buckets = 100) const;
+  Expected<std::vector<Series>> ThreadTimelineSeries(
+      std::int64_t interval_ns) const;
+
+  // Summary: events per syscall and per category, with latency stats.
+  Expected<TableView> SyscallSummary() const;
+
+  // Latency percentiles per time window for one thread-name group (used to
+  // cross-check Fig. 3 against traced data).
+  Expected<Series> LatencySeries(const std::string& comm_prefix,
+                                 std::int64_t interval_ns,
+                                 double percentile = 99.0) const;
+
+  // Heatmap of syscall latency over time: one row per log-scaled duration
+  // band, one column per time window, intensity = event count (a Kibana
+  // heatmap staple).
+  Expected<std::string> LatencyHeatmap(std::int64_t interval_ns,
+                                       int max_buckets = 100) const;
+
+  // Event share per syscall as a bar chart + percentage breakdown.
+  Expected<std::string> SyscallShare() const;
+
+ private:
+  backend::ElasticStore* store_;
+  std::string index_;
+};
+
+}  // namespace dio::viz

@@ -1,0 +1,16 @@
+#include "viz/export.h"
+
+#include <fstream>
+
+namespace dio::viz {
+
+Status WriteTextFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Unavailable("cannot open for writing: " + path);
+  out << contents;
+  out.close();
+  if (!out) return Unavailable("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace dio::viz

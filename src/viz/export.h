@@ -1,0 +1,14 @@
+// Artifact export: writes rendered views and raw series to files so every
+// bench/figure harness leaves reproducible .txt/.csv outputs next to its
+// stdout report.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+
+namespace dio::viz {
+
+Status WriteTextFile(const std::string& path, const std::string& contents);
+
+}  // namespace dio::viz

@@ -1,0 +1,182 @@
+#include "viz/html_report.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace dio::viz {
+
+namespace {
+
+// Categorical palette (colorblind-safe-ish).
+const char* kPalette[] = {"#4269d0", "#efb118", "#ff725c", "#6cc5b0",
+                          "#3ca951", "#ff8ab7", "#a463f2", "#97bbf5",
+                          "#9c6b4e", "#9498a0"};
+constexpr int kPaletteSize = 10;
+
+}  // namespace
+
+HtmlReport::HtmlReport(std::string title) : title_(std::move(title)) {}
+
+std::string HtmlReport::Escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void HtmlReport::AddHeading(const std::string& text) {
+  sections_.push_back("<h2>" + Escape(text) + "</h2>");
+}
+
+void HtmlReport::AddParagraph(const std::string& text) {
+  sections_.push_back("<p>" + Escape(text) + "</p>");
+}
+
+void HtmlReport::AddTable(const std::string& caption, const TableView& table) {
+  std::string html = "<figure><figcaption>" + Escape(caption) +
+                     "</figcaption><table><thead><tr>";
+  // Reconstruct headers from the CSV's first line.
+  const std::string csv = table.RenderCsv();
+  const std::size_t header_end = csv.find('\n');
+  for (const std::string& header :
+       Split(csv.substr(0, header_end), ',')) {
+    html += "<th>" + Escape(header) + "</th>";
+  }
+  html += "</tr></thead><tbody>";
+  for (const auto& row : table.rows()) {
+    html += "<tr>";
+    for (const std::string& cell : row) {
+      html += "<td>" + Escape(cell) + "</td>";
+    }
+    html += "</tr>";
+  }
+  html += "</tbody></table></figure>";
+  sections_.push_back(std::move(html));
+}
+
+void HtmlReport::AddLineChart(const std::string& caption,
+                              const std::vector<Series>& series_list,
+                              int width, int height) {
+  // Data bounds.
+  double min_t = 0;
+  double max_t = 1;
+  double max_v = 1;
+  bool first = true;
+  for (const Series& series : series_list) {
+    for (const SeriesPoint& p : series.points) {
+      if (first) {
+        min_t = max_t = static_cast<double>(p.t);
+        first = false;
+      }
+      min_t = std::min(min_t, static_cast<double>(p.t));
+      max_t = std::max(max_t, static_cast<double>(p.t));
+      max_v = std::max(max_v, p.value);
+    }
+  }
+  if (max_t <= min_t) max_t = min_t + 1;
+
+  constexpr int kMarginLeft = 60;
+  constexpr int kMarginBottom = 24;
+  constexpr int kMarginTop = 8;
+  const double plot_w = width - kMarginLeft - 10;
+  const double plot_h = height - kMarginBottom - kMarginTop;
+  const auto x_of = [&](double t) {
+    return kMarginLeft + (t - min_t) / (max_t - min_t) * plot_w;
+  };
+  const auto y_of = [&](double v) {
+    return kMarginTop + (1.0 - v / max_v) * plot_h;
+  };
+
+  std::string svg = "<figure><figcaption>" + Escape(caption) +
+                    "</figcaption><svg viewBox=\"0 0 " +
+                    std::to_string(width) + " " + std::to_string(height) +
+                    "\" width=\"" + std::to_string(width) + "\">";
+  // Axes + y gridlines.
+  for (int i = 0; i <= 4; ++i) {
+    const double v = max_v * i / 4;
+    const double y = y_of(v);
+    svg += "<line x1=\"" + std::to_string(kMarginLeft) + "\" y1=\"" +
+           FormatFixed(y, 1) + "\" x2=\"" + std::to_string(width - 10) +
+           "\" y2=\"" + FormatFixed(y, 1) +
+           "\" stroke=\"#ddd\" stroke-width=\"1\"/>";
+    svg += "<text x=\"" + std::to_string(kMarginLeft - 6) + "\" y=\"" +
+           FormatFixed(y + 4, 1) +
+           "\" text-anchor=\"end\" font-size=\"11\" fill=\"#555\">" +
+           FormatFixed(v, v < 10 ? 1 : 0) + "</text>";
+  }
+  // Series.
+  int color = 0;
+  std::string legend;
+  for (const Series& series : series_list) {
+    const char* stroke = kPalette[color % kPaletteSize];
+    std::string points;
+    for (const SeriesPoint& p : series.points) {
+      points += FormatFixed(x_of(static_cast<double>(p.t)), 1) + "," +
+                FormatFixed(y_of(p.value), 1) + " ";
+    }
+    svg += "<polyline fill=\"none\" stroke=\"";
+    svg += stroke;
+    svg += "\" stroke-width=\"1.6\" points=\"" + points + "\"/>";
+    legend += "<span style=\"color:";
+    legend += stroke;
+    legend += "\">&#9644; " + Escape(series.name) + "</span> ";
+    ++color;
+  }
+  svg += "</svg><div class=\"legend\">" + legend + "</div></figure>";
+  sections_.push_back(std::move(svg));
+}
+
+void HtmlReport::AddFindings(const std::string& caption,
+                             const std::vector<backend::Finding>& findings) {
+  std::string html = "<figure><figcaption>" + Escape(caption) +
+                     "</figcaption><ul class=\"findings\">";
+  if (findings.empty()) html += "<li class=\"info\">no findings</li>";
+  for (const backend::Finding& finding : findings) {
+    html += "<li class=\"" + Escape(finding.severity) + "\"><b>[" +
+            Escape(finding.severity) + "] " + Escape(finding.detector) +
+            "</b> ";
+    if (!finding.file_path.empty()) {
+      html += "<code>" + Escape(finding.file_path) + "</code> ";
+    }
+    html += Escape(finding.message) + "</li>";
+  }
+  html += "</ul></figure>";
+  sections_.push_back(std::move(html));
+}
+
+std::string HtmlReport::Build() const {
+  std::string html =
+      "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>" +
+      Escape(title_) +
+      "</title><style>"
+      "body{font:14px/1.45 system-ui,sans-serif;margin:24px auto;"
+      "max-width:980px;color:#1a1a1a}"
+      "h1{font-size:22px} h2{font-size:17px;margin-top:28px}"
+      "table{border-collapse:collapse;font-size:12.5px;width:100%}"
+      "th,td{border:1px solid #ddd;padding:3px 8px;text-align:left;"
+      "font-variant-numeric:tabular-nums}"
+      "th{background:#f4f4f4}"
+      "figure{margin:12px 0} figcaption{font-weight:600;margin-bottom:6px}"
+      ".legend{font-size:12px;margin-top:4px}"
+      "ul.findings{padding-left:18px}"
+      "li.critical{color:#b30000} li.warning{color:#8a6d00}"
+      "li.info{color:#333}"
+      "code{background:#f4f4f4;padding:0 3px}"
+      "</style></head><body><h1>" +
+      Escape(title_) + "</h1>";
+  for (const std::string& section : sections_) html += section;
+  html += "</body></html>";
+  return html;
+}
+
+}  // namespace dio::viz

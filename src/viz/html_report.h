@@ -1,0 +1,41 @@
+// Self-contained HTML report builder — the stand-in for Kibana's web
+// dashboards (§II-D). Produces a single .html file with styled tables,
+// inline-SVG time-series charts, and detector findings, so a tracing
+// session's analysis can be shared as one artifact.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "backend/detectors.h"
+#include "viz/table.h"
+#include "viz/timeseries.h"
+
+namespace dio::viz {
+
+class HtmlReport {
+ public:
+  explicit HtmlReport(std::string title);
+
+  // Sections are rendered in insertion order.
+  void AddHeading(const std::string& text);
+  void AddParagraph(const std::string& text);
+  void AddTable(const std::string& caption, const TableView& table);
+  // Multi-series line chart as inline SVG.
+  void AddLineChart(const std::string& caption,
+                    const std::vector<Series>& series_list, int width = 900,
+                    int height = 260);
+  void AddFindings(const std::string& caption,
+                   const std::vector<backend::Finding>& findings);
+
+  // Complete HTML document.
+  [[nodiscard]] std::string Build() const;
+
+ private:
+  static std::string Escape(const std::string& text);
+
+  std::string title_;
+  std::vector<std::string> sections_;
+};
+
+}  // namespace dio::viz

@@ -1,0 +1,127 @@
+#include "viz/table.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace dio::viz {
+
+void TableView::AddRow(const Json& doc) {
+  std::vector<std::string> row;
+  row.reserve(columns_.size());
+  for (const Column& column : columns_) {
+    row.push_back(column.cell(doc));
+  }
+  rows_.push_back(std::move(row));
+}
+
+void TableView::AddRows(const std::vector<backend::Hit>& hits) {
+  for (const backend::Hit& hit : hits) AddRow(hit.source);
+}
+
+std::string TableView::Render() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].header.size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out += "  ";
+      out += cells[c];
+      out.append(widths[c] - cells[c].size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out.push_back('\n');
+  };
+
+  std::vector<std::string> headers;
+  headers.reserve(columns_.size());
+  for (const Column& column : columns_) headers.push_back(column.header);
+  emit_row(headers);
+
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c != 0) rule += "  ";
+    rule.append(widths[c], '-');
+  }
+  out += rule;
+  out.push_back('\n');
+
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+std::string TableView::RenderCsv() const {
+  const auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+      if (c == '"') quoted += "\"\"";
+      else quoted.push_back(c);
+    }
+    quoted.push_back('"');
+    return quoted;
+  };
+  std::string out;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c != 0) out.push_back(',');
+    out += escape(columns_[c].header);
+  }
+  out.push_back('\n');
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out.push_back(',');
+      out += escape(row[c]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Column TableView::TimestampColumn(std::string header, std::string field) {
+  return Column{std::move(header), [field = std::move(field)](const Json& doc) {
+                  const Json* value = doc.Find(field);
+                  if (value == nullptr || !value->is_number()) return std::string();
+                  return WithThousandsSeparators(value->as_int());
+                }};
+}
+
+Column TableView::TextColumn(std::string header, std::string field) {
+  return Column{std::move(header), [field = std::move(field)](const Json& doc) {
+                  return doc.GetString(field);
+                }};
+}
+
+Column TableView::IntColumn(std::string header, std::string field) {
+  return Column{std::move(header), [field = std::move(field)](const Json& doc) {
+                  const Json* value = doc.Find(field);
+                  if (value == nullptr || !value->is_number()) return std::string();
+                  return std::to_string(value->as_int());
+                }};
+}
+
+Column TableView::FileTagColumn(std::string header) {
+  return Column{std::move(header), [](const Json& doc) {
+                  if (!doc.Has("tag_dev")) return std::string();
+                  return std::to_string(doc.GetInt("tag_dev")) + " " +
+                         std::to_string(doc.GetInt("tag_ino")) + " " +
+                         std::to_string(doc.GetInt("tag_ts"));
+                }};
+}
+
+Column TableView::OffsetColumn(std::string header) {
+  return Column{std::move(header), [](const Json& doc) {
+                  const Json* value = doc.Find("file_offset");
+                  if (value == nullptr || !value->is_number()) return std::string();
+                  return std::to_string(value->as_int());
+                }};
+}
+
+}  // namespace dio::viz

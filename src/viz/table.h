@@ -1,0 +1,53 @@
+// Tabular visualization (the Fig. 2 view): column definitions with
+// per-column formatters over backend hits, rendered as aligned ASCII.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "backend/store.h"
+#include "common/json.h"
+
+namespace dio::viz {
+
+struct Column {
+  std::string header;
+  // Produces the cell text for one document.
+  std::function<std::string(const Json&)> cell;
+};
+
+class TableView {
+ public:
+  TableView() = default;
+
+  void AddColumn(Column column) { columns_.push_back(std::move(column)); }
+  void AddRow(const Json& doc);
+  void AddRows(const std::vector<backend::Hit>& hits);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
+  // Aligned ASCII rendering with a header rule.
+  [[nodiscard]] std::string Render() const;
+  // Comma-separated (quoted where needed) for export.
+  [[nodiscard]] std::string RenderCsv() const;
+
+  // ---- stock formatters -----------------------------------------------
+  // Integer field with thousands separators (paper-style timestamps).
+  static Column TimestampColumn(std::string header, std::string field);
+  static Column TextColumn(std::string header, std::string field);
+  static Column IntColumn(std::string header, std::string field);
+  // "dev ino ts" rendering of the file tag, blank when absent.
+  static Column FileTagColumn(std::string header = "file_tag");
+  // file_offset, blank when the syscall has none.
+  static Column OffsetColumn(std::string header = "offset");
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dio::viz

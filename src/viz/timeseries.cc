@@ -1,0 +1,201 @@
+#include "viz/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace dio::viz {
+
+std::vector<Series> SeriesFromTermsHistogram(const backend::AggResult& result,
+                                             const std::string& sub_name) {
+  std::vector<Series> out;
+  for (const backend::AggBucket& term_bucket : result.buckets) {
+    Series series;
+    series.name = term_bucket.key.is_string()
+                      ? term_bucket.key.as_string()
+                      : term_bucket.key.Dump();
+    auto sub_it = term_bucket.sub.find(sub_name);
+    if (sub_it != term_bucket.sub.end()) {
+      for (const backend::AggBucket& time_bucket : sub_it->second.buckets) {
+        series.points.push_back(SeriesPoint{
+            time_bucket.key.as_int(),
+            static_cast<double>(time_bucket.doc_count)});
+      }
+    }
+    out.push_back(std::move(series));
+  }
+  // Stable name order for deterministic rendering.
+  std::sort(out.begin(), out.end(),
+            [](const Series& a, const Series& b) { return a.name < b.name; });
+  return out;
+}
+
+std::string ChartRenderer::LineChart(const Series& series, int height,
+                                     const std::string& y_label) {
+  if (series.points.empty()) return "(no data)\n";
+  double max_v = 0;
+  for (const SeriesPoint& p : series.points) max_v = std::max(max_v, p.value);
+  if (max_v <= 0) max_v = 1;
+
+  const std::size_t width = series.points.size();
+  std::string out;
+  out += series.name + "  (max " + FormatFixed(max_v, 2) +
+         (y_label.empty() ? "" : " " + y_label) + ")\n";
+  for (int row = height; row >= 1; --row) {
+    const double threshold = max_v * row / height;
+    const double prev_threshold = max_v * (row - 1) / height;
+    std::string line = "|";
+    for (std::size_t i = 0; i < width; ++i) {
+      const double v = series.points[i].value;
+      if (v >= threshold) {
+        line += "#";
+      } else if (v > prev_threshold) {
+        line += (v - prev_threshold) > (threshold - prev_threshold) / 2 ? ":"
+                                                                        : ".";
+      } else {
+        line += " ";
+      }
+    }
+    out += line + "\n";
+  }
+  out += "+";
+  out.append(width, '-');
+  out += "> time\n";
+  return out;
+}
+
+std::string ChartRenderer::IntensityGrid(
+    const std::vector<Series>& series_list, int max_buckets) {
+  if (series_list.empty()) return "(no data)\n";
+  // Collect the global time axis.
+  std::set<std::int64_t> times;
+  double max_v = 0;
+  for (const Series& series : series_list) {
+    for (const SeriesPoint& p : series.points) {
+      times.insert(p.t);
+      max_v = std::max(max_v, p.value);
+    }
+  }
+  if (max_v <= 0) max_v = 1;
+  std::vector<std::int64_t> axis(times.begin(), times.end());
+  // Downsample to max_buckets columns by striding.
+  std::size_t stride = 1;
+  if (max_buckets > 0 && axis.size() > static_cast<std::size_t>(max_buckets)) {
+    stride = (axis.size() + max_buckets - 1) /
+             static_cast<std::size_t>(max_buckets);
+  }
+
+  std::size_t name_width = 0;
+  for (const Series& series : series_list) {
+    name_width = std::max(name_width, series.name.size());
+  }
+
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#", "%", "@"};
+  constexpr int kNumLevels = 10;
+
+  std::string out;
+  for (const Series& series : series_list) {
+    std::map<std::int64_t, double> by_time;
+    for (const SeriesPoint& p : series.points) by_time[p.t] += p.value;
+    std::string line = series.name;
+    line.append(name_width - series.name.size(), ' ');
+    line += " |";
+    for (std::size_t i = 0; i < axis.size(); i += stride) {
+      double sum = 0;
+      for (std::size_t j = i; j < std::min(i + stride, axis.size()); ++j) {
+        auto it = by_time.find(axis[j]);
+        if (it != by_time.end()) sum += it->second;
+      }
+      const double avg = sum / static_cast<double>(stride);
+      const int level = std::min(
+          kNumLevels - 1,
+          static_cast<int>(std::ceil(avg / max_v * (kNumLevels - 1))));
+      line += kLevels[level];
+    }
+    line += "|";
+    out += line + "\n";
+  }
+  out += "scale: ' '=0 ";
+  out += "'@'=" + FormatFixed(max_v, 0) + " (per bucket)\n";
+  return out;
+}
+
+std::string ChartRenderer::SeriesCsv(const std::vector<Series>& series_list) {
+  std::set<std::int64_t> times;
+  for (const Series& series : series_list) {
+    for (const SeriesPoint& p : series.points) times.insert(p.t);
+  }
+  std::string out = "time";
+  for (const Series& series : series_list) out += "," + series.name;
+  out += "\n";
+  for (std::int64_t t : times) {
+    out += std::to_string(t);
+    for (const Series& series : series_list) {
+      double v = 0;
+      for (const SeriesPoint& p : series.points) {
+        if (p.t == t) {
+          v = p.value;
+          break;
+        }
+      }
+      out += "," + FormatFixed(v, 6);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+
+
+std::string BarChart(const std::vector<CategoryCount>& categories,
+                     int max_width) {
+  if (categories.empty()) return "(no data)\n";
+  double max_v = 0;
+  std::size_t label_width = 0;
+  for (const CategoryCount& c : categories) {
+    max_v = std::max(max_v, c.value);
+    label_width = std::max(label_width, c.label.size());
+  }
+  if (max_v <= 0) max_v = 1;
+  std::string out;
+  for (const CategoryCount& c : categories) {
+    out += c.label;
+    out.append(label_width - c.label.size(), ' ');
+    out += " |";
+    const int bar = static_cast<int>(
+        std::round(c.value / max_v * max_width));
+    out.append(static_cast<std::size_t>(bar), '#');
+    out += " " + FormatFixed(c.value, c.value < 10 ? 1 : 0) + "\n";
+  }
+  return out;
+}
+
+std::string ShareBreakdown(const std::vector<CategoryCount>& categories) {
+  double total = 0;
+  for (const CategoryCount& c : categories) total += c.value;
+  if (total <= 0) return "(no data)\n";
+  std::string out;
+  for (const CategoryCount& c : categories) {
+    out += FormatFixed(c.value / total * 100.0, 1) + "%  " + c.label +
+           " (" + FormatFixed(c.value, 0) + ")\n";
+  }
+  return out;
+}
+
+std::vector<CategoryCount> CategoriesFromTerms(
+    const backend::AggResult& result) {
+  std::vector<CategoryCount> out;
+  out.reserve(result.buckets.size());
+  for (const backend::AggBucket& bucket : result.buckets) {
+    CategoryCount category;
+    category.label = bucket.key.is_string() ? bucket.key.as_string()
+                                            : bucket.key.Dump();
+    category.value = static_cast<double>(bucket.doc_count);
+    out.push_back(std::move(category));
+  }
+  return out;
+}
+}  // namespace dio::viz

@@ -1,0 +1,64 @@
+// Time-series visualizations: single-series ASCII line charts (Fig. 3's
+// p99-over-time) and multi-series intensity grids (Fig. 4's syscalls-over-
+// time per thread name).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "backend/aggregation.h"
+
+namespace dio::viz {
+
+struct SeriesPoint {
+  std::int64_t t = 0;  // bucket start (ns since run start)
+  double value = 0.0;
+};
+
+struct Series {
+  std::string name;
+  std::vector<SeriesPoint> points;
+};
+
+// Builds one series per terms bucket from a terms x date_histogram
+// aggregation result (the Fig. 4 shape). `sub_name` is the name given to
+// the date_histogram sub-aggregation.
+std::vector<Series> SeriesFromTermsHistogram(const backend::AggResult& result,
+                                             const std::string& sub_name);
+
+class ChartRenderer {
+ public:
+  // Vertical-bar line chart: one column per bucket, `height` rows.
+  // `y_label` annotates the max value.
+  static std::string LineChart(const Series& series, int height = 12,
+                               const std::string& y_label = "");
+
+  // Multi-series grid: one row per series, one cell per time bucket, cell
+  // intensity from ' ' .. '█' scaled to the global max (Fig. 4's visual).
+  static std::string IntensityGrid(const std::vector<Series>& series_list,
+                                   int max_buckets = 120);
+
+  // CSV with one row per time bucket and one column per series.
+  static std::string SeriesCsv(const std::vector<Series>& series_list);
+};
+
+// Categorical value -> count renderers (the paper's visualizer also offers
+// histograms and pie charts; these are the terminal equivalents).
+struct CategoryCount {
+  std::string label;
+  double value = 0;
+};
+
+// Horizontal bar chart, one row per category, bars scaled to max.
+std::string BarChart(const std::vector<CategoryCount>& categories,
+                     int max_width = 50);
+
+// Share-of-total breakdown ("pie chart" in text form): label, value, percent.
+std::string ShareBreakdown(const std::vector<CategoryCount>& categories);
+
+// Convenience: build categories from a terms aggregation result.
+std::vector<CategoryCount> CategoriesFromTerms(
+    const backend::AggResult& result);
+
+}  // namespace dio::viz

@@ -1,0 +1,100 @@
+#include "apps/dbbench/db_bench.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dio::apps::dbbench {
+namespace {
+
+using dio::testing::TestEnv;
+
+lsmkv::LsmOptions BenchDb() {
+  lsmkv::LsmOptions options;
+  options.db_path = "/data/db";
+  options.memtable_bytes = 64 * 1024;
+  options.compaction_threads = 2;
+  return options;
+}
+
+TEST(DbBenchTest, KeyFormatIsSortableAndStable) {
+  EXPECT_EQ(DbBench::KeyFor(0), "user000000000000");
+  EXPECT_EQ(DbBench::KeyFor(42), "user000000000042");
+  EXPECT_LT(DbBench::KeyFor(9), DbBench::KeyFor(10));  // lexicographic
+}
+
+TEST(DbBenchTest, FillLoadsAllKeys) {
+  TestEnv env;
+  lsmkv::Db db(&env.kernel, BenchDb());
+  ASSERT_TRUE(db.Open().ok());
+  DbBenchOptions options;
+  options.num_keys = 500;
+  options.value_bytes = 32;
+  DbBench bench(&env.kernel, &db, options);
+  ASSERT_TRUE(bench.Fill().ok());
+  const os::Tid tid = db.RegisterClientThread("check");
+  os::ScopedTask task(env.kernel, db.pid(), tid);
+  EXPECT_TRUE(db.Get(DbBench::KeyFor(0)).ok());
+  EXPECT_TRUE(db.Get(DbBench::KeyFor(499)).ok());
+  EXPECT_EQ(db.stats().puts, 500u);
+}
+
+TEST(DbBenchTest, MixedRunProducesOpsAndWindows) {
+  TestEnv env;
+  lsmkv::Db db(&env.kernel, BenchDb());
+  ASSERT_TRUE(db.Open().ok());
+  DbBenchOptions options;
+  options.num_keys = 200;
+  options.value_bytes = 32;
+  options.client_threads = 4;
+  options.ops_limit = 2000;
+  options.latency_window = 50 * kMillisecond;
+  DbBench bench(&env.kernel, &db, options);
+  ASSERT_TRUE(bench.Fill().ok());
+  const DbBenchResult result = bench.Run();
+  EXPECT_EQ(result.total_ops, 2000u);
+  EXPECT_GT(result.reads, 0u);
+  EXPECT_GT(result.updates, 0u);
+  // YCSB-A: roughly 50/50 (loose bound: each op is an independent coin).
+  EXPECT_NEAR(static_cast<double>(result.reads) /
+                  static_cast<double>(result.total_ops),
+              0.5, 0.1);
+  EXPECT_EQ(result.latency.count(), 2000);
+  EXPECT_FALSE(result.windows.empty());
+  EXPECT_GT(result.throughput_ops_sec, 0.0);
+}
+
+TEST(DbBenchTest, TimeBoundedRunStops) {
+  TestEnv env;
+  lsmkv::Db db(&env.kernel, BenchDb());
+  ASSERT_TRUE(db.Open().ok());
+  DbBenchOptions options;
+  options.num_keys = 100;
+  options.client_threads = 2;
+  options.duration = 100 * kMillisecond;
+  DbBench bench(&env.kernel, &db, options);
+  ASSERT_TRUE(bench.Fill().ok());
+  const Nanos start = env.kernel.clock()->NowNanos();
+  const DbBenchResult result = bench.Run();
+  const Nanos elapsed = env.kernel.clock()->NowNanos() - start;
+  EXPECT_GT(result.total_ops, 0u);
+  EXPECT_LT(elapsed, 5 * kSecond);  // terminates promptly
+}
+
+TEST(DbBenchTest, ReadsAgainstEmptyDbAreMisses) {
+  TestEnv env;
+  lsmkv::Db db(&env.kernel, BenchDb());
+  ASSERT_TRUE(db.Open().ok());
+  DbBenchOptions options;
+  options.num_keys = 100;
+  options.client_threads = 1;
+  options.ops_limit = 100;
+  options.read_fraction = 1.0;  // read-only, nothing loaded
+  DbBench bench(&env.kernel, &db, options);
+  const DbBenchResult result = bench.Run();
+  EXPECT_EQ(result.reads, result.total_ops);
+  EXPECT_EQ(result.read_misses, result.total_ops);
+}
+
+}  // namespace
+}  // namespace dio::apps::dbbench

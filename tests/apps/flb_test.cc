@@ -1,0 +1,193 @@
+// The §III-B scenario as tests: inode recycling + stale position-db entries
+// lose data in v1.4.0 mode; the v2.0.5 fix reads from offset 0.
+#include <gtest/gtest.h>
+
+#include "apps/flb/fluentbit.h"
+#include "apps/flb/log_client.h"
+#include "test_util.h"
+
+namespace dio::apps::flb {
+namespace {
+
+using dio::testing::TestEnv;
+
+constexpr char kLog[] = "/data/app.log";
+
+class FlbTest : public ::testing::Test {
+ protected:
+  FluentBitOptions Options(Mode mode) {
+    FluentBitOptions options;
+    options.mode = mode;
+    options.watch_path = kLog;
+    return options;
+  }
+
+  // Runs the issue-#1875 sequence with explicit interleaving, driving the
+  // Fluent Bit scans on a dedicated bound thread context.
+  FluentBitStats RunScenario(Mode mode, FluentBit* flb_out = nullptr) {
+    FluentBit flb(&env_.kernel, Options(mode));
+    LogClient app(&env_.kernel);
+    os::ScopedTask flb_task(env_.kernel, flb.pid(), flb.tid());
+
+    // 1. app writes 26 bytes; fluent-bit picks them up.
+    app.WriteLog(kLog, "0123456789012345678901234\n");  // 26 bytes
+    flb.ScanOnce();
+    // 2. app removes the file; fluent-bit notices (closes fd).
+    app.RemoveLog(kLog);
+    flb.ScanOnce();
+    // 3. app recreates the same name (inode recycled), writes 16 bytes.
+    app.WriteLog(kLog, "012345678901234\n");  // 16 bytes
+    flb.ScanOnce();
+    flb.ScanOnce();  // extra scan: nothing further should appear
+
+    if (flb_out != nullptr) {
+      // NOLINTNEXTLINE: test-only copy of stats for inspection
+    }
+    return flb.stats();
+  }
+
+  TestEnv env_;
+};
+
+TEST_F(FlbTest, BuggyV14LosesRecreatedFileData) {
+  const FluentBitStats stats = RunScenario(Mode::kBuggyV14);
+  // First generation fully read; second generation LOST (stale offset 26
+  // beyond the 16-byte new file).
+  EXPECT_EQ(stats.bytes_collected, 26u);
+  EXPECT_EQ(stats.records_collected, 1u);
+  EXPECT_EQ(stats.deletions_observed, 1u);
+  EXPECT_EQ(stats.reopens, 2u);
+}
+
+TEST_F(FlbTest, FixedV205ReadsAllData) {
+  const FluentBitStats stats = RunScenario(Mode::kFixedV205);
+  EXPECT_EQ(stats.bytes_collected, 42u);  // 26 + 16: nothing lost
+  EXPECT_EQ(stats.records_collected, 2u);
+}
+
+TEST_F(FlbTest, InodeIsActuallyRecycled) {
+  LogClient app(&env_.kernel);
+  app.WriteLog(kLog, "first");
+  os::StatBuf st1;
+  {
+    auto task = env_.Bind();
+    env_.kernel.sys_stat(kLog, &st1);
+  }
+  app.RemoveLog(kLog);
+  app.WriteLog(kLog, "second");
+  os::StatBuf st2;
+  {
+    auto task = env_.Bind();
+    env_.kernel.sys_stat(kLog, &st2);
+  }
+  EXPECT_EQ(st1.ino, st2.ino);  // precondition for the bug
+}
+
+TEST_F(FlbTest, PositionDbKeyedByNameAndInode) {
+  PositionDb db;
+  db.Set("/a", 12, 26);
+  EXPECT_EQ(db.Get("/a", 12), 26u);
+  EXPECT_FALSE(db.Get("/a", 13).has_value());
+  EXPECT_FALSE(db.Get("/b", 12).has_value());
+  db.Remove("/a", 12);
+  EXPECT_FALSE(db.Get("/a", 12).has_value());
+  EXPECT_EQ(db.size(), 0u);
+}
+
+TEST_F(FlbTest, BuggyModeKeepsStaleDbEntry) {
+  FluentBit flb(&env_.kernel, Options(Mode::kBuggyV14));
+  LogClient app(&env_.kernel);
+  os::ScopedTask task(env_.kernel, flb.pid(), flb.tid());
+  app.WriteLog(kLog, "abcdef\n");
+  flb.ScanOnce();
+  app.RemoveLog(kLog);
+  flb.ScanOnce();
+  EXPECT_EQ(flb.position_db().size(), 1u);  // the bug: entry survives delete
+}
+
+TEST_F(FlbTest, FixedModeDropsDbEntryOnDeletion) {
+  FluentBit flb(&env_.kernel, Options(Mode::kFixedV205));
+  LogClient app(&env_.kernel);
+  os::ScopedTask task(env_.kernel, flb.pid(), flb.tid());
+  app.WriteLog(kLog, "abcdef\n");
+  flb.ScanOnce();
+  app.RemoveLog(kLog);
+  flb.ScanOnce();
+  EXPECT_EQ(flb.position_db().size(), 0u);
+}
+
+TEST_F(FlbTest, IncrementalAppendsPickedUpAcrossScans) {
+  FluentBit flb(&env_.kernel, Options(Mode::kFixedV205));
+  LogClient app(&env_.kernel);
+  os::ScopedTask task(env_.kernel, flb.pid(), flb.tid());
+  app.WriteLog(kLog, "one\n");
+  flb.ScanOnce();
+  app.WriteLog(kLog, "two\n");
+  app.WriteLog(kLog, "three\n");
+  flb.ScanOnce();
+  auto records = flb.collected_records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0], "one");
+  EXPECT_EQ(records[1], "two");
+  EXPECT_EQ(records[2], "three");
+}
+
+TEST_F(FlbTest, PartialRecordsBufferedUntilNewline) {
+  FluentBit flb(&env_.kernel, Options(Mode::kFixedV205));
+  LogClient app(&env_.kernel);
+  os::ScopedTask task(env_.kernel, flb.pid(), flb.tid());
+  app.WriteLog(kLog, "incompl");
+  flb.ScanOnce();
+  EXPECT_EQ(flb.stats().records_collected, 0u);
+  EXPECT_EQ(flb.stats().bytes_collected, 7u);
+  app.WriteLog(kLog, "ete\n");
+  flb.ScanOnce();
+  auto records = flb.collected_records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], "incomplete");
+}
+
+TEST_F(FlbTest, MissingFileIsHarmless) {
+  FluentBit flb(&env_.kernel, Options(Mode::kFixedV205));
+  os::ScopedTask task(env_.kernel, flb.pid(), flb.tid());
+  flb.ScanOnce();
+  flb.ScanOnce();
+  EXPECT_EQ(flb.stats().bytes_collected, 0u);
+  EXPECT_EQ(flb.stats().reopens, 0u);
+}
+
+TEST_F(FlbTest, BackgroundPipelineCollects) {
+  FluentBitOptions options = Options(Mode::kFixedV205);
+  options.scan_interval = kMillisecond;
+  FluentBit flb(&env_.kernel, options);
+  LogClient app(&env_.kernel);
+  app.WriteLog(kLog, "streamed\n");
+  flb.Start();
+  for (int i = 0; i < 2000 && flb.stats().records_collected < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  flb.Stop();
+  EXPECT_GE(flb.stats().records_collected, 1u);
+}
+
+TEST_F(FlbTest, RotationDetectedByInodeChangeWhileHoldingFd) {
+  // Recreate the file between scans WITHOUT fluent-bit observing the
+  // deletion: the inode check must trigger a reopen.
+  FluentBit flb(&env_.kernel, Options(Mode::kFixedV205));
+  LogClient app(&env_.kernel);
+  os::ScopedTask task(env_.kernel, flb.pid(), flb.tid());
+  app.WriteLog(kLog, "gen1\n");
+  flb.ScanOnce();
+  app.RemoveLog(kLog);
+  // Recreate under a DIFFERENT inode by first occupying the freed one.
+  app.WriteLog("/data/占位.tmp", "x");
+  app.WriteLog(kLog, "gen2\n");
+  flb.ScanOnce();
+  auto records = flb.collected_records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1], "gen2");
+  EXPECT_EQ(flb.stats().deletions_observed, 1u);
+}
+
+}  // namespace
+}  // namespace dio::apps::flb

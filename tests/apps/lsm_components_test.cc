@@ -1,0 +1,385 @@
+// Unit tests for the LSM building blocks: skiplist, memtable, WAL, SSTable,
+// block cache.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "apps/lsmkv/block_cache.h"
+#include "apps/lsmkv/memtable.h"
+#include "apps/lsmkv/skiplist.h"
+#include "apps/lsmkv/sstable.h"
+#include "apps/lsmkv/wal.h"
+#include "common/random.h"
+#include "test_util.h"
+
+namespace dio::apps::lsmkv {
+namespace {
+
+using dio::testing::TestEnv;
+
+// ---- skiplist ---------------------------------------------------------------
+
+TEST(SkipListTest, InsertFindOverwrite) {
+  SkipList<int> list;
+  EXPECT_TRUE(list.Insert("b", 2));
+  EXPECT_TRUE(list.Insert("a", 1));
+  EXPECT_FALSE(list.Insert("a", 10));  // overwrite
+  ASSERT_NE(list.Find("a"), nullptr);
+  EXPECT_EQ(*list.Find("a"), 10);
+  EXPECT_EQ(list.Find("zz"), nullptr);
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(SkipListTest, IterationIsSorted) {
+  SkipList<int> list;
+  Random rng(5);
+  std::map<std::string, int> reference;
+  for (int i = 0; i < 2000; ++i) {
+    std::string key = "k" + std::to_string(rng.Uniform(1000));
+    list.Insert(key, i);
+    reference[key] = i;
+  }
+  EXPECT_EQ(list.size(), reference.size());
+  auto it = reference.begin();
+  list.ForEach([&](const std::string& key, const int& value) {
+    ASSERT_NE(it, reference.end());
+    EXPECT_EQ(key, it->first);
+    EXPECT_EQ(value, it->second);
+    ++it;
+  });
+  EXPECT_EQ(it, reference.end());
+}
+
+TEST(SkipListTest, EmptyList) {
+  SkipList<int> list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.Find(""), nullptr);
+  int visits = 0;
+  list.ForEach([&](const std::string&, const int&) { ++visits; });
+  EXPECT_EQ(visits, 0);
+}
+
+// ---- memtable ----------------------------------------------------------------
+
+TEST(MemtableTest, PutGetDelete) {
+  Memtable mem;
+  mem.Put("k", "v");
+  auto found = mem.Get("k");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_FALSE(found->deleted);
+  EXPECT_EQ(found->value, "v");
+
+  mem.Delete("k");
+  found = mem.Get("k");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_TRUE(found->deleted);  // tombstone, not absence
+
+  EXPECT_FALSE(mem.Get("other").has_value());
+}
+
+TEST(MemtableTest, ApproximateBytesGrow) {
+  Memtable mem;
+  EXPECT_EQ(mem.ApproximateBytes(), 0u);
+  mem.Put("key", std::string(100, 'v'));
+  const std::size_t after_one = mem.ApproximateBytes();
+  EXPECT_GT(after_one, 100u);
+  mem.Put("key2", std::string(100, 'v'));
+  EXPECT_GT(mem.ApproximateBytes(), after_one);
+}
+
+TEST(MemtableTest, ForEachSorted) {
+  Memtable mem;
+  mem.Put("c", "3");
+  mem.Put("a", "1");
+  mem.Delete("b");
+  std::vector<std::string> keys;
+  mem.ForEach([&](const std::string& key, const ValueOrTombstone&) {
+    keys.push_back(key);
+  });
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+// ---- WAL ----------------------------------------------------------------------
+
+TEST(WalTest, AppendAndReplay) {
+  TestEnv env;
+  auto task = env.Bind();
+  {
+    WriteAheadLog wal(&env.kernel, "/data/wal.log");
+    ASSERT_TRUE(wal.ok());
+    EXPECT_TRUE(wal.AppendPut("k1", "v1", false).ok());
+    EXPECT_TRUE(wal.AppendPut("k2", "v2", true).ok());
+    EXPECT_TRUE(wal.AppendDelete("k1", false).ok());
+  }
+  std::map<std::string, std::string> applied;
+  auto replayed = WriteAheadLog::Replay(
+      &env.kernel, "/data/wal.log",
+      [&](std::string key, std::string value) {
+        applied[key] = std::move(value);
+      },
+      [&](std::string key) { applied.erase(key); });
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(*replayed, 3u);
+  EXPECT_EQ(applied.size(), 1u);
+  EXPECT_EQ(applied["k2"], "v2");
+}
+
+TEST(WalTest, ReplayToleratesTornTail) {
+  TestEnv env;
+  auto task = env.Bind();
+  {
+    WriteAheadLog wal(&env.kernel, "/data/torn.log");
+    ASSERT_TRUE(wal.AppendPut("good", "record", false).ok());
+  }
+  // Simulate a torn write: append half a record header.
+  const auto fd = static_cast<os::Fd>(env.kernel.sys_open(
+      "/data/torn.log", os::openflag::kWriteOnly | os::openflag::kAppend));
+  env.kernel.sys_write(fd, "\0\x05");
+  env.kernel.sys_close(fd);
+
+  int puts = 0;
+  auto replayed = WriteAheadLog::Replay(
+      &env.kernel, "/data/torn.log",
+      [&](std::string, std::string) { ++puts; }, [](std::string) {});
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(*replayed, 1u);
+  EXPECT_EQ(puts, 1);
+}
+
+TEST(WalTest, ReplayMissingFileErrors) {
+  TestEnv env;
+  auto task = env.Bind();
+  auto replayed = WriteAheadLog::Replay(
+      &env.kernel, "/data/nope.log", [](std::string, std::string) {},
+      [](std::string) {});
+  EXPECT_FALSE(replayed.ok());
+}
+
+TEST(WalTest, EmptyValueAndBinaryPayload) {
+  TestEnv env;
+  auto task = env.Bind();
+  std::string binary("\x00\x01\xFF\n\r", 5);
+  {
+    WriteAheadLog wal(&env.kernel, "/data/bin.log");
+    wal.AppendPut("k", binary, false);
+    wal.AppendPut("empty", "", false);
+  }
+  std::map<std::string, std::string> applied;
+  ASSERT_TRUE(WriteAheadLog::Replay(
+                  &env.kernel, "/data/bin.log",
+                  [&](std::string key, std::string value) {
+                    applied[key] = value;
+                  },
+                  [](std::string) {})
+                  .ok());
+  EXPECT_EQ(applied["k"], binary);
+  EXPECT_EQ(applied["empty"], "");
+}
+
+// ---- SSTable --------------------------------------------------------------------
+
+class SSTableTest : public ::testing::Test {
+ protected:
+  TestEnv env_;
+  std::unique_ptr<os::ScopedTask> task_ = env_.Bind();
+};
+
+TEST_F(SSTableTest, BuildAndPointLookup) {
+  SSTableBuilder builder(&env_.kernel, "/data/t1.sst", 64);
+  for (int i = 0; i < 100; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%03d", i);
+    ASSERT_TRUE(builder.Add(key, {false, "value" + std::to_string(i)}).ok());
+  }
+  auto meta = builder.Finish();
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->entries, 100u);
+  EXPECT_EQ(meta->min_key, "k000");
+  EXPECT_EQ(meta->max_key, "k099");
+  EXPECT_GT(meta->bytes, 0u);
+
+  auto reader = SSTableReader::Open(&env_.kernel, "/data/t1.sst");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_GT(reader->index().size(), 1u);  // multiple blocks at 64B blocks
+  for (int i : {0, 1, 42, 99}) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%03d", i);
+    auto found = reader->Get(key);
+    ASSERT_TRUE(found.has_value()) << key;
+    EXPECT_EQ(found->value, "value" + std::to_string(i));
+  }
+  EXPECT_FALSE(reader->Get("k100").has_value());
+  EXPECT_FALSE(reader->Get("a").has_value());
+  EXPECT_FALSE(reader->Get("zzz").has_value());
+}
+
+TEST_F(SSTableTest, RejectsOutOfOrderKeys) {
+  SSTableBuilder builder(&env_.kernel, "/data/t2.sst", 4096);
+  ASSERT_TRUE(builder.Add("b", {false, "1"}).ok());
+  EXPECT_FALSE(builder.Add("a", {false, "2"}).ok());
+  EXPECT_FALSE(builder.Add("b", {false, "3"}).ok());  // duplicates too
+}
+
+TEST_F(SSTableTest, TombstonesRoundTrip) {
+  SSTableBuilder builder(&env_.kernel, "/data/t3.sst", 4096);
+  builder.Add("dead", {true, ""});
+  builder.Add("live", {false, "v"});
+  ASSERT_TRUE(builder.Finish().ok());
+  auto reader = SSTableReader::Open(&env_.kernel, "/data/t3.sst");
+  ASSERT_TRUE(reader.ok());
+  auto dead = reader->Get("dead");
+  ASSERT_TRUE(dead.has_value());
+  EXPECT_TRUE(dead->deleted);
+  EXPECT_FALSE(reader->Get("live")->deleted);
+}
+
+TEST_F(SSTableTest, ScanVisitsEverythingInOrder) {
+  SSTableBuilder builder(&env_.kernel, "/data/t4.sst", 128);
+  std::map<std::string, std::string> reference;
+  for (int i = 0; i < 50; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "s%04d", i * 3);
+    builder.Add(key, {false, std::string(i % 7, 'x')});
+    reference[key] = std::string(i % 7, 'x');
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  auto reader = SSTableReader::Open(&env_.kernel, "/data/t4.sst");
+  ASSERT_TRUE(reader.ok());
+  auto it = reference.begin();
+  ASSERT_TRUE(reader
+                  ->Scan(64,
+                         [&](const std::string& key,
+                             const ValueOrTombstone& value) {
+                           ASSERT_NE(it, reference.end());
+                           EXPECT_EQ(key, it->first);
+                           EXPECT_EQ(value.value, it->second);
+                           ++it;
+                         })
+                  .ok());
+  EXPECT_EQ(it, reference.end());
+}
+
+TEST_F(SSTableTest, OpenRejectsCorruptFiles) {
+  // Too short.
+  auto fd = static_cast<os::Fd>(env_.kernel.sys_creat("/data/short.sst", 0644));
+  env_.kernel.sys_write(fd, "tiny");
+  env_.kernel.sys_close(fd);
+  EXPECT_FALSE(SSTableReader::Open(&env_.kernel, "/data/short.sst").ok());
+
+  // Bad magic.
+  fd = static_cast<os::Fd>(env_.kernel.sys_creat("/data/bad.sst", 0644));
+  env_.kernel.sys_write(fd, std::string(64, 'Z'));
+  env_.kernel.sys_close(fd);
+  EXPECT_FALSE(SSTableReader::Open(&env_.kernel, "/data/bad.sst").ok());
+
+  EXPECT_FALSE(SSTableReader::Open(&env_.kernel, "/data/absent.sst").ok());
+}
+
+TEST_F(SSTableTest, AbandonRemovesPartialFile) {
+  SSTableBuilder builder(&env_.kernel, "/data/ab.sst", 4096);
+  builder.Add("k", {false, "v"});
+  builder.Abandon();
+  os::StatBuf st;
+  EXPECT_EQ(env_.kernel.sys_stat("/data/ab.sst", &st), -os::err::kENOENT);
+}
+
+TEST_F(SSTableTest, BlockFetcherInterposesCache) {
+  SSTableBuilder builder(&env_.kernel, "/data/cache.sst", 64);
+  for (int i = 0; i < 40; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "c%03d", i);
+    builder.Add(key, {false, "valuevaluevalue"});
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  auto reader = SSTableReader::Open(&env_.kernel, "/data/cache.sst");
+  ASSERT_TRUE(reader.ok());
+
+  int fetches = 0;
+  reader->set_block_fetcher(
+      [&fetches](const SSTableReader& r,
+                 const BlockIndexEntry& e) -> Expected<std::string> {
+        ++fetches;
+        return r.ReadBlock(e);
+      });
+  (void)reader->Get("c000");
+  (void)reader->Get("c039");
+  EXPECT_EQ(fetches, 2);
+}
+
+// Property: random keyspaces round-trip through build + lookup.
+class SSTableRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SSTableRoundTrip, RandomizedContents) {
+  TestEnv env;
+  auto task = env.Bind();
+  Random rng(GetParam());
+  std::map<std::string, std::string> reference;
+  for (int i = 0; i < 300; ++i) {
+    std::string key = "key" + std::to_string(rng.Uniform(100000));
+    reference[key] = std::string(rng.Uniform(64), static_cast<char>('a' + rng.Uniform(26)));
+  }
+  SSTableBuilder builder(&env.kernel, "/data/rand.sst", GetParam() * 64 + 64);
+  for (const auto& [key, value] : reference) {
+    ASSERT_TRUE(builder.Add(key, {false, value}).ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  auto reader = SSTableReader::Open(&env.kernel, "/data/rand.sst");
+  ASSERT_TRUE(reader.ok());
+  for (const auto& [key, value] : reference) {
+    auto found = reader->Get(key);
+    ASSERT_TRUE(found.has_value()) << key;
+    EXPECT_EQ(found->value, value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, SSTableRoundTrip,
+                         ::testing::Values(1, 4, 16, 64));
+
+// ---- block cache ---------------------------------------------------------------
+
+TEST(BlockCacheTest, HitMissAndEviction) {
+  BlockCache cache(100);
+  const BlockCache::Key k1{1, 0};
+  const BlockCache::Key k2{1, 64};
+  EXPECT_FALSE(cache.Get(k1).has_value());
+  cache.Put(k1, std::string(60, 'a'));
+  EXPECT_EQ(cache.Get(k1), std::string(60, 'a'));
+  cache.Put(k2, std::string(60, 'b'));  // exceeds 100B -> evicts k1 (LRU)
+  EXPECT_FALSE(cache.Get(k1).has_value());
+  EXPECT_TRUE(cache.Get(k2).has_value());
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(BlockCacheTest, LruOrderRespectsAccess) {
+  BlockCache cache(120);
+  cache.Put({1, 0}, std::string(50, 'a'));
+  cache.Put({1, 1}, std::string(50, 'b'));
+  (void)cache.Get({1, 0});  // touch a -> b becomes LRU
+  cache.Put({1, 2}, std::string(50, 'c'));
+  EXPECT_TRUE(cache.Get({1, 0}).has_value());
+  EXPECT_FALSE(cache.Get({1, 1}).has_value());
+}
+
+TEST(BlockCacheTest, EvictFileDropsAllItsBlocks) {
+  BlockCache cache(1000);
+  cache.Put({1, 0}, "a");
+  cache.Put({1, 64}, "b");
+  cache.Put({2, 0}, "c");
+  cache.EvictFile(1);
+  EXPECT_FALSE(cache.Get({1, 0}).has_value());
+  EXPECT_FALSE(cache.Get({1, 64}).has_value());
+  EXPECT_TRUE(cache.Get({2, 0}).has_value());
+}
+
+TEST(BlockCacheTest, PutSameKeyReplaces) {
+  BlockCache cache(1000);
+  cache.Put({1, 0}, "old");
+  cache.Put({1, 0}, "new");
+  EXPECT_EQ(cache.Get({1, 0}), "new");
+  EXPECT_EQ(cache.bytes(), 3u);
+}
+
+}  // namespace
+}  // namespace dio::apps::lsmkv

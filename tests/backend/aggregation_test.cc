@@ -1,0 +1,189 @@
+#include "backend/aggregation.h"
+
+#include <gtest/gtest.h>
+
+namespace dio::backend {
+namespace {
+
+std::vector<Json> MakeDocs() {
+  std::vector<Json> docs;
+  // comm=a: ts 0,10,20; comm=b: ts 0,0.
+  for (int i = 0; i < 3; ++i) {
+    Json doc = Json::MakeObject();
+    doc.Set("comm", "a");
+    doc.Set("ts", i * 10);
+    doc.Set("lat", 100 * (i + 1));
+    docs.push_back(std::move(doc));
+  }
+  for (int i = 0; i < 2; ++i) {
+    Json doc = Json::MakeObject();
+    doc.Set("comm", "b");
+    doc.Set("ts", 0);
+    doc.Set("lat", 1000);
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+std::vector<const Json*> Ptrs(const std::vector<Json>& docs) {
+  std::vector<const Json*> out;
+  for (const Json& doc : docs) out.push_back(&doc);
+  return out;
+}
+
+TEST(AggregationTest, TermsCountsAndSortsByCount) {
+  const auto docs = MakeDocs();
+  const AggResult result =
+      Aggregation::Terms("comm").Execute(Ptrs(docs));
+  ASSERT_EQ(result.buckets.size(), 2u);
+  EXPECT_EQ(result.buckets[0].key.as_string(), "a");
+  EXPECT_EQ(result.buckets[0].doc_count, 3);
+  EXPECT_EQ(result.buckets[1].key.as_string(), "b");
+  EXPECT_EQ(result.buckets[1].doc_count, 2);
+}
+
+TEST(AggregationTest, TermsSizeLimitsTopN) {
+  const auto docs = MakeDocs();
+  const AggResult result =
+      Aggregation::Terms("comm", 1).Execute(Ptrs(docs));
+  ASSERT_EQ(result.buckets.size(), 1u);
+  EXPECT_EQ(result.buckets[0].key.as_string(), "a");
+}
+
+TEST(AggregationTest, TermsSkipsDocsWithoutField) {
+  std::vector<Json> docs = MakeDocs();
+  docs.push_back(Json::MakeObject());  // no comm
+  const AggResult result = Aggregation::Terms("comm").Execute(Ptrs(docs));
+  std::int64_t total = 0;
+  for (const AggBucket& bucket : result.buckets) total += bucket.doc_count;
+  EXPECT_EQ(total, 5);
+}
+
+TEST(AggregationTest, HistogramBucketsByInterval) {
+  const auto docs = MakeDocs();
+  const AggResult result =
+      Aggregation::Histogram("ts", 10).Execute(Ptrs(docs));
+  ASSERT_EQ(result.buckets.size(), 3u);
+  EXPECT_EQ(result.buckets[0].key.as_int(), 0);
+  EXPECT_EQ(result.buckets[0].doc_count, 3);  // a@0 + b@0 + b@0
+  EXPECT_EQ(result.buckets[1].key.as_int(), 10);
+  EXPECT_EQ(result.buckets[2].key.as_int(), 20);
+}
+
+TEST(AggregationTest, HistogramNegativeValuesFloorCorrectly) {
+  std::vector<Json> docs;
+  Json doc = Json::MakeObject();
+  doc.Set("v", -5);
+  docs.push_back(std::move(doc));
+  const AggResult result =
+      Aggregation::Histogram("v", 10).Execute(Ptrs(docs));
+  ASSERT_EQ(result.buckets.size(), 1u);
+  EXPECT_EQ(result.buckets[0].key.as_int(), -10);
+}
+
+TEST(AggregationTest, TermsWithDateHistogramSubAgg) {
+  const auto docs = MakeDocs();
+  auto agg = Aggregation::Terms("comm").SubAgg(
+      "per_ts", Aggregation::DateHistogram("ts", 10));
+  const AggResult result = agg.Execute(Ptrs(docs));
+  const AggResult& a_hist = result.buckets[0].sub.at("per_ts");
+  EXPECT_EQ(a_hist.buckets.size(), 3u);
+  const AggResult& b_hist = result.buckets[1].sub.at("per_ts");
+  EXPECT_EQ(b_hist.buckets.size(), 1u);
+  EXPECT_EQ(b_hist.buckets[0].doc_count, 2);
+}
+
+TEST(AggregationTest, StatsComputesAll) {
+  const auto docs = MakeDocs();
+  const AggResult result = Aggregation::Stats("lat").Execute(Ptrs(docs));
+  EXPECT_EQ(result.metrics.GetInt("count"), 5);
+  EXPECT_DOUBLE_EQ(result.metrics.GetDouble("min"), 100);
+  EXPECT_DOUBLE_EQ(result.metrics.GetDouble("max"), 1000);
+  EXPECT_DOUBLE_EQ(result.metrics.GetDouble("sum"), 2600);
+  EXPECT_DOUBLE_EQ(result.metrics.GetDouble("avg"), 520);
+}
+
+TEST(AggregationTest, StatsEmptyInput) {
+  const AggResult result = Aggregation::Stats("lat").Execute({});
+  EXPECT_EQ(result.metrics.GetInt("count"), 0);
+  EXPECT_DOUBLE_EQ(result.metrics.GetDouble("avg"), 0);
+}
+
+TEST(AggregationTest, PercentilesInterpolate) {
+  std::vector<Json> docs;
+  for (int i = 1; i <= 100; ++i) {
+    Json doc = Json::MakeObject();
+    doc.Set("lat", i);
+    docs.push_back(std::move(doc));
+  }
+  const AggResult result =
+      Aggregation::Percentiles("lat", {50.0, 99.0, 100.0}).Execute(Ptrs(docs));
+  EXPECT_NEAR(result.metrics.GetDouble("50.000000"), 50.5, 0.01);
+  EXPECT_NEAR(result.metrics.GetDouble("99.000000"), 99.01, 0.01);
+  EXPECT_DOUBLE_EQ(result.metrics.GetDouble("100.000000"), 100.0);
+}
+
+TEST(AggregationTest, PercentilesEmptyReturnsZero) {
+  const AggResult result =
+      Aggregation::Percentiles("lat", {99.0}).Execute({});
+  EXPECT_DOUBLE_EQ(result.metrics.GetDouble("99.000000"), 0.0);
+}
+
+TEST(AggregationDslTest, ParsesTermsWithNestedAggs) {
+  auto agg = Aggregation::FromJsonText(R"({
+    "terms": {"field": "comm", "size": 2},
+    "aggs": {
+      "over_time": {"date_histogram": {"field": "ts", "interval": 10}},
+      "lat": {"stats": {"field": "lat"}}
+    }
+  })");
+  ASSERT_TRUE(agg.ok());
+  const auto docs = MakeDocs();
+  const AggResult result = agg->Execute(Ptrs(docs));
+  ASSERT_EQ(result.buckets.size(), 2u);
+  EXPECT_TRUE(result.buckets[0].sub.contains("over_time"));
+  EXPECT_TRUE(result.buckets[0].sub.contains("lat"));
+  EXPECT_EQ(result.buckets[0].sub.at("lat").metrics.GetInt("count"), 3);
+}
+
+TEST(AggregationDslTest, ParsesPercentilesWithDefaults) {
+  auto agg = Aggregation::FromJsonText(
+      R"({"percentiles": {"field": "lat"}})");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->percents(), (std::vector<double>{50.0, 95.0, 99.0}));
+  auto custom = Aggregation::FromJsonText(
+      R"({"percentiles": {"field": "lat", "percents": [99.9]}})");
+  ASSERT_TRUE(custom.ok());
+  EXPECT_EQ(custom->percents(), (std::vector<double>{99.9}));
+}
+
+TEST(AggregationDslTest, RejectsMalformed) {
+  EXPECT_FALSE(Aggregation::FromJsonText("7").ok());
+  EXPECT_FALSE(Aggregation::FromJsonText(R"({})").ok());
+  EXPECT_FALSE(Aggregation::FromJsonText(R"({"pie": {"field": "x"}})").ok());
+  EXPECT_FALSE(Aggregation::FromJsonText(R"({"terms": {}})").ok());
+  EXPECT_FALSE(
+      Aggregation::FromJsonText(R"({"histogram": {"field": "x"}})").ok());
+  EXPECT_FALSE(Aggregation::FromJsonText(
+                   R"({"terms": {"field": "a"}, "stats": {"field": "b"}})")
+                   .ok());
+  EXPECT_FALSE(Aggregation::FromJsonText(
+                   R"({"terms": {"field": "a"}, "aggs": {"x": {"nope": {}}}})")
+                   .ok());
+  EXPECT_FALSE(Aggregation::FromJsonText(R"({"aggs": {}})").ok());
+}
+
+TEST(AggregationTest, DeepSubAggregationNesting) {
+  const auto docs = MakeDocs();
+  auto agg = Aggregation::Terms("comm").SubAgg(
+      "hist", Aggregation::Histogram("ts", 10).SubAgg(
+                  "lat_stats", Aggregation::Stats("lat")));
+  const AggResult result = agg.Execute(Ptrs(docs));
+  const AggResult& hist = result.buckets[0].sub.at("hist");
+  const AggResult& stats = hist.buckets[0].sub.at("lat_stats");
+  EXPECT_EQ(stats.metrics.GetInt("count"), 1);
+  EXPECT_DOUBLE_EQ(stats.metrics.GetDouble("avg"), 100);
+}
+
+}  // namespace
+}  // namespace dio::backend

@@ -1,0 +1,107 @@
+#include "backend/bulk_client.h"
+
+#include <gtest/gtest.h>
+
+namespace dio::backend {
+namespace {
+
+Json Doc(int i) {
+  Json doc = Json::MakeObject();
+  doc.Set("i", i);
+  return doc;
+}
+
+TEST(BulkClientTest, BatchesArriveAfterFlush) {
+  ElasticStore store;
+  BulkClientOptions options;
+  options.network_latency_ns = 0;
+  BulkClient client(&store, "session", options);
+  client.IndexBatch({Doc(1), Doc(2)});
+  client.IndexBatch({Doc(3)});
+  client.Flush();
+  EXPECT_EQ(*store.Count("session", Query::MatchAll()), 3u);
+  EXPECT_EQ(client.batches_sent(), 2u);
+}
+
+TEST(BulkClientTest, EmptyBatchIgnored) {
+  ElasticStore store;
+  BulkClient client(&store, "session", {});
+  client.IndexBatch({});
+  client.Flush();
+  EXPECT_EQ(client.batches_sent(), 0u);
+}
+
+TEST(BulkClientTest, AsynchronousDeliveryWithLatency) {
+  ElasticStore store;
+  BulkClientOptions options;
+  options.network_latency_ns = 5 * kMillisecond;
+  BulkClient client(&store, "session", options);
+  client.IndexBatch({Doc(1)});
+  // Not necessarily there yet — but Flush guarantees delivery.
+  client.Flush();
+  EXPECT_EQ(*store.Count("session", Query::MatchAll()), 1u);
+}
+
+TEST(BulkClientTest, PeriodicRefreshMakesDataVisibleWithoutFlush) {
+  ElasticStore store;
+  BulkClientOptions options;
+  options.network_latency_ns = 0;
+  options.refresh_every_batches = 1;
+  BulkClient client(&store, "session", options);
+  client.IndexBatch({Doc(1)});
+  // Near-real-time: visible shortly without an explicit Flush.
+  for (int i = 0; i < 1000; ++i) {
+    if (store.HasIndex("session")) {
+      auto count = store.Count("session", Query::MatchAll());
+      if (count.ok() && *count == 1) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(*store.Count("session", Query::MatchAll()), 1u);
+}
+
+TEST(BulkClientTest, DestructorDrainsQueue) {
+  ElasticStore store;
+  {
+    BulkClientOptions options;
+    options.network_latency_ns = kMillisecond;
+    BulkClient client(&store, "session", options);
+    for (int i = 0; i < 5; ++i) client.IndexBatch({Doc(i)});
+  }
+  store.Refresh("session");
+  EXPECT_EQ(*store.Count("session", Query::MatchAll()), 5u);
+}
+
+TEST(BulkClientTest, AutoCorrelateResolvesPathsOnFlush) {
+  ElasticStore store;
+  BulkClientOptions options;
+  options.network_latency_ns = 0;
+  options.auto_correlate = true;
+  BulkClient client(&store, "session", options);
+  Json open_event = Json::MakeObject();
+  open_event.Set("syscall", "openat");
+  open_event.Set("file_tag", "7|1|1");
+  open_event.Set("path", "/data/x");
+  Json read_event = Json::MakeObject();
+  read_event.Set("syscall", "read");
+  read_event.Set("file_tag", "7|1|1");
+  client.IndexBatch({std::move(open_event), std::move(read_event)});
+  client.Flush();
+  EXPECT_EQ(*store.Count("session",
+                         Query::Term("file_path", Json("/data/x"))),
+            2u);
+}
+
+TEST(BulkClientTest, ManySmallBatchesAllDelivered) {
+  ElasticStore store;
+  BulkClientOptions options;
+  options.network_latency_ns = 0;
+  BulkClient client(&store, "session", options);
+  for (int i = 0; i < 200; ++i) client.IndexBatch({Doc(i)});
+  client.Flush();
+  EXPECT_EQ(*store.Count("session", Query::MatchAll()), 200u);
+  EXPECT_EQ(client.batches_sent(), 200u);
+}
+
+}  // namespace
+}  // namespace dio::backend

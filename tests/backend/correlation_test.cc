@@ -1,0 +1,125 @@
+#include "backend/correlation.h"
+
+#include <gtest/gtest.h>
+
+namespace dio::backend {
+namespace {
+
+Json TaggedEvent(const std::string& syscall, const std::string& tag,
+                 const std::string& path = "") {
+  Json doc = Json::MakeObject();
+  doc.Set("syscall", syscall);
+  doc.Set("file_tag", tag);
+  if (!path.empty()) doc.Set("path", path);
+  return doc;
+}
+
+class CorrelationTest : public ::testing::Test {
+ protected:
+  ElasticStore store_;
+};
+
+TEST_F(CorrelationTest, ResolvesTagsFromOpenEvents) {
+  store_.Bulk("s", {
+    TaggedEvent("openat", "7340032|12|111", "/tmp/app.log"),
+    TaggedEvent("write", "7340032|12|111"),
+    TaggedEvent("read", "7340032|12|111"),
+    TaggedEvent("close", "7340032|12|111"),
+  });
+  store_.Refresh("s");
+  FilePathCorrelator correlator(&store_);
+  auto stats = correlator.Run("s");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->tags_discovered, 1u);
+  EXPECT_EQ(stats->events_updated, 4u);
+  EXPECT_EQ(stats->events_unresolved, 0u);
+  EXPECT_DOUBLE_EQ(stats->unresolved_ratio(), 0.0);
+
+  auto count = store_.Count(
+      "s", Query::Term("file_path", Json("/tmp/app.log")));
+  EXPECT_EQ(*count, 4u);
+}
+
+TEST_F(CorrelationTest, DistinguishesRecycledInodesByTimestamp) {
+  // Same (dev, ino), two generations with different first-access ts.
+  store_.Bulk("s", {
+    TaggedEvent("openat", "7|12|100", "/tmp/a.log"),
+    TaggedEvent("write", "7|12|100"),
+    TaggedEvent("openat", "7|12|200", "/tmp/a.log"),  // recreated file
+    TaggedEvent("write", "7|12|200"),
+  });
+  store_.Refresh("s");
+  FilePathCorrelator correlator(&store_);
+  auto stats = correlator.Run("s");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->tags_discovered, 2u);
+  EXPECT_EQ(stats->events_updated, 4u);
+}
+
+TEST_F(CorrelationTest, EventsWithUnknownTagsStayUnresolved) {
+  store_.Bulk("s", {
+    TaggedEvent("openat", "7|1|10", "/known"),
+    TaggedEvent("read", "7|1|10"),
+    TaggedEvent("read", "7|99|50"),   // open was dropped at the ring (§III-D)
+    TaggedEvent("close", "7|99|50"),
+  });
+  store_.Refresh("s");
+  FilePathCorrelator correlator(&store_);
+  auto stats = correlator.Run("s");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->events_updated, 2u);
+  EXPECT_EQ(stats->events_unresolved, 2u);
+  EXPECT_DOUBLE_EQ(stats->unresolved_ratio(), 0.5);
+}
+
+TEST_F(CorrelationTest, RerunIsIdempotent) {
+  store_.Bulk("s", {
+    TaggedEvent("openat", "7|1|10", "/p"),
+    TaggedEvent("read", "7|1|10"),
+  });
+  store_.Refresh("s");
+  FilePathCorrelator correlator(&store_);
+  ASSERT_TRUE(correlator.Run("s").ok());
+  auto second = correlator.Run("s");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->events_updated, 2u);
+  EXPECT_EQ(*store_.Count("s", Query::Exists("file_path")), 2u);
+}
+
+TEST_F(CorrelationTest, IncrementalRunPicksUpNewEvents) {
+  store_.Bulk("s", {TaggedEvent("openat", "7|1|10", "/p"),
+                    TaggedEvent("read", "7|1|10")});
+  store_.Refresh("s");
+  FilePathCorrelator correlator(&store_);
+  ASSERT_TRUE(correlator.Run("s").ok());
+  // More events stream in (near-real-time pipeline), rerun on demand.
+  store_.Bulk("s", {TaggedEvent("write", "7|1|10")});
+  store_.Refresh("s");
+  auto stats = correlator.Run("s");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->events_updated, 3u);
+}
+
+TEST_F(CorrelationTest, MissingIndexErrors) {
+  FilePathCorrelator correlator(&store_);
+  EXPECT_FALSE(correlator.Run("ghost").ok());
+}
+
+TEST_F(CorrelationTest, UntaggedEventsUntouched) {
+  Json untagged = Json::MakeObject();
+  untagged.Set("syscall", "mkdir");
+  untagged.Set("path", "/dir");
+  store_.Bulk("s", {std::move(untagged), TaggedEvent("openat", "7|1|1", "/f")});
+  store_.Refresh("s");
+  FilePathCorrelator correlator(&store_);
+  ASSERT_TRUE(correlator.Run("s").ok());
+  auto result = store_.Search("s", SearchRequest{});
+  for (const Hit& hit : result->hits) {
+    if (hit.source.GetString("syscall") == "mkdir") {
+      EXPECT_FALSE(hit.source.Has("file_path"));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dio::backend

@@ -1,0 +1,234 @@
+#include "backend/detectors.h"
+
+#include <gtest/gtest.h>
+
+namespace dio::backend {
+namespace {
+
+Json DataEvent(const std::string& syscall, const std::string& comm,
+               std::int64_t ts, std::int64_t ret, std::int64_t offset,
+               const std::string& path, const std::string& tag = "") {
+  Json doc = Json::MakeObject();
+  doc.Set("syscall", syscall);
+  doc.Set("comm", comm);
+  doc.Set("time_enter", ts);
+  doc.Set("duration_ns", 1000);
+  doc.Set("ret", ret);
+  if (offset >= 0) doc.Set("file_offset", offset);
+  if (!path.empty()) doc.Set("file_path", path);
+  if (!tag.empty()) doc.Set("file_tag", tag);
+  return doc;
+}
+
+class DetectorsTest : public ::testing::Test {
+ protected:
+  void Seed(std::vector<Json> docs) {
+    store_.Bulk("s", std::move(docs));
+    store_.Refresh("s");
+  }
+  ElasticStore store_;
+};
+
+TEST_F(DetectorsTest, StaleOffsetFlagsFreshGenerationReadBeyondZero) {
+  Seed({
+      // Generation 1: normal (first read at 0).
+      DataEvent("read", "flb", 100, 26, 0, "/a.log", "7|12|1"),
+      DataEvent("read", "flb", 110, 0, 26, "/a.log", "7|12|1"),
+      // Generation 2 (recycled inode, new tag): first read at 26 -> bug.
+      DataEvent("read", "flb", 200, 0, 26, "/a.log", "7|12|2"),
+  });
+  auto findings = DetectStaleOffsets(&store_, "s");
+  ASSERT_TRUE(findings.ok());
+  ASSERT_EQ(findings->size(), 1u);
+  EXPECT_EQ((*findings)[0].detector, "stale-offset");
+  EXPECT_EQ((*findings)[0].severity, "critical");  // ret == 0: data loss
+  EXPECT_EQ((*findings)[0].evidence.GetString("file_tag"), "7|12|2");
+}
+
+TEST_F(DetectorsTest, StaleOffsetIgnoresHealthyPatterns) {
+  Seed({
+      DataEvent("read", "app", 100, 10, 0, "/ok", "7|1|1"),
+      DataEvent("read", "app", 110, 10, 10, "/ok", "7|1|1"),
+      DataEvent("read", "app", 120, 0, 20, "/ok", "7|1|1"),
+  });
+  auto findings = DetectStaleOffsets(&store_, "s");
+  ASSERT_TRUE(findings.ok());
+  EXPECT_TRUE(findings->empty());
+}
+
+TEST_F(DetectorsTest, StaleOffsetNonZeroRetIsWarning) {
+  Seed({DataEvent("read", "app", 100, 5, 100, "/skip", "7|3|1")});
+  auto findings = DetectStaleOffsets(&store_, "s");
+  ASSERT_TRUE(findings.ok());
+  ASSERT_EQ(findings->size(), 1u);
+  EXPECT_EQ((*findings)[0].severity, "warning");
+}
+
+TEST_F(DetectorsTest, ContentionFlagsBusyHighLatencyWindows) {
+  std::vector<Json> docs;
+  // 10 windows of 100ns. Windows 0-7 quiet (fg latency 1000); windows 8-9:
+  // 3 background threads active and fg latency 5000.
+  for (int w = 0; w < 10; ++w) {
+    const bool busy = w >= 8;
+    for (int i = 0; i < 20; ++i) {
+      Json fg = DataEvent("write", "db_bench", w * 100 + i, 1, -1, "");
+      fg.Set("duration_ns", busy ? 5000 : 1000);
+      docs.push_back(std::move(fg));
+    }
+    if (busy) {
+      for (int t = 0; t < 3; ++t) {
+        docs.push_back(DataEvent("write", "rocksdb:low" + std::to_string(t),
+                                 w * 100 + t, 4096, -1, ""));
+      }
+    }
+  }
+  Seed(std::move(docs));
+  ContentionOptions options;
+  options.window_ns = 100;
+  auto findings = DetectContention(&store_, "s", options);
+  ASSERT_TRUE(findings.ok());
+  EXPECT_EQ(findings->size(), 2u);  // the two busy windows
+  EXPECT_EQ((*findings)[0].detector, "io-contention");
+  EXPECT_GE((*findings)[0].evidence.GetInt("background_threads"), 2);
+}
+
+TEST_F(DetectorsTest, ContentionQuietRunNoFindings) {
+  std::vector<Json> docs;
+  for (int i = 0; i < 100; ++i) {
+    docs.push_back(DataEvent("write", "db_bench", i * 10, 1, -1, ""));
+  }
+  Seed(std::move(docs));
+  ContentionOptions options;
+  options.window_ns = 100;
+  auto findings = DetectContention(&store_, "s", options);
+  ASSERT_TRUE(findings.ok());
+  EXPECT_TRUE(findings->empty());
+}
+
+TEST_F(DetectorsTest, SmallIoFlagsChattyFiles) {
+  std::vector<Json> docs;
+  for (int i = 0; i < 100; ++i) {
+    docs.push_back(DataEvent("write", "app", i, 14, -1, "/chatty.log"));
+  }
+  for (int i = 0; i < 100; ++i) {
+    docs.push_back(DataEvent("write", "app", 1000 + i, 65536, -1, "/bulk.dat"));
+  }
+  Seed(std::move(docs));
+  auto findings = DetectSmallIo(&store_, "s");
+  ASSERT_TRUE(findings.ok());
+  ASSERT_EQ(findings->size(), 1u);
+  EXPECT_EQ((*findings)[0].file_path, "/chatty.log");
+  EXPECT_EQ((*findings)[0].evidence.GetInt("small_ops"), 100);
+}
+
+TEST_F(DetectorsTest, SmallIoRespectsMinOps) {
+  std::vector<Json> docs;
+  for (int i = 0; i < 10; ++i) {
+    docs.push_back(DataEvent("write", "app", i, 4, -1, "/few.log"));
+  }
+  Seed(std::move(docs));
+  auto findings = DetectSmallIo(&store_, "s");
+  ASSERT_TRUE(findings.ok());
+  EXPECT_TRUE(findings->empty());  // only 10 ops, below min_ops
+}
+
+TEST_F(DetectorsTest, RandomAccessClassification) {
+  std::vector<Json> docs;
+  // Sequential file: offsets 0,100,200,...
+  for (int i = 0; i < 40; ++i) {
+    docs.push_back(DataEvent("read", "app", i, 100, i * 100, "/seq.dat"));
+  }
+  // Random file: scattered offsets.
+  for (int i = 0; i < 40; ++i) {
+    docs.push_back(DataEvent("pread64", "app", 1000 + i, 100,
+                             ((i * 7919) % 64) * 4096, "/rand.dat"));
+  }
+  Seed(std::move(docs));
+  auto findings = DetectRandomAccess(&store_, "s");
+  ASSERT_TRUE(findings.ok());
+  ASSERT_EQ(findings->size(), 1u);
+  EXPECT_EQ((*findings)[0].file_path, "/rand.dat");
+}
+
+TEST_F(DetectorsTest, RunAllAggregatesEverything) {
+  std::vector<Json> docs;
+  docs.push_back(DataEvent("read", "flb", 100, 0, 26, "/a.log", "7|12|2"));
+  for (int i = 0; i < 100; ++i) {
+    docs.push_back(DataEvent("write", "app", 200 + i, 14, -1, "/chatty.log"));
+  }
+  Seed(std::move(docs));
+  auto findings = RunAllDetectors(&store_, "s");
+  ASSERT_TRUE(findings.ok());
+  EXPECT_GE(findings->size(), 2u);
+  const std::string report = RenderFindings(*findings);
+  EXPECT_NE(report.find("stale-offset"), std::string::npos);
+  EXPECT_NE(report.find("small-io"), std::string::npos);
+}
+
+TEST_F(DetectorsTest, SyscallErrorsCriticalOnENOSPC) {
+  std::vector<Json> docs;
+  Json enospc = Json::MakeObject();
+  enospc.Set("syscall", "write");
+  enospc.Set("comm", "logger");
+  enospc.Set("ret", -28);  // ENOSPC — critical even once
+  docs.push_back(std::move(enospc));
+  Seed(std::move(docs));
+  auto findings = DetectSyscallErrors(&store_, "s");
+  ASSERT_TRUE(findings.ok());
+  ASSERT_EQ(findings->size(), 1u);
+  EXPECT_EQ((*findings)[0].severity, "critical");
+  EXPECT_EQ((*findings)[0].evidence.GetInt("errno"), 28);
+  EXPECT_EQ((*findings)[0].evidence.GetString("comm"), "logger");
+}
+
+TEST_F(DetectorsTest, SyscallErrorsWarnOnRepeatedFailures) {
+  std::vector<Json> docs;
+  for (int i = 0; i < 10; ++i) {
+    Json doc = Json::MakeObject();
+    doc.Set("syscall", "openat");
+    doc.Set("comm", "scanner");
+    doc.Set("ret", -2);  // ENOENT x10 -> warning
+    docs.push_back(std::move(doc));
+  }
+  // A couple of benign one-off errors stay below min_failures.
+  Json rare = Json::MakeObject();
+  rare.Set("syscall", "unlink");
+  rare.Set("ret", -2);
+  docs.push_back(std::move(rare));
+  Seed(std::move(docs));
+  auto findings = DetectSyscallErrors(&store_, "s");
+  ASSERT_TRUE(findings.ok());
+  ASSERT_EQ(findings->size(), 1u);
+  EXPECT_EQ((*findings)[0].severity, "warning");
+  EXPECT_EQ((*findings)[0].evidence.GetInt("failures"), 10);
+}
+
+TEST_F(DetectorsTest, SyscallErrorsIgnoreSuccesses) {
+  std::vector<Json> docs;
+  for (int i = 0; i < 100; ++i) {
+    Json doc = Json::MakeObject();
+    doc.Set("syscall", "write");
+    doc.Set("ret", 4096);
+    docs.push_back(std::move(doc));
+  }
+  Seed(std::move(docs));
+  auto findings = DetectSyscallErrors(&store_, "s");
+  ASSERT_TRUE(findings.ok());
+  EXPECT_TRUE(findings->empty());
+}
+
+TEST_F(DetectorsTest, EmptyIndexNoFindings) {
+  store_.CreateIndex("s");
+  auto findings = RunAllDetectors(&store_, "s");
+  ASSERT_TRUE(findings.ok());
+  EXPECT_TRUE(findings->empty());
+  EXPECT_EQ(RenderFindings(*findings), "(no findings)\n");
+}
+
+TEST_F(DetectorsTest, MissingIndexErrors) {
+  EXPECT_FALSE(DetectStaleOffsets(&store_, "ghost").ok());
+  EXPECT_FALSE(RunAllDetectors(&store_, "ghost").ok());
+}
+
+}  // namespace
+}  // namespace dio::backend

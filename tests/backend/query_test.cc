@@ -1,0 +1,180 @@
+#include "backend/query.h"
+
+#include <gtest/gtest.h>
+
+namespace dio::backend {
+namespace {
+
+Json Doc(std::initializer_list<std::pair<const char*, Json>> fields) {
+  Json doc = Json::MakeObject();
+  for (const auto& [key, value] : fields) doc.Set(key, value);
+  return doc;
+}
+
+TEST(QueryTest, MatchAll) {
+  EXPECT_TRUE(Query::MatchAll().Matches(Doc({})));
+}
+
+TEST(QueryTest, TermMatchesExactValue) {
+  const Json doc = Doc({{"syscall", Json("read")}, {"ret", Json(10)}});
+  EXPECT_TRUE(Query::Term("syscall", Json("read")).Matches(doc));
+  EXPECT_FALSE(Query::Term("syscall", Json("write")).Matches(doc));
+  EXPECT_TRUE(Query::Term("ret", Json(10)).Matches(doc));
+  EXPECT_TRUE(Query::Term("ret", Json(10.0)).Matches(doc));  // numeric coercion
+  EXPECT_FALSE(Query::Term("absent", Json(1)).Matches(doc));
+}
+
+TEST(QueryTest, TermsMatchesAnyValue) {
+  const Json doc = Doc({{"syscall", Json("openat")}});
+  EXPECT_TRUE(Query::Terms("syscall", {Json("open"), Json("openat")})
+                  .Matches(doc));
+  EXPECT_FALSE(Query::Terms("syscall", {Json("read"), Json("write")})
+                   .Matches(doc));
+  EXPECT_FALSE(Query::Terms("syscall", {}).Matches(doc));
+}
+
+TEST(QueryTest, RangeBounds) {
+  const Json doc = Doc({{"ts", Json(100)}});
+  EXPECT_TRUE(Query::Range("ts", 100, 100).Matches(doc));
+  EXPECT_TRUE(Query::Range("ts", std::nullopt, 100).Matches(doc));
+  EXPECT_TRUE(Query::Range("ts", 50, std::nullopt).Matches(doc));
+  EXPECT_FALSE(Query::Range("ts", 101, std::nullopt).Matches(doc));
+  EXPECT_FALSE(Query::Range("ts", std::nullopt, 99).Matches(doc));
+  EXPECT_FALSE(Query::Range("ts", 1, 2).Matches(Doc({{"ts", Json("str")}})));
+  EXPECT_FALSE(Query::Range("nope", 1, 2).Matches(doc));
+}
+
+TEST(QueryTest, PrefixOnStrings) {
+  const Json doc = Doc({{"path", Json("/data/db/sst_1.sst")}});
+  EXPECT_TRUE(Query::Prefix("path", "/data/db").Matches(doc));
+  EXPECT_FALSE(Query::Prefix("path", "/tmp").Matches(doc));
+  EXPECT_FALSE(Query::Prefix("path", "/data/db/sst_1.sst2").Matches(doc));
+  EXPECT_FALSE(Query::Prefix("missing", "/").Matches(doc));
+}
+
+TEST(QueryTest, ExistsChecksPresence) {
+  const Json doc = Doc({{"file_tag", Json("1|2|3")}});
+  EXPECT_TRUE(Query::Exists("file_tag").Matches(doc));
+  EXPECT_FALSE(Query::Exists("file_path").Matches(doc));
+}
+
+TEST(QueryTest, BoolComposition) {
+  const Json doc = Doc({{"syscall", Json("write")}, {"ret", Json(26)}});
+  EXPECT_TRUE(Query::And({Query::Term("syscall", Json("write")),
+                          Query::Range("ret", 1, std::nullopt)})
+                  .Matches(doc));
+  EXPECT_FALSE(Query::And({Query::Term("syscall", Json("write")),
+                           Query::Range("ret", 100, std::nullopt)})
+                   .Matches(doc));
+  EXPECT_TRUE(Query::Or({Query::Term("syscall", Json("read")),
+                         Query::Term("syscall", Json("write"))})
+                  .Matches(doc));
+  EXPECT_FALSE(Query::Or({Query::Term("syscall", Json("read")),
+                          Query::Term("syscall", Json("close"))})
+                   .Matches(doc));
+  EXPECT_TRUE(Query::Not(Query::Term("syscall", Json("read"))).Matches(doc));
+  EXPECT_FALSE(Query::Not(Query::Term("syscall", Json("write"))).Matches(doc));
+}
+
+TEST(QueryTest, NestedBool) {
+  const Json doc =
+      Doc({{"syscall", Json("read")}, {"ret", Json(0)}, {"tid", Json(5)}});
+  // (syscall==read AND ret==0) OR tid > 100
+  const Query q = Query::Or({
+      Query::And({Query::Term("syscall", Json("read")),
+                  Query::Term("ret", Json(0))}),
+      Query::Range("tid", 100, std::nullopt),
+  });
+  EXPECT_TRUE(q.Matches(doc));
+}
+
+TEST(QueryTest, EmptyAndMatchesAll) {
+  EXPECT_TRUE(Query::And({}).Matches(Doc({})));
+  EXPECT_TRUE(Query::Or({}).Matches(Doc({})));
+}
+
+TEST(QueryDslTest, ParsesLeafQueries) {
+  const Json doc = Doc({{"syscall", Json("read")},
+                        {"ret", Json(26)},
+                        {"path", Json("/data/db/x")}});
+  auto q = Query::FromJsonText(R"({"match_all": {}})");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->Matches(doc));
+
+  q = Query::FromJsonText(R"({"term": {"syscall": "read"}})");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->Matches(doc));
+
+  q = Query::FromJsonText(R"({"terms": {"syscall": ["write", "read"]}})");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->Matches(doc));
+
+  q = Query::FromJsonText(R"({"range": {"ret": {"gte": 1, "lte": 26}}})");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->Matches(doc));
+
+  q = Query::FromJsonText(R"({"range": {"ret": {"gt": 26}}})");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->Matches(doc));
+
+  q = Query::FromJsonText(R"({"range": {"ret": {"lt": 27}}})");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->Matches(doc));
+
+  q = Query::FromJsonText(R"({"prefix": {"path": "/data/db"}})");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->Matches(doc));
+
+  q = Query::FromJsonText(R"({"exists": {"field": "path"}})");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->Matches(doc));
+  EXPECT_FALSE(Query::FromJsonText(R"({"exists": {"field": "nope"}})")
+                   ->Matches(doc));
+}
+
+TEST(QueryDslTest, ParsesBoolComposition) {
+  const Json doc =
+      Doc({{"syscall", Json("write")}, {"ret", Json(0)}, {"tid", Json(7)}});
+  auto q = Query::FromJsonText(R"({
+    "bool": {
+      "must": [{"term": {"syscall": "write"}}],
+      "should": [{"term": {"tid": 7}}, {"term": {"tid": 8}}],
+      "must_not": [{"range": {"ret": {"gte": 1}}}]
+    }
+  })");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->Matches(doc));
+
+  const Json other = Doc({{"syscall", Json("write")},
+                          {"ret", Json(0)},
+                          {"tid", Json(9)}});
+  EXPECT_FALSE(q->Matches(other));  // should-clause unsatisfied
+}
+
+TEST(QueryDslTest, RejectsMalformedDsl) {
+  EXPECT_FALSE(Query::FromJsonText("not json").ok());
+  EXPECT_FALSE(Query::FromJsonText(R"("just a string")").ok());
+  EXPECT_FALSE(Query::FromJsonText(R"({})").ok());
+  EXPECT_FALSE(Query::FromJsonText(R"({"term": {"a": 1}, "x": {}})").ok());
+  EXPECT_FALSE(Query::FromJsonText(R"({"wildcard": {"a": "*"}})").ok());
+  EXPECT_FALSE(Query::FromJsonText(R"({"terms": {"a": "notarray"}})").ok());
+  EXPECT_FALSE(Query::FromJsonText(R"({"range": {"a": {"weird": 1}}})").ok());
+  EXPECT_FALSE(Query::FromJsonText(R"({"range": {"a": {"gte": "x"}}})").ok());
+  EXPECT_FALSE(Query::FromJsonText(R"({"exists": {"nofield": 1}})").ok());
+  EXPECT_FALSE(Query::FromJsonText(R"({"bool": {"oops": []}})").ok());
+  EXPECT_FALSE(Query::FromJsonText(R"({"bool": {"must": "notarray"}})").ok());
+  EXPECT_FALSE(
+      Query::FromJsonText(R"({"bool": {"must": [{"bogus": {}}]}})").ok());
+}
+
+TEST(QueryTest, ToStringIsReadable) {
+  const Query q = Query::And({Query::Term("a", Json(1)),
+                              Query::Prefix("b", "/x")});
+  const std::string s = q.ToString();
+  EXPECT_NE(s.find("and("), std::string::npos);
+  EXPECT_NE(s.find("term(a=1)"), std::string::npos);
+  EXPECT_NE(s.find("prefix(b,/x)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dio::backend

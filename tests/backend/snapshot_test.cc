@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "backend/store.h"
+
+namespace dio::backend {
+namespace {
+
+Json Doc(int i, const std::string& syscall) {
+  Json doc = Json::MakeObject();
+  doc.Set("i", i);
+  doc.Set("syscall", syscall);
+  doc.Set("path", "/file with \"quotes\" and\nnewline");
+  return doc;
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(kPath); }
+  static constexpr const char* kPath = "/tmp/dio_snapshot_test.jsonl";
+  ElasticStore store_;
+};
+
+TEST_F(SnapshotTest, SaveLoadRoundTrip) {
+  store_.Bulk("session-a", {Doc(1, "read"), Doc(2, "write"), Doc(3, "read")});
+  store_.Refresh("session-a");
+  ASSERT_TRUE(store_.SaveIndex("session-a", kPath).ok());
+
+  ElasticStore fresh;
+  auto loaded = fresh.LoadIndex(kPath);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, "session-a");
+  EXPECT_EQ(*fresh.Count("session-a", Query::MatchAll()), 3u);
+  EXPECT_EQ(*fresh.Count("session-a", Query::Term("syscall", Json("read"))),
+            2u);
+  // Content survives byte-exact (escaping round trip).
+  auto hits = fresh.Search("session-a", SearchRequest{});
+  EXPECT_EQ(hits->hits[0].source.GetString("path"),
+            "/file with \"quotes\" and\nnewline");
+}
+
+TEST_F(SnapshotTest, LoadWithRename) {
+  store_.Bulk("orig", {Doc(1, "read")});
+  store_.Refresh("orig");
+  ASSERT_TRUE(store_.SaveIndex("orig", kPath).ok());
+  auto loaded = store_.LoadIndex(kPath, "copy");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, "copy");
+  EXPECT_EQ(*store_.Count("copy", Query::MatchAll()), 1u);
+  EXPECT_EQ(*store_.Count("orig", Query::MatchAll()), 1u);
+}
+
+TEST_F(SnapshotTest, LoadRefusesExistingIndex) {
+  store_.Bulk("dup", {Doc(1, "read")});
+  store_.Refresh("dup");
+  ASSERT_TRUE(store_.SaveIndex("dup", kPath).ok());
+  EXPECT_FALSE(store_.LoadIndex(kPath).ok());  // "dup" still present
+}
+
+TEST_F(SnapshotTest, ErrorsOnBadInputs) {
+  EXPECT_FALSE(store_.SaveIndex("ghost", kPath).ok());
+  EXPECT_FALSE(store_.LoadIndex("/no/such/file").ok());
+  // Not a snapshot file.
+  FILE* f = std::fopen(kPath, "w");
+  std::fputs("{\"random\":\"json\"}\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(store_.LoadIndex(kPath).ok());
+}
+
+TEST_F(SnapshotTest, CorruptLineRollsBack) {
+  store_.Bulk("roll", {Doc(1, "read")});
+  store_.Refresh("roll");
+  ASSERT_TRUE(store_.SaveIndex("roll", kPath).ok());
+  FILE* f = std::fopen(kPath, "a");
+  std::fputs("{corrupt!!\n", f);
+  std::fclose(f);
+  ElasticStore fresh;
+  EXPECT_FALSE(fresh.LoadIndex(kPath).ok());
+  EXPECT_FALSE(fresh.HasIndex("roll"));  // no half-loaded index left behind
+}
+
+TEST_F(SnapshotTest, EmptyIndexRoundTrips) {
+  ASSERT_TRUE(store_.CreateIndex("empty").ok());
+  ASSERT_TRUE(store_.SaveIndex("empty", kPath).ok());
+  ElasticStore fresh;
+  ASSERT_TRUE(fresh.LoadIndex(kPath).ok());
+  EXPECT_EQ(*fresh.Count("empty", Query::MatchAll()), 0u);
+}
+
+}  // namespace
+}  // namespace dio::backend

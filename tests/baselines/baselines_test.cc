@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "backend/store.h"
+#include "baselines/dio_adapter.h"
+#include "baselines/strace_sim.h"
+#include "baselines/sysdig_sim.h"
+#include "baselines/vanilla.h"
+#include "test_util.h"
+
+namespace dio::baselines {
+namespace {
+
+using dio::testing::TestEnv;
+
+void DoSomeIo(TestEnv& env, int writes = 10) {
+  auto task = env.Bind();
+  os::Kernel& k = env.kernel;
+  const auto fd = static_cast<os::Fd>(k.sys_creat("/data/b.log", 0644));
+  for (int i = 0; i < writes; ++i) k.sys_write(fd, "payload");
+  k.sys_close(fd);
+}
+
+TEST(VanillaTest, NoopCapturesNothing) {
+  TestEnv env;
+  Vanilla vanilla;
+  ASSERT_TRUE(vanilla.Start().ok());
+  DoSomeIo(env);
+  vanilla.Stop();
+  EXPECT_EQ(vanilla.events_captured(), 0u);
+  EXPECT_EQ(vanilla.name(), "vanilla");
+}
+
+TEST(StraceSimTest, CapturesSyscallLines) {
+  TestEnv env;
+  StraceOptions options;
+  options.per_stop_cost_ns = 0;  // fast test
+  StraceSim strace(&env.kernel, options);
+  ASSERT_TRUE(strace.Start().ok());
+  DoSomeIo(env, 5);
+  strace.Stop();
+  EXPECT_EQ(strace.events_captured(), 7u);  // creat + 5 writes + close
+  auto tail = strace.output_tail(3);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_NE(tail[2].find("close"), std::string::npos);
+  // After Stop, no more events.
+  DoSomeIo(env, 1);
+  EXPECT_EQ(strace.events_captured(), 7u);
+}
+
+TEST(StraceSimTest, PerStopCostSlowsTheTracee) {
+  TestEnv env;
+  StraceOptions options;
+  options.per_stop_cost_ns = 50 * kMicrosecond;
+  StraceSim strace(&env.kernel, options);
+  ASSERT_TRUE(strace.Start().ok());
+  const Nanos start = env.kernel.clock()->NowNanos();
+  DoSomeIo(env, 10);
+  const Nanos elapsed = env.kernel.clock()->NowNanos() - start;
+  strace.Stop();
+  // 12 syscalls x 2 stops x 50us = 1.2ms minimum.
+  EXPECT_GE(elapsed, 1 * kMillisecond);
+}
+
+TEST(StraceSimTest, PathlessRatioReflectsFdBasedCalls) {
+  TestEnv env;
+  StraceOptions options;
+  options.per_stop_cost_ns = 0;
+  StraceSim strace(&env.kernel, options);
+  ASSERT_TRUE(strace.Start().ok());
+  DoSomeIo(env, 8);  // 1 creat (path) + 8 writes + 1 close (fd-only)
+  strace.Stop();
+  EXPECT_GT(strace.pathless_ratio(), 0.5);
+  EXPECT_LT(strace.pathless_ratio(), 1.0);
+}
+
+TEST(SysdigSimTest, CapturesAndResolvesRecentFds) {
+  TestEnv env;
+  SysdigOptions options;
+  options.per_hook_cost_ns = 0;
+  SysdigSim sysdig(&env.kernel, options);
+  ASSERT_TRUE(sysdig.Start().ok());
+  DoSomeIo(env, 5);
+  sysdig.Stop();
+  EXPECT_EQ(sysdig.events_captured(), 7u);
+  // Opens were observed, so fds resolve.
+  EXPECT_DOUBLE_EQ(sysdig.pathless_ratio(), 0.0);
+}
+
+TEST(SysdigSimTest, MissedOpensLeaveFdsUnresolved) {
+  TestEnv env;
+  // Open the file BEFORE tracing starts.
+  auto task = env.Bind();
+  const auto fd = static_cast<os::Fd>(
+      env.kernel.sys_creat("/data/pre.log", 0644));
+  task.reset();
+
+  SysdigOptions options;
+  options.per_hook_cost_ns = 0;
+  SysdigSim sysdig(&env.kernel, options);
+  ASSERT_TRUE(sysdig.Start().ok());
+  {
+    auto t = env.Bind();
+    for (int i = 0; i < 10; ++i) env.kernel.sys_write(fd, "x");
+    env.kernel.sys_close(fd);
+  }
+  sysdig.Stop();
+  EXPECT_GT(sysdig.pathless_ratio(), 0.9);  // nothing resolvable
+}
+
+TEST(SysdigSimTest, BoundedFdTableEvicts) {
+  TestEnv env;
+  SysdigOptions options;
+  options.per_hook_cost_ns = 0;
+  options.fd_table_capacity = 4;
+  SysdigSim sysdig(&env.kernel, options);
+  ASSERT_TRUE(sysdig.Start().ok());
+  {
+    auto task = env.Bind();
+    // Open many files, keep them open, then write through the OLDEST fd:
+    // its table entry was evicted.
+    std::vector<os::Fd> fds;
+    for (int i = 0; i < 10; ++i) {
+      fds.push_back(static_cast<os::Fd>(env.kernel.sys_creat(
+          "/data/many" + std::to_string(i), 0644)));
+    }
+    env.kernel.sys_write(fds[0], "old fd");
+    for (os::Fd fd : fds) env.kernel.sys_close(fd);
+  }
+  sysdig.Stop();
+  EXPECT_GT(sysdig.pathless_ratio(), 0.0);
+}
+
+TEST(DioAdapterTest, FullPipelineThroughHarnessInterface) {
+  TestEnv env;
+  backend::ElasticStore store;
+  tracer::TracerOptions options;
+  options.session_name = "adapter-session";
+  options.flush_interval_ns = kMillisecond;
+  backend::BulkClientOptions client_options;
+  client_options.network_latency_ns = 0;
+  DioAdapter dio(&env.kernel, &store, options, client_options);
+  ASSERT_TRUE(dio.Start().ok());
+  DoSomeIo(env, 5);
+  dio.Stop();
+  EXPECT_EQ(dio.events_captured(), 7u);
+  EXPECT_EQ(dio.events_dropped(), 0u);
+  // Correlation resolves every fd event (the open was traced).
+  EXPECT_DOUBLE_EQ(dio.pathless_ratio(), 0.0);
+  EXPECT_EQ(*store.Count("adapter-session", backend::Query::MatchAll()), 7u);
+}
+
+TEST(CapabilitiesTest, TableThreeRows) {
+  TestEnv env;
+  backend::ElasticStore store;
+  StraceSim strace(&env.kernel);
+  SysdigSim sysdig(&env.kernel);
+  DioAdapter dio(&env.kernel, &store, tracer::TracerOptions{});
+
+  const TracerCapabilities s = strace.capabilities();
+  const TracerCapabilities y = sysdig.capabilities();
+  const TracerCapabilities d = dio.capabilities();
+
+  // Table III: only DIO collects file offsets; only DIO has an inline
+  // integrated pipeline with analysis ("TA") for both use cases.
+  EXPECT_FALSE(s.file_offset);
+  EXPECT_FALSE(y.file_offset);
+  EXPECT_TRUE(d.file_offset);
+  EXPECT_EQ(d.pipeline, "I");
+  EXPECT_EQ(s.pipeline, "-");
+  EXPECT_EQ(d.usecase_data_loss, "TA");
+  EXPECT_EQ(d.usecase_contention, "TA");
+  EXPECT_NE(y.usecase_contention, "TA");
+  // All tracers at least capture basic syscall info.
+  EXPECT_TRUE(s.syscall_info);
+  EXPECT_TRUE(y.syscall_info);
+  EXPECT_TRUE(d.syscall_info);
+
+  const Json row = d.ToJson();
+  EXPECT_EQ(row.GetString("name"), "DIO");
+  EXPECT_TRUE(row.GetBool("f_offset"));
+}
+
+}  // namespace
+}  // namespace dio::baselines

@@ -1,0 +1,40 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace dio {
+namespace {
+
+TEST(SteadyClockTest, Monotonic) {
+  SteadyClock* clock = SteadyClock::Instance();
+  const Nanos a = clock->NowNanos();
+  const Nanos b = clock->NowNanos();
+  EXPECT_LE(a, b);
+}
+
+TEST(SteadyClockTest, AdvancesWithRealTime) {
+  SteadyClock* clock = SteadyClock::Instance();
+  const Nanos start = clock->NowNanos();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(clock->NowNanos() - start, 4 * kMillisecond);
+}
+
+TEST(ManualClockTest, AdvanceAndSet) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.NowNanos(), 100);
+  clock.AdvanceNanos(50);
+  EXPECT_EQ(clock.NowNanos(), 150);
+  clock.SetNanos(10);
+  EXPECT_EQ(clock.NowNanos(), 10);
+}
+
+TEST(ClockTest, LiteralsAreConsistent) {
+  EXPECT_EQ(kMicrosecond, 1000);
+  EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace dio

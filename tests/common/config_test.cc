@@ -1,0 +1,89 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+namespace dio {
+namespace {
+
+TEST(ConfigTest, ParsesSectionsAndKeys) {
+  auto config = Config::ParseString(R"(
+# DIO tracer configuration
+top_key = hello
+
+[tracer]
+session = rocksdb-run-1
+syscalls = open, read, write, close
+ring_buffer_bytes = 268435456
+enrich = true
+
+[backend]
+url = http://backend:9200
+)");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->GetString("top_key"), "hello");
+  EXPECT_EQ(config->GetString("tracer.session"), "rocksdb-run-1");
+  EXPECT_EQ(config->GetList("tracer.syscalls"),
+            (std::vector<std::string>{"open", "read", "write", "close"}));
+  EXPECT_EQ(config->GetInt("tracer.ring_buffer_bytes"), 268435456);
+  EXPECT_TRUE(config->GetBool("tracer.enrich"));
+  EXPECT_EQ(config->GetString("backend.url"), "http://backend:9200");
+}
+
+TEST(ConfigTest, FallbacksWhenMissingOrWrongType) {
+  auto config = Config::ParseString("x = notanumber\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->GetInt("x", 5), 5);
+  EXPECT_EQ(config->GetInt("missing", 7), 7);
+  EXPECT_EQ(config->GetDouble("x", 1.5), 1.5);
+  EXPECT_FALSE(config->GetBool("missing", false));
+  EXPECT_TRUE(config->GetList("missing").empty());
+}
+
+TEST(ConfigTest, BooleanSpellings) {
+  auto config = Config::ParseString(
+      "a = true\nb = 1\nc = YES\nd = on\ne = false\nf = 0\ng = garbage\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_TRUE(config->GetBool("a"));
+  EXPECT_TRUE(config->GetBool("b"));
+  EXPECT_TRUE(config->GetBool("c"));
+  EXPECT_TRUE(config->GetBool("d"));
+  EXPECT_FALSE(config->GetBool("e", true));
+  EXPECT_FALSE(config->GetBool("f", true));
+  EXPECT_TRUE(config->GetBool("g", true));  // unparseable -> fallback
+}
+
+TEST(ConfigTest, CommentsAndBlanksIgnored) {
+  auto config = Config::ParseString("# comment\n; also comment\n\nk = v\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->entries().size(), 1u);
+}
+
+TEST(ConfigTest, Errors) {
+  EXPECT_FALSE(Config::ParseString("[unterminated\n").ok());
+  EXPECT_FALSE(Config::ParseString("no_equals_here\n").ok());
+  EXPECT_FALSE(Config::ParseString("= value\n").ok());
+}
+
+TEST(ConfigTest, SetOverrides) {
+  Config config;
+  config.Set("a.b", "1");
+  EXPECT_EQ(config.GetInt("a.b"), 1);
+  config.Set("a.b", "2");
+  EXPECT_EQ(config.GetInt("a.b"), 2);
+}
+
+TEST(ConfigTest, MissingFileReturnsNotFound) {
+  auto config = Config::ParseFile("/definitely/not/here.conf");
+  EXPECT_FALSE(config.ok());
+  EXPECT_EQ(config.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(ConfigTest, DoubleParsing) {
+  auto config = Config::ParseString("ratio = 0.25\nbad = 1.2.3\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_DOUBLE_EQ(config->GetDouble("ratio"), 0.25);
+  EXPECT_DOUBLE_EQ(config->GetDouble("bad", -1.0), -1.0);
+}
+
+}  // namespace
+}  // namespace dio

@@ -1,0 +1,159 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dio {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.p99(), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_DOUBLE_EQ(h.mean(), 1000.0);
+  EXPECT_EQ(h.p50(), 1000);
+  EXPECT_EQ(h.p99(), 1000);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (int i = 0; i < 64; ++i) h.Record(i);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 63);
+  // Values below the sub-bucket count are exact.
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 31);
+}
+
+TEST(HistogramTest, NegativeClampsToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), -5);  // min/max track raw values
+  EXPECT_EQ(h.ValueAtQuantile(1.0), -5);  // clamped to observed range
+}
+
+TEST(HistogramTest, RecordNWeightsCounts) {
+  Histogram h;
+  h.RecordN(10, 99);
+  h.RecordN(1000, 1);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_EQ(h.p50(), 10);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 1000);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 100; ++i) a.Record(10);
+  for (int i = 0; i < 100; ++i) b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+  EXPECT_NEAR(a.mean(), 505.0, 1.0);
+}
+
+TEST(HistogramTest, StddevMatchesClosedForm) {
+  Histogram h;
+  // Values 1..9: mean 5, sample stddev sqrt(60/8) = 2.7386...
+  for (int i = 1; i <= 9; ++i) h.Record(i);
+  EXPECT_NEAR(h.stddev(), 2.7386, 1e-3);
+}
+
+TEST(HistogramTest, MergedStddevMatchesDirect) {
+  Histogram a;
+  Histogram b;
+  Histogram all;
+  Random rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.Uniform(100000));
+    (i % 2 == 0 ? a : b).Record(v);
+    all.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.stddev(), all.stddev(), all.stddev() * 1e-9 + 1e-6);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-6);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.p99(), 0);
+}
+
+TEST(HistogramTest, SummaryMentionsCountAndP99) {
+  Histogram h;
+  h.Record(5000);
+  const std::string s = h.Summary();
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+}
+
+// Property: bucketed quantiles stay within the histogram's relative error
+// bound (~3% with 64 sub-buckets) of exact order statistics, across
+// distributions and scales.
+class HistogramAccuracy : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(HistogramAccuracy, QuantilesCloseToExact) {
+  const std::int64_t scale = GetParam();
+  Histogram h;
+  std::vector<std::int64_t> values;
+  Random rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform-ish mixture.
+    std::int64_t v = static_cast<std::int64_t>(rng.Uniform(1000)) * scale +
+                     static_cast<std::int64_t>(rng.Uniform(100));
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const auto idx = static_cast<std::size_t>(
+        std::min<double>(q * static_cast<double>(values.size()),
+                         static_cast<double>(values.size() - 1)));
+    const double exact = static_cast<double>(values[idx]);
+    const double approx = static_cast<double>(h.ValueAtQuantile(q));
+    if (exact > 0) {
+      EXPECT_NEAR(approx / exact, 1.0, 0.05)
+          << "q=" << q << " exact=" << exact << " approx=" << approx;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, HistogramAccuracy,
+                         ::testing::Values(1, 1000, 1000000, 100000000));
+
+TEST(ConcurrentHistogramTest, ThreadSafeRecording) {
+  ConcurrentHistogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 1000; ++i) h.Record(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Snapshot().count(), 4000);
+}
+
+}  // namespace
+}  // namespace dio

@@ -1,0 +1,72 @@
+#include "common/latency_recorder.h"
+
+#include <gtest/gtest.h>
+
+namespace dio {
+namespace {
+
+TEST(WindowedLatencyRecorderTest, BucketsByWindow) {
+  ManualClock clock(0);
+  WindowedLatencyRecorder recorder(&clock, kSecond);
+
+  recorder.Record(100);
+  recorder.Record(200);
+  clock.AdvanceNanos(kSecond + 1);
+  recorder.Record(300);
+
+  auto windows = recorder.Windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].window_start, 0);
+  EXPECT_EQ(windows[0].count, 2);
+  EXPECT_EQ(windows[1].window_start, kSecond);
+  EXPECT_EQ(windows[1].count, 1);
+}
+
+TEST(WindowedLatencyRecorderTest, P99PerWindow) {
+  ManualClock clock(0);
+  WindowedLatencyRecorder recorder(&clock, kSecond);
+  for (int i = 0; i < 95; ++i) recorder.Record(1000);
+  for (int i = 0; i < 5; ++i) recorder.Record(1'000'000);
+  auto windows = recorder.Windows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_GE(windows[0].p99, 900'000);
+  EXPECT_LE(windows[0].p50, 1100);
+}
+
+TEST(WindowedLatencyRecorderTest, ThroughputComputedPerWindow) {
+  ManualClock clock(0);
+  WindowedLatencyRecorder recorder(&clock, kSecond / 2);
+  for (int i = 0; i < 50; ++i) recorder.Record(10);
+  auto windows = recorder.Windows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_DOUBLE_EQ(windows[0].throughput_ops_per_sec, 100.0);
+}
+
+TEST(WindowedLatencyRecorderTest, TotalAggregatesEverything) {
+  ManualClock clock(0);
+  WindowedLatencyRecorder recorder(&clock, kSecond);
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record(100 * (i + 1));
+    clock.AdvanceNanos(kSecond);
+  }
+  EXPECT_EQ(recorder.Total().count(), 10);
+  EXPECT_EQ(recorder.Windows().size(), 10u);
+}
+
+TEST(WindowedLatencyRecorderTest, WindowStartsAreRelativeToOrigin) {
+  ManualClock clock(123456789);
+  WindowedLatencyRecorder recorder(&clock, kSecond);
+  recorder.Record(1);
+  auto windows = recorder.Windows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].window_start, 0);  // relative, not absolute
+}
+
+TEST(WindowedLatencyRecorderTest, NonPositiveWindowFallsBackToOneSecond) {
+  ManualClock clock(0);
+  WindowedLatencyRecorder recorder(&clock, 0);
+  EXPECT_EQ(recorder.window(), kSecond);
+}
+
+}  // namespace
+}  // namespace dio

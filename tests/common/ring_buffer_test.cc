@@ -1,0 +1,167 @@
+#include "common/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace dio {
+namespace {
+
+std::vector<std::byte> Bytes(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+std::string Str(const std::vector<std::byte>& b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+TEST(ByteRingBufferTest, PushPopSingleRecord) {
+  ByteRingBuffer ring(1024);
+  EXPECT_TRUE(ring.TryPush(Bytes("hello")));
+  std::vector<std::byte> out;
+  ASSERT_TRUE(ring.TryPop(out));
+  EXPECT_EQ(Str(out), "hello");
+  EXPECT_FALSE(ring.TryPop(out));
+}
+
+TEST(ByteRingBufferTest, FifoOrder) {
+  ByteRingBuffer ring(1024);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ring.TryPush(Bytes("rec" + std::to_string(i))));
+  }
+  std::vector<std::byte> out;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ring.TryPop(out));
+    EXPECT_EQ(Str(out), "rec" + std::to_string(i));
+  }
+}
+
+TEST(ByteRingBufferTest, EmptyRecordAllowed) {
+  ByteRingBuffer ring(64);
+  EXPECT_TRUE(ring.TryPush({}));
+  std::vector<std::byte> out{std::byte{1}};
+  ASSERT_TRUE(ring.TryPop(out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ByteRingBufferTest, DropsWhenFullAndCounts) {
+  ByteRingBuffer ring(64);  // tiny
+  const auto rec = Bytes("0123456789abcdef");  // 16B payload + 8B header -> 24
+  int pushed = 0;
+  while (ring.TryPush(rec)) ++pushed;
+  EXPECT_GT(pushed, 0);
+  EXPECT_EQ(ring.dropped_records(), 1u);
+  EXPECT_FALSE(ring.TryPush(rec));
+  EXPECT_EQ(ring.dropped_records(), 2u);
+  // Draining frees space again.
+  std::vector<std::byte> out;
+  ASSERT_TRUE(ring.TryPop(out));
+  EXPECT_TRUE(ring.TryPush(rec));
+}
+
+TEST(ByteRingBufferTest, OversizedRecordRejected) {
+  ByteRingBuffer ring(64);
+  std::vector<std::byte> big(128);
+  EXPECT_FALSE(ring.TryPush(big));
+  EXPECT_EQ(ring.dropped_records(), 1u);
+}
+
+TEST(ByteRingBufferTest, WrapAroundPreservesPayload) {
+  ByteRingBuffer ring(128);
+  const std::string payload = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::vector<std::byte> out;
+  // Push/pop repeatedly so records straddle the wrap point.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(ring.TryPush(Bytes(payload + std::to_string(i))));
+    ASSERT_TRUE(ring.TryPop(out));
+    EXPECT_EQ(Str(out), payload + std::to_string(i));
+  }
+}
+
+TEST(ByteRingBufferTest, CapacityRoundsUpToPowerOfTwo) {
+  ByteRingBuffer ring(100);
+  EXPECT_EQ(ring.capacity_bytes(), 128u);
+  ByteRingBuffer tiny(1);
+  EXPECT_EQ(tiny.capacity_bytes(), 64u);
+}
+
+TEST(ByteRingBufferTest, PushedCounterTracksCommits) {
+  ByteRingBuffer ring(1024);
+  for (int i = 0; i < 5; ++i) ring.TryPush(Bytes("x"));
+  EXPECT_EQ(ring.pushed_records(), 5u);
+}
+
+// Property: N producer threads push tagged records; a single consumer drains
+// them all. Every committed record must arrive intact, exactly once, and
+// pushed + dropped == attempts.
+class RingBufferConcurrency
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(RingBufferConcurrency, AllCommittedRecordsArriveExactlyOnce) {
+  const int num_producers = std::get<0>(GetParam());
+  const std::size_t capacity = std::get<1>(GetParam());
+  constexpr int kPerProducer = 2000;
+
+  ByteRingBuffer ring(capacity);
+  std::atomic<bool> done{false};
+  std::set<std::uint64_t> seen;
+  std::atomic<std::uint64_t> consumed{0};
+
+  std::thread consumer([&] {
+    std::vector<std::byte> out;
+    while (true) {
+      if (ring.TryPop(out)) {
+        ASSERT_EQ(out.size(), sizeof(std::uint64_t));
+        std::uint64_t value;
+        std::memcpy(&value, out.data(), sizeof(value));
+        EXPECT_TRUE(seen.insert(value).second) << "duplicate " << value;
+        consumed.fetch_add(1);
+      } else if (done.load()) {
+        if (!ring.TryPop(out)) break;
+        std::uint64_t value;
+        std::memcpy(&value, out.data(), sizeof(value));
+        EXPECT_TRUE(seen.insert(value).second);
+        consumed.fetch_add(1);
+      }
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < num_producers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t value =
+            (static_cast<std::uint64_t>(p) << 32) | static_cast<std::uint32_t>(i);
+        std::vector<std::byte> rec(sizeof(value));
+        std::memcpy(rec.data(), &value, sizeof(value));
+        ring.TryPush(rec);  // drops allowed under pressure
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  done.store(true);
+  consumer.join();
+
+  const std::uint64_t attempts =
+      static_cast<std::uint64_t>(num_producers) * kPerProducer;
+  EXPECT_EQ(ring.pushed_records() + ring.dropped_records(), attempts);
+  EXPECT_EQ(consumed.load(), ring.pushed_records());
+  EXPECT_EQ(seen.size(), ring.pushed_records());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RingBufferConcurrency,
+    ::testing::Values(std::make_tuple(1, std::size_t{1} << 16),
+                      std::make_tuple(2, std::size_t{1} << 12),
+                      std::make_tuple(4, std::size_t{1} << 16),
+                      std::make_tuple(8, std::size_t{256}),
+                      std::make_tuple(8, std::size_t{1} << 20)));
+
+}  // namespace
+}  // namespace dio

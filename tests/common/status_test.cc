@@ -1,0 +1,85 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dio {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(NotFound("a"), NotFound("b"));
+  EXPECT_FALSE(NotFound("a") == InvalidArgument("a"));
+}
+
+TEST(StatusTest, AllFactoryFunctionsProduceDistinctCodes) {
+  EXPECT_EQ(InvalidArgument("").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(AlreadyExists("").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(OutOfRange("").code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(ResourceExhausted("").code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(FailedPrecondition("").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(Unavailable("").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(PermissionDenied("").code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(Unimplemented("").code(), ErrorCode::kUnimplemented);
+  EXPECT_EQ(Internal("").code(), ErrorCode::kInternal);
+}
+
+TEST(ExpectedTest, HoldsValue) {
+  Expected<int> e(42);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_EQ(*e, 42);
+  EXPECT_TRUE(e.status().ok());
+}
+
+TEST(ExpectedTest, HoldsError) {
+  Expected<int> e = NotFound("nope");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(e.value_or(7), 7);
+}
+
+TEST(ExpectedTest, MoveOutValue) {
+  Expected<std::string> e(std::string("payload"));
+  std::string taken = std::move(e).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(ExpectedTest, ArrowOperator) {
+  Expected<std::string> e(std::string("abc"));
+  EXPECT_EQ(e->size(), 3u);
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto inner = []() -> Status { return InvalidArgument("bad"); };
+  auto outer = [&]() -> Status {
+    DIO_RETURN_IF_ERROR(inner());
+    return Status::Ok();
+  };
+  EXPECT_EQ(outer().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPassesOk) {
+  auto inner = []() -> Status { return Status::Ok(); };
+  auto outer = [&]() -> Status {
+    DIO_RETURN_IF_ERROR(inner());
+    return NotFound("reached end");
+  };
+  EXPECT_EQ(outer().code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dio

@@ -1,0 +1,64 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace dio {
+namespace {
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("nosep", ','), (std::vector<std::string>{"nosep"}));
+}
+
+TEST(SplitAndTrimTest, TrimsAndDropsEmpty) {
+  EXPECT_EQ(SplitAndTrim(" a , b ,, c ", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitAndTrim("  ,  ", ',').empty());
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(TrimWhitespaceTest, TrimsBothEnds) {
+  EXPECT_EQ(TrimWhitespace("  mid dle\t\n"), "mid dle");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+}
+
+TEST(ToLowerTest, Lowers) { EXPECT_EQ(ToLower("AbC-1"), "abc-1"); }
+
+TEST(ThousandsSeparatorsTest, FormatsLikeThePaper) {
+  EXPECT_EQ(WithThousandsSeparators(0), "0");
+  EXPECT_EQ(WithThousandsSeparators(999), "999");
+  EXPECT_EQ(WithThousandsSeparators(1000), "1,000");
+  EXPECT_EQ(WithThousandsSeparators(1679308382363981568LL),
+            "1,679,308,382,363,981,568");
+  EXPECT_EQ(WithThousandsSeparators(-1234567), "-1,234,567");
+}
+
+TEST(FormatFixedTest, Rounds) {
+  EXPECT_EQ(FormatFixed(1.372, 2), "1.37");
+  EXPECT_EQ(FormatFixed(1.375, 2), "1.38");
+  EXPECT_EQ(FormatFixed(2.0, 0), "2");
+}
+
+TEST(FormatHoursMinutesTest, PaperStyleDurations) {
+  EXPECT_EQ(FormatHoursMinutes(3.0 * 3600 + 48 * 60), "03h48m");
+  EXPECT_EQ(FormatHoursMinutes(6.0 * 3600 + 30 * 60), "06h30m");
+  EXPECT_EQ(FormatHoursMinutes(59), "00h01m");
+  EXPECT_EQ(FormatHoursMinutes(0), "00h00m");
+}
+
+TEST(Fnv1aTest, StableAndDistinct) {
+  EXPECT_EQ(Fnv1a("abc"), Fnv1a("abc"));
+  EXPECT_NE(Fnv1a("abc"), Fnv1a("abd"));
+  EXPECT_NE(Fnv1a(""), Fnv1a(std::string_view("\0", 1)));
+}
+
+}  // namespace
+}  // namespace dio

@@ -1,0 +1,108 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+
+namespace dio {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2, "worker");
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Drain();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, OnThreadStartReceivesIndexAndName) {
+  std::mutex mu;
+  std::set<std::string> names;
+  std::set<std::size_t> indices;
+  ThreadPool pool(3, "rocksdb:low",
+                  [&](std::size_t index, const std::string& name) {
+                    std::scoped_lock lock(mu);
+                    names.insert(name);
+                    indices.insert(index);
+                  });
+  pool.Drain();
+  // Start hooks run before any task; give them a moment.
+  for (int i = 0; i < 100 && names.size() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::scoped_lock lock(mu);
+  EXPECT_EQ(names, (std::set<std::string>{"rocksdb:low0", "rocksdb:low1",
+                                          "rocksdb:low2"}));
+  EXPECT_EQ(indices, (std::set<std::size_t>{0, 1, 2}));
+}
+
+TEST(ThreadPoolTest, DrainWaitsForRunningTask) {
+  ThreadPool pool(1, "w");
+  std::atomic<bool> finished{false};
+  pool.Submit([&finished] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    finished.store(true);
+  });
+  pool.Drain();
+  EXPECT_TRUE(finished.load());
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(4, "w");
+  std::atomic<int> inside{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([&] {
+      const int now = inside.fetch_add(1) + 1;
+      int expected = peak.load();
+      while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      inside.fetch_sub(1);
+    });
+  }
+  pool.Drain();
+  EXPECT_GE(peak.load(), 2);  // at least some overlap on any machine
+}
+
+TEST(ThreadPoolTest, DestructorCompletesQueuedWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2, "w");
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        counter.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, QueueDepthObservable) {
+  ThreadPool pool(1, "w");
+  std::atomic<bool> release{false};
+  pool.Submit([&release] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  pool.Submit([] {});
+  pool.Submit([] {});
+  // The blocker occupies the single worker; two tasks queue behind it.
+  for (int i = 0; i < 1000 && pool.active_workers() != 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.queue_depth(), 2u);
+  EXPECT_EQ(pool.active_workers(), 1u);
+  release.store(true);
+  pool.Drain();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+}  // namespace
+}  // namespace dio

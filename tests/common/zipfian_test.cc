@@ -1,0 +1,84 @@
+#include "common/zipfian.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace dio {
+namespace {
+
+TEST(ZipfianTest, StaysInRange) {
+  ZipfianGenerator gen(1000);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(gen.Next(), 1000u);
+  }
+}
+
+TEST(ZipfianTest, HeadIsHot) {
+  ZipfianGenerator gen(10000, ZipfianGenerator::kDefaultTheta, 1);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[gen.Next()];
+  // Item 0 should be by far the most popular (~ >5% of draws for theta .99).
+  EXPECT_GT(counts[0], kSamples / 20);
+  // The top-10 items should dominate the bottom half of the keyspace.
+  int top10 = 0;
+  for (std::uint64_t k = 0; k < 10; ++k) top10 += counts[k];
+  int bottom_half = 0;
+  for (const auto& [k, c] : counts) {
+    if (k >= 5000) bottom_half += c;
+  }
+  EXPECT_GT(top10, bottom_half);
+}
+
+TEST(ZipfianTest, DeterministicForSeed) {
+  ZipfianGenerator a(1000, ZipfianGenerator::kDefaultTheta, 99);
+  ZipfianGenerator b(1000, ZipfianGenerator::kDefaultTheta, 99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(ZipfianTest, DifferentSeedsDiffer) {
+  ZipfianGenerator a(100000, ZipfianGenerator::kDefaultTheta, 1);
+  ZipfianGenerator b(100000, ZipfianGenerator::kDefaultTheta, 2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 900);  // hot keys collide, but not everything
+}
+
+TEST(ZipfianTest, SingleItemDegenerate) {
+  ZipfianGenerator gen(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(gen.Next(), 0u);
+}
+
+TEST(ScrambledZipfianTest, SpreadsHotKeys) {
+  ScrambledZipfianGenerator gen(10000, 3);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[gen.Next()];
+  // Still skewed: some key is very hot...
+  int max_count = 0;
+  for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 1000);
+  // ...but the hottest key is NOT key 0 specifically (scrambling worked)
+  // and hot keys are spread across the keyspace.
+  std::vector<std::uint64_t> hot;
+  for (const auto& [k, c] : counts) {
+    if (c > 500) hot.push_back(k);
+  }
+  ASSERT_GE(hot.size(), 2u);
+  bool in_upper_half = false;
+  for (std::uint64_t k : hot) {
+    if (k > 5000) in_upper_half = true;
+  }
+  EXPECT_TRUE(in_upper_half);
+}
+
+TEST(ScrambledZipfianTest, StaysInRange) {
+  ScrambledZipfianGenerator gen(777);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(gen.Next(), 777u);
+}
+
+}  // namespace
+}  // namespace dio

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "ebpf/maps.h"
+#include "ebpf/program.h"
+#include "ebpf/ringbuf.h"
+#include "ebpf/verifier.h"
+#include "test_util.h"
+
+namespace dio::ebpf {
+namespace {
+
+// ---- maps -------------------------------------------------------------------
+
+TEST(BpfHashMapTest, UpdateLookupTakeDelete) {
+  BpfHashMap<int, std::string> map(16);
+  EXPECT_TRUE(map.Update(1, "one"));
+  EXPECT_EQ(map.Lookup(1), "one");
+  EXPECT_TRUE(map.Update(1, "uno"));  // overwrite allowed
+  EXPECT_EQ(map.Lookup(1), "uno");
+  EXPECT_EQ(map.size(), 1u);
+
+  auto taken = map.Take(1);
+  EXPECT_EQ(taken, "uno");
+  EXPECT_FALSE(map.Lookup(1).has_value());
+  EXPECT_FALSE(map.Take(1).has_value());
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(BpfHashMapTest, InsertNoexistSemantics) {
+  BpfHashMap<int, int> map(16);
+  EXPECT_TRUE(map.Insert(5, 50));
+  EXPECT_FALSE(map.Insert(5, 51));  // BPF_NOEXIST on existing key
+  EXPECT_EQ(map.Lookup(5), 50);
+}
+
+TEST(BpfHashMapTest, RejectsInsertWhenFull) {
+  BpfHashMap<int, int> map(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(map.Update(i, i));
+  EXPECT_FALSE(map.Update(100, 100));  // full, like a real BPF map
+  EXPECT_FALSE(map.Insert(101, 101));
+  EXPECT_TRUE(map.Update(2, 22));  // overwriting existing still works
+  map.Delete(0);
+  EXPECT_TRUE(map.Update(100, 100));  // space freed
+}
+
+TEST(BpfHashMapTest, ClearResets) {
+  BpfHashMap<int, int> map(8);
+  map.Update(1, 1);
+  map.Update(2, 2);
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_FALSE(map.Lookup(1).has_value());
+}
+
+TEST(BpfHashMapTest, ConcurrentMixedOperations) {
+  BpfHashMap<int, int> map(10000);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&map, t] {
+      for (int i = 0; i < 1000; ++i) {
+        const int key = t * 1000 + i;
+        map.Update(key, key);
+        EXPECT_EQ(map.Lookup(key), key);
+        if (i % 2 == 0) map.Take(key);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(map.size(), 2000u);
+}
+
+TEST(BpfPerCpuCounterTest, SumsAcrossCpus) {
+  BpfPerCpuCounter counter(4);
+  counter.Add(0, 1);
+  counter.Add(1, 10);
+  counter.Add(3, 100);
+  counter.Add(7, 1000);  // wraps modulo num_cpus
+  EXPECT_EQ(counter.Sum(), 1111u);
+}
+
+// ---- ring buffers -------------------------------------------------------------
+
+TEST(PerCpuRingBufferTest, RoutesByCpuAndPollsAll) {
+  PerCpuRingBuffer rings(4, 4096);
+  for (int cpu = 0; cpu < 4; ++cpu) {
+    const char byte = static_cast<char>('a' + cpu);
+    EXPECT_TRUE(rings.Output(cpu, std::as_bytes(std::span(&byte, 1))));
+  }
+  std::set<char> seen;
+  rings.Poll(
+      [&](std::span<const std::byte> record) {
+        seen.insert(static_cast<char>(record[0]));
+      },
+      100);
+  EXPECT_EQ(seen, (std::set<char>{'a', 'b', 'c', 'd'}));
+  EXPECT_EQ(rings.TotalPushed(), 4u);
+}
+
+TEST(PerCpuRingBufferTest, DropCountAggregates) {
+  PerCpuRingBuffer rings(2, 64);
+  std::vector<std::byte> big(40);
+  int pushed = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (rings.Output(0, big)) ++pushed;
+  }
+  EXPECT_GT(rings.TotalDropped(), 0u);
+  EXPECT_EQ(rings.TotalPushed(), static_cast<std::uint64_t>(pushed));
+}
+
+TEST(PerCpuRingBufferTest, PollHonoursMaxRecords) {
+  PerCpuRingBuffer rings(1, 4096);
+  const char x = 'x';
+  for (int i = 0; i < 10; ++i) {
+    rings.Output(0, std::as_bytes(std::span(&x, 1)));
+  }
+  int count = 0;
+  EXPECT_EQ(rings.Poll([&](auto) { ++count; }, 3), 3u);
+  EXPECT_EQ(count, 3);
+}
+
+// ---- verifier -----------------------------------------------------------------
+
+TEST(VerifierTest, AcceptsWellFormedSpec) {
+  ProgramSpec spec;
+  spec.name = "dio_enter";
+  spec.syscall = os::SyscallNr::kOpenat;
+  EXPECT_TRUE(VerifyProgram(spec).ok());
+}
+
+TEST(VerifierTest, RejectsBadNames) {
+  ProgramSpec spec;
+  spec.name = "";
+  EXPECT_FALSE(VerifyProgram(spec).ok());
+  spec.name = "this_name_is_way_too_long_for_bpf";
+  EXPECT_FALSE(VerifyProgram(spec).ok());
+  spec.name = "BadCase";
+  EXPECT_FALSE(VerifyProgram(spec).ok());
+  spec.name = "has space";
+  EXPECT_FALSE(VerifyProgram(spec).ok());
+}
+
+TEST(VerifierTest, RejectsResourceOverruns) {
+  ProgramSpec spec;
+  spec.name = "ok_name";
+  spec.stack_bytes = kMaxStackBytes + 1;
+  EXPECT_FALSE(VerifyProgram(spec).ok());
+  spec.stack_bytes = 256;
+  spec.max_maps = kMaxMapsPerProg + 1;
+  EXPECT_FALSE(VerifyProgram(spec).ok());
+}
+
+// ---- loader / links -------------------------------------------------------------
+
+TEST(BpfLoaderTest, AttachFiresOnSyscallAndLinkDetaches) {
+  dio::testing::TestEnv env;
+  BpfLoader loader(&env.kernel.tracepoints());
+  int hits = 0;
+
+  ProgramSpec spec;
+  spec.name = "count_mkdir";
+  spec.type = ProgramType::kTracepointSysEnter;
+  spec.syscall = os::SyscallNr::kMkdir;
+  auto link = loader.AttachSysEnter(
+      spec, [&](const os::SysEnterContext&) { ++hits; });
+  ASSERT_TRUE(link.ok());
+  EXPECT_TRUE(link->attached());
+
+  auto task = env.Bind();
+  env.kernel.sys_mkdir("/data/bpf", 0755);
+  EXPECT_EQ(hits, 1);
+
+  link->Detach();
+  env.kernel.sys_mkdir("/data/bpf2", 0755);
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(BpfLoaderTest, LinkDetachesOnDestruction) {
+  dio::testing::TestEnv env;
+  BpfLoader loader(&env.kernel.tracepoints());
+  int hits = 0;
+  {
+    ProgramSpec spec;
+    spec.name = "scoped";
+    spec.type = ProgramType::kTracepointSysExit;
+    spec.syscall = os::SyscallNr::kRmdir;
+    auto link = loader.AttachSysExit(
+        spec, [&](const os::SysExitContext&) { ++hits; });
+    ASSERT_TRUE(link.ok());
+    auto task = env.Bind();
+    env.kernel.sys_rmdir("/data/none");  // fails but still traces
+    EXPECT_EQ(hits, 1);
+  }
+  auto task = env.Bind();
+  env.kernel.sys_rmdir("/data/none");
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(BpfLoaderTest, VerifierGatesAttachment) {
+  dio::testing::TestEnv env;
+  BpfLoader loader(&env.kernel.tracepoints());
+  ProgramSpec spec;
+  spec.name = "NOT_VALID";
+  spec.type = ProgramType::kTracepointSysEnter;
+  auto link = loader.AttachSysEnter(spec, [](const os::SysEnterContext&) {});
+  EXPECT_FALSE(link.ok());
+}
+
+TEST(BpfLoaderTest, TypeMismatchRejected) {
+  dio::testing::TestEnv env;
+  BpfLoader loader(&env.kernel.tracepoints());
+  ProgramSpec spec;
+  spec.name = "mismatch";
+  spec.type = ProgramType::kTracepointSysExit;  // wrong for AttachSysEnter
+  auto link = loader.AttachSysEnter(spec, [](const os::SysEnterContext&) {});
+  EXPECT_FALSE(link.ok());
+}
+
+TEST(BpfLinkTest, MoveTransfersOwnership) {
+  dio::testing::TestEnv env;
+  BpfLoader loader(&env.kernel.tracepoints());
+  int hits = 0;
+  ProgramSpec spec;
+  spec.name = "mover";
+  spec.type = ProgramType::kTracepointSysEnter;
+  spec.syscall = os::SyscallNr::kStat;
+  auto link = loader.AttachSysEnter(
+      spec, [&](const os::SysEnterContext&) { ++hits; });
+  ASSERT_TRUE(link.ok());
+  BpfLink moved = std::move(link.value());
+  EXPECT_TRUE(moved.attached());
+  EXPECT_FALSE(link->attached());
+  moved.Detach();
+  auto task = env.Bind();
+  os::StatBuf st;
+  env.kernel.sys_stat("/data", &st);
+  EXPECT_EQ(hits, 0);
+}
+
+}  // namespace
+}  // namespace dio::ebpf

@@ -1,0 +1,100 @@
+// Failure injection: bounded-capacity mounts and ENOSPC semantics.
+#include <gtest/gtest.h>
+
+#include "oskernel/kernel.h"
+#include "test_util.h"
+
+namespace dio::os {
+namespace {
+
+class CapacityTest : public ::testing::Test {
+ protected:
+  CapacityTest() {
+    BlockDeviceOptions disk;
+    disk.real_sleep = false;
+    (void)kernel_.MountDevice("/small", 99, disk, /*capacity_bytes=*/100);
+    pid_ = kernel_.CreateProcess("writer");
+    tid_ = kernel_.SpawnThread(pid_, "writer");
+    task_ = std::make_unique<ScopedTask>(kernel_, pid_, tid_);
+  }
+
+  Kernel kernel_;
+  Pid pid_;
+  Tid tid_;
+  std::unique_ptr<ScopedTask> task_;
+};
+
+TEST_F(CapacityTest, WriteFailsWithENOSPCWhenFull) {
+  const auto fd = static_cast<Fd>(kernel_.sys_creat("/small/f", 0644));
+  EXPECT_EQ(kernel_.sys_write(fd, std::string(60, 'a')), 60);
+  EXPECT_EQ(kernel_.sys_write(fd, std::string(40, 'b')), 40);  // exactly full
+  EXPECT_EQ(kernel_.sys_write(fd, "x"), -err::kENOSPC);
+  kernel_.sys_close(fd);
+  EXPECT_EQ(kernel_.vfs().UsedBytes(99), 100u);
+}
+
+TEST_F(CapacityTest, OverwriteInPlaceNeedsNoNewSpace) {
+  const auto fd = static_cast<Fd>(kernel_.sys_creat("/small/f", 0644));
+  kernel_.sys_write(fd, std::string(100, 'a'));
+  EXPECT_EQ(kernel_.sys_pwrite64(fd, std::string(50, 'b'), 0), 50);
+  kernel_.sys_close(fd);
+}
+
+TEST_F(CapacityTest, UnlinkFreesSpace) {
+  auto fd = static_cast<Fd>(kernel_.sys_creat("/small/f", 0644));
+  kernel_.sys_write(fd, std::string(100, 'a'));
+  kernel_.sys_close(fd);
+  EXPECT_EQ(kernel_.sys_unlink("/small/f"), 0);
+  EXPECT_EQ(kernel_.vfs().UsedBytes(99), 0u);
+  fd = static_cast<Fd>(kernel_.sys_creat("/small/g", 0644));
+  EXPECT_EQ(kernel_.sys_write(fd, std::string(100, 'c')), 100);
+  kernel_.sys_close(fd);
+}
+
+TEST_F(CapacityTest, TruncateAccountsBothWays) {
+  const auto fd = static_cast<Fd>(kernel_.sys_creat("/small/f", 0644));
+  EXPECT_EQ(kernel_.sys_ftruncate(fd, 80), 0);
+  EXPECT_EQ(kernel_.vfs().UsedBytes(99), 80u);
+  EXPECT_EQ(kernel_.sys_ftruncate(fd, 200), -err::kENOSPC);
+  EXPECT_EQ(kernel_.sys_ftruncate(fd, 10), 0);
+  EXPECT_EQ(kernel_.vfs().UsedBytes(99), 10u);
+  EXPECT_EQ(kernel_.sys_truncate("/small/f", 100), 0);
+  EXPECT_EQ(kernel_.sys_truncate("/small/f", 101), -err::kENOSPC);
+  kernel_.sys_close(fd);
+}
+
+TEST_F(CapacityTest, TruncatingOpenReclaimsSpace) {
+  auto fd = static_cast<Fd>(kernel_.sys_creat("/small/f", 0644));
+  kernel_.sys_write(fd, std::string(100, 'a'));
+  kernel_.sys_close(fd);
+  fd = static_cast<Fd>(kernel_.sys_creat("/small/f", 0644));  // O_TRUNC
+  EXPECT_EQ(kernel_.vfs().UsedBytes(99), 0u);
+  EXPECT_EQ(kernel_.sys_write(fd, std::string(100, 'b')), 100);
+  kernel_.sys_close(fd);
+}
+
+TEST_F(CapacityTest, DeferredDeletionFreesSpaceAtLastClose) {
+  const auto fd = static_cast<Fd>(kernel_.sys_creat("/small/held", 0644));
+  kernel_.sys_write(fd, std::string(100, 'a'));
+  kernel_.sys_unlink("/small/held");
+  // Still occupying space while the fd is open (POSIX).
+  EXPECT_EQ(kernel_.vfs().UsedBytes(99), 100u);
+  EXPECT_EQ(kernel_.sys_creat("/small/more", 0644), 4);
+  EXPECT_EQ(kernel_.sys_write(4, "x"), -err::kENOSPC);
+  kernel_.sys_close(fd);
+  EXPECT_EQ(kernel_.vfs().UsedBytes(99), 0u);
+  EXPECT_EQ(kernel_.sys_write(4, "x"), 1);
+  kernel_.sys_close(4);
+}
+
+TEST_F(CapacityTest, UnboundedMountUnaffected) {
+  dio::testing::TestEnv env;
+  auto task = env.Bind();
+  const auto fd = static_cast<os::Fd>(env.kernel.sys_creat("/data/big", 0644));
+  EXPECT_EQ(env.kernel.sys_write(fd, std::string(1 << 20, 'z')),
+            1 << 20);
+  env.kernel.sys_close(fd);
+}
+
+}  // namespace
+}  // namespace dio::os

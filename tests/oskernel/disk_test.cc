@@ -1,0 +1,110 @@
+#include "oskernel/disk.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace dio::os {
+namespace {
+
+BlockDeviceOptions AccountingOnly(double bandwidth = 1e9,
+                                  Nanos base = 1000) {
+  BlockDeviceOptions options;
+  options.bandwidth_bytes_per_sec = bandwidth;
+  options.base_latency_ns = base;
+  options.real_sleep = false;
+  return options;
+}
+
+TEST(BlockDeviceTest, CountsOperations) {
+  ManualClock clock(0);
+  BlockDevice device(AccountingOnly(), &clock);
+  device.Read(100);
+  device.Write(200);
+  device.Flush(50);
+  const BlockDeviceStats stats = device.stats();
+  EXPECT_EQ(stats.reads, 1u);
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.flushes, 1u);
+  EXPECT_EQ(stats.bytes_read, 100u);
+  EXPECT_EQ(stats.bytes_written, 250u);
+}
+
+TEST(BlockDeviceTest, ServiceTimeScalesWithBytes) {
+  ManualClock clock(0);
+  // 1 byte per ns bandwidth for easy math.
+  BlockDevice device(AccountingOnly(1e9, 0), &clock);
+  const Nanos small = device.Read(100);
+  // Sequential ops queue behind each other on the device timeline; advance
+  // the clock so the next op starts fresh.
+  clock.AdvanceNanos(10'000);
+  const Nanos large = device.Read(10'000);
+  EXPECT_GT(large, small);
+  EXPECT_NEAR(static_cast<double>(large), 10'000.0, 200.0);
+}
+
+TEST(BlockDeviceTest, QueueingAccumulatesOnTimeline) {
+  ManualClock clock(0);
+  BlockDevice device(AccountingOnly(1e9, 0), &clock);
+  // Three back-to-back 1000B ops without advancing the clock: each waits
+  // for the previous (FIFO single queue).
+  const Nanos l1 = device.Write(1000);
+  const Nanos l2 = device.Write(1000);
+  const Nanos l3 = device.Write(1000);
+  EXPECT_NEAR(static_cast<double>(l1), 1000.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(l2), 2000.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(l3), 3000.0, 1.0);
+  EXPECT_GT(device.stats().queue_wait_ns, 0);
+}
+
+TEST(BlockDeviceTest, BaseLatencyAppliesPerAccess) {
+  ManualClock clock(0);
+  BlockDevice device(AccountingOnly(1e12, 500), &clock);
+  const Nanos latency = device.Read(1);
+  EXPECT_GE(latency, 500);
+}
+
+TEST(BlockDeviceTest, FlushAddsFlushLatency) {
+  ManualClock clock(0);
+  BlockDeviceOptions options = AccountingOnly(1e9, 100);
+  options.flush_latency_ns = 10'000;
+  BlockDevice device(options, &clock);
+  const Nanos latency = device.Flush(0);
+  EXPECT_GE(latency, 10'100);
+}
+
+TEST(BlockDeviceTest, RealSleepActuallyBlocks) {
+  SteadyClock* clock = SteadyClock::Instance();
+  BlockDeviceOptions options;
+  options.bandwidth_bytes_per_sec = 1e9;
+  options.base_latency_ns = 2 * kMillisecond;
+  options.real_sleep = true;
+  BlockDevice device(options, clock);
+  const Nanos start = clock->NowNanos();
+  device.Read(1);
+  EXPECT_GE(clock->NowNanos() - start, 2 * kMillisecond - 100 * kMicrosecond);
+}
+
+TEST(BlockDeviceTest, ContentionFromManyThreadsSerializes) {
+  SteadyClock* clock = SteadyClock::Instance();
+  BlockDeviceOptions options;
+  options.bandwidth_bytes_per_sec = 100e6;  // 100 MB/s
+  options.base_latency_ns = 0;
+  options.real_sleep = true;
+  BlockDevice device(options, clock);
+
+  // 4 threads x 1 MB = 4 MB at 100 MB/s ~= 40 ms total wall time.
+  const Nanos start = clock->NowNanos();
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&device] { device.Write(1 << 20); });
+  }
+  for (auto& t : threads) t.join();
+  const Nanos elapsed = clock->NowNanos() - start;
+  EXPECT_GE(elapsed, 35 * kMillisecond);  // serialized, not parallel
+  EXPECT_GT(device.stats().queue_wait_ns, 0);
+}
+
+}  // namespace
+}  // namespace dio::os

@@ -1,0 +1,100 @@
+#include "oskernel/inode.h"
+
+#include <gtest/gtest.h>
+
+namespace dio::os {
+namespace {
+
+TEST(InodeTableTest, AllocatesSequentiallyFromFirstIno) {
+  InodeTable table(2);
+  EXPECT_EQ(table.Allocate(FileType::kRegular, 0)->ino, 2u);
+  EXPECT_EQ(table.Allocate(FileType::kRegular, 0)->ino, 3u);
+  EXPECT_EQ(table.Allocate(FileType::kDirectory, 0)->ino, 4u);
+  EXPECT_EQ(table.live_count(), 3u);
+}
+
+TEST(InodeTableTest, RecyclesLowestFreedNumberFirst) {
+  InodeTable table(2);
+  for (int i = 0; i < 5; ++i) table.Allocate(FileType::kRegular, 0);  // 2..6
+  table.Free(4);
+  table.Free(3);
+  table.Free(5);
+  // Lowest-first reuse, like ext4's allocator — the behaviour the Fluent
+  // Bit data-loss scenario depends on.
+  EXPECT_EQ(table.Allocate(FileType::kRegular, 0)->ino, 3u);
+  EXPECT_EQ(table.Allocate(FileType::kRegular, 0)->ino, 4u);
+  EXPECT_EQ(table.Allocate(FileType::kRegular, 0)->ino, 5u);
+  EXPECT_EQ(table.Allocate(FileType::kRegular, 0)->ino, 7u);  // fresh
+}
+
+TEST(InodeTableTest, SameNumberReusedForRecreatedFile) {
+  InodeTable table(2);
+  Inode* first = table.Allocate(FileType::kRegular, 100);
+  const InodeNum ino = first->ino;
+  table.Free(ino);
+  Inode* second = table.Allocate(FileType::kRegular, 200);
+  EXPECT_EQ(second->ino, ino);
+  EXPECT_EQ(second->ctime_ns, 200);  // fresh metadata, same number
+}
+
+TEST(InodeTableTest, GetReturnsNullForFreedOrUnknown) {
+  InodeTable table(2);
+  Inode* inode = table.Allocate(FileType::kRegular, 0);
+  EXPECT_NE(table.Get(inode->ino), nullptr);
+  table.Free(inode->ino);
+  EXPECT_EQ(table.Get(inode->ino), nullptr);
+  EXPECT_EQ(table.Get(9999), nullptr);
+}
+
+TEST(InodeTableTest, FreeUnknownIsNoop) {
+  InodeTable table(2);
+  table.Free(12345);
+  EXPECT_EQ(table.Allocate(FileType::kRegular, 0)->ino, 2u);
+}
+
+TEST(InodeTest, DirectoryNlinkStartsAtTwo) {
+  InodeTable table(2);
+  EXPECT_EQ(table.Allocate(FileType::kDirectory, 0)->nlink, 2u);
+  EXPECT_EQ(table.Allocate(FileType::kRegular, 0)->nlink, 1u);
+}
+
+TEST(InodeTest, SizeReflectsPayload) {
+  InodeTable table(2);
+  Inode* file = table.Allocate(FileType::kRegular, 0);
+  file->data = "12345";
+  EXPECT_EQ(file->size(), 5u);
+  Inode* dir = table.Allocate(FileType::kDirectory, 0);
+  dir->entries["a"] = 10;
+  dir->entries["b"] = 11;
+  EXPECT_EQ(dir->size(), 2u);
+}
+
+TEST(InodeTest, TimestampsInitialized) {
+  InodeTable table(2);
+  Inode* inode = table.Allocate(FileType::kRegular, 777);
+  EXPECT_EQ(inode->atime_ns, 777);
+  EXPECT_EQ(inode->mtime_ns, 777);
+  EXPECT_EQ(inode->ctime_ns, 777);
+}
+
+TEST(FileTypeTest, ModeRoundTrip) {
+  for (FileType type :
+       {FileType::kRegular, FileType::kDirectory, FileType::kSymlink,
+        FileType::kPipe, FileType::kSocket, FileType::kBlockDevice,
+        FileType::kCharDevice}) {
+    EXPECT_EQ(FileTypeFromMode(ModeFromFileType(type)), type);
+  }
+}
+
+TEST(FileTypeTest, NamesMatchPaperCategories) {
+  EXPECT_EQ(FileTypeName(FileType::kRegular), "regular");
+  EXPECT_EQ(FileTypeName(FileType::kDirectory), "directory");
+  EXPECT_EQ(FileTypeName(FileType::kSocket), "socket");
+  EXPECT_EQ(FileTypeName(FileType::kBlockDevice), "block-device");
+  EXPECT_EQ(FileTypeName(FileType::kCharDevice), "char-device");
+  EXPECT_EQ(FileTypeName(FileType::kPipe), "pipe");
+  EXPECT_EQ(FileTypeName(FileType::kSymlink), "symlink");
+}
+
+}  // namespace
+}  // namespace dio::os

@@ -1,0 +1,112 @@
+#include "oskernel/process.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace dio::os {
+namespace {
+
+TEST(ProcessManagerTest, CreateProcessAndThreads) {
+  ManualClock clock(0);
+  ProcessManager pm(&clock);
+  const Pid pid = pm.CreateProcess("app");
+  EXPECT_GT(pid, 0);
+  EXPECT_EQ(pm.ProcessName(pid), "app");
+
+  const Tid t1 = pm.CreateThread(pid, "worker-1");
+  const Tid t2 = pm.CreateThread(pid, "");
+  auto thread1 = pm.GetThread(t1);
+  ASSERT_TRUE(thread1.has_value());
+  EXPECT_EQ(thread1->comm, "worker-1");
+  EXPECT_EQ(thread1->pid, pid);
+  // Empty comm inherits the process name.
+  EXPECT_EQ(pm.GetThread(t2)->comm, "app");
+  EXPECT_EQ(pm.ThreadsOf(pid).size(), 2u);
+}
+
+TEST(ProcessManagerTest, ThreadForDeadProcessRejected) {
+  ManualClock clock(0);
+  ProcessManager pm(&clock);
+  const Pid pid = pm.CreateProcess("gone");
+  pm.ExitProcess(pid);
+  EXPECT_EQ(pm.CreateThread(pid, "x"), kNoTid);
+  EXPECT_EQ(pm.CreateThread(424242, "x"), kNoTid);
+}
+
+TEST(ProcessManagerTest, ExitProcessRemovesThreads) {
+  ManualClock clock(0);
+  ProcessManager pm(&clock);
+  const Pid pid = pm.CreateProcess("p");
+  const Tid tid = pm.CreateThread(pid, "t");
+  pm.ExitProcess(pid);
+  EXPECT_FALSE(pm.GetThread(tid).has_value());
+  EXPECT_TRUE(pm.ThreadsOf(pid).empty());
+  // LivePids no longer lists it.
+  for (Pid live : pm.LivePids()) EXPECT_NE(live, pid);
+}
+
+TEST(ProcessManagerTest, FdAllocationLowestFree) {
+  ManualClock clock(0);
+  ProcessManager pm(&clock);
+  const Pid pid = pm.CreateProcess("p");
+  auto make_ofd = [] { return std::make_shared<OpenFileDescription>(); };
+  EXPECT_EQ(pm.AllocateFd(pid, make_ofd()), 3);
+  EXPECT_EQ(pm.AllocateFd(pid, make_ofd()), 4);
+  EXPECT_EQ(pm.AllocateFd(pid, make_ofd()), 5);
+  pm.ReleaseFd(pid, 4);
+  EXPECT_EQ(pm.AllocateFd(pid, make_ofd()), 4);
+  EXPECT_EQ(pm.AllocateFd(pid, make_ofd()), 6);
+}
+
+TEST(ProcessManagerTest, LookupAndReleaseFd) {
+  ManualClock clock(0);
+  ProcessManager pm(&clock);
+  const Pid pid = pm.CreateProcess("p");
+  auto ofd = std::make_shared<OpenFileDescription>();
+  ofd->path = "/data/x";
+  const Fd fd = pm.AllocateFd(pid, ofd);
+  auto found = pm.LookupFd(pid, fd);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->path, "/data/x");
+  EXPECT_EQ(pm.LookupFd(pid, 99), nullptr);
+  EXPECT_EQ(pm.LookupFd(4242, fd), nullptr);
+
+  auto released = pm.ReleaseFd(pid, fd);
+  EXPECT_EQ(released.get(), ofd.get());
+  EXPECT_EQ(pm.LookupFd(pid, fd), nullptr);
+  EXPECT_EQ(pm.ReleaseFd(pid, fd), nullptr);  // double release
+}
+
+TEST(ProcessManagerTest, AllFdsSnapshot) {
+  ManualClock clock(0);
+  ProcessManager pm(&clock);
+  const Pid pid = pm.CreateProcess("p");
+  pm.AllocateFd(pid, std::make_shared<OpenFileDescription>());
+  pm.AllocateFd(pid, std::make_shared<OpenFileDescription>());
+  EXPECT_EQ(pm.AllFds(pid).size(), 2u);
+  EXPECT_TRUE(pm.AllFds(999).empty());
+}
+
+TEST(ProcessManagerTest, FdForDeadProcessRejected) {
+  ManualClock clock(0);
+  ProcessManager pm(&clock);
+  const Pid pid = pm.CreateProcess("p");
+  pm.ExitProcess(pid);
+  EXPECT_EQ(pm.AllocateFd(pid, std::make_shared<OpenFileDescription>()),
+            kNoFd);
+}
+
+TEST(ProcessManagerTest, PidsAndTidsAreUnique) {
+  ManualClock clock(0);
+  ProcessManager pm(&clock);
+  const Pid p1 = pm.CreateProcess("a");
+  const Pid p2 = pm.CreateProcess("b");
+  EXPECT_NE(p1, p2);
+  const Tid t1 = pm.CreateThread(p1, "x");
+  const Tid t2 = pm.CreateThread(p2, "y");
+  EXPECT_NE(t1, t2);
+}
+
+}  // namespace
+}  // namespace dio::os

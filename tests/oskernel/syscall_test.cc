@@ -1,0 +1,322 @@
+// Tests for the kernel's syscall ABI: return-value semantics, fd lifecycle,
+// offset behaviour — the exact signal DIO observes.
+#include <gtest/gtest.h>
+
+#include "oskernel/kernel.h"
+#include "test_util.h"
+
+namespace dio::os {
+namespace {
+
+using dio::testing::TestEnv;
+
+class SyscallTest : public ::testing::Test {
+ protected:
+  TestEnv env_;
+  std::unique_ptr<ScopedTask> task_ = env_.Bind();
+  Kernel& k() { return env_.kernel; }
+};
+
+TEST_F(SyscallTest, OpenatAllocatesLowestFreeFdFromThree) {
+  const std::int64_t fd1 = k().sys_openat(
+      kAtFdCwd, "/data/a", openflag::kWriteOnly | openflag::kCreate);
+  const std::int64_t fd2 = k().sys_openat(
+      kAtFdCwd, "/data/b", openflag::kWriteOnly | openflag::kCreate);
+  EXPECT_EQ(fd1, 3);
+  EXPECT_EQ(fd2, 4);
+  k().sys_close(3);
+  EXPECT_EQ(k().sys_openat(kAtFdCwd, "/data/c",
+                           openflag::kWriteOnly | openflag::kCreate),
+            3);
+}
+
+TEST_F(SyscallTest, WriteAdvancesOffsetReadContinues) {
+  const auto fd = static_cast<Fd>(k().sys_openat(
+      kAtFdCwd, "/data/f", openflag::kReadWrite | openflag::kCreate));
+  EXPECT_EQ(k().sys_write(fd, "0123456789"), 10);
+  EXPECT_EQ(k().sys_lseek(fd, 0, kSeekSet), 0);
+  std::string buf;
+  EXPECT_EQ(k().sys_read(fd, &buf, 4), 4);
+  EXPECT_EQ(buf, "0123");
+  EXPECT_EQ(k().sys_read(fd, &buf, 4), 4);
+  EXPECT_EQ(buf, "4567");
+  EXPECT_EQ(k().sys_read(fd, &buf, 4), 2);
+  EXPECT_EQ(buf, "89");
+  EXPECT_EQ(k().sys_read(fd, &buf, 4), 0);  // EOF
+  k().sys_close(fd);
+}
+
+TEST_F(SyscallTest, PreadPwriteDoNotMoveOffset) {
+  const auto fd = static_cast<Fd>(k().sys_openat(
+      kAtFdCwd, "/data/p", openflag::kReadWrite | openflag::kCreate));
+  k().sys_write(fd, "AAAA");
+  EXPECT_EQ(k().sys_pwrite64(fd, "BB", 1), 2);
+  std::string buf;
+  EXPECT_EQ(k().sys_pread64(fd, &buf, 4, 0), 4);
+  EXPECT_EQ(buf, "ABBA");
+  // Sequential offset still at 4 (after the first write).
+  EXPECT_EQ(k().sys_lseek(fd, 0, kSeekCur), 4);
+  k().sys_close(fd);
+}
+
+TEST_F(SyscallTest, PreadNegativeOffsetIsEINVAL) {
+  const auto fd = static_cast<Fd>(k().sys_openat(
+      kAtFdCwd, "/data/neg", openflag::kReadWrite | openflag::kCreate));
+  std::string buf;
+  EXPECT_EQ(k().sys_pread64(fd, &buf, 4, -1), -err::kEINVAL);
+  EXPECT_EQ(k().sys_pwrite64(fd, "x", -2), -err::kEINVAL);
+  k().sys_close(fd);
+}
+
+TEST_F(SyscallTest, LseekWhenceSemantics) {
+  const auto fd = static_cast<Fd>(k().sys_openat(
+      kAtFdCwd, "/data/seek", openflag::kReadWrite | openflag::kCreate));
+  k().sys_write(fd, "0123456789");
+  EXPECT_EQ(k().sys_lseek(fd, 2, kSeekSet), 2);
+  EXPECT_EQ(k().sys_lseek(fd, 3, kSeekCur), 5);
+  EXPECT_EQ(k().sys_lseek(fd, -4, kSeekEnd), 6);
+  EXPECT_EQ(k().sys_lseek(fd, 100, kSeekEnd), 110);  // beyond EOF allowed
+  EXPECT_EQ(k().sys_lseek(fd, -1, kSeekSet), -err::kEINVAL);
+  EXPECT_EQ(k().sys_lseek(fd, 0, 42), -err::kEINVAL);
+  k().sys_close(fd);
+}
+
+TEST_F(SyscallTest, BadFdReturnsEBADF) {
+  std::string buf;
+  EXPECT_EQ(k().sys_read(99, &buf, 1), -err::kEBADF);
+  EXPECT_EQ(k().sys_write(99, "x"), -err::kEBADF);
+  EXPECT_EQ(k().sys_close(99), -err::kEBADF);
+  EXPECT_EQ(k().sys_fsync(99), -err::kEBADF);
+  StatBuf st;
+  EXPECT_EQ(k().sys_fstat(99, &st), -err::kEBADF);
+  EXPECT_EQ(k().sys_lseek(99, 0, kSeekSet), -err::kEBADF);
+}
+
+TEST_F(SyscallTest, WriteToReadOnlyFdIsEBADF) {
+  k().sys_creat("/data/ro", 0644);
+  const auto fd = static_cast<Fd>(
+      k().sys_openat(kAtFdCwd, "/data/ro", openflag::kReadOnly));
+  EXPECT_EQ(k().sys_write(fd, "x"), -err::kEBADF);
+  k().sys_close(fd);
+}
+
+TEST_F(SyscallTest, CreatTruncatesExisting) {
+  const auto fd = static_cast<Fd>(k().sys_creat("/data/c", 0644));
+  k().sys_write(fd, "longcontent");
+  k().sys_close(fd);
+  const auto fd2 = static_cast<Fd>(k().sys_creat("/data/c", 0644));
+  StatBuf st;
+  k().sys_fstat(fd2, &st);
+  EXPECT_EQ(st.size, 0u);
+  k().sys_close(fd2);
+}
+
+TEST_F(SyscallTest, ReadvWritevMoveGatheredBytes) {
+  const auto fd = static_cast<Fd>(k().sys_openat(
+      kAtFdCwd, "/data/v", openflag::kReadWrite | openflag::kCreate));
+  const std::string_view iov[] = {"abc", "de", "fgh"};
+  EXPECT_EQ(k().sys_writev(fd, iov), 8);
+  k().sys_lseek(fd, 0, kSeekSet);
+  std::string buf;
+  const std::uint64_t lens[] = {3, 5};
+  EXPECT_EQ(k().sys_readv(fd, &buf, lens), 8);
+  EXPECT_EQ(buf, "abcdefgh");
+  k().sys_close(fd);
+}
+
+TEST_F(SyscallTest, AppendFlagAlwaysWritesAtEof) {
+  const auto fd = static_cast<Fd>(k().sys_openat(
+      kAtFdCwd, "/data/app",
+      openflag::kWriteOnly | openflag::kCreate | openflag::kAppend));
+  k().sys_write(fd, "one");
+  k().sys_lseek(fd, 0, kSeekSet);
+  k().sys_write(fd, "two");  // must append despite the seek
+  StatBuf st;
+  k().sys_fstat(fd, &st);
+  EXPECT_EQ(st.size, 6u);
+  k().sys_close(fd);
+}
+
+TEST_F(SyscallTest, StatFamilyAgrees) {
+  const auto fd = static_cast<Fd>(k().sys_creat("/data/s", 0644));
+  k().sys_write(fd, "12345");
+  StatBuf by_path;
+  StatBuf by_fd;
+  StatBuf by_at;
+  EXPECT_EQ(k().sys_stat("/data/s", &by_path), 0);
+  EXPECT_EQ(k().sys_fstat(fd, &by_fd), 0);
+  EXPECT_EQ(k().sys_newfstatat(kAtFdCwd, "/data/s", &by_at, 0), 0);
+  EXPECT_EQ(by_path.ino, by_fd.ino);
+  EXPECT_EQ(by_path.ino, by_at.ino);
+  EXPECT_EQ(by_path.size, 5u);
+  EXPECT_EQ(by_path.dev, 7340032u);
+  k().sys_close(fd);
+}
+
+TEST_F(SyscallTest, LstatAndNewfstatatNofollow) {
+  k().sys_creat("/data/t", 0644);
+  k().vfs().CreateSymlink("/data/lnk", "/data/t");
+  StatBuf st;
+  EXPECT_EQ(k().sys_lstat("/data/lnk", &st), 0);
+  EXPECT_EQ(st.type, FileType::kSymlink);
+  EXPECT_EQ(k().sys_newfstatat(kAtFdCwd, "/data/lnk", &st,
+                               kAtSymlinkNofollow),
+            0);
+  EXPECT_EQ(st.type, FileType::kSymlink);
+  EXPECT_EQ(k().sys_stat("/data/lnk", &st), 0);
+  EXPECT_EQ(st.type, FileType::kRegular);
+}
+
+TEST_F(SyscallTest, FstatfsReportsGeometry) {
+  const auto fd = static_cast<Fd>(k().sys_creat("/data/fs", 0644));
+  StatFsBuf buf;
+  EXPECT_EQ(k().sys_fstatfs(fd, &buf), 0);
+  EXPECT_EQ(buf.block_size, 4096u);
+  EXPECT_GT(buf.blocks, 0u);
+  k().sys_close(fd);
+}
+
+TEST_F(SyscallTest, RenameFamilies) {
+  k().sys_creat("/data/r1", 0644);
+  EXPECT_EQ(k().sys_rename("/data/r1", "/data/r2"), 0);
+  EXPECT_EQ(k().sys_renameat(kAtFdCwd, "/data/r2", kAtFdCwd, "/data/r3"), 0);
+  EXPECT_EQ(k().sys_renameat2(kAtFdCwd, "/data/r3", kAtFdCwd, "/data/r4", 0),
+            0);
+  StatBuf st;
+  EXPECT_EQ(k().sys_stat("/data/r4", &st), 0);
+  EXPECT_EQ(k().sys_rename("/data/r1", "/data/r5"), -err::kENOENT);
+}
+
+TEST_F(SyscallTest, UnlinkatRemovedirActsAsRmdir) {
+  k().sys_mkdir("/data/ud", 0755);
+  EXPECT_EQ(k().sys_unlinkat(kAtFdCwd, "/data/ud", 0), -err::kEISDIR);
+  EXPECT_EQ(k().sys_unlinkat(kAtFdCwd, "/data/ud", kAtRemovedir), 0);
+}
+
+TEST_F(SyscallTest, XattrSyscallsPathLinkAndFdVariants) {
+  const auto fd = static_cast<Fd>(k().sys_creat("/data/xa", 0644));
+  EXPECT_EQ(k().sys_setxattr("/data/xa", "user.a", "1"), 0);
+  EXPECT_EQ(k().sys_fsetxattr(fd, "user.b", "22"), 0);
+  std::string value;
+  EXPECT_EQ(k().sys_getxattr("/data/xa", "user.b", &value), 2);
+  EXPECT_EQ(value, "22");
+  EXPECT_EQ(k().sys_fgetxattr(fd, "user.a", &value), 1);
+  std::vector<std::string> names;
+  EXPECT_EQ(k().sys_listxattr("/data/xa", &names), 2);
+  EXPECT_EQ(k().sys_flistxattr(fd, &names), 2);
+  EXPECT_EQ(k().sys_removexattr("/data/xa", "user.a"), 0);
+  EXPECT_EQ(k().sys_fremovexattr(fd, "user.b"), 0);
+  EXPECT_EQ(k().sys_listxattr("/data/xa", &names), 0);
+  EXPECT_EQ(k().sys_getxattr("/data/xa", "user.a", &value), -err::kENODATA);
+  k().sys_close(fd);
+
+  // l-variants operate on the link itself.
+  k().vfs().CreateSymlink("/data/xlnk", "/data/xa");
+  EXPECT_EQ(k().sys_lsetxattr("/data/xlnk", "user.l", "L"), 0);
+  EXPECT_EQ(k().sys_lgetxattr("/data/xlnk", "user.l", &value), 1);
+  EXPECT_EQ(k().sys_getxattr("/data/xa", "user.l", &value), -err::kENODATA);
+  EXPECT_EQ(k().sys_llistxattr("/data/xlnk", &names), 1);
+  EXPECT_EQ(k().sys_lremovexattr("/data/xlnk", "user.l"), 0);
+}
+
+TEST_F(SyscallTest, MknodVariants) {
+  EXPECT_EQ(k().sys_mknod("/data/pipe0", filemode::kFifo | 0644), 0);
+  EXPECT_EQ(k().sys_mknodat(kAtFdCwd, "/data/dev0",
+                            filemode::kCharDevice | 0600),
+            0);
+  StatBuf st;
+  k().sys_stat("/data/pipe0", &st);
+  EXPECT_EQ(st.type, FileType::kPipe);
+  k().sys_stat("/data/dev0", &st);
+  EXPECT_EQ(st.type, FileType::kCharDevice);
+}
+
+TEST_F(SyscallTest, MkdirVariantsAndRmdir) {
+  EXPECT_EQ(k().sys_mkdir("/data/m1", 0755), 0);
+  EXPECT_EQ(k().sys_mkdirat(kAtFdCwd, "/data/m1/m2", 0755), 0);
+  EXPECT_EQ(k().sys_rmdir("/data/m1"), -err::kENOTEMPTY);
+  EXPECT_EQ(k().sys_rmdir("/data/m1/m2"), 0);
+  EXPECT_EQ(k().sys_rmdir("/data/m1"), 0);
+}
+
+TEST_F(SyscallTest, TruncateAndFtruncate) {
+  const auto fd = static_cast<Fd>(k().sys_creat("/data/tr", 0644));
+  k().sys_write(fd, "0123456789");
+  EXPECT_EQ(k().sys_ftruncate(fd, 4), 0);
+  StatBuf st;
+  k().sys_fstat(fd, &st);
+  EXPECT_EQ(st.size, 4u);
+  EXPECT_EQ(k().sys_truncate("/data/tr", 20), 0);
+  k().sys_fstat(fd, &st);
+  EXPECT_EQ(st.size, 20u);
+  EXPECT_EQ(k().sys_truncate("/data/absent", 1), -err::kENOENT);
+  k().sys_close(fd);
+}
+
+TEST_F(SyscallTest, FsyncClearsDirtyAndCountsFlush) {
+  const auto fd = static_cast<Fd>(k().sys_creat("/data/sync", 0644));
+  k().sys_write(fd, "dirty");
+  const auto before = env_.device->stats().flushes;
+  EXPECT_EQ(k().sys_fsync(fd), 0);
+  EXPECT_EQ(k().sys_fdatasync(fd), 0);
+  EXPECT_EQ(env_.device->stats().flushes, before + 2);
+  k().sys_close(fd);
+}
+
+TEST_F(SyscallTest, SyscallCountsTracked) {
+  const auto before = k().SyscallCount(SyscallNr::kWrite);
+  const auto fd = static_cast<Fd>(k().sys_creat("/data/cnt", 0644));
+  k().sys_write(fd, "a");
+  k().sys_write(fd, "b");
+  k().sys_close(fd);
+  EXPECT_EQ(k().SyscallCount(SyscallNr::kWrite), before + 2);
+  EXPECT_GT(k().TotalSyscalls(), before);
+}
+
+TEST_F(SyscallTest, DataSyscallsChargeTheDevice) {
+  const auto reads_before = env_.device->stats().reads;
+  const auto writes_before = env_.device->stats().writes;
+  const auto fd = static_cast<Fd>(k().sys_openat(
+      kAtFdCwd, "/data/chg", openflag::kReadWrite | openflag::kCreate));
+  k().sys_write(fd, "0123456789");
+  k().sys_lseek(fd, 0, kSeekSet);
+  std::string buf;
+  k().sys_read(fd, &buf, 10);
+  k().sys_close(fd);
+  EXPECT_EQ(env_.device->stats().writes, writes_before + 1);
+  EXPECT_EQ(env_.device->stats().reads, reads_before + 1);
+  EXPECT_GE(env_.device->stats().bytes_written, 10u);
+}
+
+TEST_F(SyscallTest, RootMountFilesDoNotChargeTheDataDevice) {
+  const auto writes_before = env_.device->stats().writes;
+  const auto fd = static_cast<Fd>(k().sys_creat("/rootfile", 0644));
+  k().sys_write(fd, "xyz");
+  k().sys_close(fd);
+  EXPECT_EQ(env_.device->stats().writes, writes_before);
+}
+
+TEST_F(SyscallTest, ExitProcessReleasesOpenFds) {
+  const Pid pid = k().CreateProcess("short-lived");
+  const Tid tid = k().SpawnThread(pid, "short-lived");
+  InodeNum held_ino;
+  {
+    ScopedTask other(k(), pid, tid);
+    const auto fd = static_cast<Fd>(k().sys_creat("/data/leak", 0644));
+    ASSERT_GE(fd, 3);
+    StatBuf st;
+    k().sys_fstat(fd, &st);
+    held_ino = st.ino;
+    k().sys_unlink("/data/leak");  // orphaned while fd open
+  }
+  k().ExitProcess(pid);
+  // The inode must have been freed at process exit: recreate recycles it.
+  const auto fd2 = static_cast<Fd>(k().sys_creat("/data/leak2", 0644));
+  StatBuf st;
+  k().sys_fstat(fd2, &st);
+  EXPECT_EQ(st.ino, held_ino);
+  k().sys_close(fd2);
+}
+
+}  // namespace
+}  // namespace dio::os

@@ -1,0 +1,198 @@
+#include "oskernel/tracepoint.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "oskernel/kernel.h"
+#include "test_util.h"
+
+namespace dio::os {
+namespace {
+
+using dio::testing::TestEnv;
+
+TEST(TracepointRegistryTest, FireReachesAttachedHandler) {
+  TracepointRegistry registry;
+  int enter_calls = 0;
+  int exit_calls = 0;
+  registry.AttachEnter(SyscallNr::kRead,
+                       [&](const SysEnterContext&) { ++enter_calls; });
+  registry.AttachExit(SyscallNr::kRead,
+                      [&](const SysExitContext&) { ++exit_calls; });
+
+  SyscallArgs args;
+  SysEnterContext enter{SyscallNr::kRead, 1, 2, "t", 0, &args, nullptr};
+  SysExitContext exit{SyscallNr::kRead, 1, 2, "t", 1, 0, &args, nullptr};
+  registry.FireEnter(enter);
+  registry.FireExit(exit);
+  EXPECT_EQ(enter_calls, 1);
+  EXPECT_EQ(exit_calls, 1);
+
+  // Other syscalls' tracepoints are unaffected.
+  SysEnterContext other{SyscallNr::kWrite, 1, 2, "t", 0, &args, nullptr};
+  registry.FireEnter(other);
+  EXPECT_EQ(enter_calls, 1);
+}
+
+TEST(TracepointRegistryTest, DetachStopsDelivery) {
+  TracepointRegistry registry;
+  int calls = 0;
+  const AttachId id = registry.AttachEnter(
+      SyscallNr::kOpenat, [&](const SysEnterContext&) { ++calls; });
+  SyscallArgs args;
+  SysEnterContext ctx{SyscallNr::kOpenat, 1, 2, "t", 0, &args, nullptr};
+  registry.FireEnter(ctx);
+  registry.Detach(id);
+  registry.FireEnter(ctx);
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(registry.HasEnter(SyscallNr::kOpenat));
+}
+
+TEST(TracepointRegistryTest, MultipleHandlersAllFire) {
+  TracepointRegistry registry;
+  int a = 0;
+  int b = 0;
+  registry.AttachEnter(SyscallNr::kClose,
+                       [&](const SysEnterContext&) { ++a; });
+  registry.AttachEnter(SyscallNr::kClose,
+                       [&](const SysEnterContext&) { ++b; });
+  SyscallArgs args;
+  SysEnterContext ctx{SyscallNr::kClose, 1, 2, "t", 0, &args, nullptr};
+  registry.FireEnter(ctx);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(TracepointRegistryTest, DetachAllClearsEverything) {
+  TracepointRegistry registry;
+  registry.AttachEnter(SyscallNr::kRead, [](const SysEnterContext&) {});
+  registry.AttachExit(SyscallNr::kWrite, [](const SysExitContext&) {});
+  registry.DetachAll();
+  EXPECT_FALSE(registry.HasEnter(SyscallNr::kRead));
+  EXPECT_FALSE(registry.HasExit(SyscallNr::kWrite));
+}
+
+TEST(TracepointTest, SyscallContextCarriesTaskIdentity) {
+  TestEnv env;
+  Pid seen_pid = kNoPid;
+  Tid seen_tid = kNoTid;
+  std::string seen_comm;
+  env.kernel.tracepoints().AttachEnter(
+      SyscallNr::kMkdir, [&](const SysEnterContext& ctx) {
+        seen_pid = ctx.pid;
+        seen_tid = ctx.tid;
+        seen_comm = std::string(ctx.comm);
+      });
+  auto task = env.Bind();
+  env.kernel.sys_mkdir("/data/tp", 0755);
+  EXPECT_EQ(seen_pid, env.pid);
+  EXPECT_EQ(seen_tid, env.tid);
+  EXPECT_EQ(seen_comm, "test");
+}
+
+TEST(TracepointTest, EnterSeesPreSyscallOffsetExitSeesReturn) {
+  TestEnv env;
+  auto task = env.Bind();
+  Kernel& k = env.kernel;
+  const auto fd = static_cast<Fd>(k.sys_openat(
+      kAtFdCwd, "/data/off", openflag::kReadWrite | openflag::kCreate));
+  k.sys_write(fd, "0123456789");
+  k.sys_lseek(fd, 0, kSeekSet);
+
+  std::uint64_t offset_at_enter = 999;
+  std::int64_t ret_at_exit = -1;
+  k.tracepoints().AttachEnter(
+      SyscallNr::kRead, [&](const SysEnterContext& ctx) {
+        auto view = ctx.kernel->LookupFd(ctx.pid, ctx.args->fd);
+        ASSERT_TRUE(view.has_value());
+        offset_at_enter = view->offset;
+      });
+  k.tracepoints().AttachExit(SyscallNr::kRead,
+                             [&](const SysExitContext& ctx) {
+                               ret_at_exit = ctx.ret;
+                             });
+  std::string buf;
+  k.sys_read(fd, &buf, 4);
+  EXPECT_EQ(offset_at_enter, 0u);  // read before the kernel advanced it
+  EXPECT_EQ(ret_at_exit, 4);
+  k.sys_close(fd);
+}
+
+TEST(TracepointTest, KernelViewResolvesPathsAndProcessNames) {
+  TestEnv env;
+  auto task = env.Bind();
+  env.kernel.sys_creat("/data/kv", 0644);
+  std::optional<PathView> view;
+  std::optional<std::string> pname;
+  env.kernel.tracepoints().AttachEnter(
+      SyscallNr::kUnlink, [&](const SysEnterContext& ctx) {
+        view = ctx.kernel->ResolvePath(ctx.args->path);
+        pname = ctx.kernel->ProcessName(ctx.pid);
+      });
+  env.kernel.sys_unlink("/data/kv");
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->dev, 7340032u);
+  EXPECT_EQ(view->type, FileType::kRegular);
+  EXPECT_EQ(pname, "test");
+}
+
+TEST(TracepointTest, CpuAssignmentStableAndBounded) {
+  TestEnv env;
+  KernelView& view = env.kernel.view();
+  for (Tid tid = 0; tid < 100; ++tid) {
+    const int cpu = view.cpu_of(tid);
+    EXPECT_GE(cpu, 0);
+    EXPECT_LT(cpu, env.kernel.num_cpus());
+    EXPECT_EQ(cpu, view.cpu_of(tid));
+  }
+}
+
+TEST(SyscallNrTest, TableHas42EntriesInFourCategories) {
+  EXPECT_EQ(kNumSyscalls, 42u);
+  int data = 0;
+  int metadata = 0;
+  int xattr = 0;
+  int dir = 0;
+  for (const SyscallDescriptor& desc : SyscallTable()) {
+    switch (desc.category) {
+      case SyscallCategory::kData: ++data; break;
+      case SyscallCategory::kMetadata: ++metadata; break;
+      case SyscallCategory::kExtendedAttributes: ++xattr; break;
+      case SyscallCategory::kDirectoryManagement: ++dir; break;
+    }
+  }
+  EXPECT_EQ(data, 11);
+  EXPECT_EQ(metadata, 14);
+  EXPECT_EQ(xattr, 12);
+  EXPECT_EQ(dir, 5);
+}
+
+TEST(SyscallNrTest, TableOrderMatchesEnum) {
+  for (std::size_t i = 0; i < kNumSyscalls; ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(SyscallTable()[i].nr), i);
+  }
+}
+
+TEST(SyscallNrTest, NameLookupRoundTrips) {
+  for (const SyscallDescriptor& desc : SyscallTable()) {
+    auto nr = SyscallFromName(desc.name);
+    ASSERT_TRUE(nr.has_value()) << desc.name;
+    EXPECT_EQ(*nr, desc.nr);
+  }
+  EXPECT_FALSE(SyscallFromName("execve").has_value());
+  EXPECT_FALSE(SyscallFromName("").has_value());
+}
+
+TEST(SyscallNrTest, PaperExamplesInExpectedCategories) {
+  // §II: data (write), metadata (stat), xattr (getxattr), dir mgmt (mknod).
+  EXPECT_EQ(Describe(SyscallNr::kWrite).category, SyscallCategory::kData);
+  EXPECT_EQ(Describe(SyscallNr::kStat).category, SyscallCategory::kMetadata);
+  EXPECT_EQ(Describe(SyscallNr::kGetxattr).category,
+            SyscallCategory::kExtendedAttributes);
+  EXPECT_EQ(Describe(SyscallNr::kMknod).category,
+            SyscallCategory::kDirectoryManagement);
+}
+
+}  // namespace
+}  // namespace dio::os

@@ -1,0 +1,155 @@
+// Property test: the VFS agrees with an in-memory reference model across
+// randomized operation sequences (create/write/read/truncate/rename/unlink/
+// mkdir/rmdir), for multiple seeds.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "oskernel/kernel.h"
+#include "test_util.h"
+
+namespace dio::os {
+namespace {
+
+using dio::testing::TestEnv;
+
+class VfsModelCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VfsModelCheck, MatchesReferenceModel) {
+  TestEnv env;
+  auto task = env.Bind();
+  Kernel& k = env.kernel;
+  Random rng(GetParam());
+
+  // Reference model: path -> contents for files; set of dirs.
+  std::map<std::string, std::string> files;
+  std::map<std::string, bool> dirs;  // path -> exists
+  dirs["/data"] = true;
+
+  const auto pick_name = [&](const char* prefix) {
+    return "/data/" + std::string(prefix) + std::to_string(rng.Uniform(12));
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    const int op = static_cast<int>(rng.Uniform(100));
+    if (op < 30) {
+      // Append to a (possibly new) file.
+      const std::string path = pick_name("f");
+      if (dirs.contains(path)) continue;  // name collides with a dir
+      std::string payload;
+      for (std::uint64_t i = 0; i < rng.Uniform(64) + 1; ++i) {
+        payload.push_back(static_cast<char>('a' + rng.Uniform(26)));
+      }
+      const auto fd = static_cast<Fd>(k.sys_openat(
+          kAtFdCwd, path,
+          openflag::kWriteOnly | openflag::kCreate | openflag::kAppend));
+      ASSERT_GE(fd, 0) << path;
+      ASSERT_EQ(k.sys_write(fd, payload),
+                static_cast<std::int64_t>(payload.size()));
+      k.sys_close(fd);
+      files[path] += payload;
+    } else if (op < 50) {
+      // Read a file fully and compare.
+      const std::string path = pick_name("f");
+      const auto fd = static_cast<Fd>(
+          k.sys_openat(kAtFdCwd, path, openflag::kReadOnly));
+      auto it = files.find(path);
+      if (it == files.end()) {
+        if (!dirs.contains(path)) {
+          EXPECT_EQ(fd, -err::kENOENT) << path;
+        }
+        if (fd >= 0) k.sys_close(fd);
+        continue;
+      }
+      ASSERT_GE(fd, 0) << path;
+      std::string content;
+      std::string chunk;
+      while (k.sys_read(fd, &chunk, 37) > 0) content += chunk;
+      EXPECT_EQ(content, it->second) << path;
+      k.sys_close(fd);
+    } else if (op < 62) {
+      // Unlink.
+      const std::string path = pick_name("f");
+      const std::int64_t rc = k.sys_unlink(path);
+      if (files.erase(path) == 1) {
+        EXPECT_EQ(rc, 0) << path;
+      } else if (dirs.contains(path)) {
+        EXPECT_EQ(rc, -err::kEISDIR) << path;
+      } else {
+        EXPECT_EQ(rc, -err::kENOENT) << path;
+      }
+    } else if (op < 72) {
+      // Truncate to random size.
+      const std::string path = pick_name("f");
+      const std::uint64_t size = rng.Uniform(128);
+      const std::int64_t rc = k.sys_truncate(path, size);
+      auto it = files.find(path);
+      if (it != files.end()) {
+        EXPECT_EQ(rc, 0) << path;
+        it->second.resize(size, '\0');
+      } else if (dirs.contains(path)) {
+        EXPECT_EQ(rc, -err::kEISDIR) << path;
+      } else {
+        EXPECT_EQ(rc, -err::kENOENT) << path;
+      }
+    } else if (op < 84) {
+      // Rename file -> file.
+      const std::string from = pick_name("f");
+      const std::string to = pick_name("f");
+      if (dirs.contains(from) || dirs.contains(to)) continue;
+      const std::int64_t rc = k.sys_rename(from, to);
+      auto it = files.find(from);
+      if (it == files.end()) {
+        EXPECT_EQ(rc, -err::kENOENT) << from;
+      } else if (from == to) {
+        EXPECT_EQ(rc, 0);
+      } else {
+        EXPECT_EQ(rc, 0) << from << " -> " << to;
+        files[to] = std::move(it->second);
+        files.erase(from);
+      }
+    } else if (op < 92) {
+      // Mkdir.
+      const std::string path = pick_name("d");
+      const std::int64_t rc = k.sys_mkdir(path, 0755);
+      if (dirs.contains(path) || files.contains(path)) {
+        EXPECT_EQ(rc, -err::kEEXIST) << path;
+      } else {
+        EXPECT_EQ(rc, 0) << path;
+        dirs[path] = true;
+      }
+    } else {
+      // Rmdir (our dirs are always empty leaves).
+      const std::string path = pick_name("d");
+      const std::int64_t rc = k.sys_rmdir(path);
+      if (dirs.erase(path) == 1) {
+        EXPECT_EQ(rc, 0) << path;
+      } else if (files.contains(path)) {
+        EXPECT_EQ(rc, -err::kENOTDIR) << path;
+      } else {
+        EXPECT_EQ(rc, -err::kENOENT) << path;
+      }
+    }
+  }
+
+  // Final sweep: every modeled file stats correctly with the right size.
+  for (const auto& [path, content] : files) {
+    StatBuf st;
+    ASSERT_EQ(k.sys_stat(path, &st), 0) << path;
+    EXPECT_EQ(st.size, content.size()) << path;
+    EXPECT_EQ(st.type, FileType::kRegular);
+  }
+  for (const auto& [path, exists] : dirs) {
+    StatBuf st;
+    ASSERT_EQ(k.sys_stat(path, &st), 0) << path;
+    EXPECT_EQ(st.type, FileType::kDirectory);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VfsModelCheck,
+                         ::testing::Values(7, 77, 777, 7777));
+
+}  // namespace
+}  // namespace dio::os

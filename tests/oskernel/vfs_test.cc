@@ -1,0 +1,348 @@
+#include "oskernel/vfs.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace dio::os {
+namespace {
+
+class VfsTest : public ::testing::Test {
+ protected:
+  VfsTest() : vfs_(&clock_) {
+    EXPECT_TRUE(vfs_.AddMount("/data", 7340032, nullptr).ok());
+  }
+
+  ManualClock clock_{1000};
+  Vfs vfs_;
+
+  InodeNum CreateFile(const std::string& path) {
+    OpenResolution res;
+    EXPECT_EQ(vfs_.ResolveForOpen(path, openflag::kWriteOnly | openflag::kCreate,
+                                  0644, &res),
+              0);
+    vfs_.ReleaseOpenRef(res.dev, res.ino);
+    return res.ino;
+  }
+};
+
+TEST_F(VfsTest, RootAlwaysResolvable) {
+  StatBuf st;
+  EXPECT_EQ(vfs_.StatPath("/", true, &st), 0);
+  EXPECT_EQ(st.type, FileType::kDirectory);
+  EXPECT_EQ(st.dev, 1u);
+}
+
+TEST_F(VfsTest, MountHasOwnDeviceAndInodeSpace) {
+  StatBuf st;
+  EXPECT_EQ(vfs_.StatPath("/data", true, &st), 0);
+  EXPECT_EQ(st.dev, 7340032u);
+  EXPECT_EQ(st.ino, 2u);  // each fs allocates from 2
+}
+
+TEST_F(VfsTest, DuplicateMountRejected) {
+  EXPECT_FALSE(vfs_.AddMount("/data", 99, nullptr).ok());
+  EXPECT_FALSE(vfs_.AddMount("/other", 7340032, nullptr).ok());
+}
+
+TEST_F(VfsTest, CreateWriteReadRoundTrip) {
+  OpenResolution res;
+  ASSERT_EQ(vfs_.ResolveForOpen("/data/f.txt",
+                                openflag::kWriteOnly | openflag::kCreate, 0644,
+                                &res),
+            0);
+  EXPECT_TRUE(res.created);
+  std::uint64_t offset_used = 0;
+  EXPECT_EQ(vfs_.Write(res.dev, res.ino, 0, "hello world", false, &offset_used),
+            11);
+  EXPECT_EQ(offset_used, 0u);
+  std::string out;
+  EXPECT_EQ(vfs_.Read(res.dev, res.ino, 0, 5, &out), 5);
+  EXPECT_EQ(out, "hello");
+  EXPECT_EQ(vfs_.Read(res.dev, res.ino, 6, 100, &out), 5);
+  EXPECT_EQ(out, "world");
+  EXPECT_EQ(vfs_.Read(res.dev, res.ino, 11, 10, &out), 0);  // EOF
+  vfs_.ReleaseOpenRef(res.dev, res.ino);
+}
+
+TEST_F(VfsTest, WriteBeyondEofZeroFills) {
+  OpenResolution res;
+  ASSERT_EQ(vfs_.ResolveForOpen("/data/sparse",
+                                openflag::kWriteOnly | openflag::kCreate, 0644,
+                                &res),
+            0);
+  std::uint64_t used;
+  EXPECT_EQ(vfs_.Write(res.dev, res.ino, 10, "X", false, &used), 1);
+  StatBuf st;
+  EXPECT_EQ(vfs_.StatInode(res.dev, res.ino, &st), 0);
+  EXPECT_EQ(st.size, 11u);
+  std::string out;
+  vfs_.Read(res.dev, res.ino, 0, 11, &out);
+  EXPECT_EQ(out.substr(0, 10), std::string(10, '\0'));
+  EXPECT_EQ(out[10], 'X');
+  vfs_.ReleaseOpenRef(res.dev, res.ino);
+}
+
+TEST_F(VfsTest, AppendWritesAtEof) {
+  OpenResolution res;
+  ASSERT_EQ(vfs_.ResolveForOpen("/data/log",
+                                openflag::kWriteOnly | openflag::kCreate, 0644,
+                                &res),
+            0);
+  std::uint64_t used = 0;
+  vfs_.Write(res.dev, res.ino, 0, "aaa", false, &used);
+  vfs_.Write(res.dev, res.ino, 0, "bbb", true, &used);
+  EXPECT_EQ(used, 3u);  // appended at EOF, not offset 0
+  std::string out;
+  vfs_.Read(res.dev, res.ino, 0, 10, &out);
+  EXPECT_EQ(out, "aaabbb");
+  vfs_.ReleaseOpenRef(res.dev, res.ino);
+}
+
+TEST_F(VfsTest, OpenMissingWithoutCreateFails) {
+  OpenResolution res;
+  EXPECT_EQ(vfs_.ResolveForOpen("/data/missing", openflag::kReadOnly, 0, &res),
+            -err::kENOENT);
+}
+
+TEST_F(VfsTest, ExclusiveCreateFailsOnExisting) {
+  CreateFile("/data/exists");
+  OpenResolution res;
+  EXPECT_EQ(vfs_.ResolveForOpen(
+                "/data/exists",
+                openflag::kWriteOnly | openflag::kCreate | openflag::kExclusive,
+                0644, &res),
+            -err::kEEXIST);
+}
+
+TEST_F(VfsTest, TruncateOnOpenClearsData) {
+  OpenResolution res;
+  vfs_.ResolveForOpen("/data/t", openflag::kWriteOnly | openflag::kCreate,
+                      0644, &res);
+  std::uint64_t used;
+  vfs_.Write(res.dev, res.ino, 0, "content", false, &used);
+  vfs_.ReleaseOpenRef(res.dev, res.ino);
+
+  OpenResolution res2;
+  vfs_.ResolveForOpen("/data/t",
+                      openflag::kWriteOnly | openflag::kTruncate, 0644, &res2);
+  EXPECT_EQ(res2.ino, res.ino);
+  EXPECT_EQ(res2.size, 0u);
+  vfs_.ReleaseOpenRef(res2.dev, res2.ino);
+}
+
+TEST_F(VfsTest, OpenDirectoryForWriteIsEISDIR) {
+  ASSERT_EQ(vfs_.Mkdir("/data/dir", 0755), 0);
+  OpenResolution res;
+  EXPECT_EQ(vfs_.ResolveForOpen("/data/dir", openflag::kWriteOnly, 0, &res),
+            -err::kEISDIR);
+  EXPECT_EQ(vfs_.ResolveForOpen("/data/dir", openflag::kReadOnly, 0, &res), 0);
+  vfs_.ReleaseOpenRef(res.dev, res.ino);
+}
+
+TEST_F(VfsTest, ODirectoryOnFileIsENOTDIR) {
+  CreateFile("/data/plain");
+  OpenResolution res;
+  EXPECT_EQ(vfs_.ResolveForOpen("/data/plain",
+                                openflag::kReadOnly | openflag::kDirectory, 0,
+                                &res),
+            -err::kENOTDIR);
+}
+
+TEST_F(VfsTest, UnlinkRemovesAndFreesInode) {
+  const InodeNum ino = CreateFile("/data/gone");
+  EXPECT_EQ(vfs_.Unlink("/data/gone"), 0);
+  StatBuf st;
+  EXPECT_EQ(vfs_.StatPath("/data/gone", true, &st), -err::kENOENT);
+  // Inode number recycled by the next create.
+  EXPECT_EQ(CreateFile("/data/new"), ino);
+}
+
+TEST_F(VfsTest, DeferredInodeFreeWhileOpen) {
+  OpenResolution res;
+  vfs_.ResolveForOpen("/data/held", openflag::kWriteOnly | openflag::kCreate,
+                      0644, &res);
+  std::uint64_t used;
+  vfs_.Write(res.dev, res.ino, 0, "payload", false, &used);
+  EXPECT_EQ(vfs_.Unlink("/data/held"), 0);
+  // Still readable through the open description (POSIX).
+  std::string out;
+  EXPECT_EQ(vfs_.Read(res.dev, res.ino, 0, 7, &out), 7);
+  EXPECT_EQ(out, "payload");
+  // The inode number must NOT be recycled yet.
+  const InodeNum next = CreateFile("/data/other");
+  EXPECT_NE(next, res.ino);
+  // After the last close it becomes recyclable.
+  vfs_.ReleaseOpenRef(res.dev, res.ino);
+  EXPECT_EQ(CreateFile("/data/recycled"), res.ino);
+}
+
+TEST_F(VfsTest, UnlinkDirectoryIsEISDIR) {
+  vfs_.Mkdir("/data/d", 0755);
+  EXPECT_EQ(vfs_.Unlink("/data/d"), -err::kEISDIR);
+}
+
+TEST_F(VfsTest, RenameMovesFile) {
+  const InodeNum ino = CreateFile("/data/src");
+  EXPECT_EQ(vfs_.Rename("/data/src", "/data/dst"), 0);
+  StatBuf st;
+  EXPECT_EQ(vfs_.StatPath("/data/src", true, &st), -err::kENOENT);
+  EXPECT_EQ(vfs_.StatPath("/data/dst", true, &st), 0);
+  EXPECT_EQ(st.ino, ino);
+}
+
+TEST_F(VfsTest, RenameReplacesExistingTarget) {
+  const InodeNum src_ino = CreateFile("/data/a");
+  CreateFile("/data/b");
+  EXPECT_EQ(vfs_.Rename("/data/a", "/data/b"), 0);
+  StatBuf st;
+  EXPECT_EQ(vfs_.StatPath("/data/b", true, &st), 0);
+  EXPECT_EQ(st.ino, src_ino);
+}
+
+TEST_F(VfsTest, RenameAcrossMountsRejected) {
+  CreateFile("/data/x");
+  EXPECT_NE(vfs_.Rename("/data/x", "/x"), 0);
+}
+
+TEST_F(VfsTest, MkdirRmdirLifecycle) {
+  EXPECT_EQ(vfs_.Mkdir("/data/d1", 0755), 0);
+  EXPECT_EQ(vfs_.Mkdir("/data/d1/d2", 0755), 0);
+  EXPECT_EQ(vfs_.Mkdir("/data/d1", 0755), -err::kEEXIST);
+  EXPECT_EQ(vfs_.Rmdir("/data/d1"), -err::kENOTEMPTY);
+  EXPECT_EQ(vfs_.Rmdir("/data/d1/d2"), 0);
+  EXPECT_EQ(vfs_.Rmdir("/data/d1"), 0);
+  StatBuf st;
+  EXPECT_EQ(vfs_.StatPath("/data/d1", true, &st), -err::kENOENT);
+}
+
+TEST_F(VfsTest, RmdirOnFileIsENOTDIR) {
+  CreateFile("/data/f");
+  EXPECT_EQ(vfs_.Rmdir("/data/f"), -err::kENOTDIR);
+}
+
+TEST_F(VfsTest, MknodCreatesSpecialFiles) {
+  EXPECT_EQ(vfs_.Mknod("/data/fifo", filemode::kFifo | 0644), 0);
+  StatBuf st;
+  EXPECT_EQ(vfs_.StatPath("/data/fifo", true, &st), 0);
+  EXPECT_EQ(st.type, FileType::kPipe);
+  EXPECT_EQ(vfs_.Mknod("/data/sock", filemode::kSocket), 0);
+  vfs_.StatPath("/data/sock", true, &st);
+  EXPECT_EQ(st.type, FileType::kSocket);
+  EXPECT_EQ(vfs_.Mknod("/data/fifo", filemode::kFifo), -err::kEEXIST);
+}
+
+TEST_F(VfsTest, SymlinkResolutionAndLstat) {
+  CreateFile("/data/target");
+  ASSERT_EQ(vfs_.CreateSymlink("/data/link", "/data/target"), 0);
+  StatBuf st;
+  EXPECT_EQ(vfs_.StatPath("/data/link", /*follow=*/true, &st), 0);
+  EXPECT_EQ(st.type, FileType::kRegular);
+  EXPECT_EQ(vfs_.StatPath("/data/link", /*follow=*/false, &st), 0);
+  EXPECT_EQ(st.type, FileType::kSymlink);
+}
+
+TEST_F(VfsTest, SymlinkLoopDetected) {
+  ASSERT_EQ(vfs_.CreateSymlink("/data/l1", "/data/l2"), 0);
+  ASSERT_EQ(vfs_.CreateSymlink("/data/l2", "/data/l1"), 0);
+  StatBuf st;
+  EXPECT_EQ(vfs_.StatPath("/data/l1", true, &st), -err::kEINVAL);
+}
+
+TEST_F(VfsTest, SymlinkInMiddleOfPathFollowed) {
+  vfs_.Mkdir("/data/real", 0755);
+  CreateFile("/data/real/file");
+  ASSERT_EQ(vfs_.CreateSymlink("/data/alias", "/data/real"), 0);
+  StatBuf st;
+  EXPECT_EQ(vfs_.StatPath("/data/alias/file", false, &st), 0);
+  EXPECT_EQ(st.type, FileType::kRegular);
+}
+
+TEST_F(VfsTest, XattrLifecyclePathBased) {
+  CreateFile("/data/x");
+  EXPECT_EQ(vfs_.SetXattrPath("/data/x", true, "user.k", "v1"), 0);
+  std::string value;
+  EXPECT_EQ(vfs_.GetXattrPath("/data/x", true, "user.k", &value), 2);
+  EXPECT_EQ(value, "v1");
+  std::vector<std::string> names;
+  EXPECT_EQ(vfs_.ListXattrPath("/data/x", true, &names), 1);
+  EXPECT_EQ(names[0], "user.k");
+  EXPECT_EQ(vfs_.RemoveXattrPath("/data/x", true, "user.k"), 0);
+  EXPECT_EQ(vfs_.GetXattrPath("/data/x", true, "user.k", &value),
+            -err::kENODATA);
+  EXPECT_EQ(vfs_.RemoveXattrPath("/data/x", true, "user.k"), -err::kENODATA);
+}
+
+TEST_F(VfsTest, TruncateGrowsAndShrinks) {
+  CreateFile("/data/t");
+  PathView view;
+  EXPECT_EQ(vfs_.TruncatePath("/data/t", 100, &view), 0);
+  EXPECT_EQ(view.dev, 7340032u);
+  StatBuf st;
+  vfs_.StatPath("/data/t", true, &st);
+  EXPECT_EQ(st.size, 100u);
+  EXPECT_EQ(vfs_.TruncatePath("/data/t", 10, nullptr), 0);
+  vfs_.StatPath("/data/t", true, &st);
+  EXPECT_EQ(st.size, 10u);
+}
+
+TEST_F(VfsTest, PathNormalization) {
+  CreateFile("/data/n");
+  StatBuf st;
+  EXPECT_EQ(vfs_.StatPath("/data//n", true, &st), 0);
+  EXPECT_EQ(vfs_.StatPath("/data/./n", true, &st), 0);
+  EXPECT_EQ(vfs_.StatPath("relative/path", true, &st), -err::kEINVAL);
+  EXPECT_EQ(vfs_.StatPath("/data/../etc", true, &st), -err::kEINVAL);
+}
+
+TEST_F(VfsTest, ResolvePathViewForTracerEnrichment) {
+  const InodeNum ino = CreateFile("/data/enrich");
+  auto view = vfs_.ResolvePathView("/data/enrich");
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->dev, 7340032u);
+  EXPECT_EQ(view->ino, ino);
+  EXPECT_EQ(view->type, FileType::kRegular);
+  EXPECT_FALSE(vfs_.ResolvePathView("/data/none").has_value());
+}
+
+TEST_F(VfsTest, ListDirSorted) {
+  vfs_.Mkdir("/data/ls", 0755);
+  CreateFile("/data/ls/b");
+  CreateFile("/data/ls/a");
+  EXPECT_EQ(vfs_.ListDir("/data/ls"),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(vfs_.ListDir("/data/nonexistent").empty());
+}
+
+TEST_F(VfsTest, ReadingDirectoryIsEISDIR) {
+  vfs_.Mkdir("/data/rd", 0755);
+  auto view = vfs_.ResolvePathView("/data/rd");
+  std::string out;
+  EXPECT_EQ(vfs_.Read(view->dev, view->ino, 0, 10, &out), -err::kEISDIR);
+}
+
+TEST_F(VfsTest, CreateUnderMissingParentFails) {
+  OpenResolution res;
+  EXPECT_EQ(vfs_.ResolveForOpen("/data/no/such/file",
+                                openflag::kWriteOnly | openflag::kCreate, 0644,
+                                &res),
+            -err::kENOENT);
+}
+
+TEST_F(VfsTest, MtimeAdvancesOnWrite) {
+  OpenResolution res;
+  vfs_.ResolveForOpen("/data/mt", openflag::kWriteOnly | openflag::kCreate,
+                      0644, &res);
+  StatBuf before;
+  vfs_.StatInode(res.dev, res.ino, &before);
+  clock_.AdvanceNanos(500);
+  std::uint64_t used;
+  vfs_.Write(res.dev, res.ino, 0, "x", false, &used);
+  StatBuf after;
+  vfs_.StatInode(res.dev, res.ino, &after);
+  EXPECT_GT(after.mtime_ns, before.mtime_ns);
+  vfs_.ReleaseOpenRef(res.dev, res.ino);
+}
+
+}  // namespace
+}  // namespace dio::os

@@ -1,0 +1,176 @@
+// Trace replay: capture a workload with DIO, replay it against a fresh
+// substrate, and verify the I/O pattern (operations, sizes, final file
+// state) reproduces.
+#include "service/replay.h"
+
+#include <gtest/gtest.h>
+
+#include "backend/bulk_client.h"
+#include "test_util.h"
+#include "tracer/tracer.h"
+
+namespace dio::service {
+namespace {
+
+using dio::testing::TestEnv;
+
+class ReplayTest : public ::testing::Test {
+ protected:
+  // Traces `workload` on a fresh env, returns the session store.
+  template <typename Workload>
+  void Capture(Workload&& workload) {
+    TestEnv env;
+    backend::BulkClientOptions client_options;
+    client_options.network_latency_ns = 0;
+    backend::BulkClient client(&store_, "capture", client_options);
+    tracer::TracerOptions options;
+    options.session_name = "capture";
+    options.flush_interval_ns = kMillisecond;
+    tracer::DioTracer tracer(&env.kernel, &client, options);
+    ASSERT_TRUE(tracer.Start().ok());
+    {
+      auto task = env.Bind();
+      workload(env.kernel);
+    }
+    tracer.Stop();
+  }
+
+  backend::ElasticStore store_;
+};
+
+TEST_F(ReplayTest, ReproducesFileStateAndReturnValues) {
+  Capture([](os::Kernel& k) {
+    k.sys_mkdir("/data/logs", 0755);
+    const auto fd = static_cast<os::Fd>(k.sys_openat(
+        os::kAtFdCwd, "/data/logs/app.log",
+        os::openflag::kWriteOnly | os::openflag::kCreate));
+    k.sys_write(fd, std::string(100, 'a'));
+    k.sys_write(fd, std::string(50, 'b'));
+    k.sys_fsync(fd);
+    k.sys_close(fd);
+    const auto rfd = static_cast<os::Fd>(k.sys_openat(
+        os::kAtFdCwd, "/data/logs/app.log", os::openflag::kReadOnly));
+    std::string buf;
+    k.sys_read(rfd, &buf, 64);
+    k.sys_lseek(rfd, 0, os::kSeekSet);
+    k.sys_read(rfd, &buf, 200);
+    k.sys_close(rfd);
+    k.sys_rename("/data/logs/app.log", "/data/logs/app.old");
+  });
+
+  // Fresh substrate with the same mount.
+  TestEnv replay_env;
+  TraceReplayer replayer(&replay_env.kernel, &store_, "capture");
+  auto stats = replayer.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->skipped, 0u);
+  EXPECT_GT(stats->replayed, 0u);
+  EXPECT_EQ(stats->ret_mismatches, 0u);
+  EXPECT_DOUBLE_EQ(stats->fidelity(), 1.0);
+
+  // The replayed filesystem has the same shape.
+  os::StatBuf st;
+  auto task = replay_env.Bind();
+  EXPECT_EQ(replay_env.kernel.sys_stat("/data/logs/app.old", &st), 0);
+  EXPECT_EQ(st.size, 150u);
+  EXPECT_EQ(replay_env.kernel.sys_stat("/data/logs/app.log", &st),
+            -os::err::kENOENT);
+}
+
+TEST_F(ReplayTest, ReproducesDeleteRecreatePattern) {
+  Capture([](os::Kernel& k) {
+    auto fd = static_cast<os::Fd>(k.sys_creat("/data/x", 0644));
+    k.sys_write(fd, std::string(26, 'x'));
+    k.sys_close(fd);
+    k.sys_unlink("/data/x");
+    fd = static_cast<os::Fd>(k.sys_creat("/data/x", 0644));
+    k.sys_write(fd, std::string(16, 'y'));
+    k.sys_close(fd);
+  });
+
+  TestEnv replay_env;
+  TraceReplayer replayer(&replay_env.kernel, &store_, "capture");
+  auto stats = replayer.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->ret_mismatches, 0u);
+  auto task = replay_env.Bind();
+  os::StatBuf st;
+  ASSERT_EQ(replay_env.kernel.sys_stat("/data/x", &st), 0);
+  EXPECT_EQ(st.size, 16u);  // the second generation
+}
+
+TEST_F(ReplayTest, FailedSyscallsReplayAsFailures) {
+  Capture([](os::Kernel& k) {
+    os::StatBuf st;
+    k.sys_stat("/data/missing", &st);       // -ENOENT
+    k.sys_unlink("/data/also-missing");     // -ENOENT
+    k.sys_mkdir("/data", 0755);             // -EEXIST
+  });
+
+  TestEnv replay_env;
+  TraceReplayer replayer(&replay_env.kernel, &store_, "capture");
+  auto stats = replayer.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->ret_mismatches, 0u)
+      << "replayed=" << stats->replayed << " skipped=" << stats->skipped
+      << " matches=" << stats->ret_matches;
+  EXPECT_EQ(stats->ret_matches, 3u)
+      << "replayed=" << stats->replayed << " skipped=" << stats->skipped
+      << " mismatches=" << stats->ret_mismatches;
+}
+
+TEST_F(ReplayTest, MultiProcessTraceKeepsFdSpacesSeparate) {
+  // Two traced processes interleave on the same file.
+  {
+    TestEnv env;
+    backend::BulkClientOptions client_options;
+    client_options.network_latency_ns = 0;
+    backend::BulkClient client(&store_, "capture", client_options);
+    tracer::TracerOptions options;
+    options.session_name = "capture";
+    options.flush_interval_ns = kMillisecond;
+    tracer::DioTracer tracer(&env.kernel, &client, options);
+    ASSERT_TRUE(tracer.Start().ok());
+
+    const os::Pid p1 = env.kernel.CreateProcess("writer");
+    const os::Tid t1 = env.kernel.SpawnThread(p1, "writer");
+    const os::Pid p2 = env.kernel.CreateProcess("reader");
+    const os::Tid t2 = env.kernel.SpawnThread(p2, "reader");
+    {
+      os::ScopedTask task(env.kernel, p1, t1);
+      const auto fd = static_cast<os::Fd>(env.kernel.sys_creat("/data/m", 0644));
+      env.kernel.sys_write(fd, std::string(10, 'w'));
+      {
+        os::ScopedTask inner(env.kernel, p2, t2);
+        const auto rfd = static_cast<os::Fd>(env.kernel.sys_openat(
+            os::kAtFdCwd, "/data/m", os::openflag::kReadOnly));
+        std::string buf;
+        env.kernel.sys_read(rfd, &buf, 10);
+        env.kernel.sys_close(rfd);
+      }
+      env.kernel.sys_write(fd, std::string(5, 'w'));
+      env.kernel.sys_close(fd);
+    }
+    tracer.Stop();
+  }
+
+  TestEnv replay_env;
+  TraceReplayer replayer(&replay_env.kernel, &store_, "capture");
+  auto stats = replayer.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->skipped, 0u);
+  EXPECT_EQ(stats->ret_mismatches, 0u);
+  auto task = replay_env.Bind();
+  os::StatBuf st;
+  ASSERT_EQ(replay_env.kernel.sys_stat("/data/m", &st), 0);
+  EXPECT_EQ(st.size, 15u);
+}
+
+TEST_F(ReplayTest, MissingIndexErrors) {
+  TestEnv replay_env;
+  TraceReplayer replayer(&replay_env.kernel, &store_, "ghost");
+  EXPECT_FALSE(replayer.Run().ok());
+}
+
+}  // namespace
+}  // namespace dio::service

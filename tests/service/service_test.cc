@@ -1,0 +1,148 @@
+#include "service/dio_service.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dio::service {
+namespace {
+
+using dio::testing::TestEnv;
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  tracer::TracerOptions Options(const std::string& name) {
+    tracer::TracerOptions options;
+    options.session_name = name;
+    options.flush_interval_ns = kMillisecond;
+    options.poll_interval_ns = 100 * kMicrosecond;
+    return options;
+  }
+
+  backend::BulkClientOptions FastClient() {
+    backend::BulkClientOptions options;
+    options.network_latency_ns = 0;
+    return options;
+  }
+
+  void DoIo(int writes = 5) {
+    auto task = env_.Bind();
+    const auto fd =
+        static_cast<os::Fd>(env_.kernel.sys_creat("/data/s.log", 0644));
+    for (int i = 0; i < writes; ++i) env_.kernel.sys_write(fd, "x");
+    env_.kernel.sys_close(fd);
+    env_.kernel.sys_unlink("/data/s.log");
+  }
+
+  TestEnv env_;
+  backend::ElasticStore store_;
+};
+
+TEST_F(ServiceTest, SessionLifecycle) {
+  DioService service(&env_.kernel, &store_);
+  auto started = service.StartSession(Options("run-1"), "alice", FastClient());
+  ASSERT_TRUE(started.ok());
+  EXPECT_TRUE(started->active);
+  EXPECT_EQ(started->owner, "alice");
+  EXPECT_GT(started->started_at, 0);
+
+  DoIo();
+  ASSERT_TRUE(service.StopSession("run-1").ok());
+  auto info = service.GetSession("run-1");
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info->active);
+  EXPECT_GE(info->stopped_at, info->started_at);
+  EXPECT_EQ(info->events_emitted, 8u);  // creat + 5 writes + close + unlink
+  EXPECT_EQ(*store_.Count("run-1", backend::Query::MatchAll()), 8u);
+}
+
+TEST_F(ServiceTest, DuplicateNamesRejected) {
+  DioService service(&env_.kernel, &store_);
+  ASSERT_TRUE(service.StartSession(Options("dup"), "", FastClient()).ok());
+  EXPECT_FALSE(service.StartSession(Options("dup"), "", FastClient()).ok());
+  service.StopSession("dup");
+  // Still rejected after stop: the backend index persists (post-mortem).
+  EXPECT_FALSE(service.StartSession(Options("dup"), "", FastClient()).ok());
+  EXPECT_FALSE(service.StartSession(Options(""), "", FastClient()).ok());
+}
+
+TEST_F(ServiceTest, ConcurrentSessionsFromDistinctUsers) {
+  DioService service(&env_.kernel, &store_);
+  ASSERT_TRUE(service.StartSession(Options("alice-run"), "alice",
+                                   FastClient()).ok());
+  ASSERT_TRUE(service.StartSession(Options("bob-run"), "bob",
+                                   FastClient()).ok());
+  DoIo(3);
+  service.StopAll();
+  auto sessions = service.ListSessions();
+  ASSERT_EQ(sessions.size(), 2u);
+  // Both sessions observed the same kernel activity (no per-session filters).
+  for (const SessionInfo& info : sessions) {
+    EXPECT_FALSE(info.active);
+    EXPECT_EQ(info.events_emitted, 6u);
+  }
+}
+
+TEST_F(ServiceTest, StopUnknownOrTwiceFails) {
+  DioService service(&env_.kernel, &store_);
+  EXPECT_FALSE(service.StopSession("ghost").ok());
+  ASSERT_TRUE(service.StartSession(Options("once"), "", FastClient()).ok());
+  ASSERT_TRUE(service.StopSession("once").ok());
+  EXPECT_FALSE(service.StopSession("once").ok());
+}
+
+TEST_F(ServiceTest, CorrelateAndDiagnoseThroughService) {
+  DioService service(&env_.kernel, &store_);
+  ASSERT_TRUE(service.StartSession(Options("diag"), "", FastClient()).ok());
+  {
+    auto task = env_.Bind();
+    const auto fd =
+        static_cast<os::Fd>(env_.kernel.sys_creat("/data/d.log", 0644));
+    for (int i = 0; i < 100; ++i) env_.kernel.sys_write(fd, "tiny");
+    env_.kernel.sys_close(fd);
+  }
+  ASSERT_TRUE(service.StopSession("diag").ok());
+
+  auto correlation = service.Correlate("diag");
+  ASSERT_TRUE(correlation.ok());
+  EXPECT_GT(correlation->events_updated, 0u);
+
+  auto findings = service.Diagnose("diag");
+  ASSERT_TRUE(findings.ok());
+  bool small_io = false;
+  for (const backend::Finding& finding : *findings) {
+    if (finding.detector == "small-io") small_io = true;
+  }
+  EXPECT_TRUE(small_io);
+
+  EXPECT_FALSE(service.Correlate("ghost").ok());
+}
+
+TEST_F(ServiceTest, SessionInfoJson) {
+  SessionInfo info;
+  info.name = "s";
+  info.owner = "alice";
+  info.active = true;
+  info.events_emitted = 42;
+  const Json j = info.ToJson();
+  EXPECT_EQ(j.GetString("name"), "s");
+  EXPECT_EQ(j.GetString("owner"), "alice");
+  EXPECT_TRUE(j.GetBool("active"));
+  EXPECT_EQ(j.GetInt("events_emitted"), 42);
+}
+
+TEST_F(ServiceTest, DestructorStopsLiveSessions) {
+  {
+    DioService service(&env_.kernel, &store_);
+    ASSERT_TRUE(
+        service.StartSession(Options("auto-stop"), "", FastClient()).ok());
+    DoIo(2);
+  }
+  // The tracer detached cleanly: further syscalls are not traced.
+  DoIo(2);
+  store_.Refresh("auto-stop");
+  EXPECT_EQ(*store_.Count("auto-stop", backend::Query::MatchAll()), 5u);
+}
+
+}  // namespace
+}  // namespace dio::service

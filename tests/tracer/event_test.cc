@@ -1,0 +1,162 @@
+#include "tracer/event.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace dio::tracer {
+namespace {
+
+Event SampleEvent() {
+  Event event;
+  event.nr = os::SyscallNr::kOpenat;
+  event.pid = 1001;
+  event.tid = 1002;
+  event.comm = "fluent-bit";
+  event.proc_name = "fluent-bit";
+  event.time_enter = 1'679'308'382'363'981'568LL;
+  event.time_exit = 1'679'308'382'364'000'000LL;
+  event.ret = 23;
+  event.cpu = 2;
+  event.path = "/tmp/app.log";
+  event.count = 26;
+  event.flags = os::openflag::kReadOnly;
+  event.file_type = os::FileType::kRegular;
+  event.file_offset = 26;
+  event.tag = {true, 7340032, 12, 2156997363734041LL};
+  return event;
+}
+
+TEST(FileTagTest, ToKeyFormat) {
+  FileTag tag{true, 7340032, 12, 2156997363734041LL};
+  EXPECT_EQ(tag.ToKey(), "7340032|12|2156997363734041");
+}
+
+TEST(EventSerializationTest, RoundTripAllFields) {
+  const Event original = SampleEvent();
+  std::vector<std::byte> wire;
+  SerializeEvent(original, &wire);
+  auto decoded = DeserializeEvent(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->nr, original.nr);
+  EXPECT_EQ(decoded->pid, original.pid);
+  EXPECT_EQ(decoded->tid, original.tid);
+  EXPECT_EQ(decoded->comm, original.comm);
+  EXPECT_EQ(decoded->proc_name, original.proc_name);
+  EXPECT_EQ(decoded->time_enter, original.time_enter);
+  EXPECT_EQ(decoded->time_exit, original.time_exit);
+  EXPECT_EQ(decoded->ret, original.ret);
+  EXPECT_EQ(decoded->cpu, original.cpu);
+  EXPECT_EQ(decoded->path, original.path);
+  EXPECT_EQ(decoded->count, original.count);
+  EXPECT_EQ(decoded->file_type, original.file_type);
+  EXPECT_EQ(decoded->file_offset, original.file_offset);
+  EXPECT_EQ(decoded->tag, original.tag);
+}
+
+TEST(EventSerializationTest, RejectsTruncatedRecords) {
+  std::vector<std::byte> wire;
+  SerializeEvent(SampleEvent(), &wire);
+  for (std::size_t len : {std::size_t{0}, std::size_t{4}, wire.size() - 1}) {
+    auto decoded =
+        DeserializeEvent(std::span<const std::byte>(wire.data(), len));
+    EXPECT_FALSE(decoded.ok()) << "len=" << len;
+  }
+}
+
+TEST(EventSerializationTest, RejectsBadSyscallNumber) {
+  std::vector<std::byte> wire;
+  SerializeEvent(SampleEvent(), &wire);
+  wire[0] = std::byte{255};
+  EXPECT_FALSE(DeserializeEvent(wire).ok());
+}
+
+// Property: random events survive the wire format byte-exactly.
+class EventRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventRoundTrip, RandomizedEventsRoundTrip) {
+  Random rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    Event event;
+    event.nr = static_cast<os::SyscallNr>(rng.Uniform(os::kNumSyscalls));
+    event.pid = static_cast<os::Pid>(rng.Uniform(100000));
+    event.tid = static_cast<os::Tid>(rng.Uniform(100000));
+    event.ret = static_cast<std::int64_t>(rng.Next());
+    event.time_enter = static_cast<Nanos>(rng.Next() >> 1);
+    event.time_exit = event.time_enter + static_cast<Nanos>(rng.Uniform(1000));
+    event.cpu = static_cast<int>(rng.Uniform(64));
+    event.count = rng.Uniform(1 << 20);
+    event.arg_offset = static_cast<std::int64_t>(rng.Uniform(1 << 30)) - 1;
+    event.whence = static_cast<int>(rng.Uniform(4)) - 1;
+    event.flags = static_cast<std::uint32_t>(rng.Next());
+    event.mode = static_cast<std::uint32_t>(rng.Next());
+    event.file_offset = static_cast<std::int64_t>(rng.Uniform(1 << 30)) - 1;
+    std::string path;
+    for (std::uint64_t j = 0; j < rng.Uniform(64); ++j) {
+      path.push_back(static_cast<char>('a' + rng.Uniform(26)));
+    }
+    event.path = path;
+    event.comm = "c" + std::to_string(rng.Uniform(1000));
+    event.tag.valid = rng.OneIn(2);
+    event.tag.dev = rng.Next();
+    event.tag.ino = rng.Next();
+    event.tag.first_access_ts = static_cast<Nanos>(rng.Next() >> 1);
+
+    std::vector<std::byte> wire;
+    SerializeEvent(event, &wire);
+    auto decoded = DeserializeEvent(wire);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->path, event.path);
+    EXPECT_EQ(decoded->ret, event.ret);
+    EXPECT_EQ(decoded->tag, event.tag);
+    EXPECT_EQ(decoded->comm, event.comm);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventRoundTrip, ::testing::Values(1, 2, 3));
+
+TEST(EventJsonTest, CoreFieldsPresent) {
+  const Json doc = SampleEvent().ToJson("session-1");
+  EXPECT_EQ(doc.GetString("session"), "session-1");
+  EXPECT_EQ(doc.GetString("syscall"), "openat");
+  EXPECT_EQ(doc.GetString("category"), "metadata");
+  EXPECT_EQ(doc.GetInt("pid"), 1001);
+  EXPECT_EQ(doc.GetInt("tid"), 1002);
+  EXPECT_EQ(doc.GetString("comm"), "fluent-bit");
+  EXPECT_EQ(doc.GetInt("ret"), 23);
+  EXPECT_EQ(doc.GetInt("time_enter"), 1'679'308'382'363'981'568LL);
+  EXPECT_EQ(doc.GetInt("duration_ns"),
+            1'679'308'382'364'000'000LL - 1'679'308'382'363'981'568LL);
+  EXPECT_EQ(doc.GetString("path"), "/tmp/app.log");
+  EXPECT_EQ(doc.GetString("file_type"), "regular");
+  EXPECT_EQ(doc.GetInt("file_offset"), 26);
+  EXPECT_EQ(doc.GetString("file_tag"), "7340032|12|2156997363734041");
+  EXPECT_EQ(doc.GetInt("tag_ino"), 12);
+}
+
+TEST(EventJsonTest, OptionalFieldsOmittedWhenUnset) {
+  Event event;
+  event.nr = os::SyscallNr::kClose;
+  event.comm = "t";
+  const Json doc = event.ToJson("s");
+  EXPECT_FALSE(doc.Has("path"));
+  EXPECT_FALSE(doc.Has("file_tag"));
+  EXPECT_FALSE(doc.Has("file_offset"));
+  EXPECT_FALSE(doc.Has("whence"));
+  EXPECT_FALSE(doc.Has("xattr_name"));
+  EXPECT_FALSE(doc.Has("file_type"));
+}
+
+TEST(EventJsonTest, LseekCarriesWhence) {
+  Event event;
+  event.nr = os::SyscallNr::kLseek;
+  event.whence = os::kSeekSet;
+  event.file_offset = 26;
+  const Json doc = event.ToJson("s");
+  EXPECT_EQ(doc.GetInt("whence"), 0);
+  EXPECT_EQ(doc.GetInt("file_offset"), 26);
+  EXPECT_EQ(doc.GetString("category"), "data");
+}
+
+}  // namespace
+}  // namespace dio::tracer

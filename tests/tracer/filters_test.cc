@@ -1,0 +1,68 @@
+#include "tracer/filters.h"
+
+#include <gtest/gtest.h>
+
+namespace dio::tracer {
+namespace {
+
+TEST(FiltersTest, EmptyConfigMatchesEverything) {
+  Filters filters{FilterConfig{}};
+  EXPECT_TRUE(filters.MatchSyscall(os::SyscallNr::kRead));
+  EXPECT_TRUE(filters.MatchTask(1, 2));
+  EXPECT_TRUE(filters.MatchPath("/anything"));
+  EXPECT_TRUE(filters.MatchPath(""));
+  EXPECT_FALSE(filters.has_path_filter());
+}
+
+TEST(FiltersTest, SyscallSetRestricts) {
+  FilterConfig config;
+  config.syscalls = {os::SyscallNr::kOpenat, os::SyscallNr::kRead};
+  Filters filters{config};
+  EXPECT_TRUE(filters.MatchSyscall(os::SyscallNr::kOpenat));
+  EXPECT_FALSE(filters.MatchSyscall(os::SyscallNr::kWrite));
+}
+
+TEST(FiltersTest, PidTidFiltersIntersect) {
+  FilterConfig config;
+  config.pids = {100};
+  config.tids = {200, 201};
+  Filters filters{config};
+  EXPECT_TRUE(filters.MatchTask(100, 200));
+  EXPECT_TRUE(filters.MatchTask(100, 201));
+  EXPECT_FALSE(filters.MatchTask(100, 999));  // tid not listed
+  EXPECT_FALSE(filters.MatchTask(999, 200));  // pid not listed
+}
+
+TEST(FiltersTest, PidOnlyFilter) {
+  FilterConfig config;
+  config.pids = {7, 8};
+  Filters filters{config};
+  EXPECT_TRUE(filters.MatchTask(7, 12345));
+  EXPECT_TRUE(filters.MatchTask(8, 1));
+  EXPECT_FALSE(filters.MatchTask(9, 1));
+}
+
+TEST(FiltersTest, PathPrefixSemantics) {
+  FilterConfig config;
+  config.path_prefixes = {"/tmp/logs", "/data/db/"};
+  Filters filters{config};
+  EXPECT_TRUE(filters.MatchPath("/tmp/logs"));            // exact
+  EXPECT_TRUE(filters.MatchPath("/tmp/logs/a.log"));      // child
+  EXPECT_FALSE(filters.MatchPath("/tmp/logs2/a.log"));    // sibling prefix
+  EXPECT_TRUE(filters.MatchPath("/data/db/sst_1.sst"));   // trailing-slash prefix
+  EXPECT_FALSE(filters.MatchPath("/data/dbx"));
+  EXPECT_FALSE(filters.MatchPath("/other"));
+  // With a path filter active, pathless events are rejected.
+  EXPECT_FALSE(filters.MatchPath(""));
+  EXPECT_TRUE(filters.has_path_filter());
+}
+
+TEST(FiltersTest, EmptyReportsCorrectly) {
+  EXPECT_TRUE(FilterConfig{}.empty());
+  FilterConfig config;
+  config.pids = {1};
+  EXPECT_FALSE(config.empty());
+}
+
+}  // namespace
+}  // namespace dio::tracer

@@ -1,0 +1,160 @@
+// Concurrency stress: many application threads issuing syscalls while DIO
+// traces. Invariants: accounting adds up exactly, every emitted document is
+// well-formed, per-thread event streams are time-ordered, and nothing is
+// lost when the ring is big enough.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "test_util.h"
+#include "tracer/tracer.h"
+
+namespace dio::tracer {
+namespace {
+
+using dio::testing::TestEnv;
+
+class CountingSink : public EventSink {
+ public:
+  void IndexBatch(std::vector<Json> documents) override {
+    std::scoped_lock lock(mu_);
+    for (Json& doc : documents) docs_.push_back(std::move(doc));
+  }
+  [[nodiscard]] std::vector<Json> docs() const {
+    std::scoped_lock lock(mu_);
+    return docs_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Json> docs_;
+};
+
+class TracerStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(TracerStress, AccountingExactUnderConcurrency) {
+  const int num_threads = GetParam();
+  constexpr int kOpsPerThread = 1500;
+
+  TestEnv env;
+  CountingSink sink;
+  TracerOptions options;
+  options.session_name = "stress";
+  options.ring_bytes_per_cpu = 64u << 20;  // no drops wanted
+  options.poll_interval_ns = 100 * kMicrosecond;
+  DioTracer tracer(&env.kernel, &sink, options);
+  ASSERT_TRUE(tracer.Start().ok());
+
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&env, t] {
+      const os::Pid pid = env.kernel.CreateProcess("app" + std::to_string(t));
+      const os::Tid tid = env.kernel.SpawnThread(pid, "app" + std::to_string(t));
+      os::ScopedTask task(env.kernel, pid, tid);
+      const std::string path = "/data/stress" + std::to_string(t);
+      const auto fd = static_cast<os::Fd>(env.kernel.sys_creat(path, 0644));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        switch (i % 4) {
+          case 0:
+            env.kernel.sys_write(fd, "x");
+            break;
+          case 1: {
+            std::string buf;
+            env.kernel.sys_pread64(fd, &buf, 1, 0);
+            break;
+          }
+          case 2: {
+            os::StatBuf st;
+            env.kernel.sys_fstat(fd, &st);
+            break;
+          }
+          case 3:
+            env.kernel.sys_lseek(fd, 0, os::kSeekSet);
+            break;
+        }
+      }
+      env.kernel.sys_close(fd);
+      env.kernel.ExitProcess(pid);
+    });
+  }
+  threads.clear();  // join
+  tracer.Stop();
+
+  const TracerStats stats = tracer.stats();
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(num_threads) * (kOpsPerThread + 2);
+  EXPECT_EQ(stats.enter_hits, expected);
+  EXPECT_EQ(stats.exit_hits, expected);
+  EXPECT_EQ(stats.pending_overflow, 0u);
+  EXPECT_EQ(stats.unmatched_exit, 0u);
+  EXPECT_EQ(stats.ring_dropped, 0u);
+  EXPECT_EQ(stats.ring_pushed, expected);
+  EXPECT_EQ(stats.emitted, expected);
+  EXPECT_EQ(stats.decode_errors, 0u);
+
+  // Per-thread streams: time-ordered, correct comm attribution, and exactly
+  // the expected per-thread event count.
+  std::map<std::int64_t, std::vector<Json>> per_tid;
+  for (const Json& doc : sink.docs()) {
+    per_tid[doc.GetInt("tid")].push_back(doc);
+  }
+  EXPECT_EQ(per_tid.size(), static_cast<std::size_t>(num_threads));
+  for (const auto& [tid, docs] : per_tid) {
+    EXPECT_EQ(docs.size(), static_cast<std::size_t>(kOpsPerThread + 2));
+    std::int64_t last = 0;
+    const std::string comm = docs.front().GetString("comm");
+    for (const Json& doc : docs) {
+      EXPECT_GE(doc.GetInt("time_enter"), last);
+      last = doc.GetInt("time_enter");
+      EXPECT_EQ(doc.GetString("comm"), comm);
+      EXPECT_LE(doc.GetInt("time_enter"), doc.GetInt("time_exit"));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, TracerStress, ::testing::Values(2, 4, 8));
+
+TEST(TracerStressTest, StartStopCyclesUnderLoad) {
+  TestEnv env;
+  CountingSink sink;
+  std::atomic<bool> stop{false};
+  std::jthread worker([&] {
+    const os::Pid pid = env.kernel.CreateProcess("churn");
+    const os::Tid tid = env.kernel.SpawnThread(pid, "churn");
+    os::ScopedTask task(env.kernel, pid, tid);
+    const auto fd = static_cast<os::Fd>(env.kernel.sys_creat("/data/c", 0644));
+    while (!stop.load()) env.kernel.sys_write(fd, "y");
+    env.kernel.sys_close(fd);
+  });
+
+  // Attach/detach repeatedly while syscalls are in flight.
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    TracerOptions options;
+    options.session_name = "cycle" + std::to_string(cycle);
+    options.ring_bytes_per_cpu = 16u << 20;
+    DioTracer tracer(&env.kernel, &sink, options);
+    ASSERT_TRUE(tracer.Start().ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    tracer.Stop();
+    const TracerStats stats = tracer.stats();
+    // Syscalls racing attach/detach legitimately produce unmatched exits
+    // (enter link not yet attached, or already detached, while the exit
+    // link is live) — the count is small but unbounded, so only the hard
+    // invariants are asserted: no corruption, full drain, and exits never
+    // exceeding the workload's syscall count.
+    EXPECT_LT(stats.unmatched_exit, stats.exit_hits + 1);
+    EXPECT_EQ(stats.decode_errors, 0u);
+    EXPECT_EQ(stats.emitted, stats.ring_pushed);  // drained on Stop()
+    // Every exit is accounted for exactly once: it either became an
+    // emitted event, was dropped at the ring, or had no pending entry
+    // (attach/detach race or pending-map overflow).
+    EXPECT_EQ(stats.emitted + stats.ring_dropped + stats.unmatched_exit,
+              stats.exit_hits);
+  }
+  stop.store(true);
+}
+
+}  // namespace
+}  // namespace dio::tracer

@@ -1,0 +1,86 @@
+#include "viz/html_report.h"
+
+#include <gtest/gtest.h>
+
+namespace dio::viz {
+namespace {
+
+TEST(HtmlReportTest, BuildsWellFormedDocument) {
+  HtmlReport report("DIO session report");
+  report.AddHeading("Overview");
+  report.AddParagraph("Session traced 42 events.");
+  const std::string html = report.Build();
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("<h1>DIO session report</h1>"), std::string::npos);
+  EXPECT_NE(html.find("<h2>Overview</h2>"), std::string::npos);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+}
+
+TEST(HtmlReportTest, EscapesUserContent) {
+  HtmlReport report("<script>alert(1)</script>");
+  report.AddParagraph("a < b & \"c\"");
+  const std::string html = report.Build();
+  EXPECT_EQ(html.find("<script>alert"), std::string::npos);
+  EXPECT_NE(html.find("&lt;script&gt;"), std::string::npos);
+  EXPECT_NE(html.find("a &lt; b &amp; &quot;c&quot;"), std::string::npos);
+}
+
+TEST(HtmlReportTest, TableRendersHeadersAndCells) {
+  TableView table;
+  table.AddColumn(TableView::TextColumn("syscall", "syscall"));
+  table.AddColumn(TableView::IntColumn("ret", "ret"));
+  Json doc = Json::MakeObject();
+  doc.Set("syscall", "openat");
+  doc.Set("ret", 3);
+  table.AddRow(doc);
+
+  HtmlReport report("r");
+  report.AddTable("events", table);
+  const std::string html = report.Build();
+  EXPECT_NE(html.find("<th>syscall</th>"), std::string::npos);
+  EXPECT_NE(html.find("<td>openat</td>"), std::string::npos);
+  EXPECT_NE(html.find("<td>3</td>"), std::string::npos);
+  EXPECT_NE(html.find("<figcaption>events</figcaption>"), std::string::npos);
+}
+
+TEST(HtmlReportTest, LineChartEmitsSvgPolylines) {
+  Series a;
+  a.name = "db_bench";
+  a.points = {{0, 1.0}, {100, 5.0}, {200, 2.0}};
+  Series b;
+  b.name = "rocksdb:low0";
+  b.points = {{0, 0.0}, {100, 3.0}};
+  HtmlReport report("r");
+  report.AddLineChart("p99 over time", {a, b});
+  const std::string html = report.Build();
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  const std::size_t first = html.find("<polyline");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(html.find("<polyline", first + 1), std::string::npos);
+  EXPECT_NE(html.find("db_bench"), std::string::npos);
+}
+
+TEST(HtmlReportTest, FindingsStyledBySeverity) {
+  backend::Finding finding;
+  finding.detector = "stale-offset";
+  finding.severity = "critical";
+  finding.file_path = "/data/app.log";
+  finding.message = "data loss";
+  HtmlReport report("r");
+  report.AddFindings("detectors", {finding});
+  report.AddFindings("empty", {});
+  const std::string html = report.Build();
+  EXPECT_NE(html.find("class=\"critical\""), std::string::npos);
+  EXPECT_NE(html.find("stale-offset"), std::string::npos);
+  EXPECT_NE(html.find("no findings"), std::string::npos);
+}
+
+TEST(HtmlReportTest, EmptySeriesListStillValid) {
+  HtmlReport report("r");
+  report.AddLineChart("nothing", {});
+  const std::string html = report.Build();
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dio::viz
