@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_aggregation.dir/ab_aggregation.cpp.o"
+  "CMakeFiles/ab_aggregation.dir/ab_aggregation.cpp.o.d"
+  "ab_aggregation"
+  "ab_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_batch.dir/ab_batch.cpp.o"
+  "CMakeFiles/ab_batch.dir/ab_batch.cpp.o.d"
+  "ab_batch"
+  "ab_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_filters.dir/ab_filters.cpp.o"
+  "CMakeFiles/ab_filters.dir/ab_filters.cpp.o.d"
+  "ab_filters"
+  "ab_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_ringsize.dir/ab_ringsize.cpp.o"
+  "CMakeFiles/ab_ringsize.dir/ab_ringsize.cpp.o.d"
+  "ab_ringsize"
+  "ab_ringsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_ringsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d_event_discard.dir/d_event_discard.cpp.o"
+  "CMakeFiles/d_event_discard.dir/d_event_discard.cpp.o.d"
+  "d_event_discard"
+  "d_event_discard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d_event_discard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

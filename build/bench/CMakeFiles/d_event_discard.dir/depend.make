@@ -1,0 +1,2 @@
+# Empty dependencies file for d_event_discard.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_fluentbit.dir/fig2_fluentbit.cpp.o"
+  "CMakeFiles/fig2_fluentbit.dir/fig2_fluentbit.cpp.o.d"
+  "fig2_fluentbit"
+  "fig2_fluentbit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_fluentbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

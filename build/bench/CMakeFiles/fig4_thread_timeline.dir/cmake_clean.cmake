@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_thread_timeline.dir/fig4_thread_timeline.cpp.o"
+  "CMakeFiles/fig4_thread_timeline.dir/fig4_thread_timeline.cpp.o.d"
+  "fig4_thread_timeline"
+  "fig4_thread_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_thread_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

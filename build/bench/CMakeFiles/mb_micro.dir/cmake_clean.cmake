@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mb_micro.dir/mb_micro.cpp.o"
+  "CMakeFiles/mb_micro.dir/mb_micro.cpp.o.d"
+  "mb_micro"
+  "mb_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mb_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

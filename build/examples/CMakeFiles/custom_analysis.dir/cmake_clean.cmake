@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_analysis.dir/custom_analysis.cpp.o"
+  "CMakeFiles/custom_analysis.dir/custom_analysis.cpp.o.d"
+  "custom_analysis"
+  "custom_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filtered_tracing.dir/filtered_tracing.cpp.o"
+  "CMakeFiles/filtered_tracing.dir/filtered_tracing.cpp.o.d"
+  "filtered_tracing"
+  "filtered_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filtered_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

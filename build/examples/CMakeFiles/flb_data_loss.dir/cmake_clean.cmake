@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flb_data_loss.dir/flb_data_loss.cpp.o"
+  "CMakeFiles/flb_data_loss.dir/flb_data_loss.cpp.o.d"
+  "flb_data_loss"
+  "flb_data_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flb_data_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

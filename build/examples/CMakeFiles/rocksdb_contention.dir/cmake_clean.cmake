@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocksdb_contention.dir/rocksdb_contention.cpp.o"
+  "CMakeFiles/rocksdb_contention.dir/rocksdb_contention.cpp.o.d"
+  "rocksdb_contention"
+  "rocksdb_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocksdb_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_mode.dir/service_mode.cpp.o"
+  "CMakeFiles/service_mode.dir/service_mode.cpp.o.d"
+  "service_mode"
+  "service_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/dbbench/db_bench.cc" "src/apps/CMakeFiles/dio_apps.dir/dbbench/db_bench.cc.o" "gcc" "src/apps/CMakeFiles/dio_apps.dir/dbbench/db_bench.cc.o.d"
+  "/root/repo/src/apps/flb/fluentbit.cc" "src/apps/CMakeFiles/dio_apps.dir/flb/fluentbit.cc.o" "gcc" "src/apps/CMakeFiles/dio_apps.dir/flb/fluentbit.cc.o.d"
+  "/root/repo/src/apps/flb/log_client.cc" "src/apps/CMakeFiles/dio_apps.dir/flb/log_client.cc.o" "gcc" "src/apps/CMakeFiles/dio_apps.dir/flb/log_client.cc.o.d"
+  "/root/repo/src/apps/lsmkv/db.cc" "src/apps/CMakeFiles/dio_apps.dir/lsmkv/db.cc.o" "gcc" "src/apps/CMakeFiles/dio_apps.dir/lsmkv/db.cc.o.d"
+  "/root/repo/src/apps/lsmkv/sstable.cc" "src/apps/CMakeFiles/dio_apps.dir/lsmkv/sstable.cc.o" "gcc" "src/apps/CMakeFiles/dio_apps.dir/lsmkv/sstable.cc.o.d"
+  "/root/repo/src/apps/lsmkv/wal.cc" "src/apps/CMakeFiles/dio_apps.dir/lsmkv/wal.cc.o" "gcc" "src/apps/CMakeFiles/dio_apps.dir/lsmkv/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/oskernel/CMakeFiles/dio_oskernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

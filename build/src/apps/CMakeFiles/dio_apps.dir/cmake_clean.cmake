@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dio_apps.dir/dbbench/db_bench.cc.o"
+  "CMakeFiles/dio_apps.dir/dbbench/db_bench.cc.o.d"
+  "CMakeFiles/dio_apps.dir/flb/fluentbit.cc.o"
+  "CMakeFiles/dio_apps.dir/flb/fluentbit.cc.o.d"
+  "CMakeFiles/dio_apps.dir/flb/log_client.cc.o"
+  "CMakeFiles/dio_apps.dir/flb/log_client.cc.o.d"
+  "CMakeFiles/dio_apps.dir/lsmkv/db.cc.o"
+  "CMakeFiles/dio_apps.dir/lsmkv/db.cc.o.d"
+  "CMakeFiles/dio_apps.dir/lsmkv/sstable.cc.o"
+  "CMakeFiles/dio_apps.dir/lsmkv/sstable.cc.o.d"
+  "CMakeFiles/dio_apps.dir/lsmkv/wal.cc.o"
+  "CMakeFiles/dio_apps.dir/lsmkv/wal.cc.o.d"
+  "libdio_apps.a"
+  "libdio_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dio_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

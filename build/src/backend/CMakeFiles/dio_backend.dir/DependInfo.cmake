@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/aggregation.cc" "src/backend/CMakeFiles/dio_backend.dir/aggregation.cc.o" "gcc" "src/backend/CMakeFiles/dio_backend.dir/aggregation.cc.o.d"
+  "/root/repo/src/backend/bulk_client.cc" "src/backend/CMakeFiles/dio_backend.dir/bulk_client.cc.o" "gcc" "src/backend/CMakeFiles/dio_backend.dir/bulk_client.cc.o.d"
+  "/root/repo/src/backend/correlation.cc" "src/backend/CMakeFiles/dio_backend.dir/correlation.cc.o" "gcc" "src/backend/CMakeFiles/dio_backend.dir/correlation.cc.o.d"
+  "/root/repo/src/backend/detectors.cc" "src/backend/CMakeFiles/dio_backend.dir/detectors.cc.o" "gcc" "src/backend/CMakeFiles/dio_backend.dir/detectors.cc.o.d"
+  "/root/repo/src/backend/query.cc" "src/backend/CMakeFiles/dio_backend.dir/query.cc.o" "gcc" "src/backend/CMakeFiles/dio_backend.dir/query.cc.o.d"
+  "/root/repo/src/backend/store.cc" "src/backend/CMakeFiles/dio_backend.dir/store.cc.o" "gcc" "src/backend/CMakeFiles/dio_backend.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracer/CMakeFiles/dio_tracer.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/dio_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/oskernel/CMakeFiles/dio_oskernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dio_backend.dir/aggregation.cc.o"
+  "CMakeFiles/dio_backend.dir/aggregation.cc.o.d"
+  "CMakeFiles/dio_backend.dir/bulk_client.cc.o"
+  "CMakeFiles/dio_backend.dir/bulk_client.cc.o.d"
+  "CMakeFiles/dio_backend.dir/correlation.cc.o"
+  "CMakeFiles/dio_backend.dir/correlation.cc.o.d"
+  "CMakeFiles/dio_backend.dir/detectors.cc.o"
+  "CMakeFiles/dio_backend.dir/detectors.cc.o.d"
+  "CMakeFiles/dio_backend.dir/query.cc.o"
+  "CMakeFiles/dio_backend.dir/query.cc.o.d"
+  "CMakeFiles/dio_backend.dir/store.cc.o"
+  "CMakeFiles/dio_backend.dir/store.cc.o.d"
+  "libdio_backend.a"
+  "libdio_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dio_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dio_baselines.dir/baseline.cc.o"
+  "CMakeFiles/dio_baselines.dir/baseline.cc.o.d"
+  "CMakeFiles/dio_baselines.dir/dio_adapter.cc.o"
+  "CMakeFiles/dio_baselines.dir/dio_adapter.cc.o.d"
+  "CMakeFiles/dio_baselines.dir/strace_sim.cc.o"
+  "CMakeFiles/dio_baselines.dir/strace_sim.cc.o.d"
+  "CMakeFiles/dio_baselines.dir/sysdig_sim.cc.o"
+  "CMakeFiles/dio_baselines.dir/sysdig_sim.cc.o.d"
+  "libdio_baselines.a"
+  "libdio_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dio_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

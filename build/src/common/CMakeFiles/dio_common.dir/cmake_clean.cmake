@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dio_common.dir/clock.cc.o"
+  "CMakeFiles/dio_common.dir/clock.cc.o.d"
+  "CMakeFiles/dio_common.dir/config.cc.o"
+  "CMakeFiles/dio_common.dir/config.cc.o.d"
+  "CMakeFiles/dio_common.dir/histogram.cc.o"
+  "CMakeFiles/dio_common.dir/histogram.cc.o.d"
+  "CMakeFiles/dio_common.dir/json.cc.o"
+  "CMakeFiles/dio_common.dir/json.cc.o.d"
+  "CMakeFiles/dio_common.dir/latency_recorder.cc.o"
+  "CMakeFiles/dio_common.dir/latency_recorder.cc.o.d"
+  "CMakeFiles/dio_common.dir/logging.cc.o"
+  "CMakeFiles/dio_common.dir/logging.cc.o.d"
+  "CMakeFiles/dio_common.dir/ring_buffer.cc.o"
+  "CMakeFiles/dio_common.dir/ring_buffer.cc.o.d"
+  "CMakeFiles/dio_common.dir/status.cc.o"
+  "CMakeFiles/dio_common.dir/status.cc.o.d"
+  "CMakeFiles/dio_common.dir/string_util.cc.o"
+  "CMakeFiles/dio_common.dir/string_util.cc.o.d"
+  "CMakeFiles/dio_common.dir/thread_pool.cc.o"
+  "CMakeFiles/dio_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/dio_common.dir/zipfian.cc.o"
+  "CMakeFiles/dio_common.dir/zipfian.cc.o.d"
+  "libdio_common.a"
+  "libdio_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dio_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

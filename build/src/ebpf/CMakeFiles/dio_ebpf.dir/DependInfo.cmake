@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ebpf/program.cc" "src/ebpf/CMakeFiles/dio_ebpf.dir/program.cc.o" "gcc" "src/ebpf/CMakeFiles/dio_ebpf.dir/program.cc.o.d"
+  "/root/repo/src/ebpf/verifier.cc" "src/ebpf/CMakeFiles/dio_ebpf.dir/verifier.cc.o" "gcc" "src/ebpf/CMakeFiles/dio_ebpf.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/oskernel/CMakeFiles/dio_oskernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dio_ebpf.dir/program.cc.o"
+  "CMakeFiles/dio_ebpf.dir/program.cc.o.d"
+  "CMakeFiles/dio_ebpf.dir/verifier.cc.o"
+  "CMakeFiles/dio_ebpf.dir/verifier.cc.o.d"
+  "libdio_ebpf.a"
+  "libdio_ebpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dio_ebpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

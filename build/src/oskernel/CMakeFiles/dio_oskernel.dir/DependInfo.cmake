@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oskernel/disk.cc" "src/oskernel/CMakeFiles/dio_oskernel.dir/disk.cc.o" "gcc" "src/oskernel/CMakeFiles/dio_oskernel.dir/disk.cc.o.d"
+  "/root/repo/src/oskernel/inode.cc" "src/oskernel/CMakeFiles/dio_oskernel.dir/inode.cc.o" "gcc" "src/oskernel/CMakeFiles/dio_oskernel.dir/inode.cc.o.d"
+  "/root/repo/src/oskernel/kernel.cc" "src/oskernel/CMakeFiles/dio_oskernel.dir/kernel.cc.o" "gcc" "src/oskernel/CMakeFiles/dio_oskernel.dir/kernel.cc.o.d"
+  "/root/repo/src/oskernel/process.cc" "src/oskernel/CMakeFiles/dio_oskernel.dir/process.cc.o" "gcc" "src/oskernel/CMakeFiles/dio_oskernel.dir/process.cc.o.d"
+  "/root/repo/src/oskernel/syscall_nr.cc" "src/oskernel/CMakeFiles/dio_oskernel.dir/syscall_nr.cc.o" "gcc" "src/oskernel/CMakeFiles/dio_oskernel.dir/syscall_nr.cc.o.d"
+  "/root/repo/src/oskernel/tracepoint.cc" "src/oskernel/CMakeFiles/dio_oskernel.dir/tracepoint.cc.o" "gcc" "src/oskernel/CMakeFiles/dio_oskernel.dir/tracepoint.cc.o.d"
+  "/root/repo/src/oskernel/types.cc" "src/oskernel/CMakeFiles/dio_oskernel.dir/types.cc.o" "gcc" "src/oskernel/CMakeFiles/dio_oskernel.dir/types.cc.o.d"
+  "/root/repo/src/oskernel/vfs.cc" "src/oskernel/CMakeFiles/dio_oskernel.dir/vfs.cc.o" "gcc" "src/oskernel/CMakeFiles/dio_oskernel.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dio_oskernel.dir/disk.cc.o"
+  "CMakeFiles/dio_oskernel.dir/disk.cc.o.d"
+  "CMakeFiles/dio_oskernel.dir/inode.cc.o"
+  "CMakeFiles/dio_oskernel.dir/inode.cc.o.d"
+  "CMakeFiles/dio_oskernel.dir/kernel.cc.o"
+  "CMakeFiles/dio_oskernel.dir/kernel.cc.o.d"
+  "CMakeFiles/dio_oskernel.dir/process.cc.o"
+  "CMakeFiles/dio_oskernel.dir/process.cc.o.d"
+  "CMakeFiles/dio_oskernel.dir/syscall_nr.cc.o"
+  "CMakeFiles/dio_oskernel.dir/syscall_nr.cc.o.d"
+  "CMakeFiles/dio_oskernel.dir/tracepoint.cc.o"
+  "CMakeFiles/dio_oskernel.dir/tracepoint.cc.o.d"
+  "CMakeFiles/dio_oskernel.dir/types.cc.o"
+  "CMakeFiles/dio_oskernel.dir/types.cc.o.d"
+  "CMakeFiles/dio_oskernel.dir/vfs.cc.o"
+  "CMakeFiles/dio_oskernel.dir/vfs.cc.o.d"
+  "libdio_oskernel.a"
+  "libdio_oskernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dio_oskernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdio_oskernel.a"
+)

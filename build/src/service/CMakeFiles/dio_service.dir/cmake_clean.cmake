@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dio_service.dir/dio_service.cc.o"
+  "CMakeFiles/dio_service.dir/dio_service.cc.o.d"
+  "CMakeFiles/dio_service.dir/replay.cc.o"
+  "CMakeFiles/dio_service.dir/replay.cc.o.d"
+  "libdio_service.a"
+  "libdio_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dio_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

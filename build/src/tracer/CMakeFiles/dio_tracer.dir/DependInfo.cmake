@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tracer/event.cc" "src/tracer/CMakeFiles/dio_tracer.dir/event.cc.o" "gcc" "src/tracer/CMakeFiles/dio_tracer.dir/event.cc.o.d"
+  "/root/repo/src/tracer/tracer.cc" "src/tracer/CMakeFiles/dio_tracer.dir/tracer.cc.o" "gcc" "src/tracer/CMakeFiles/dio_tracer.dir/tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/oskernel/CMakeFiles/dio_oskernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/dio_ebpf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dio_tracer.dir/event.cc.o"
+  "CMakeFiles/dio_tracer.dir/event.cc.o.d"
+  "CMakeFiles/dio_tracer.dir/tracer.cc.o"
+  "CMakeFiles/dio_tracer.dir/tracer.cc.o.d"
+  "libdio_tracer.a"
+  "libdio_tracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dio_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/dashboard.cc" "src/viz/CMakeFiles/dio_viz.dir/dashboard.cc.o" "gcc" "src/viz/CMakeFiles/dio_viz.dir/dashboard.cc.o.d"
+  "/root/repo/src/viz/export.cc" "src/viz/CMakeFiles/dio_viz.dir/export.cc.o" "gcc" "src/viz/CMakeFiles/dio_viz.dir/export.cc.o.d"
+  "/root/repo/src/viz/html_report.cc" "src/viz/CMakeFiles/dio_viz.dir/html_report.cc.o" "gcc" "src/viz/CMakeFiles/dio_viz.dir/html_report.cc.o.d"
+  "/root/repo/src/viz/table.cc" "src/viz/CMakeFiles/dio_viz.dir/table.cc.o" "gcc" "src/viz/CMakeFiles/dio_viz.dir/table.cc.o.d"
+  "/root/repo/src/viz/timeseries.cc" "src/viz/CMakeFiles/dio_viz.dir/timeseries.cc.o" "gcc" "src/viz/CMakeFiles/dio_viz.dir/timeseries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/dio_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracer/CMakeFiles/dio_tracer.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/dio_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/oskernel/CMakeFiles/dio_oskernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dio_viz.dir/dashboard.cc.o"
+  "CMakeFiles/dio_viz.dir/dashboard.cc.o.d"
+  "CMakeFiles/dio_viz.dir/export.cc.o"
+  "CMakeFiles/dio_viz.dir/export.cc.o.d"
+  "CMakeFiles/dio_viz.dir/html_report.cc.o"
+  "CMakeFiles/dio_viz.dir/html_report.cc.o.d"
+  "CMakeFiles/dio_viz.dir/table.cc.o"
+  "CMakeFiles/dio_viz.dir/table.cc.o.d"
+  "CMakeFiles/dio_viz.dir/timeseries.cc.o"
+  "CMakeFiles/dio_viz.dir/timeseries.cc.o.d"
+  "libdio_viz.a"
+  "libdio_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dio_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_test.dir/backend/aggregation_test.cc.o"
+  "CMakeFiles/backend_test.dir/backend/aggregation_test.cc.o.d"
+  "CMakeFiles/backend_test.dir/backend/bulk_client_test.cc.o"
+  "CMakeFiles/backend_test.dir/backend/bulk_client_test.cc.o.d"
+  "CMakeFiles/backend_test.dir/backend/correlation_test.cc.o"
+  "CMakeFiles/backend_test.dir/backend/correlation_test.cc.o.d"
+  "CMakeFiles/backend_test.dir/backend/detectors_test.cc.o"
+  "CMakeFiles/backend_test.dir/backend/detectors_test.cc.o.d"
+  "CMakeFiles/backend_test.dir/backend/query_test.cc.o"
+  "CMakeFiles/backend_test.dir/backend/query_test.cc.o.d"
+  "CMakeFiles/backend_test.dir/backend/snapshot_test.cc.o"
+  "CMakeFiles/backend_test.dir/backend/snapshot_test.cc.o.d"
+  "CMakeFiles/backend_test.dir/backend/store_test.cc.o"
+  "CMakeFiles/backend_test.dir/backend/store_test.cc.o.d"
+  "backend_test"
+  "backend_test.pdb"
+  "backend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test.dir/common/clock_test.cc.o"
+  "CMakeFiles/common_test.dir/common/clock_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/config_test.cc.o"
+  "CMakeFiles/common_test.dir/common/config_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/histogram_test.cc.o"
+  "CMakeFiles/common_test.dir/common/histogram_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/json_test.cc.o"
+  "CMakeFiles/common_test.dir/common/json_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/latency_recorder_test.cc.o"
+  "CMakeFiles/common_test.dir/common/latency_recorder_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/ring_buffer_test.cc.o"
+  "CMakeFiles/common_test.dir/common/ring_buffer_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/status_test.cc.o"
+  "CMakeFiles/common_test.dir/common/status_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/string_util_test.cc.o"
+  "CMakeFiles/common_test.dir/common/string_util_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/thread_pool_test.cc.o"
+  "CMakeFiles/common_test.dir/common/thread_pool_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/zipfian_test.cc.o"
+  "CMakeFiles/common_test.dir/common/zipfian_test.cc.o.d"
+  "common_test"
+  "common_test.pdb"
+  "common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ebpf/ebpf_test.cc" "tests/CMakeFiles/ebpf_test.dir/ebpf/ebpf_test.cc.o" "gcc" "tests/CMakeFiles/ebpf_test.dir/ebpf/ebpf_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/oskernel/CMakeFiles/dio_oskernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/dio_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracer/CMakeFiles/dio_tracer.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/dio_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/dio_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/dio_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dio_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/dio_service.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

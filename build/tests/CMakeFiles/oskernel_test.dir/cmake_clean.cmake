@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskernel_test.dir/oskernel/capacity_test.cc.o"
+  "CMakeFiles/oskernel_test.dir/oskernel/capacity_test.cc.o.d"
+  "CMakeFiles/oskernel_test.dir/oskernel/disk_test.cc.o"
+  "CMakeFiles/oskernel_test.dir/oskernel/disk_test.cc.o.d"
+  "CMakeFiles/oskernel_test.dir/oskernel/inode_test.cc.o"
+  "CMakeFiles/oskernel_test.dir/oskernel/inode_test.cc.o.d"
+  "CMakeFiles/oskernel_test.dir/oskernel/process_test.cc.o"
+  "CMakeFiles/oskernel_test.dir/oskernel/process_test.cc.o.d"
+  "CMakeFiles/oskernel_test.dir/oskernel/syscall_test.cc.o"
+  "CMakeFiles/oskernel_test.dir/oskernel/syscall_test.cc.o.d"
+  "CMakeFiles/oskernel_test.dir/oskernel/tracepoint_test.cc.o"
+  "CMakeFiles/oskernel_test.dir/oskernel/tracepoint_test.cc.o.d"
+  "CMakeFiles/oskernel_test.dir/oskernel/vfs_property_test.cc.o"
+  "CMakeFiles/oskernel_test.dir/oskernel/vfs_property_test.cc.o.d"
+  "CMakeFiles/oskernel_test.dir/oskernel/vfs_test.cc.o"
+  "CMakeFiles/oskernel_test.dir/oskernel/vfs_test.cc.o.d"
+  "oskernel_test"
+  "oskernel_test.pdb"
+  "oskernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
