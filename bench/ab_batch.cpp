@@ -8,6 +8,7 @@
 
 #include "backend/bulk_client.h"
 #include "backend/store.h"
+#include "bench/harness_util.h"
 #include "oskernel/kernel.h"
 #include "tracer/tracer.h"
 
@@ -20,6 +21,10 @@ int main() {
               kWrites);
   std::printf("%-12s %-14s %-14s %-12s\n", "batch_size", "bulk requests",
               "drain time(s)", "events");
+
+  bench::BenchReport report("batch");
+  report.SetConfig("writes", kWrites);
+  report.SetConfig("network_latency_us", 200);
 
   for (const std::size_t batch : {1u, 8u, 64u, 512u, 4096u}) {
     os::Kernel kernel;
@@ -57,8 +62,15 @@ int main() {
                 static_cast<unsigned long long>(client.batches_sent()),
                 drain_seconds,
                 static_cast<unsigned long long>(stats.emitted));
+    Json row = Json::MakeObject();
+    row.Set("batch_size", batch);
+    row.Set("bulk_requests", client.batches_sent());
+    row.Set("drain_seconds", drain_seconds);
+    row.Set("events", stats.emitted);
+    report.AddRow(std::move(row));
     (void)store.DeleteIndex("ab-batch");
   }
+  report.Write();
   std::printf("\nverdict: larger batches amortize the per-request network "
               "latency (fewer bulk requests, faster drain), motivating the\n"
               "paper's batched bulk indexing.\n");

@@ -1,0 +1,191 @@
+// Ablation A5: consumer-thread scaling of the user-space drain pipeline.
+//
+// The paper's tracer keeps up with "millions of syscalls per second" only if
+// the user-space side — ring drain + event decode — is not serialized on one
+// thread. This harness isolates that stage: per-CPU producers serialize
+// realistic syscall events into the per-CPU rings while N consumer threads
+// stripe-drain them (worker w owns rings w, w+N, ...) through the zero-copy
+// ConsumeBatch path and decode every record, exactly as
+// DioTracer::ConsumerLoop does.
+//
+// Sweeps consumer-thread count x ring size and emits
+// BENCH_consumer_scaling.json ({bench, config, metrics}). On a multi-core
+// host, 4 consumers should deliver >= 2x the drain throughput of 1.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/harness_util.h"
+#include "ebpf/ringbuf.h"
+#include "tracer/event.h"
+
+using namespace dio;
+
+namespace {
+
+constexpr int kCpus = 4;
+constexpr std::uint64_t kEventsPerCpu = 100'000;
+
+tracer::Event MakeEvent(int cpu, std::uint64_t i) {
+  tracer::Event event;
+  event.nr = (i % 2 == 0) ? os::SyscallNr::kWrite : os::SyscallNr::kRead;
+  event.pid = 100 + cpu;
+  event.tid = 1000 + cpu;
+  event.comm = "producer";
+  event.proc_name = "ab_consumer";
+  event.time_enter = static_cast<Nanos>(i * 1000);
+  event.time_exit = static_cast<Nanos>(i * 1000 + 250);
+  event.ret = 4096;
+  event.cpu = cpu;
+  event.fd = 3;
+  event.path = "/data/db/sstable-000042.sst";
+  event.count = 4096;
+  event.file_type = os::FileType::kRegular;
+  event.file_offset = static_cast<std::int64_t>(i * 4096);
+  event.tag.valid = true;
+  event.tag.dev = 259;
+  event.tag.ino = 42;
+  event.tag.first_access_ts = 1;
+  return event;
+}
+
+struct SweepPoint {
+  std::size_t threads = 1;
+  std::size_t ring_bytes = 0;
+  double seconds = 0.0;
+  double events_per_sec = 0.0;
+  std::uint64_t consumed = 0;
+  std::uint64_t producer_retries = 0;
+};
+
+SweepPoint RunOne(std::size_t num_consumers, std::size_t ring_bytes) {
+  ebpf::PerCpuRingBuffer rings(kCpus, ring_bytes);
+  std::atomic<std::uint64_t> consumed{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<bool> producers_done{false};
+  constexpr std::uint64_t kTotal = kEventsPerCpu * kCpus;
+
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> producers;
+  producers.reserve(kCpus);
+  for (int cpu = 0; cpu < kCpus; ++cpu) {
+    producers.emplace_back([&rings, &retries, cpu] {
+      std::vector<std::byte> wire;
+      std::uint64_t local_retries = 0;
+      for (std::uint64_t i = 0; i < kEventsPerCpu; ++i) {
+        wire.clear();
+        tracer::SerializeEvent(MakeEvent(cpu, i), &wire);
+        // The real tracer drops on full (§III-D); here we retry so every
+        // event crosses the ring and throughput measures the steady-state
+        // pipeline, with retries reported as backpressure.
+        while (!rings.Output(cpu, wire)) {
+          ++local_retries;
+          std::this_thread::yield();
+        }
+      }
+      retries.fetch_add(local_retries, std::memory_order_relaxed);
+    });
+  }
+
+  std::vector<std::thread> consumers;
+  consumers.reserve(num_consumers);
+  for (std::size_t w = 0; w < num_consumers; ++w) {
+    consumers.emplace_back([&rings, &consumed, &producers_done, w,
+                            num_consumers] {
+      std::uint64_t sink = 0;  // keeps the decode from being optimized out
+      const auto handle = [&sink](std::span<const std::byte> record) {
+        auto event = tracer::DeserializeEvent(record);
+        if (event.ok()) sink += static_cast<std::uint64_t>(event->duration());
+      };
+      while (true) {
+        std::size_t n = 0;
+        for (int cpu = static_cast<int>(w); cpu < kCpus;
+             cpu += static_cast<int>(num_consumers)) {
+          n += rings.DrainRing(cpu, handle, 4096);
+        }
+        if (n == 0) {
+          if (producers_done.load(std::memory_order_acquire)) break;
+          std::this_thread::yield();
+        } else {
+          consumed.fetch_add(n, std::memory_order_relaxed);
+        }
+      }
+      if (sink == 0xdead) std::printf("!");  // defeat dead-code elimination
+    });
+  }
+
+  for (std::thread& p : producers) p.join();
+  producers_done.store(true, std::memory_order_release);
+  for (std::thread& c : consumers) c.join();
+
+  const auto end = std::chrono::steady_clock::now();
+
+  SweepPoint point;
+  point.threads = num_consumers;
+  point.ring_bytes = ring_bytes;
+  point.seconds = std::chrono::duration<double>(end - start).count();
+  point.consumed = consumed.load();
+  point.events_per_sec =
+      point.seconds > 0.0 ? static_cast<double>(point.consumed) / point.seconds
+                          : 0.0;
+  point.producer_retries = retries.load();
+  if (point.consumed != kTotal) {
+    std::fprintf(stderr, "BUG: consumed %llu != produced %llu\n",
+                 static_cast<unsigned long long>(point.consumed),
+                 static_cast<unsigned long long>(kTotal));
+  }
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ABLATION A5: consumer-thread scaling (%d per-CPU rings, "
+              "%llu events/cpu, zero-copy ConsumeBatch drain + decode)\n",
+              kCpus, static_cast<unsigned long long>(kEventsPerCpu));
+  std::printf("host hardware_concurrency: %u\n\n",
+              std::thread::hardware_concurrency());
+  std::printf("%-10s %-14s %-12s %-16s %-14s\n", "consumers", "ring bytes",
+              "drain (s)", "events/sec", "push retries");
+
+  bench::BenchReport report("consumer_scaling");
+  report.SetConfig("num_cpus", kCpus);
+  report.SetConfig("events_per_cpu", kEventsPerCpu);
+  report.SetConfig("hardware_concurrency",
+                   std::thread::hardware_concurrency());
+
+  double baseline_1thread = 0.0;
+  for (const std::size_t ring_bytes : {256u << 10, 4u << 20}) {
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+      const SweepPoint point = RunOne(threads, ring_bytes);
+      std::printf("%-10zu %-14zu %-12.3f %-16.0f %-14llu\n", point.threads,
+                  point.ring_bytes, point.seconds, point.events_per_sec,
+                  static_cast<unsigned long long>(point.producer_retries));
+      if (threads == 1) baseline_1thread = point.events_per_sec;
+
+      Json row = Json::MakeObject();
+      row.Set("consumer_threads", point.threads);
+      row.Set("ring_bytes_per_cpu", point.ring_bytes);
+      row.Set("drain_seconds", point.seconds);
+      row.Set("events_per_sec", point.events_per_sec);
+      row.Set("consumed", point.consumed);
+      row.Set("producer_retries", point.producer_retries);
+      row.Set("speedup_vs_1thread", baseline_1thread > 0.0
+                                        ? point.events_per_sec /
+                                              baseline_1thread
+                                        : 1.0);
+      report.AddRow(std::move(row));
+    }
+  }
+  report.Write();
+
+  std::printf("\nverdict: striping the per-CPU rings across consumer threads "
+              "parallelizes drain+decode; on a multi-core host 4 consumers\n"
+              "should reach >=2x the single-consumer throughput (on a "
+              "single-core host the sweep measures contention overhead "
+              "instead).\n");
+  return 0;
+}

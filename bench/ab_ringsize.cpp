@@ -8,6 +8,7 @@
 
 #include "backend/store.h"
 #include "baselines/dio_adapter.h"
+#include "bench/harness_util.h"
 #include "oskernel/kernel.h"
 
 using namespace dio;
@@ -19,6 +20,10 @@ int main() {
               kWrites);
   std::printf("%-16s %-14s %-14s %-10s\n", "ring bytes/cpu", "pushed",
               "discarded", "discard %");
+
+  bench::BenchReport report("ringsize");
+  report.SetConfig("writes", kWrites);
+  report.SetConfig("poll_interval_ms", 5);
 
   for (const std::size_t ring : {16u << 10, 64u << 10, 256u << 10, 1u << 20,
                                  4u << 20}) {
@@ -46,14 +51,23 @@ int main() {
 
     const tracer::TracerStats stats = dio.tracer().stats();
     const std::uint64_t produced = stats.ring_pushed + stats.ring_dropped;
+    const double discard_pct =
+        produced == 0 ? 0.0
+                      : 100.0 * static_cast<double>(stats.ring_dropped) /
+                            static_cast<double>(produced);
     std::printf("%-16zu %-14llu %-14llu %-10.2f\n", ring,
                 static_cast<unsigned long long>(stats.ring_pushed),
                 static_cast<unsigned long long>(stats.ring_dropped),
-                produced == 0 ? 0.0
-                              : 100.0 * static_cast<double>(stats.ring_dropped) /
-                                    static_cast<double>(produced));
+                discard_pct);
+    Json row = Json::MakeObject();
+    row.Set("ring_bytes_per_cpu", ring);
+    row.Set("pushed", stats.ring_pushed);
+    row.Set("discarded", stats.ring_dropped);
+    row.Set("discard_pct", discard_pct);
+    report.AddRow(std::move(row));
     (void)store.DeleteIndex("ab-ring");
   }
+  report.Write();
   std::printf("\nverdict: discards fall monotonically with ring size — the\n"
               "trade-off behind the paper's 256 MiB/CPU configuration and its\n"
               "3.5%% discard rate under a 549M-syscall workload.\n");

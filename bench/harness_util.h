@@ -4,14 +4,65 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "apps/dbbench/db_bench.h"
 #include "apps/lsmkv/db.h"
+#include "common/json.h"
 #include "oskernel/kernel.h"
 
 namespace dio::bench {
+
+// Machine-readable harness output. Every A/B harness emits
+// `BENCH_<name>.json` next to its stdout table, with the common schema
+//   {"bench": "<name>", "config": {...}, "metrics": {"rows": [{...}, ...]}}
+// so successive PRs can diff the perf trajectory mechanically.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name)
+      : name_(std::move(name)),
+        config_(Json::MakeObject()),
+        rows_(Json::MakeArray()) {}
+
+  void SetConfig(const std::string& key, Json value) {
+    config_.Set(key, std::move(value));
+  }
+  // One measured sweep point (an object of metric name -> value).
+  void AddRow(Json row) { rows_.Append(std::move(row)); }
+
+  // Writes BENCH_<name>.json into the working directory. Failures are
+  // reported but non-fatal: the stdout table remains authoritative.
+  bool Write() const {
+    Json metrics = Json::MakeObject();
+    metrics.Set("rows", rows_);
+    Json doc = Json::MakeObject();
+    doc.Set("bench", name_);
+    doc.Set("config", config_);
+    doc.Set("metrics", std::move(metrics));
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << doc.Dump(2) << "\n";
+    out.close();
+    if (!out) {
+      std::fprintf(stderr, "warning: short write to %s\n", path.c_str());
+      return false;
+    }
+    std::printf("\n[wrote %s]\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  Json config_;
+  Json rows_;
+};
 
 inline os::BlockDeviceOptions PaperDisk() {
   os::BlockDeviceOptions options;

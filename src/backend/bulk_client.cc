@@ -27,12 +27,27 @@ BulkClient::~BulkClient() {
 
 void BulkClient::IndexBatch(std::vector<Json> documents) {
   if (documents.empty()) return;
+  Batch batch;
+  batch.documents = std::move(documents);
+  Enqueue(std::move(batch));
+}
+
+void BulkClient::IndexEvents(std::string_view session,
+                             std::vector<tracer::Event> events) {
+  if (events.empty()) return;
+  Batch batch;
+  batch.events = std::move(events);
+  batch.session = std::string(session);
+  Enqueue(std::move(batch));
+}
+
+void BulkClient::Enqueue(Batch batch) {
   std::unique_lock lock(mu_);
   queue_cv_.wait(lock, [this] {
     return queue_.size() < options_.max_queued_batches || stopping_;
   });
   if (stopping_) return;
-  queue_.push_back(std::move(documents));
+  queue_.push_back(std::move(batch));
   queue_cv_.notify_all();
 }
 
@@ -50,7 +65,7 @@ void BulkClient::Flush() {
 
 void BulkClient::SenderLoop(const std::stop_token& stop) {
   while (true) {
-    std::vector<Json> batch;
+    Batch batch;
     {
       std::unique_lock lock(mu_);
       queue_cv_.wait(lock, [this, &stop] {
@@ -70,7 +85,16 @@ void BulkClient::SenderLoop(const std::stop_token& stop) {
       std::this_thread::sleep_for(
           std::chrono::nanoseconds(options_.network_latency_ns));
     }
-    store_->Bulk(index_, std::move(batch));
+    // Deferred materialization: binary events become JSON documents only
+    // here, on the sender thread — the "backend side" of the wire.
+    std::vector<Json> documents = std::move(batch.documents);
+    if (!batch.events.empty()) {
+      documents.reserve(documents.size() + batch.events.size());
+      for (const tracer::Event& event : batch.events) {
+        documents.push_back(event.ToJson(batch.session));
+      }
+    }
+    store_->Bulk(index_, std::move(documents));
     bool refresh = false;
     {
       std::scoped_lock lock(mu_);

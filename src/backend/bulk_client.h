@@ -46,6 +46,11 @@ class BulkClient final : public tracer::EventSink {
   BulkClient& operator=(const BulkClient&) = delete;
 
   void IndexBatch(std::vector<Json> documents) override;
+  // Fast path from the tracer's consumer threads: binary events are queued
+  // as-is and materialized into JSON documents on the sender thread, after
+  // the simulated network hop — JSON allocation never runs on a drain loop.
+  void IndexEvents(std::string_view session,
+                   std::vector<tracer::Event> events) override;
   // Drains the queue, indexes everything, refreshes the index.
   void Flush() override;
 
@@ -56,7 +61,16 @@ class BulkClient final : public tracer::EventSink {
   [[nodiscard]] const std::string& index() const { return index_; }
 
  private:
+  // A queued batch: either pre-materialized documents or deferred binary
+  // events (exactly one of the two is non-empty).
+  struct Batch {
+    std::vector<Json> documents;
+    std::vector<tracer::Event> events;
+    std::string session;
+  };
+
   void SenderLoop(const std::stop_token& stop);
+  void Enqueue(Batch batch);
 
   ElasticStore* store_;
   std::string index_;
@@ -66,7 +80,7 @@ class BulkClient final : public tracer::EventSink {
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;
   std::condition_variable drained_cv_;
-  std::deque<std::vector<Json>> queue_;
+  std::deque<Batch> queue_;
   std::uint64_t batches_sent_ = 0;
   bool sending_ = false;  // a batch is in flight to the store
   bool stopping_ = false;

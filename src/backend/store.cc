@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <limits>
-#include <mutex>
+#include <thread>
 
 namespace dio::backend {
 
@@ -57,12 +57,27 @@ Expected<SearchRequest> SearchRequest::FromJsonText(std::string_view text) {
   return FromJson(*parsed);
 }
 
+ElasticStore::Index::Index(std::size_t num_shards) {
+  shards.reserve(num_shards);
+  lanes.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<SubShard>();
+    shard->shard_index = s;
+    shard->stride = num_shards;
+    shards.push_back(std::move(shard));
+    lanes.push_back(std::make_unique<IngestLane>());
+  }
+}
+
+ElasticStore::ElasticStore(std::size_t shards_per_index)
+    : shards_per_index_(std::max<std::size_t>(1, shards_per_index)) {}
+
 Status ElasticStore::CreateIndex(const std::string& name) {
   std::unique_lock lock(indices_mu_);
   if (indices_.contains(name)) {
     return AlreadyExists("index exists: " + name);
   }
-  indices_[name] = std::make_shared<Shard>();
+  indices_[name] = std::make_shared<Index>(shards_per_index_);
   return Status::Ok();
 }
 
@@ -76,7 +91,7 @@ std::vector<std::string> ElasticStore::ListIndices() const {
   std::shared_lock lock(indices_mu_);
   std::vector<std::string> names;
   names.reserve(indices_.size());
-  for (const auto& [name, shard] : indices_) names.push_back(name);
+  for (const auto& [name, index] : indices_) names.push_back(name);
   return names;
 }
 
@@ -85,38 +100,44 @@ bool ElasticStore::HasIndex(const std::string& name) const {
   return indices_.contains(name);
 }
 
-std::shared_ptr<ElasticStore::Shard> ElasticStore::Find(
+std::shared_ptr<ElasticStore::Index> ElasticStore::Find(
     const std::string& name) {
   std::shared_lock lock(indices_mu_);
   auto it = indices_.find(name);
   return it == indices_.end() ? nullptr : it->second;
 }
 
-std::shared_ptr<const ElasticStore::Shard> ElasticStore::Find(
+std::shared_ptr<const ElasticStore::Index> ElasticStore::Find(
     const std::string& name) const {
   std::shared_lock lock(indices_mu_);
   auto it = indices_.find(name);
   return it == indices_.end() ? nullptr : it->second;
 }
 
-void ElasticStore::Bulk(const std::string& index, std::vector<Json> documents) {
-  std::shared_ptr<Shard> shard = Find(index);
-  if (shard == nullptr) {
-    // Auto-create (like ES with auto_create_index on).
-    {
-      std::unique_lock lock(indices_mu_);
-      auto it = indices_.find(index);
-      if (it == indices_.end()) {
-        indices_[index] = std::make_shared<Shard>();
-      }
-    }
-    shard = Find(index);
+std::shared_ptr<ElasticStore::Index> ElasticStore::FindOrCreate(
+    const std::string& name) {
+  if (std::shared_ptr<Index> index = Find(name)) return index;
+  // Auto-create (like ES with auto_create_index on).
+  std::unique_lock lock(indices_mu_);
+  auto it = indices_.find(name);
+  if (it == indices_.end()) {
+    it = indices_.emplace(name, std::make_shared<Index>(shards_per_index_))
+             .first;
   }
-  std::unique_lock lock(shard->mu);
-  ++shard->bulk_requests;
-  for (Json& doc : documents) {
-    shard->pending.push_back(std::move(doc));
-  }
+  return it->second;
+}
+
+void ElasticStore::Bulk(const std::string& index_name,
+                        std::vector<Json> documents) {
+  const std::shared_ptr<Index> index = FindOrCreate(index_name);
+  index->bulk_requests.fetch_add(1, std::memory_order_relaxed);
+  // The sequence number fixes this batch's place in ingestion (docid)
+  // order; the lane it lands on only spreads lock contention.
+  const std::uint64_t seq =
+      index->bulk_seq.fetch_add(1, std::memory_order_relaxed);
+  IngestLane& lane = *index->lanes[seq % index->lanes.size()];
+  std::scoped_lock lock(lane.mu);
+  lane.batches.push_back(PendingBatch{seq, std::move(documents)});
 }
 
 std::string ElasticStore::TermKey(const Json& value) {
@@ -136,7 +157,7 @@ std::string ElasticStore::TermKey(const Json& value) {
   }
 }
 
-void ElasticStore::IndexDoc(Shard& shard, DocId id, const Json& doc) {
+void ElasticStore::IndexDoc(SubShard& shard, DocId id, const Json& doc) {
   if (!doc.is_object()) return;
   for (const JsonMember& member : doc.as_object()) {
     const std::string& field = member.first;
@@ -151,21 +172,71 @@ void ElasticStore::IndexDoc(Shard& shard, DocId id, const Json& doc) {
   }
 }
 
-void ElasticStore::Refresh(const std::string& index) {
-  std::shared_ptr<Shard> shard = Find(index);
-  if (shard == nullptr) return;
-  std::unique_lock lock(shard->mu);
-  for (Json& doc : shard->pending) {
-    const DocId id = shard->docs.size();
-    shard->docs.push_back(std::move(doc));
-    IndexDoc(*shard, id, shard->docs.back());
+void ElasticStore::SortNumericsIfDirty(SubShard& shard) {
+  if (!shard.numerics_dirty) return;
+  for (auto& [field, entries] : shard.numerics) {
+    std::sort(entries.begin(), entries.end());
   }
-  shard->pending.clear();
-  if (shard->numerics_dirty) {
-    for (auto& [field, entries] : shard->numerics) {
-      std::sort(entries.begin(), entries.end());
+  shard.numerics_dirty = false;
+}
+
+void ElasticStore::Refresh(const std::string& index_name) {
+  const std::shared_ptr<Index> index = Find(index_name);
+  if (index == nullptr) return;
+  std::unique_lock refresh_lock(index->refresh_mu);
+
+  // Collect everything bulked so far, then replay in sequence order so
+  // docids match a single-shard store exactly.
+  std::vector<PendingBatch> batches;
+  for (const auto& lane : index->lanes) {
+    std::scoped_lock lane_lock(lane->mu);
+    std::move(lane->batches.begin(), lane->batches.end(),
+              std::back_inserter(batches));
+    lane->batches.clear();
+  }
+  if (batches.empty()) return;
+  std::sort(batches.begin(), batches.end(),
+            [](const PendingBatch& a, const PendingBatch& b) {
+              return a.seq < b.seq;
+            });
+
+  // Assign docids and stage each document with its owning sub-shard.
+  const std::size_t num_shards = index->num_shards();
+  std::vector<std::vector<std::pair<DocId, Json>>> staged(num_shards);
+  std::size_t total = 0;
+  for (PendingBatch& batch : batches) total += batch.docs.size();
+  for (auto& stage : staged) stage.reserve(total / num_shards + 1);
+  for (PendingBatch& batch : batches) {
+    for (Json& doc : batch.docs) {
+      const DocId id = index->next_docid++;
+      staged[static_cast<std::size_t>(id) % num_shards].emplace_back(
+          id, std::move(doc));
     }
-    shard->numerics_dirty = false;
+  }
+
+  // Index the sub-shards — in parallel when the batch is big enough to pay
+  // for the threads (refresh_mu is held, so workers touching distinct
+  // shards cannot race queries or each other).
+  const auto ingest_shard = [&index, &staged](std::size_t s) {
+    SubShard& shard = *index->shards[s];
+    std::unique_lock shard_lock(shard.mu);
+    for (auto& [id, doc] : staged[s]) {
+      shard.docs.push_back(std::move(doc));
+      IndexDoc(shard, id, shard.docs.back());
+    }
+    SortNumericsIfDirty(shard);
+  };
+  constexpr std::size_t kParallelRefreshThreshold = 4096;
+  if (total >= kParallelRefreshThreshold && num_shards > 1 &&
+      std::thread::hardware_concurrency() > 1) {
+    std::vector<std::thread> workers;
+    workers.reserve(num_shards);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      workers.emplace_back(ingest_shard, s);
+    }
+    for (std::thread& worker : workers) worker.join();
+  } else {
+    for (std::size_t s = 0; s < num_shards; ++s) ingest_shard(s);
   }
 }
 
@@ -198,7 +269,7 @@ std::vector<DocId> Dedup(std::vector<DocId> ids) {
 }  // namespace
 
 std::optional<std::vector<DocId>> ElasticStore::Candidates(
-    const Shard& shard, const Query& query) {
+    const SubShard& shard, const Query& query) {
   switch (query.type()) {
     case Query::Type::kTerm:
     case Query::Type::kTerms: {
@@ -276,38 +347,54 @@ std::optional<std::vector<DocId>> ElasticStore::Candidates(
   return std::nullopt;
 }
 
-std::vector<DocId> ElasticStore::MatchingDocs(const Shard& shard,
+std::vector<DocId> ElasticStore::MatchingDocs(const SubShard& shard,
                                               const Query& query) {
   std::vector<DocId> matches;
   auto candidates = Candidates(shard, query);
   if (candidates.has_value()) {
     for (DocId id : *candidates) {
-      if (id < shard.docs.size() && query.Matches(shard.docs[id])) {
+      if (shard.Owns(id) && query.Matches(shard.DocAt(id))) {
         matches.push_back(id);
       }
     }
   } else {
-    for (DocId id = 0; id < shard.docs.size(); ++id) {
-      if (query.Matches(shard.docs[id])) matches.push_back(id);
+    for (std::size_t pos = 0; pos < shard.docs.size(); ++pos) {
+      if (query.Matches(shard.docs[pos])) {
+        matches.push_back(static_cast<DocId>(pos * shard.stride +
+                                             shard.shard_index));
+      }
     }
   }
   return matches;
 }
 
-Expected<SearchResult> ElasticStore::Search(const std::string& index,
-                                            const SearchRequest& request) const {
-  const std::shared_ptr<const Shard> shard = Find(index);
-  if (shard == nullptr) return NotFound("no such index: " + index);
-  std::shared_lock lock(shard->mu);
+std::vector<DocId> ElasticStore::MatchingDocs(const Index& index,
+                                              const Query& query) {
+  std::vector<DocId> matches;
+  for (const auto& shard : index.shards) {
+    std::shared_lock shard_lock(shard->mu);
+    std::vector<DocId> shard_matches = MatchingDocs(*shard, query);
+    matches.insert(matches.end(), shard_matches.begin(), shard_matches.end());
+  }
+  // Ascending docid == ingestion order, exactly as the unsharded store.
+  std::sort(matches.begin(), matches.end());
+  return matches;
+}
 
-  std::vector<DocId> matches = MatchingDocs(*shard, request.query);
+Expected<SearchResult> ElasticStore::Search(const std::string& index_name,
+                                            const SearchRequest& request) const {
+  const std::shared_ptr<const Index> index = Find(index_name);
+  if (index == nullptr) return NotFound("no such index: " + index_name);
+  std::shared_lock refresh_lock(index->refresh_mu);
+
+  std::vector<DocId> matches = MatchingDocs(*index, request.query);
 
   if (!request.sort.empty()) {
     std::stable_sort(
         matches.begin(), matches.end(), [&](DocId a, DocId b) {
           for (const SortSpec& spec : request.sort) {
-            const Json* va = shard->docs[a].Find(spec.field);
-            const Json* vb = shard->docs[b].Find(spec.field);
+            const Json* va = index->DocAt(a).Find(spec.field);
+            const Json* vb = index->DocAt(b).Find(spec.field);
             // Missing values sort last regardless of direction.
             if (va == nullptr && vb == nullptr) continue;
             if (va == nullptr) return false;
@@ -332,80 +419,92 @@ Expected<SearchResult> ElasticStore::Search(const std::string& index,
   const std::size_t end = std::min(start + request.size, matches.size());
   result.hits.reserve(end - start);
   for (std::size_t i = start; i < end; ++i) {
-    result.hits.push_back(Hit{matches[i], shard->docs[matches[i]]});
+    result.hits.push_back(Hit{matches[i], index->DocAt(matches[i])});
   }
   return result;
 }
 
-Expected<std::size_t> ElasticStore::Count(const std::string& index,
+Expected<std::size_t> ElasticStore::Count(const std::string& index_name,
                                           const Query& query) const {
-  const std::shared_ptr<const Shard> shard = Find(index);
-  if (shard == nullptr) return NotFound("no such index: " + index);
-  std::shared_lock lock(shard->mu);
-  return MatchingDocs(*shard, query).size();
+  const std::shared_ptr<const Index> index = Find(index_name);
+  if (index == nullptr) return NotFound("no such index: " + index_name);
+  std::shared_lock refresh_lock(index->refresh_mu);
+  return MatchingDocs(*index, query).size();
 }
 
-Expected<AggResult> ElasticStore::Aggregate(const std::string& index,
+Expected<AggResult> ElasticStore::Aggregate(const std::string& index_name,
                                             const Query& query,
                                             const Aggregation& agg) const {
-  const std::shared_ptr<const Shard> shard = Find(index);
-  if (shard == nullptr) return NotFound("no such index: " + index);
-  std::shared_lock lock(shard->mu);
-  std::vector<DocId> matches = MatchingDocs(*shard, query);
+  const std::shared_ptr<const Index> index = Find(index_name);
+  if (index == nullptr) return NotFound("no such index: " + index_name);
+  std::shared_lock refresh_lock(index->refresh_mu);
+  std::vector<DocId> matches = MatchingDocs(*index, query);
   std::vector<const Json*> docs;
   docs.reserve(matches.size());
-  for (DocId id : matches) docs.push_back(&shard->docs[id]);
+  for (DocId id : matches) docs.push_back(&index->DocAt(id));
   return agg.Execute(docs);
 }
 
 Expected<std::size_t> ElasticStore::UpdateByQuery(
-    const std::string& index, const Query& query,
+    const std::string& index_name, const Query& query,
     const std::function<void(Json&)>& update) {
-  std::shared_ptr<Shard> shard = Find(index);
-  if (shard == nullptr) return NotFound("no such index: " + index);
-  std::unique_lock lock(shard->mu);
-  std::vector<DocId> matches = MatchingDocs(*shard, query);
+  const std::shared_ptr<Index> index = Find(index_name);
+  if (index == nullptr) return NotFound("no such index: " + index_name);
+  std::unique_lock refresh_lock(index->refresh_mu);
+  std::vector<DocId> matches = MatchingDocs(*index, query);
   for (DocId id : matches) {
-    update(shard->docs[id]);
+    SubShard& shard = *index->shards[static_cast<std::size_t>(id) %
+                                     index->num_shards()];
+    std::unique_lock shard_lock(shard.mu);
+    Json& doc = shard.DocAt(id);
+    update(doc);
     // Re-index the updated document: postings become a superset (stale
     // entries are filtered by re-verification at query time).
-    IndexDoc(*shard, id, shard->docs[id]);
-    ++shard->updates;
+    IndexDoc(shard, id, doc);
   }
-  if (shard->numerics_dirty) {
-    for (auto& [field, entries] : shard->numerics) {
-      std::sort(entries.begin(), entries.end());
-    }
-    shard->numerics_dirty = false;
+  index->updates.fetch_add(matches.size(), std::memory_order_relaxed);
+  for (const auto& shard : index->shards) {
+    std::unique_lock shard_lock(shard->mu);
+    SortNumericsIfDirty(*shard);
   }
   return matches.size();
 }
 
-Expected<IndexStats> ElasticStore::Stats(const std::string& index) const {
-  const std::shared_ptr<const Shard> shard = Find(index);
-  if (shard == nullptr) return NotFound("no such index: " + index);
-  std::shared_lock lock(shard->mu);
+Expected<IndexStats> ElasticStore::Stats(const std::string& index_name) const {
+  const std::shared_ptr<const Index> index = Find(index_name);
+  if (index == nullptr) return NotFound("no such index: " + index_name);
+  std::shared_lock refresh_lock(index->refresh_mu);
   IndexStats stats;
-  stats.doc_count = shard->docs.size();
-  stats.pending_count = shard->pending.size();
-  stats.bulk_requests = shard->bulk_requests;
-  stats.updates = shard->updates;
+  for (const auto& shard : index->shards) {
+    std::shared_lock shard_lock(shard->mu);
+    stats.doc_count += shard->docs.size();
+  }
+  for (const auto& lane : index->lanes) {
+    std::scoped_lock lane_lock(lane->mu);
+    for (const PendingBatch& batch : lane->batches) {
+      stats.pending_count += batch.docs.size();
+    }
+  }
+  stats.bulk_requests = index->bulk_requests.load(std::memory_order_relaxed);
+  stats.updates = index->updates.load(std::memory_order_relaxed);
   return stats;
 }
 
-Status ElasticStore::SaveIndex(const std::string& index,
+Status ElasticStore::SaveIndex(const std::string& index_name,
                                const std::string& file_path) const {
-  const std::shared_ptr<const Shard> shard = Find(index);
-  if (shard == nullptr) return NotFound("no such index: " + index);
+  const std::shared_ptr<const Index> index = Find(index_name);
+  if (index == nullptr) return NotFound("no such index: " + index_name);
   std::ofstream out(file_path, std::ios::trunc);
   if (!out) return Unavailable("cannot open for writing: " + file_path);
-  std::shared_lock lock(shard->mu);
+  std::shared_lock refresh_lock(index->refresh_mu);
+  std::size_t doc_count = 0;
+  for (const auto& shard : index->shards) doc_count += shard->docs.size();
   Json header = Json::MakeObject();
-  header.Set("dio_index_snapshot", index);
-  header.Set("docs", static_cast<std::int64_t>(shard->docs.size()));
+  header.Set("dio_index_snapshot", index_name);
+  header.Set("docs", static_cast<std::int64_t>(doc_count));
   out << header.Dump() << "\n";
-  for (const Json& doc : shard->docs) {
-    out << doc.Dump() << "\n";
+  for (DocId id = 0; id < doc_count; ++id) {
+    out << index->DocAt(id).Dump() << "\n";
   }
   out.close();
   if (!out) return Unavailable("write failed: " + file_path);

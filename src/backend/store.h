@@ -15,6 +15,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
@@ -68,7 +69,15 @@ struct IndexStats {
 
 class ElasticStore {
  public:
-  ElasticStore() = default;
+  // Each index is split into `shards_per_index` sub-shards (documents are
+  // assigned by docid % shards): bulk ingest lands on per-sub-shard lanes
+  // with independent locks, so N concurrent Bulk() callers (the tracer's
+  // per-CPU consumers) do not serialize on one mutex, and Refresh() indexes
+  // the sub-shards in parallel. Query semantics and docid (ingestion) order
+  // are identical to a single-shard store.
+  explicit ElasticStore(std::size_t shards_per_index = kDefaultShards);
+
+  static constexpr std::size_t kDefaultShards = 4;
 
   // Index management. Bulk() auto-creates missing indices (like ES).
   Status CreateIndex(const std::string& name);
@@ -107,40 +116,98 @@ class ElasticStore {
                                   const std::string& rename_to = "");
 
  private:
-  struct Shard {
+  // One sub-shard of an index: owns the documents with
+  // docid % num_shards == shard_index (stored at position docid / num_shards)
+  // plus the term/numeric indexes over exactly those documents.
+  struct SubShard {
+    std::size_t shard_index = 0;
+    std::size_t stride = 1;  // num_shards of the owning index
+
     mutable std::shared_mutex mu;
-    std::vector<Json> docs;          // docid = position
-    std::vector<Json> pending;       // bulked, not yet refreshed
-    // term index: field -> canonical term -> posting list (docids,
+    std::vector<Json> docs;  // position = docid / stride
+    // term index: field -> canonical term -> posting list (global docids,
     // ascending). Postings may be stale supersets after updates; queries
     // re-verify against the document.
     std::unordered_map<std::string,
                        std::unordered_map<std::string, std::vector<DocId>>>
         terms;
-    // numeric index: field -> (value, docid) sorted by value.
+    // numeric index: field -> (value, global docid) sorted by value.
     std::unordered_map<std::string,
                        std::vector<std::pair<std::int64_t, DocId>>>
         numerics;
     bool numerics_dirty = false;
-    std::uint64_t bulk_requests = 0;
-    std::uint64_t updates = 0;
+
+    [[nodiscard]] const Json& DocAt(DocId id) const {
+      return docs[static_cast<std::size_t>(id) / stride];
+    }
+    [[nodiscard]] Json& DocAt(DocId id) {
+      return docs[static_cast<std::size_t>(id) / stride];
+    }
+    [[nodiscard]] bool Owns(DocId id) const {
+      return static_cast<std::size_t>(id) % stride == shard_index &&
+             static_cast<std::size_t>(id) / stride < docs.size();
+    }
+  };
+
+  // Bulked-but-unrefreshed documents, tagged with the bulk sequence number
+  // that fixes their ingestion (docid) order.
+  struct PendingBatch {
+    std::uint64_t seq = 0;
+    std::vector<Json> docs;
+  };
+
+  // Ingest lane: where Bulk() parks batches. One lane per sub-shard, each
+  // with its own lock, chosen round-robin by sequence number so concurrent
+  // bulk callers contend only 1/num_shards of the time.
+  struct IngestLane {
+    mutable std::mutex mu;
+    std::vector<PendingBatch> batches;
+  };
+
+  struct Index {
+    explicit Index(std::size_t num_shards);
+
+    std::vector<std::unique_ptr<SubShard>> shards;
+    std::vector<std::unique_ptr<IngestLane>> lanes;
+    std::atomic<std::uint64_t> bulk_seq{0};
+    std::atomic<std::uint64_t> bulk_requests{0};
+    std::atomic<std::uint64_t> updates{0};
+    // Readers take it shared; Refresh/UpdateByQuery take it unique, so a
+    // refresh becomes visible to queries atomically across sub-shards.
+    mutable std::shared_mutex refresh_mu;
+    std::uint64_t next_docid = 0;  // guarded by refresh_mu (unique)
+
+    [[nodiscard]] std::size_t num_shards() const { return shards.size(); }
+    [[nodiscard]] const Json& DocAt(DocId id) const {
+      return shards[static_cast<std::size_t>(id) % shards.size()]->DocAt(id);
+    }
+    [[nodiscard]] Json& DocAt(DocId id) {
+      return shards[static_cast<std::size_t>(id) % shards.size()]->DocAt(id);
+    }
   };
 
   static std::string TermKey(const Json& value);
-  static void IndexDoc(Shard& shard, DocId id, const Json& doc);
-  // Candidate docids for the query via indexes (superset of matches), or
-  // nullopt when the query cannot be served by an index (falls back to
-  // scanning). Caller verifies candidates with Query::Matches.
-  static std::optional<std::vector<DocId>> Candidates(const Shard& shard,
+  static void IndexDoc(SubShard& shard, DocId id, const Json& doc);
+  static void SortNumericsIfDirty(SubShard& shard);
+  // Candidate docids for the query via this sub-shard's indexes (superset
+  // of matches), or nullopt when the query cannot be served by an index
+  // (falls back to scanning). Caller verifies with Query::Matches.
+  static std::optional<std::vector<DocId>> Candidates(const SubShard& shard,
                                                       const Query& query);
-  static std::vector<DocId> MatchingDocs(const Shard& shard,
+  static std::vector<DocId> MatchingDocs(const SubShard& shard,
+                                         const Query& query);
+  // All matches across sub-shards, ascending docid (= ingestion order).
+  // Caller must hold refresh_mu (shared or unique).
+  static std::vector<DocId> MatchingDocs(const Index& index,
                                          const Query& query);
 
-  std::shared_ptr<Shard> Find(const std::string& name);
-  std::shared_ptr<const Shard> Find(const std::string& name) const;
+  std::shared_ptr<Index> Find(const std::string& name);
+  std::shared_ptr<const Index> Find(const std::string& name) const;
+  std::shared_ptr<Index> FindOrCreate(const std::string& name);
 
+  const std::size_t shards_per_index_;
   mutable std::shared_mutex indices_mu_;
-  std::map<std::string, std::shared_ptr<Shard>> indices_;
+  std::map<std::string, std::shared_ptr<Index>> indices_;
 };
 
 }  // namespace dio::backend

@@ -62,33 +62,11 @@ bool ByteRingBuffer::TryPush(std::span<const std::byte> record) {
 }
 
 bool ByteRingBuffer::TryPop(std::vector<std::byte>& out) {
-  const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
-  const std::uint64_t head = head_.load(std::memory_order_acquire);
-  if (tail == head) return false;
-
-  auto* hdr = reinterpret_cast<RecordHeader*>(&data_[Index(tail)]);
-  const std::uint32_t committed =
-      reinterpret_cast<std::atomic<std::uint32_t>*>(&hdr->committed)
-          ->load(std::memory_order_acquire);
-  if (committed == 0) return false;  // producer still writing this record
-
-  const std::size_t payload = hdr->length;
-  out.resize(payload);
-  const std::size_t payload_start = Index(tail + kHeaderSize);
-  const std::size_t first_chunk =
-      std::min(payload, capacity_ - payload_start);
-  if (first_chunk > 0) {
-    std::memcpy(out.data(), &data_[payload_start], first_chunk);
-  }
-  if (payload > first_chunk) {
-    std::memcpy(out.data() + first_chunk, &data_[0], payload - first_chunk);
-  }
-  // Reset the commit flag so a future lap of the ring starts uncommitted.
-  reinterpret_cast<std::atomic<std::uint32_t>*>(&hdr->committed)
-      ->store(0, std::memory_order_relaxed);
-  const std::size_t need = (kHeaderSize + payload + kAlign - 1) & ~(kAlign - 1);
-  tail_.store(tail + need, std::memory_order_release);
-  return true;
+  return ConsumeBatch(
+             [&out](std::span<const std::byte> record) {
+               out.assign(record.begin(), record.end());
+             },
+             1) == 1;
 }
 
 std::size_t ByteRingBuffer::ApproxBytesUsed() const {

@@ -7,9 +7,11 @@
 //    this is the §III-D behaviour ("new I/O events ... are discarded").
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
@@ -29,7 +31,63 @@ class ByteRingBuffer {
 
   // Consumer side. Single consumer only. Appends the record payload to `out`
   // and returns true, or returns false if no committed record is available.
+  // Legacy per-record interface; ConsumeBatch is the fast path.
   bool TryPop(std::vector<std::byte>& out);
+
+  // Consumer side, zero-copy batch drain. Single consumer only. Walks up to
+  // `max_records` committed records, handing each payload to `visit` as a
+  // span — aliasing the ring storage directly for records that do not cross
+  // the wrap point (the common case; wrapped payloads are assembled in a
+  // reusable scratch buffer). The tail cursor is advanced ONCE after the
+  // batch, so producers see freed space in one release-store instead of one
+  // per record; the consumed region is zeroed first so stale payload bytes
+  // can never masquerade as a commit flag on the next lap. The spans are
+  // valid only during the `visit` call.
+  template <typename Visitor>
+  std::size_t ConsumeBatch(Visitor&& visit, std::size_t max_records) {
+    const std::uint64_t tail0 = tail_.load(std::memory_order_relaxed);
+    std::uint64_t tail = tail0;
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    std::size_t consumed = 0;
+    while (consumed < max_records && tail != head) {
+      auto* hdr = reinterpret_cast<RecordHeader*>(&data_[Index(tail)]);
+      const std::uint32_t committed =
+          reinterpret_cast<std::atomic<std::uint32_t>*>(&hdr->committed)
+              ->load(std::memory_order_acquire);
+      if (committed == 0) break;  // producer still writing this record
+      const std::size_t payload = hdr->length;
+      const std::size_t payload_start = Index(tail + kHeaderSize);
+      const std::size_t first_chunk =
+          std::min(payload, capacity_ - payload_start);
+      if (first_chunk == payload) {
+        visit(std::span<const std::byte>(&data_[payload_start], payload));
+      } else {
+        wrap_scratch_.resize(payload);
+        std::memcpy(wrap_scratch_.data(), &data_[payload_start], first_chunk);
+        std::memcpy(wrap_scratch_.data() + first_chunk, &data_[0],
+                    payload - first_chunk);
+        visit(std::span<const std::byte>(wrap_scratch_));
+      }
+      tail += (kHeaderSize + payload + kAlign - 1) & ~(kAlign - 1);
+      ++consumed;
+    }
+    if (consumed > 0) {
+      // Zero the whole consumed region before releasing it. Record
+      // boundaries shift between laps (sizes vary), so a future header can
+      // land on bytes that used to be payload; any nonzero residue there
+      // would read as a commit flag for a record whose producer has
+      // reserved space (head_ already advanced) but not yet written the
+      // header. Producers only reuse this region after acquiring the new
+      // tail_, which orders these writes before theirs.
+      const std::size_t begin = Index(tail0);
+      const std::size_t len = static_cast<std::size_t>(tail - tail0);
+      const std::size_t first = std::min(len, capacity_ - begin);
+      std::memset(&data_[begin], 0, first);
+      std::memset(&data_[0], 0, len - first);
+      tail_.store(tail, std::memory_order_release);
+    }
+    return consumed;
+  }
 
   // Number of committed-but-unconsumed bytes (approximate under concurrency).
   [[nodiscard]] std::size_t ApproxBytesUsed() const;
@@ -43,6 +101,10 @@ class ByteRingBuffer {
   }
 
  private:
+  // Test-only: lets the unit test stage a partially-committed record to
+  // exercise the consumer's stop-at-uncommitted stall deterministically.
+  friend class ByteRingBufferTestPeer;
+
   struct RecordHeader {
     std::uint32_t length;     // payload bytes
     std::uint32_t committed;  // 0 while being written, 1 when readable
@@ -62,6 +124,9 @@ class ByteRingBuffer {
   std::atomic<std::uint64_t> tail_{0};
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> pushed_{0};
+  // Assembly buffer for payloads crossing the wrap point. Touched only by
+  // the (single) consumer, so it needs no lock.
+  std::vector<std::byte> wrap_scratch_;
 };
 
 }  // namespace dio

@@ -4,10 +4,12 @@
 // full the record is dropped and counted — the §III-D discard behaviour.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/ring_buffer.h"
@@ -28,23 +30,36 @@ class PerCpuRingBuffer {
     return RingOf(cpu).TryPush(record);
   }
 
-  // Consumer path: drains up to `max_records` records across all CPUs into
-  // `sink`. Returns the number of records consumed.
+  // Consumer path, batch drain of ONE CPU's ring: hands zero-copy spans to
+  // `sink` and advances the ring's tail once per batch. Each ring must have
+  // at most one draining thread (SPSC per ring); different CPUs may be
+  // drained by different threads concurrently.
+  template <typename Sink>
+  std::size_t DrainRing(int cpu, Sink&& sink, std::size_t max_records) {
+    return RingOf(cpu).ConsumeBatch(std::forward<Sink>(sink), max_records);
+  }
+
+  // Legacy single-consumer shim: drains up to `max_records` records across
+  // all CPUs into `sink`. Returns the number of records consumed.
+  //
+  // Fairness: each pass grants every CPU a bounded batch (instead of the old
+  // one-record-per-full-scan walk, which re-scanned all drained rings once
+  // per record). Within one CPU consumption stays FIFO; across CPUs no ring
+  // can starve the others because the per-pass batch is capped.
   template <typename Sink>
   std::size_t Poll(Sink&& sink, std::size_t max_records) {
+    constexpr std::size_t kBatchPerPass = 64;
     std::size_t consumed = 0;
-    std::vector<std::byte> scratch;
-    // Round-robin across CPUs so one busy CPU cannot starve the others.
     bool any = true;
     while (consumed < max_records && any) {
       any = false;
       for (auto& ring : rings_) {
         if (consumed >= max_records) break;
-        if (ring->TryPop(scratch)) {
-          sink(std::span<const std::byte>(scratch));
-          ++consumed;
-          any = true;
-        }
+        const std::size_t budget =
+            std::min(kBatchPerPass, max_records - consumed);
+        const std::size_t n = ring->ConsumeBatch(sink, budget);
+        consumed += n;
+        any = any || n > 0;
       }
     }
     return consumed;

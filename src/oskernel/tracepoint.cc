@@ -5,124 +5,149 @@
 namespace dio::os {
 
 namespace {
-template <typename List, typename Entry>
-std::shared_ptr<const List> WithAppended(const std::shared_ptr<const List>& old,
-                                         Entry entry) {
-  auto updated = old ? std::make_shared<List>(*old) : std::make_shared<List>();
-  updated->push_back(std::move(entry));
-  return updated;
-}
-
-template <typename List>
-std::shared_ptr<const List> WithRemoved(const std::shared_ptr<const List>& old,
-                                        AttachId id, bool* removed) {
-  if (!old) return old;
-  auto updated = std::make_shared<List>();
-  updated->reserve(old->size());
-  for (const auto& entry : *old) {
-    if (entry.id == id) {
-      *removed = true;
-    } else {
-      updated->push_back(entry);
-    }
-  }
-  return updated;
-}
-}  // namespace
-
-AttachId TracepointRegistry::AttachEnter(SyscallNr nr,
-                                         SysEnterHandler handler) {
-  std::scoped_lock lock(mutation_mu_);
-  const AttachId id = next_id_++;
-  auto& slot = enter_[static_cast<std::size_t>(nr)];
-  slot.store(WithAppended(slot.load(), Entry<SysEnterHandler>{id, std::move(handler)}));
-  return id;
-}
-
-AttachId TracepointRegistry::AttachExit(SyscallNr nr, SysExitHandler handler) {
-  std::scoped_lock lock(mutation_mu_);
-  const AttachId id = next_id_++;
-  auto& slot = exit_[static_cast<std::size_t>(nr)];
-  slot.store(WithAppended(slot.load(), Entry<SysExitHandler>{id, std::move(handler)}));
-  return id;
-}
-
-void TracepointRegistry::Detach(AttachId id) {
-  {
-    std::scoped_lock lock(mutation_mu_);
-    bool removed = false;
-    for (auto& slot : enter_) {
-      auto updated = WithRemoved(slot.load(), id, &removed);
-      if (removed) {
-        slot.store(std::move(updated));
-        break;
-      }
-    }
-    if (!removed) {
-      for (auto& slot : exit_) {
-        auto updated = WithRemoved(slot.load(), id, &removed);
-        if (removed) {
-          slot.store(std::move(updated));
-          break;
-        }
-      }
-    }
-  }
-  Synchronize();
-}
-
-void TracepointRegistry::DetachAll() {
-  {
-    std::scoped_lock lock(mutation_mu_);
-    for (auto& slot : enter_) slot.store(nullptr);
-    for (auto& slot : exit_) slot.store(nullptr);
-  }
-  Synchronize();
-}
-
-void TracepointRegistry::Synchronize() const {
-  while (active_dispatches_.load(std::memory_order_acquire) != 0) {
-    std::this_thread::yield();
-  }
-}
-
-namespace {
-// RAII dispatch marker for the detach grace period.
+// RAII dispatch marker for the attach/detach grace period. seq_cst on both
+// ends: see Synchronize().
 class DispatchGuard {
  public:
   explicit DispatchGuard(std::atomic<std::uint64_t>& counter)
       : counter_(counter) {
-    counter_.fetch_add(1, std::memory_order_acquire);
+    counter_.fetch_add(1);
   }
-  ~DispatchGuard() { counter_.fetch_sub(1, std::memory_order_release); }
+  ~DispatchGuard() { counter_.fetch_sub(1); }
 
  private:
   std::atomic<std::uint64_t>& counter_;
 };
 }  // namespace
 
+TracepointRegistry::~TracepointRegistry() {
+  // Drops every handler list and reclaims all retired snapshots.
+  DetachAll();
+}
+
+template <typename Handler>
+void TracepointRegistry::AppendLocked(
+    SlotArray<Handler>& slots,
+    std::vector<const HandlerList<Handler>*>& retired, SyscallNr nr,
+    AttachId id, Handler handler) {
+  auto& slot = slots[static_cast<std::size_t>(nr)];
+  const HandlerList<Handler>* old = slot.load(std::memory_order_relaxed);
+  auto* updated = old ? new HandlerList<Handler>(*old)
+                      : new HandlerList<Handler>();
+  updated->push_back(Entry<Handler>{id, std::move(handler)});
+  slot.store(updated);  // seq_cst, pairs with the reader's counter increment
+  if (old != nullptr) retired.push_back(old);
+}
+
+template <typename Handler>
+bool TracepointRegistry::RemoveLocked(
+    SlotArray<Handler>& slots,
+    std::vector<const HandlerList<Handler>*>& retired, AttachId id) {
+  for (auto& slot : slots) {
+    const HandlerList<Handler>* old = slot.load(std::memory_order_relaxed);
+    if (old == nullptr) continue;
+    bool found = false;
+    for (const auto& entry : *old) {
+      if (entry.id == id) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) continue;
+    auto* updated = new HandlerList<Handler>();
+    updated->reserve(old->size() - 1);
+    for (const auto& entry : *old) {
+      if (entry.id != id) updated->push_back(entry);
+    }
+    slot.store(updated);
+    retired.push_back(old);
+    return true;
+  }
+  return false;
+}
+
+AttachId TracepointRegistry::AttachEnter(SyscallNr nr,
+                                         SysEnterHandler handler) {
+  std::scoped_lock lock(mutation_mu_);
+  const AttachId id = next_id_++;
+  AppendLocked(enter_, retired_enter_, nr, id, std::move(handler));
+  ReclaimLocked();
+  return id;
+}
+
+AttachId TracepointRegistry::AttachExit(SyscallNr nr, SysExitHandler handler) {
+  std::scoped_lock lock(mutation_mu_);
+  const AttachId id = next_id_++;
+  AppendLocked(exit_, retired_exit_, nr, id, std::move(handler));
+  ReclaimLocked();
+  return id;
+}
+
+void TracepointRegistry::Detach(AttachId id) {
+  std::scoped_lock lock(mutation_mu_);
+  if (!RemoveLocked(enter_, retired_enter_, id)) {
+    RemoveLocked(exit_, retired_exit_, id);
+  }
+  ReclaimLocked();
+}
+
+void TracepointRegistry::DetachAll() {
+  std::scoped_lock lock(mutation_mu_);
+  for (auto& slot : enter_) {
+    if (const auto* old = slot.load(std::memory_order_relaxed)) {
+      slot.store(nullptr);
+      retired_enter_.push_back(old);
+    }
+  }
+  for (auto& slot : exit_) {
+    if (const auto* old = slot.load(std::memory_order_relaxed)) {
+      slot.store(nullptr);
+      retired_exit_.push_back(old);
+    }
+  }
+  ReclaimLocked();
+}
+
+void TracepointRegistry::Synchronize() const {
+  while (active_dispatches_.load() != 0) {
+    std::this_thread::yield();
+  }
+}
+
+void TracepointRegistry::ReclaimLocked() {
+  if (retired_enter_.empty() && retired_exit_.empty()) return;
+  Synchronize();
+  for (const auto* list : retired_enter_) delete list;
+  for (const auto* list : retired_exit_) delete list;
+  retired_enter_.clear();
+  retired_exit_.clear();
+}
+
 void TracepointRegistry::FireEnter(const SysEnterContext& ctx) const {
   DispatchGuard guard(active_dispatches_);
-  const auto handlers = enter_[static_cast<std::size_t>(ctx.nr)].load();
-  if (!handlers) return;
+  const auto* handlers = enter_[static_cast<std::size_t>(ctx.nr)].load();
+  if (handlers == nullptr) return;
   for (const auto& entry : *handlers) entry.handler(ctx);
 }
 
 void TracepointRegistry::FireExit(const SysExitContext& ctx) const {
   DispatchGuard guard(active_dispatches_);
-  const auto handlers = exit_[static_cast<std::size_t>(ctx.nr)].load();
-  if (!handlers) return;
+  const auto* handlers = exit_[static_cast<std::size_t>(ctx.nr)].load();
+  if (handlers == nullptr) return;
   for (const auto& entry : *handlers) entry.handler(ctx);
 }
 
 bool TracepointRegistry::HasEnter(SyscallNr nr) const {
-  const auto handlers = enter_[static_cast<std::size_t>(nr)].load();
-  return handlers && !handlers->empty();
+  // The guard keeps the snapshot alive across the empty() dereference.
+  DispatchGuard guard(active_dispatches_);
+  const auto* handlers = enter_[static_cast<std::size_t>(nr)].load();
+  return handlers != nullptr && !handlers->empty();
 }
 
 bool TracepointRegistry::HasExit(SyscallNr nr) const {
-  const auto handlers = exit_[static_cast<std::size_t>(nr)].load();
-  return handlers && !handlers->empty();
+  DispatchGuard guard(active_dispatches_);
+  const auto* handlers = exit_[static_cast<std::size_t>(nr)].load();
+  return handlers != nullptr && !handlers->empty();
 }
 
 }  // namespace dio::os

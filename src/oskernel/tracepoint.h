@@ -85,13 +85,17 @@ using AttachId = std::uint64_t;
 class TracepointRegistry {
  public:
   TracepointRegistry() = default;
+  ~TracepointRegistry();
+
+  TracepointRegistry(const TracepointRegistry&) = delete;
+  TracepointRegistry& operator=(const TracepointRegistry&) = delete;
 
   AttachId AttachEnter(SyscallNr nr, SysEnterHandler handler);
   AttachId AttachExit(SyscallNr nr, SysExitHandler handler);
-  // Detach waits for every in-flight handler invocation to finish before
-  // returning (the synchronize_rcu() grace period real BPF detach performs),
-  // so a detached program's captured state can be destroyed safely.
-  // Handlers must therefore never call Detach themselves.
+  // Attach/Detach wait for every in-flight handler invocation to finish
+  // before returning (the synchronize_rcu() grace period real BPF
+  // attach/detach performs), so a replaced handler list can be reclaimed
+  // safely. Handlers must therefore never call Attach/Detach themselves.
   void Detach(AttachId id);
   void DetachAll();
 
@@ -112,21 +116,38 @@ class TracepointRegistry {
   };
   template <typename Handler>
   using HandlerList = std::vector<Entry<Handler>>;
+  template <typename Handler>
+  using SlotArray =
+      std::array<std::atomic<const HandlerList<Handler>*>, kNumSyscalls>;
 
   // RCU-style grace period: waits until no handler dispatch is in flight.
+  // Dekker-style pairing with DispatchGuard: the slot store, the dispatch
+  // counter increment, and this load are all seq_cst, so a reader that the
+  // grace period missed is guaranteed to observe the new slot value.
   void Synchronize() const;
 
-  // Immutable snapshots; readers load atomically, writers swap wholesale
-  // under mutation_mu_.
+  template <typename Handler>
+  void AppendLocked(SlotArray<Handler>& slots,
+                    std::vector<const HandlerList<Handler>*>& retired,
+                    SyscallNr nr, AttachId id, Handler handler);
+  template <typename Handler>
+  bool RemoveLocked(SlotArray<Handler>& slots,
+                    std::vector<const HandlerList<Handler>*>& retired,
+                    AttachId id);
+  // Waits out the grace period and frees every retired snapshot. Requires
+  // mutation_mu_ held (readers never take it, so this cannot deadlock).
+  void ReclaimLocked();
+
+  // Immutable snapshots: readers (FireEnter/FireExit/HasEnter/HasExit) load
+  // the raw pointer under a DispatchGuard; writers swap wholesale under
+  // mutation_mu_ and reclaim the old list after the grace period.
   mutable std::atomic<std::uint64_t> active_dispatches_{0};
   mutable std::mutex mutation_mu_;
   std::uint64_t next_id_ = 1;
-  std::array<std::atomic<std::shared_ptr<const HandlerList<SysEnterHandler>>>,
-             kNumSyscalls>
-      enter_{};
-  std::array<std::atomic<std::shared_ptr<const HandlerList<SysExitHandler>>>,
-             kNumSyscalls>
-      exit_{};
+  SlotArray<SysEnterHandler> enter_{};
+  SlotArray<SysExitHandler> exit_{};
+  std::vector<const HandlerList<SysEnterHandler>*> retired_enter_;
+  std::vector<const HandlerList<SysExitHandler>*> retired_exit_;
 };
 
 }  // namespace dio::os

@@ -3,9 +3,11 @@
 // in-memory sink.
 #pragma once
 
+#include <string_view>
 #include <vector>
 
 #include "common/json.h"
+#include "tracer/event.h"
 
 namespace dio::tracer {
 
@@ -15,6 +17,20 @@ class EventSink {
   // Bulk ingestion of a batch of event documents (mirrors Elasticsearch's
   // _bulk API used by the paper's tracer).
   virtual void IndexBatch(std::vector<Json> documents) = 0;
+  // Fast path: decoded binary events, NOT yet materialized as JSON. The
+  // consumer threads call this so per-event Json allocation happens inside
+  // the sink (for BulkClient: on the sender thread / at store ingest),
+  // keeping the ring-drain loops lean. The default implementation converts
+  // eagerly and forwards to IndexBatch, so simple sinks only implement that.
+  virtual void IndexEvents(std::string_view session,
+                           std::vector<Event> events) {
+    std::vector<Json> documents;
+    documents.reserve(events.size());
+    for (const Event& event : events) {
+      documents.push_back(event.ToJson(session));
+    }
+    IndexBatch(std::move(documents));
+  }
   // Called at session end so the sink can flush/refresh.
   virtual void Flush() {}
 };

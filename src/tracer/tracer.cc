@@ -1,5 +1,6 @@
 #include "tracer/tracer.h"
 
+#include <algorithm>
 #include <charconv>
 #include <unordered_map>
 
@@ -64,6 +65,9 @@ Expected<TracerOptions> TracerOptions::FromConfig(const Config& config) {
       config.GetInt("tracer.flush_interval_ns", options.flush_interval_ns);
   options.poll_interval_ns =
       config.GetInt("tracer.poll_interval_ns", options.poll_interval_ns);
+  options.consumer_threads = static_cast<std::size_t>(
+      config.GetInt("tracer.consumer_threads",
+                    static_cast<std::int64_t>(options.consumer_threads)));
   options.enrich = config.GetBool("tracer.enrich", options.enrich);
   options.aggregate_in_kernel = config.GetBool(
       "tracer.aggregate_in_kernel", options.aggregate_in_kernel);
@@ -131,19 +135,40 @@ Status DioTracer::Start() {
     if (!exit_link.ok()) return exit_link.status();
     links_.push_back(std::move(exit_link.value()));
   }
-  consumer_ = std::jthread([this](std::stop_token st) { ConsumerLoop(st); });
+  const std::size_t num_workers = ResolveConsumerThreads();
+  consumers_.reserve(num_workers);
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    consumers_.emplace_back([this, w, num_workers](std::stop_token st) {
+      ConsumerLoop(st, w, num_workers);
+    });
+  }
   return Status::Ok();
+}
+
+std::size_t DioTracer::ResolveConsumerThreads() const {
+  std::size_t n = options_.consumer_threads;
+  if (n == 0) {
+    const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    n = std::min<std::size_t>(
+        static_cast<std::size_t>(kernel_->num_cpus()), hw);
+  }
+  // More workers than rings would leave threads idle; fewer than one is
+  // meaningless.
+  return std::clamp<std::size_t>(
+      n, 1, static_cast<std::size_t>(kernel_->num_cpus()));
 }
 
 void DioTracer::Stop() {
   if (!started_.load() || stopped_.exchange(true)) return;
-  // Detach first so no new events are produced, then let the consumer drain.
+  // Detach first so no new events are produced, then let the consumers
+  // drain their stripes.
   for (ebpf::BpfLink& link : links_) link.Detach();
   links_.clear();
-  if (consumer_.joinable()) {
-    consumer_.request_stop();
-    consumer_.join();
+  for (std::jthread& consumer : consumers_) consumer.request_stop();
+  for (std::jthread& consumer : consumers_) {
+    if (consumer.joinable()) consumer.join();
   }
+  consumers_.clear();
   sink_->Flush();
 }
 
@@ -410,20 +435,27 @@ void DioTracer::OnExit(const os::SysExitContext& ctx) {
   rings_.Output(event.cpu, wire);  // drop counting lives in the ring
 }
 
-void DioTracer::ConsumerLoop(const std::stop_token& stop) {
-  std::vector<Json> batch;
+void DioTracer::ConsumerLoop(const std::stop_token& stop, std::size_t worker,
+                             std::size_t num_workers) {
+  std::vector<Event> batch;
   batch.reserve(options_.batch_size);
   Nanos last_flush = kernel_->clock()->NowNanos();
-  // Raw-mode pairing state: tid -> pending enter half.
+  // Raw-mode pairing state: tid -> pending enter half. Safe per worker:
+  // cpu_of(tid) is stable, so both halves of a syscall land on the same
+  // ring and therefore on the same consumer stripe.
   std::unordered_map<os::Tid, Event> half_events;
 
   const auto handle = [&](std::span<const std::byte> bytes) {
+    // `consumed` counts every record drained from a ring, including the
+    // ones that fail to decode — stats() keeps
+    // consumed == emitted + user_filtered + decode_errors (+ any raw-mode
+    // halves still being paired).
+    consumed_.fetch_add(1, std::memory_order_relaxed);
     auto event = DeserializeEvent(bytes);
     if (!event.ok()) {
       decode_errors_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    consumed_.fetch_add(1, std::memory_order_relaxed);
     if (event->phase == EventPhase::kEnter) {
       half_events[event->tid] = std::move(event.value());
       return;
@@ -450,12 +482,19 @@ void DioTracer::ConsumerLoop(const std::stop_token& stop) {
         return;
       }
     }
-    batch.push_back(event->ToJson(options_.session_name));
+    batch.push_back(std::move(event.value()));
     if (batch.size() >= options_.batch_size) FlushBatch(&batch);
   };
 
+  const int num_cpus = rings_.num_cpus();
   while (true) {
-    const std::size_t n = rings_.Poll(handle, 4096);
+    // Drain this worker's stripe of rings; each ring is drained by exactly
+    // one worker (SPSC), in zero-copy batches.
+    std::size_t n = 0;
+    for (int cpu = static_cast<int>(worker); cpu < num_cpus;
+         cpu += static_cast<int>(num_workers)) {
+      n += rings_.DrainRing(cpu, handle, 4096);
+    }
     const Nanos now = kernel_->clock()->NowNanos();
     if (!batch.empty() && now - last_flush >= options_.flush_interval_ns) {
       FlushBatch(&batch);
@@ -470,11 +509,11 @@ void DioTracer::ConsumerLoop(const std::stop_token& stop) {
   if (!batch.empty()) FlushBatch(&batch);
 }
 
-void DioTracer::FlushBatch(std::vector<Json>* batch) {
+void DioTracer::FlushBatch(std::vector<Event>* batch) {
   if (batch->empty()) return;
   emitted_.fetch_add(batch->size(), std::memory_order_relaxed);
   batches_.fetch_add(1, std::memory_order_relaxed);
-  sink_->IndexBatch(std::move(*batch));
+  sink_->IndexEvents(options_.session_name, std::move(*batch));
   batch->clear();
   batch->reserve(options_.batch_size);
 }

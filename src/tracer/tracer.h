@@ -9,10 +9,12 @@
 //     and reserve+commit it into the per-CPU ring buffer. Full ring => the
 //     event is dropped and counted (§III-D).
 //
-// User side: a consumer thread polls the rings, decodes events, converts
-// them to JSON documents, and ships them to the backend in batches
-// ("buckets ... sent and indexed in batches", §II-B) — asynchronously, off
-// the application's critical path.
+// User side: N consumer threads (consumer_threads option) each own a
+// disjoint stripe of the per-CPU rings and drain them in zero-copy batches,
+// decode events, and ship them to the backend in batches ("buckets ... sent
+// and indexed in batches", §II-B) — asynchronously, off the application's
+// critical path. JSON materialization is deferred to the sink so the drain
+// loops never allocate documents.
 #pragma once
 
 #include <atomic>
@@ -57,6 +59,12 @@ struct TracerOptions {
   std::size_t batch_size = 512;
   Nanos flush_interval_ns = 50 * kMillisecond;
   Nanos poll_interval_ns = kMillisecond;
+
+  // User-space drain parallelism: number of consumer threads, each owning a
+  // disjoint stripe of the per-CPU rings (SPSC per ring). 0 = auto:
+  // min(num_cpus, hardware_concurrency). Values above num_cpus are clamped
+  // (extra threads would have no ring to drain).
+  std::size_t consumer_threads = 0;
 
   // Enrichment on/off (ablation; §II-B says Sysdig-style tracers skip it).
   bool enrich = true;
@@ -135,8 +143,11 @@ class DioTracer {
   void EmitEnterHalf(const os::SysEnterContext& ctx,
                      const PendingEntry& entry);
   void EmitExitHalf(const os::SysExitContext& ctx);
-  void ConsumerLoop(const std::stop_token& stop);
-  void FlushBatch(std::vector<Json>* batch);
+  // One of `num_workers` drain loops; worker w owns rings w, w+N, w+2N, …
+  void ConsumerLoop(const std::stop_token& stop, std::size_t worker,
+                    std::size_t num_workers);
+  void FlushBatch(std::vector<Event>* batch);
+  [[nodiscard]] std::size_t ResolveConsumerThreads() const;
   void Enrich(Event* event, const PendingEntry& entry,
               const os::SysExitContext& ctx);
   [[nodiscard]] bool PassesFilters(os::Pid pid, os::Tid tid,
@@ -160,7 +171,7 @@ class DioTracer {
 
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
-  std::jthread consumer_;
+  std::vector<std::jthread> consumers_;
 
   // Stats counters (relaxed atomics; aggregated in stats()).
   std::atomic<std::uint64_t> enter_hits_{0};

@@ -297,5 +297,130 @@ TEST_F(StoreTest, ConcurrentBulkAndSearch) {
   EXPECT_EQ(*store_.Count("conc", Query::MatchAll()), 50u);
 }
 
+// ---- shard parity -----------------------------------------------------------
+// The sharded store is a pure performance refactor: for the same Bulk call
+// sequence, every observable result (hits, docids, totals, aggregations,
+// update-by-query effects) must be byte-identical across shard counts.
+
+std::string DumpResult(const SearchResult& result) {
+  Json out = Json::MakeObject();
+  out.Set("total", result.total);
+  Json hits = Json::MakeArray();
+  for (const Hit& hit : result.hits) {
+    Json h = Json::MakeObject();
+    h.Set("id", hit.id);
+    h.Set("source", hit.source);
+    hits.Append(std::move(h));
+  }
+  out.Set("hits", std::move(hits));
+  return out.Dump();
+}
+
+std::string DumpAgg(const AggResult& agg) {
+  Json out = Json::MakeObject();
+  out.Set("metrics", agg.metrics);
+  Json buckets = Json::MakeArray();
+  for (const AggBucket& bucket : agg.buckets) {
+    Json b = Json::MakeObject();
+    b.Set("key", bucket.key);
+    b.Set("doc_count", bucket.doc_count);
+    for (const auto& [name, sub] : bucket.sub) {
+      b.Set("sub_" + name, DumpAgg(sub));
+    }
+    buckets.Append(std::move(b));
+  }
+  out.Set("buckets", std::move(buckets));
+  return out.Dump();
+}
+
+class ShardParityTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShardParityTest, IdenticalToUnshardedStore) {
+  ElasticStore reference(1);
+  ElasticStore sharded(GetParam());
+
+  // Same Bulk call sequence into both, with varied batch sizes so documents
+  // land in every sub-shard.
+  int doc = 0;
+  for (const int batch_size : {1, 7, 64, 3, 128, 5}) {
+    std::vector<Json> docs;
+    for (int i = 0; i < batch_size; ++i, ++doc) {
+      Json d = Event(doc % 3 == 0 ? "read" : (doc % 3 == 1 ? "write" : "fsync"),
+                     100 + doc % 5, 1000 + (doc * 37) % 991, doc % 17);
+      d.Set("file_path", "/data/db/sstable-" + std::to_string(doc % 9));
+      docs.push_back(d);
+    }
+    reference.Bulk("parity", docs);
+    sharded.Bulk("parity", std::move(docs));
+    if (batch_size == 64) {  // interleave a refresh mid-sequence
+      reference.Refresh("parity");
+      sharded.Refresh("parity");
+    }
+  }
+  reference.Refresh("parity");
+  sharded.Refresh("parity");
+
+  const std::vector<SearchRequest> requests = [] {
+    std::vector<SearchRequest> out;
+    SearchRequest all;
+    out.push_back(all);  // docid order, match_all
+    SearchRequest term;
+    term.query = Query::Term("syscall", "read");
+    out.push_back(term);
+    SearchRequest range;
+    range.query = Query::Range("time_enter", 1100, 1700);
+    range.sort = {{"time_enter", true}, {"tid", false}};
+    out.push_back(range);
+    SearchRequest boolean;
+    boolean.query = Query::And(
+        {Query::Or({Query::Term("syscall", "write"),
+                    Query::Term("syscall", "fsync")}),
+         Query::Not(Query::Term("tid", 102)),
+         Query::Prefix("file_path", "/data/db/sstable-1")});
+    out.push_back(boolean);
+    SearchRequest paged;
+    paged.sort = {{"ret", false}};
+    paged.from = 10;
+    paged.size = 25;
+    out.push_back(paged);
+    return out;
+  }();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    auto ref = reference.Search("parity", requests[i]);
+    auto got = sharded.Search("parity", requests[i]);
+    ASSERT_TRUE(ref.ok() && got.ok()) << "request " << i;
+    EXPECT_EQ(DumpResult(*got), DumpResult(*ref)) << "request " << i;
+  }
+
+  // Counts and aggregations.
+  EXPECT_EQ(*sharded.Count("parity", Query::Term("syscall", "read")),
+            *reference.Count("parity", Query::Term("syscall", "read")));
+  const Aggregation agg =
+      Aggregation::Terms("syscall").SubAgg("lat", Aggregation::Stats("ret"));
+  auto ref_agg = reference.Aggregate("parity", Query::MatchAll(), agg);
+  auto got_agg = sharded.Aggregate("parity", Query::MatchAll(), agg);
+  ASSERT_TRUE(ref_agg.ok() && got_agg.ok());
+  EXPECT_EQ(DumpAgg(*got_agg), DumpAgg(*ref_agg));
+
+  // Update-by-query must touch the same documents in both stores.
+  const auto set_flag = [](Json& d) { d.Set("correlated", true); };
+  auto ref_updated = reference.UpdateByQuery(
+      "parity", Query::Term("syscall", "fsync"), set_flag);
+  auto got_updated =
+      sharded.UpdateByQuery("parity", Query::Term("syscall", "fsync"),
+                            set_flag);
+  ASSERT_TRUE(ref_updated.ok() && got_updated.ok());
+  EXPECT_EQ(*got_updated, *ref_updated);
+  SearchRequest updated;
+  updated.query = Query::Term("correlated", true);
+  auto ref_after = reference.Search("parity", updated);
+  auto got_after = sharded.Search("parity", updated);
+  ASSERT_TRUE(ref_after.ok() && got_after.ok());
+  EXPECT_EQ(DumpResult(*got_after), DumpResult(*ref_after));
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardParityTest,
+                         ::testing::Values(2, 3, 4, 8));
+
 }  // namespace
 }  // namespace dio::backend

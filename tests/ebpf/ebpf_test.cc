@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstring>
 #include <thread>
 
@@ -119,6 +120,79 @@ TEST(PerCpuRingBufferTest, PollHonoursMaxRecords) {
   int count = 0;
   EXPECT_EQ(rings.Poll([&](auto) { ++count; }, 3), 3u);
   EXPECT_EQ(count, 3);
+}
+
+// Regression: the batched Poll must keep FIFO order WITHIN each CPU's ring
+// even when the budget forces multiple passes over the rings.
+TEST(PerCpuRingBufferTest, PollKeepsFifoWithinEachCpu) {
+  constexpr int kCpus = 3;
+  constexpr std::uint32_t kPerCpu = 200;  // > the 64-record per-pass batch
+  PerCpuRingBuffer rings(kCpus, 1u << 16);
+  for (std::uint32_t i = 0; i < kPerCpu; ++i) {
+    for (int cpu = 0; cpu < kCpus; ++cpu) {
+      const std::uint32_t tagged = static_cast<std::uint32_t>(cpu) << 24 | i;
+      ASSERT_TRUE(rings.Output(
+          cpu, std::as_bytes(std::span(&tagged, 1))));
+    }
+  }
+  std::vector<std::vector<std::uint32_t>> per_cpu(kCpus);
+  std::size_t total = 0;
+  // Small budgets force many passes; interleaving across CPUs is allowed,
+  // reordering within one CPU is not.
+  while (true) {
+    const std::size_t n = rings.Poll(
+        [&](std::span<const std::byte> record) {
+          std::uint32_t tagged;
+          std::memcpy(&tagged, record.data(), sizeof(tagged));
+          per_cpu[tagged >> 24].push_back(tagged & 0xffffff);
+        },
+        150);
+    if (n == 0) break;
+    total += n;
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kCpus) * kPerCpu);
+  for (int cpu = 0; cpu < kCpus; ++cpu) {
+    ASSERT_EQ(per_cpu[cpu].size(), kPerCpu) << "cpu " << cpu;
+    for (std::uint32_t i = 0; i < kPerCpu; ++i) {
+      ASSERT_EQ(per_cpu[cpu][i], i) << "cpu " << cpu;
+    }
+  }
+}
+
+// DrainRing is the per-CPU SPSC path: concurrent drainers on DIFFERENT rings
+// must not interfere with each other.
+TEST(PerCpuRingBufferTest, ConcurrentDrainersOnDistinctRings) {
+  constexpr int kCpus = 4;
+  constexpr std::uint32_t kPerCpu = 5000;
+  PerCpuRingBuffer rings(kCpus, 1u << 16);
+  std::vector<std::thread> workers;
+  std::array<std::uint64_t, kCpus> drained{};
+  for (int cpu = 0; cpu < kCpus; ++cpu) {
+    workers.emplace_back([&rings, &drained, cpu] {
+      std::uint32_t next_expected = 0;
+      std::uint32_t produced = 0;
+      while (next_expected < kPerCpu) {
+        if (produced < kPerCpu) {
+          ASSERT_TRUE(rings.Output(
+              cpu, std::as_bytes(std::span(&produced, 1))));
+          ++produced;
+        }
+        drained[cpu] += rings.DrainRing(
+            cpu,
+            [&](std::span<const std::byte> record) {
+              std::uint32_t value;
+              std::memcpy(&value, record.data(), sizeof(value));
+              ASSERT_EQ(value, next_expected);
+              ++next_expected;
+            },
+            64);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  for (int cpu = 0; cpu < kCpus; ++cpu) {
+    EXPECT_EQ(drained[cpu], kPerCpu) << "cpu " << cpu;
+  }
 }
 
 // ---- verifier -----------------------------------------------------------------

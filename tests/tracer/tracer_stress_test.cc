@@ -116,6 +116,70 @@ TEST_P(TracerStress, AccountingExactUnderConcurrency) {
 
 INSTANTIATE_TEST_SUITE_P(Threads, TracerStress, ::testing::Values(2, 4, 8));
 
+// The parallel drain pipeline must keep the consumer-side ledger exact:
+// every record drained from a ring is either emitted, rejected by a
+// user-space filter, or a decode error — across ALL consumer threads.
+TEST(TracerStressTest, MultiConsumerAccountingInvariant) {
+  constexpr int kAppThreads = 4;
+  constexpr int kOpsPerThread = 2000;
+
+  TestEnv env;
+  CountingSink sink;
+
+  // Pre-create the processes so half can be named in a user-space filter.
+  std::vector<os::Pid> pids;
+  std::vector<os::Tid> tids;
+  for (int t = 0; t < kAppThreads; ++t) {
+    const os::Pid pid = env.kernel.CreateProcess("mc" + std::to_string(t));
+    pids.push_back(pid);
+    tids.push_back(env.kernel.SpawnThread(pid, "mc" + std::to_string(t)));
+  }
+
+  TracerOptions options;
+  options.session_name = "multi-consumer";
+  options.ring_bytes_per_cpu = 64u << 20;  // no drops wanted
+  options.poll_interval_ns = 100 * kMicrosecond;
+  options.consumer_threads = 4;       // one per simulated CPU
+  options.kernel_filtering = false;   // force the user-space filter path
+  options.pids = {pids[0], pids[1]};  // half the threads get filtered
+  DioTracer tracer(&env.kernel, &sink, options);
+  ASSERT_TRUE(tracer.Start().ok());
+
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < kAppThreads; ++t) {
+    threads.emplace_back([&env, &pids, &tids, t] {
+      os::ScopedTask task(env.kernel, pids[static_cast<std::size_t>(t)],
+                          tids[static_cast<std::size_t>(t)]);
+      const std::string path = "/data/mc" + std::to_string(t);
+      const auto fd = static_cast<os::Fd>(env.kernel.sys_creat(path, 0644));
+      for (int i = 0; i < kOpsPerThread; ++i) env.kernel.sys_write(fd, "x");
+      env.kernel.sys_close(fd);
+    });
+  }
+  threads.clear();  // join
+  tracer.Stop();
+
+  const TracerStats stats = tracer.stats();
+  // Every ring record was drained by exactly one of the 4 consumers...
+  EXPECT_EQ(stats.consumed, stats.ring_pushed);
+  EXPECT_EQ(stats.ring_dropped, 0u);
+  EXPECT_EQ(stats.decode_errors, 0u);
+  // ...and the consumer-side ledger is exact.
+  EXPECT_EQ(stats.consumed,
+            stats.emitted + stats.user_filtered + stats.decode_errors);
+  // Both sides of the filter are non-trivial: 2 of 4 pids traced.
+  const std::uint64_t per_thread =
+      static_cast<std::uint64_t>(kOpsPerThread) + 2;  // + creat + close
+  EXPECT_EQ(stats.user_filtered, 2 * per_thread);
+  EXPECT_EQ(stats.emitted, 2 * per_thread);
+  EXPECT_EQ(sink.docs().size(), 2 * per_thread);
+  // Only the allowed pids reached the sink.
+  for (const Json& doc : sink.docs()) {
+    const std::int64_t pid = doc.GetInt("pid");
+    EXPECT_TRUE(pid == pids[0] || pid == pids[1]) << pid;
+  }
+}
+
 TEST(TracerStressTest, StartStopCyclesUnderLoad) {
   TestEnv env;
   CountingSink sink;
