@@ -1,0 +1,184 @@
+// Ablation A6: transport-pipeline backpressure, retry, and loss accounting.
+//
+// The paper ships event batches asynchronously to a remote backend and
+// accepts discard under load (§II-C, §III-D). This harness isolates that
+// shipping stage: a producer pushes event batches through a configured
+// transport chain (bounded queue -> optional retry -> slow collector sink)
+// and sweeps backpressure policy x queue depth x injected fault rate.
+//
+// For every point the per-stage ledgers must balance:
+//   submitted == delivered + queue-dropped + dead-lettered
+// so the table shows not just HOW MUCH was lost but WHERE (queue vs. sink),
+// mirroring the loss-location breakdown d_event_discard reports for rings.
+// Emits BENCH_ab_transport.json ({bench, config, metrics}).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness_util.h"
+#include "common/string_util.h"
+#include "transport/pipeline.h"
+#include "transport/sinks.h"
+
+using namespace dio;
+
+namespace {
+
+constexpr int kBatches = 512;
+constexpr int kEventsPerBatch = 32;
+constexpr Nanos kSinkLatency = 200 * kMicrosecond;  // slow remote sink
+
+tracer::Event MakeEvent(int batch, int i) {
+  tracer::Event event;
+  event.nr = (i % 2 == 0) ? os::SyscallNr::kWrite : os::SyscallNr::kRead;
+  event.pid = 100;
+  event.tid = 1000;
+  event.comm = "producer";
+  event.proc_name = "ab_transport";
+  event.time_enter = static_cast<Nanos>(batch * 1000 + i);
+  event.time_exit = event.time_enter + 250;
+  event.ret = 4096;
+  event.fd = 3;
+  event.count = 4096;
+  return event;
+}
+
+struct SweepPoint {
+  transport::Backpressure policy = transport::Backpressure::kBlock;
+  std::size_t queue_depth = 0;
+  double fault_rate = 0.0;
+  double seconds = 0.0;
+  std::uint64_t submitted_events = 0;
+  std::uint64_t delivered_events = 0;
+  std::uint64_t queue_dropped_events = 0;
+  std::uint64_t dead_letter_events = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t faults = 0;
+  std::size_t max_queue_depth = 0;
+  bool ledger_balanced = false;
+};
+
+SweepPoint RunOne(transport::Backpressure policy, std::size_t queue_depth,
+                  double fault_rate) {
+  transport::CollectorSink* sink = nullptr;
+  transport::PipelineOptions options;
+  options.sinks = {"collector"};
+  options.queue.policy = policy;
+  options.queue.max_queued_batches = queue_depth;
+  options.retry.fault_rate = fault_rate;  // >0 enables the retry stage
+  options.retry.max_attempts = 5;
+  options.retry.initial_backoff_ns = 10 * kMicrosecond;
+  options.retry.max_backoff_ns = 100 * kMicrosecond;
+  auto make_sink = [&sink](const std::string& name,
+                           const transport::PipelineOptions&)
+      -> Expected<std::unique_ptr<transport::Transport>> {
+    if (name != "collector") return InvalidArgument("unknown sink: " + name);
+    auto collector = std::make_unique<transport::CollectorSink>(
+        transport::CollectorOptions{.deliver_latency_ns = kSinkLatency});
+    sink = collector.get();
+    return std::unique_ptr<transport::Transport>(std::move(collector));
+  };
+  auto pipeline = transport::Pipeline::Build("ab-transport", options,
+                                             make_sink);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "pipeline build failed: %s\n",
+                 pipeline.status().ToString().c_str());
+    return {};
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int b = 0; b < kBatches; ++b) {
+    std::vector<tracer::Event> events;
+    events.reserve(kEventsPerBatch);
+    for (int i = 0; i < kEventsPerBatch; ++i) {
+      events.push_back(MakeEvent(b, i));
+    }
+    (*pipeline)->IndexEvents("ab-transport", std::move(events));
+  }
+  (*pipeline)->Flush();
+  const auto end = std::chrono::steady_clock::now();
+
+  SweepPoint point;
+  point.policy = policy;
+  point.queue_depth = queue_depth;
+  point.fault_rate = fault_rate;
+  point.seconds = std::chrono::duration<double>(end - start).count();
+  point.submitted_events =
+      static_cast<std::uint64_t>(kBatches) * kEventsPerBatch;
+  point.delivered_events = sink->document_count();
+  for (const transport::StageStats& stage : (*pipeline)->Stats()) {
+    point.queue_dropped_events += stage.dropped_events;
+    point.dead_letter_events += stage.dead_letter_events;
+    point.retries += stage.retries;
+    point.faults += stage.faults_injected;
+    point.max_queue_depth = std::max(point.max_queue_depth,
+                                     stage.max_queue_depth);
+  }
+  point.ledger_balanced =
+      point.submitted_events == point.delivered_events +
+                                    point.queue_dropped_events +
+                                    point.dead_letter_events;
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ABLATION A6: transport pipeline sweep (%d batches x %d events, "
+              "sink latency %lld us)\n\n",
+              kBatches, kEventsPerBatch,
+              static_cast<long long>(kSinkLatency / kMicrosecond));
+  std::printf("%-12s %-7s %-7s %-10s %-11s %-11s %-9s %-8s %-8s %-8s\n",
+              "policy", "depth", "fault", "wall (s)", "delivered",
+              "q-dropped", "dead", "retries", "max-q", "ledger");
+
+  bench::BenchReport report("ab_transport");
+  report.SetConfig("batches", kBatches);
+  report.SetConfig("events_per_batch", kEventsPerBatch);
+  report.SetConfig("sink_latency_ns", kSinkLatency);
+  report.SetConfig("retry_max_attempts", 5);
+
+  for (const transport::Backpressure policy :
+       {transport::Backpressure::kBlock, transport::Backpressure::kDropNewest,
+        transport::Backpressure::kDropOldest}) {
+    for (const std::size_t depth : {4u, 64u}) {
+      for (const double fault_rate : {0.0, 0.2}) {
+        const SweepPoint point = RunOne(policy, depth, fault_rate);
+        std::printf(
+            "%-12s %-7zu %-7.2f %-10.3f %-11llu %-11llu %-9llu %-8llu "
+            "%-8zu %-8s\n",
+            std::string(transport::ToString(point.policy)).c_str(),
+            point.queue_depth, point.fault_rate, point.seconds,
+            static_cast<unsigned long long>(point.delivered_events),
+            static_cast<unsigned long long>(point.queue_dropped_events),
+            static_cast<unsigned long long>(point.dead_letter_events),
+            static_cast<unsigned long long>(point.retries),
+            point.max_queue_depth, point.ledger_balanced ? "OK" : "BROKEN");
+
+        Json row = Json::MakeObject();
+        row.Set("backpressure", std::string(transport::ToString(point.policy)));
+        row.Set("queue_depth", point.queue_depth);
+        row.Set("fault_rate", point.fault_rate);
+        row.Set("wall_seconds", point.seconds);
+        row.Set("submitted_events", point.submitted_events);
+        row.Set("delivered_events", point.delivered_events);
+        row.Set("queue_dropped_events", point.queue_dropped_events);
+        row.Set("dead_letter_events", point.dead_letter_events);
+        row.Set("retries", point.retries);
+        row.Set("faults_injected", point.faults);
+        row.Set("max_queue_depth", point.max_queue_depth);
+        row.Set("ledger_balanced", point.ledger_balanced);
+        report.AddRow(std::move(row));
+      }
+    }
+  }
+  report.Write();
+
+  std::printf(
+      "\nverdict: block never loses events (it trades producer stalls), the "
+      "drop policies\nconvert queue pressure into counted losses, and every "
+      "row's ledger must read OK —\nsubmitted == delivered + queue-dropped + "
+      "dead-lettered, the transport's accounting invariant.\n");
+  return 0;
+}

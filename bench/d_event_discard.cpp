@@ -27,6 +27,12 @@ struct Outcome {
   // discarded events (nothing reported at all) plus captured-but-unresolved
   // ones — the quantity the paper compares (DIO <=5% vs Sysdig ~45%).
   double pathless = 0.0;
+  // Loss-location breakdown (DIO only): beyond the ring, events can be lost
+  // in the transport queue (backpressure drops) or at the sink (retry
+  // exhaustion). The per-stage transport ledgers attribute each loss.
+  std::uint64_t transport_queue_dropped = 0;
+  std::uint64_t sink_dead_letters = 0;
+  std::uint64_t transport_retries = 0;
 };
 
 Outcome RunDio(std::uint64_t ops, std::size_t ring_bytes) {
@@ -53,6 +59,11 @@ Outcome RunDio(std::uint64_t ops, std::size_t ring_bytes) {
   const tracer::TracerStats stats = dio.tracer().stats();
   outcome.produced = stats.ring_pushed + stats.ring_dropped;
   outcome.dropped = stats.ring_dropped;
+  for (const transport::StageStats& stage : dio.transport_stats()) {
+    outcome.transport_queue_dropped += stage.dropped_events;
+    outcome.sink_dead_letters += stage.dead_letter_events;
+    outcome.transport_retries += stage.retries;
+  }
   const double unresolved = dio.pathless_ratio();  // among stored events
   outcome.pathless =
       (static_cast<double>(outcome.dropped) +
@@ -122,6 +133,21 @@ int main(int argc, char** argv) {
   std::printf("%-22s %-14s %-14s\n", "events without path",
               (FormatFixed(dio.pathless * 100.0, 1) + "%").c_str(),
               (FormatFixed(sysdig.pathless * 100.0, 1) + "%").c_str());
+
+  // Where DIO's losses happened, from the per-stage transport ledgers. The
+  // default chain uses Backpressure::Block (lossless past the ring), so any
+  // non-ring loss here would indicate a transport accounting bug.
+  std::printf(
+      "\nDIO loss location: ring %s / transport queue %s / sink dead-letter "
+      "%s (transport retries: %s)\n",
+      WithThousandsSeparators(static_cast<std::int64_t>(dio.dropped)).c_str(),
+      WithThousandsSeparators(
+          static_cast<std::int64_t>(dio.transport_queue_dropped))
+          .c_str(),
+      WithThousandsSeparators(static_cast<std::int64_t>(dio.sink_dead_letters))
+          .c_str(),
+      WithThousandsSeparators(static_cast<std::int64_t>(dio.transport_retries))
+          .c_str());
 
   std::printf(
       "\npaper-vs-measured (shape):\n"

@@ -1,10 +1,24 @@
 #include "backend/bulk_client.h"
 
 #include <chrono>
+#include <thread>
+#include <utility>
 
 #include "backend/correlation.h"
 
 namespace dio::backend {
+
+BulkClientOptions BulkClientOptions::FromConfig(const Config& config) {
+  BulkClientOptions options;
+  options.network_latency_ns = config.GetInt("transport.network_latency_ns",
+                                             options.network_latency_ns);
+  options.refresh_every_batches = static_cast<std::size_t>(
+      config.GetInt("transport.refresh_every_batches",
+                    static_cast<std::int64_t>(options.refresh_every_batches)));
+  options.auto_correlate =
+      config.GetBool("transport.auto_correlate", options.auto_correlate);
+  return options;
+}
 
 BulkClient::BulkClient(ElasticStore* store, std::string index,
                        BulkClientOptions options, Clock* clock)
@@ -12,50 +26,36 @@ BulkClient::BulkClient(ElasticStore* store, std::string index,
       index_(std::move(index)),
       options_(options),
       clock_(clock) {
-  sender_ = std::jthread([this](std::stop_token st) { SenderLoop(st); });
+  stats_.stage = "bulk";
 }
 
-BulkClient::~BulkClient() {
-  Flush();
+Status BulkClient::Submit(transport::EventBatch batch) {
+  if (batch.empty()) return Status::Ok();
+  // Network hop to the backend server.
+  if (options_.network_latency_ns > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(options_.network_latency_ns));
+  }
+  // Deferred materialization: binary events become JSON documents only
+  // here, on the far side of the wire — never on a tracer drain loop.
+  const std::size_t batch_events = batch.size();
+  batch.Materialize();
+  store_->Bulk(index_, std::move(batch.documents));
+  bool refresh = false;
   {
     std::scoped_lock lock(mu_);
-    stopping_ = true;
+    stats_.batches_in += 1;
+    stats_.events_in += batch_events;
+    stats_.batches_out += 1;
+    stats_.events_out += batch_events;
+    refresh = options_.refresh_every_batches > 0 &&
+              stats_.batches_in % options_.refresh_every_batches == 0;
   }
-  queue_cv_.notify_all();
-  // jthread requests stop and joins.
-}
-
-void BulkClient::IndexBatch(std::vector<Json> documents) {
-  if (documents.empty()) return;
-  Batch batch;
-  batch.documents = std::move(documents);
-  Enqueue(std::move(batch));
-}
-
-void BulkClient::IndexEvents(std::string_view session,
-                             std::vector<tracer::Event> events) {
-  if (events.empty()) return;
-  Batch batch;
-  batch.events = std::move(events);
-  batch.session = std::string(session);
-  Enqueue(std::move(batch));
-}
-
-void BulkClient::Enqueue(Batch batch) {
-  std::unique_lock lock(mu_);
-  queue_cv_.wait(lock, [this] {
-    return queue_.size() < options_.max_queued_batches || stopping_;
-  });
-  if (stopping_) return;
-  queue_.push_back(std::move(batch));
-  queue_cv_.notify_all();
+  if (refresh) store_->Refresh(index_);
+  return Status::Ok();
 }
 
 void BulkClient::Flush() {
-  {
-    std::unique_lock lock(mu_);
-    drained_cv_.wait(lock, [this] { return queue_.empty() && !sending_; });
-  }
   store_->Refresh(index_);
   if (options_.auto_correlate) {
     FilePathCorrelator correlator(store_);
@@ -63,49 +63,26 @@ void BulkClient::Flush() {
   }
 }
 
-void BulkClient::SenderLoop(const std::stop_token& stop) {
-  while (true) {
-    Batch batch;
-    {
-      std::unique_lock lock(mu_);
-      queue_cv_.wait(lock, [this, &stop] {
-        return !queue_.empty() || stop.stop_requested() || stopping_;
-      });
-      if (queue_.empty()) {
-        if (stop.stop_requested() || stopping_) return;
-        continue;
-      }
-      batch = std::move(queue_.front());
-      queue_.pop_front();
-      sending_ = true;
-      queue_cv_.notify_all();
-    }
-    // Network hop to the backend server.
-    if (options_.network_latency_ns > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::nanoseconds(options_.network_latency_ns));
-    }
-    // Deferred materialization: binary events become JSON documents only
-    // here, on the sender thread — the "backend side" of the wire.
-    std::vector<Json> documents = std::move(batch.documents);
-    if (!batch.events.empty()) {
-      documents.reserve(documents.size() + batch.events.size());
-      for (const tracer::Event& event : batch.events) {
-        documents.push_back(event.ToJson(batch.session));
-      }
-    }
-    store_->Bulk(index_, std::move(documents));
-    bool refresh = false;
-    {
-      std::scoped_lock lock(mu_);
-      ++batches_sent_;
-      sending_ = false;
-      refresh = options_.refresh_every_batches > 0 &&
-                batches_sent_ % options_.refresh_every_batches == 0;
-      if (queue_.empty()) drained_cv_.notify_all();
-    }
-    if (refresh) store_->Refresh(index_);
-  }
+void BulkClient::IndexBatch(std::vector<Json> documents) {
+  if (documents.empty()) return;
+  transport::EventBatch batch;
+  batch.documents = std::move(documents);
+  (void)Submit(std::move(batch));
+}
+
+void BulkClient::IndexEvents(std::string_view session,
+                             std::vector<tracer::Event> events) {
+  if (events.empty()) return;
+  transport::EventBatch batch;
+  batch.session = std::string(session);
+  batch.events = std::move(events);
+  (void)Submit(std::move(batch));
+}
+
+void BulkClient::CollectStats(
+    std::vector<transport::StageStats>* out) const {
+  std::scoped_lock lock(mu_);
+  out->push_back(stats_);
 }
 
 }  // namespace dio::backend

@@ -1,20 +1,26 @@
-// BulkClient: the tracer-side client for the backend (the go-elasticsearch
-// bulk API stand-in, §II-E). Batches are queued and shipped by a sender
-// thread after a configurable network latency, keeping indexing entirely off
-// the traced application's critical path (§II "Asynchronous event handling").
+// BulkClient: the terminal bulk-indexing sink for the backend (the
+// go-elasticsearch bulk API stand-in, §II-E). Delivery is synchronous: one
+// Submit = one simulated network hop + one store bulk request. Queueing,
+// backpressure, retry, and fan-out all live ABOVE this sink in the
+// transport layer (transport/pipeline.h) — wiring a session through a
+// transport::Pipeline restores the paper's asynchronous shipping while
+// keeping this client a dumb wire.
+//
+// The tracer::EventSink facade remains for direct (synchronous) use in
+// small tools and tests; DioService and DioAdapter always go through a
+// pipeline.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "backend/store.h"
 #include "common/clock.h"
+#include "common/config.h"
 #include "tracer/sink.h"
+#include "transport/transport.h"
 
 namespace dio::backend {
 
@@ -22,10 +28,7 @@ struct BulkClientOptions {
   // Simulated one-way network latency to the backend server (the paper runs
   // the pipeline on separate machines).
   Nanos network_latency_ns = 200 * kMicrosecond;
-  // Bounded send queue: when full, the *sender* blocks (backpressure is
-  // absorbed by the tracer's ring buffers, not the application).
-  std::size_t max_queued_batches = 1024;
-  // Refresh the index after every N batches so data is searchable in
+  // Refresh the index after every N bulk requests so data is searchable in
   // near real-time (0 = only on Flush).
   std::size_t refresh_every_batches = 8;
   // §II-E: "The file path correlation algorithm can be automatically
@@ -33,58 +36,50 @@ struct BulkClientOptions {
   // the correlation algorithm after refreshing, so file_path is populated
   // without user intervention.
   bool auto_correlate = false;
+
+  // Reads the bulk-sink keys of the [transport] section
+  // (network_latency_ns, refresh_every_batches, auto_correlate).
+  static BulkClientOptions FromConfig(const Config& config);
 };
 
-class BulkClient final : public tracer::EventSink {
+class BulkClient final : public transport::Transport,
+                         public tracer::EventSink {
  public:
   BulkClient(ElasticStore* store, std::string index,
              BulkClientOptions options = {},
              Clock* clock = SteadyClock::Instance());
-  ~BulkClient() override;
 
   BulkClient(const BulkClient&) = delete;
   BulkClient& operator=(const BulkClient&) = delete;
 
+  // transport::Transport (terminal stage): synchronous delivery.
+  Status Submit(transport::EventBatch batch) override;
+  void CollectStats(std::vector<transport::StageStats>* out) const override;
+  [[nodiscard]] std::string_view name() const override { return "bulk"; }
+
+  // Shared by both interfaces: refreshes the index (and optionally runs
+  // the correlation algorithm). Synchronous, so there is nothing to drain.
+  void Flush() override;
+
+  // tracer::EventSink facade for direct use without a pipeline.
   void IndexBatch(std::vector<Json> documents) override;
-  // Fast path from the tracer's consumer threads: binary events are queued
-  // as-is and materialized into JSON documents on the sender thread, after
-  // the simulated network hop — JSON allocation never runs on a drain loop.
   void IndexEvents(std::string_view session,
                    std::vector<tracer::Event> events) override;
-  // Drains the queue, indexes everything, refreshes the index.
-  void Flush() override;
 
   [[nodiscard]] std::uint64_t batches_sent() const {
     std::scoped_lock lock(mu_);
-    return batches_sent_;
+    return stats_.batches_in;
   }
   [[nodiscard]] const std::string& index() const { return index_; }
 
  private:
-  // A queued batch: either pre-materialized documents or deferred binary
-  // events (exactly one of the two is non-empty).
-  struct Batch {
-    std::vector<Json> documents;
-    std::vector<tracer::Event> events;
-    std::string session;
-  };
-
-  void SenderLoop(const std::stop_token& stop);
-  void Enqueue(Batch batch);
-
   ElasticStore* store_;
   std::string index_;
   BulkClientOptions options_;
   Clock* clock_;
 
   mutable std::mutex mu_;
-  std::condition_variable queue_cv_;
-  std::condition_variable drained_cv_;
-  std::deque<Batch> queue_;
-  std::uint64_t batches_sent_ = 0;
-  bool sending_ = false;  // a batch is in flight to the store
-  bool stopping_ = false;
-  std::jthread sender_;
+  transport::StageStats stats_;
 };
 
 }  // namespace dio::backend

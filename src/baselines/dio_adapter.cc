@@ -1,22 +1,50 @@
 #include "baselines/dio_adapter.h"
 
+#include <utility>
+
 namespace dio::baselines {
 
 DioAdapter::DioAdapter(os::Kernel* kernel, backend::ElasticStore* store,
                        tracer::TracerOptions options,
-                       backend::BulkClientOptions client_options)
+                       backend::BulkClientOptions client_options,
+                       transport::PipelineOptions pipeline_options)
     : kernel_(kernel), store_(store) {
-  client_ = std::make_unique<backend::BulkClient>(
-      store_, options.session_name, client_options, kernel_->clock());
-  tracer_ = std::make_unique<tracer::DioTracer>(kernel_, client_.get(),
+  const std::string session = options.session_name;
+  auto make_sink = [this, session, client_options](
+                       const std::string& sink_name,
+                       const transport::PipelineOptions&)
+      -> Expected<std::unique_ptr<transport::Transport>> {
+    if (sink_name != "bulk") {
+      return InvalidArgument("dio adapter: unknown sink: " + sink_name);
+    }
+    return std::unique_ptr<transport::Transport>(
+        std::make_unique<backend::BulkClient>(store_, session, client_options,
+                                              kernel_->clock()));
+  };
+  auto pipeline = transport::Pipeline::Build(session, pipeline_options,
+                                             make_sink, kernel_->clock());
+  if (!pipeline.ok()) {
+    // Defer the configuration error to Start(); fall back to the default
+    // chain so the adapter stays in a usable (if unstartable) state.
+    init_status_ = pipeline.status();
+    pipeline = transport::Pipeline::Build(session, transport::PipelineOptions{},
+                                          make_sink, kernel_->clock());
+  }
+  pipeline_ = std::move(*pipeline);
+  tracer_ = std::make_unique<tracer::DioTracer>(kernel_, pipeline_.get(),
                                                 std::move(options));
 }
 
-Status DioAdapter::Start() { return tracer_->Start(); }
+Status DioAdapter::Start() {
+  DIO_RETURN_IF_ERROR(init_status_);
+  return tracer_->Start();
+}
 
 void DioAdapter::Stop() {
+  // Deterministic drain: detach + join consumers, then flush the transport
+  // chain (queue -> retry -> sinks) so the store sees every surviving batch.
   tracer_->Stop();
-  client_->Flush();
+  pipeline_->Flush();
 }
 
 const std::string& DioAdapter::index() const { return tracer_->session(); }
@@ -28,6 +56,10 @@ std::uint64_t DioAdapter::events_captured() const {
 std::uint64_t DioAdapter::events_dropped() const {
   const tracer::TracerStats stats = tracer_->stats();
   return stats.ring_dropped + stats.pending_overflow;
+}
+
+std::vector<transport::StageStats> DioAdapter::transport_stats() const {
+  return pipeline_->Stats();
 }
 
 double DioAdapter::pathless_ratio() const {

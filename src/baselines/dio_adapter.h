@@ -1,26 +1,33 @@
-// Adapter exposing the real DIO pipeline (tracer + backend + correlation)
-// through the baseline harness interface, so Table II / §III-D compare all
-// tracers uniformly.
+// Adapter exposing the real DIO pipeline (tracer + transport + backend +
+// correlation) through the baseline harness interface, so Table II / §III-D
+// compare all tracers uniformly.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "backend/bulk_client.h"
 #include "backend/correlation.h"
 #include "backend/store.h"
 #include "baselines/baseline.h"
 #include "tracer/tracer.h"
+#include "transport/pipeline.h"
 
 namespace dio::baselines {
 
 class DioAdapter final : public TracerBaseline {
  public:
-  // `kernel` and `store` must outlive the adapter: the owned bulk client
-  // flushes into the store during destruction.
+  // `kernel` and `store` must outlive the adapter: the owned transport
+  // pipeline flushes its terminal bulk sink into the store on Stop(). The
+  // pipeline is assembled from `pipeline_options` with the "bulk" sink
+  // resolving to a BulkClient built from `client_options`; if assembly
+  // fails (bad sink name, unopenable spool path) the error surfaces from
+  // Start().
   DioAdapter(os::Kernel* kernel, backend::ElasticStore* store,
              tracer::TracerOptions options,
-             backend::BulkClientOptions client_options = {});
+             backend::BulkClientOptions client_options = {},
+             transport::PipelineOptions pipeline_options = {});
 
   [[nodiscard]] std::string name() const override { return "DIO"; }
   Status Start() override;
@@ -34,12 +41,18 @@ class DioAdapter final : public TracerBaseline {
   [[nodiscard]] double pathless_ratio() const override;
 
   [[nodiscard]] tracer::DioTracer& tracer() { return *tracer_; }
+  [[nodiscard]] transport::Pipeline& pipeline() { return *pipeline_; }
+  // Per-stage transport accounting (queue / retry / sinks), head to sink.
+  [[nodiscard]] std::vector<transport::StageStats> transport_stats() const;
   [[nodiscard]] const std::string& index() const;
 
  private:
   os::Kernel* kernel_;
   backend::ElasticStore* store_;
-  std::unique_ptr<backend::BulkClient> client_;
+  Status init_status_;
+  // Destruction order matters: the tracer emits into the pipeline, so it is
+  // declared last and destroyed first.
+  std::unique_ptr<transport::Pipeline> pipeline_;
   std::unique_ptr<tracer::DioTracer> tracer_;
 };
 

@@ -1,9 +1,11 @@
 #include "common/config.h"
 
+#include <algorithm>
 #include <charconv>
 #include <fstream>
 #include <sstream>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace dio {
@@ -102,6 +104,25 @@ std::vector<std::string> Config::GetList(std::string_view key) const {
 
 void Config::Set(std::string key, std::string value) {
   entries_[std::move(key)] = std::move(value);
+}
+
+std::vector<std::string> WarnUnknownKeys(
+    const Config& config, std::string_view section,
+    std::initializer_list<std::string_view> known) {
+  const std::string prefix = std::string(section) + ".";
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : config.entries()) {
+    if (key.size() <= prefix.size() || key.compare(0, prefix.size(), prefix)) {
+      continue;
+    }
+    const std::string_view bare = std::string_view(key).substr(prefix.size());
+    if (std::find(known.begin(), known.end(), bare) == known.end()) {
+      log::Warn("config: unrecognized key [", section, "] ", bare,
+                " = ", value, " (ignored)");
+      unknown.push_back(key);
+    }
+  }
+  return unknown;
 }
 
 }  // namespace dio

@@ -48,4 +48,13 @@ class Config {
   std::map<std::string, std::string, std::less<>> entries_;
 };
 
+// Typo guard for option parsers: logs one warning per key in `section`
+// (addressed as "section.key") whose bare name is not in `known`, and
+// returns the offending fully-qualified keys. Option FromConfig() parsers
+// call this so a misspelled knob in a bench config is caught instead of
+// silently falling back to the default.
+std::vector<std::string> WarnUnknownKeys(
+    const Config& config, std::string_view section,
+    std::initializer_list<std::string_view> known);
+
 }  // namespace dio

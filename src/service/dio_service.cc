@@ -1,5 +1,7 @@
 #include "service/dio_service.h"
 
+#include <utility>
+
 namespace dio::service {
 
 Json SessionInfo::ToJson() const {
@@ -11,6 +13,11 @@ Json SessionInfo::ToJson() const {
   out.Set("stopped_at", stopped_at);
   out.Set("events_emitted", static_cast<std::int64_t>(events_emitted));
   out.Set("events_dropped", static_cast<std::int64_t>(events_dropped));
+  out.Set("transport_dropped", static_cast<std::int64_t>(transport_dropped));
+  out.Set("transport_retries", static_cast<std::int64_t>(transport_retries));
+  out.Set("transport_dead_letters",
+          static_cast<std::int64_t>(transport_dead_letters));
+  out.Set("transport_stages", transport_stages);
   return out;
 }
 
@@ -21,7 +28,8 @@ DioService::~DioService() { StopAll(); }
 
 Expected<SessionInfo> DioService::StartSession(
     tracer::TracerOptions options, std::string owner,
-    backend::BulkClientOptions client_options) {
+    backend::BulkClientOptions client_options,
+    transport::PipelineOptions pipeline_options) {
   if (options.session_name.empty()) {
     return InvalidArgument("session name must not be empty");
   }
@@ -38,15 +46,42 @@ Expected<SessionInfo> DioService::StartSession(
   session.info.owner = std::move(owner);
   session.info.active = true;
   session.info.started_at = kernel_->clock()->NowNanos();
-  session.client = std::make_unique<backend::BulkClient>(
-      store_, options.session_name, client_options, kernel_->clock());
+
+  const std::string index = options.session_name;
+  auto make_sink = [this, &index, &client_options](
+                       const std::string& sink_name,
+                       const transport::PipelineOptions&)
+      -> Expected<std::unique_ptr<transport::Transport>> {
+    if (sink_name != "bulk") {
+      return InvalidArgument("dio service: unknown sink: " + sink_name);
+    }
+    return std::unique_ptr<transport::Transport>(
+        std::make_unique<backend::BulkClient>(store_, index, client_options,
+                                              kernel_->clock()));
+  };
+  auto pipeline = transport::Pipeline::Build(index, pipeline_options,
+                                             make_sink, kernel_->clock());
+  if (!pipeline.ok()) return pipeline.status();
+  session.pipeline = std::move(*pipeline);
   session.tracer = std::make_unique<tracer::DioTracer>(
-      kernel_, session.client.get(), std::move(options));
+      kernel_, session.pipeline.get(), std::move(options));
   DIO_RETURN_IF_ERROR(session.tracer->Start());
 
+  RefreshInfoLocked(session);
   SessionInfo info = session.info;
   sessions_[info.name] = std::move(session);
   return info;
+}
+
+Expected<SessionInfo> DioService::StartSessionFromConfig(const Config& config,
+                                                         std::string owner) {
+  auto tracer_options = tracer::TracerOptions::FromConfig(config);
+  if (!tracer_options.ok()) return tracer_options.status();
+  auto pipeline_options = transport::PipelineOptions::FromConfig(config);
+  if (!pipeline_options.ok()) return pipeline_options.status();
+  return StartSession(std::move(tracer_options).value(), std::move(owner),
+                      backend::BulkClientOptions::FromConfig(config),
+                      std::move(pipeline_options).value());
 }
 
 Status DioService::StopSession(const std::string& name) {
@@ -57,7 +92,12 @@ Status DioService::StopSession(const std::string& name) {
   if (!session.info.active) {
     return FailedPrecondition("session already stopped: " + name);
   }
+  // Deterministic drain order: Stop() detaches the tracepoints and joins
+  // the consumer threads (no more producers), then the transport chain is
+  // flushed head-to-sink so every accepted batch is delivered or counted —
+  // the Flush() guarantee holds even on abnormal teardown via StopAll().
   session.tracer->Stop();
+  session.pipeline->Flush();
   session.info.active = false;
   session.info.stopped_at = kernel_->clock()->NowNanos();
   RefreshInfoLocked(session);
@@ -69,6 +109,7 @@ void DioService::StopAll() {
   for (auto& [name, session] : sessions_) {
     if (session.info.active) {
       session.tracer->Stop();
+      session.pipeline->Flush();
       session.info.active = false;
       session.info.stopped_at = kernel_->clock()->NowNanos();
       RefreshInfoLocked(session);
@@ -76,10 +117,25 @@ void DioService::StopAll() {
   }
 }
 
-void DioService::RefreshInfoLocked(Session& session) const {
+SessionInfo DioService::SnapshotLocked(const Session& session) const {
+  SessionInfo info = session.info;
   const tracer::TracerStats stats = session.tracer->stats();
-  session.info.events_emitted = stats.emitted;
-  session.info.events_dropped = stats.ring_dropped + stats.pending_overflow;
+  info.events_emitted = stats.emitted;
+  info.events_dropped = stats.ring_dropped + stats.pending_overflow;
+  info.transport_dropped = 0;
+  info.transport_retries = 0;
+  info.transport_dead_letters = 0;
+  for (const transport::StageStats& stage : session.pipeline->Stats()) {
+    info.transport_dropped += stage.dropped_events;
+    info.transport_retries += stage.retries;
+    info.transport_dead_letters += stage.dead_letter_events;
+  }
+  info.transport_stages = session.pipeline->StatsJson();
+  return info;
+}
+
+void DioService::RefreshInfoLocked(Session& session) const {
+  session.info = SnapshotLocked(session);
 }
 
 std::vector<SessionInfo> DioService::ListSessions() const {
@@ -87,11 +143,7 @@ std::vector<SessionInfo> DioService::ListSessions() const {
   std::vector<SessionInfo> out;
   out.reserve(sessions_.size());
   for (const auto& [name, session] : sessions_) {
-    SessionInfo info = session.info;
-    const tracer::TracerStats stats = session.tracer->stats();
-    info.events_emitted = stats.emitted;
-    info.events_dropped = stats.ring_dropped + stats.pending_overflow;
-    out.push_back(std::move(info));
+    out.push_back(SnapshotLocked(session));
   }
   return out;
 }
@@ -100,11 +152,7 @@ Expected<SessionInfo> DioService::GetSession(const std::string& name) const {
   std::scoped_lock lock(mu_);
   auto it = sessions_.find(name);
   if (it == sessions_.end()) return NotFound("no such session: " + name);
-  SessionInfo info = it->second.info;
-  const tracer::TracerStats stats = it->second.tracer->stats();
-  info.events_emitted = stats.emitted;
-  info.events_dropped = stats.ring_dropped + stats.pending_overflow;
-  return info;
+  return SnapshotLocked(it->second);
 }
 
 Expected<backend::CorrelationStats> DioService::Correlate(

@@ -7,7 +7,11 @@
 //
 // The service owns the lifecycle of named tracing sessions against one
 // shared backend: start/stop, metadata (who/when/how many events), and the
-// post-session analysis entry points (correlation, detectors).
+// post-session analysis entry points (correlation, detectors). Each session
+// ships events through its own transport pipeline (transport/pipeline.h):
+// bounded queue -> optional retry -> bulk/spool sinks, assembled from
+// [transport] config. Session info carries the per-stage drop/retry/
+// dead-letter accounting so loss is attributable per stage.
 #pragma once
 
 #include <map>
@@ -20,8 +24,10 @@
 #include "backend/correlation.h"
 #include "backend/detectors.h"
 #include "backend/store.h"
+#include "common/config.h"
 #include "common/status.h"
 #include "tracer/tracer.h"
+#include "transport/pipeline.h"
 
 namespace dio::service {
 
@@ -32,7 +38,14 @@ struct SessionInfo {
   Nanos started_at = 0;
   Nanos stopped_at = 0;
   std::uint64_t events_emitted = 0;
+  // Lost before the transport: ring-buffer overwrites + pending-map overflow.
   std::uint64_t events_dropped = 0;
+  // Lost inside the transport chain, summed across stages.
+  std::uint64_t transport_dropped = 0;     // backpressure drops (queue)
+  std::uint64_t transport_retries = 0;     // delivery re-attempts
+  std::uint64_t transport_dead_letters = 0;  // abandoned after retries
+  // Per-stage StageStats::ToJson array, head to sink (queue, retry, sinks).
+  Json transport_stages;
 
   [[nodiscard]] Json ToJson() const;
 };
@@ -46,12 +59,23 @@ class DioService {
   DioService& operator=(const DioService&) = delete;
 
   // Starts a tracing session; options.session_name must be unique among
-  // live AND finished sessions (each maps to a backend index).
+  // live AND finished sessions (each maps to a backend index). The shipping
+  // path is assembled from `pipeline_options`; the "bulk" sink resolves to
+  // a BulkClient built from `client_options`.
   Expected<SessionInfo> StartSession(
       tracer::TracerOptions options, std::string owner = "",
-      backend::BulkClientOptions client_options = {});
+      backend::BulkClientOptions client_options = {},
+      transport::PipelineOptions pipeline_options = {});
+
+  // Config-driven variant: [tracer] -> TracerOptions, [transport] ->
+  // PipelineOptions + BulkClientOptions. Unrecognized keys in either
+  // section are warned about at parse time.
+  Expected<SessionInfo> StartSessionFromConfig(const Config& config,
+                                               std::string owner = "");
 
   // Stops tracing; the session's data stays queryable (post-mortem, §II).
+  // Teardown is deterministic: consumers join, then the transport chain is
+  // flushed queue-first so every accepted batch is delivered or accounted.
   Status StopSession(const std::string& name);
   void StopAll();
 
@@ -67,10 +91,14 @@ class DioService {
  private:
   struct Session {
     SessionInfo info;
-    std::unique_ptr<backend::BulkClient> client;
+    // The pipeline owns the whole transport chain, terminal BulkClient
+    // included. Declared before the tracer so the tracer (the producer)
+    // is destroyed first.
+    std::unique_ptr<transport::Pipeline> pipeline;
     std::unique_ptr<tracer::DioTracer> tracer;
   };
 
+  [[nodiscard]] SessionInfo SnapshotLocked(const Session& session) const;
   void RefreshInfoLocked(Session& session) const;
 
   os::Kernel* kernel_;

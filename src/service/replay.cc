@@ -1,10 +1,40 @@
 #include "service/replay.h"
 
+#include <fstream>
 #include <limits>
+#include <utility>
+#include <vector>
 
 #include "oskernel/syscall_nr.h"
 
 namespace dio::service {
+
+Expected<std::uint64_t> LoadSpool(backend::ElasticStore* store,
+                                  const std::string& spool_path,
+                                  const std::string& index) {
+  std::ifstream in(spool_path);
+  if (!in) return NotFound("spool file not found: " + spool_path);
+  std::uint64_t loaded = 0;
+  std::vector<Json> batch;
+  constexpr std::size_t kBatchDocs = 512;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto doc = Json::Parse(line);
+    if (!doc.ok()) {
+      return InvalidArgument("spool line " + std::to_string(loaded + 1) +
+                             ": " + doc.status().message());
+    }
+    batch.push_back(std::move(doc).value());
+    if (batch.size() >= kBatchDocs) {
+      store->Bulk(index, std::exchange(batch, {}));
+    }
+    ++loaded;
+  }
+  if (!batch.empty()) store->Bulk(index, std::move(batch));
+  store->Refresh(index);
+  return loaded;
+}
 
 TraceReplayer::TraceReplayer(os::Kernel* kernel, backend::ElasticStore* store,
                              std::string index)

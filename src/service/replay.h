@@ -21,6 +21,15 @@
 
 namespace dio::service {
 
+// Bulk-loads an NDJSON spool file (one Event::ToJson document per line, as
+// written by transport::FileSpoolSink) into `index` of `store`, making a
+// spooled session analyzable/replayable as if it had been shipped to the
+// backend live — the offline half of the shipping path. Returns the number
+// of documents loaded; the index is refreshed before returning.
+Expected<std::uint64_t> LoadSpool(backend::ElasticStore* store,
+                                  const std::string& spool_path,
+                                  const std::string& index);
+
 struct ReplayStats {
   std::uint64_t replayed = 0;       // events re-issued
   std::uint64_t skipped = 0;        // unsupported / un-replayable events

@@ -1,6 +1,15 @@
-// Where the tracer ships parsed events. The production implementation is
-// the backend's bulk-indexing client (backend/bulk_client.h); tests use an
-// in-memory sink.
+// Where the tracer's consumer threads ship decoded events. In production
+// this is the head of a transport::Pipeline (transport/pipeline.h): a
+// bounded queue with an explicit backpressure policy, optionally retry and
+// fan-out stages, and one or more terminal sinks (backend bulk client,
+// NDJSON spool). Tests use in-memory sinks.
+//
+// Contract the transport layer relies on:
+//  * IndexBatch/IndexEvents are called concurrently by N consumer threads.
+//  * Flush() is the deterministic drain barrier: when it returns, every
+//    previously submitted batch has been delivered or accounted as lost
+//    downstream. DioTracer::Stop() calls it after the consumers join, so
+//    teardown order is always consumers -> transport queues -> sinks.
 #pragma once
 
 #include <string_view>

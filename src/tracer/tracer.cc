@@ -41,6 +41,12 @@ std::vector<T> ParseIntList(const std::vector<std::string>& items) {
 }  // namespace
 
 Expected<TracerOptions> TracerOptions::FromConfig(const Config& config) {
+  (void)WarnUnknownKeys(
+      config, "tracer",
+      {"session", "syscalls", "pids", "tids", "paths", "ring_bytes_per_cpu",
+       "pending_map_entries", "batch_size", "flush_interval_ns",
+       "poll_interval_ns", "consumer_threads", "enrich",
+       "aggregate_in_kernel", "kernel_filtering", "hook_cost_ns"});
   TracerOptions options;
   options.session_name =
       config.GetString("tracer.session", options.session_name);
@@ -160,8 +166,10 @@ std::size_t DioTracer::ResolveConsumerThreads() const {
 
 void DioTracer::Stop() {
   if (!started_.load() || stopped_.exchange(true)) return;
-  // Detach first so no new events are produced, then let the consumers
-  // drain their stripes.
+  // Deterministic drain order: detach first so no new events are produced,
+  // join the consumers so every ring record has been decoded and emitted,
+  // and only then flush the sink — for a transport pipeline that drains its
+  // queues into the terminal sinks, so nothing in flight is abandoned.
   for (ebpf::BpfLink& link : links_) link.Detach();
   links_.clear();
   for (std::jthread& consumer : consumers_) consumer.request_stop();

@@ -1,0 +1,120 @@
+#include "transport/queue_transport.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dio::transport {
+
+QueueTransport::QueueTransport(std::unique_ptr<Transport> downstream,
+                               QueueTransportOptions options)
+    : downstream_(std::move(downstream)), options_(options) {
+  stats_.stage = "queue";
+  options_.max_queued_batches = std::max<std::size_t>(
+      1, options_.max_queued_batches);
+  sender_ = std::jthread([this](std::stop_token st) { SenderLoop(st); });
+}
+
+QueueTransport::~QueueTransport() {
+  // Abnormal-teardown guarantee: drain whatever was accepted before the
+  // sender goes away, so destroying an un-flushed chain loses nothing.
+  Flush();
+  {
+    std::scoped_lock lock(mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  // jthread requests stop and joins.
+}
+
+Status QueueTransport::Submit(EventBatch batch) {
+  if (batch.empty()) return Status::Ok();
+  std::unique_lock lock(mu_);
+  stats_.batches_in += 1;
+  stats_.events_in += batch.size();
+  if (queue_.size() >= options_.max_queued_batches) {
+    switch (options_.policy) {
+      case Backpressure::kBlock:
+        queue_cv_.wait(lock, [this] {
+          return queue_.size() < options_.max_queued_batches || stopping_;
+        });
+        if (stopping_) {
+          // Accounted as a drop rather than silently vanishing: the stage
+          // was torn down while the producer was blocked.
+          stats_.dropped_batches += 1;
+          stats_.dropped_newest += 1;
+          stats_.dropped_events += batch.size();
+          return Unavailable("queue transport stopping");
+        }
+        break;
+      case Backpressure::kDropNewest:
+        stats_.dropped_batches += 1;
+        stats_.dropped_newest += 1;
+        stats_.dropped_events += batch.size();
+        return Status::Ok();
+      case Backpressure::kDropOldest: {
+        EventBatch& oldest = queue_.front();
+        stats_.dropped_batches += 1;
+        stats_.dropped_oldest += 1;
+        stats_.dropped_events += oldest.size();
+        queue_.pop_front();
+        break;
+      }
+    }
+  }
+  queue_.push_back(std::move(batch));
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+  queue_cv_.notify_all();
+  return Status::Ok();
+}
+
+void QueueTransport::Flush() {
+  {
+    std::unique_lock lock(mu_);
+    drained_cv_.wait(lock, [this] { return queue_.empty() && !sending_; });
+  }
+  downstream_->Flush();
+}
+
+void QueueTransport::SenderLoop(const std::stop_token& stop) {
+  while (true) {
+    EventBatch batch;
+    {
+      std::unique_lock lock(mu_);
+      queue_cv_.wait(lock, [this, &stop] {
+        return !queue_.empty() || stop.stop_requested() || stopping_;
+      });
+      if (queue_.empty()) {
+        if (stop.stop_requested() || stopping_) return;
+        continue;
+      }
+      batch = std::move(queue_.front());
+      queue_.pop_front();
+      sending_ = true;
+      queue_cv_.notify_all();
+    }
+    const std::size_t batch_events = batch.size();
+    // Downstream failures (retry exhaustion, sink errors) are accounted in
+    // the failing stage's own stats; this stage counts what it handed off,
+    // keeping its invariant batches_in == batches_out + dropped_batches.
+    (void)downstream_->Submit(std::move(batch));
+    {
+      std::scoped_lock lock(mu_);
+      stats_.batches_out += 1;
+      stats_.events_out += batch_events;
+      sending_ = false;
+      if (queue_.empty()) drained_cv_.notify_all();
+    }
+  }
+}
+
+void QueueTransport::CollectStats(std::vector<StageStats>* out) const {
+  {
+    std::scoped_lock lock(mu_);
+    StageStats snapshot = stats_;
+    snapshot.queue_depth = queue_.size();
+    out->push_back(std::move(snapshot));
+  }
+  downstream_->CollectStats(out);
+}
+
+}  // namespace dio::transport

@@ -1,0 +1,62 @@
+// QueueTransport: the asynchronous hop of the shipping path. A bounded
+// queue decouples the tracer's consumer threads from sink latency (the
+// paper's "asynchronous event handling", §II-B); a single sender thread
+// pops batches and submits them downstream, so terminal sinks see exactly
+// one caller. The Backpressure policy decides what happens when producers
+// outrun the sender: block (lossless), drop the incoming batch, or evict
+// the oldest queued one — every loss is counted per policy.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "transport/transport.h"
+
+namespace dio::transport {
+
+struct QueueTransportOptions {
+  std::size_t max_queued_batches = 1024;
+  Backpressure policy = Backpressure::kBlock;
+};
+
+class QueueTransport final : public Transport {
+ public:
+  QueueTransport(std::unique_ptr<Transport> downstream,
+                 QueueTransportOptions options = {});
+  ~QueueTransport() override;
+
+  QueueTransport(const QueueTransport&) = delete;
+  QueueTransport& operator=(const QueueTransport&) = delete;
+
+  // Never fails under kBlock (waits for space); under the drop policies the
+  // loss is recorded in stats and Ok is still returned — backpressure drops
+  // are an accounted-for outcome, not an error the producer can act on.
+  Status Submit(EventBatch batch) override;
+  // Waits until the queue is empty and the sender is idle, then flushes
+  // downstream. Deterministic: after Flush() returns, every batch accepted
+  // so far has been delivered, dropped, or dead-lettered below.
+  void Flush() override;
+  void CollectStats(std::vector<StageStats>* out) const override;
+  [[nodiscard]] std::string_view name() const override { return "queue"; }
+
+ private:
+  void SenderLoop(const std::stop_token& stop);
+
+  std::unique_ptr<Transport> downstream_;
+  QueueTransportOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable drained_cv_;
+  std::deque<EventBatch> queue_;
+  StageStats stats_;
+  bool sending_ = false;  // a batch is in flight downstream
+  bool stopping_ = false;
+  std::jthread sender_;
+};
+
+}  // namespace dio::transport

@@ -1,0 +1,115 @@
+#include "transport/retrying_transport.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace dio::transport {
+
+RetryingTransport::RetryingTransport(std::unique_ptr<Transport> downstream,
+                                     RetryOptions options, Clock* clock)
+    : downstream_(std::move(downstream)),
+      options_(options),
+      clock_(clock),
+      rng_(options.fault_seed) {
+  stats_.stage = "retry";
+  options_.max_attempts = std::max<std::size_t>(1, options_.max_attempts);
+  options_.backoff_multiplier = std::max(1.0, options_.backoff_multiplier);
+  options_.jitter = std::clamp(options_.jitter, 0.0, 1.0);
+}
+
+void RetryingTransport::set_fault_hook(FaultHook hook) {
+  std::scoped_lock lock(mu_);
+  fault_hook_ = std::move(hook);
+}
+
+Status RetryingTransport::InjectFault(const EventBatch& batch,
+                                      std::size_t attempt) {
+  FaultHook hook;
+  bool fire = false;
+  {
+    std::scoped_lock lock(mu_);
+    if (fault_hook_) {
+      hook = fault_hook_;
+    } else if (options_.fault_rate > 0.0) {
+      fire = rng_.NextDouble() < options_.fault_rate;
+    }
+  }
+  if (hook) {
+    Status status = hook(batch, attempt);
+    if (!status.ok()) {
+      std::scoped_lock lock(mu_);
+      stats_.faults_injected += 1;
+    }
+    return status;
+  }
+  if (fire) {
+    std::scoped_lock lock(mu_);
+    stats_.faults_injected += 1;
+    return Unavailable("injected network fault");
+  }
+  return Status::Ok();
+}
+
+Status RetryingTransport::Submit(EventBatch batch) {
+  const std::size_t batch_events = batch.size();
+  {
+    std::scoped_lock lock(mu_);
+    stats_.batches_in += 1;
+    stats_.events_in += batch_events;
+  }
+  const Nanos start = clock_->NowNanos();
+  Nanos backoff = std::max<Nanos>(1, options_.initial_backoff_ns);
+  Status last = Status::Ok();
+  for (std::size_t attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    last = InjectFault(batch, attempt);
+    if (last.ok()) {
+      // Copy so a failed downstream attempt can be retried with the same
+      // payload (Submit consumes its argument).
+      last = downstream_->Submit(batch);
+    }
+    if (last.ok()) {
+      std::scoped_lock lock(mu_);
+      stats_.batches_out += 1;
+      stats_.events_out += batch_events;
+      return Status::Ok();
+    }
+    if (attempt == options_.max_attempts) break;
+    if (options_.deadline_ns > 0 &&
+        clock_->NowNanos() - start >= options_.deadline_ns) {
+      break;  // per-batch timeout exhausted
+    }
+    Nanos sleep_ns = backoff;
+    {
+      std::scoped_lock lock(mu_);
+      stats_.retries += 1;
+      if (options_.jitter > 0.0) {
+        const double factor =
+            1.0 + options_.jitter * (2.0 * rng_.NextDouble() - 1.0);
+        sleep_ns = static_cast<Nanos>(static_cast<double>(backoff) * factor);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_ns));
+    backoff = std::min<Nanos>(
+        options_.max_backoff_ns,
+        static_cast<Nanos>(static_cast<double>(backoff) *
+                           options_.backoff_multiplier));
+  }
+  {
+    std::scoped_lock lock(mu_);
+    stats_.dead_letter_batches += 1;
+    stats_.dead_letter_events += batch_events;
+  }
+  return last;
+}
+
+void RetryingTransport::CollectStats(std::vector<StageStats>* out) const {
+  {
+    std::scoped_lock lock(mu_);
+    out->push_back(stats_);
+  }
+  downstream_->CollectStats(out);
+}
+
+}  // namespace dio::transport

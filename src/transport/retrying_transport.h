@@ -1,0 +1,73 @@
+// RetryingTransport: failure-semantics decorator for an unreliable
+// downstream (the paper's tracer→Elasticsearch hop crosses a real network).
+// A failed downstream Submit is retried with exponential backoff and
+// jitter, bounded by an attempt budget and an overall per-batch deadline;
+// exhausted batches are counted as dead letters and surface in session
+// info, so "events lost at the sink" is distinguishable from ring or queue
+// loss. A fault-injection hook simulates the network failing at a
+// configurable rate — the knob the ab_transport bench and the zero-loss
+// acceptance test sweep.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "transport/transport.h"
+
+namespace dio::transport {
+
+struct RetryOptions {
+  // Total delivery attempts per batch (1 = no retry).
+  std::size_t max_attempts = 5;
+  Nanos initial_backoff_ns = kMillisecond;
+  double backoff_multiplier = 2.0;
+  Nanos max_backoff_ns = 100 * kMillisecond;
+  // Uniform jitter applied to each backoff: sleep in
+  // [backoff * (1 - jitter), backoff * (1 + jitter)].
+  double jitter = 0.2;
+  // Overall per-batch timeout across attempts; 0 = unlimited. Checked
+  // before each retry sleep, so a slow sink cannot wedge the sender past
+  // the deadline plus one attempt.
+  Nanos deadline_ns = 0;
+  // Simulated-network fault injection: probability in [0, 1] that a
+  // delivery attempt fails before reaching downstream.
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = 0x5eedf001;
+};
+
+class RetryingTransport final : public Transport {
+ public:
+  RetryingTransport(std::unique_ptr<Transport> downstream,
+                    RetryOptions options = {},
+                    Clock* clock = SteadyClock::Instance());
+
+  // Test hook intercepting each delivery attempt: return non-OK to simulate
+  // a network failure for that attempt. Takes precedence over fault_rate.
+  using FaultHook = std::function<Status(const EventBatch& batch,
+                                         std::size_t attempt)>;
+  void set_fault_hook(FaultHook hook);
+
+  Status Submit(EventBatch batch) override;
+  void Flush() override { downstream_->Flush(); }
+  void CollectStats(std::vector<StageStats>* out) const override;
+  [[nodiscard]] std::string_view name() const override { return "retry"; }
+
+ private:
+  // Returns the injected fault for this attempt, or Ok to proceed.
+  Status InjectFault(const EventBatch& batch, std::size_t attempt);
+
+  std::unique_ptr<Transport> downstream_;
+  RetryOptions options_;
+  Clock* clock_;
+
+  mutable std::mutex mu_;  // guards stats_, rng_, fault_hook_
+  StageStats stats_;
+  Random rng_;
+  FaultHook fault_hook_;
+};
+
+}  // namespace dio::transport

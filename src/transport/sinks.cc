@@ -1,0 +1,101 @@
+#include "transport/sinks.h"
+
+#include <memory>
+#include <utility>
+
+namespace dio::transport {
+
+FileSpoolSink::FileSpoolSink(FileSpoolOptions options)
+    : options_(std::move(options)) {
+  stats_.stage = "spool";
+}
+
+Expected<std::unique_ptr<FileSpoolSink>> FileSpoolSink::Open(
+    FileSpoolOptions options) {
+  if (options.path.empty()) {
+    return InvalidArgument("spool sink requires a non-empty path");
+  }
+  auto sink = std::unique_ptr<FileSpoolSink>(new FileSpoolSink(options));
+  sink->out_.open(options.path, std::ios::trunc);
+  if (!sink->out_) {
+    return NotFound("cannot open spool file for writing: " + options.path);
+  }
+  return sink;
+}
+
+Status FileSpoolSink::Submit(EventBatch batch) {
+  const std::size_t batch_events = batch.size();
+  batch.Materialize();
+  std::scoped_lock lock(mu_);
+  stats_.batches_in += 1;
+  stats_.events_in += batch_events;
+  for (const Json& doc : batch.documents) {
+    out_ << doc.Dump() << '\n';
+    ++lines_written_;
+  }
+  if (!out_) {
+    return Internal("spool write failed: " + options_.path);
+  }
+  stats_.batches_out += 1;
+  stats_.events_out += batch_events;
+  return Status::Ok();
+}
+
+void FileSpoolSink::Flush() {
+  std::scoped_lock lock(mu_);
+  out_.flush();
+}
+
+std::uint64_t FileSpoolSink::lines_written() const {
+  std::scoped_lock lock(mu_);
+  return lines_written_;
+}
+
+void FileSpoolSink::CollectStats(std::vector<StageStats>* out) const {
+  std::scoped_lock lock(mu_);
+  out->push_back(stats_);
+}
+
+Status CollectorSink::Submit(EventBatch batch) {
+  const std::size_t batch_events = batch.size();
+  if (options_.deliver_latency_ns > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(options_.deliver_latency_ns));
+  }
+  batch.Materialize();
+  std::scoped_lock lock(mu_);
+  // A rejected batch never enters this stage's ledger: the caller (retry
+  // stage) owns the failure accounting, so in == out holds here.
+  if (fail_next_ > 0) {
+    --fail_next_;
+    return Unavailable("collector sink scripted failure");
+  }
+  stats_.batches_in += 1;
+  stats_.events_in += batch_events;
+  for (Json& doc : batch.documents) documents_.push_back(std::move(doc));
+  stats_.batches_out += 1;
+  stats_.events_out += batch_events;
+  return Status::Ok();
+}
+
+void CollectorSink::FailNext(std::size_t n) {
+  std::scoped_lock lock(mu_);
+  fail_next_ = n;
+}
+
+std::vector<Json> CollectorSink::documents() const {
+  std::scoped_lock lock(mu_);
+  return documents_;
+}
+
+std::size_t CollectorSink::document_count() const {
+  std::scoped_lock lock(mu_);
+  return documents_.size();
+}
+
+void CollectorSink::CollectStats(std::vector<StageStats>* out) const {
+  std::scoped_lock lock(mu_);
+  out->push_back(stats_);
+}
+
+}  // namespace dio::transport

@@ -1,0 +1,87 @@
+// Terminal sinks that live in the transport layer itself:
+//
+//  * FileSpoolSink — writes every event document as one NDJSON line to a
+//    local spool file. The spool is replayable: each line is exactly the
+//    document the backend would index (Event::ToJson), so
+//    service/replay can re-issue the traced syscalls from a spool without a
+//    backend, and a spool can be bulk-loaded into an ElasticStore index
+//    later (service::LoadSpool) — the offline/air-gapped shipping mode.
+//
+//  * CollectorSink — in-memory terminal sink for tests and benches, with a
+//    configurable per-delivery latency (to exercise backpressure) and a
+//    scriptable failure budget (to exercise retry/dead-letter paths).
+//
+// The backend's BulkClient is the third terminal sink; it stays in
+// backend/ because it owns an ElasticStore dependency.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "transport/transport.h"
+
+namespace dio::transport {
+
+struct FileSpoolOptions {
+  std::string path;  // spool file, created/truncated on Open
+};
+
+class FileSpoolSink final : public Transport {
+ public:
+  static Expected<std::unique_ptr<FileSpoolSink>> Open(FileSpoolOptions options);
+
+  Status Submit(EventBatch batch) override;
+  void Flush() override;
+  void CollectStats(std::vector<StageStats>* out) const override;
+  [[nodiscard]] std::string_view name() const override { return "spool"; }
+
+  [[nodiscard]] const std::string& path() const { return options_.path; }
+  [[nodiscard]] std::uint64_t lines_written() const;
+
+ private:
+  explicit FileSpoolSink(FileSpoolOptions options);
+
+  FileSpoolOptions options_;
+  mutable std::mutex mu_;
+  std::ofstream out_;
+  StageStats stats_;
+  std::uint64_t lines_written_ = 0;
+};
+
+struct CollectorOptions {
+  // Simulated delivery latency per batch (stands in for the network +
+  // index hop; lets benches create a slow sink deterministically).
+  Nanos deliver_latency_ns = 0;
+};
+
+class CollectorSink final : public Transport {
+ public:
+  explicit CollectorSink(CollectorOptions options = {}) : options_(options) {
+    stats_.stage = "collector";
+  }
+
+  Status Submit(EventBatch batch) override;
+  void Flush() override {}
+  void CollectStats(std::vector<StageStats>* out) const override;
+  [[nodiscard]] std::string_view name() const override { return "collector"; }
+
+  // The next `n` Submit calls fail with Unavailable (before storing).
+  void FailNext(std::size_t n);
+  [[nodiscard]] std::vector<Json> documents() const;
+  [[nodiscard]] std::size_t document_count() const;
+
+ private:
+  CollectorOptions options_;
+  mutable std::mutex mu_;
+  std::vector<Json> documents_;
+  StageStats stats_;
+  std::size_t fail_next_ = 0;
+};
+
+}  // namespace dio::transport

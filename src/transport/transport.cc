@@ -1,0 +1,54 @@
+#include "transport/transport.h"
+
+namespace dio::transport {
+
+std::string_view ToString(Backpressure policy) {
+  switch (policy) {
+    case Backpressure::kBlock:
+      return "block";
+    case Backpressure::kDropNewest:
+      return "drop_newest";
+    case Backpressure::kDropOldest:
+      return "drop_oldest";
+  }
+  return "unknown";
+}
+
+Expected<Backpressure> BackpressureFromString(std::string_view name) {
+  if (name == "block") return Backpressure::kBlock;
+  if (name == "drop_newest") return Backpressure::kDropNewest;
+  if (name == "drop_oldest") return Backpressure::kDropOldest;
+  return InvalidArgument("unknown backpressure policy: " + std::string(name) +
+                         " (expected block|drop_newest|drop_oldest)");
+}
+
+void EventBatch::Materialize() {
+  if (events.empty()) return;
+  documents.reserve(documents.size() + events.size());
+  for (const tracer::Event& event : events) {
+    documents.push_back(event.ToJson(session));
+  }
+  events.clear();
+}
+
+Json StageStats::ToJson() const {
+  Json out = Json::MakeObject();
+  out.Set("stage", stage);
+  out.Set("batches_in", batches_in);
+  out.Set("batches_out", batches_out);
+  out.Set("events_in", events_in);
+  out.Set("events_out", events_out);
+  out.Set("dropped_batches", dropped_batches);
+  out.Set("dropped_events", dropped_events);
+  out.Set("dropped_newest", dropped_newest);
+  out.Set("dropped_oldest", dropped_oldest);
+  out.Set("retries", retries);
+  out.Set("faults_injected", faults_injected);
+  out.Set("dead_letter_batches", dead_letter_batches);
+  out.Set("dead_letter_events", dead_letter_events);
+  out.Set("queue_depth", queue_depth);
+  out.Set("max_queue_depth", max_queue_depth);
+  return out;
+}
+
+}  // namespace dio::transport

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 namespace dio::backend {
 namespace {
 
@@ -31,13 +34,12 @@ TEST(BulkClientTest, EmptyBatchIgnored) {
   EXPECT_EQ(client.batches_sent(), 0u);
 }
 
-TEST(BulkClientTest, AsynchronousDeliveryWithLatency) {
+TEST(BulkClientTest, DeliveryWithLatencyVisibleAfterFlush) {
   ElasticStore store;
   BulkClientOptions options;
   options.network_latency_ns = 5 * kMillisecond;
   BulkClient client(&store, "session", options);
   client.IndexBatch({Doc(1)});
-  // Not necessarily there yet — but Flush guarantees delivery.
   client.Flush();
   EXPECT_EQ(*store.Count("session", Query::MatchAll()), 1u);
 }
@@ -60,7 +62,7 @@ TEST(BulkClientTest, PeriodicRefreshMakesDataVisibleWithoutFlush) {
   EXPECT_EQ(*store.Count("session", Query::MatchAll()), 1u);
 }
 
-TEST(BulkClientTest, DestructorDrainsQueue) {
+TEST(BulkClientTest, DestructorLosesNothing) {
   ElasticStore store;
   {
     BulkClientOptions options;
@@ -101,6 +103,26 @@ TEST(BulkClientTest, ManySmallBatchesAllDelivered) {
   client.Flush();
   EXPECT_EQ(*store.Count("session", Query::MatchAll()), 200u);
   EXPECT_EQ(client.batches_sent(), 200u);
+}
+
+// As a transport stage the client is a lossless terminal sink: everything
+// accepted is delivered, so per-stage accounting shows in == out.
+TEST(BulkClientTest, StageStatsBalance) {
+  ElasticStore store;
+  BulkClientOptions options;
+  options.network_latency_ns = 0;
+  BulkClient client(&store, "session", options);
+  client.IndexBatch({Doc(1), Doc(2)});
+  client.IndexBatch({Doc(3)});
+  std::vector<transport::StageStats> stages;
+  client.CollectStats(&stages);
+  ASSERT_EQ(stages.size(), 1u);
+  EXPECT_EQ(stages[0].stage, "bulk");
+  EXPECT_EQ(stages[0].batches_in, 2u);
+  EXPECT_EQ(stages[0].batches_out, 2u);
+  EXPECT_EQ(stages[0].events_in, 3u);
+  EXPECT_EQ(stages[0].events_out, 3u);
+  EXPECT_EQ(stages[0].dropped_batches, 0u);
 }
 
 }  // namespace

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "service/replay.h"
 #include "test_util.h"
 
 namespace dio::service {
@@ -129,6 +134,160 @@ TEST_F(ServiceTest, SessionInfoJson) {
   EXPECT_EQ(j.GetString("owner"), "alice");
   EXPECT_TRUE(j.GetBool("active"));
   EXPECT_EQ(j.GetInt("events_emitted"), 42);
+}
+
+// --- Transport pipeline acceptance -------------------------------------
+// A config-only change switches a session between BulkClient-only,
+// bulk+spool fan-out, and a retry-wrapped bulk client surviving injected
+// faults — same tracer, same store, no code changes.
+
+// All of a session's documents, dumped with the session label removed so
+// two sessions over the same kernel activity can be compared for identity.
+std::vector<std::string> NormalizedDocs(backend::ElasticStore& store,
+                                        const std::string& index) {
+  backend::SearchRequest request;
+  request.query = backend::Query::MatchAll();
+  request.size = std::numeric_limits<std::size_t>::max();
+  auto result = store.Search(index, request);
+  EXPECT_TRUE(result.ok());
+  std::vector<std::string> dumps;
+  if (!result.ok()) return dumps;
+  for (const backend::Hit& hit : result->hits) {
+    Json doc = hit.source;
+    doc.Set("session", "normalized");
+    dumps.push_back(doc.Dump());
+  }
+  std::sort(dumps.begin(), dumps.end());
+  return dumps;
+}
+
+TEST_F(ServiceTest, ConfigOnlySwitchKeepsBulkOnlyContentsByteIdentical) {
+  DioService service(&env_.kernel, &store_);
+  // Session 1: code-default pipeline (queue -> bulk).
+  ASSERT_TRUE(
+      service.StartSession(Options("plain"), "", FastClient()).ok());
+  // Session 2: the same shipping path expressed purely through config.
+  auto config = Config::ParseString(R"(
+[tracer]
+session = configured
+flush_interval_ns = 1000000
+poll_interval_ns = 100000
+[transport]
+queue_depth = 16
+backpressure = block
+network_latency_ns = 0
+)");
+  ASSERT_TRUE(config.ok());
+  ASSERT_TRUE(service.StartSessionFromConfig(*config, "bob").ok());
+
+  DoIo();  // both sessions observe the same kernel activity
+  service.StopAll();
+
+  const auto plain = NormalizedDocs(store_, "plain");
+  const auto configured = NormalizedDocs(store_, "configured");
+  ASSERT_EQ(plain.size(), 8u);
+  EXPECT_EQ(plain, configured);  // byte-identical modulo the session label
+}
+
+TEST_F(ServiceTest, ConfigFanOutSpoolsReplayableCopy) {
+  const std::string spool = ::testing::TempDir() + "service_spool.ndjson";
+  DioService service(&env_.kernel, &store_);
+  auto config = Config::ParseString(
+      "[tracer]\nsession = teed\nflush_interval_ns = 1000000\n"
+      "poll_interval_ns = 100000\n"
+      "[transport]\nnetwork_latency_ns = 0\nsinks = bulk, spool\n"
+      "spool_path = " + spool + "\n");
+  ASSERT_TRUE(config.ok());
+  ASSERT_TRUE(service.StartSessionFromConfig(*config).ok());
+  DoIo();
+  ASSERT_TRUE(service.StopSession("teed").ok());
+
+  // The store got the events...
+  EXPECT_EQ(*store_.Count("teed", backend::Query::MatchAll()), 8u);
+  // ...and the spool holds the same documents, loadable into a new index.
+  auto loaded = LoadSpool(&store_, spool, "teed-reloaded");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, 8u);
+  EXPECT_EQ(NormalizedDocs(store_, "teed-reloaded"),
+            NormalizedDocs(store_, "teed"));
+  // Per-stage accounting shows the fan-out chain.
+  auto info = service.GetSession("teed");
+  ASSERT_TRUE(info.ok());
+  const JsonArray& stages = info->transport_stages.as_array();
+  ASSERT_EQ(stages.size(), 4u);  // queue, fanout, bulk, spool
+  EXPECT_EQ(stages[1].GetString("stage"), "fanout");
+  EXPECT_EQ(stages[3].GetString("stage"), "spool");
+  EXPECT_EQ(stages[3].GetInt("events_out"), 8);
+  std::remove(spool.c_str());
+}
+
+TEST_F(ServiceTest, ConfigRetrySurvivesInjectedFaultsWithZeroLoss) {
+  DioService service(&env_.kernel, &store_);
+  auto config = Config::ParseString(R"(
+[tracer]
+session = faulty
+flush_interval_ns = 1000000
+poll_interval_ns = 100000
+[transport]
+network_latency_ns = 0
+backpressure = block
+fault_rate = 0.5
+retry_max_attempts = 64
+retry_initial_backoff_ns = 1
+retry_max_backoff_ns = 10
+)");
+  ASSERT_TRUE(config.ok());
+  ASSERT_TRUE(service.StartSessionFromConfig(*config, "chaos").ok());
+  DoIo();
+  ASSERT_TRUE(service.StopSession("faulty").ok());
+
+  auto info = service.GetSession("faulty");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->events_emitted, 8u);
+  EXPECT_EQ(info->events_dropped, 0u);
+  EXPECT_EQ(info->transport_dropped, 0u);
+  EXPECT_EQ(info->transport_dead_letters, 0u);
+  EXPECT_GT(info->transport_retries, 0u);  // faults did fire — and were beaten
+  // Zero loss end to end: every traced event reached the store.
+  EXPECT_EQ(*store_.Count("faulty", backend::Query::MatchAll()), 8u);
+  // The retry stage is visible in the per-stage breakdown.
+  const JsonArray& stages = info->transport_stages.as_array();
+  ASSERT_EQ(stages.size(), 3u);  // queue, retry, bulk
+  EXPECT_EQ(stages[1].GetString("stage"), "retry");
+  EXPECT_GT(stages[1].GetInt("faults_injected"), 0);
+  EXPECT_EQ(stages[1].GetInt("dead_letter_batches"), 0);
+}
+
+TEST_F(ServiceTest, SessionInfoCarriesTransportCounters) {
+  DioService service(&env_.kernel, &store_);
+  ASSERT_TRUE(service.StartSession(Options("stats"), "", FastClient()).ok());
+  DoIo(2);
+  ASSERT_TRUE(service.StopSession("stats").ok());
+  auto info = service.GetSession("stats");
+  ASSERT_TRUE(info.ok());
+  const Json j = info->ToJson();
+  EXPECT_EQ(j.GetInt("transport_dropped"), 0);
+  EXPECT_EQ(j.GetInt("transport_dead_letters"), 0);
+  ASSERT_TRUE(j.Has("transport_stages"));
+  const JsonArray& stages = j.Find("transport_stages")->as_array();
+  ASSERT_EQ(stages.size(), 2u);  // queue, bulk
+  EXPECT_EQ(stages[0].GetString("stage"), "queue");
+  EXPECT_EQ(stages[1].GetString("stage"), "bulk");
+  // Lossless default chain: the queue handed everything to the bulk sink.
+  EXPECT_EQ(stages[0].GetInt("events_in"), stages[1].GetInt("events_out"));
+}
+
+TEST_F(ServiceTest, BadTransportConfigRejectedAtStart) {
+  DioService service(&env_.kernel, &store_);
+  auto config = Config::ParseString(
+      "[tracer]\nsession = nope\n[transport]\nbackpressure = sometimes\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_FALSE(service.StartSessionFromConfig(*config).ok());
+  // Unknown sinks are rejected too (only bulk/spool exist service-side).
+  auto bad_sink = Config::ParseString(
+      "[tracer]\nsession = nope\n[transport]\nsinks = kafka\n");
+  ASSERT_TRUE(bad_sink.ok());
+  EXPECT_FALSE(service.StartSessionFromConfig(*bad_sink).ok());
 }
 
 TEST_F(ServiceTest, DestructorStopsLiveSessions) {

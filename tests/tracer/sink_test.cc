@@ -1,0 +1,66 @@
+#include "tracer/sink.h"
+
+#include <gtest/gtest.h>
+
+namespace dio::tracer {
+namespace {
+
+// Minimal sink implementing only IndexBatch, exercising the default
+// IndexEvents implementation (eager Event -> Json conversion + forward).
+class BatchOnlySink final : public EventSink {
+ public:
+  void IndexBatch(std::vector<Json> documents) override {
+    ++calls;
+    for (Json& doc : documents) docs.push_back(std::move(doc));
+  }
+
+  int calls = 0;
+  std::vector<Json> docs;
+};
+
+Event MakeEvent(os::SyscallNr nr, std::int64_t ret) {
+  Event event;
+  event.nr = nr;
+  event.pid = 3;
+  event.tid = 4;
+  event.comm = "worker";
+  event.proc_name = "app";
+  event.time_enter = 100;
+  event.time_exit = 150;
+  event.ret = ret;
+  return event;
+}
+
+TEST(EventSinkTest, DefaultIndexEventsConvertsEagerlyAndForwards) {
+  BatchOnlySink sink;
+  sink.IndexEvents("sess-1", {MakeEvent(os::SyscallNr::kWrite, 8),
+                              MakeEvent(os::SyscallNr::kClose, 0)});
+  EXPECT_EQ(sink.calls, 1);  // one batch in, one batch forwarded
+  ASSERT_EQ(sink.docs.size(), 2u);
+  // The conversion is Event::ToJson with the session label applied.
+  EXPECT_EQ(sink.docs[0].GetString("session"), "sess-1");
+  EXPECT_EQ(sink.docs[0].GetString("syscall"), "write");
+  EXPECT_EQ(sink.docs[0].GetInt("ret"), 8);
+  EXPECT_EQ(sink.docs[0].GetInt("duration_ns"), 50);
+  EXPECT_EQ(sink.docs[1].GetString("syscall"), "close");
+}
+
+TEST(EventSinkTest, DefaultIndexEventsKeepsPerCallBatchBoundaries) {
+  BatchOnlySink sink;
+  sink.IndexEvents("a", {MakeEvent(os::SyscallNr::kRead, 1)});
+  sink.IndexEvents("b", {MakeEvent(os::SyscallNr::kRead, 2)});
+  EXPECT_EQ(sink.calls, 2);
+  ASSERT_EQ(sink.docs.size(), 2u);
+  // Each call carries its own session label through the conversion.
+  EXPECT_EQ(sink.docs[0].GetString("session"), "a");
+  EXPECT_EQ(sink.docs[1].GetString("session"), "b");
+}
+
+TEST(EventSinkTest, DefaultFlushIsANoOp) {
+  BatchOnlySink sink;
+  sink.Flush();  // must be safe on a sink that never overrides it
+  EXPECT_EQ(sink.calls, 0);
+}
+
+}  // namespace
+}  // namespace dio::tracer
