@@ -14,6 +14,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -26,7 +27,9 @@ using namespace dio;
 namespace {
 
 constexpr int kCpus = 4;
-constexpr std::uint64_t kEventsPerCpu = 100'000;
+// Default sweep size; argv[1] overrides it (the bench_smoke ctest target
+// runs the full sweep with a tiny count as a build-rot tripwire).
+std::uint64_t events_per_cpu = 100'000;
 
 tracer::Event MakeEvent(int cpu, std::uint64_t i) {
   tracer::Event event;
@@ -65,7 +68,7 @@ SweepPoint RunOne(std::size_t num_consumers, std::size_t ring_bytes) {
   std::atomic<std::uint64_t> consumed{0};
   std::atomic<std::uint64_t> retries{0};
   std::atomic<bool> producers_done{false};
-  constexpr std::uint64_t kTotal = kEventsPerCpu * kCpus;
+  const std::uint64_t kTotal = events_per_cpu * kCpus;
 
   const auto start = std::chrono::steady_clock::now();
 
@@ -75,7 +78,7 @@ SweepPoint RunOne(std::size_t num_consumers, std::size_t ring_bytes) {
     producers.emplace_back([&rings, &retries, cpu] {
       std::vector<std::byte> wire;
       std::uint64_t local_retries = 0;
-      for (std::uint64_t i = 0; i < kEventsPerCpu; ++i) {
+      for (std::uint64_t i = 0; i < events_per_cpu; ++i) {
         wire.clear();
         tracer::SerializeEvent(MakeEvent(cpu, i), &wire);
         // The real tracer drops on full (§III-D); here we retry so every
@@ -142,10 +145,13 @@ SweepPoint RunOne(std::size_t num_consumers, std::size_t ring_bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    events_per_cpu = static_cast<std::uint64_t>(std::atoll(argv[1]));
+  }
   std::printf("ABLATION A5: consumer-thread scaling (%d per-CPU rings, "
               "%llu events/cpu, zero-copy ConsumeBatch drain + decode)\n",
-              kCpus, static_cast<unsigned long long>(kEventsPerCpu));
+              kCpus, static_cast<unsigned long long>(events_per_cpu));
   std::printf("host hardware_concurrency: %u\n\n",
               std::thread::hardware_concurrency());
   std::printf("%-10s %-14s %-12s %-16s %-14s\n", "consumers", "ring bytes",
@@ -153,7 +159,7 @@ int main() {
 
   bench::BenchReport report("consumer_scaling");
   report.SetConfig("num_cpus", kCpus);
-  report.SetConfig("events_per_cpu", kEventsPerCpu);
+  report.SetConfig("events_per_cpu", events_per_cpu);
   report.SetConfig("hardware_concurrency",
                    std::thread::hardware_concurrency());
 

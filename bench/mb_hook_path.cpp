@@ -1,0 +1,244 @@
+// Hook-path microbench: events/sec and heap allocations/event for the
+// in-kernel (producer) side of the tracer — the cost a traced application
+// pays synchronously on every syscall (Table II's numerator).
+//
+// The bench fires the sys_enter/sys_exit tracepoints directly (no VFS work
+// in the measured loop), so the number is the tracer hook in isolation:
+// kernel-side filters, pending-map update/take, enrichment (fd state, file
+// tag), wire-format fill, and the ring reservation/commit.
+//
+// Allocations are counted by overriding the global operator new/delete with
+// a thread-local counter; only the hook (producer) thread's count is
+// reported, so consumer-side materialization does not pollute the number.
+// The steady-state fd path (write, aggregate_in_kernel=true, enrich=true)
+// must report 0 allocations/event; the path-syscall row is informational
+// (VFS path resolution allocates inside the kernel substrate).
+//
+// Emits BENCH_mb_hook_path.json. `baseline_events_per_sec` is the pre-change
+// number (string-heavy wire format + per-event vector serialization +
+// ring memcpy) recorded on this machine before the zero-allocation rework;
+// the verdict compares the current build against it.
+//
+// Usage: mb_hook_path [events_per_case]   (default 150000; bench_smoke uses
+// a tiny count so the code is exercised by tier-1 ctest)
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "bench/harness_util.h"
+#include "oskernel/kernel.h"
+#include "tracer/tracer.h"
+
+// ---- allocation-counting hook ----------------------------------------------
+namespace {
+thread_local std::uint64_t t_alloc_count = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++t_alloc_count;
+  if (void* ptr = std::malloc(size)) return ptr;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++t_alloc_count;
+  if (void* ptr = std::malloc(size)) return ptr;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++t_alloc_count;
+  return std::malloc(size);
+}
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+
+using namespace dio;
+
+namespace {
+
+// Pre-change baseline (this machine, 150k events/case): measured on the
+// string-heavy wire format at commit 4bde11b — 1.04/1.11/1.14M events/sec
+// over three runs, 10 heap allocations per write_fd event (string copies
+// into PendingEntry/Event, FdView path, pending-map node, serialize
+// vector). Kept here so BENCH_mb_hook_path.json records the trajectory.
+constexpr double kBaselineWriteEventsPerSec = 1.10e6;
+constexpr double kBaselineWriteAllocsPerEvent = 10.0;
+
+class CountingSink : public tracer::EventSink {
+ public:
+  void IndexBatch(std::vector<Json> documents) override {
+    indexed_.fetch_add(documents.size(), std::memory_order_relaxed);
+  }
+  void IndexEvents(std::string_view, std::vector<tracer::Event> events)
+      override {
+    indexed_.fetch_add(events.size(), std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t indexed() const {
+    return indexed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> indexed_{0};
+};
+
+struct CaseResult {
+  std::string name;
+  std::uint64_t events = 0;
+  double seconds = 0.0;
+  double events_per_sec = 0.0;
+  double hook_allocs_per_event = 0.0;
+  std::uint64_t ring_pushed = 0;
+  std::uint64_t ring_dropped = 0;
+  std::uint64_t emitted = 0;
+};
+
+// Fires `events` enter/exit pairs of syscall `nr` straight into the attached
+// tracer hooks, measuring the producer thread only.
+CaseResult RunCase(const std::string& name, os::SyscallNr nr,
+                   std::uint64_t events) {
+  os::KernelOptions kopts;
+  kopts.num_cpus = 1;  // one ring, one consumer stripe
+  os::Kernel kernel(kopts);
+  os::BlockDeviceOptions disk;
+  disk.real_sleep = false;
+  (void)kernel.MountDevice("/data", 7340032, disk);
+  const os::Pid pid = kernel.CreateProcess("mb_hook");
+  const os::Tid tid = kernel.SpawnThread(pid, "mb_hook");
+
+  // A real open fd so LookupFd/enrichment run their steady-state path. The
+  // path is >15 chars so it defeats SSO — a string-copying hook pays a real
+  // heap allocation for it, as it would for production file names.
+  os::Fd fd;
+  {
+    os::ScopedTask task(kernel, pid, tid);
+    fd = static_cast<os::Fd>(kernel.sys_openat(
+        os::kAtFdCwd, "/data/hook-stream-000042.dat",
+        os::openflag::kReadWrite | os::openflag::kCreate));
+  }
+
+  CountingSink sink;
+  tracer::TracerOptions options;
+  options.session_name = "mb-hook";
+  options.ring_bytes_per_cpu = 128u << 20;  // large: no §III-D drops skew
+  options.batch_size = 1024;
+  tracer::DioTracer tracer(&kernel, &sink, options);
+  if (!tracer.Start().ok()) {
+    std::fprintf(stderr, "tracer start failed\n");
+    std::exit(1);
+  }
+
+  os::SyscallArgs args;
+  args.fd = fd;
+  args.count = 4096;
+  std::int64_t ret = 4096;
+  if (nr == os::SyscallNr::kOpenat) {
+    args.fd = os::kAtFdCwd;
+    args.path = "/data/hook-stream-000042.dat";
+    args.flags = os::openflag::kReadWrite;
+    ret = fd;  // "returned" fd resolves to real kernel state
+  }
+
+  os::KernelView* view = &kernel.view();
+  Clock* clock = kernel.clock();
+  const auto fire = [&](Nanos ts) {
+    os::SysEnterContext enter{nr, pid, tid, "mb_hook", ts, &args, view};
+    kernel.tracepoints().FireEnter(enter);
+    os::SysExitContext exit{nr,  pid,   tid,  "mb_hook",
+                            ts + 400, ret, &args, view};
+    kernel.tracepoints().FireExit(exit);
+  };
+
+  // Warmup: populate maps, node pools, bucket arrays, ring lap state.
+  const std::uint64_t warmup = std::min<std::uint64_t>(events / 10, 5000);
+  for (std::uint64_t i = 0; i < warmup; ++i) fire(clock->NowNanos());
+
+  const std::uint64_t allocs_before = t_alloc_count;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < events; ++i) fire(clock->NowNanos());
+  const auto end = std::chrono::steady_clock::now();
+  const std::uint64_t allocs_after = t_alloc_count;
+
+  tracer.Stop();
+  const tracer::TracerStats stats = tracer.stats();
+
+  CaseResult result;
+  result.name = name;
+  result.events = events;
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  result.events_per_sec =
+      result.seconds > 0.0 ? static_cast<double>(events) / result.seconds : 0.0;
+  result.hook_allocs_per_event =
+      static_cast<double>(allocs_after - allocs_before) /
+      static_cast<double>(events);
+  result.ring_pushed = stats.ring_pushed;
+  result.ring_dropped = stats.ring_dropped;
+  result.emitted = stats.emitted;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t events =
+      argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 150'000;
+
+  std::printf("HOOK-PATH MICROBENCH: %llu enter/exit pairs per case "
+              "(tracepoints fired directly; producer thread measured)\n\n",
+              static_cast<unsigned long long>(events));
+  std::printf("%-14s %-12s %-14s %-18s %-12s\n", "case", "seconds",
+              "events/sec", "hook allocs/event", "ring drops");
+
+  bench::BenchReport report("mb_hook_path");
+  report.SetConfig("events_per_case", events);
+  report.SetConfig("aggregate_in_kernel", true);
+  report.SetConfig("enrich", true);
+  report.SetConfig("baseline_events_per_sec", kBaselineWriteEventsPerSec);
+  report.SetConfig("baseline_hook_allocs_per_event",
+                   kBaselineWriteAllocsPerEvent);
+
+  double write_events_per_sec = 0.0;
+  double write_allocs = 0.0;
+  const struct {
+    const char* name;
+    os::SyscallNr nr;
+  } cases[] = {
+      {"write_fd", os::SyscallNr::kWrite},      // steady-state fd data path
+      {"openat_path", os::SyscallNr::kOpenat},  // path syscall (VFS resolve)
+  };
+  for (const auto& c : cases) {
+    const CaseResult r = RunCase(c.name, c.nr, events);
+    std::printf("%-14s %-12.3f %-14.0f %-18.3f %-12llu\n", r.name.c_str(),
+                r.seconds, r.events_per_sec, r.hook_allocs_per_event,
+                static_cast<unsigned long long>(r.ring_dropped));
+    if (r.name == "write_fd") {
+      write_events_per_sec = r.events_per_sec;
+      write_allocs = r.hook_allocs_per_event;
+    }
+    Json row = Json::MakeObject();
+    row.Set("case", r.name);
+    row.Set("events", r.events);
+    row.Set("seconds", r.seconds);
+    row.Set("events_per_sec", r.events_per_sec);
+    row.Set("hook_allocs_per_event", r.hook_allocs_per_event);
+    row.Set("ring_pushed", r.ring_pushed);
+    row.Set("ring_dropped", r.ring_dropped);
+    row.Set("emitted", r.emitted);
+    report.AddRow(std::move(row));
+  }
+  report.Write();
+
+  const double speedup = kBaselineWriteEventsPerSec > 0.0
+                             ? write_events_per_sec / kBaselineWriteEventsPerSec
+                             : 0.0;
+  std::printf("\nverdict: write_fd hook allocs/event = %.3f (target 0), "
+              "events/sec = %.0f",
+              write_allocs, write_events_per_sec);
+  if (speedup > 0.0) {
+    std::printf(" -> %.2fx vs pre-change baseline (target >=2x)", speedup);
+  }
+  std::printf("\n");
+  return 0;
+}

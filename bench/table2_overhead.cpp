@@ -139,5 +139,24 @@ int main(int argc, char** argv) {
                                                      : "ORDER NOT REPRODUCED");
   std::printf("  §III-D context: DIO pathless %.1f%% (paper: <=5%%)\n",
               rows[2].pathless * 100.0);
+
+  bench::BenchReport report("table2_overhead");
+  report.SetConfig("runs", runs);
+  report.SetConfig("ops_per_run", ops);
+  report.SetConfig("paper_overheads",
+                   "sysdig 1.04x < DIO 1.37x < strace 1.71x");
+  report.SetConfig("order_reproduced",
+                   sysdig_x < dio_x && dio_x < strace_x);
+  for (const Row& row : rows) {
+    Json entry = Json::MakeObject();
+    entry.Set("tracer", row.name);
+    entry.Set("mean_seconds", row.seconds.mean() / 1000.0);
+    entry.Set("stddev_seconds", row.seconds.stddev() / 1000.0);
+    entry.Set("overhead_x", row.seconds.mean() / vanilla_ms);
+    entry.Set("pathless_ratio", row.pathless);
+    entry.Set("events_dropped", row.dropped);
+    report.AddRow(std::move(entry));
+  }
+  report.Write();
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "tracer/keys.h"
+
 namespace dio::baselines {
 
 namespace {
@@ -13,10 +15,8 @@ void SpinFor(Clock* clock, Nanos duration) {
   }
 }
 
-std::uint64_t FdKey(os::Pid pid, os::Fd fd) {
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(pid)) << 32) |
-         static_cast<std::uint32_t>(fd);
-}
+// Same (pid, fd) packing as the DIO tracer's fd maps.
+using tracer::FdKey;
 }  // namespace
 
 SysdigSim::SysdigSim(os::Kernel* kernel, SysdigOptions options)

@@ -17,22 +17,31 @@ ByteRingBuffer::ByteRingBuffer(std::size_t capacity_bytes)
       mask_(capacity_ - 1),
       data_(capacity_) {}
 
-bool ByteRingBuffer::TryPush(std::span<const std::byte> record) {
-  const std::size_t payload = record.size();
+ByteRingBuffer::Reservation ByteRingBuffer::Reserve(std::size_t payload_bytes) {
   // Header + payload, rounded to 8 bytes so headers never wrap and stay
   // naturally aligned (capacity is a power of two >= 64).
-  const std::size_t need = (kHeaderSize + payload + kAlign - 1) & ~(kAlign - 1);
-  if (need > capacity_) {
+  const std::size_t span =
+      (kHeaderSize + payload_bytes + kAlign - 1) & ~(kAlign - 1);
+  if (span > capacity_) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
-    return false;
+    return {};
   }
 
   std::uint64_t head = head_.load(std::memory_order_relaxed);
+  std::size_t pad_bytes = 0;
   while (true) {
+    // The caller gets a contiguous span, so a payload that would cross the
+    // wrap point is pushed to offset 0 by a pad record covering the rest of
+    // this lap. Both are claimed by one head CAS. Cursors are kAlign-ed, so
+    // the pad always has room for its own header.
+    const std::size_t payload_start = Index(head + kHeaderSize);
+    pad_bytes =
+        payload_bytes > capacity_ - payload_start ? capacity_ - Index(head) : 0;
+    const std::size_t need = pad_bytes + span;
     const std::uint64_t tail = tail_.load(std::memory_order_acquire);
     if (head + need - tail > capacity_) {
       dropped_.fetch_add(1, std::memory_order_relaxed);
-      return false;
+      return {};
     }
     if (head_.compare_exchange_weak(head, head + need,
                                     std::memory_order_acq_rel,
@@ -41,23 +50,51 @@ bool ByteRingBuffer::TryPush(std::span<const std::byte> record) {
     }
   }
 
-  // Write header (contiguous by construction), then payload, then commit.
-  auto* hdr = reinterpret_cast<RecordHeader*>(&data_[Index(head)]);
-  hdr->length = static_cast<std::uint32_t>(payload);
-  const std::size_t payload_start = Index(head + kHeaderSize);
-  const std::size_t first_chunk =
-      std::min(payload, capacity_ - payload_start);
-  if (first_chunk > 0) {
-    std::memcpy(&data_[payload_start], record.data(), first_chunk);
+  std::uint64_t record_at = head;
+  if (pad_bytes > 0) {
+    // The pad is committed immediately; the consumer reclaims it without
+    // visiting. Release-store so its length is visible with the flag.
+    auto* pad = reinterpret_cast<RecordHeader*>(&data_[Index(head)]);
+    pad->length = static_cast<std::uint32_t>(pad_bytes - kHeaderSize);
+    reinterpret_cast<std::atomic<std::uint32_t>*>(&pad->committed)
+        ->store(kFlagPad, std::memory_order_release);
+    record_at = head + pad_bytes;  // Index(record_at) == 0
   }
-  if (payload > first_chunk) {
-    std::memcpy(&data_[0], record.data() + first_chunk,
-                payload - first_chunk);
-  }
-  // Publish: committed flag release-stores after the payload writes.
+  // The record's commit flag is already kFlagInFlight: every byte a producer
+  // can claim was zeroed by the consumer (or is initial storage).
+  auto* hdr = reinterpret_cast<RecordHeader*>(&data_[Index(record_at)]);
+  hdr->length = static_cast<std::uint32_t>(payload_bytes);
+  Reservation reservation;
+  reservation.data_ = &data_[Index(record_at + kHeaderSize)];
+  reservation.size_ = payload_bytes;
+  reservation.cursor_ = record_at;
+  return reservation;
+}
+
+void ByteRingBuffer::Commit(Reservation& reservation) {
+  auto* hdr = reinterpret_cast<RecordHeader*>(&data_[Index(reservation.cursor_)]);
+  // Publish: the flag release-stores after the caller's payload writes.
   reinterpret_cast<std::atomic<std::uint32_t>*>(&hdr->committed)
-      ->store(1, std::memory_order_release);
+      ->store(kFlagCommitted, std::memory_order_release);
   pushed_.fetch_add(1, std::memory_order_relaxed);
+  reservation.data_ = nullptr;
+}
+
+void ByteRingBuffer::Discard(Reservation& reservation) {
+  auto* hdr = reinterpret_cast<RecordHeader*>(&data_[Index(reservation.cursor_)]);
+  reinterpret_cast<std::atomic<std::uint32_t>*>(&hdr->committed)
+      ->store(kFlagDiscarded, std::memory_order_release);
+  discarded_.fetch_add(1, std::memory_order_relaxed);
+  reservation.data_ = nullptr;
+}
+
+bool ByteRingBuffer::TryPush(std::span<const std::byte> record) {
+  Reservation reservation = Reserve(record.size());
+  if (!reservation.valid()) return false;
+  if (!record.empty()) {
+    std::memcpy(reservation.data(), record.data(), record.size());
+  }
+  Commit(reservation);
   return true;
 }
 

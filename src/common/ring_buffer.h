@@ -5,6 +5,17 @@
 //    uncommitted record,
 //  - when the buffer is full the record is DROPPED and a counter incremented —
 //    this is the §III-D behaviour ("new I/O events ... are discarded").
+//
+// Producers have two interfaces mirroring the BPF helper pairs:
+//  - TryPush = bpf_ringbuf_output: copy a finished record in.
+//  - Reserve/Commit/Discard = bpf_ringbuf_reserve/submit/discard: obtain a
+//    writable, CONTIGUOUS span inside the ring, serialize directly into it,
+//    then publish (or abandon) it — no intermediate buffer, one copy total.
+// Contiguity across the wrap point is guaranteed the same way the kernel
+// ringbuf does it (via its data-page double mapping): when a reservation
+// would straddle the end of the ring, a pad record fills the rest of the lap
+// and the real record starts at offset 0. Consumers skip pad and discarded
+// records transparently.
 #pragma once
 
 #include <algorithm>
@@ -25,8 +36,42 @@ class ByteRingBuffer {
   ByteRingBuffer(const ByteRingBuffer&) = delete;
   ByteRingBuffer& operator=(const ByteRingBuffer&) = delete;
 
-  // Producer side. Returns false (and counts a drop) if there is no room.
-  // Thread-safe for concurrent producers.
+  // A producer's claim on a contiguous writable region of the ring. Obtained
+  // from Reserve(); MUST be resolved with exactly one Commit() or Discard()
+  // call before the owning thread reserves again (the consumer stalls at the
+  // first unresolved record, exactly like an un-submitted bpf_ringbuf
+  // reservation). Default-constructed and post-resolve reservations are
+  // !valid().
+  class Reservation {
+   public:
+    Reservation() = default;
+    [[nodiscard]] bool valid() const { return data_ != nullptr; }
+    [[nodiscard]] std::byte* data() const { return data_; }
+    [[nodiscard]] std::size_t size() const { return size_; }
+    [[nodiscard]] std::span<std::byte> span() const { return {data_, size_}; }
+
+   private:
+    friend class ByteRingBuffer;
+    std::byte* data_ = nullptr;
+    std::size_t size_ = 0;
+    std::uint64_t cursor_ = 0;  // ring cursor of the record header
+  };
+
+  // Producer side, in-place. Claims `payload_bytes` of contiguous ring
+  // memory (inserting a pad record first when the claim would wrap).
+  // Returns an invalid reservation — and counts a drop — if there is no
+  // room. Thread-safe for concurrent producers.
+  Reservation Reserve(std::size_t payload_bytes);
+  // Publishes a reservation to the consumer (bpf_ringbuf_submit).
+  void Commit(Reservation& reservation);
+  // Abandons a reservation mid-write (bpf_ringbuf_discard). The space is
+  // reclaimed when the consumer walks past it; counted in
+  // discarded_records(), not dropped_records().
+  void Discard(Reservation& reservation);
+
+  // Producer side, copying (bpf_ringbuf_output; implemented atop Reserve).
+  // Returns false (and counts a drop) if there is no room. Thread-safe for
+  // concurrent producers.
   bool TryPush(std::span<const std::byte> record);
 
   // Consumer side. Single consumer only. Appends the record payload to `out`
@@ -54,24 +99,29 @@ class ByteRingBuffer {
       const std::uint32_t committed =
           reinterpret_cast<std::atomic<std::uint32_t>*>(&hdr->committed)
               ->load(std::memory_order_acquire);
-      if (committed == 0) break;  // producer still writing this record
+      if (committed == kFlagInFlight) break;  // producer still writing
       const std::size_t payload = hdr->length;
-      const std::size_t payload_start = Index(tail + kHeaderSize);
-      const std::size_t first_chunk =
-          std::min(payload, capacity_ - payload_start);
-      if (first_chunk == payload) {
-        visit(std::span<const std::byte>(&data_[payload_start], payload));
-      } else {
-        wrap_scratch_.resize(payload);
-        std::memcpy(wrap_scratch_.data(), &data_[payload_start], first_chunk);
-        std::memcpy(wrap_scratch_.data() + first_chunk, &data_[0],
-                    payload - first_chunk);
-        visit(std::span<const std::byte>(wrap_scratch_));
+      if (committed == kFlagCommitted) {
+        const std::size_t payload_start = Index(tail + kHeaderSize);
+        const std::size_t first_chunk =
+            std::min(payload, capacity_ - payload_start);
+        if (first_chunk == payload) {
+          visit(std::span<const std::byte>(&data_[payload_start], payload));
+        } else {
+          wrap_scratch_.resize(payload);
+          std::memcpy(wrap_scratch_.data(), &data_[payload_start],
+                      first_chunk);
+          std::memcpy(wrap_scratch_.data() + first_chunk, &data_[0],
+                      payload - first_chunk);
+          visit(std::span<const std::byte>(wrap_scratch_));
+        }
+        ++consumed;
       }
+      // kFlagPad / kFlagDiscarded: reclaim the space without visiting and
+      // without counting toward max_records.
       tail += (kHeaderSize + payload + kAlign - 1) & ~(kAlign - 1);
-      ++consumed;
     }
-    if (consumed > 0) {
+    if (tail != tail0) {
       // Zero the whole consumed region before releasing it. Record
       // boundaries shift between laps (sizes vary), so a future header can
       // land on bytes that used to be payload; any nonzero residue there
@@ -99,6 +149,9 @@ class ByteRingBuffer {
   [[nodiscard]] std::uint64_t pushed_records() const {
     return pushed_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] std::uint64_t discarded_records() const {
+    return discarded_.load(std::memory_order_relaxed);
+  }
 
  private:
   // Test-only: lets the unit test stage a partially-committed record to
@@ -107,10 +160,17 @@ class ByteRingBuffer {
 
   struct RecordHeader {
     std::uint32_t length;     // payload bytes
-    std::uint32_t committed;  // 0 while being written, 1 when readable
+    std::uint32_t committed;  // kFlag* below; 0 while being written
   };
   static constexpr std::size_t kHeaderSize = sizeof(RecordHeader);
   static constexpr std::size_t kAlign = 8;
+  // Record states (the ringbuf's BUSY/DISCARD header bits, as values). The
+  // in-flight state is 0 because all ring memory a producer can claim is
+  // pre-zeroed: the consumer zeroes everything it releases.
+  static constexpr std::uint32_t kFlagInFlight = 0;
+  static constexpr std::uint32_t kFlagCommitted = 1;
+  static constexpr std::uint32_t kFlagDiscarded = 2;
+  static constexpr std::uint32_t kFlagPad = 3;
 
   [[nodiscard]] std::size_t Index(std::uint64_t cursor) const {
     return static_cast<std::size_t>(cursor) & mask_;
@@ -124,6 +184,7 @@ class ByteRingBuffer {
   std::atomic<std::uint64_t> tail_{0};
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> discarded_{0};
   // Assembly buffer for payloads crossing the wrap point. Touched only by
   // the (single) consumer, so it needs no lock.
   std::vector<std::byte> wrap_scratch_;

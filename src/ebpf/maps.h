@@ -20,14 +20,43 @@ namespace dio::ebpf {
 
 // BPF_MAP_TYPE_HASH. Sharded to keep producer contention low (real per-CPU
 // hash maps avoid cross-CPU contention similarly).
+//
+// Capacity is enforced PER SHARD: each shard owns a fixed quota and the
+// quotas sum exactly to max_entries. This is how real pre-allocated BPF
+// maps behave (each CPU's freelist can run dry before the global element
+// count hits max_entries) and — unlike the previous global size check,
+// which read a counter guarded by OTHER shards' locks — it cannot race:
+// two concurrent inserts into different shards can never overshoot the
+// bound, because each one checks a count its own lock protects. The shard
+// count is clamped to max_entries so small maps still fill to exactly
+// max_entries under a uniform key distribution.
+//
+// Freed map nodes are recycled through a per-shard pool (the pre-allocated
+// freelist of a real BPF map), so steady-state Update/Take churn — the
+// tracer's pending map does one insert + one erase per syscall — touches
+// the heap zero times after warm-up.
 template <typename Key, typename Value, typename Hash = std::hash<Key>>
 class BpfHashMap {
  public:
   explicit BpfHashMap(std::size_t max_entries, std::size_t shards = 16)
       : max_entries_(max_entries),
-        shards_(std::max<std::size_t>(1, std::min(shards, kMaxShards))) {}
+        shards_(std::clamp<std::size_t>(std::min(shards, kMaxShards), 1,
+                                        std::max<std::size_t>(1,
+                                                              max_entries))) {
+    // Distribute capacity exactly: the first (max_entries % shards) shards
+    // hold one extra entry.
+    for (std::size_t i = 0; i < shards_; ++i) {
+      Shard& shard = shards_storage_[i];
+      shard.quota = max_entries_ / shards_ +
+                    (i < max_entries_ % shards_ ? 1 : 0);
+      shard.pool.reserve(shard.quota);
+      // Bucket array sized up front too, so steady-state churn never
+      // rehashes (pre-allocation, like a real BPF map).
+      shard.map.reserve(shard.quota);
+    }
+  }
 
-  // Insert or overwrite (BPF_ANY). Returns false when the map is full.
+  // Insert or overwrite (BPF_ANY). Returns false when the shard is full.
   bool Update(const Key& key, Value value) {
     Shard& shard = ShardFor(key);
     std::scoped_lock lock(shard.mu);
@@ -36,9 +65,35 @@ class BpfHashMap {
       it->second = std::move(value);
       return true;
     }
-    if (size_.load(std::memory_order_relaxed) >= max_entries_) return false;
-    shard.map.emplace(key, std::move(value));
-    size_.fetch_add(1, std::memory_order_relaxed);
+    return EmplaceLocked(shard, key, std::move(value));
+  }
+
+  // Insert-or-overwrite like Update, but the value is written IN PLACE
+  // inside the map node by `fill(Value&)` under the shard lock — the caller
+  // never copies a Value through the call, which matters when Value is a
+  // large fixed-layout POD (the tracer's pending entries). This mirrors how
+  // a BPF program writes its map value directly in kernel memory. A node
+  // recycled from the pool keeps its previous bytes: `fill` must assign
+  // every field readers will consume. Returns false (without invoking
+  // `fill`) when the shard is full.
+  template <typename Fill>
+  bool UpdateWith(const Key& key, Fill&& fill) {
+    Shard& shard = ShardFor(key);
+    std::scoped_lock lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      if (shard.map.size() >= shard.quota) return false;  // shard full
+      if (!shard.pool.empty()) {
+        auto node = std::move(shard.pool.back());
+        shard.pool.pop_back();
+        node.key() = key;
+        it = shard.map.insert(std::move(node)).position;
+      } else {
+        it = shard.map.emplace(key, Value{}).first;
+      }
+      size_.fetch_add(1, std::memory_order_relaxed);
+    }
+    fill(it->second);
     return true;
   }
 
@@ -47,10 +102,7 @@ class BpfHashMap {
     Shard& shard = ShardFor(key);
     std::scoped_lock lock(shard.mu);
     if (shard.map.contains(key)) return false;
-    if (size_.load(std::memory_order_relaxed) >= max_entries_) return false;
-    shard.map.emplace(key, std::move(value));
-    size_.fetch_add(1, std::memory_order_relaxed);
-    return true;
+    return EmplaceLocked(shard, key, std::move(value));
   }
 
   [[nodiscard]] std::optional<Value> Lookup(const Key& key) const {
@@ -68,9 +120,29 @@ class BpfHashMap {
     auto it = shard.map.find(key);
     if (it == shard.map.end()) return std::nullopt;
     Value value = std::move(it->second);
-    shard.map.erase(it);
+    // Recycle the node instead of freeing it; the pool's capacity was
+    // reserved up front, so push_back cannot reallocate.
+    shard.pool.push_back(shard.map.extract(it));
     size_.fetch_sub(1, std::memory_order_relaxed);
     return value;
+  }
+
+  // Lookup-and-delete like Take, but the value is read IN PLACE by
+  // `consume(const Value&)` under the shard lock before the node is
+  // recycled — no copy out. `consume` must not re-enter this map (same
+  // shard would self-deadlock); touching other maps is fine. Returns false
+  // when the key is absent.
+  template <typename Consume>
+  bool TakeWith(const Key& key, Consume&& consume) {
+    Shard& shard = ShardFor(key);
+    std::scoped_lock lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) return false;
+    const Value& value = it->second;
+    consume(value);
+    shard.pool.push_back(shard.map.extract(it));
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
   }
 
   bool Delete(const Key& key) { return Take(key).has_value(); }
@@ -84,15 +156,36 @@ class BpfHashMap {
     for (auto& shard : shards_storage_) {
       std::scoped_lock lock(shard.mu);
       shard.map.clear();
+      shard.pool.clear();
     }
     size_.store(0, std::memory_order_relaxed);
   }
 
  private:
+  using Map = std::unordered_map<Key, Value, Hash>;
+
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<Key, Value, Hash> map;
+    Map map;
+    // Recycled nodes, capacity reserved to `quota` at construction.
+    std::vector<typename Map::node_type> pool;
+    std::size_t quota = 0;
   };
+
+  bool EmplaceLocked(Shard& shard, const Key& key, Value value) {
+    if (shard.map.size() >= shard.quota) return false;  // shard full
+    if (!shard.pool.empty()) {
+      auto node = std::move(shard.pool.back());
+      shard.pool.pop_back();
+      node.key() = key;
+      node.mapped() = std::move(value);
+      shard.map.insert(std::move(node));
+    } else {
+      shard.map.emplace(key, std::move(value));
+    }
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
 
   Shard& ShardFor(const Key& key) {
     return shards_storage_[Hash{}(key) % shards_];

@@ -30,6 +30,20 @@ class PerCpuRingBuffer {
     return RingOf(cpu).TryPush(record);
   }
 
+  // Producer path, in-place (bpf_ringbuf_reserve/submit/discard): claim a
+  // contiguous writable span on this CPU's ring, serialize straight into it,
+  // then Commit (publish) or Discard (abandon). The reservation must be
+  // resolved on the CPU's own ring, so the pair below takes `cpu` again.
+  dio::ByteRingBuffer::Reservation Reserve(int cpu, std::size_t payload_bytes) {
+    return RingOf(cpu).Reserve(payload_bytes);
+  }
+  void Commit(int cpu, dio::ByteRingBuffer::Reservation& reservation) {
+    RingOf(cpu).Commit(reservation);
+  }
+  void Discard(int cpu, dio::ByteRingBuffer::Reservation& reservation) {
+    RingOf(cpu).Discard(reservation);
+  }
+
   // Consumer path, batch drain of ONE CPU's ring: hands zero-copy spans to
   // `sink` and advances the ring's tail once per batch. Each ring must have
   // at most one draining thread (SPSC per ring); different CPUs may be
@@ -68,6 +82,12 @@ class PerCpuRingBuffer {
   [[nodiscard]] std::uint64_t TotalDropped() const {
     std::uint64_t total = 0;
     for (const auto& ring : rings_) total += ring->dropped_records();
+    return total;
+  }
+
+  [[nodiscard]] std::uint64_t TotalDiscarded() const {
+    std::uint64_t total = 0;
+    for (const auto& ring : rings_) total += ring->discarded_records();
     return total;
   }
 

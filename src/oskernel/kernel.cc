@@ -50,6 +50,18 @@ class KernelViewImpl final : public KernelView {
     return static_cast<int>(tid % cpus);
   }
 
+  // Allocation-free hook-path read: ProcessManager copies the fd state and
+  // dentry-path bytes out under a single registry lock, with no shared_ptr
+  // refcount round-trip.
+  bool SnapshotFd(Pid pid, Fd fd, std::span<char> path_buf,
+                  FdSnapshot* out) const override {
+    return kernel_->procs_.SnapshotFd(pid, fd, path_buf, out);
+  }
+
+  std::size_t CopyProcessName(Pid pid, std::span<char> buf) const override {
+    return kernel_->procs_.CopyProcessName(pid, buf);
+  }
+
  private:
   Kernel* kernel_;
 };

@@ -1,6 +1,7 @@
 #include "oskernel/process.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace dio::os {
 
@@ -62,6 +63,17 @@ std::optional<std::string> ProcessManager::ProcessName(Pid pid) const {
   return it->second.name;
 }
 
+std::size_t ProcessManager::CopyProcessName(Pid pid,
+                                            std::span<char> buf) const {
+  std::scoped_lock lock(mu_);
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) return 0;
+  const std::string& name = it->second.name;
+  const std::size_t n = std::min(name.size(), buf.size());
+  if (n > 0) std::memcpy(buf.data(), name.data(), n);
+  return name.size();
+}
+
 std::vector<Pid> ProcessManager::LivePids() const {
   std::scoped_lock lock(mu_);
   std::vector<Pid> out;
@@ -103,6 +115,26 @@ std::shared_ptr<OpenFileDescription> ProcessManager::LookupFd(Pid pid,
   if (it == processes_.end()) return nullptr;
   auto fd_it = it->second.fds.find(fd);
   return fd_it == it->second.fds.end() ? nullptr : fd_it->second;
+}
+
+bool ProcessManager::SnapshotFd(Pid pid, Fd fd, std::span<char> path_buf,
+                                FdSnapshot* out) const {
+  std::scoped_lock lock(mu_);
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) return false;
+  auto fd_it = it->second.fds.find(fd);
+  if (fd_it == it->second.fds.end()) return false;
+  const OpenFileDescription& ofd = *fd_it->second;
+  out->dev = ofd.dev;
+  out->ino = ofd.ino;
+  out->type = ofd.type;
+  out->offset = ofd.offset.load(std::memory_order_relaxed);
+  const std::size_t n = std::min(ofd.path.size(), path_buf.size());
+  if (n > 0) std::memcpy(path_buf.data(), ofd.path.data(), n);
+  out->path_len = static_cast<std::uint16_t>(n);
+  out->path_trunc = static_cast<std::uint16_t>(
+      std::min<std::size_t>(ofd.path.size() - n, 0xFFFF));
+  return true;
 }
 
 std::shared_ptr<OpenFileDescription> ProcessManager::ReleaseFd(Pid pid, Fd fd) {

@@ -10,6 +10,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,11 @@ class ProcessManager {
 
   [[nodiscard]] std::optional<Thread> GetThread(Tid tid) const;
   [[nodiscard]] std::optional<std::string> ProcessName(Pid pid) const;
+  // Allocation-free ProcessName for the tracer hook path: copies
+  // min(name length, buf.size()) bytes into `buf` and returns the FULL name
+  // length (snprintf-style, so callers can count truncation), 0 if the pid
+  // is unknown.
+  std::size_t CopyProcessName(Pid pid, std::span<char> buf) const;
   [[nodiscard]] std::vector<Pid> LivePids() const;
   [[nodiscard]] std::vector<Tid> ThreadsOf(Pid pid) const;
 
@@ -68,6 +74,12 @@ class ProcessManager {
   Fd AllocateFd(Pid pid, std::shared_ptr<OpenFileDescription> ofd);
   [[nodiscard]] std::shared_ptr<OpenFileDescription> LookupFd(Pid pid,
                                                               Fd fd) const;
+  // Allocation-free fd snapshot for the tracer hook path: reads the fd's
+  // scalar state and copies min(dentry path length, path_buf.size()) bytes
+  // into `path_buf` under a single registry lock, without the shared_ptr
+  // refcount round-trip LookupFd pays. Returns false if the fd is not open.
+  bool SnapshotFd(Pid pid, Fd fd, std::span<char> path_buf,
+                  FdSnapshot* out) const;
   // Removes and returns the description, or nullptr if the fd was not open.
   std::shared_ptr<OpenFileDescription> ReleaseFd(Pid pid, Fd fd);
   [[nodiscard]] std::vector<std::shared_ptr<OpenFileDescription>> AllFds(

@@ -10,13 +10,16 @@
 // an immutable snapshot swapped atomically on attach/detach.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -53,6 +56,41 @@ class KernelView {
   [[nodiscard]] virtual std::optional<std::string> ProcessName(
       Pid pid) const = 0;
   [[nodiscard]] virtual int cpu_of(Tid tid) const = 0;
+
+  // Allocation-free variants for tracer hook paths (a BPF program reads
+  // kernel structs into stack buffers; it cannot allocate). The default
+  // implementations fall back to the allocating calls so alternative
+  // KernelView implementations keep working unchanged; the kernel's own
+  // view overrides them with genuinely allocation-free reads.
+  //
+  // Snapshots fd state into `*out`, copying the dentry path into `path_buf`
+  // (truncation recorded in out->path_trunc, à la bpf_probe_read_str's
+  // bounded copy). Returns false if the fd is not open.
+  virtual bool SnapshotFd(Pid pid, Fd fd, std::span<char> path_buf,
+                          FdSnapshot* out) const {
+    const std::optional<FdView> view = LookupFd(pid, fd);
+    if (!view.has_value()) return false;
+    out->dev = view->dev;
+    out->ino = view->ino;
+    out->type = view->type;
+    out->offset = view->offset;
+    const std::size_t n = std::min(view->path.size(), path_buf.size());
+    if (n > 0) std::memcpy(path_buf.data(), view->path.data(), n);
+    out->path_len = static_cast<std::uint16_t>(n);
+    out->path_trunc = static_cast<std::uint16_t>(
+        std::min<std::size_t>(view->path.size() - n, 0xFFFF));
+    return true;
+  }
+  // Copies min(name length, buf.size()) bytes of the process (group leader)
+  // name into `buf` and returns the FULL name length (snprintf-style, so
+  // callers can count truncation); 0 if the pid is unknown.
+  virtual std::size_t CopyProcessName(Pid pid, std::span<char> buf) const {
+    const std::optional<std::string> name = ProcessName(pid);
+    if (!name.has_value()) return 0;
+    const std::size_t n = std::min(name->size(), buf.size());
+    if (n > 0) std::memcpy(buf.data(), name->data(), n);
+    return name->size();
+  }
 };
 
 struct SysEnterContext {

@@ -121,4 +121,17 @@ struct PathView {
   FileType type = FileType::kUnknown;
 };
 
+// Allocation-free fd snapshot for the tracer hook path: the scalar state of
+// FdView, with the dentry path copied into a caller-provided buffer instead
+// of a std::string (KernelView::SnapshotFd). POD so it can live inside
+// fixed-layout pending-map entries.
+struct FdSnapshot {
+  DeviceNum dev = 0;
+  InodeNum ino = 0;
+  FileType type = FileType::kUnknown;
+  std::uint64_t offset = 0;      // current file position
+  std::uint16_t path_len = 0;    // bytes copied into the caller's buffer
+  std::uint16_t path_trunc = 0;  // bytes that did not fit it
+};
+
 }  // namespace dio::os

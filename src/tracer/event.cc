@@ -4,62 +4,6 @@
 
 namespace dio::tracer {
 
-namespace {
-
-class ByteWriter {
- public:
-  explicit ByteWriter(std::vector<std::byte>* out) : out_(out) {}
-
-  template <typename T>
-  void Put(T value) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    const std::size_t at = out_->size();
-    out_->resize(at + sizeof(T));
-    std::memcpy(out_->data() + at, &value, sizeof(T));
-  }
-
-  void PutString(const std::string& s) {
-    Put<std::uint16_t>(static_cast<std::uint16_t>(
-        std::min<std::size_t>(s.size(), 0xFFFF)));
-    const std::size_t n = std::min<std::size_t>(s.size(), 0xFFFF);
-    const std::size_t at = out_->size();
-    out_->resize(at + n);
-    std::memcpy(out_->data() + at, s.data(), n);
-  }
-
- private:
-  std::vector<std::byte>* out_;
-};
-
-class ByteReader {
- public:
-  explicit ByteReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
-
-  template <typename T>
-  bool Get(T* value) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    if (pos_ + sizeof(T) > bytes_.size()) return false;
-    std::memcpy(value, bytes_.data() + pos_, sizeof(T));
-    pos_ += sizeof(T);
-    return true;
-  }
-
-  bool GetString(std::string* s) {
-    std::uint16_t len = 0;
-    if (!Get(&len)) return false;
-    if (pos_ + len > bytes_.size()) return false;
-    s->assign(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
-    pos_ += len;
-    return true;
-  }
-
- private:
-  std::span<const std::byte> bytes_;
-  std::size_t pos_ = 0;
-};
-
-}  // namespace
-
 std::string FileTag::ToKey() const {
   std::string out = std::to_string(dev);
   out.push_back('|');
@@ -69,64 +13,84 @@ std::string FileTag::ToKey() const {
   return out;
 }
 
+void FillWireEvent(WireEvent* out, const Event& event) {
+  out->time_enter = event.time_enter;
+  out->time_exit = event.time_exit;
+  out->ret = event.ret;
+  out->count = event.count;
+  out->arg_offset = event.arg_offset;
+  out->file_offset = event.file_offset;
+  out->tag_dev = event.tag.dev;
+  out->tag_ino = event.tag.ino;
+  out->tag_ts = event.tag.first_access_ts;
+  out->pid = event.pid;
+  out->tid = event.tid;
+  out->cpu = event.cpu;
+  out->fd = event.fd;
+  out->whence = event.whence;
+  out->flags = event.flags;
+  out->mode = event.mode;
+  out->comm_trunc = 0;
+  out->proc_name_trunc = 0;
+  out->path_trunc = 0;
+  out->path2_trunc = 0;
+  out->xattr_trunc = 0;
+  out->comm_len = WireEvent::FillString(out->comm, kWireCommCap, event.comm,
+                                        &out->comm_trunc);
+  out->proc_name_len = WireEvent::FillString(
+      out->proc_name, kWireCommCap, event.proc_name, &out->proc_name_trunc);
+  out->path_len = WireEvent::FillString(out->path, kWirePathCap, event.path,
+                                        &out->path_trunc);
+  out->path2_len = WireEvent::FillString(out->path2, kWirePathCap,
+                                         event.path2, &out->path2_trunc);
+  out->xattr_len = WireEvent::FillString(out->xattr_name, kWireXattrCap,
+                                         event.xattr_name, &out->xattr_trunc);
+  out->phase = static_cast<std::uint8_t>(event.phase);
+  out->nr = static_cast<std::uint8_t>(event.nr);
+  out->file_type = static_cast<std::uint8_t>(event.file_type);
+  out->tag_valid = event.tag.valid ? 1 : 0;
+}
+
+Event MaterializeEvent(const WireEventView& view) {
+  const WireEvent& raw = view.raw();
+  Event event;
+  event.phase = static_cast<EventPhase>(raw.phase);
+  event.nr = static_cast<os::SyscallNr>(raw.nr);
+  event.pid = raw.pid;
+  event.tid = raw.tid;
+  event.comm = std::string(view.comm());
+  event.proc_name = std::string(view.proc_name());
+  event.time_enter = raw.time_enter;
+  event.time_exit = raw.time_exit;
+  event.ret = raw.ret;
+  event.cpu = raw.cpu;
+  event.fd = raw.fd;
+  event.path = std::string(view.path());
+  event.path2 = std::string(view.path2());
+  event.xattr_name = std::string(view.xattr_name());
+  event.count = raw.count;
+  event.arg_offset = raw.arg_offset;
+  event.whence = raw.whence;
+  event.flags = raw.flags;
+  event.mode = raw.mode;
+  event.file_type = static_cast<os::FileType>(raw.file_type);
+  event.file_offset = raw.file_offset;
+  event.tag.valid = raw.tag_valid != 0;
+  event.tag.dev = raw.tag_dev;
+  event.tag.ino = raw.tag_ino;
+  event.tag.first_access_ts = raw.tag_ts;
+  return event;
+}
+
 void SerializeEvent(const Event& event, std::vector<std::byte>* out) {
-  out->clear();
-  ByteWriter w(out);
-  w.Put<std::uint8_t>(static_cast<std::uint8_t>(event.phase));
-  w.Put<std::uint8_t>(static_cast<std::uint8_t>(event.nr));
-  w.Put<std::int32_t>(event.pid);
-  w.Put<std::int32_t>(event.tid);
-  w.Put<std::int64_t>(event.time_enter);
-  w.Put<std::int64_t>(event.time_exit);
-  w.Put<std::int64_t>(event.ret);
-  w.Put<std::int32_t>(event.cpu);
-  w.Put<std::int32_t>(event.fd);
-  w.Put<std::uint64_t>(event.count);
-  w.Put<std::int64_t>(event.arg_offset);
-  w.Put<std::int32_t>(event.whence);
-  w.Put<std::uint32_t>(event.flags);
-  w.Put<std::uint32_t>(event.mode);
-  w.Put<std::uint8_t>(static_cast<std::uint8_t>(event.file_type));
-  w.Put<std::int64_t>(event.file_offset);
-  w.Put<std::uint8_t>(event.tag.valid ? 1 : 0);
-  w.Put<std::uint64_t>(event.tag.dev);
-  w.Put<std::uint64_t>(event.tag.ino);
-  w.Put<std::int64_t>(event.tag.first_access_ts);
-  w.PutString(event.comm);
-  w.PutString(event.proc_name);
-  w.PutString(event.path);
-  w.PutString(event.path2);
-  w.PutString(event.xattr_name);
+  out->resize(sizeof(WireEvent));
+  FillWireEvent(reinterpret_cast<WireEvent*>(out->data()), event);
 }
 
 Expected<Event> DeserializeEvent(std::span<const std::byte> bytes) {
-  Event event;
-  ByteReader r(bytes);
-  std::uint8_t phase = 0;
-  std::uint8_t nr = 0;
-  std::uint8_t file_type = 0;
-  std::uint8_t tag_valid = 0;
-  const bool ok =
-      r.Get(&phase) && r.Get(&nr) && r.Get(&event.pid) && r.Get(&event.tid) &&
-      r.Get(&event.time_enter) && r.Get(&event.time_exit) &&
-      r.Get(&event.ret) && r.Get(&event.cpu) && r.Get(&event.fd) &&
-      r.Get(&event.count) &&
-      r.Get(&event.arg_offset) && r.Get(&event.whence) &&
-      r.Get(&event.flags) && r.Get(&event.mode) && r.Get(&file_type) &&
-      r.Get(&event.file_offset) && r.Get(&tag_valid) &&
-      r.Get(&event.tag.dev) && r.Get(&event.tag.ino) &&
-      r.Get(&event.tag.first_access_ts) && r.GetString(&event.comm) &&
-      r.GetString(&event.proc_name) && r.GetString(&event.path) &&
-      r.GetString(&event.path2) && r.GetString(&event.xattr_name);
-  if (!ok || nr >= static_cast<std::uint8_t>(os::SyscallNr::kCount) ||
-      phase > static_cast<std::uint8_t>(EventPhase::kExit)) {
-    return InvalidArgument("malformed event record");
-  }
-  event.phase = static_cast<EventPhase>(phase);
-  event.nr = static_cast<os::SyscallNr>(nr);
-  event.file_type = static_cast<os::FileType>(file_type);
-  event.tag.valid = tag_valid != 0;
-  return event;
+  auto view = WireEventView::FromBytes(bytes);
+  if (!view.ok()) return view.status();
+  return MaterializeEvent(view.value());
 }
 
 Json Event::ToJson(std::string_view session) const {

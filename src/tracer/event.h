@@ -18,6 +18,7 @@
 #include "common/status.h"
 #include "oskernel/syscall_nr.h"
 #include "oskernel/types.h"
+#include "tracer/wire.h"
 
 namespace dio::tracer {
 
@@ -78,7 +79,20 @@ struct Event {
   [[nodiscard]] Json ToJson(std::string_view session) const;
 };
 
-// Binary wire codec for the kernel->user ring buffer handoff.
+// Binary wire codec for the kernel->user ring buffer handoff. Records are
+// fixed-layout WireEvents (see wire.h): the hook path fills one directly
+// inside ring memory reserved in place; the consumer reads it through a
+// zero-copy WireEventView and materializes an Event (std::strings) only for
+// records that survive filtering.
+//
+// Fills a wire record from an Event. String fields beyond the kWire*Cap
+// bounds are truncated and counted in the record's *_trunc fields.
+void FillWireEvent(WireEvent* out, const Event& event);
+// Builds the Event (allocating its strings) from a validated view.
+Event MaterializeEvent(const WireEventView& view);
+
+// Buffer-based shims over the fixed layout, for callers without a ring
+// reservation (tests, benches, baselines).
 void SerializeEvent(const Event& event, std::vector<std::byte>* out);
 Expected<Event> DeserializeEvent(std::span<const std::byte> bytes);
 

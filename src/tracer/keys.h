@@ -1,0 +1,33 @@
+// 64-bit packed map keys shared by the DIO tracer and the baseline tracers.
+//
+// Real eBPF hash maps key on fixed-size scalars, so composite identities are
+// packed into one u64 instead of hashing structs. Both packings live here so
+// the tracer, the sysdig baseline, and the tests agree on the bit layout.
+#pragma once
+
+#include <cstdint>
+
+#include "oskernel/types.h"
+
+namespace dio::tracer {
+
+// (dev, ino) -> key for the first-access-timestamp map behind file tags
+// (§II-B). Collision assumption, relied on by tag correlation: device
+// numbers fit in 24 bits (ours are mount-time constants like 7340032 <
+// 2^24) and inode numbers are allocated densely from a per-filesystem
+// counter, staying far below 2^40 — so the XOR of `dev << 40` with the
+// inode never collides across devices. A real deployment with sparse or
+// hashed inode numbers would widen this to a 128-bit key.
+inline std::uint64_t TagKey(os::DeviceNum dev, os::InodeNum ino) {
+  return (static_cast<std::uint64_t>(dev) << 40) ^ ino;
+}
+
+// (pid, fd) -> key for per-process fd state maps (open-time tags, offset
+// caches). Exact, not a hash: pid and fd are both 32-bit on Linux and here,
+// so the concatenation is collision-free.
+inline std::uint64_t FdKey(os::Pid pid, os::Fd fd) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(pid)) << 32) |
+         static_cast<std::uint32_t>(fd);
+}
+
+}  // namespace dio::tracer

@@ -2,19 +2,16 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstring>
+#include <span>
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "tracer/keys.h"
 
 namespace dio::tracer {
 
 namespace {
-
-// (dev, ino) -> 64-bit map key. Device numbers are small; inode numbers in
-// our substrate are dense and well below 2^40.
-std::uint64_t TagKey(os::DeviceNum dev, os::InodeNum ino) {
-  return (static_cast<std::uint64_t>(dev) << 40) ^ ino;
-}
 
 // Busy-wait standing in for modeled fixed instrumentation cost.
 void SpinFor(Clock* clock, Nanos duration) {
@@ -44,9 +41,10 @@ Expected<TracerOptions> TracerOptions::FromConfig(const Config& config) {
   (void)WarnUnknownKeys(
       config, "tracer",
       {"session", "syscalls", "pids", "tids", "paths", "ring_bytes_per_cpu",
-       "pending_map_entries", "batch_size", "flush_interval_ns",
-       "poll_interval_ns", "consumer_threads", "enrich",
-       "aggregate_in_kernel", "kernel_filtering", "hook_cost_ns"});
+       "pending_map_entries", "first_access_map_entries", "batch_size",
+       "flush_interval_ns", "poll_interval_ns", "consumer_threads", "enrich",
+       "aggregate_in_kernel", "kernel_filtering", "hook_cost_ns",
+       "path_cap"});
   TracerOptions options;
   options.session_name =
       config.GetString("tracer.session", options.session_name);
@@ -65,6 +63,9 @@ Expected<TracerOptions> TracerOptions::FromConfig(const Config& config) {
   options.pending_map_entries = static_cast<std::size_t>(config.GetInt(
       "tracer.pending_map_entries",
       static_cast<std::int64_t>(options.pending_map_entries)));
+  options.first_access_map_entries = static_cast<std::size_t>(config.GetInt(
+      "tracer.first_access_map_entries",
+      static_cast<std::int64_t>(options.first_access_map_entries)));
   options.batch_size = static_cast<std::size_t>(config.GetInt(
       "tracer.batch_size", static_cast<std::int64_t>(options.batch_size)));
   options.flush_interval_ns =
@@ -81,6 +82,12 @@ Expected<TracerOptions> TracerOptions::FromConfig(const Config& config) {
       config.GetBool("tracer.kernel_filtering", options.kernel_filtering);
   options.hook_cost_ns =
       config.GetInt("tracer.hook_cost_ns", options.hook_cost_ns);
+  // The wire record's path buffers are fixed at kWirePathCap; the knob can
+  // only tighten the capture, not widen it.
+  options.path_cap = std::min<std::size_t>(
+      static_cast<std::size_t>(config.GetInt(
+          "tracer.path_cap", static_cast<std::int64_t>(options.path_cap))),
+      kWirePathCap);
   return options;
 }
 
@@ -191,42 +198,134 @@ void DioTracer::OnEnter(const os::SysEnterContext& ctx) {
   enter_hits_.fetch_add(1, std::memory_order_relaxed);
   SpinFor(kernel_->clock(), options_.hook_cost_ns / 2);
 
+  // The kernel-side task filter runs before anything else: a filtered event
+  // must cost neither kernel-state snapshots nor string copies.
+  if (options_.kernel_filtering && !filters_.MatchTask(ctx.pid, ctx.tid)) {
+    filtered_out_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
   const os::SyscallDescriptor& desc = os::Describe(ctx.nr);
+  const os::SyscallArgs& args = *ctx.args;
 
   // Snapshot the fd's kernel state at entry: for data syscalls the offset
-  // must be read *before* the kernel advances it.
-  PendingEntry entry;
-  entry.enter_ts = ctx.timestamp;
-  entry.args = *ctx.args;
-  entry.comm = std::string(ctx.comm);
+  // must be read *before* the kernel advances it. The dentry path is only
+  // ever consumed by the kernel-side path filter below, so its copy into
+  // the stack buffer is skipped entirely when no path filter will read it.
+  os::FdSnapshot fd_state;
+  os::PathView path_view;
+  bool have_fd_view = false;
+  bool have_path_view = false;
+  char fd_path[kWirePathCap];
+  const bool want_fd_path =
+      options_.kernel_filtering && filters_.has_path_filter();
   if (desc.takes_fd) {
-    if (auto view = ctx.kernel->LookupFd(ctx.pid, ctx.args->fd)) {
-      entry.fd_view = std::move(*view);
-      entry.have_fd_view = true;
-    }
+    have_fd_view = ctx.kernel->SnapshotFd(
+        ctx.pid, args.fd,
+        want_fd_path ? std::span<char>(fd_path) : std::span<char>(),
+        &fd_state);
   } else if (desc.takes_path) {
-    if (auto view = ctx.kernel->ResolvePath(ctx.args->path)) {
-      entry.path_view = *view;
-      entry.have_path_view = true;
+    if (auto view = ctx.kernel->ResolvePath(args.path)) {
+      path_view = *view;
+      have_path_view = true;
     }
   }
 
-  if (options_.kernel_filtering) {
-    std::string_view path = entry.have_fd_view
-                                ? std::string_view(entry.fd_view.path)
-                                : std::string_view(ctx.args->path);
-    if (!PassesFilters(ctx.pid, ctx.tid, path)) {
+  if (want_fd_path) {
+    const std::string_view path =
+        have_fd_view ? std::string_view(fd_path, fd_state.path_len)
+                     : std::string_view(args.path);
+    if (!filters_.MatchPath(path)) {
       filtered_out_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
   }
 
+  // Only filter survivors pay the string copies into the inline buffers.
+  // The fill runs directly against the map node (UpdateWith), so the entry
+  // is written exactly once — never staged on the stack and copied in. A
+  // recycled node keeps stale bytes, so every field is assigned here.
+  const std::size_t path_cap = std::min(options_.path_cap, kWirePathCap);
+  const auto fill = [&](PendingEntry& entry) {
+    entry.enter_ts = ctx.timestamp;
+    entry.fd = args.fd;
+    entry.count = args.count;
+    entry.arg_offset = args.offset;
+    entry.whence = args.whence;
+    entry.flags = args.flags;
+    entry.mode = args.mode;
+    entry.have_fd_view = have_fd_view;
+    entry.have_path_view = have_path_view;
+    entry.fd_state = fd_state;
+    entry.path_view = path_view;
+    entry.comm_len = WireEvent::FillString(entry.comm, kWireCommCap, ctx.comm,
+                                           &entry.comm_trunc);
+    entry.path_len = WireEvent::FillString(entry.path, path_cap, args.path,
+                                           &entry.path_trunc);
+    entry.path2_len = WireEvent::FillString(entry.path2, path_cap, args.path2,
+                                            &entry.path2_trunc);
+    entry.xattr_len = WireEvent::FillString(entry.xattr_name, kWireXattrCap,
+                                            args.name, &entry.xattr_trunc);
+  };
+
   if (!options_.aggregate_in_kernel) {
+    PendingEntry entry;
+    fill(entry);
     EmitEnterHalf(ctx, entry);
     return;
   }
-  if (!pending_.Update(ctx.tid, std::move(entry))) {
+  if (!pending_.UpdateWith(ctx.tid, fill)) {
     pending_overflow_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+// Copies the entry's scalars and inline strings into the reserved record.
+// Per-site header fields (phase, nr, pid/tid/cpu, exit-side values,
+// proc_name, enrichment) are the caller's job — every remaining field must
+// be assigned explicitly rather than inherited from ring memory.
+void DioTracer::FillWireFromEntry(WireEvent* out, const PendingEntry& entry) {
+  out->time_enter = entry.enter_ts;
+  out->count = entry.count;
+  out->arg_offset = entry.arg_offset;
+  out->fd = entry.fd;
+  out->whence = entry.whence;
+  out->flags = entry.flags;
+  out->mode = entry.mode;
+  out->comm_len = entry.comm_len;
+  out->comm_trunc = entry.comm_trunc;
+  out->path_len = entry.path_len;
+  out->path_trunc = entry.path_trunc;
+  out->path2_len = entry.path2_len;
+  out->path2_trunc = entry.path2_trunc;
+  out->xattr_len = entry.xattr_len;
+  out->xattr_trunc = entry.xattr_trunc;
+  if (entry.comm_len > 0) std::memcpy(out->comm, entry.comm, entry.comm_len);
+  if (entry.path_len > 0) std::memcpy(out->path, entry.path, entry.path_len);
+  if (entry.path2_len > 0) {
+    std::memcpy(out->path2, entry.path2, entry.path2_len);
+  }
+  if (entry.xattr_len > 0) {
+    std::memcpy(out->xattr_name, entry.xattr_name, entry.xattr_len);
+  }
+}
+
+void DioTracer::AccountTruncation(const WireEvent& wire) {
+  if (wire.truncated_bytes() == 0) return;  // common case: nothing cut
+  if (wire.comm_trunc != 0) {
+    trunc_comm_.fetch_add(wire.comm_trunc, std::memory_order_relaxed);
+  }
+  if (wire.proc_name_trunc != 0) {
+    trunc_proc_name_.fetch_add(wire.proc_name_trunc,
+                               std::memory_order_relaxed);
+  }
+  if (wire.path_trunc != 0) {
+    trunc_path_.fetch_add(wire.path_trunc, std::memory_order_relaxed);
+  }
+  if (wire.path2_trunc != 0) {
+    trunc_path2_.fetch_add(wire.path2_trunc, std::memory_order_relaxed);
+  }
+  if (wire.xattr_trunc != 0) {
+    trunc_xattr_.fetch_add(wire.xattr_trunc, std::memory_order_relaxed);
   }
 }
 
@@ -236,68 +335,96 @@ void DioTracer::OnEnter(const os::SysEnterContext& ctx) {
 // which is part of why DIO aggregates in kernel space.
 void DioTracer::EmitEnterHalf(const os::SysEnterContext& ctx,
                               const PendingEntry& entry) {
-  Event event;
-  event.phase = EventPhase::kEnter;
-  event.nr = ctx.nr;
-  event.pid = ctx.pid;
-  event.tid = ctx.tid;
-  event.comm = entry.comm;
-  if (auto name = ctx.kernel->ProcessName(ctx.pid)) {
-    event.proc_name = std::move(*name);
-  }
-  event.time_enter = entry.enter_ts;
-  event.cpu = ctx.kernel->cpu_of(ctx.tid);
-  event.fd = entry.args.fd;
-  event.path = entry.args.path;
-  event.path2 = entry.args.path2;
-  event.xattr_name = entry.args.name;
-  event.count = entry.args.count;
-  event.arg_offset = entry.args.offset;
-  event.whence = entry.args.whence;
-  event.flags = entry.args.flags;
-  event.mode = entry.args.mode;
+  const int cpu = ctx.kernel->cpu_of(ctx.tid);
+  auto reservation = rings_.Reserve(cpu, sizeof(WireEvent));
+  if (!reservation.valid()) return;  // ring full: counted there (§III-D)
+  auto* wire = reinterpret_cast<WireEvent*>(reservation.data());
+  FillWireFromEntry(wire, entry);
+  wire->phase = static_cast<std::uint8_t>(EventPhase::kEnter);
+  wire->nr = static_cast<std::uint8_t>(ctx.nr);
+  wire->pid = ctx.pid;
+  wire->tid = ctx.tid;
+  wire->cpu = cpu;
+  wire->time_exit = 0;
+  wire->ret = 0;
+  wire->file_offset = -1;
+  wire->file_type = static_cast<std::uint8_t>(os::FileType::kUnknown);
+  wire->tag_valid = 0;
+  wire->tag_dev = 0;
+  wire->tag_ino = 0;
+  wire->tag_ts = 0;
+  const std::size_t name_full = ctx.kernel->CopyProcessName(
+      ctx.pid, std::span<char>(wire->proc_name, kWireCommCap));
+  const std::size_t name_copied = std::min(name_full, kWireCommCap);
+  wire->proc_name_len = static_cast<std::uint16_t>(name_copied);
+  wire->proc_name_trunc = static_cast<std::uint16_t>(
+      std::min<std::size_t>(name_full - name_copied, 0xFFFF));
   if (options_.enrich) {
     const os::SyscallDescriptor& desc = os::Describe(ctx.nr);
     if (desc.takes_fd && entry.have_fd_view) {
-      event.file_type = entry.fd_view.type;
+      wire->file_type = static_cast<std::uint8_t>(entry.fd_state.type);
       if (desc.data_related) {
-        event.file_offset = static_cast<std::int64_t>(entry.fd_view.offset);
+        wire->file_offset = static_cast<std::int64_t>(entry.fd_state.offset);
       }
       const std::uint64_t key =
-          TagKey(entry.fd_view.dev, entry.fd_view.ino);
+          TagKey(entry.fd_state.dev, entry.fd_state.ino);
       first_access_.Insert(key, entry.enter_ts);
       if (auto ts = first_access_.Lookup(key)) {
-        event.tag.valid = true;
-        event.tag.dev = entry.fd_view.dev;
-        event.tag.ino = entry.fd_view.ino;
-        event.tag.first_access_ts = *ts;
+        wire->tag_valid = 1;
+        wire->tag_dev = entry.fd_state.dev;
+        wire->tag_ino = entry.fd_state.ino;
+        wire->tag_ts = *ts;
       }
     } else if (desc.takes_path && entry.have_path_view) {
-      event.file_type = entry.path_view.type;
+      wire->file_type = static_cast<std::uint8_t>(entry.path_view.type);
     }
   }
-  std::vector<std::byte> wire;
-  SerializeEvent(event, &wire);
-  rings_.Output(event.cpu, wire);
+  AccountTruncation(*wire);
+  rings_.Commit(cpu, reservation);
 }
 
 void DioTracer::EmitExitHalf(const os::SysExitContext& ctx) {
-  Event event;
-  event.phase = EventPhase::kExit;
-  event.nr = ctx.nr;
-  event.pid = ctx.pid;
-  event.tid = ctx.tid;
-  event.time_exit = ctx.timestamp;
-  event.ret = ctx.ret;
-  event.cpu = ctx.kernel->cpu_of(ctx.tid);
-  std::vector<std::byte> wire;
-  SerializeEvent(event, &wire);
-  rings_.Output(event.cpu, wire);
+  const int cpu = ctx.kernel->cpu_of(ctx.tid);
+  auto reservation = rings_.Reserve(cpu, sizeof(WireEvent));
+  if (!reservation.valid()) return;
+  auto* wire = reinterpret_cast<WireEvent*>(reservation.data());
+  wire->phase = static_cast<std::uint8_t>(EventPhase::kExit);
+  wire->nr = static_cast<std::uint8_t>(ctx.nr);
+  wire->pid = ctx.pid;
+  wire->tid = ctx.tid;
+  wire->cpu = cpu;
+  wire->time_enter = 0;
+  wire->time_exit = ctx.timestamp;
+  wire->ret = ctx.ret;
+  wire->count = 0;
+  wire->arg_offset = -1;
+  wire->file_offset = -1;
+  wire->fd = os::kNoFd;
+  wire->whence = -1;
+  wire->flags = 0;
+  wire->mode = 0;
+  wire->comm_len = 0;
+  wire->proc_name_len = 0;
+  wire->path_len = 0;
+  wire->path2_len = 0;
+  wire->xattr_len = 0;
+  wire->comm_trunc = 0;
+  wire->proc_name_trunc = 0;
+  wire->path_trunc = 0;
+  wire->path2_trunc = 0;
+  wire->xattr_trunc = 0;
+  wire->file_type = static_cast<std::uint8_t>(os::FileType::kUnknown);
+  wire->tag_valid = 0;
+  wire->tag_dev = 0;
+  wire->tag_ino = 0;
+  wire->tag_ts = 0;
+  rings_.Commit(cpu, reservation);
 }
 
-void DioTracer::Enrich(Event* event, const PendingEntry& entry,
+void DioTracer::Enrich(WireEvent* out, const PendingEntry& entry,
                        const os::SysExitContext& ctx) {
-  const os::SyscallDescriptor& desc = os::Describe(event->nr);
+  const auto nr = static_cast<os::SyscallNr>(out->nr);
+  const os::SyscallDescriptor& desc = os::Describe(nr);
 
   // File type + file tag for fd-handling syscalls. open/openat/creat return
   // the fd, so their kernel state is read at exit via the return value; the
@@ -319,64 +446,70 @@ void DioTracer::Enrich(Event* event, const PendingEntry& entry,
     }
     return tag;
   };
-  const auto fd_key = [](os::Pid pid, os::Fd fd) {
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(pid))
-            << 32) |
-           static_cast<std::uint32_t>(fd);
+  const auto set_tag = [](WireEvent* w, const FileTag& tag) {
+    w->tag_valid = tag.valid ? 1 : 0;
+    w->tag_dev = tag.dev;
+    w->tag_ino = tag.ino;
+    w->tag_ts = tag.first_access_ts;
   };
 
-  if ((event->nr == os::SyscallNr::kOpen ||
-       event->nr == os::SyscallNr::kOpenat ||
-       event->nr == os::SyscallNr::kCreat) &&
+  if ((nr == os::SyscallNr::kOpen || nr == os::SyscallNr::kOpenat ||
+       nr == os::SyscallNr::kCreat) &&
       ctx.ret >= 0) {
-    if (auto view =
-            ctx.kernel->LookupFd(ctx.pid, static_cast<os::Fd>(ctx.ret))) {
-      event->file_type = view->type;
-      event->tag = resolve_tag(view->dev, view->ino, entry.enter_ts);
-      fd_tags_.Update(fd_key(ctx.pid, static_cast<os::Fd>(ctx.ret)),
-                      event->tag);
+    // Allocation-free read of the just-opened fd's state; the dentry path
+    // is not needed here, so no buffer is passed.
+    os::FdSnapshot opened;
+    if (ctx.kernel->SnapshotFd(ctx.pid, static_cast<os::Fd>(ctx.ret),
+                               std::span<char>(), &opened)) {
+      out->file_type = static_cast<std::uint8_t>(opened.type);
+      const FileTag tag =
+          resolve_tag(opened.dev, opened.ino, entry.enter_ts);
+      set_tag(out, tag);
+      fd_tags_.Update(FdKey(ctx.pid, static_cast<os::Fd>(ctx.ret)), tag);
     }
   } else if (desc.takes_fd) {
     // Prefer the tag resolved at open time; fall back to kernel state for
     // fds opened before tracing started.
-    if (auto tag = fd_tags_.Lookup(fd_key(ctx.pid, entry.args.fd))) {
-      event->tag = *tag;
-      event->file_type = entry.have_fd_view ? entry.fd_view.type
-                                            : event->file_type;
+    if (auto tag = fd_tags_.Lookup(FdKey(ctx.pid, entry.fd))) {
+      set_tag(out, *tag);
+      if (entry.have_fd_view) {
+        out->file_type = static_cast<std::uint8_t>(entry.fd_state.type);
+      }
     } else if (entry.have_fd_view) {
-      event->file_type = entry.fd_view.type;
-      event->tag = resolve_tag(entry.fd_view.dev, entry.fd_view.ino,
-                               entry.enter_ts);
-      fd_tags_.Update(fd_key(ctx.pid, entry.args.fd), event->tag);
+      out->file_type = static_cast<std::uint8_t>(entry.fd_state.type);
+      const FileTag tag = resolve_tag(entry.fd_state.dev,
+                                      entry.fd_state.ino, entry.enter_ts);
+      set_tag(out, tag);
+      fd_tags_.Update(FdKey(ctx.pid, entry.fd), tag);
     }
-    if (event->nr == os::SyscallNr::kClose && ctx.ret == 0) {
-      fd_tags_.Delete(fd_key(ctx.pid, entry.args.fd));
+    if (nr == os::SyscallNr::kClose && ctx.ret == 0) {
+      fd_tags_.Delete(FdKey(ctx.pid, entry.fd));
     }
   } else if (desc.takes_path && entry.have_path_view) {
     // Path-based syscalls get the file type but no tag (the paper tags
     // "syscalls handling file descriptors").
-    event->file_type = entry.path_view.type;
+    out->file_type = static_cast<std::uint8_t>(entry.path_view.type);
   }
 
   // File offset for data-related syscalls (§II-B): the position being
   // accessed, even for syscalls that do not carry it as an argument.
   if (desc.data_related) {
-    switch (event->nr) {
+    switch (nr) {
       case os::SyscallNr::kPread64:
       case os::SyscallNr::kPwrite64:
-        event->file_offset = entry.args.offset;
+        out->file_offset = entry.arg_offset;
         break;
       case os::SyscallNr::kLseek:
         // The resulting position.
-        if (ctx.ret >= 0) event->file_offset = ctx.ret;
+        if (ctx.ret >= 0) out->file_offset = ctx.ret;
         break;
       case os::SyscallNr::kRead:
       case os::SyscallNr::kReadv:
       case os::SyscallNr::kWrite:
       case os::SyscallNr::kWritev:
         if (entry.have_fd_view) {
-          event->file_offset =
-              static_cast<std::int64_t>(entry.fd_view.offset);
+          out->file_offset =
+              static_cast<std::int64_t>(entry.fd_state.offset);
         }
         break;
       default:
@@ -386,8 +519,7 @@ void DioTracer::Enrich(Event* event, const PendingEntry& entry,
 
   // A successful unlink retires the (dev, ino) first-access entry so a
   // recycled inode number gets a fresh tag timestamp.
-  if ((event->nr == os::SyscallNr::kUnlink ||
-       event->nr == os::SyscallNr::kUnlinkat) &&
+  if ((nr == os::SyscallNr::kUnlink || nr == os::SyscallNr::kUnlinkat) &&
       ctx.ret == 0 && entry.have_path_view) {
     first_access_.Delete(TagKey(entry.path_view.dev, entry.path_view.ino));
   }
@@ -407,40 +539,50 @@ void DioTracer::OnExit(const os::SysExitContext& ctx) {
     EmitExitHalf(ctx);
     return;
   }
-  auto entry = pending_.Take(ctx.tid);
-  if (!entry.has_value()) {
+  // Pop the pending entry and consume it IN PLACE under its shard lock
+  // (TakeWith) — the lookup_and_delete + inline processing a real exit hook
+  // does, without copying the entry out of the map first. The callback only
+  // takes locks the pending map never nests inside (ring internals,
+  // fd-tag/first-access shards, the process registry), so the ordering is
+  // acyclic. Aggregates entry+exit into ONE record, built in place inside
+  // the ring reservation (bpf_ringbuf_reserve/submit) — the hook path's
+  // only wire-event copy.
+  const bool matched = pending_.TakeWith(ctx.tid, [&](
+                                             const PendingEntry& entry) {
+    const int cpu = ctx.kernel->cpu_of(ctx.tid);
+    auto reservation = rings_.Reserve(cpu, sizeof(WireEvent));
+    if (!reservation.valid()) return;  // ring full: counted there (§III-D)
+    auto* wire = reinterpret_cast<WireEvent*>(reservation.data());
+    FillWireFromEntry(wire, entry);
+    wire->phase = static_cast<std::uint8_t>(EventPhase::kFull);
+    wire->nr = static_cast<std::uint8_t>(ctx.nr);
+    wire->pid = ctx.pid;
+    wire->tid = ctx.tid;
+    wire->cpu = cpu;
+    wire->time_exit = ctx.timestamp;
+    wire->ret = ctx.ret;
+    wire->file_offset = -1;
+    wire->file_type = static_cast<std::uint8_t>(os::FileType::kUnknown);
+    wire->tag_valid = 0;
+    wire->tag_dev = 0;
+    wire->tag_ino = 0;
+    wire->tag_ts = 0;
+    const std::size_t name_full = ctx.kernel->CopyProcessName(
+        ctx.pid, std::span<char>(wire->proc_name, kWireCommCap));
+    const std::size_t name_copied = std::min(name_full, kWireCommCap);
+    wire->proc_name_len = static_cast<std::uint16_t>(name_copied);
+    wire->proc_name_trunc = static_cast<std::uint16_t>(
+        std::min<std::size_t>(name_full - name_copied, 0xFFFF));
+
+    if (options_.enrich) Enrich(wire, entry, ctx);
+
+    AccountTruncation(*wire);
+    rings_.Commit(cpu, reservation);
+  });
+  if (!matched) {
     // Filtered at entry, or the pending map was full.
     unmatched_exit_.fetch_add(1, std::memory_order_relaxed);
-    return;
   }
-
-  Event event;
-  event.nr = ctx.nr;
-  event.pid = ctx.pid;
-  event.tid = ctx.tid;
-  event.comm = std::move(entry->comm);
-  if (auto name = ctx.kernel->ProcessName(ctx.pid)) {
-    event.proc_name = std::move(*name);
-  }
-  event.time_enter = entry->enter_ts;
-  event.time_exit = ctx.timestamp;
-  event.ret = ctx.ret;
-  event.cpu = ctx.kernel->cpu_of(ctx.tid);
-  event.fd = entry->args.fd;
-  event.path = entry->args.path;
-  event.path2 = entry->args.path2;
-  event.xattr_name = entry->args.name;
-  event.count = entry->args.count;
-  event.arg_offset = entry->args.offset;
-  event.whence = entry->args.whence;
-  event.flags = entry->args.flags;
-  event.mode = entry->args.mode;
-
-  if (options_.enrich) Enrich(&event, *entry, ctx);
-
-  std::vector<std::byte> wire;
-  SerializeEvent(event, &wire);
-  rings_.Output(event.cpu, wire);  // drop counting lives in the ring
 }
 
 void DioTracer::ConsumerLoop(const std::stop_token& stop, std::size_t worker,
@@ -459,38 +601,56 @@ void DioTracer::ConsumerLoop(const std::stop_token& stop, std::size_t worker,
     // consumed == emitted + user_filtered + decode_errors (+ any raw-mode
     // halves still being paired).
     consumed_.fetch_add(1, std::memory_order_relaxed);
-    auto event = DeserializeEvent(bytes);
-    if (!event.ok()) {
+    // Lazy decode: validate once, read fields straight out of ring memory,
+    // and materialize an Event (string allocations) only for records that
+    // survive user-space filtering. The view dies with this callback.
+    auto decoded = WireEventView::FromBytes(bytes);
+    if (!decoded.ok()) {
       decode_errors_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    if (event->phase == EventPhase::kEnter) {
-      half_events[event->tid] = std::move(event.value());
+    const WireEventView& view = decoded.value();
+    const auto phase = static_cast<EventPhase>(view.phase());
+    if (phase == EventPhase::kEnter) {
+      // Raw-mode pairing needs the half to outlive the callback.
+      half_events[view.tid()] = MaterializeEvent(view);
       return;
     }
-    if (event->phase == EventPhase::kExit) {
-      auto it = half_events.find(event->tid);
-      if (it == half_events.end() || it->second.nr != event->nr) {
+    if (phase == EventPhase::kExit) {
+      auto it = half_events.find(view.tid());
+      if (it == half_events.end() || it->second.nr != view.nr()) {
         unmatched_exit_.fetch_add(1, std::memory_order_relaxed);
         return;
       }
       Event merged = std::move(it->second);
       half_events.erase(it);
       merged.phase = EventPhase::kFull;
-      merged.time_exit = event->time_exit;
-      merged.ret = event->ret;
-      event = std::move(merged);
-    }
-    if (!options_.kernel_filtering) {
-      std::string_view path = event->path.empty() && event->tag.valid
-                                  ? std::string_view()
-                                  : std::string_view(event->path);
-      if (!PassesFilters(event->pid, event->tid, path)) {
-        user_filtered_.fetch_add(1, std::memory_order_relaxed);
-        return;
+      merged.time_exit = view.raw().time_exit;
+      merged.ret = view.raw().ret;
+      if (!options_.kernel_filtering) {
+        const std::string_view path = merged.path.empty() && merged.tag.valid
+                                          ? std::string_view()
+                                          : std::string_view(merged.path);
+        if (!PassesFilters(merged.pid, merged.tid, path)) {
+          user_filtered_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
       }
+      batch.push_back(std::move(merged));
+    } else {
+      if (!options_.kernel_filtering) {
+        // Tagged events with an empty path are fd-based syscalls whose path
+        // was never captured; they pass the path filter (as before).
+        const std::string_view path =
+            view.path().empty() && view.tag_valid() ? std::string_view()
+                                                    : view.path();
+        if (!PassesFilters(view.pid(), view.tid(), path)) {
+          user_filtered_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+      batch.push_back(MaterializeEvent(view));
     }
-    batch.push_back(std::move(event.value()));
     if (batch.size() >= options_.batch_size) FlushBatch(&batch);
   };
 
@@ -540,6 +700,13 @@ TracerStats DioTracer::stats() const {
   s.emitted = emitted_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  s.ring_discarded = rings_.TotalDiscarded();
+  s.truncated_comm_bytes = trunc_comm_.load(std::memory_order_relaxed);
+  s.truncated_proc_name_bytes =
+      trunc_proc_name_.load(std::memory_order_relaxed);
+  s.truncated_path_bytes = trunc_path_.load(std::memory_order_relaxed);
+  s.truncated_path2_bytes = trunc_path2_.load(std::memory_order_relaxed);
+  s.truncated_xattr_bytes = trunc_xattr_.load(std::memory_order_relaxed);
   return s;
 }
 

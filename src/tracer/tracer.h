@@ -84,6 +84,13 @@ struct TracerOptions {
   // default: the real map/copy/ring work is always performed and measured.
   Nanos hook_cost_ns = 0;
 
+  // Soft cap on path bytes captured per event (<= kWirePathCap, the wire
+  // buffer size). Lowering it trims the per-event copy cost for workloads
+  // with deep paths — the same trade a real tracer makes when sizing its
+  // bpf_probe_read_str bound. Cut bytes are counted in the truncation
+  // stats either way.
+  std::size_t path_cap = kWirePathCap;
+
   static Expected<TracerOptions> FromConfig(const Config& config);
 };
 
@@ -100,6 +107,22 @@ struct TracerStats {
   std::uint64_t emitted = 0;          // documents shipped to the sink
   std::uint64_t batches = 0;          // bulk requests issued
   std::uint64_t decode_errors = 0;
+  std::uint64_t ring_discarded = 0;   // reserved then abandoned (Discard)
+
+  // Bytes cut by the fixed wire-format buffers (kWireCommCap etc.), per
+  // field. Nothing is truncated silently: every cut byte of an emitted
+  // record lands in exactly one of these counters.
+  std::uint64_t truncated_comm_bytes = 0;
+  std::uint64_t truncated_proc_name_bytes = 0;
+  std::uint64_t truncated_path_bytes = 0;
+  std::uint64_t truncated_path2_bytes = 0;
+  std::uint64_t truncated_xattr_bytes = 0;
+
+  [[nodiscard]] std::uint64_t truncated_bytes() const {
+    return truncated_comm_bytes + truncated_proc_name_bytes +
+           truncated_path_bytes + truncated_path2_bytes +
+           truncated_xattr_bytes;
+  }
 
   [[nodiscard]] double drop_ratio() const {
     const double total =
@@ -128,14 +151,35 @@ class DioTracer {
   [[nodiscard]] const TracerOptions& options() const { return options_; }
 
  private:
+  friend class DioTracerTestPeer;  // injects raw ring records in tests
+
+  // Per-TID entry-hook snapshot, the value type of the pending map. Like a
+  // real BPF map value it is a fixed-layout POD: syscall argument strings
+  // live in inline bounded buffers (wire-format caps, truncation counted at
+  // capture time), so stashing and popping an entry never touches the heap.
+  // The fd's dentry path is deliberately NOT stored — it is only needed
+  // transiently for the kernel-side path filter, and OnEnter reads it into
+  // a stack buffer (see SnapshotFd).
   struct PendingEntry {
     Nanos enter_ts = 0;
-    os::SyscallArgs args;
-    std::string comm;
+    os::Fd fd = os::kNoFd;
+    std::uint64_t count = 0;
+    std::int64_t arg_offset = -1;
+    int whence = -1;
+    std::uint32_t flags = 0;
+    std::uint32_t mode = 0;
     bool have_fd_view = false;
-    os::FdView fd_view;
     bool have_path_view = false;
+    os::FdSnapshot fd_state;
     os::PathView path_view;
+    std::uint16_t comm_len = 0, comm_trunc = 0;
+    std::uint16_t path_len = 0, path_trunc = 0;
+    std::uint16_t path2_len = 0, path2_trunc = 0;
+    std::uint16_t xattr_len = 0, xattr_trunc = 0;
+    char comm[kWireCommCap];
+    char path[kWirePathCap];
+    char path2[kWirePathCap];
+    char xattr_name[kWireXattrCap];
   };
 
   void OnEnter(const os::SysEnterContext& ctx);
@@ -148,8 +192,14 @@ class DioTracer {
                     std::size_t num_workers);
   void FlushBatch(std::vector<Event>* batch);
   [[nodiscard]] std::size_t ResolveConsumerThreads() const;
-  void Enrich(Event* event, const PendingEntry& entry,
+  // Copies the entry's scalars and inline strings into the reserved wire
+  // record (everything except the per-site header fields).
+  static void FillWireFromEntry(WireEvent* out, const PendingEntry& entry);
+  void Enrich(WireEvent* out, const PendingEntry& entry,
               const os::SysExitContext& ctx);
+  // Folds a committed record's per-field truncation counters into the
+  // tracer-wide stats.
+  void AccountTruncation(const WireEvent& wire);
   [[nodiscard]] bool PassesFilters(os::Pid pid, os::Tid tid,
                                    std::string_view path) const;
 
@@ -184,6 +234,11 @@ class DioTracer {
   std::atomic<std::uint64_t> emitted_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> decode_errors_{0};
+  std::atomic<std::uint64_t> trunc_comm_{0};
+  std::atomic<std::uint64_t> trunc_proc_name_{0};
+  std::atomic<std::uint64_t> trunc_path_{0};
+  std::atomic<std::uint64_t> trunc_path2_{0};
+  std::atomic<std::uint64_t> trunc_xattr_{0};
 };
 
 }  // namespace dio::tracer

@@ -1,0 +1,167 @@
+// Fixed-layout wire format for the kernel->user ring buffer handoff.
+//
+// A real eBPF program cannot build std::strings or variable-length records:
+// it reserves a fixed-size chunk of ringbuf memory and stores fields into it
+// (comm is char[TASK_COMM_LEN], paths go through bpf_probe_read_str into a
+// bounded buffer). WireEvent mirrors that: one POD record per event, inline
+// bounded string fields with explicit lengths, and per-field truncation
+// counters so nothing is cut silently. Serialization is plain field stores
+// into ring memory reserved in place (ByteRingBuffer::Reserve) — no
+// intermediate buffer — and decoding is a zero-copy view (WireEventView)
+// that materializes an Event only for records that survive user-space
+// filtering. See DESIGN.md "Wire format".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+#include <type_traits>
+
+#include "common/status.h"
+#include "oskernel/syscall_nr.h"
+#include "oskernel/types.h"
+
+namespace dio::tracer {
+
+// Inline buffer capacities. comm is TASK_COMM_LEN; paths follow the same
+// "bounded probe read" discipline real tracers use (DIO's eBPF programs cap
+// path copies the same way). Overflow is truncated and counted, never UB.
+inline constexpr std::size_t kWireCommCap = 16;
+inline constexpr std::size_t kWirePathCap = 128;
+inline constexpr std::size_t kWireXattrCap = 32;
+
+// One syscall event as it crosses the ring. Fields are ordered by size
+// (8 -> 4 -> 2 -> 1 -> char buffers) so the struct packs without internal
+// padding; records are always exactly sizeof(WireEvent) bytes.
+struct WireEvent {
+  // 64-bit fields.
+  std::int64_t time_enter = 0;
+  std::int64_t time_exit = 0;
+  std::int64_t ret = 0;
+  std::uint64_t count = 0;
+  std::int64_t arg_offset = -1;
+  std::int64_t file_offset = -1;
+  std::uint64_t tag_dev = 0;
+  std::uint64_t tag_ino = 0;
+  std::int64_t tag_ts = 0;
+  // 32-bit fields.
+  std::int32_t pid = os::kNoPid;
+  std::int32_t tid = os::kNoTid;
+  std::int32_t cpu = 0;
+  std::int32_t fd = os::kNoFd;
+  std::int32_t whence = -1;
+  std::uint32_t flags = 0;
+  std::uint32_t mode = 0;
+  // 16-bit fields: inline-string lengths and per-field truncation counters
+  // (bytes that did not fit the capacity; 0xFFFF saturates).
+  std::uint16_t comm_len = 0;
+  std::uint16_t proc_name_len = 0;
+  std::uint16_t path_len = 0;
+  std::uint16_t path2_len = 0;
+  std::uint16_t xattr_len = 0;
+  std::uint16_t comm_trunc = 0;
+  std::uint16_t proc_name_trunc = 0;
+  std::uint16_t path_trunc = 0;
+  std::uint16_t path2_trunc = 0;
+  std::uint16_t xattr_trunc = 0;
+  // 8-bit fields.
+  std::uint8_t phase = 0;      // EventPhase
+  std::uint8_t nr = 0;         // os::SyscallNr
+  std::uint8_t file_type = 0;  // os::FileType
+  std::uint8_t tag_valid = 0;
+  // Inline string storage (not NUL-terminated; lengths above).
+  char comm[kWireCommCap];
+  char proc_name[kWireCommCap];
+  char path[kWirePathCap];
+  char path2[kWirePathCap];
+  char xattr_name[kWireXattrCap];
+
+  // Copies `s` into the inline buffer `dst` of capacity `cap`; returns the
+  // stored length and accumulates cut bytes into `*trunc` (saturating).
+  static std::uint16_t FillString(char* dst, std::size_t cap,
+                                  std::string_view s, std::uint16_t* trunc) {
+    const std::size_t n = s.size() < cap ? s.size() : cap;
+    if (n > 0) std::memcpy(dst, s.data(), n);
+    const std::size_t cut = s.size() - n;
+    if (cut > 0) {
+      const std::uint32_t total = static_cast<std::uint32_t>(*trunc) +
+                                  static_cast<std::uint32_t>(
+                                      cut < 0xFFFF ? cut : 0xFFFF);
+      *trunc = static_cast<std::uint16_t>(total < 0xFFFF ? total : 0xFFFF);
+    }
+    return static_cast<std::uint16_t>(n);
+  }
+
+  [[nodiscard]] std::uint32_t truncated_bytes() const {
+    return static_cast<std::uint32_t>(comm_trunc) + proc_name_trunc +
+           path_trunc + path2_trunc + xattr_trunc;
+  }
+};
+
+static_assert(std::is_trivially_copyable_v<WireEvent>);
+static_assert(alignof(WireEvent) == 8);
+// Layout guard: 9*8 + 7*4 + 10*2 + 4*1 rounds to 124 of scalars (+4 tail
+// pad with the 320 bytes of char buffers) = 448. A change here is a wire
+// format change — update DESIGN.md "Wire format" alongside.
+static_assert(sizeof(WireEvent) == 448);
+
+// Zero-copy reader over a WireEvent record still sitting in ring memory (or
+// any 8-byte-aligned buffer). Validates once at construction; accessors are
+// plain field reads and string_views into the record. The view is only
+// valid while the underlying bytes are (for ring spans: during the
+// ConsumeBatch visitor call).
+class WireEventView {
+ public:
+  // Validation: size, alignment, enum ranges, and string lengths within
+  // caps. A short or corrupt record returns an error (the tracer counts it
+  // as decode_errors) — never UB.
+  static Expected<WireEventView> FromBytes(std::span<const std::byte> bytes) {
+    if (bytes.size() < sizeof(WireEvent)) {
+      return InvalidArgument("short event record");
+    }
+    if (reinterpret_cast<std::uintptr_t>(bytes.data()) % alignof(WireEvent) !=
+        0) {
+      return InvalidArgument("misaligned event record");
+    }
+    const auto* raw = reinterpret_cast<const WireEvent*>(bytes.data());
+    if (raw->nr >= static_cast<std::uint8_t>(os::SyscallNr::kCount) ||
+        raw->phase > 2 || raw->comm_len > kWireCommCap ||
+        raw->proc_name_len > kWireCommCap || raw->path_len > kWirePathCap ||
+        raw->path2_len > kWirePathCap || raw->xattr_len > kWireXattrCap) {
+      return InvalidArgument("malformed event record");
+    }
+    return WireEventView(raw);
+  }
+
+  [[nodiscard]] const WireEvent& raw() const { return *raw_; }
+  [[nodiscard]] std::uint8_t phase() const { return raw_->phase; }
+  [[nodiscard]] os::SyscallNr nr() const {
+    return static_cast<os::SyscallNr>(raw_->nr);
+  }
+  [[nodiscard]] os::Pid pid() const { return raw_->pid; }
+  [[nodiscard]] os::Tid tid() const { return raw_->tid; }
+  [[nodiscard]] bool tag_valid() const { return raw_->tag_valid != 0; }
+  [[nodiscard]] std::string_view comm() const {
+    return {raw_->comm, raw_->comm_len};
+  }
+  [[nodiscard]] std::string_view proc_name() const {
+    return {raw_->proc_name, raw_->proc_name_len};
+  }
+  [[nodiscard]] std::string_view path() const {
+    return {raw_->path, raw_->path_len};
+  }
+  [[nodiscard]] std::string_view path2() const {
+    return {raw_->path2, raw_->path2_len};
+  }
+  [[nodiscard]] std::string_view xattr_name() const {
+    return {raw_->xattr_name, raw_->xattr_len};
+  }
+
+ private:
+  explicit WireEventView(const WireEvent* raw) : raw_(raw) {}
+  const WireEvent* raw_;
+};
+
+}  // namespace dio::tracer

@@ -47,6 +47,40 @@ TEST(BpfHashMapTest, RejectsInsertWhenFull) {
   EXPECT_TRUE(map.Update(100, 100));  // space freed
 }
 
+// Regression: capacity was once checked against a global size counter read
+// outside the inserting shard's lock, so two racing inserts into different
+// shards could both pass the check and push the map past max_entries. With
+// per-shard quotas that cannot happen: the number of successful inserts of
+// distinct keys is EXACTLY max_entries, every time.
+TEST(BpfHashMapTest, ConcurrentInsertsNeverExceedCapacity) {
+  constexpr std::size_t kMax = 1024;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1024;
+  for (int round = 0; round < 10; ++round) {
+    BpfHashMap<int, int> map(kMax);  // 16 shards, quota 64 each
+    std::atomic<std::size_t> successes{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&map, &successes, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          // 10000 is a multiple of 16, so every thread spreads its keys
+          // over all shards identically — each shard sees 8x its quota.
+          if (map.Insert(t * 10000 + i, i)) {
+            successes.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_EQ(successes.load(), kMax) << "round " << round;
+    EXPECT_EQ(map.size(), kMax) << "round " << round;
+    // Saturated: no shard has room left.
+    for (int s = 0; s < 16; ++s) {
+      EXPECT_FALSE(map.Insert(200000 + s, s));
+    }
+  }
+}
+
 TEST(BpfHashMapTest, ClearResets) {
   BpfHashMap<int, int> map(8);
   map.Update(1, 1);

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
+#include <string>
+
 #include "common/random.h"
 
 namespace dio::tracer {
@@ -54,6 +58,132 @@ TEST(EventSerializationTest, RoundTripAllFields) {
   EXPECT_EQ(decoded->tag, original.tag);
 }
 
+// Every Event field crosses the wire, including the ones SampleEvent leaves
+// at their defaults elsewhere (path2, xattr_name, whence, mode, phase).
+TEST(EventSerializationTest, RoundTripEveryField) {
+  Event original;
+  original.phase = EventPhase::kEnter;
+  original.nr = os::SyscallNr::kRename;
+  original.pid = 4242;
+  original.tid = 4243;
+  original.comm = "flb-pipeline";
+  original.proc_name = "fluent-bit";
+  original.time_enter = 111;
+  original.time_exit = 222;
+  original.ret = -13;
+  original.cpu = 5;
+  original.fd = 17;
+  original.path = "/data/db/LOG";
+  original.path2 = "/data/db/LOG.old";
+  original.xattr_name = "user.checksum";
+  original.count = 4096;
+  original.arg_offset = 8192;
+  original.whence = os::kSeekSet;
+  original.flags = 0xDEAD;
+  original.mode = 0644;
+  original.file_type = os::FileType::kDirectory;
+  original.file_offset = 12345;
+  original.tag = {true, 99, 1234, 777};
+
+  std::vector<std::byte> wire;
+  SerializeEvent(original, &wire);
+  ASSERT_EQ(wire.size(), sizeof(WireEvent));
+  auto decoded = DeserializeEvent(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->phase, original.phase);
+  EXPECT_EQ(decoded->nr, original.nr);
+  EXPECT_EQ(decoded->pid, original.pid);
+  EXPECT_EQ(decoded->tid, original.tid);
+  EXPECT_EQ(decoded->comm, original.comm);
+  EXPECT_EQ(decoded->proc_name, original.proc_name);
+  EXPECT_EQ(decoded->time_enter, original.time_enter);
+  EXPECT_EQ(decoded->time_exit, original.time_exit);
+  EXPECT_EQ(decoded->ret, original.ret);
+  EXPECT_EQ(decoded->cpu, original.cpu);
+  EXPECT_EQ(decoded->fd, original.fd);
+  EXPECT_EQ(decoded->path, original.path);
+  EXPECT_EQ(decoded->path2, original.path2);
+  EXPECT_EQ(decoded->xattr_name, original.xattr_name);
+  EXPECT_EQ(decoded->count, original.count);
+  EXPECT_EQ(decoded->arg_offset, original.arg_offset);
+  EXPECT_EQ(decoded->whence, original.whence);
+  EXPECT_EQ(decoded->flags, original.flags);
+  EXPECT_EQ(decoded->mode, original.mode);
+  EXPECT_EQ(decoded->file_type, original.file_type);
+  EXPECT_EQ(decoded->file_offset, original.file_offset);
+  EXPECT_EQ(decoded->tag, original.tag);
+}
+
+// Each inline buffer truncates exactly at its capacity and counts the cut
+// bytes in its own per-field counter.
+TEST(WireTruncationTest, TruncatesAtEachBoundary) {
+  const struct {
+    const char* name;
+    std::size_t cap;
+    std::string Event::* field;
+    std::uint16_t WireEvent::* len;
+    std::uint16_t WireEvent::* trunc;
+  } cases[] = {
+      {"comm", kWireCommCap, &Event::comm, &WireEvent::comm_len,
+       &WireEvent::comm_trunc},
+      {"proc_name", kWireCommCap, &Event::proc_name,
+       &WireEvent::proc_name_len, &WireEvent::proc_name_trunc},
+      {"path", kWirePathCap, &Event::path, &WireEvent::path_len,
+       &WireEvent::path_trunc},
+      {"path2", kWirePathCap, &Event::path2, &WireEvent::path2_len,
+       &WireEvent::path2_trunc},
+      {"xattr_name", kWireXattrCap, &Event::xattr_name,
+       &WireEvent::xattr_len, &WireEvent::xattr_trunc},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    for (const std::size_t extra : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{57}}) {
+      Event event;
+      event.nr = os::SyscallNr::kOpenat;
+      std::string value;
+      for (std::size_t i = 0; i < c.cap + extra; ++i) {
+        value.push_back(static_cast<char>('a' + i % 26));
+      }
+      event.*(c.field) = value;
+      std::vector<std::byte> wire;
+      SerializeEvent(event, &wire);
+      const auto* raw = reinterpret_cast<const WireEvent*>(wire.data());
+      EXPECT_EQ(raw->*(c.len), c.cap);
+      EXPECT_EQ(raw->*(c.trunc), extra);
+      EXPECT_EQ(raw->truncated_bytes(), extra);
+      auto decoded = DeserializeEvent(wire);
+      ASSERT_TRUE(decoded.ok());
+      EXPECT_EQ(decoded.value().*(c.field), value.substr(0, c.cap));
+    }
+  }
+}
+
+// An exactly-capacity string is stored whole: the boundary is inclusive.
+TEST(WireTruncationTest, CapacityFitsExactly) {
+  Event event;
+  event.nr = os::SyscallNr::kWrite;
+  event.comm = std::string(kWireCommCap, 'x');
+  std::vector<std::byte> wire;
+  SerializeEvent(event, &wire);
+  const auto* raw = reinterpret_cast<const WireEvent*>(wire.data());
+  EXPECT_EQ(raw->comm_len, kWireCommCap);
+  EXPECT_EQ(raw->comm_trunc, 0);
+  EXPECT_EQ(raw->truncated_bytes(), 0u);
+}
+
+// The saturating counter never wraps, even for absurdly long inputs.
+TEST(WireTruncationTest, TruncationCounterSaturates) {
+  Event event;
+  event.nr = os::SyscallNr::kOpen;
+  event.path = std::string(kWirePathCap + 0x20000, 'p');
+  std::vector<std::byte> wire;
+  SerializeEvent(event, &wire);
+  const auto* raw = reinterpret_cast<const WireEvent*>(wire.data());
+  EXPECT_EQ(raw->path_len, kWirePathCap);
+  EXPECT_EQ(raw->path_trunc, 0xFFFF);
+}
+
 TEST(EventSerializationTest, RejectsTruncatedRecords) {
   std::vector<std::byte> wire;
   SerializeEvent(SampleEvent(), &wire);
@@ -67,8 +197,37 @@ TEST(EventSerializationTest, RejectsTruncatedRecords) {
 TEST(EventSerializationTest, RejectsBadSyscallNumber) {
   std::vector<std::byte> wire;
   SerializeEvent(SampleEvent(), &wire);
-  wire[0] = std::byte{255};
+  wire[offsetof(WireEvent, nr)] = std::byte{255};
   EXPECT_FALSE(DeserializeEvent(wire).ok());
+}
+
+TEST(EventSerializationTest, RejectsBadPhase) {
+  std::vector<std::byte> wire;
+  SerializeEvent(SampleEvent(), &wire);
+  wire[offsetof(WireEvent, phase)] = std::byte{3};
+  EXPECT_FALSE(DeserializeEvent(wire).ok());
+}
+
+TEST(EventSerializationTest, RejectsOverlongStringLength) {
+  std::vector<std::byte> wire;
+  SerializeEvent(SampleEvent(), &wire);
+  // path_len beyond its buffer capacity must be rejected, or string_view
+  // accessors would read past the record.
+  auto* raw = reinterpret_cast<WireEvent*>(wire.data());
+  raw->path_len = kWirePathCap + 1;
+  EXPECT_FALSE(DeserializeEvent(wire).ok());
+}
+
+TEST(EventSerializationTest, RejectsMisalignedRecords) {
+  std::vector<std::byte> storage(sizeof(WireEvent) + 1);
+  {
+    std::vector<std::byte> wire;
+    SerializeEvent(SampleEvent(), &wire);
+    std::copy(wire.begin(), wire.end(), storage.begin() + 1);
+  }
+  auto decoded = DeserializeEvent(
+      std::span<const std::byte>(storage.data() + 1, sizeof(WireEvent)));
+  EXPECT_FALSE(decoded.ok());
 }
 
 // Property: random events survive the wire format byte-exactly.

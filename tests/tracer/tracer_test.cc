@@ -11,6 +11,18 @@
 #include "test_util.h"
 
 namespace dio::tracer {
+
+// Pushes raw bytes into the tracer's rings, bypassing the hook path — the
+// only way to exercise the consumer's handling of corrupt records (the
+// producers always emit well-formed ones).
+class DioTracerTestPeer {
+ public:
+  static bool InjectRaw(DioTracer* tracer, int cpu,
+                        std::span<const std::byte> bytes) {
+    return tracer->rings_.Output(cpu, bytes);
+  }
+};
+
 namespace {
 
 using dio::testing::TestEnv;
@@ -252,6 +264,8 @@ batch_size = 64
 enrich = false
 kernel_filtering = false
 hook_cost_ns = 1500
+first_access_map_entries = 1234
+path_cap = 48
 )");
   ASSERT_TRUE(config.ok());
   auto options = TracerOptions::FromConfig(*config);
@@ -267,6 +281,19 @@ hook_cost_ns = 1500
   EXPECT_FALSE(options->enrich);
   EXPECT_FALSE(options->kernel_filtering);
   EXPECT_EQ(options->hook_cost_ns, 1500);
+  EXPECT_EQ(options->first_access_map_entries, 1234u);
+  EXPECT_EQ(options->path_cap, 48u);
+}
+
+TEST_F(TracerTest, PathCapConfigClampsToWireBuffer) {
+  auto config = Config::ParseString(R"(
+[tracer]
+path_cap = 99999
+)");
+  ASSERT_TRUE(config.ok());
+  auto options = TracerOptions::FromConfig(*config);
+  ASSERT_TRUE(options.ok());
+  EXPECT_EQ(options->path_cap, kWirePathCap);
 }
 
 TEST_F(TracerTest, PidFilterDropsOtherProcesses) {
@@ -491,6 +518,61 @@ TEST_F(TracerTest, EnrichmentDisabledOmitsKernelContext) {
   }
   // Raw syscall info is still there.
   EXPECT_EQ(sink_.DocsFor("write").size(), 1u);
+}
+
+TEST_F(TracerTest, CorruptRingRecordsCountDecodeErrors) {
+  DioTracer tracer(&env_.kernel, &sink_, FastOptions());
+  ASSERT_TRUE(tracer.Start().ok());
+  // A record of all-0xFF (invalid syscall number) and a short fragment:
+  // both must be counted and skipped, never crash the consumer.
+  const std::vector<std::byte> garbage(sizeof(WireEvent), std::byte{0xFF});
+  ASSERT_TRUE(DioTracerTestPeer::InjectRaw(&tracer, 0, garbage));
+  const std::vector<std::byte> fragment(16, std::byte{0});
+  ASSERT_TRUE(DioTracerTestPeer::InjectRaw(&tracer, 0, fragment));
+  {
+    auto task = env_.Bind();
+    env_.kernel.sys_mkdir("/data/ok", 0755);
+  }
+  tracer.Stop();
+  const TracerStats stats = tracer.stats();
+  EXPECT_EQ(stats.decode_errors, 2u);
+  // The real event around the corruption still decodes and ships.
+  EXPECT_EQ(sink_.DocsFor("mkdir").size(), 1u);
+}
+
+TEST_F(TracerTest, PathTruncationIsCountedPerField) {
+  DioTracer tracer(&env_.kernel, &sink_, FastOptions());
+  ASSERT_TRUE(tracer.Start().ok());
+  const std::string path = "/data/" + std::string(kWirePathCap + 20, 'x');
+  {
+    auto task = env_.Bind();
+    env_.kernel.sys_mkdir(path, 0755);
+  }
+  tracer.Stop();
+  const TracerStats stats = tracer.stats();
+  EXPECT_EQ(stats.truncated_path_bytes, path.size() - kWirePathCap);
+  EXPECT_EQ(stats.truncated_bytes(), stats.truncated_path_bytes);
+  auto docs = sink_.DocsFor("mkdir");
+  ASSERT_EQ(docs.size(), 1u);
+  EXPECT_EQ(docs[0].GetString("path"), path.substr(0, kWirePathCap));
+}
+
+TEST_F(TracerTest, PathCapKnobTightensCapture) {
+  TracerOptions options = FastOptions();
+  options.path_cap = 8;
+  DioTracer tracer(&env_.kernel, &sink_, options);
+  ASSERT_TRUE(tracer.Start().ok());
+  {
+    auto task = env_.Bind();
+    env_.kernel.sys_mkdir("/data/verbose", 0755);
+  }
+  tracer.Stop();
+  const TracerStats stats = tracer.stats();
+  const std::string full = "/data/verbose";
+  EXPECT_EQ(stats.truncated_path_bytes, full.size() - 8);
+  auto docs = sink_.DocsFor("mkdir");
+  ASSERT_EQ(docs.size(), 1u);
+  EXPECT_EQ(docs[0].GetString("path"), full.substr(0, 8));
 }
 
 }  // namespace
