@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "backend/store.h"
+#include "common/config.h"
 #include "oskernel/kernel.h"
 #include "service/dio_service.h"
 
@@ -14,7 +15,17 @@ using namespace dio;
 int main() {
   os::Kernel kernel;
   (void)kernel.MountDevice("/data", 7340032, {});
-  backend::ElasticStore store;  // the shared, dedicated analysis pipeline
+  // The shared, dedicated analysis pipeline. The [backend] section tunes the
+  // query engine: columnar doc-values with a two-thread per-shard fan-out
+  // and the ES-style paging guard.
+  auto config = Config::ParseString(
+      "[backend]\n"
+      "shards_per_index = 4\n"
+      "query_threads = 2\n"
+      "doc_values = true\n"
+      "max_result_window = 10000\n");
+  backend::ElasticStore store(
+      backend::ElasticStoreOptions::FromConfig(*config));
   service::DioService service(&kernel, &store);
 
   // Alice traces everything; Bob only data syscalls on his directory.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 namespace dio::backend {
 
@@ -218,6 +219,152 @@ AggResult Aggregation::Execute(const std::vector<const Json*>& docs) const {
         if (value != nullptr && value->is_number()) {
           values.push_back(value->as_double());
         }
+      }
+      std::sort(values.begin(), values.end());
+      Json out = Json::MakeObject();
+      for (double p : percents_) {
+        double v = 0.0;
+        if (!values.empty()) {
+          // Nearest-rank with linear interpolation.
+          const double rank =
+              (p / 100.0) * static_cast<double>(values.size() - 1);
+          const auto lo = static_cast<std::size_t>(std::floor(rank));
+          const auto hi = static_cast<std::size_t>(std::ceil(rank));
+          const double frac = rank - std::floor(rank);
+          v = values[lo] * (1.0 - frac) + values[hi] * frac;
+        }
+        out.Set(std::to_string(p), v);
+      }
+      result.metrics = std::move(out);
+      break;
+    }
+  }
+  return result;
+}
+
+AggResult Aggregation::ExecuteColumnar(const AggSource& source) const {
+  std::vector<std::size_t> rows(source.rows());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  return ExecuteColumnar(source, rows);
+}
+
+// Mirrors Execute() branch for branch: identical group keys (GroupKey byte
+// format), identical bucket ordering (std::map iteration + stable sort by
+// count), identical accumulation order (rows are in docid order).
+AggResult Aggregation::ExecuteColumnar(
+    const AggSource& source, const std::vector<std::size_t>& rows) const {
+  AggResult result;
+  const ColumnSlice& col = source.Slice(field_);
+  switch (kind_) {
+    case Kind::kTerms: {
+      struct Group {
+        Json key;
+        std::vector<std::size_t> rows;
+      };
+      std::map<std::string, Group> groups;
+      std::string group_key;
+      for (const std::size_t r : rows) {
+        const ValueKind kind = col.kind(r);
+        switch (kind) {
+          case ValueKind::kMissing:
+            continue;
+          case ValueKind::kString:
+            group_key = "s:";
+            group_key += col.strs[r];
+            break;
+          case ValueKind::kInt:
+            group_key = "i:" + std::to_string(col.ints[r]);
+            break;
+          case ValueKind::kDouble:
+            group_key = "d:" + std::to_string(col.dbls[r]);
+            break;
+          case ValueKind::kBool:
+            group_key = col.ints[r] != 0 ? "b:1" : "b:0";
+            break;
+          case ValueKind::kOther:
+            group_key = "?:" + col.raws[r]->Dump();
+            break;
+        }
+        Group& group = groups[group_key];
+        if (group.rows.empty()) {
+          switch (kind) {
+            case ValueKind::kString: group.key = Json(col.strs[r]); break;
+            case ValueKind::kInt: group.key = Json(col.ints[r]); break;
+            case ValueKind::kDouble: group.key = Json(col.dbls[r]); break;
+            case ValueKind::kBool: group.key = Json(col.ints[r] != 0); break;
+            case ValueKind::kOther: group.key = *col.raws[r]; break;
+            case ValueKind::kMissing: break;
+          }
+        }
+        group.rows.push_back(r);
+      }
+      result.buckets.reserve(groups.size());
+      for (auto& [key, group] : groups) {
+        AggBucket bucket;
+        bucket.key = group.key;
+        bucket.doc_count = static_cast<std::int64_t>(group.rows.size());
+        for (const auto& [sub_name, sub_agg] : subs_) {
+          bucket.sub[sub_name] = sub_agg.ExecuteColumnar(source, group.rows);
+        }
+        result.buckets.push_back(std::move(bucket));
+      }
+      std::stable_sort(result.buckets.begin(), result.buckets.end(),
+                       [](const AggBucket& a, const AggBucket& b) {
+                         return a.doc_count > b.doc_count;
+                       });
+      if (size_ > 0 && result.buckets.size() > size_) {
+        result.buckets.resize(size_);
+      }
+      break;
+    }
+    case Kind::kHistogram:
+    case Kind::kDateHistogram: {
+      std::map<std::int64_t, std::vector<std::size_t>> groups;
+      for (const std::size_t r : rows) {
+        if (!col.is_number(r)) continue;
+        const std::int64_t v = col.ints[r];
+        std::int64_t bucket_start = (v / interval_) * interval_;
+        if (v < 0 && v % interval_ != 0) bucket_start -= interval_;
+        groups[bucket_start].push_back(r);
+      }
+      for (auto& [start, group_rows] : groups) {
+        AggBucket bucket;
+        bucket.key = Json(start);
+        bucket.doc_count = static_cast<std::int64_t>(group_rows.size());
+        for (const auto& [sub_name, sub_agg] : subs_) {
+          bucket.sub[sub_name] = sub_agg.ExecuteColumnar(source, group_rows);
+        }
+        result.buckets.push_back(std::move(bucket));
+      }
+      break;
+    }
+    case Kind::kStats: {
+      std::int64_t count = 0;
+      double sum = 0, min = 0, max = 0;
+      for (const std::size_t r : rows) {
+        if (!col.is_number(r)) continue;
+        const double v = col.dbls[r];
+        if (count == 0) {
+          min = max = v;
+        } else {
+          min = std::min(min, v);
+          max = std::max(max, v);
+        }
+        sum += v;
+        ++count;
+      }
+      result.metrics.Set("count", count);
+      result.metrics.Set("min", min);
+      result.metrics.Set("max", max);
+      result.metrics.Set("sum", sum);
+      result.metrics.Set("avg", count == 0 ? 0.0 : sum / count);
+      break;
+    }
+    case Kind::kPercentiles: {
+      std::vector<double> values;
+      values.reserve(rows.size());
+      for (const std::size_t r : rows) {
+        if (col.is_number(r)) values.push_back(col.dbls[r]);
       }
       std::sort(values.begin(), values.end());
       Json out = Json::MakeObject();

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/doc_values.h"
 #include "common/json.h"
 #include "common/status.h"
 
@@ -72,8 +73,17 @@ class Aggregation {
   [[nodiscard]] AggResult Execute(
       const std::vector<const Json*>& docs) const;
 
+  // Streaming columnar path: accumulates over the source's column slices
+  // instead of per-doc Json. Returns exactly what Execute returns for the
+  // same matched set, in the same bucket order (the slices are gathered in
+  // docid order, which also keeps float summation order identical).
+  [[nodiscard]] AggResult ExecuteColumnar(const AggSource& source) const;
+
  private:
   explicit Aggregation(Kind kind) : kind_(kind) {}
+
+  AggResult ExecuteColumnar(const AggSource& source,
+                            const std::vector<std::size_t>& rows) const;
 
   Kind kind_;
   std::string field_;

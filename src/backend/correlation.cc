@@ -25,16 +25,19 @@ Expected<CorrelationStats> FilePathCorrelator::Run(const std::string& index) {
   }
   stats.tags_discovered = tag_to_path_.size();
 
-  // Step 2: update every tagged event with the resolved path.
+  // Step 2: update every tagged event with the resolved path. Events that
+  // already carry a file_path (a previous run, or an overlapping pass) are
+  // skipped and must not count as updated.
   auto updated = store_->UpdateByQuery(
       index, Query::Exists("file_tag"), [&](Json& doc) {
-        if (doc.Has("file_path")) return;
+        if (doc.Has("file_path")) return false;
         auto it = tag_to_path_.find(doc.GetString("file_tag"));
-        if (it != tag_to_path_.end()) {
-          doc.Set("file_path", it->second);
-        }
+        if (it == tag_to_path_.end()) return false;
+        doc.Set("file_path", it->second);
+        return true;
       });
   if (!updated.ok()) return updated.status();
+  stats.events_updated = *updated;
 
   // Step 3: count outcomes.
   auto resolved = store_->Count(
@@ -43,7 +46,7 @@ Expected<CorrelationStats> FilePathCorrelator::Run(const std::string& index) {
   if (!resolved.ok()) return resolved.status();
   auto tagged = store_->Count(index, Query::Exists("file_tag"));
   if (!tagged.ok()) return tagged.status();
-  stats.events_updated = *resolved;
+  stats.events_resolved = *resolved;
   stats.events_unresolved = *tagged - *resolved;
   return stats;
 }

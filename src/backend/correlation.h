@@ -26,11 +26,12 @@ namespace dio::backend {
 
 struct CorrelationStats {
   std::size_t tags_discovered = 0;   // distinct tag -> path mappings
-  std::size_t events_updated = 0;    // events that gained a file_path
+  std::size_t events_updated = 0;    // events that gained a file_path THIS run
+  std::size_t events_resolved = 0;   // tagged events with a path after the run
   std::size_t events_unresolved = 0; // tagged events left without a path
 
   [[nodiscard]] double unresolved_ratio() const {
-    const std::size_t total = events_updated + events_unresolved;
+    const std::size_t total = events_resolved + events_unresolved;
     return total == 0 ? 0.0
                       : static_cast<double>(events_unresolved) /
                             static_cast<double>(total);

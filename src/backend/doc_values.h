@@ -1,0 +1,249 @@
+// Columnar doc-values for the ElasticStore query engine.
+//
+// At Refresh each SubShard materializes, next to its row-oriented `Json`
+// documents, one typed column per field (Lucene doc-values shape): a kind
+// byte per document slot plus parallel int64/double arrays and a string
+// dictionary with lexicographic ranks. Query evaluation, sorting, and
+// aggregation then read flat arrays instead of calling `Json::Find` per
+// document per field — the difference between dashboard-rate analytics and
+// a per-document tree walk.
+//
+// Three pieces live here:
+//   * ColumnSet / DocValueColumn — the per-sub-shard column storage,
+//     append-only in docid order (rebuilt wholesale after update-by-query).
+//   * CompiledQuery — a Query tree resolved against one ColumnSet: column
+//     pointers looked up once, string terms translated to dictionary
+//     ordinals, prefix predicates to rank ranges. `Matches(pos)` is the
+//     column-aware replica of `Query::Matches(doc)` and must agree with it
+//     bit-for-bit (the serial JSON engine stays the parity oracle).
+//   * FilterBitmap / FilterBitmapCache — dense per-shard match bitmaps for
+//     scan-path predicates (exists / must_not / bool trees with no indexable
+//     clause), cached per query text and invalidated on every visibility
+//     change, in the spirit of Lucene's cached filter bitsets.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "backend/query.h"
+#include "common/json.h"
+
+namespace dio::backend {
+
+// Per-slot value kind. kOther covers the non-scalar shapes (null members,
+// arrays, objects) that keep their JSON fallback; everything else is fully
+// decoded into the columns.
+enum class ValueKind : std::uint8_t {
+  kMissing = 0,  // field absent from the document
+  kInt,
+  kDouble,
+  kString,
+  kBool,
+  kOther,
+};
+
+struct DocValueColumn {
+  // One entry per document slot (docid / stride), in slot order.
+  std::vector<std::uint8_t> kinds;
+  // kInt/kDouble: Json::as_int(); kString: dictionary ordinal; kBool: 0/1.
+  std::vector<std::int64_t> ints;
+  // Numbers only: Json::as_double() (drives term equality across numeric
+  // types and sort comparisons, exactly like the JSON comparator).
+  std::vector<double> dbls;
+
+  // String dictionary. Ordinals are assigned in first-seen order so
+  // incremental refresh never reshuffles existing slots; sorted_rank maps
+  // ordinal -> lexicographic rank so a prefix predicate is an O(1) rank
+  // range test per document.
+  std::vector<std::string> dict;
+  std::unordered_map<std::string, std::uint32_t> dict_lookup;
+  std::vector<std::uint32_t> sorted_rank;  // ordinal -> rank
+  std::vector<std::uint32_t> rank_to_ord;  // rank -> ordinal
+  bool ranks_dirty = false;
+
+  [[nodiscard]] ValueKind kind(std::size_t pos) const {
+    return static_cast<ValueKind>(kinds[pos]);
+  }
+  [[nodiscard]] bool is_number(std::size_t pos) const {
+    return kind(pos) == ValueKind::kInt || kind(pos) == ValueKind::kDouble;
+  }
+  [[nodiscard]] std::string_view str(std::size_t pos) const {
+    return dict[static_cast<std::size_t>(ints[pos])];
+  }
+  // Lexicographic rank range [lo, hi) of dictionary entries starting with
+  // `prefix`.
+  void PrefixRankRange(std::string_view prefix, std::uint32_t* lo,
+                       std::uint32_t* hi) const;
+};
+
+class ColumnSet {
+ public:
+  // Appends one document slot (in docid order). Fields absent from this
+  // document stay kMissing; fields first seen now are backfilled kMissing
+  // for all earlier slots.
+  void AppendDoc(const Json& doc);
+  // Pads every column to the current slot count and rebuilds the
+  // lexicographic ranks of dictionaries that grew. Call after a batch of
+  // AppendDoc()s, before the columns become visible to queries.
+  void FinishBatch();
+  void Clear();
+
+  [[nodiscard]] std::size_t num_docs() const { return num_docs_; }
+  [[nodiscard]] std::size_t num_fields() const { return columns_.size(); }
+  [[nodiscard]] const DocValueColumn* Find(std::string_view field) const;
+
+ private:
+  std::map<std::string, DocValueColumn, std::less<>> columns_;
+  std::size_t num_docs_ = 0;
+};
+
+// Dense bitmap over the document slots of one sub-shard.
+class FilterBitmap {
+ public:
+  FilterBitmap() = default;
+  FilterBitmap(std::size_t bits, bool value);
+
+  [[nodiscard]] std::size_t bits() const { return bits_; }
+  void Set(std::size_t pos) { words_[pos >> 6] |= 1ULL << (pos & 63); }
+  [[nodiscard]] bool Test(std::size_t pos) const {
+    return (words_[pos >> 6] >> (pos & 63)) & 1ULL;
+  }
+
+  void AndWith(const FilterBitmap& other);
+  void OrWith(const FilterBitmap& other);
+  void Negate();  // complement, with the tail bits past bits() kept zero
+
+  [[nodiscard]] std::size_t CountSet() const;
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn((w << 6) + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+// Per-sub-shard cache of scan-path predicate bitmaps, keyed by the
+// predicate's ToString form. Entries are dropped wholesale whenever the
+// shard's visible documents change (refresh / update-by-query), so a cached
+// bitmap is always consistent with the columns it was computed from. Hit and
+// miss counts feed the store's IndexStats.
+class FilterBitmapCache {
+ public:
+  [[nodiscard]] std::shared_ptr<const FilterBitmap> Lookup(
+      const std::string& key) const;
+  void Insert(const std::string& key, FilterBitmap bitmap);
+  void Clear();
+
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+
+  static constexpr std::size_t kMaxEntries = 128;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+  std::unordered_map<std::string, std::shared_ptr<const FilterBitmap>>
+      entries_;
+};
+
+// A Query resolved against one sub-shard's columns. The compiled tree owns
+// no documents: `query` and `columns` must outlive it (both are pinned by
+// the store's refresh lock for the duration of a request).
+class CompiledQuery {
+ public:
+  CompiledQuery(const Query& query, const ColumnSet& columns);
+
+  // Column-aware replica of query.Matches(doc): reads the columns for every
+  // scalar value and falls back to `doc` only for kOther slots. Must return
+  // exactly what the JSON oracle returns.
+  [[nodiscard]] bool Matches(std::size_t pos, const Json& doc) const;
+
+  // Scan-path evaluation: the match bitmap over all `docs` slots, built
+  // from cached per-predicate bitmaps where possible. Equivalent to calling
+  // Matches(pos, docs[pos]) for every slot.
+  [[nodiscard]] FilterBitmap Eval(std::span<const Json> docs,
+                                  FilterBitmapCache* cache) const;
+
+ private:
+  struct TermValue {
+    ValueKind kind = ValueKind::kOther;
+    std::int64_t i = 0;        // int value, or 0/1 for bools
+    double d = 0.0;            // as_double() for numbers
+    std::uint32_t ord = 0;     // dictionary ordinal for strings...
+    bool ord_resolved = false;  // ...when the term exists in this shard
+    const Json* raw = nullptr;  // the original query value (kOther fallback)
+  };
+
+  struct Node {
+    const Query* query = nullptr;
+    const DocValueColumn* col = nullptr;
+    std::vector<TermValue> values;          // kTerm / kTerms
+    std::uint32_t prefix_lo = 0;            // kPrefix rank range
+    std::uint32_t prefix_hi = 0;
+    std::vector<Node> children;
+
+    [[nodiscard]] bool IsLeaf() const {
+      const Query::Type t = query->type();
+      return t != Query::Type::kAnd && t != Query::Type::kOr &&
+             t != Query::Type::kNot;
+    }
+  };
+
+  static Node Compile(const Query& query, const ColumnSet& columns);
+  static bool MatchesNode(const Node& node, std::size_t pos, const Json& doc);
+  static FilterBitmap EvalNode(const Node& node, std::span<const Json> docs,
+                               FilterBitmapCache* cache);
+
+  Node root_;
+};
+
+// One field's values gathered for a matched result set, one entry per row in
+// docid order. This is what the streaming columnar aggregation path consumes
+// instead of calling Json::Find per document.
+struct ColumnSlice {
+  std::vector<std::uint8_t> kinds;       // ValueKind per row
+  std::vector<std::int64_t> ints;        // kInt: value; kBool: 0/1
+  std::vector<double> dbls;              // numbers: Json::as_double()
+  std::vector<std::string_view> strs;    // kString: view into a shard dict
+  std::vector<const Json*> raws;         // kOther: the member Json
+
+  [[nodiscard]] ValueKind kind(std::size_t row) const {
+    return static_cast<ValueKind>(kinds[row]);
+  }
+  [[nodiscard]] bool is_number(std::size_t row) const {
+    return kind(row) == ValueKind::kInt || kind(row) == ValueKind::kDouble;
+  }
+};
+
+// Columnar view of a matched result set, handed by the store to
+// Aggregation::ExecuteColumnar. Slices are gathered lazily per field and
+// cached for the lifetime of the source (one aggregation tree), so nested
+// sub-aggregations over the same field gather once. Not thread-safe: one
+// aggregation executes on one thread.
+class AggSource {
+ public:
+  virtual ~AggSource() = default;
+  [[nodiscard]] virtual std::size_t rows() const = 0;
+  [[nodiscard]] virtual const ColumnSlice& Slice(
+      const std::string& field) const = 0;
+};
+
+}  // namespace dio::backend

@@ -1,13 +1,16 @@
 #include "backend/store.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <fstream>
 #include <limits>
+#include <numeric>
 #include <thread>
 
 namespace dio::backend {
 
-Expected<SearchRequest> SearchRequest::FromJson(const Json& body) {
+Expected<SearchRequest> SearchRequest::FromJson(const Json& body,
+                                                std::size_t max_result_window) {
   if (!body.is_object()) {
     return InvalidArgument("search body must be an object");
   }
@@ -48,13 +51,38 @@ Expected<SearchRequest> SearchRequest::FromJson(const Json& body) {
       return InvalidArgument("unknown search body key: " + key);
     }
   }
+  if (request.size > max_result_window ||
+      request.from > max_result_window - request.size) {
+    return InvalidArgument(
+        "from + size must be <= max_result_window (" +
+        std::to_string(max_result_window) + ")");
+  }
   return request;
 }
 
-Expected<SearchRequest> SearchRequest::FromJsonText(std::string_view text) {
+Expected<SearchRequest> SearchRequest::FromJsonText(
+    std::string_view text, std::size_t max_result_window) {
   auto parsed = Json::Parse(text);
   if (!parsed.ok()) return parsed.status();
-  return FromJson(*parsed);
+  return FromJson(*parsed, max_result_window);
+}
+
+ElasticStoreOptions ElasticStoreOptions::FromConfig(const Config& config) {
+  WarnUnknownKeys(config, "backend",
+                  {"shards_per_index", "query_threads", "doc_values",
+                   "max_result_window"});
+  ElasticStoreOptions opts;
+  opts.shards_per_index = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, config.GetInt("backend.shards_per_index",
+                       static_cast<std::int64_t>(opts.shards_per_index))));
+  opts.query_threads = static_cast<std::size_t>(std::max<std::int64_t>(
+      0, config.GetInt("backend.query_threads",
+                       static_cast<std::int64_t>(opts.query_threads))));
+  opts.doc_values = config.GetBool("backend.doc_values", opts.doc_values);
+  opts.max_result_window = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, config.GetInt("backend.max_result_window",
+                       static_cast<std::int64_t>(opts.max_result_window))));
+  return opts;
 }
 
 ElasticStore::Index::Index(std::size_t num_shards) {
@@ -70,14 +98,30 @@ ElasticStore::Index::Index(std::size_t num_shards) {
 }
 
 ElasticStore::ElasticStore(std::size_t shards_per_index)
-    : shards_per_index_(std::max<std::size_t>(1, shards_per_index)) {}
+    : ElasticStore([shards_per_index] {
+        ElasticStoreOptions opts;
+        opts.shards_per_index = shards_per_index;
+        return opts;
+      }()) {}
+
+ElasticStore::ElasticStore(const ElasticStoreOptions& options)
+    : options_([&options] {
+        ElasticStoreOptions opts = options;
+        opts.shards_per_index = std::max<std::size_t>(1, opts.shards_per_index);
+        return opts;
+      }()) {
+  if (options_.query_threads > 0) {
+    query_pool_ =
+        std::make_unique<ThreadPool>(options_.query_threads, "es:query");
+  }
+}
 
 Status ElasticStore::CreateIndex(const std::string& name) {
   std::unique_lock lock(indices_mu_);
   if (indices_.contains(name)) {
     return AlreadyExists("index exists: " + name);
   }
-  indices_[name] = std::make_shared<Index>(shards_per_index_);
+  indices_[name] = std::make_shared<Index>(options_.shards_per_index);
   return Status::Ok();
 }
 
@@ -121,7 +165,8 @@ std::shared_ptr<ElasticStore::Index> ElasticStore::FindOrCreate(
   std::unique_lock lock(indices_mu_);
   auto it = indices_.find(name);
   if (it == indices_.end()) {
-    it = indices_.emplace(name, std::make_shared<Index>(shards_per_index_))
+    it = indices_
+             .emplace(name, std::make_shared<Index>(options_.shards_per_index))
              .first;
   }
   return it->second;
@@ -180,6 +225,20 @@ void ElasticStore::SortNumericsIfDirty(SubShard& shard) {
   shard.numerics_dirty = false;
 }
 
+void ElasticStore::BuildColumns(Index& index, SubShard& shard,
+                                std::size_t first_pos) const {
+  const Nanos start = SteadyClock::Instance()->NowNanos();
+  for (std::size_t pos = first_pos; pos < shard.docs.size(); ++pos) {
+    shard.columns.AppendDoc(shard.docs[pos]);
+  }
+  shard.columns.FinishBatch();
+  // Visible documents changed: every cached bitmap is stale.
+  shard.filter_cache.Clear();
+  index.column_build_ns.fetch_add(
+      static_cast<std::uint64_t>(SteadyClock::Instance()->NowNanos() - start),
+      std::memory_order_relaxed);
+}
+
 void ElasticStore::Refresh(const std::string& index_name) {
   const std::shared_ptr<Index> index = Find(index_name);
   if (index == nullptr) return;
@@ -217,14 +276,16 @@ void ElasticStore::Refresh(const std::string& index_name) {
   // Index the sub-shards — in parallel when the batch is big enough to pay
   // for the threads (refresh_mu is held, so workers touching distinct
   // shards cannot race queries or each other).
-  const auto ingest_shard = [&index, &staged](std::size_t s) {
+  const auto ingest_shard = [this, &index, &staged](std::size_t s) {
     SubShard& shard = *index->shards[s];
     std::unique_lock shard_lock(shard.mu);
+    const std::size_t first_pos = shard.docs.size();
     for (auto& [id, doc] : staged[s]) {
       shard.docs.push_back(std::move(doc));
       IndexDoc(shard, id, shard.docs.back());
     }
     SortNumericsIfDirty(shard);
+    if (options_.doc_values) BuildColumns(*index, shard, first_pos);
   };
   constexpr std::size_t kParallelRefreshThreshold = 4096;
   if (total >= kParallelRefreshThreshold && num_shards > 1 &&
@@ -309,12 +370,14 @@ std::optional<std::vector<DocId>> ElasticStore::Candidates(
     case Query::Type::kPrefix: {
       auto field_it = shard.terms.find(query.field());
       if (field_it == shard.terms.end()) return std::vector<DocId>{};
+      // Term keys are sorted, so the matching "s:<prefix>…" terms are one
+      // contiguous range starting at lower_bound.
       const std::string key_prefix = "s:" + query.prefix();
       std::vector<DocId> out;
-      for (const auto& [term, postings] : field_it->second) {
-        if (term.starts_with(key_prefix)) {
-          out = Union(std::move(out), postings);
-        }
+      for (auto it = field_it->second.lower_bound(key_prefix);
+           it != field_it->second.end() && it->first.starts_with(key_prefix);
+           ++it) {
+        out = Union(std::move(out), it->second);
       }
       return Dedup(std::move(out));
     }
@@ -368,18 +431,99 @@ std::vector<DocId> ElasticStore::MatchingDocs(const SubShard& shard,
   return matches;
 }
 
-std::vector<DocId> ElasticStore::MatchingDocs(const Index& index,
-                                              const Query& query) {
+std::vector<DocId> ElasticStore::MatchingDocsColumnar(const SubShard& shard,
+                                                      const Query& query) {
   std::vector<DocId> matches;
-  for (const auto& shard : index.shards) {
-    std::shared_lock shard_lock(shard->mu);
-    std::vector<DocId> shard_matches = MatchingDocs(*shard, query);
-    matches.insert(matches.end(), shard_matches.begin(), shard_matches.end());
+  const CompiledQuery compiled(query, shard.columns);
+  auto candidates = Candidates(shard, query);
+  if (candidates.has_value()) {
+    for (DocId id : *candidates) {
+      if (!shard.Owns(id)) continue;
+      const std::size_t pos = static_cast<std::size_t>(id) / shard.stride;
+      if (compiled.Matches(pos, shard.docs[pos])) matches.push_back(id);
+    }
+  } else {
+    const FilterBitmap bitmap = compiled.Eval(
+        std::span<const Json>(shard.docs.data(), shard.docs.size()),
+        &shard.filter_cache);
+    bitmap.ForEachSet([&matches, &shard](std::size_t pos) {
+      matches.push_back(
+          static_cast<DocId>(pos * shard.stride + shard.shard_index));
+    });
   }
-  // Ascending docid == ingestion order, exactly as the unsharded store.
-  std::sort(matches.begin(), matches.end());
   return matches;
 }
+
+void ElasticStore::RunPerShard(
+    std::size_t num_shards, const std::function<void(std::size_t)>& fn) const {
+  if (query_pool_ == nullptr || num_shards <= 1) {
+    for (std::size_t s = 0; s < num_shards; ++s) fn(s);
+    return;
+  }
+  // Shard 0 runs on the calling thread, so the request makes progress even
+  // when the pool is saturated by other requests; workers never wait on
+  // anything but their own shard, so pool-sharing cannot deadlock.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t remaining = num_shards - 1;
+  for (std::size_t s = 1; s < num_shards; ++s) {
+    query_pool_->Submit([&fn, s, &mu, &cv, &remaining] {
+      fn(s);
+      std::scoped_lock lock(mu);
+      if (--remaining == 0) cv.notify_one();
+    });
+  }
+  fn(0);
+  std::unique_lock lock(mu);
+  cv.wait(lock, [&remaining] { return remaining == 0; });
+}
+
+std::vector<DocId> ElasticStore::MatchingDocs(const Index& index,
+                                              const Query& query) const {
+  const std::size_t num_shards = index.num_shards();
+  std::vector<std::vector<DocId>> per_shard(num_shards);
+  RunPerShard(num_shards, [&](std::size_t s) {
+    const SubShard& shard = *index.shards[s];
+    std::shared_lock shard_lock(shard.mu);
+    per_shard[s] = options_.doc_values ? MatchingDocsColumnar(shard, query)
+                                       : MatchingDocs(shard, query);
+  });
+
+  // Merge the per-shard lists (each ascending) in ascending docid order
+  // (= ingestion order), exactly as the unsharded store.
+  std::size_t total = 0;
+  for (const auto& list : per_shard) total += list.size();
+  std::vector<DocId> matches;
+  matches.reserve(total);
+  std::vector<std::size_t> cursor(num_shards, 0);
+  while (matches.size() < total) {
+    std::size_t best = num_shards;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      if (cursor[s] < per_shard[s].size() &&
+          (best == num_shards ||
+           per_shard[s][cursor[s]] < per_shard[best][cursor[best]])) {
+        best = s;
+      }
+    }
+    matches.push_back(per_shard[best][cursor[best]++]);
+  }
+  return matches;
+}
+
+namespace {
+
+// Decorated sort key for the columnar top-k path: the value class mirrors
+// the JSON comparator's branches (missing sorts last; numbers and strings
+// compare within their class; anything else ties and falls through to the
+// next sort spec).
+struct SortKey {
+  enum : std::uint8_t { kMissing = 0, kNumber, kString, kOther };
+  std::uint8_t cls = kMissing;
+  double num = 0.0;
+  std::string_view str;
+};
+
+}  // namespace
 
 Expected<SearchResult> ElasticStore::Search(const std::string& index_name,
                                             const SearchRequest& request) const {
@@ -389,39 +533,136 @@ Expected<SearchResult> ElasticStore::Search(const std::string& index_name,
 
   std::vector<DocId> matches = MatchingDocs(*index, request.query);
 
-  if (!request.sort.empty()) {
-    std::stable_sort(
-        matches.begin(), matches.end(), [&](DocId a, DocId b) {
-          for (const SortSpec& spec : request.sort) {
-            const Json* va = index->DocAt(a).Find(spec.field);
-            const Json* vb = index->DocAt(b).Find(spec.field);
-            // Missing values sort last regardless of direction.
-            if (va == nullptr && vb == nullptr) continue;
-            if (va == nullptr) return false;
-            if (vb == nullptr) return true;
-            int cmp = 0;
-            if (va->is_number() && vb->is_number()) {
-              const double da = va->as_double();
-              const double db = vb->as_double();
-              cmp = da < db ? -1 : (da > db ? 1 : 0);
-            } else if (va->is_string() && vb->is_string()) {
-              cmp = va->as_string().compare(vb->as_string());
+  if (!options_.doc_values) {
+    // Serial JSON engine: sort with per-comparison Json::Find (the oracle).
+    if (!request.sort.empty()) {
+      std::stable_sort(
+          matches.begin(), matches.end(), [&](DocId a, DocId b) {
+            for (const SortSpec& spec : request.sort) {
+              const Json* va = index->DocAt(a).Find(spec.field);
+              const Json* vb = index->DocAt(b).Find(spec.field);
+              // Missing values sort last regardless of direction.
+              if (va == nullptr && vb == nullptr) continue;
+              if (va == nullptr) return false;
+              if (vb == nullptr) return true;
+              int cmp = 0;
+              if (va->is_number() && vb->is_number()) {
+                const double da = va->as_double();
+                const double db = vb->as_double();
+                cmp = da < db ? -1 : (da > db ? 1 : 0);
+              } else if (va->is_string() && vb->is_string()) {
+                cmp = va->as_string().compare(vb->as_string());
+              }
+              if (cmp != 0) return spec.ascending ? cmp < 0 : cmp > 0;
             }
-            if (cmp != 0) return spec.ascending ? cmp < 0 : cmp > 0;
-          }
-          return a < b;
-        });
+            return a < b;
+          });
+    }
+    SearchResult result;
+    result.total = matches.size();
+    const std::size_t start = std::min(request.from, matches.size());
+    const std::size_t end = std::min(start + request.size, matches.size());
+    result.hits.reserve(end - start);
+    for (std::size_t i = start; i < end; ++i) {
+      result.hits.push_back(Hit{matches[i], index->DocAt(matches[i])});
+    }
+    return result;
   }
 
+  // Columnar engine. Paging bounds first (saturating), because the sort only
+  // needs the top `end` entries.
   SearchResult result;
   result.total = matches.size();
   const std::size_t start = std::min(request.from, matches.size());
-  const std::size_t end = std::min(start + request.size, matches.size());
+  const std::size_t end =
+      start + std::min(request.size, matches.size() - start);
+
+  if (request.sort.empty()) {
+    result.hits.reserve(end - start);
+    for (std::size_t i = start; i < end; ++i) {
+      result.hits.push_back(Hit{matches[i], index->DocAt(matches[i])});
+    }
+    return result;
+  }
+
+  // Decorate once: resolve each sort field's column per shard, then gather
+  // one flat key per (match, spec). The comparator never touches Json.
+  const std::size_t nspecs = request.sort.size();
+  const std::size_t num_shards = index->num_shards();
+  std::vector<const DocValueColumn*> cols(nspecs * num_shards);
+  for (std::size_t j = 0; j < nspecs; ++j) {
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      cols[j * num_shards + s] =
+          index->shards[s]->columns.Find(request.sort[j].field);
+    }
+  }
+  std::vector<SortKey> keys(matches.size() * nspecs);
+  for (std::size_t r = 0; r < matches.size(); ++r) {
+    const auto id = static_cast<std::size_t>(matches[r]);
+    const std::size_t s = id % num_shards;
+    const std::size_t pos = id / num_shards;
+    for (std::size_t j = 0; j < nspecs; ++j) {
+      const DocValueColumn* col = cols[j * num_shards + s];
+      SortKey& key = keys[r * nspecs + j];
+      if (col == nullptr) continue;  // field absent from this whole shard
+      switch (col->kind(pos)) {
+        case ValueKind::kMissing:
+          break;
+        case ValueKind::kInt:
+        case ValueKind::kDouble:
+          key.cls = SortKey::kNumber;
+          key.num = col->dbls[pos];
+          break;
+        case ValueKind::kString:
+          key.cls = SortKey::kString;
+          key.str = col->str(pos);
+          break;
+        default:  // bools and non-scalars are present but never order docs
+          key.cls = SortKey::kOther;
+          break;
+      }
+    }
+  }
+  const auto before = [&](std::size_t a, std::size_t b) {
+    for (std::size_t j = 0; j < nspecs; ++j) {
+      const SortKey& ka = keys[a * nspecs + j];
+      const SortKey& kb = keys[b * nspecs + j];
+      if (ka.cls == SortKey::kMissing && kb.cls == SortKey::kMissing) continue;
+      if (ka.cls == SortKey::kMissing) return false;
+      if (kb.cls == SortKey::kMissing) return true;
+      int cmp = 0;
+      if (ka.cls == SortKey::kNumber && kb.cls == SortKey::kNumber) {
+        cmp = ka.num < kb.num ? -1 : (ka.num > kb.num ? 1 : 0);
+      } else if (ka.cls == SortKey::kString && kb.cls == SortKey::kString) {
+        cmp = ka.str.compare(kb.str);
+      }
+      if (cmp != 0) return request.sort[j].ascending ? cmp < 0 : cmp > 0;
+    }
+    // Total docid tiebreak: the order is strict, so a plain (partial) sort
+    // produces exactly what the oracle's stable_sort does.
+    return matches[a] < matches[b];
+  };
+  std::vector<std::size_t> order(matches.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (end < order.size()) {
+    std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(end),
+                      order.end(), before);
+  } else {
+    std::sort(order.begin(), order.end(), before);
+  }
   result.hits.reserve(end - start);
   for (std::size_t i = start; i < end; ++i) {
-    result.hits.push_back(Hit{matches[i], index->DocAt(matches[i])});
+    const DocId id = matches[order[i]];
+    result.hits.push_back(Hit{id, index->DocAt(id)});
   }
   return result;
+}
+
+Expected<SearchResult> ElasticStore::Search(const std::string& index_name,
+                                            const Json& body) const {
+  auto request = SearchRequest::FromJson(body, options_.max_result_window);
+  if (!request.ok()) return request.status();
+  return Search(index_name, *request);
 }
 
 Expected<std::size_t> ElasticStore::Count(const std::string& index_name,
@@ -429,8 +670,90 @@ Expected<std::size_t> ElasticStore::Count(const std::string& index_name,
   const std::shared_ptr<const Index> index = Find(index_name);
   if (index == nullptr) return NotFound("no such index: " + index_name);
   std::shared_lock refresh_lock(index->refresh_mu);
-  return MatchingDocs(*index, query).size();
+  const std::size_t num_shards = index->num_shards();
+  std::vector<std::size_t> counts(num_shards, 0);
+  RunPerShard(num_shards, [&](std::size_t s) {
+    const SubShard& shard = *index->shards[s];
+    std::shared_lock shard_lock(shard.mu);
+    counts[s] = (options_.doc_values ? MatchingDocsColumnar(shard, query)
+                                     : MatchingDocs(shard, query))
+                    .size();
+  });
+  std::size_t total = 0;
+  for (const std::size_t c : counts) total += c;
+  return total;
 }
+
+namespace {
+
+// AggSource over a matched docid set: gathers one ColumnSlice per field from
+// the per-shard columns, falling back to the document only for non-scalar
+// members.
+class ShardedAggSource final : public AggSource {
+ public:
+  struct ShardView {
+    const std::vector<Json>* docs = nullptr;
+    const ColumnSet* columns = nullptr;
+  };
+
+  ShardedAggSource(std::vector<ShardView> shards, std::vector<DocId> matches)
+      : shards_(std::move(shards)), matches_(std::move(matches)) {}
+
+  [[nodiscard]] std::size_t rows() const override { return matches_.size(); }
+
+  [[nodiscard]] const ColumnSlice& Slice(
+      const std::string& field) const override {
+    auto [it, inserted] = cache_.try_emplace(field);
+    if (!inserted) return it->second;
+    ColumnSlice& slice = it->second;
+    const std::size_t n = matches_.size();
+    const std::size_t num_shards = shards_.size();
+    slice.kinds.assign(n, static_cast<std::uint8_t>(ValueKind::kMissing));
+    slice.ints.assign(n, 0);
+    slice.dbls.assign(n, 0.0);
+    slice.strs.assign(n, {});
+    slice.raws.assign(n, nullptr);
+    std::vector<const DocValueColumn*> cols(num_shards);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      cols[s] = shards_[s].columns->Find(field);
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      const auto id = static_cast<std::size_t>(matches_[r]);
+      const std::size_t s = id % num_shards;
+      const std::size_t pos = id / num_shards;
+      const DocValueColumn* col = cols[s];
+      if (col == nullptr) continue;
+      const ValueKind kind = col->kind(pos);
+      slice.kinds[r] = static_cast<std::uint8_t>(kind);
+      switch (kind) {
+        case ValueKind::kInt:
+        case ValueKind::kDouble:
+          slice.ints[r] = col->ints[pos];
+          slice.dbls[r] = col->dbls[pos];
+          break;
+        case ValueKind::kString:
+          slice.strs[r] = col->str(pos);
+          break;
+        case ValueKind::kBool:
+          slice.ints[r] = col->ints[pos];
+          break;
+        case ValueKind::kOther:
+          slice.raws[r] = (*shards_[s].docs)[pos].Find(field);
+          break;
+        case ValueKind::kMissing:
+          break;
+      }
+    }
+    return slice;
+  }
+
+ private:
+  std::vector<ShardView> shards_;
+  std::vector<DocId> matches_;
+  mutable std::map<std::string, ColumnSlice> cache_;
+};
+
+}  // namespace
 
 Expected<AggResult> ElasticStore::Aggregate(const std::string& index_name,
                                             const Query& query,
@@ -439,35 +762,59 @@ Expected<AggResult> ElasticStore::Aggregate(const std::string& index_name,
   if (index == nullptr) return NotFound("no such index: " + index_name);
   std::shared_lock refresh_lock(index->refresh_mu);
   std::vector<DocId> matches = MatchingDocs(*index, query);
-  std::vector<const Json*> docs;
-  docs.reserve(matches.size());
-  for (DocId id : matches) docs.push_back(&index->DocAt(id));
-  return agg.Execute(docs);
+  if (!options_.doc_values) {
+    std::vector<const Json*> docs;
+    docs.reserve(matches.size());
+    for (DocId id : matches) docs.push_back(&index->DocAt(id));
+    return agg.Execute(docs);
+  }
+  std::vector<ShardedAggSource::ShardView> views;
+  views.reserve(index->num_shards());
+  for (const auto& shard : index->shards) {
+    views.push_back({&shard->docs, &shard->columns});
+  }
+  const ShardedAggSource source(std::move(views), std::move(matches));
+  return agg.ExecuteColumnar(source);
 }
 
 Expected<std::size_t> ElasticStore::UpdateByQuery(
     const std::string& index_name, const Query& query,
-    const std::function<void(Json&)>& update) {
+    const std::function<bool(Json&)>& update) {
   const std::shared_ptr<Index> index = Find(index_name);
   if (index == nullptr) return NotFound("no such index: " + index_name);
   std::unique_lock refresh_lock(index->refresh_mu);
   std::vector<DocId> matches = MatchingDocs(*index, query);
+  std::vector<char> touched(index->num_shards(), 0);
+  std::size_t modified = 0;
   for (DocId id : matches) {
-    SubShard& shard = *index->shards[static_cast<std::size_t>(id) %
-                                     index->num_shards()];
+    const std::size_t s = static_cast<std::size_t>(id) % index->num_shards();
+    SubShard& shard = *index->shards[s];
     std::unique_lock shard_lock(shard.mu);
     Json& doc = shard.DocAt(id);
-    update(doc);
+    if (!update(doc)) continue;
+    ++modified;
+    touched[s] = 1;
     // Re-index the updated document: postings become a superset (stale
     // entries are filtered by re-verification at query time).
     IndexDoc(shard, id, doc);
   }
-  index->updates.fetch_add(matches.size(), std::memory_order_relaxed);
+  index->updates.fetch_add(modified, std::memory_order_relaxed);
   for (const auto& shard : index->shards) {
     std::unique_lock shard_lock(shard->mu);
     SortNumericsIfDirty(*shard);
   }
-  return matches.size();
+  if (options_.doc_values) {
+    // Columns of touched shards are rebuilt wholesale: updates are rare
+    // (one correlation pass per session) and rebuild keeps ordinals dense.
+    for (std::size_t s = 0; s < index->num_shards(); ++s) {
+      if (touched[s] == 0) continue;
+      SubShard& shard = *index->shards[s];
+      std::unique_lock shard_lock(shard.mu);
+      shard.columns.Clear();
+      BuildColumns(*index, shard, 0);
+    }
+  }
+  return modified;
 }
 
 Expected<IndexStats> ElasticStore::Stats(const std::string& index_name) const {
@@ -478,6 +825,9 @@ Expected<IndexStats> ElasticStore::Stats(const std::string& index_name) const {
   for (const auto& shard : index->shards) {
     std::shared_lock shard_lock(shard->mu);
     stats.doc_count += shard->docs.size();
+    stats.doc_value_fields += shard->columns.num_fields();
+    stats.filter_cache_hits += shard->filter_cache.hits();
+    stats.filter_cache_misses += shard->filter_cache.misses();
   }
   for (const auto& lane : index->lanes) {
     std::scoped_lock lane_lock(lane->mu);
@@ -487,6 +837,8 @@ Expected<IndexStats> ElasticStore::Stats(const std::string& index_name) const {
   }
   stats.bulk_requests = index->bulk_requests.load(std::memory_order_relaxed);
   stats.updates = index->updates.load(std::memory_order_relaxed);
+  stats.column_build_ns =
+      index->column_build_ns.load(std::memory_order_relaxed);
   return stats;
 }
 

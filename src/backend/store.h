@@ -8,6 +8,18 @@
 //     indexes,
 //   * aggregations (terms, histograms, percentiles) with sub-aggregations,
 //   * update-by-query, which the file-path correlation algorithm uses.
+//
+// Query execution has two engines:
+//   * the serial JSON engine — per-document Query::Matches over raw Json,
+//     sub-shards visited one by one. Simple, and kept as the parity oracle;
+//   * the columnar engine (backend.doc_values, default on) — at Refresh each
+//     sub-shard also materializes typed doc-value columns, and term / terms /
+//     range / prefix / exists predicates, sort keys, and aggregations resolve
+//     against those columns (or cached filter bitmaps) instead of Json::Find
+//     per document, the way Lucene serves analytics from doc-values.
+// With backend.query_threads > 0, sub-shards are evaluated in parallel on a
+// shared pool and per-shard results merged in docid order; both engines
+// return byte-identical results either way.
 #pragma once
 
 #include <atomic>
@@ -23,10 +35,13 @@
 #include <vector>
 
 #include "backend/aggregation.h"
+#include "backend/doc_values.h"
 #include "backend/query.h"
 #include "common/clock.h"
+#include "common/config.h"
 #include "common/json.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace dio::backend {
 
@@ -51,8 +66,12 @@ struct SearchRequest {
   // Parses an Elasticsearch-style search body:
   //   {"query": {...}, "sort": ["time_enter", {"ret": {"order": "desc"}}],
   //    "from": 0, "size": 100}
-  static Expected<SearchRequest> FromJson(const Json& body);
-  static Expected<SearchRequest> FromJsonText(std::string_view text);
+  // Rejects requests paging past `max_result_window` (from + size), like
+  // ES's index.max_result_window guard.
+  static Expected<SearchRequest> FromJson(
+      const Json& body, std::size_t max_result_window = 10'000);
+  static Expected<SearchRequest> FromJsonText(
+      std::string_view text, std::size_t max_result_window = 10'000);
 };
 
 struct SearchResult {
@@ -65,6 +84,28 @@ struct IndexStats {
   std::size_t pending_count = 0;   // bulked but not yet refreshed
   std::uint64_t bulk_requests = 0;
   std::uint64_t updates = 0;
+  // Columnar engine: fields with doc-value columns (summed over sub-shards),
+  // cumulative time spent building columns, and filter-bitmap cache traffic.
+  std::size_t doc_value_fields = 0;
+  std::uint64_t column_build_ns = 0;
+  std::uint64_t filter_cache_hits = 0;
+  std::uint64_t filter_cache_misses = 0;
+};
+
+// Store-wide tuning knobs (the `[backend]` config section).
+struct ElasticStoreOptions {
+  std::size_t shards_per_index = 4;
+  // Worker threads for per-sub-shard query fan-out. 0 = evaluate sub-shards
+  // on the calling thread (no pool).
+  std::size_t query_threads = 0;
+  // Materialize doc-value columns at Refresh and serve queries from them.
+  // Off = the serial JSON engine (the parity oracle).
+  bool doc_values = true;
+  // Upper bound on from + size accepted by SearchRequest parsing (like ES's
+  // index.max_result_window). Programmatic SearchRequests are not clamped.
+  std::size_t max_result_window = 10'000;
+
+  static ElasticStoreOptions FromConfig(const Config& config);
 };
 
 class ElasticStore {
@@ -76,8 +117,11 @@ class ElasticStore {
   // the sub-shards in parallel. Query semantics and docid (ingestion) order
   // are identical to a single-shard store.
   explicit ElasticStore(std::size_t shards_per_index = kDefaultShards);
+  explicit ElasticStore(const ElasticStoreOptions& options);
 
   static constexpr std::size_t kDefaultShards = 4;
+
+  [[nodiscard]] const ElasticStoreOptions& options() const { return options_; }
 
   // Index management. Bulk() auto-creates missing indices (like ES).
   Status CreateIndex(const std::string& name);
@@ -94,16 +138,22 @@ class ElasticStore {
 
   [[nodiscard]] Expected<SearchResult> Search(const std::string& index,
                                               const SearchRequest& request) const;
+  // Parses an ES-style search body (clamped to options().max_result_window)
+  // and runs it.
+  [[nodiscard]] Expected<SearchResult> Search(const std::string& index,
+                                              const Json& body) const;
   [[nodiscard]] Expected<std::size_t> Count(const std::string& index,
                                             const Query& query) const;
   [[nodiscard]] Expected<AggResult> Aggregate(const std::string& index,
                                               const Query& query,
                                               const Aggregation& agg) const;
 
-  // Applies `update` to every matching document; returns #updated.
+  // Applies `update` to every matching document. The callback returns
+  // whether it modified the document; only modified documents are re-indexed
+  // and counted. Returns the number of documents actually modified.
   Expected<std::size_t> UpdateByQuery(const std::string& index,
                                       const Query& query,
-                                      const std::function<void(Json&)>& update);
+                                      const std::function<bool(Json&)>& update);
 
   [[nodiscard]] Expected<IndexStats> Stats(const std::string& index) const;
 
@@ -126,16 +176,23 @@ class ElasticStore {
     mutable std::shared_mutex mu;
     std::vector<Json> docs;  // position = docid / stride
     // term index: field -> canonical term -> posting list (global docids,
-    // ascending). Postings may be stale supersets after updates; queries
-    // re-verify against the document.
+    // ascending). Terms are kept sorted so prefix queries walk just the
+    // "s:<prefix>" range. Postings may be stale supersets after updates;
+    // queries re-verify against the document.
     std::unordered_map<std::string,
-                       std::unordered_map<std::string, std::vector<DocId>>>
+                       std::map<std::string, std::vector<DocId>, std::less<>>>
         terms;
     // numeric index: field -> (value, global docid) sorted by value.
     std::unordered_map<std::string,
                        std::vector<std::pair<std::int64_t, DocId>>>
         numerics;
     bool numerics_dirty = false;
+
+    // Columnar engine state (backend.doc_values): typed columns over `docs`
+    // (same position indexing), rebuilt/extended under refresh_mu unique,
+    // plus the per-shard cache of scan-path predicate bitmaps.
+    ColumnSet columns;
+    mutable FilterBitmapCache filter_cache;
 
     [[nodiscard]] const Json& DocAt(DocId id) const {
       return docs[static_cast<std::size_t>(id) / stride];
@@ -172,6 +229,7 @@ class ElasticStore {
     std::atomic<std::uint64_t> bulk_seq{0};
     std::atomic<std::uint64_t> bulk_requests{0};
     std::atomic<std::uint64_t> updates{0};
+    std::atomic<std::uint64_t> column_build_ns{0};
     // Readers take it shared; Refresh/UpdateByQuery take it unique, so a
     // refresh becomes visible to queries atomically across sub-shards.
     mutable std::shared_mutex refresh_mu;
@@ -189,23 +247,38 @@ class ElasticStore {
   static std::string TermKey(const Json& value);
   static void IndexDoc(SubShard& shard, DocId id, const Json& doc);
   static void SortNumericsIfDirty(SubShard& shard);
+  // Appends the docs at positions [first_pos, docs.size()) to the shard's
+  // doc-value columns and invalidates its bitmap cache. Caller holds
+  // refresh_mu unique; build time is charged to `index`.
+  void BuildColumns(Index& index, SubShard& shard, std::size_t first_pos) const;
   // Candidate docids for the query via this sub-shard's indexes (superset
   // of matches), or nullopt when the query cannot be served by an index
   // (falls back to scanning). Caller verifies with Query::Matches.
   static std::optional<std::vector<DocId>> Candidates(const SubShard& shard,
                                                       const Query& query);
+  // Serial JSON engine: verify candidates / scan with Query::Matches.
   static std::vector<DocId> MatchingDocs(const SubShard& shard,
                                          const Query& query);
-  // All matches across sub-shards, ascending docid (= ingestion order).
-  // Caller must hold refresh_mu (shared or unique).
-  static std::vector<DocId> MatchingDocs(const Index& index,
-                                         const Query& query);
+  // Columnar engine: verify candidates / scan with a CompiledQuery over the
+  // shard's doc-value columns (bitmaps cached for scan-path predicates).
+  static std::vector<DocId> MatchingDocsColumnar(const SubShard& shard,
+                                                 const Query& query);
+  // All matches across sub-shards, ascending docid (= ingestion order),
+  // fanned out on the query pool when configured. Caller must hold
+  // refresh_mu (shared or unique).
+  std::vector<DocId> MatchingDocs(const Index& index, const Query& query) const;
+  // Runs fn(shard_index) for every sub-shard: shard 0 on the calling thread,
+  // the rest on the query pool when configured (the calls must be
+  // independent).
+  void RunPerShard(std::size_t num_shards,
+                   const std::function<void(std::size_t)>& fn) const;
 
   std::shared_ptr<Index> Find(const std::string& name);
   std::shared_ptr<const Index> Find(const std::string& name) const;
   std::shared_ptr<Index> FindOrCreate(const std::string& name);
 
-  const std::size_t shards_per_index_;
+  const ElasticStoreOptions options_;
+  std::unique_ptr<ThreadPool> query_pool_;
   mutable std::shared_mutex indices_mu_;
   std::map<std::string, std::shared_ptr<Index>> indices_;
 };

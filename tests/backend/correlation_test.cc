@@ -32,6 +32,7 @@ TEST_F(CorrelationTest, ResolvesTagsFromOpenEvents) {
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->tags_discovered, 1u);
   EXPECT_EQ(stats->events_updated, 4u);
+  EXPECT_EQ(stats->events_resolved, 4u);
   EXPECT_EQ(stats->events_unresolved, 0u);
   EXPECT_DOUBLE_EQ(stats->unresolved_ratio(), 0.0);
 
@@ -68,6 +69,7 @@ TEST_F(CorrelationTest, EventsWithUnknownTagsStayUnresolved) {
   auto stats = correlator.Run("s");
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->events_updated, 2u);
+  EXPECT_EQ(stats->events_resolved, 2u);
   EXPECT_EQ(stats->events_unresolved, 2u);
   EXPECT_DOUBLE_EQ(stats->unresolved_ratio(), 0.5);
 }
@@ -79,10 +81,14 @@ TEST_F(CorrelationTest, RerunIsIdempotent) {
   });
   store_.Refresh("s");
   FilePathCorrelator correlator(&store_);
-  ASSERT_TRUE(correlator.Run("s").ok());
+  auto first = correlator.Run("s");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->events_updated, 2u);
   auto second = correlator.Run("s");
   ASSERT_TRUE(second.ok());
-  EXPECT_EQ(second->events_updated, 2u);
+  // The second pass finds everything already resolved: nothing is modified.
+  EXPECT_EQ(second->events_updated, 0u);
+  EXPECT_EQ(second->events_resolved, 2u);
   EXPECT_EQ(*store_.Count("s", Query::Exists("file_path")), 2u);
 }
 
@@ -97,7 +103,35 @@ TEST_F(CorrelationTest, IncrementalRunPicksUpNewEvents) {
   store_.Refresh("s");
   auto stats = correlator.Run("s");
   ASSERT_TRUE(stats.ok());
-  EXPECT_EQ(stats->events_updated, 3u);
+  // Only the freshly streamed event is modified; the two events from the
+  // first pass already carry their path.
+  EXPECT_EQ(stats->events_updated, 1u);
+  EXPECT_EQ(stats->events_resolved, 3u);
+  EXPECT_EQ(stats->events_unresolved, 0u);
+}
+
+// Regression for the events_updated accounting: documents that entered the
+// store with file_path already set (a previous session's snapshot, or an
+// overlapping correlation pass) are skipped by the updater and must not be
+// reported as updated.
+TEST_F(CorrelationTest, PreResolvedDocsAreNotCountedAsUpdated) {
+  Json pre_resolved = TaggedEvent("write", "7|1|10");
+  pre_resolved.Set("file_path", "/already/there");
+  store_.Bulk("s", {
+    TaggedEvent("openat", "7|1|10", "/p"),
+    std::move(pre_resolved),
+    TaggedEvent("read", "7|1|10"),
+  });
+  store_.Refresh("s");
+  FilePathCorrelator correlator(&store_);
+  auto stats = correlator.Run("s");
+  ASSERT_TRUE(stats.ok());
+  // openat + read gain a path; the pre-resolved write is left alone.
+  EXPECT_EQ(stats->events_updated, 2u);
+  EXPECT_EQ(stats->events_resolved, 3u);
+  EXPECT_EQ(stats->events_unresolved, 0u);
+  EXPECT_EQ(*store_.Count("s", Query::Term("file_path", Json("/already/there"))),
+            1u);
 }
 
 TEST_F(CorrelationTest, MissingIndexErrors) {

@@ -1,0 +1,187 @@
+// Refresh-vs-search hammer for the columnar engine. A writer thread streams
+// bulk batches and refreshes (and occasionally runs update-by-query) while
+// reader threads issue searches, counts, and aggregations against a store
+// with doc-values on and a query pool fanning sub-shards out in parallel.
+// Every reader must observe a consistent refresh generation: results are
+// internally coherent (hits sorted, totals match) and nothing crashes or
+// races. This file is also compiled into tsan_stress_test so the whole
+// reader/writer interleaving runs under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "backend/store.h"
+
+namespace dio::backend {
+namespace {
+
+Json Event(int docnum) {
+  Json doc = Json::MakeObject();
+  doc.Set("syscall", docnum % 3 == 0 ? "read" : (docnum % 3 == 1 ? "write"
+                                                                 : "fsync"));
+  doc.Set("tid", static_cast<std::int64_t>(100 + docnum % 5));
+  doc.Set("time_enter", static_cast<std::int64_t>(1000 + docnum));
+  doc.Set("ret", static_cast<std::int64_t>(docnum % 128));
+  if (docnum % 4 != 0) {
+    doc.Set("file_path", "/data/db/sstable-" + std::to_string(docnum % 7));
+  }
+  return doc;
+}
+
+TEST(StoreConcurrencyTest, RefreshVsSearchHammer) {
+  ElasticStoreOptions options;
+  options.shards_per_index = 4;
+  options.query_threads = 2;
+  options.doc_values = true;
+  ElasticStore store(options);
+
+  constexpr int kBatches = 40;
+  constexpr int kBatchSize = 25;
+  constexpr std::size_t kTotalDocs = kBatches * kBatchSize;
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> visible{0};  // docs made searchable so far
+
+  std::thread writer([&] {
+    int docnum = 0;
+    for (int b = 0; b < kBatches; ++b) {
+      std::vector<Json> docs;
+      for (int i = 0; i < kBatchSize; ++i) docs.push_back(Event(docnum++));
+      store.Bulk("hammer", std::move(docs));
+      store.Refresh("hammer");
+      visible.store(static_cast<std::size_t>(docnum),
+                    std::memory_order_release);
+      if (b % 8 == 7) {
+        // Update-by-query concurrently with readers: takes refresh_mu unique
+        // and rebuilds the touched shards' columns.
+        auto updated = store.UpdateByQuery(
+            "hammer", Query::Term("syscall", "fsync"), [](Json& d) {
+              if (d.Has("flagged")) return false;
+              d.Set("flagged", true);
+              return true;
+            });
+        EXPECT_TRUE(updated.ok());
+      }
+    }
+    stop.store(true);
+  });
+
+  const Aggregation agg =
+      Aggregation::Terms("syscall").SubAgg("lat", Aggregation::Stats("ret"));
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      // Bounded and yielding: glibc rwlocks prefer readers, so readers that
+      // re-acquire back-to-back can starve the writer's unique Refresh lock
+      // on a single-core host. The yield opens a writer window each lap and
+      // the cap bounds the test even if the stop flag is slow to arrive.
+      constexpr std::uint64_t kMaxIterations = 20'000;
+      std::uint64_t iterations = 0;
+      while (!stop.load(std::memory_order_acquire) &&
+             iterations < kMaxIterations) {
+        ++iterations;
+        std::this_thread::yield();
+        if (!store.HasIndex("hammer")) continue;
+        // The refresh lock pins one generation: a query never sees a
+        // half-refreshed store, so counts are bounded by what the writer
+        // published before we started (floor) and the final total (ceiling).
+        const std::size_t floor = visible.load(std::memory_order_acquire);
+        auto count = store.Count("hammer", Query::MatchAll());
+        if (count.ok()) {
+          EXPECT_GE(*count, floor);
+          EXPECT_LE(*count, kTotalDocs);
+        }
+        switch ((iterations + static_cast<std::uint64_t>(r)) % 3) {
+          case 0: {
+            SearchRequest request;
+            request.query = Query::And(
+                {Query::Term("syscall", "read"),
+                 Query::Prefix("file_path", "/data/db/sstable-")});
+            request.sort = {{"time_enter", false}};
+            request.size = 50;
+            auto result = store.Search("hammer", request);
+            if (result.ok()) {
+              for (std::size_t i = 1; i < result->hits.size(); ++i) {
+                EXPECT_GE(
+                    result->hits[i - 1].source.GetInt("time_enter"),
+                    result->hits[i].source.GetInt("time_enter"));
+              }
+            }
+            break;
+          }
+          case 1: {
+            // Scan-path predicate: exercises the filter-bitmap cache while
+            // refreshes clear it.
+            auto scanned =
+                store.Count("hammer", Query::Not(Query::Exists("file_path")));
+            if (scanned.ok()) {
+              EXPECT_LE(*scanned, kTotalDocs);
+            }
+            break;
+          }
+          default: {
+            auto result = store.Aggregate("hammer", Query::MatchAll(), agg);
+            if (result.ok()) {
+              std::size_t bucketed = 0;
+              for (const AggBucket& bucket : result->buckets) {
+                bucketed += bucket.doc_count;
+              }
+              EXPECT_LE(bucketed, kTotalDocs);
+            }
+            break;
+          }
+        }
+      }
+    });
+  }
+
+  writer.join();
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(*store.Count("hammer", Query::MatchAll()), kTotalDocs);
+  auto stats = store.Stats("hammer");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->doc_count, kTotalDocs);
+  EXPECT_GT(stats->doc_value_fields, 0u);
+}
+
+// Same interleaving with the serial JSON engine and no query pool: the
+// refresh lock alone must keep the oracle path race-free too.
+TEST(StoreConcurrencyTest, SerialEngineHammer) {
+  ElasticStoreOptions options;
+  options.shards_per_index = 3;
+  options.query_threads = 0;
+  options.doc_values = false;
+  ElasticStore store(options);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 200; ++i) {
+      store.Bulk("s", {Event(i)});
+      if (i % 5 == 4) store.Refresh("s");
+    }
+    store.Refresh("s");
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    std::uint64_t iterations = 0;
+    while (!stop.load(std::memory_order_acquire) && iterations < 20'000) {
+      ++iterations;
+      std::this_thread::yield();
+      if (!store.HasIndex("s")) continue;
+      auto count = store.Count("s", Query::Term("syscall", "write"));
+      if (count.ok()) {
+        EXPECT_LE(*count, 67u);
+      }
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(*store.Count("s", Query::MatchAll()), 200u);
+}
+
+}  // namespace
+}  // namespace dio::backend

@@ -129,7 +129,10 @@ TEST_F(StoreTest, UpdateByQueryMutatesAndStaysQueryable) {
   Seed("upd", 20);
   auto updated = store_.UpdateByQuery(
       "upd", Query::Term("syscall", Json("read")),
-      [](Json& doc) { doc.Set("file_path", "/data/x"); });
+      [](Json& doc) {
+        doc.Set("file_path", "/data/x");
+        return true;
+      });
   ASSERT_TRUE(updated.ok());
   EXPECT_EQ(*updated, 10u);
   // New field immediately searchable via the (re)index.
@@ -145,6 +148,7 @@ TEST_F(StoreTest, UpdateByQueryChangedValueNotMatchedByStaleTerm) {
                   .UpdateByQuery("stale", Query::MatchAll(),
                                  [](Json& doc) {
                                    doc.Set("syscall", "pread64");
+                                   return true;
                                  })
                   .ok());
   // The old posting still exists internally but re-verification rejects it.
@@ -403,7 +407,10 @@ TEST_P(ShardParityTest, IdenticalToUnshardedStore) {
   EXPECT_EQ(DumpAgg(*got_agg), DumpAgg(*ref_agg));
 
   // Update-by-query must touch the same documents in both stores.
-  const auto set_flag = [](Json& d) { d.Set("correlated", true); };
+  const auto set_flag = [](Json& d) {
+    d.Set("correlated", true);
+    return true;
+  };
   auto ref_updated = reference.UpdateByQuery(
       "parity", Query::Term("syscall", "fsync"), set_flag);
   auto got_updated =
