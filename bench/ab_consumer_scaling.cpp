@@ -12,13 +12,13 @@
 // BENCH_consumer_scaling.json ({bench, config, metrics}). On a multi-core
 // host, 4 consumers should deliver >= 2x the drain throughput of 1.
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
 #include <vector>
 
 #include "bench/harness_util.h"
+#include "common/clock.h"
 #include "ebpf/ringbuf.h"
 #include "tracer/event.h"
 
@@ -70,7 +70,7 @@ SweepPoint RunOne(std::size_t num_consumers, std::size_t ring_bytes) {
   std::atomic<bool> producers_done{false};
   const std::uint64_t kTotal = events_per_cpu * kCpus;
 
-  const auto start = std::chrono::steady_clock::now();
+  const Nanos start = SteadyClock::Instance()->NowNanos();
 
   std::vector<std::thread> producers;
   producers.reserve(kCpus);
@@ -124,12 +124,12 @@ SweepPoint RunOne(std::size_t num_consumers, std::size_t ring_bytes) {
   producers_done.store(true, std::memory_order_release);
   for (std::thread& c : consumers) c.join();
 
-  const auto end = std::chrono::steady_clock::now();
+  const Nanos end = SteadyClock::Instance()->NowNanos();
 
   SweepPoint point;
   point.threads = num_consumers;
   point.ring_bytes = ring_bytes;
-  point.seconds = std::chrono::duration<double>(end - start).count();
+  point.seconds = static_cast<double>(end - start) / 1e9;
   point.consumed = consumed.load();
   point.events_per_sec =
       point.seconds > 0.0 ? static_cast<double>(point.consumed) / point.seconds

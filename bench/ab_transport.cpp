@@ -11,12 +11,12 @@
 // so the table shows not just HOW MUCH was lost but WHERE (queue vs. sink),
 // mirroring the loss-location breakdown d_event_discard reports for rings.
 // Emits BENCH_ab_transport.json ({bench, config, metrics}).
-#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/harness_util.h"
+#include "common/clock.h"
 #include "common/string_util.h"
 #include "transport/pipeline.h"
 #include "transport/sinks.h"
@@ -87,7 +87,7 @@ SweepPoint RunOne(transport::Backpressure policy, std::size_t queue_depth,
     return {};
   }
 
-  const auto start = std::chrono::steady_clock::now();
+  const Nanos start = SteadyClock::Instance()->NowNanos();
   for (int b = 0; b < kBatches; ++b) {
     std::vector<tracer::Event> events;
     events.reserve(kEventsPerBatch);
@@ -97,13 +97,13 @@ SweepPoint RunOne(transport::Backpressure policy, std::size_t queue_depth,
     (*pipeline)->IndexEvents("ab-transport", std::move(events));
   }
   (*pipeline)->Flush();
-  const auto end = std::chrono::steady_clock::now();
+  const Nanos end = SteadyClock::Instance()->NowNanos();
 
   SweepPoint point;
   point.policy = policy;
   point.queue_depth = queue_depth;
   point.fault_rate = fault_rate;
-  point.seconds = std::chrono::duration<double>(end - start).count();
+  point.seconds = static_cast<double>(end - start) / 1e9;
   point.submitted_events =
       static_cast<std::uint64_t>(kBatches) * kEventsPerBatch;
   point.delivered_events = sink->document_count();

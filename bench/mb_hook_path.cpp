@@ -22,7 +22,6 @@
 // Usage: mb_hook_path [events_per_case]   (default 150000; bench_smoke uses
 // a tiny count so the code is exercised by tier-1 ctest)
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <new>
@@ -156,9 +155,9 @@ CaseResult RunCase(const std::string& name, os::SyscallNr nr,
   for (std::uint64_t i = 0; i < warmup; ++i) fire(clock->NowNanos());
 
   const std::uint64_t allocs_before = t_alloc_count;
-  const auto start = std::chrono::steady_clock::now();
+  const Nanos start = SteadyClock::Instance()->NowNanos();
   for (std::uint64_t i = 0; i < events; ++i) fire(clock->NowNanos());
-  const auto end = std::chrono::steady_clock::now();
+  const Nanos end = SteadyClock::Instance()->NowNanos();
   const std::uint64_t allocs_after = t_alloc_count;
 
   tracer.Stop();
@@ -167,7 +166,7 @@ CaseResult RunCase(const std::string& name, os::SyscallNr nr,
   CaseResult result;
   result.name = name;
   result.events = events;
-  result.seconds = std::chrono::duration<double>(end - start).count();
+  result.seconds = static_cast<double>(end - start) / 1e9;
   result.events_per_sec =
       result.seconds > 0.0 ? static_cast<double>(events) / result.seconds : 0.0;
   result.hook_allocs_per_event =

@@ -1,7 +1,5 @@
 #include "backend/bulk_client.h"
 
-#include <chrono>
-#include <thread>
 #include <utility>
 
 #include "backend/correlation.h"
@@ -31,11 +29,8 @@ BulkClient::BulkClient(ElasticStore* store, std::string index,
 
 Status BulkClient::Submit(transport::EventBatch batch) {
   if (batch.empty()) return Status::Ok();
-  // Network hop to the backend server.
-  if (options_.network_latency_ns > 0) {
-    std::this_thread::sleep_for(
-        std::chrono::nanoseconds(options_.network_latency_ns));
-  }
+  // Network hop to the backend server (virtual time under a ManualClock).
+  clock_->SleepFor(options_.network_latency_ns);
   // Deferred materialization: binary events become JSON documents only
   // here, on the far side of the wire — never on a tracer drain loop.
   const std::size_t batch_events = batch.size();

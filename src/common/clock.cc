@@ -1,8 +1,15 @@
 #include "common/clock.h"
 
 #include <chrono>
+#include <thread>
 
 namespace dio {
+
+void Clock::SleepFor(Nanos duration) {
+  if (duration > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(duration));
+  }
+}
 
 Nanos SteadyClock::NowNanos() const {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -14,6 +14,12 @@ class Clock {
  public:
   virtual ~Clock() = default;
   [[nodiscard]] virtual Nanos NowNanos() const = 0;
+
+  // Blocks the caller for `duration` of this clock's time. The steady clock
+  // really sleeps; a ManualClock advances virtual time instead, so code that
+  // waits through its injected Clock* (retry backoff, simulated network
+  // hops) is deterministic under simulation.
+  virtual void SleepFor(Nanos duration);
 };
 
 // Wraps std::chrono::steady_clock.
@@ -37,6 +43,9 @@ class ManualClock final : public Clock {
     now_.fetch_add(delta, std::memory_order_relaxed);
   }
   void SetNanos(Nanos value) { now_.store(value, std::memory_order_relaxed); }
+  void SleepFor(Nanos duration) override {
+    if (duration > 0) AdvanceNanos(duration);
+  }
 
  private:
   std::atomic<Nanos> now_;

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <limits>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -9,31 +10,54 @@
 
 namespace dio::service {
 
-Expected<std::uint64_t> LoadSpool(backend::ElasticStore* store,
-                                  const std::string& spool_path,
-                                  const std::string& index) {
+Expected<SpoolLoadStats> LoadSpool(backend::ElasticStore* store,
+                                   const std::string& spool_path,
+                                   const std::string& index,
+                                   const SpoolLoadOptions& options) {
   std::ifstream in(spool_path);
   if (!in) return NotFound("spool file not found: " + spool_path);
-  std::uint64_t loaded = 0;
+  SpoolLoadStats stats;
   std::vector<Json> batch;
+  std::unordered_set<std::string> seen;
   constexpr std::size_t kBatchDocs = 512;
   std::string line;
+  std::uint64_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
+    // getline consuming the last bytes without finding '\n' leaves eof set:
+    // the final line was torn (e.g. a crash mid-flush).
+    const bool torn_tail = in.eof();
     if (line.empty()) continue;
     auto doc = Json::Parse(line);
     if (!doc.ok()) {
-      return InvalidArgument("spool line " + std::to_string(loaded + 1) +
-                             ": " + doc.status().message());
+      if (torn_tail && options.allow_truncated_tail) {
+        stats.truncated_tail = true;
+        break;
+      }
+      return InvalidArgument("spool line " + std::to_string(line_no) + ": " +
+                             doc.status().message());
+    }
+    if (options.dedupe && !seen.insert(line).second) {
+      ++stats.duplicates;
+      continue;
     }
     batch.push_back(std::move(doc).value());
     if (batch.size() >= kBatchDocs) {
       store->Bulk(index, std::exchange(batch, {}));
     }
-    ++loaded;
+    ++stats.loaded;
   }
   if (!batch.empty()) store->Bulk(index, std::move(batch));
   store->Refresh(index);
-  return loaded;
+  return stats;
+}
+
+Expected<std::uint64_t> LoadSpool(backend::ElasticStore* store,
+                                  const std::string& spool_path,
+                                  const std::string& index) {
+  auto stats = LoadSpool(store, spool_path, index, SpoolLoadOptions{});
+  if (!stats.ok()) return stats.status();
+  return stats->loaded;
 }
 
 TraceReplayer::TraceReplayer(os::Kernel* kernel, backend::ElasticStore* store,

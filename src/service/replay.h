@@ -21,11 +21,36 @@
 
 namespace dio::service {
 
+struct SpoolLoadOptions {
+  // Skip byte-identical duplicate lines. A retry stage above a fan-out
+  // re-drives a whole batch when the bulk ack is lost, so the spool is
+  // at-least-once: replaying it verbatim would double-index. Dedup restores
+  // exactly-once on restore — every skipped line is counted, never silent.
+  bool dedupe = false;
+  // Tolerate an unparseable FINAL line with no trailing newline — the torn
+  // write a crash mid-flush leaves behind. The truncation is reported in
+  // SpoolLoadStats; corruption anywhere else still fails the load.
+  bool allow_truncated_tail = false;
+};
+
+struct SpoolLoadStats {
+  std::uint64_t loaded = 0;      // documents bulk-indexed
+  std::uint64_t duplicates = 0;  // lines skipped by dedupe
+  bool truncated_tail = false;   // a torn final line was tolerated
+};
+
 // Bulk-loads an NDJSON spool file (one Event::ToJson document per line, as
 // written by transport::FileSpoolSink) into `index` of `store`, making a
 // spooled session analyzable/replayable as if it had been shipped to the
-// backend live — the offline half of the shipping path. Returns the number
-// of documents loaded; the index is refreshed before returning.
+// backend live — the offline half of the shipping path. The index is
+// refreshed before returning. Parse errors report the 1-based file line
+// number (blank lines included).
+Expected<SpoolLoadStats> LoadSpool(backend::ElasticStore* store,
+                                   const std::string& spool_path,
+                                   const std::string& index,
+                                   const SpoolLoadOptions& options);
+// Strict form: no dedupe, any unparseable line (torn tail included) is an
+// error. Returns the number of documents loaded.
 Expected<std::uint64_t> LoadSpool(backend::ElasticStore* store,
                                   const std::string& spool_path,
                                   const std::string& index);

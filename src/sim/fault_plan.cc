@@ -1,0 +1,194 @@
+#include "sim/fault_plan.h"
+
+#include <algorithm>
+#include <charconv>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dio::sim {
+
+namespace {
+
+std::vector<std::string_view> Split(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  while (true) {
+    const std::size_t pos = text.find(sep);
+    if (pos == std::string_view::npos) {
+      parts.push_back(text);
+      return parts;
+    }
+    parts.push_back(text.substr(0, pos));
+    text.remove_prefix(pos + 1);
+  }
+}
+
+Expected<std::uint64_t> ParseUint(std::string_view text) {
+  std::uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                   value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return InvalidArgument("fault plan: bad integer '" + std::string(text) +
+                           "'");
+  }
+  return value;
+}
+
+Expected<double> ParseDouble(std::string_view text) {
+  double value = 0.0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                   value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return InvalidArgument("fault plan: bad number '" + std::string(text) +
+                           "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::FromSeed(std::uint64_t seed, std::size_t ops) {
+  // Decorrelate from the scheduler's and workload's use of the same seed.
+  Random rng(seed * 0x9E3779B97F4A7C15ULL + 0xFA017ULL);
+  FaultPlan plan;
+  if (rng.OneIn(2)) {
+    plan.classes |= kFaultRingOverflow;
+    plan.overflow_burst_ops = 64 + rng.Uniform(64);
+    plan.overflow_every_ops = 48 + rng.Uniform(48);
+  }
+  if (rng.OneIn(2)) {
+    plan.classes |= kFaultQueueDrop;
+    plan.queue_policy = rng.OneIn(2) ? transport::Backpressure::kDropNewest
+                                     : transport::Backpressure::kDropOldest;
+    plan.queue_depth = 2 + rng.Uniform(3);
+  }
+  if (rng.OneIn(2)) {
+    plan.classes |= kFaultTransport;
+    plan.fault_rate = 0.15 + 0.25 * rng.NextDouble();
+    plan.retry_max_attempts = 2 + rng.Uniform(3);
+  }
+  if (rng.OneIn(2)) {
+    plan.classes |= kFaultCrashRestart;
+    const std::size_t lo = ops / 4;
+    plan.crash_at_op = lo + rng.Uniform(std::max<std::size_t>(1, ops / 2));
+  }
+  if (rng.OneIn(2)) {
+    plan.classes |= kFaultDuplicateAck;
+    plan.dup_ack_every = 2 + rng.Uniform(3);
+  }
+  return plan;
+}
+
+Expected<FaultPlan> FaultPlan::Parse(std::string_view spec, std::size_t ops) {
+  FaultPlan plan;
+  if (spec.empty()) return InvalidArgument("fault plan: empty spec");
+  if (spec == "none") return plan;
+  for (std::string_view clause : Split(spec, '+')) {
+    const std::vector<std::string_view> parts = Split(clause, ':');
+    const std::string_view name = parts[0];
+    std::uint32_t bit = 0;
+    if (name == "overflow") {
+      bit = kFaultRingOverflow;
+    } else if (name == "queue") {
+      bit = kFaultQueueDrop;
+      plan.queue_policy = transport::Backpressure::kDropNewest;
+      plan.queue_depth = 2;
+    } else if (name == "fault") {
+      bit = kFaultTransport;
+      plan.fault_rate = 0.25;
+    } else if (name == "crash") {
+      bit = kFaultCrashRestart;
+      plan.crash_at_op = ops / 2;
+    } else if (name == "dupack") {
+      bit = kFaultDuplicateAck;
+      plan.dup_ack_every = 3;
+    } else {
+      return InvalidArgument("fault plan: unknown clause '" +
+                             std::string(name) + "'");
+    }
+    plan.classes |= bit;
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      const std::size_t eq = parts[i].find('=');
+      if (eq == std::string_view::npos) {
+        return InvalidArgument("fault plan: expected key=value in '" +
+                               std::string(parts[i]) + "'");
+      }
+      const std::string_view key = parts[i].substr(0, eq);
+      const std::string_view value = parts[i].substr(eq + 1);
+      if (bit == kFaultRingOverflow && key == "burst") {
+        auto n = ParseUint(value);
+        if (!n.ok()) return n.status();
+        plan.overflow_burst_ops = static_cast<std::size_t>(*n);
+      } else if (bit == kFaultRingOverflow && key == "every") {
+        auto n = ParseUint(value);
+        if (!n.ok()) return n.status();
+        plan.overflow_every_ops = std::max<std::size_t>(1, *n);
+      } else if (bit == kFaultQueueDrop && key == "policy") {
+        auto policy = transport::BackpressureFromString(value);
+        if (!policy.ok()) return policy.status();
+        plan.queue_policy = *policy;
+      } else if (bit == kFaultQueueDrop && key == "depth") {
+        auto n = ParseUint(value);
+        if (!n.ok()) return n.status();
+        plan.queue_depth = std::max<std::size_t>(1, *n);
+      } else if (bit == kFaultTransport && key == "rate") {
+        auto rate = ParseDouble(value);
+        if (!rate.ok()) return rate.status();
+        if (*rate < 0.0 || *rate > 1.0) {
+          return InvalidArgument("fault plan: rate must be in [0, 1]");
+        }
+        plan.fault_rate = *rate;
+      } else if (bit == kFaultTransport && key == "attempts") {
+        auto n = ParseUint(value);
+        if (!n.ok()) return n.status();
+        plan.retry_max_attempts = std::max<std::size_t>(1, *n);
+      } else if (bit == kFaultCrashRestart && key == "at") {
+        auto n = ParseUint(value);
+        if (!n.ok()) return n.status();
+        plan.crash_at_op = static_cast<std::size_t>(*n);
+      } else if (bit == kFaultDuplicateAck && key == "every") {
+        auto n = ParseUint(value);
+        if (!n.ok()) return n.status();
+        plan.dup_ack_every = std::max<std::size_t>(1, *n);
+      } else {
+        return InvalidArgument("fault plan: unknown key '" +
+                               std::string(key) + "' for clause '" +
+                               std::string(name) + "'");
+      }
+    }
+  }
+  if (plan.Has(kFaultCrashRestart) && ops > 0) {
+    plan.crash_at_op = std::min(plan.crash_at_op, ops);
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  if (classes == 0) return "none";
+  std::string out;
+  const auto append = [&out](const std::string& clause) {
+    if (!out.empty()) out += '+';
+    out += clause;
+  };
+  if (Has(kFaultRingOverflow)) {
+    append("overflow:burst=" + std::to_string(overflow_burst_ops) +
+           ":every=" + std::to_string(overflow_every_ops));
+  }
+  if (Has(kFaultQueueDrop)) {
+    append("queue:policy=" + std::string(transport::ToString(queue_policy)) +
+           ":depth=" + std::to_string(queue_depth));
+  }
+  if (Has(kFaultTransport)) {
+    append("fault:rate=" + std::to_string(fault_rate) +
+           ":attempts=" + std::to_string(retry_max_attempts));
+  }
+  if (Has(kFaultCrashRestart)) {
+    append("crash:at=" + std::to_string(crash_at_op));
+  }
+  if (Has(kFaultDuplicateAck)) {
+    append("dupack:every=" + std::to_string(dup_ack_every));
+  }
+  return out;
+}
+
+}  // namespace dio::sim

@@ -1,0 +1,76 @@
+// FaultPlan: the seeded fault schedule of one simulation run. A plan names
+// which fault classes are active and carries their fully-resolved
+// parameters, and round-trips through a textual grammar so any run is
+// reproducible from the repro line `--seed=X --fault-plan=Y` alone:
+//
+//   plan     := "none" | clause ("+" clause)*
+//   clause   := "overflow" [":burst=N"] [":every=N"]     ring overflow bursts
+//             | "queue"    [":policy=P"] [":depth=N"]    queue-stage drops
+//             | "fault"    [":rate=F"] [":attempts=N"]   transport faults
+//             | "crash"    [":at=N"]                     backend crash+restart
+//             | "dupack"   [":every=N"]                  delivered, ack lost
+//
+// e.g. "overflow:burst=96:every=64+crash:at=120+dupack:every=3".
+// FromSeed derives a plan (classes and parameters) from the run seed, so a
+// bare seed sweep explores the fault space; Parse/ToString round-trip
+// exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "transport/transport.h"
+
+namespace dio::sim {
+
+enum FaultClassBit : std::uint32_t {
+  kFaultRingOverflow = 1u << 0,  // workload bursts overrun tiny rings
+  kFaultQueueDrop = 1u << 1,     // bounded queue with a drop policy
+  kFaultTransport = 1u << 2,     // injected delivery failures + retries
+  kFaultCrashRestart = 1u << 3,  // backend index wiped mid-run
+  kFaultDuplicateAck = 1u << 4,  // bulk delivered but ack lost => re-driven
+};
+
+struct FaultPlan {
+  std::uint32_t classes = 0;
+
+  // kFaultRingOverflow: the workload issues `overflow_burst_ops` syscalls
+  // in one scheduler step (consumers cannot run in between) each time the
+  // op counter crosses a multiple of `overflow_every_ops`, and the rings
+  // are sized small so the burst overruns them.
+  std::size_t overflow_burst_ops = 96;
+  std::size_t overflow_every_ops = 64;
+
+  // kFaultQueueDrop: bounded queue with a lossy policy.
+  transport::Backpressure queue_policy = transport::Backpressure::kBlock;
+  std::size_t queue_depth = 64;
+
+  // kFaultTransport: delivery-attempt failure probability and the retry
+  // budget that turns persistent failures into dead letters.
+  double fault_rate = 0.0;
+  std::size_t retry_max_attempts = 4;
+
+  // kFaultCrashRestart: the backend's live index is deleted once the
+  // workload has issued this many ops (the crash); after the run the spool
+  // is replayed into a restored index (the restart).
+  std::size_t crash_at_op = 0;
+
+  // kFaultDuplicateAck: every Nth successfully delivered bulk batch loses
+  // its ack, so the retry stage re-drives an already-indexed batch.
+  std::size_t dup_ack_every = 0;
+
+  [[nodiscard]] bool Has(std::uint32_t bit) const {
+    return (classes & bit) != 0;
+  }
+
+  // Derives a plan from the run seed: each class is enabled with p = 1/2
+  // and its parameters are jittered deterministically. `ops` bounds
+  // crash_at_op.
+  static FaultPlan FromSeed(std::uint64_t seed, std::size_t ops);
+  static Expected<FaultPlan> Parse(std::string_view spec, std::size_t ops);
+  [[nodiscard]] std::string ToString() const;
+};
+
+}  // namespace dio::sim

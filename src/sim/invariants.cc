@@ -1,0 +1,84 @@
+#include "sim/invariants.h"
+
+#include <utility>
+
+namespace dio::sim {
+
+void InvariantChecker::Check(bool condition, std::string what) {
+  if (!condition) violations_.push_back(std::move(what));
+}
+
+void InvariantChecker::CheckEq(std::uint64_t actual, std::uint64_t expected,
+                               std::string_view what) {
+  if (actual != expected) {
+    violations_.push_back(std::string(what) + ": got " +
+                          std::to_string(actual) + ", want " +
+                          std::to_string(expected));
+  }
+}
+
+void InvariantChecker::CheckLe(std::uint64_t actual, std::uint64_t bound,
+                               std::string_view what) {
+  if (actual > bound) {
+    violations_.push_back(std::string(what) + ": got " +
+                          std::to_string(actual) + ", bound " +
+                          std::to_string(bound));
+  }
+}
+
+std::string InvariantChecker::Report() const {
+  std::string out;
+  for (const std::string& violation : violations_) {
+    if (!out.empty()) out += '\n';
+    out += violation;
+  }
+  return out;
+}
+
+void CheckStageLedgers(const std::vector<transport::StageStats>& stages,
+                       const LedgerExpectations& expect,
+                       InvariantChecker* check) {
+  for (const transport::StageStats& stage : stages) {
+    std::uint64_t rejected_batches = 0;
+    std::uint64_t rejected_events = 0;
+    if (auto it = expect.rejected_batches.find(stage.stage);
+        it != expect.rejected_batches.end()) {
+      rejected_batches = it->second;
+    }
+    if (auto it = expect.rejected_events.find(stage.stage);
+        it != expect.rejected_events.end()) {
+      rejected_events = it->second;
+    }
+    check->CheckEq(stage.batches_in,
+                   stage.batches_out + stage.dropped_batches +
+                       stage.dead_letter_batches + rejected_batches,
+                   "ledger[" + stage.stage + "].batches_in");
+    check->CheckEq(stage.events_in,
+                   stage.events_out + stage.dropped_events +
+                       stage.dead_letter_events + rejected_events,
+                   "ledger[" + stage.stage + "].events_in");
+    check->CheckEq(stage.dropped_batches,
+                   stage.dropped_newest + stage.dropped_oldest,
+                   "ledger[" + stage.stage + "].dropped_batches split");
+  }
+}
+
+void CheckTracerCounters(const tracer::TracerStats& stats,
+                         InvariantChecker* check) {
+  check->CheckEq(stats.enter_hits, stats.exit_hits,
+                 "tracer.enter_hits == exit_hits");
+  check->CheckEq(stats.enter_hits,
+                 stats.filtered_out + stats.pending_overflow +
+                     stats.ring_pushed + stats.ring_dropped,
+                 "tracer.enter_hits decomposition");
+  check->CheckEq(stats.exit_hits,
+                 stats.unmatched_exit + stats.ring_pushed + stats.ring_dropped,
+                 "tracer.exit_hits decomposition");
+  check->CheckEq(stats.ring_pushed, stats.consumed,
+                 "tracer.ring_pushed == consumed (post-drain)");
+  check->CheckEq(stats.consumed,
+                 stats.emitted + stats.user_filtered + stats.decode_errors,
+                 "tracer.consumed decomposition");
+}
+
+}  // namespace dio::sim

@@ -1,0 +1,75 @@
+// InvariantChecker: the assertion library the simulation harness runs after
+// every schedule. Unlike a gtest EXPECT, a violation does not stop the run —
+// all violations are collected so one failing seed reports every broken
+// invariant at once, and the caller turns the list into a minimal repro line
+// (`--seed=X --fault-plan=Y`).
+//
+// The checks encode the pipeline's conservation laws:
+//  * every StageStats ledger balances: in == out + dropped + dead-lettered
+//    (+ explicitly expected rejections for stages that report upstream
+//    failures without owning the loss, e.g. a fan-out with a failing child);
+//  * the tracer's counters are internally consistent for a balanced
+//    workload (every enter got its exit, everything drained at Stop).
+// Cross-stage identities, exactly-once indexing, and golden-run parity are
+// asserted by the simulation itself (simulation.cc) using the same checker.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tracer/tracer.h"
+#include "transport/transport.h"
+
+namespace dio::sim {
+
+class InvariantChecker {
+ public:
+  // Records a violation when `condition` is false.
+  void Check(bool condition, std::string what);
+  // Records a violation when `actual != expected`, with both values in the
+  // message.
+  void CheckEq(std::uint64_t actual, std::uint64_t expected,
+               std::string_view what);
+  // Like CheckEq but only an upper bound: actual <= bound.
+  void CheckLe(std::uint64_t actual, std::uint64_t bound,
+               std::string_view what);
+
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] const std::vector<std::string>& violations() const {
+    return violations_;
+  }
+  // All violations joined with newlines ("" when ok).
+  [[nodiscard]] std::string Report() const;
+
+ private:
+  std::vector<std::string> violations_;
+};
+
+// Per-stage rejections the ledger check should tolerate: batches/events a
+// stage counted in and reported a failure for, where the loss (if any) is
+// owned elsewhere. Keyed by StageStats::stage.
+struct LedgerExpectations {
+  std::map<std::string, std::uint64_t> rejected_batches;
+  std::map<std::string, std::uint64_t> rejected_events;
+};
+
+// Asserts in == out + dropped + dead_letter (+ expected rejections) for
+// every stage, for both the batch and event counters.
+void CheckStageLedgers(const std::vector<transport::StageStats>& stages,
+                       const LedgerExpectations& expect,
+                       InvariantChecker* check);
+
+// Asserts the tracer's counters are internally consistent after Stop() for
+// a balanced workload (every syscall completed, rings fully drained):
+//   enter_hits == exit_hits
+//   enter_hits == filtered_out + pending_overflow + ring_pushed + ring_dropped
+//   exit_hits  == unmatched_exit + ring_pushed + ring_dropped
+//   ring_pushed == consumed
+//   consumed   == emitted + user_filtered + decode_errors
+void CheckTracerCounters(const tracer::TracerStats& stats,
+                         InvariantChecker* check);
+
+}  // namespace dio::sim

@@ -1,0 +1,83 @@
+#include "sim/scheduler.h"
+
+#include <string_view>
+#include <utility>
+
+namespace dio::sim {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t FnvMix(std::uint64_t digest, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    digest ^= (value >> (i * 8)) & 0xFF;
+    digest *= kFnvPrime;
+  }
+  return digest;
+}
+
+std::uint64_t FnvMix(std::uint64_t digest, std::string_view text) {
+  for (const char c : text) {
+    digest ^= static_cast<unsigned char>(c);
+    digest *= kFnvPrime;
+  }
+  return digest;
+}
+
+}  // namespace
+
+SimScheduler::SimScheduler(ManualClock* clock, SchedulerOptions options)
+    : clock_(clock), options_(options), rng_(options.seed) {}
+
+void SimScheduler::AddActor(std::string name,
+                            std::function<StepResult()> step) {
+  actors_.push_back(Actor{std::move(name), std::move(step), false});
+}
+
+void SimScheduler::Record(const Actor& actor, StepResult result) {
+  digest_ = FnvMix(digest_, steps_);
+  digest_ = FnvMix(digest_, actor.name);
+  digest_ = FnvMix(digest_, static_cast<std::uint64_t>(result));
+  if (options_.keep_trace) {
+    trace_ += std::to_string(steps_);
+    trace_ += ' ';
+    trace_ += actor.name;
+    trace_ += result == StepResult::kWorked
+                  ? " worked"
+                  : (result == StepResult::kIdle ? " idle" : " done");
+    trace_ += " t=";
+    trace_ += std::to_string(clock_->NowNanos());
+    trace_ += '\n';
+  }
+}
+
+bool SimScheduler::Run() {
+  std::vector<std::size_t> alive;
+  while (steps_ < options_.max_steps) {
+    alive.clear();
+    for (std::size_t i = 0; i < actors_.size(); ++i) {
+      if (!actors_[i].done) alive.push_back(i);
+    }
+    if (alive.empty()) return true;
+
+    std::size_t pick;
+    if (options_.round_robin) {
+      // Serial golden mode: rotate through the alive actors in order.
+      pick = alive[rr_next_ % alive.size()];
+      ++rr_next_;
+    } else {
+      pick = alive[rng_.Uniform(alive.size())];
+    }
+
+    Actor& actor = actors_[pick];
+    const StepResult result = actor.step();
+    if (result == StepResult::kDone) actor.done = true;
+    Record(actor, result);
+    ++steps_;
+    clock_->AdvanceNanos(options_.step_quantum_ns);
+  }
+  return false;
+}
+
+}  // namespace dio::sim

@@ -1,0 +1,76 @@
+// SimScheduler: the seeded cooperative scheduler at the heart of the
+// deterministic simulation harness (FoundationDB-style). Every concurrent
+// entity of the pipeline — workload threads, tracer consumers, the queue
+// sender, fault controllers — is registered as an *actor* with a step
+// function, and the scheduler picks which actor runs next from a seeded
+// PRNG. No real threads exist, so one seed fully determines the
+// interleaving; virtual time (a ManualClock) advances by a fixed quantum
+// per step. The schedule is folded into an FNV-1a digest (optionally kept
+// as a full text trace), so "same seed => byte-identical schedule" is
+// checkable, and any failure replays exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace dio::sim {
+
+// Outcome of one actor step. kIdle actors stay schedulable (they are
+// waiting on another actor's progress); kDone actors are never stepped
+// again. The scheduler terminates when every actor is done.
+enum class StepResult { kWorked, kIdle, kDone };
+
+struct SchedulerOptions {
+  std::uint64_t seed = 1;
+  // Virtual time added to the sim clock per scheduling step.
+  Nanos step_quantum_ns = 10 * kMicrosecond;
+  // Runaway guard: Run() gives up (returns false) after this many steps.
+  std::size_t max_steps = 2'000'000;
+  // Serial mode for the golden run: actors are stepped round-robin instead
+  // of at random.
+  bool round_robin = false;
+  // Keep the full schedule trace text (one line per step) in addition to
+  // the digest. Costs memory proportional to steps; used for repro dumps.
+  bool keep_trace = false;
+};
+
+class SimScheduler {
+ public:
+  SimScheduler(ManualClock* clock, SchedulerOptions options);
+
+  void AddActor(std::string name, std::function<StepResult()> step);
+
+  // Steps actors until all report kDone. Returns false if max_steps was
+  // exhausted first (a livelocked schedule — itself an invariant violation).
+  bool Run();
+
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+  // FNV-1a over (step index, actor name, result) for every step taken.
+  [[nodiscard]] std::uint64_t trace_digest() const { return digest_; }
+  [[nodiscard]] const std::string& trace() const { return trace_; }
+
+ private:
+  struct Actor {
+    std::string name;
+    std::function<StepResult()> step;
+    bool done = false;
+  };
+
+  void Record(const Actor& actor, StepResult result);
+
+  ManualClock* clock_;
+  SchedulerOptions options_;
+  Random rng_;
+  std::vector<Actor> actors_;
+  std::uint64_t steps_ = 0;
+  std::uint64_t digest_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  std::string trace_;
+  std::size_t rr_next_ = 0;
+};
+
+}  // namespace dio::sim

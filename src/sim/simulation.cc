@@ -1,0 +1,659 @@
+#include "sim/simulation.h"
+
+#include <fstream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "backend/bulk_client.h"
+#include "backend/correlation.h"
+#include "backend/store.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "oskernel/kernel.h"
+#include "service/replay.h"
+#include "sim/scheduler.h"
+#include "sim/invariants.h"
+#include "tracer/tracer.h"
+#include "transport/fan_out_sink.h"
+#include "transport/queue_transport.h"
+#include "transport/retrying_transport.h"
+#include "transport/sinks.h"
+
+namespace dio::sim {
+
+namespace {
+
+// Workload-clock layout: task t's op i always executes at
+// kTimeBase + t * kTaskTimeStride + i * kOpTimeDelta, regardless of how the
+// scheduler interleaves tasks. Timestamps (and therefore event documents
+// and file tags) are schedule-invariant, which is what lets the golden
+// parity checks compare document SETS across different schedules.
+constexpr Nanos kTimeBase = kSecond;
+constexpr Nanos kTaskTimeStride = 64 * kSecond;
+constexpr Nanos kOpTimeDelta = kMicrosecond;
+
+// AckLossSink: sim-only decorator modeling "the bulk request was indexed
+// but the acknowledgement was lost on the way back". Every Nth successful
+// downstream delivery is reported upstream as Unavailable AFTER the
+// downstream indexed it, so the retry stage re-drives an already-indexed
+// batch — the duplicate-delivery fault class the exactly-once invariant is
+// about.
+class AckLossSink final : public transport::Transport {
+ public:
+  AckLossSink(std::unique_ptr<transport::Transport> downstream,
+              std::size_t drop_every)
+      : downstream_(std::move(downstream)), drop_every_(drop_every) {
+    stats_.stage = "ackloss";
+  }
+
+  Status Submit(transport::EventBatch batch) override {
+    const std::size_t batch_events = batch.size();
+    stats_.batches_in += 1;
+    stats_.events_in += batch_events;
+    Status status = downstream_->Submit(std::move(batch));
+    if (!status.ok()) return status;
+    ++delivered_;
+    if (drop_every_ > 0 && delivered_ % drop_every_ == 0) {
+      acks_dropped_batches_ += 1;
+      acks_dropped_events_ += batch_events;
+      return Unavailable("ack lost after delivery");
+    }
+    stats_.batches_out += 1;
+    stats_.events_out += batch_events;
+    return Status::Ok();
+  }
+
+  void Flush() override { downstream_->Flush(); }
+
+  void CollectStats(std::vector<transport::StageStats>* out) const override {
+    out->push_back(stats_);
+    downstream_->CollectStats(out);
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "ackloss"; }
+
+  [[nodiscard]] std::uint64_t acks_dropped_batches() const {
+    return acks_dropped_batches_;
+  }
+  [[nodiscard]] std::uint64_t acks_dropped_events() const {
+    return acks_dropped_events_;
+  }
+
+ private:
+  std::unique_ptr<transport::Transport> downstream_;
+  std::size_t drop_every_;
+  transport::StageStats stats_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t acks_dropped_batches_ = 0;
+  std::uint64_t acks_dropped_events_ = 0;
+};
+
+// Adapts the transport chain's head stage to the tracer's EventSink.
+class HeadSink final : public tracer::EventSink {
+ public:
+  explicit HeadSink(transport::Transport* head) : head_(head) {}
+
+  void IndexBatch(std::vector<Json> documents) override {
+    transport::EventBatch batch;
+    batch.documents = std::move(documents);
+    (void)head_->Submit(std::move(batch));
+  }
+  void IndexEvents(std::string_view session,
+                   std::vector<tracer::Event> events) override {
+    transport::EventBatch batch;
+    batch.session = std::string(session);
+    batch.events = std::move(events);
+    (void)head_->Submit(std::move(batch));
+  }
+  void Flush() override { head_->Flush(); }
+
+ private:
+  transport::Transport* head_;
+};
+
+// One simulated application thread: its own pid/tid, its own directory
+// (file tags never depend on the other task), its own op generator.
+struct WorkloadTask {
+  std::size_t index = 0;
+  os::Pid pid = os::kNoPid;
+  os::Tid tid = os::kNoTid;
+  Random rng{0};
+  std::size_t op_index = 0;
+  std::string dir;
+  std::vector<std::pair<os::Fd, std::string>> open_fds;
+};
+
+// Everything a single run (golden or faulty) produced, for the invariant
+// suite in RunSimulation.
+struct RunData {
+  RunArtifacts art;
+  std::uint64_t total_ops = 0;
+  std::vector<std::string> spool_docs;  // canonical dumps, file order
+  std::set<std::string> spool_unique;
+  bool restored = false;  // restore attempted (spool had documents)
+  service::SpoolLoadStats restore;
+  backend::IndexStats live_stats;
+  bool have_live_stats = false;
+  backend::IndexStats restored_stats;
+  std::map<std::string, std::size_t> restored_key_counts;
+  std::set<std::string> restored_canonical;
+  std::map<std::string, std::string> tag_to_path;
+};
+
+// Dedup/identity key of one event document. Unique per event by
+// construction: time_enter is the workload clock pinned per (task, op).
+std::string EventKey(const Json& doc) {
+  return std::to_string(doc.GetInt("tid")) + "|" +
+         std::to_string(doc.GetInt("time_enter")) + "|" +
+         doc.GetString("syscall");
+}
+
+// Issues exactly one syscall for `task` at its pinned virtual time.
+void DoOneOp(os::Kernel& kernel, ManualClock& workload_clock,
+             WorkloadTask& task) {
+  workload_clock.SetNanos(kTimeBase +
+                          static_cast<Nanos>(task.index) * kTaskTimeStride +
+                          static_cast<Nanos>(task.op_index) * kOpTimeDelta);
+  os::ScopedTask bound(kernel, task.pid, task.tid);
+  os::Kernel& k = kernel;
+  std::uint64_t roll = task.rng.Uniform(10);
+  if (task.open_fds.empty() && roll != 8) roll = 0;
+  if (task.open_fds.size() >= 6 && roll <= 2) roll = 9;
+  switch (roll) {
+    case 0:
+    case 1: {
+      const std::string path =
+          task.dir + "/f" + std::to_string(task.rng.Uniform(6));
+      const std::int64_t fd = k.sys_openat(
+          os::kAtFdCwd, path,
+          os::openflag::kCreate | os::openflag::kReadWrite, 0644);
+      if (fd >= 0) task.open_fds.emplace_back(static_cast<os::Fd>(fd), path);
+      break;
+    }
+    case 2: {
+      const std::string path =
+          task.dir + "/c" + std::to_string(task.rng.Uniform(4));
+      const std::int64_t fd = k.sys_creat(path, 0644);
+      if (fd >= 0) task.open_fds.emplace_back(static_cast<os::Fd>(fd), path);
+      break;
+    }
+    case 3:
+    case 4: {
+      const auto pick = task.rng.Uniform(task.open_fds.size());
+      const std::string data(32 + task.rng.Uniform(96), 'x');
+      k.sys_write(task.open_fds[pick].first, data);
+      break;
+    }
+    case 5: {
+      const auto pick = task.rng.Uniform(task.open_fds.size());
+      std::string buf;
+      k.sys_read(task.open_fds[pick].first, &buf, 64);
+      break;
+    }
+    case 6: {
+      const auto pick = task.rng.Uniform(task.open_fds.size());
+      k.sys_lseek(task.open_fds[pick].first, 0, os::kSeekSet);
+      break;
+    }
+    case 7: {
+      const auto pick = task.rng.Uniform(task.open_fds.size());
+      k.sys_fsync(task.open_fds[pick].first);
+      break;
+    }
+    case 8: {
+      os::StatBuf st;
+      k.sys_stat(task.dir, &st);
+      break;
+    }
+    default: {
+      const auto pick = task.rng.Uniform(task.open_fds.size());
+      k.sys_close(task.open_fds[pick].first);
+      task.open_fds.erase(task.open_fds.begin() +
+                          static_cast<std::ptrdiff_t>(pick));
+      break;
+    }
+  }
+  ++task.op_index;
+}
+
+// Executes one full run: scheduler-driven pipeline, teardown, restore (for
+// faulty runs), correlation, and harvest of everything the invariant suite
+// needs. `golden` selects the serial round-robin schedule; the caller
+// passes an empty plan with it.
+Expected<RunData> RunOnce(const SimOptions& options, const FaultPlan& plan,
+                          bool golden, const std::string& label) {
+  RunData data;
+  data.total_ops = options.num_tasks * options.ops_per_task;
+  const std::string session = "sim-run";
+  data.art.session = session;
+  data.art.spool_path = options.spool_dir + "/seed-" +
+                        std::to_string(options.seed) + "-" + label +
+                        ".ndjson";
+
+  ManualClock workload_clock(kTimeBase);
+  ManualClock sim_clock(0);
+
+  os::KernelOptions kernel_options;
+  kernel_options.num_cpus = 2;
+  os::Kernel kernel(kernel_options, &workload_clock);
+  auto device = kernel.MountDevice("/data", 7340032, [] {
+    os::BlockDeviceOptions device_options;
+    device_options.real_sleep = false;
+    return device_options;
+  }());
+  if (!device.ok()) return device.status();
+
+  backend::ElasticStore store;
+
+  // Transport chain, bottom-up: bulk -> ackloss -> {.., spool} fanout ->
+  // retry -> queue. The queue and all waits run in manual/virtual-time mode
+  // so the scheduler is the only source of concurrency.
+  backend::BulkClientOptions bulk_options;
+  bulk_options.network_latency_ns = 50 * kMicrosecond;
+  bulk_options.refresh_every_batches = 4;
+  auto bulk = std::make_unique<backend::BulkClient>(&store, session,
+                                                    bulk_options, &sim_clock);
+  auto ack_loss = std::make_unique<AckLossSink>(
+      std::move(bulk),
+      plan.Has(kFaultDuplicateAck) ? plan.dup_ack_every : 0);
+  AckLossSink* ack_loss_ptr = ack_loss.get();
+
+  auto spool_sink = transport::FileSpoolSink::Open(
+      transport::FileSpoolOptions{data.art.spool_path});
+  if (!spool_sink.ok()) return spool_sink.status();
+
+  std::vector<std::unique_ptr<transport::Transport>> children;
+  children.push_back(std::move(ack_loss));
+  children.push_back(std::move(*spool_sink));
+  auto fanout = std::make_unique<transport::FanOutSink>(std::move(children));
+
+  transport::RetryOptions retry_options;
+  retry_options.max_attempts = plan.retry_max_attempts;
+  retry_options.initial_backoff_ns = 100 * kMicrosecond;
+  retry_options.max_backoff_ns = 2 * kMillisecond;
+  retry_options.fault_rate = plan.Has(kFaultTransport) ? plan.fault_rate : 0.0;
+  retry_options.fault_seed = options.seed ^ 0x5EEDULL;
+  auto retry = std::make_unique<transport::RetryingTransport>(
+      std::move(fanout), retry_options, &sim_clock);
+
+  transport::QueueTransportOptions queue_options;
+  queue_options.manual = true;
+  if (plan.Has(kFaultQueueDrop)) {
+    queue_options.policy = plan.queue_policy;
+    queue_options.max_queued_batches = plan.queue_depth;
+  }
+  auto queue = std::make_unique<transport::QueueTransport>(std::move(retry),
+                                                           queue_options);
+  transport::QueueTransport* queue_ptr = queue.get();
+
+  HeadSink head(queue_ptr);
+
+  tracer::TracerOptions tracer_options;
+  tracer_options.session_name = session;
+  tracer_options.manual_consumers = true;
+  tracer_options.consumer_threads = 2;
+  tracer_options.batch_size = 16;
+  tracer_options.flush_interval_ns = 100 * kMicrosecond;
+  tracer_options.ring_bytes_per_cpu =
+      plan.Has(kFaultRingOverflow) ? 16u * 1024 : 1u << 20;
+  tracer::DioTracer tracer(&kernel, &head, tracer_options);
+
+  // Workload tasks. The directory tree and every file the op generator can
+  // touch are created serially BEFORE tracing starts: inode numbers are
+  // allocated globally in creation order, so creating files during the
+  // scheduled run would make inodes (and therefore file tags) depend on the
+  // cross-task interleaving and break document parity with the golden run.
+  std::vector<WorkloadTask> tasks(options.num_tasks);
+  for (std::size_t t = 0; t < options.num_tasks; ++t) {
+    WorkloadTask& task = tasks[t];
+    task.index = t;
+    task.dir = "/data/t" + std::to_string(t);
+    task.pid = kernel.CreateProcess("sim-w" + std::to_string(t));
+    task.tid = kernel.SpawnThread(task.pid, "sim-w" + std::to_string(t));
+    task.rng = Random(options.seed * 1000003ULL + t);
+    os::ScopedTask bound(kernel, task.pid, task.tid);
+    kernel.sys_mkdir(task.dir, 0755);
+    for (int i = 0; i < 6; ++i) {
+      const std::int64_t fd = kernel.sys_creat(
+          task.dir + "/f" + std::to_string(i), 0644);
+      if (fd >= 0) kernel.sys_close(static_cast<os::Fd>(fd));
+    }
+    for (int i = 0; i < 4; ++i) {
+      const std::int64_t fd = kernel.sys_creat(
+          task.dir + "/c" + std::to_string(i), 0644);
+      if (fd >= 0) kernel.sys_close(static_cast<os::Fd>(fd));
+    }
+  }
+  if (Status started = tracer.Start(); !started.ok()) return started;
+  std::size_t global_ops = 0;
+  std::size_t workloads_alive = options.num_tasks;
+  bool crashed = false;
+
+  const auto issue_op = [&](WorkloadTask& task) {
+    DoOneOp(kernel, workload_clock, task);
+    ++global_ops;
+    if (plan.Has(kFaultCrashRestart) && !crashed &&
+        global_ops >= plan.crash_at_op) {
+      // Backend crash: the live index (refreshed and pending docs alike)
+      // vanishes; later bulk requests auto-recreate it, and recovery is the
+      // post-run spool replay.
+      (void)store.DeleteIndex(session);
+      crashed = true;
+    }
+  };
+
+  SchedulerOptions sched_options;
+  sched_options.seed = options.seed;
+  sched_options.round_robin = golden;
+  sched_options.keep_trace = options.keep_trace;
+  sched_options.max_steps = 500'000;
+  SimScheduler scheduler(&sim_clock, sched_options);
+
+  for (std::size_t t = 0; t < options.num_tasks; ++t) {
+    scheduler.AddActor("workload-" + std::to_string(t), [&, t] {
+      WorkloadTask& task = tasks[t];
+      if (task.op_index >= options.ops_per_task) {
+        --workloads_alive;
+        return StepResult::kDone;
+      }
+      std::size_t burst = 1;
+      if (plan.Has(kFaultRingOverflow) &&
+          global_ops % plan.overflow_every_ops == 0) {
+        burst = plan.overflow_burst_ops;
+      }
+      for (std::size_t i = 0;
+           i < burst && task.op_index < options.ops_per_task; ++i) {
+        issue_op(task);
+      }
+      return StepResult::kWorked;
+    });
+  }
+  const std::size_t workers = tracer.manual_workers();
+  std::vector<bool> consumer_done(workers, false);
+  for (std::size_t w = 0; w < workers; ++w) {
+    scheduler.AddActor("consumer-" + std::to_string(w), [&, w] {
+      if (tracer.PumpConsumer(w) > 0) return StepResult::kWorked;
+      if (workloads_alive == 0) {
+        consumer_done[w] = true;
+        return StepResult::kDone;
+      }
+      return StepResult::kIdle;
+    });
+  }
+  scheduler.AddActor("queue-sender", [&] {
+    if (queue_ptr->PumpOne()) return StepResult::kWorked;
+    bool consumers_done = workloads_alive == 0;
+    for (std::size_t w = 0; w < workers && consumers_done; ++w) {
+      consumers_done = consumer_done[w];
+    }
+    return consumers_done ? StepResult::kDone : StepResult::kIdle;
+  });
+
+  data.art.completed = scheduler.Run();
+  data.art.schedule_digest = scheduler.trace_digest();
+  data.art.steps = scheduler.steps();
+  data.art.trace = scheduler.trace();
+  data.art.crashed = crashed;
+
+  // Teardown: final serial drain of rings and local batches, then the chain
+  // flush (queue -> retry -> sinks), after which every accepted batch is
+  // delivered or accounted and the live index is refreshed.
+  tracer.Stop();
+
+  data.art.tracer = tracer.stats();
+  queue_ptr->CollectStats(&data.art.stages);
+  data.art.acks_dropped_batches = ack_loss_ptr->acks_dropped_batches();
+  data.art.acks_dropped_events = ack_loss_ptr->acks_dropped_events();
+
+  if (auto stats = store.Stats(session); stats.ok()) {
+    data.live_stats = *stats;
+    data.have_live_stats = true;
+  }
+
+  // Harvest the spool in canonical (parse -> dump) form.
+  {
+    std::ifstream in(data.art.spool_path);
+    if (!in) return NotFound("sim spool missing: " + data.art.spool_path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      auto doc = Json::Parse(line);
+      if (!doc.ok()) {
+        return InvalidArgument("sim spool line unparseable: " +
+                               doc.status().message());
+      }
+      data.spool_docs.push_back(doc->Dump());
+      data.spool_unique.insert(data.spool_docs.back());
+    }
+  }
+
+  if (golden) {
+    // Golden reference: correlate the (lossless) live index.
+    backend::FilePathCorrelator correlator(&store);
+    if (auto run = correlator.Run(session); !run.ok()) return run.status();
+    data.tag_to_path = correlator.tag_to_path();
+    return data;
+  }
+
+  // Restart: replay the spool (deduped, so re-driven batches do not
+  // double-index) into the restored index, then correlate there.
+  const std::string restored_index = session + "-restored";
+  auto restore = service::LoadSpool(&store, data.art.spool_path,
+                                    restored_index,
+                                    service::SpoolLoadOptions{
+                                        .dedupe = true,
+                                        .allow_truncated_tail = false,
+                                    });
+  if (!restore.ok()) return restore.status();
+  data.restore = *restore;
+  if (data.restore.loaded > 0) {
+    data.restored = true;
+    auto stats = store.Stats(restored_index);
+    if (!stats.ok()) return stats.status();
+    data.restored_stats = *stats;
+
+    backend::SearchRequest request;
+    request.query = backend::Query::MatchAll();
+    request.size = std::numeric_limits<std::size_t>::max();
+    auto hits = store.Search(restored_index, request);
+    if (!hits.ok()) return hits.status();
+    for (const backend::Hit& hit : hits->hits) {
+      data.restored_key_counts[EventKey(hit.source)] += 1;
+      data.restored_canonical.insert(hit.source.Dump());
+    }
+
+    backend::FilePathCorrelator correlator(&store);
+    if (auto run = correlator.Run(restored_index); !run.ok()) {
+      return run.status();
+    }
+    data.tag_to_path = correlator.tag_to_path();
+  }
+  return data;
+}
+
+// Finds a stage by name in CollectStats order; every stage name in the sim
+// chain is unique.
+const transport::StageStats* FindStage(
+    const std::vector<transport::StageStats>& stages, std::string_view name) {
+  for (const transport::StageStats& stage : stages) {
+    if (stage.stage == name) return &stage;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string SimResult::ReproLine(std::uint64_t seed) const {
+  return "--seed=" + std::to_string(seed) + " --fault-plan=" + plan_spec;
+}
+
+Expected<SimResult> RunSimulation(const SimOptions& options) {
+  const std::size_t total_ops = options.num_tasks * options.ops_per_task;
+  FaultPlan plan;
+  if (options.fault_spec.empty()) {
+    plan = FaultPlan::FromSeed(options.seed, total_ops);
+  } else {
+    auto parsed = FaultPlan::Parse(options.fault_spec, total_ops);
+    if (!parsed.ok()) return parsed.status();
+    plan = *parsed;
+  }
+
+  auto golden = RunOnce(options, FaultPlan{}, /*golden=*/true, "golden");
+  if (!golden.ok()) return golden.status();
+  auto run_a = RunOnce(options, plan, /*golden=*/false, "a");
+  if (!run_a.ok()) return run_a.status();
+  auto run_b = RunOnce(options, plan, /*golden=*/false, "b");
+  if (!run_b.ok()) return run_b.status();
+
+  SimResult result;
+  result.plan = plan;
+  result.plan_spec = plan.ToString();
+  result.schedule_digest = run_a->art.schedule_digest;
+  result.steps = run_a->art.steps;
+  result.spool_lines = run_a->spool_docs.size();
+  result.spool_unique = run_a->spool_unique.size();
+  result.restored_docs = run_a->restore.loaded;
+
+  const tracer::TracerStats& tstats = run_a->art.tracer;
+  const auto* queue = FindStage(run_a->art.stages, "queue");
+  const auto* retry = FindStage(run_a->art.stages, "retry");
+  const auto* fanout = FindStage(run_a->art.stages, "fanout");
+  const auto* ackloss = FindStage(run_a->art.stages, "ackloss");
+  const auto* bulk = FindStage(run_a->art.stages, "bulk");
+  const auto* spool = FindStage(run_a->art.stages, "spool");
+
+  result.saw_ring_drop = tstats.ring_dropped > 0;
+  result.saw_queue_drop = queue != nullptr && queue->dropped_events > 0;
+  result.saw_transport_fault = retry != nullptr && retry->faults_injected > 0;
+  result.saw_dead_letter = retry != nullptr && retry->dead_letter_events > 0;
+  result.saw_ack_drop = run_a->art.acks_dropped_events > 0;
+  result.saw_crash = run_a->art.crashed;
+
+  InvariantChecker check;
+
+  // Determinism: the same seed must produce a byte-identical schedule.
+  check.Check(run_a->art.completed, "faulty schedule did not terminate");
+  check.Check(golden->art.completed, "golden schedule did not terminate");
+  check.CheckEq(run_a->art.schedule_digest, run_b->art.schedule_digest,
+                "same seed, same schedule digest");
+  check.CheckEq(run_a->art.steps, run_b->art.steps,
+                "same seed, same step count");
+  check.Check(run_a->art.trace == run_b->art.trace,
+              "same seed, same schedule trace");
+
+  // The golden run is lossless and fault-free by construction.
+  check.CheckEq(golden->art.tracer.ring_dropped, 0, "golden ring_dropped");
+  check.CheckEq(golden->art.tracer.emitted, total_ops, "golden emitted");
+  check.CheckEq(golden->spool_docs.size(), total_ops, "golden spool lines");
+  check.CheckEq(golden->spool_unique.size(), total_ops,
+                "golden spool uniqueness");
+  if (const auto* gq = FindStage(golden->art.stages, "queue")) {
+    check.CheckEq(gq->dropped_events, 0, "golden queue drops");
+  }
+  if (const auto* gr = FindStage(golden->art.stages, "retry")) {
+    check.CheckEq(gr->faults_injected, 0, "golden faults");
+    check.CheckEq(gr->dead_letter_events, 0, "golden dead letters");
+  }
+  CheckTracerCounters(golden->art.tracer, &check);
+
+  // Faulty run: tracer counters and per-stage ledgers (the fan-out and the
+  // ack-loss decorator legitimately report upstream failures for batches
+  // whose ack was dropped after delivery; those batches are re-driven by
+  // the retry stage or dead-lettered, never silently lost).
+  CheckTracerCounters(tstats, &check);
+  check.CheckEq(tstats.enter_hits, total_ops, "workload op accounting");
+  LedgerExpectations expect;
+  expect.rejected_batches["fanout"] = run_a->art.acks_dropped_batches;
+  expect.rejected_events["fanout"] = run_a->art.acks_dropped_events;
+  expect.rejected_batches["ackloss"] = run_a->art.acks_dropped_batches;
+  expect.rejected_events["ackloss"] = run_a->art.acks_dropped_events;
+  CheckStageLedgers(run_a->art.stages, expect, &check);
+
+  // Cross-stage conservation.
+  check.Check(queue != nullptr && retry != nullptr && fanout != nullptr &&
+                  ackloss != nullptr && bulk != nullptr && spool != nullptr,
+              "expected stages missing from CollectStats");
+  if (queue != nullptr && retry != nullptr && fanout != nullptr &&
+      ackloss != nullptr && bulk != nullptr && spool != nullptr) {
+    check.CheckEq(queue->events_in, tstats.emitted,
+                  "queue.events_in == tracer.emitted");
+    check.CheckEq(retry->events_in, queue->events_out,
+                  "retry.events_in == queue.events_out");
+    check.CheckEq(fanout->events_in,
+                  retry->events_out + run_a->art.acks_dropped_events,
+                  "fanout.events_in == retry.events_out + lost acks");
+    check.CheckEq(ackloss->events_in, fanout->events_in,
+                  "ackloss.events_in == fanout.events_in");
+    check.CheckEq(bulk->events_in, ackloss->events_in,
+                  "bulk.events_in == ackloss.events_in");
+    check.CheckEq(spool->events_in, fanout->events_in,
+                  "spool.events_in == fanout.events_in");
+    check.CheckEq(result.spool_lines, spool->events_out,
+                  "spool file lines == spool.events_out");
+    // End-to-end: every emitted event is spooled, queue-dropped, or
+    // dead-lettered; re-driven (ack-lost) deliveries are the only source of
+    // spool surplus.
+    check.CheckEq(
+        spool->events_in + queue->dropped_events + retry->dead_letter_events,
+        tstats.emitted + run_a->art.acks_dropped_events,
+        "end-to-end event conservation");
+    // Live-index consistency: without a crash, the store holds exactly what
+    // the bulk sink delivered (duplicates included).
+    if (!run_a->art.crashed) {
+      check.Check(run_a->have_live_stats || bulk->events_in == 0,
+                  "live index stats unavailable");
+      if (run_a->have_live_stats) {
+        check.CheckEq(run_a->live_stats.doc_count, bulk->events_in,
+                      "live doc_count == bulk.events_in");
+        check.CheckEq(run_a->live_stats.pending_count, 0,
+                      "live pending_count post-refresh");
+      }
+    } else if (run_a->have_live_stats) {
+      check.CheckLe(run_a->live_stats.doc_count, bulk->events_in,
+                    "live doc_count bounded by bulk.events_in post-crash");
+      check.CheckEq(run_a->live_stats.pending_count, 0,
+                    "live pending_count post-refresh");
+    }
+  }
+
+  // Exactly-once after crash-restart replay: every document the spool
+  // acked is present in the restored index exactly once.
+  check.CheckEq(run_a->restore.loaded, result.spool_unique,
+                "restored loaded == spool unique docs");
+  check.CheckEq(run_a->restore.duplicates,
+                result.spool_lines - result.spool_unique,
+                "restore duplicate accounting");
+  if (run_a->restored) {
+    check.CheckEq(run_a->restored_stats.doc_count, result.spool_unique,
+                  "restored doc_count");
+    check.CheckEq(run_a->restored_stats.pending_count, 0,
+                  "restored pending_count post-refresh");
+    check.CheckEq(run_a->restored_key_counts.size(), result.spool_unique,
+                  "restored distinct event keys");
+    for (const auto& [key, count] : run_a->restored_key_counts) {
+      check.Check(count == 1, "event indexed " + std::to_string(count) +
+                                  " times after replay: " + key);
+    }
+  }
+
+  // Golden parity: a faulty schedule may lose events but must never invent
+  // or corrupt them, and correlation must agree with the serial golden run
+  // wherever it resolves at all.
+  for (const std::string& doc : run_a->spool_unique) {
+    check.Check(golden->spool_unique.count(doc) > 0,
+                "faulty document absent from golden run: " + doc);
+  }
+  for (const auto& [tag, path] : run_a->tag_to_path) {
+    auto it = golden->tag_to_path.find(tag);
+    check.Check(it != golden->tag_to_path.end() && it->second == path,
+                "correlation diverged from golden for tag " + tag);
+  }
+
+  result.violations = check.violations();
+  return result;
+}
+
+}  // namespace dio::sim

@@ -1,0 +1,101 @@
+// The whole-pipeline deterministic simulation: one seed fully determines a
+// run of workload -> kernel tracepoints -> DioTracer -> QueueTransport ->
+// RetryingTransport -> FanOut{BulkClient, FileSpoolSink} -> ElasticStore ->
+// FilePathCorrelator, executed thread-free under a SimScheduler and two
+// virtual clocks:
+//
+//  * the workload clock (the kernel's clock) is pinned per operation
+//    (base + op_index * delta), so every event document is byte-identical
+//    across schedules — which is what makes golden-run parity a set check;
+//  * the sim clock paces the scheduler quantum, retry backoff, and the
+//    bulk sink's network latency, so timing-dependent code runs in virtual
+//    time.
+//
+// RunSimulation(seed) executes:
+//   1. a serial golden run (round-robin schedule, no faults) whose spool is
+//      the reference document set and whose correlator output is the
+//      reference tag -> path dictionary;
+//   2. the faulty run TWICE with the seeded random schedule and the seed's
+//      FaultPlan, asserting the two schedule digests are byte-identical;
+//   3. a restart: the faulty spool is replayed (deduped) into a restored
+//      index — the recovery path after the in-run backend crash;
+//   4. the invariant suite: per-stage ledgers, cross-stage conservation,
+//      tracer counter consistency, exactly-once presence in the restored
+//      index, and parity of documents and correlation against the golden
+//      run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/fault_plan.h"
+#include "tracer/tracer.h"
+#include "transport/transport.h"
+
+namespace dio::sim {
+
+struct SimOptions {
+  std::uint64_t seed = 1;
+  // Workload size: `num_tasks` simulated application threads, each issuing
+  // `ops_per_task` syscalls from its own seeded generator into its own
+  // directory (so documents do not depend on cross-task interleaving).
+  std::size_t num_tasks = 2;
+  std::size_t ops_per_task = 120;
+  // Fault plan override; empty = FaultPlan::FromSeed(seed).
+  std::string fault_spec;
+  // Directory for the runs' NDJSON spool files (created by the caller).
+  std::string spool_dir;
+  // Keep the full schedule trace of each run (memory-heavy; repro dumps).
+  bool keep_trace = false;
+};
+
+// Observed outcome of one simulated run (golden or faulty).
+struct RunArtifacts {
+  bool completed = false;  // scheduler reached all-done before max_steps
+  std::uint64_t schedule_digest = 0;
+  std::uint64_t steps = 0;
+  std::string trace;  // only when keep_trace
+
+  std::vector<transport::StageStats> stages;
+  tracer::TracerStats tracer;
+  std::uint64_t acks_dropped_batches = 0;
+  std::uint64_t acks_dropped_events = 0;
+  bool crashed = false;
+  std::string spool_path;
+  std::string session;
+};
+
+struct SimResult {
+  FaultPlan plan;
+  std::string plan_spec;
+  std::vector<std::string> violations;  // empty = all invariants held
+
+  std::uint64_t schedule_digest = 0;  // faulty run
+  std::uint64_t steps = 0;
+
+  // Which fault effects the run actually exhibited (a class being in the
+  // plan does not guarantee its loss fired; the explorer reports both).
+  bool saw_ring_drop = false;
+  bool saw_queue_drop = false;
+  bool saw_transport_fault = false;
+  bool saw_dead_letter = false;
+  bool saw_ack_drop = false;
+  bool saw_crash = false;
+
+  std::uint64_t spool_lines = 0;     // faulty spool, including duplicates
+  std::uint64_t spool_unique = 0;    // distinct documents in the spool
+  std::uint64_t restored_docs = 0;   // docs in the replayed (restored) index
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  // "--seed=X --fault-plan=Y" — replays this exact run.
+  [[nodiscard]] std::string ReproLine(std::uint64_t seed) const;
+};
+
+// Runs golden + double faulty run + restore + invariant suite for one seed.
+// Only infrastructure errors (unwritable spool dir, bad fault_spec) surface
+// as a non-OK status; invariant violations land in SimResult::violations.
+Expected<SimResult> RunSimulation(const SimOptions& options);
+
+}  // namespace dio::sim

@@ -149,6 +149,16 @@ Status DioTracer::Start() {
     links_.push_back(std::move(exit_link.value()));
   }
   const std::size_t num_workers = ResolveConsumerThreads();
+  if (options_.manual_consumers) {
+    manual_states_.reserve(num_workers);
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      auto state = std::make_unique<ConsumerState>();
+      state->batch.reserve(options_.batch_size);
+      state->last_flush = kernel_->clock()->NowNanos();
+      manual_states_.push_back(std::move(state));
+    }
+    return Status::Ok();
+  }
   consumers_.reserve(num_workers);
   for (std::size_t w = 0; w < num_workers; ++w) {
     consumers_.emplace_back([this, w, num_workers](std::stop_token st) {
@@ -184,6 +194,25 @@ void DioTracer::Stop() {
     if (consumer.joinable()) consumer.join();
   }
   consumers_.clear();
+  if (!manual_states_.empty()) {
+    // Manual mode: serial final drain, rounds until no worker moves, then
+    // flush every worker's tail batch — the same everything-drained
+    // guarantee the joined threads provide.
+    const std::size_t num_workers = manual_states_.size();
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (std::size_t w = 0; w < num_workers; ++w) {
+        if (DrainStripeOnce(manual_states_[w].get(), w, num_workers) > 0) {
+          moved = true;
+        }
+      }
+    }
+    for (auto& state : manual_states_) {
+      if (!state->batch.empty()) FlushBatch(&state->batch);
+    }
+    manual_states_.clear();
+  }
   sink_->Flush();
 }
 
@@ -337,7 +366,18 @@ void DioTracer::EmitEnterHalf(const os::SysEnterContext& ctx,
                               const PendingEntry& entry) {
   const int cpu = ctx.kernel->cpu_of(ctx.tid);
   auto reservation = rings_.Reserve(cpu, sizeof(WireEvent));
-  if (!reservation.valid()) return;  // ring full: counted there (§III-D)
+  if (!reservation.valid()) {
+    // Same rule as the aggregate path: a lost record must not lose the
+    // first-access map update, or tag timestamps depend on ring pressure.
+    if (options_.enrich) {
+      const os::SyscallDescriptor& desc = os::Describe(ctx.nr);
+      if (desc.takes_fd && entry.have_fd_view) {
+        first_access_.Insert(TagKey(entry.fd_state.dev, entry.fd_state.ino),
+                             entry.enter_ts);
+      }
+    }
+    return;
+  }
   auto* wire = reinterpret_cast<WireEvent*>(reservation.data());
   FillWireFromEntry(wire, entry);
   wire->phase = static_cast<std::uint8_t>(EventPhase::kEnter);
@@ -551,7 +591,19 @@ void DioTracer::OnExit(const os::SysExitContext& ctx) {
                                              const PendingEntry& entry) {
     const int cpu = ctx.kernel->cpu_of(ctx.tid);
     auto reservation = rings_.Reserve(cpu, sizeof(WireEvent));
-    if (!reservation.valid()) return;  // ring full: counted there (§III-D)
+    if (!reservation.valid()) {
+      // Ring full: the record is lost (counted by the ring), but the map
+      // state a real BPF program updates unconditionally — fd tags,
+      // first-access timestamps, unlink retirement — must still advance.
+      // Skipping it leaves a stale tag on the fd slot, and the next file
+      // opened with the same fd number inherits the previous file's tag.
+      if (options_.enrich) {
+        WireEvent scratch{};
+        scratch.nr = static_cast<std::uint8_t>(ctx.nr);
+        Enrich(&scratch, entry, ctx);
+      }
+      return;
+    }
     auto* wire = reinterpret_cast<WireEvent*>(reservation.data());
     FillWireFromEntry(wire, entry);
     wire->phase = static_cast<std::uint8_t>(EventPhase::kFull);
@@ -585,96 +637,110 @@ void DioTracer::OnExit(const os::SysExitContext& ctx) {
   }
 }
 
-void DioTracer::ConsumerLoop(const std::stop_token& stop, std::size_t worker,
-                             std::size_t num_workers) {
-  std::vector<Event> batch;
-  batch.reserve(options_.batch_size);
-  Nanos last_flush = kernel_->clock()->NowNanos();
-  // Raw-mode pairing state: tid -> pending enter half. Safe per worker:
-  // cpu_of(tid) is stable, so both halves of a syscall land on the same
-  // ring and therefore on the same consumer stripe.
-  std::unordered_map<os::Tid, Event> half_events;
-
-  const auto handle = [&](std::span<const std::byte> bytes) {
-    // `consumed` counts every record drained from a ring, including the
-    // ones that fail to decode — stats() keeps
-    // consumed == emitted + user_filtered + decode_errors (+ any raw-mode
-    // halves still being paired).
-    consumed_.fetch_add(1, std::memory_order_relaxed);
-    // Lazy decode: validate once, read fields straight out of ring memory,
-    // and materialize an Event (string allocations) only for records that
-    // survive user-space filtering. The view dies with this callback.
-    auto decoded = WireEventView::FromBytes(bytes);
-    if (!decoded.ok()) {
-      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+void DioTracer::HandleRecord(ConsumerState* state,
+                             std::span<const std::byte> bytes) {
+  // `consumed` counts every record drained from a ring, including the
+  // ones that fail to decode — stats() keeps
+  // consumed == emitted + user_filtered + decode_errors (+ any raw-mode
+  // halves still being paired).
+  consumed_.fetch_add(1, std::memory_order_relaxed);
+  // Lazy decode: validate once, read fields straight out of ring memory,
+  // and materialize an Event (string allocations) only for records that
+  // survive user-space filtering. The view dies with this callback.
+  auto decoded = WireEventView::FromBytes(bytes);
+  if (!decoded.ok()) {
+    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const WireEventView& view = decoded.value();
+  const auto phase = static_cast<EventPhase>(view.phase());
+  if (phase == EventPhase::kEnter) {
+    // Raw-mode pairing needs the half to outlive the callback.
+    state->half_events[view.tid()] = MaterializeEvent(view);
+    return;
+  }
+  if (phase == EventPhase::kExit) {
+    auto it = state->half_events.find(view.tid());
+    if (it == state->half_events.end() || it->second.nr != view.nr()) {
+      unmatched_exit_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    const WireEventView& view = decoded.value();
-    const auto phase = static_cast<EventPhase>(view.phase());
-    if (phase == EventPhase::kEnter) {
-      // Raw-mode pairing needs the half to outlive the callback.
-      half_events[view.tid()] = MaterializeEvent(view);
-      return;
-    }
-    if (phase == EventPhase::kExit) {
-      auto it = half_events.find(view.tid());
-      if (it == half_events.end() || it->second.nr != view.nr()) {
-        unmatched_exit_.fetch_add(1, std::memory_order_relaxed);
+    Event merged = std::move(it->second);
+    state->half_events.erase(it);
+    merged.phase = EventPhase::kFull;
+    merged.time_exit = view.raw().time_exit;
+    merged.ret = view.raw().ret;
+    if (!options_.kernel_filtering) {
+      const std::string_view path = merged.path.empty() && merged.tag.valid
+                                        ? std::string_view()
+                                        : std::string_view(merged.path);
+      if (!PassesFilters(merged.pid, merged.tid, path)) {
+        user_filtered_.fetch_add(1, std::memory_order_relaxed);
         return;
       }
-      Event merged = std::move(it->second);
-      half_events.erase(it);
-      merged.phase = EventPhase::kFull;
-      merged.time_exit = view.raw().time_exit;
-      merged.ret = view.raw().ret;
-      if (!options_.kernel_filtering) {
-        const std::string_view path = merged.path.empty() && merged.tag.valid
-                                          ? std::string_view()
-                                          : std::string_view(merged.path);
-        if (!PassesFilters(merged.pid, merged.tid, path)) {
-          user_filtered_.fetch_add(1, std::memory_order_relaxed);
-          return;
-        }
-      }
-      batch.push_back(std::move(merged));
-    } else {
-      if (!options_.kernel_filtering) {
-        // Tagged events with an empty path are fd-based syscalls whose path
-        // was never captured; they pass the path filter (as before).
-        const std::string_view path =
-            view.path().empty() && view.tag_valid() ? std::string_view()
-                                                    : view.path();
-        if (!PassesFilters(view.pid(), view.tid(), path)) {
-          user_filtered_.fetch_add(1, std::memory_order_relaxed);
-          return;
-        }
-      }
-      batch.push_back(MaterializeEvent(view));
     }
-    if (batch.size() >= options_.batch_size) FlushBatch(&batch);
-  };
+    state->batch.push_back(std::move(merged));
+  } else {
+    if (!options_.kernel_filtering) {
+      // Tagged events with an empty path are fd-based syscalls whose path
+      // was never captured; they pass the path filter (as before).
+      const std::string_view path =
+          view.path().empty() && view.tag_valid() ? std::string_view()
+                                                  : view.path();
+      if (!PassesFilters(view.pid(), view.tid(), path)) {
+        user_filtered_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    state->batch.push_back(MaterializeEvent(view));
+  }
+  if (state->batch.size() >= options_.batch_size) FlushBatch(&state->batch);
+}
 
+std::size_t DioTracer::DrainStripeOnce(ConsumerState* state,
+                                       std::size_t worker,
+                                       std::size_t num_workers) {
+  // Drain this worker's stripe of rings; each ring is drained by exactly
+  // one worker (SPSC), in zero-copy batches.
+  const auto handle = [this, state](std::span<const std::byte> bytes) {
+    HandleRecord(state, bytes);
+  };
   const int num_cpus = rings_.num_cpus();
+  std::size_t n = 0;
+  for (int cpu = static_cast<int>(worker); cpu < num_cpus;
+       cpu += static_cast<int>(num_workers)) {
+    n += rings_.DrainRing(cpu, handle, 4096);
+  }
+  const Nanos now = kernel_->clock()->NowNanos();
+  if (!state->batch.empty() &&
+      now - state->last_flush >= options_.flush_interval_ns) {
+    FlushBatch(&state->batch);
+    state->last_flush = now;
+  }
+  return n;
+}
+
+std::size_t DioTracer::PumpConsumer(std::size_t worker) {
+  if (worker >= manual_states_.size()) return 0;
+  return DrainStripeOnce(manual_states_[worker].get(), worker,
+                         manual_states_.size());
+}
+
+void DioTracer::ConsumerLoop(const std::stop_token& stop, std::size_t worker,
+                             std::size_t num_workers) {
+  ConsumerState state;
+  state.batch.reserve(options_.batch_size);
+  state.last_flush = kernel_->clock()->NowNanos();
+
   while (true) {
-    // Drain this worker's stripe of rings; each ring is drained by exactly
-    // one worker (SPSC), in zero-copy batches.
-    std::size_t n = 0;
-    for (int cpu = static_cast<int>(worker); cpu < num_cpus;
-         cpu += static_cast<int>(num_workers)) {
-      n += rings_.DrainRing(cpu, handle, 4096);
-    }
-    const Nanos now = kernel_->clock()->NowNanos();
-    if (!batch.empty() && now - last_flush >= options_.flush_interval_ns) {
-      FlushBatch(&batch);
-      last_flush = now;
-    }
+    const std::size_t n = DrainStripeOnce(&state, worker, num_workers);
     if (n == 0) {
       if (stop.stop_requested()) break;  // drained after detach
       std::this_thread::sleep_for(
           std::chrono::nanoseconds(options_.poll_interval_ns));
     }
   }
-  if (!batch.empty()) FlushBatch(&batch);
+  if (!state.batch.empty()) FlushBatch(&state.batch);
 }
 
 void DioTracer::FlushBatch(std::vector<Event>* batch) {

@@ -21,8 +21,10 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
@@ -77,6 +79,13 @@ struct TracerOptions {
   // When false, PID/TID/path filters run in user-space instead of in the
   // kernel hook — the ab_filters ablation.
   bool kernel_filtering = true;
+
+  // Simulation seam (programmatic only, never read from config): no
+  // consumer threads are spawned. The owner drives the drain loops
+  // explicitly via PumpConsumer(worker), so a seeded cooperative scheduler
+  // fully determines when each stripe of rings is drained. Stop() performs
+  // a final serial drain, preserving the drains-everything guarantee.
+  bool manual_consumers = false;
 
   // Modeled fixed in-kernel instrumentation cost per tracepoint hit, split
   // between entry and exit. Stands in for BPF program execution overhead we
@@ -150,6 +159,16 @@ class DioTracer {
   }
   [[nodiscard]] const TracerOptions& options() const { return options_; }
 
+  // Manual mode (options.manual_consumers): runs one drain pass of worker
+  // `worker`'s ring stripe on the calling thread — the body of one
+  // ConsumerLoop iteration, minus the poll sleep. Returns the number of
+  // ring records consumed. Valid after Start(), for workers in
+  // [0, manual_workers()).
+  std::size_t PumpConsumer(std::size_t worker);
+  [[nodiscard]] std::size_t manual_workers() const {
+    return manual_states_.size();
+  }
+
  private:
   friend class DioTracerTestPeer;  // injects raw ring records in tests
 
@@ -182,6 +201,17 @@ class DioTracer {
     char xattr_name[kWireXattrCap];
   };
 
+  // Per-worker drain-loop state, stack-local in thread mode and owned by
+  // the tracer in manual mode (so pumps can resume where the last left
+  // off). `half_events` is the raw-mode pairing map: tid -> pending enter
+  // half; safe per worker because cpu_of(tid) is stable, so both halves of
+  // a syscall land on the same ring and therefore on the same stripe.
+  struct ConsumerState {
+    std::vector<Event> batch;
+    Nanos last_flush = 0;
+    std::unordered_map<os::Tid, Event> half_events;
+  };
+
   void OnEnter(const os::SysEnterContext& ctx);
   void OnExit(const os::SysExitContext& ctx);
   void EmitEnterHalf(const os::SysEnterContext& ctx,
@@ -190,6 +220,14 @@ class DioTracer {
   // One of `num_workers` drain loops; worker w owns rings w, w+N, w+2N, …
   void ConsumerLoop(const std::stop_token& stop, std::size_t worker,
                     std::size_t num_workers);
+  // One pass over worker `worker`'s stripe: drain each owned ring once,
+  // then flush the local batch if the flush interval elapsed. Returns ring
+  // records consumed.
+  std::size_t DrainStripeOnce(ConsumerState* state, std::size_t worker,
+                              std::size_t num_workers);
+  // Decodes one drained ring record into `state` (shared by the thread and
+  // manual drain paths).
+  void HandleRecord(ConsumerState* state, std::span<const std::byte> bytes);
   void FlushBatch(std::vector<Event>* batch);
   [[nodiscard]] std::size_t ResolveConsumerThreads() const;
   // Copies the entry's scalars and inline strings into the reserved wire
@@ -222,6 +260,8 @@ class DioTracer {
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
   std::vector<std::jthread> consumers_;
+  // Manual mode: per-worker drain state, allocated by Start().
+  std::vector<std::unique_ptr<ConsumerState>> manual_states_;
 
   // Stats counters (relaxed atomics; aggregated in stats()).
   std::atomic<std::uint64_t> enter_hits_{0};

@@ -11,7 +11,9 @@ QueueTransport::QueueTransport(std::unique_ptr<Transport> downstream,
   stats_.stage = "queue";
   options_.max_queued_batches = std::max<std::size_t>(
       1, options_.max_queued_batches);
-  sender_ = std::jthread([this](std::stop_token st) { SenderLoop(st); });
+  if (!options_.manual) {
+    sender_ = std::jthread([this](std::stop_token st) { SenderLoop(st); });
+  }
 }
 
 QueueTransport::~QueueTransport() {
@@ -34,6 +36,15 @@ Status QueueTransport::Submit(EventBatch batch) {
   if (queue_.size() >= options_.max_queued_batches) {
     switch (options_.policy) {
       case Backpressure::kBlock:
+        if (options_.manual) {
+          // No sender thread to wait for: the producer makes room by
+          // delivering the oldest batch itself. Lossless, like blocking,
+          // but cooperative — the sim scheduler stays in control.
+          while (queue_.size() >= options_.max_queued_batches) {
+            DeliverFrontLocked(lock);
+          }
+          break;
+        }
         queue_cv_.wait(lock, [this] {
           return queue_.size() < options_.max_queued_batches || stopping_;
         });
@@ -70,9 +81,41 @@ Status QueueTransport::Submit(EventBatch batch) {
 void QueueTransport::Flush() {
   {
     std::unique_lock lock(mu_);
-    drained_cv_.wait(lock, [this] { return queue_.empty() && !sending_; });
+    if (options_.manual) {
+      while (!queue_.empty()) DeliverFrontLocked(lock);
+    } else {
+      drained_cv_.wait(lock, [this] { return queue_.empty() && !sending_; });
+    }
   }
   downstream_->Flush();
+}
+
+void QueueTransport::DeliverFrontLocked(std::unique_lock<std::mutex>& lock) {
+  EventBatch batch = std::move(queue_.front());
+  queue_.pop_front();
+  sending_ = true;
+  const std::size_t batch_events = batch.size();
+  lock.unlock();
+  // Downstream failures are accounted in the failing stage's own stats,
+  // exactly as in SenderLoop.
+  (void)downstream_->Submit(std::move(batch));
+  lock.lock();
+  stats_.batches_out += 1;
+  stats_.events_out += batch_events;
+  sending_ = false;
+  if (queue_.empty()) drained_cv_.notify_all();
+}
+
+bool QueueTransport::PumpOne() {
+  std::unique_lock lock(mu_);
+  if (queue_.empty()) return false;
+  DeliverFrontLocked(lock);
+  return true;
+}
+
+std::size_t QueueTransport::queue_depth() const {
+  std::scoped_lock lock(mu_);
+  return queue_.size();
 }
 
 void QueueTransport::SenderLoop(const std::stop_token& stop) {

@@ -21,6 +21,12 @@ namespace dio::transport {
 struct QueueTransportOptions {
   std::size_t max_queued_batches = 1024;
   Backpressure policy = Backpressure::kBlock;
+  // Simulation seam (programmatic only, never set from config): no sender
+  // thread is spawned; the owner drives delivery explicitly via PumpOne().
+  // Under kBlock a producer hitting a full queue delivers the oldest batch
+  // downstream inline instead of waiting — lossless and thread-free, so a
+  // seeded cooperative scheduler fully determines the interleaving.
+  bool manual = false;
 };
 
 class QueueTransport final : public Transport {
@@ -38,13 +44,22 @@ class QueueTransport final : public Transport {
   Status Submit(EventBatch batch) override;
   // Waits until the queue is empty and the sender is idle, then flushes
   // downstream. Deterministic: after Flush() returns, every batch accepted
-  // so far has been delivered, dropped, or dead-lettered below.
+  // so far has been delivered, dropped, or dead-lettered below. In manual
+  // mode the caller drains the queue inline instead of waiting.
   void Flush() override;
   void CollectStats(std::vector<StageStats>* out) const override;
   [[nodiscard]] std::string_view name() const override { return "queue"; }
 
+  // Manual mode only: delivers the oldest queued batch downstream on the
+  // calling thread. Returns false when the queue was empty.
+  bool PumpOne();
+  [[nodiscard]] std::size_t queue_depth() const;
+
  private:
   void SenderLoop(const std::stop_token& stop);
+  // Pops the front batch and submits it downstream, releasing `lock` for
+  // the duration of the downstream call. Accounting matches SenderLoop.
+  void DeliverFrontLocked(std::unique_lock<std::mutex>& lock);
 
   std::unique_ptr<Transport> downstream_;
   QueueTransportOptions options_;

@@ -1,8 +1,6 @@
 #include "transport/retrying_transport.h"
 
 #include <algorithm>
-#include <chrono>
-#include <thread>
 #include <utility>
 
 namespace dio::transport {
@@ -90,7 +88,7 @@ Status RetryingTransport::Submit(EventBatch batch) {
         sleep_ns = static_cast<Nanos>(static_cast<double>(backoff) * factor);
       }
     }
-    std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_ns));
+    clock_->SleepFor(sleep_ns);
     backoff = std::min<Nanos>(
         options_.max_backoff_ns,
         static_cast<Nanos>(static_cast<double>(backoff) *

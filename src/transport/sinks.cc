@@ -59,8 +59,9 @@ void FileSpoolSink::CollectStats(std::vector<StageStats>* out) const {
 Status CollectorSink::Submit(EventBatch batch) {
   const std::size_t batch_events = batch.size();
   if (options_.deliver_latency_ns > 0) {
-    std::this_thread::sleep_for(
-        std::chrono::nanoseconds(options_.deliver_latency_ns));
+    Clock* clock =
+        options_.clock != nullptr ? options_.clock : SteadyClock::Instance();
+    clock->SleepFor(options_.deliver_latency_ns);
   }
   batch.Materialize();
   std::scoped_lock lock(mu_);

@@ -15,12 +15,10 @@
 // backend/ because it owns an ElasticStore dependency.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/clock.h"
@@ -58,6 +56,9 @@ struct CollectorOptions {
   // Simulated delivery latency per batch (stands in for the network +
   // index hop; lets benches create a slow sink deterministically).
   Nanos deliver_latency_ns = 0;
+  // The latency is waited out through this clock, so a ManualClock turns it
+  // into deterministic virtual time under the sim harness.
+  Clock* clock = nullptr;  // null = SteadyClock
 };
 
 class CollectorSink final : public Transport {

@@ -3,6 +3,11 @@
 // state) reproduces.
 #include "service/replay.h"
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "backend/bulk_client.h"
@@ -170,6 +175,147 @@ TEST_F(ReplayTest, MissingIndexErrors) {
   TestEnv replay_env;
   TraceReplayer replayer(&replay_env.kernel, &store_, "ghost");
   EXPECT_FALSE(replayer.Run().ok());
+}
+
+// ---------------------------------------------------------------------------
+// LoadSpool edge cases: the spool is what crash recovery replays, so the
+// loader has to be exact about torn tails, corruption, line numbers, and
+// at-least-once duplicates.
+
+class SpoolLoadTest : public ::testing::Test {
+ protected:
+  // Writes `content` verbatim (no newline appended) to a fresh spool file.
+  std::string WriteSpool(const std::string& content) {
+    const std::string path = ::testing::TempDir() + "spool_load_test_" +
+                             std::to_string(counter_++) + ".ndjson";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+    out.close();
+    paths_.push_back(path);
+    return path;
+  }
+
+  void TearDown() override {
+    for (const std::string& path : paths_) std::remove(path.c_str());
+  }
+
+  static std::string Doc(int id) {
+    return "{\"syscall\": \"write\", \"tid\": 7, \"time_enter\": " +
+           std::to_string(1000 + id) + "}";
+  }
+
+  backend::ElasticStore store_;
+  std::vector<std::string> paths_;
+  int counter_ = 0;
+};
+
+TEST_F(SpoolLoadTest, ZeroByteSpoolLoadsNothing) {
+  const std::string path = WriteSpool("");
+  auto stats = LoadSpool(&store_, path, "empty", SpoolLoadOptions{});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->loaded, 0u);
+  EXPECT_EQ(stats->duplicates, 0u);
+  EXPECT_FALSE(stats->truncated_tail);
+  // Strict form agrees.
+  auto strict = LoadSpool(&store_, path, "empty-strict");
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(*strict, 0u);
+}
+
+TEST_F(SpoolLoadTest, MissingSpoolIsNotFound) {
+  auto stats = LoadSpool(&store_, ::testing::TempDir() + "nope.ndjson",
+                         "gone", SpoolLoadOptions{});
+  EXPECT_FALSE(stats.ok());
+}
+
+TEST_F(SpoolLoadTest, TruncatedFinalLineToleratedOnlyWithFlag) {
+  // A crash mid-flush tears the last line: no trailing newline, half a doc.
+  const std::string path =
+      WriteSpool(Doc(1) + "\n" + Doc(2) + "\n" + "{\"syscall\": \"wri");
+
+  auto strict = LoadSpool(&store_, path, "torn-strict");
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("line 3"), std::string::npos)
+      << strict.status().message();
+
+  SpoolLoadOptions tolerant;
+  tolerant.allow_truncated_tail = true;
+  auto stats = LoadSpool(&store_, path, "torn", tolerant);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->loaded, 2u);
+  EXPECT_TRUE(stats->truncated_tail);
+  EXPECT_EQ(*store_.Count("torn", backend::Query::MatchAll()), 2u);
+}
+
+TEST_F(SpoolLoadTest, CorruptLineWithTrailingNewlineIsNotATornTail) {
+  // The bad line is last but newline-terminated: that is corruption, not a
+  // torn write — the tolerance flag must not mask it.
+  const std::string path = WriteSpool(Doc(1) + "\n{\"syscall\": \"wri\n");
+  SpoolLoadOptions tolerant;
+  tolerant.allow_truncated_tail = true;
+  auto stats = LoadSpool(&store_, path, "corrupt-tail", tolerant);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_NE(stats.status().message().find("line 2"), std::string::npos)
+      << stats.status().message();
+}
+
+TEST_F(SpoolLoadTest, InteriorCorruptionFailsEvenWhenTolerant) {
+  const std::string path =
+      WriteSpool(Doc(1) + "\nnot json\n" + Doc(2) + "\n");
+  SpoolLoadOptions tolerant;
+  tolerant.allow_truncated_tail = true;
+  auto stats = LoadSpool(&store_, path, "interior", tolerant);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_NE(stats.status().message().find("line 2"), std::string::npos)
+      << stats.status().message();
+}
+
+TEST_F(SpoolLoadTest, BlankLinesCountTowardReportedLineNumbers) {
+  const std::string path =
+      WriteSpool("\n" + Doc(1) + "\n\n\nbroken\n" + Doc(2) + "\n");
+  auto stats = LoadSpool(&store_, path, "blanks", SpoolLoadOptions{});
+  ASSERT_FALSE(stats.ok());
+  // "broken" sits on physical line 5 (blank lines 1, 3, 4 included).
+  EXPECT_NE(stats.status().message().find("line 5"), std::string::npos)
+      << stats.status().message();
+}
+
+TEST_F(SpoolLoadTest, DedupeRestoresExactlyOnceAfterDuplicatedFlush) {
+  // An at-least-once spool: a retry above the fan-out re-drove a whole
+  // batch after a lost ack, so docs 1 and 2 appear twice, interleaved the
+  // way a re-driven batch lands — after the first copy of the batch.
+  const std::string path = WriteSpool(Doc(1) + "\n" + Doc(2) + "\n" +
+                                      Doc(1) + "\n" + Doc(2) + "\n" +
+                                      Doc(3) + "\n");
+  SpoolLoadOptions dedupe;
+  dedupe.dedupe = true;
+  auto stats = LoadSpool(&store_, path, "dedupe", dedupe);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->loaded, 3u);
+  EXPECT_EQ(stats->duplicates, 2u);
+  EXPECT_EQ(*store_.Count("dedupe", backend::Query::MatchAll()), 3u);
+
+  // Without dedupe the same spool double-indexes — the failure mode the
+  // option exists for.
+  auto verbatim = LoadSpool(&store_, path, "verbatim", SpoolLoadOptions{});
+  ASSERT_TRUE(verbatim.ok());
+  EXPECT_EQ(verbatim->loaded, 5u);
+  EXPECT_EQ(*store_.Count("verbatim", backend::Query::MatchAll()), 5u);
+}
+
+TEST_F(SpoolLoadTest, DedupeStillLoadsAcrossBatchBoundaries) {
+  // More docs than one 512-doc bulk batch, every line duplicated: the
+  // flush boundary must not reset or double-count anything.
+  std::string content;
+  for (int i = 0; i < 600; ++i) content += Doc(i) + "\n" + Doc(i) + "\n";
+  const std::string path = WriteSpool(content);
+  SpoolLoadOptions dedupe;
+  dedupe.dedupe = true;
+  auto stats = LoadSpool(&store_, path, "big-dedupe", dedupe);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->loaded, 600u);
+  EXPECT_EQ(stats->duplicates, 600u);
+  EXPECT_EQ(*store_.Count("big-dedupe", backend::Query::MatchAll()), 600u);
 }
 
 }  // namespace
