@@ -12,6 +12,7 @@
 
 #include "backend/store.h"
 #include "baselines/dio_adapter.h"
+#include "bench/harness_util.h"
 #include "oskernel/kernel.h"
 
 using namespace dio;
@@ -85,6 +86,22 @@ int main() {
               static_cast<unsigned long long>(raw.emitted));
   std::printf("%-30s %-16.3f %-16.3f\n", "workload wall time (s)",
               agg.wall_seconds, raw.wall_seconds);
+
+  bench::BenchReport report("ab_aggregation");
+  report.SetConfig("writes", Json(static_cast<std::int64_t>(kWrites)));
+  report.SetConfig("ring_bytes_per_cpu", Json(static_cast<std::int64_t>(kRing)));
+  for (const auto& [mode, outcome] :
+       {std::pair<const char*, const Outcome&>{"aggregated", agg},
+        std::pair<const char*, const Outcome&>{"raw", raw}}) {
+    Json row = Json::MakeObject();
+    row.Set("mode", mode);
+    row.Set("wall_seconds", outcome.wall_seconds);
+    row.Set("ring_records", static_cast<std::int64_t>(outcome.ring_records));
+    row.Set("ring_dropped", static_cast<std::int64_t>(outcome.ring_dropped));
+    row.Set("emitted", static_cast<std::int64_t>(outcome.emitted));
+    report.AddRow(std::move(row));
+  }
+  report.Write();
 
   const double ratio = agg.ring_records == 0
                            ? 0.0

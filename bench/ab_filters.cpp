@@ -10,6 +10,7 @@
 
 #include "backend/store.h"
 #include "baselines/dio_adapter.h"
+#include "bench/harness_util.h"
 #include "oskernel/kernel.h"
 
 using namespace dio;
@@ -85,6 +86,22 @@ int main() {
   std::printf("%-28s %-16llu %-16llu\n", "events emitted",
               static_cast<unsigned long long>(kernel_side.emitted),
               static_cast<unsigned long long>(user_side.emitted));
+
+  bench::BenchReport report("ab_filters");
+  report.SetConfig("writes_per_proc", Json(static_cast<std::int64_t>(kWrites)));
+  for (const auto& [mode, outcome] :
+       {std::pair<const char*, const Outcome&>{"kernel", kernel_side},
+        std::pair<const char*, const Outcome&>{"user", user_side}}) {
+    Json row = Json::MakeObject();
+    row.Set("filter", mode);
+    row.Set("wall_seconds", outcome.wall_seconds);
+    row.Set("ring_crossings",
+            static_cast<std::int64_t>(outcome.ring_crossings));
+    row.Set("emitted", static_cast<std::int64_t>(outcome.emitted));
+    row.Set("dropped", static_cast<std::int64_t>(outcome.dropped));
+    report.AddRow(std::move(row));
+  }
+  report.Write();
 
   std::printf(
       "\nverdict: %s — kernel-side filtering cut kernel->user traffic by "

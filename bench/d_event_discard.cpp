@@ -149,6 +149,28 @@ int main(int argc, char** argv) {
       WithThousandsSeparators(static_cast<std::int64_t>(dio.transport_retries))
           .c_str());
 
+  bench::BenchReport report("d_event_discard");
+  report.SetConfig("ops", Json(static_cast<std::int64_t>(ops)));
+  report.SetConfig("ring_bytes_per_cpu",
+                   Json(static_cast<std::int64_t>(ring_bytes)));
+  for (const auto& [tool, outcome] :
+       {std::pair<const char*, const Outcome&>{"dio", dio},
+        std::pair<const char*, const Outcome&>{"sysdig", sysdig}}) {
+    Json row = Json::MakeObject();
+    row.Set("tool", tool);
+    row.Set("produced", static_cast<std::int64_t>(outcome.produced));
+    row.Set("dropped", static_cast<std::int64_t>(outcome.dropped));
+    row.Set("pathless_ratio", outcome.pathless);
+    row.Set("transport_queue_dropped",
+            static_cast<std::int64_t>(outcome.transport_queue_dropped));
+    row.Set("sink_dead_letters",
+            static_cast<std::int64_t>(outcome.sink_dead_letters));
+    row.Set("transport_retries",
+            static_cast<std::int64_t>(outcome.transport_retries));
+    report.AddRow(std::move(row));
+  }
+  report.Write();
+
   std::printf(
       "\npaper-vs-measured (shape):\n"
       "  paper:    3.5%% of events discarded; DIO pathless <=5%%, "

@@ -8,6 +8,7 @@
 
 #include "backend/bulk_client.h"
 #include "backend/store.h"
+#include "bench/harness_util.h"
 #include "oskernel/kernel.h"
 #include "tracer/tracer.h"
 
@@ -115,6 +116,7 @@ int main() {
   std::printf("%-22s %-22s %-9s %s\n", "category", "syscall", "captured",
               "evidence (count)");
   std::printf("%s\n", std::string(70, '-').c_str());
+  bench::BenchReport report("table1_syscall_coverage");
   int total = 0;
   int covered = 0;
   for (os::SyscallCategory category :
@@ -131,10 +133,19 @@ int main() {
                   std::string(os::CategoryName(category)).c_str(),
                   std::string(desc.name).c_str(), hit ? "yes" : "NO",
                   hit ? static_cast<long long>(it->second) : 0LL);
+      Json row = Json::MakeObject();
+      row.Set("category", std::string(os::CategoryName(category)));
+      row.Set("syscall", std::string(desc.name));
+      row.Set("captured", hit);
+      row.Set("count", hit ? it->second : 0);
+      report.AddRow(std::move(row));
     }
   }
   std::printf("%s\n", std::string(70, '-').c_str());
   std::printf("coverage: %d/%d syscalls traced (paper: 42/42)\n", covered,
               total);
+  report.SetConfig("total", Json(static_cast<std::int64_t>(total)));
+  report.SetConfig("covered", Json(static_cast<std::int64_t>(covered)));
+  report.Write();
   return covered == total ? 0 : 1;
 }

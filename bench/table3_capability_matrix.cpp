@@ -12,6 +12,7 @@
 #include "baselines/dio_adapter.h"
 #include "baselines/strace_sim.h"
 #include "baselines/sysdig_sim.h"
+#include "bench/harness_util.h"
 #include "oskernel/kernel.h"
 
 using namespace dio;
@@ -77,5 +78,9 @@ int main() {
   Json out = Json::MakeArray();
   for (const auto& row : rows) out.Append(row.ToJson());
   std::printf("\njson: %s\n", out.Dump().c_str());
+
+  bench::BenchReport report("table3_capability_matrix");
+  for (const auto& row : rows) report.AddRow(row.ToJson());
+  report.Write();
   return 0;
 }

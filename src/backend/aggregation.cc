@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "backend/simd_kernels.h"
+
 namespace dio::backend {
 
 Aggregation Aggregation::Terms(std::string field, std::size_t size) {
@@ -320,12 +322,26 @@ AggResult Aggregation::ExecuteColumnar(
     case Kind::kHistogram:
     case Kind::kDateHistogram: {
       std::map<std::int64_t, std::vector<std::size_t>> groups;
-      for (const std::size_t r : rows) {
-        if (!col.is_number(r)) continue;
-        const std::int64_t v = col.ints[r];
-        std::int64_t bucket_start = (v / interval_) * interval_;
-        if (v < 0 && v % interval_ != 0) bucket_start -= interval_;
-        groups[bucket_start].push_back(r);
+      if (simd::Enabled() && !rows.empty() &&
+          rows.size() == col.kinds.size()) {
+        // Full-range aggregation (the root-agg hot path): bin every row in
+        // one flat vectorizable pass, then group. Non-number rows get a
+        // placeholder bin; the kind re-check below keeps them out.
+        std::vector<std::int64_t> bins(col.kinds.size());
+        simd::HistogramBins(col.ints.data(), col.kinds.data(),
+                            col.kinds.size(), interval_, bins.data());
+        for (const std::size_t r : rows) {
+          if (!col.is_number(r)) continue;
+          groups[bins[r]].push_back(r);
+        }
+      } else {
+        for (const std::size_t r : rows) {
+          if (!col.is_number(r)) continue;
+          const std::int64_t v = col.ints[r];
+          std::int64_t bucket_start = (v / interval_) * interval_;
+          if (v < 0 && v % interval_ != 0) bucket_start -= interval_;
+          groups[bucket_start].push_back(r);
+        }
       }
       for (auto& [start, group_rows] : groups) {
         AggBucket bucket;

@@ -31,11 +31,21 @@ Status BulkClient::Submit(transport::EventBatch batch) {
   if (batch.empty()) return Status::Ok();
   // Network hop to the backend server (virtual time under a ManualClock).
   clock_->SleepFor(options_.network_latency_ns);
-  // Deferred materialization: binary events become JSON documents only
-  // here, on the far side of the wire — never on a tracer drain loop.
   const std::size_t batch_events = batch.size();
-  batch.Materialize();
-  store_->Bulk(index_, std::move(batch.documents));
+  if (!batch.wire.empty()) {
+    // Typed route: the wire records go to the store as-is; whether they
+    // become columns directly or JSON documents is the store's
+    // backend.typed_ingest decision. Any Event/document payload riding the
+    // same batch still takes the JSON route below.
+    store_->BulkWire(index_, batch.session, std::move(batch.wire));
+    batch.wire.clear();
+  }
+  if (!batch.events.empty() || !batch.documents.empty()) {
+    // Deferred materialization: binary events become JSON documents only
+    // here, on the far side of the wire — never on a tracer drain loop.
+    batch.Materialize();
+    store_->Bulk(index_, std::move(batch.documents));
+  }
   bool refresh = false;
   {
     std::scoped_lock lock(mu_);

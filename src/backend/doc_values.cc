@@ -1,6 +1,9 @@
 #include "backend/doc_values.h"
 
 #include <algorithm>
+#include <limits>
+
+#include "backend/simd_kernels.h"
 
 namespace dio::backend {
 
@@ -30,13 +33,44 @@ void DocValueColumn::PrefixRankRange(std::string_view prefix,
 namespace {
 
 void PadColumn(DocValueColumn& col, std::size_t slots) {
-  if (col.kinds.size() >= slots) return;
-  col.kinds.resize(slots, static_cast<std::uint8_t>(ValueKind::kMissing));
-  col.ints.resize(slots, 0);
-  col.dbls.resize(slots, 0.0);
+  col.EnsureSlots(slots);
 }
 
 }  // namespace
+
+void ColumnSet::DecodeMember(DocValueColumn& col, std::size_t pos,
+                             const Json& value) {
+  switch (value.type()) {
+    case Json::Type::kInt:
+      col.kinds[pos] = static_cast<std::uint8_t>(ValueKind::kInt);
+      col.ints[pos] = value.as_int();
+      col.dbls[pos] = value.as_double();
+      break;
+    case Json::Type::kDouble:
+      col.kinds[pos] = static_cast<std::uint8_t>(ValueKind::kDouble);
+      col.ints[pos] = value.as_int();
+      col.dbls[pos] = value.as_double();
+      break;
+    case Json::Type::kString: {
+      auto [it, inserted] = col.dict_lookup.try_emplace(
+          value.as_string(), static_cast<std::uint32_t>(col.dict.size()));
+      if (inserted) {
+        col.dict.push_back(value.as_string());
+        col.ranks_dirty = true;
+      }
+      col.kinds[pos] = static_cast<std::uint8_t>(ValueKind::kString);
+      col.ints[pos] = it->second;
+      break;
+    }
+    case Json::Type::kBool:
+      col.kinds[pos] = static_cast<std::uint8_t>(ValueKind::kBool);
+      col.ints[pos] = value.as_bool() ? 1 : 0;
+      break;
+    default:  // null / array / object: present, but only via JSON
+      col.kinds[pos] = static_cast<std::uint8_t>(ValueKind::kOther);
+      break;
+  }
+}
 
 void ColumnSet::AppendDoc(const Json& doc) {
   const std::size_t pos = num_docs_++;
@@ -44,37 +78,22 @@ void ColumnSet::AppendDoc(const Json& doc) {
   for (const JsonMember& member : doc.as_object()) {
     DocValueColumn& col = columns_[member.first];
     PadColumn(col, pos + 1);
-    const Json& value = member.second;
-    switch (value.type()) {
-      case Json::Type::kInt:
-        col.kinds[pos] = static_cast<std::uint8_t>(ValueKind::kInt);
-        col.ints[pos] = value.as_int();
-        col.dbls[pos] = value.as_double();
-        break;
-      case Json::Type::kDouble:
-        col.kinds[pos] = static_cast<std::uint8_t>(ValueKind::kDouble);
-        col.ints[pos] = value.as_int();
-        col.dbls[pos] = value.as_double();
-        break;
-      case Json::Type::kString: {
-        auto [it, inserted] = col.dict_lookup.try_emplace(
-            value.as_string(), static_cast<std::uint32_t>(col.dict.size()));
-        if (inserted) {
-          col.dict.push_back(value.as_string());
-          col.ranks_dirty = true;
-        }
-        col.kinds[pos] = static_cast<std::uint8_t>(ValueKind::kString);
-        col.ints[pos] = it->second;
-        break;
-      }
-      case Json::Type::kBool:
-        col.kinds[pos] = static_cast<std::uint8_t>(ValueKind::kBool);
-        col.ints[pos] = value.as_bool() ? 1 : 0;
-        break;
-      default:  // null / array / object: present, but only via JSON
-        col.kinds[pos] = static_cast<std::uint8_t>(ValueKind::kOther);
-        break;
-    }
+    DecodeMember(col, pos, member.second);
+  }
+}
+
+void ColumnSet::ReplaceRow(std::size_t pos, const Json& doc) {
+  for (auto& [field, col] : columns_) {
+    PadColumn(col, num_docs_);
+    col.kinds[pos] = static_cast<std::uint8_t>(ValueKind::kMissing);
+    col.ints[pos] = 0;
+    col.dbls[pos] = 0.0;
+  }
+  if (!doc.is_object()) return;
+  for (const JsonMember& member : doc.as_object()) {
+    DocValueColumn& col = columns_[member.first];
+    PadColumn(col, num_docs_);
+    DecodeMember(col, pos, member.second);
   }
 }
 
@@ -118,15 +137,27 @@ FilterBitmap::FilterBitmap(std::size_t bits, bool value)
 }
 
 void FilterBitmap::AndWith(const FilterBitmap& other) {
+  if (simd::Enabled()) {
+    simd::AndWords(words_.data(), other.words_.data(), words_.size());
+    return;
+  }
   for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
 }
 
 void FilterBitmap::OrWith(const FilterBitmap& other) {
+  if (simd::Enabled()) {
+    simd::OrWords(words_.data(), other.words_.data(), words_.size());
+    return;
+  }
   for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
 }
 
 void FilterBitmap::Negate() {
-  for (std::uint64_t& word : words_) word = ~word;
+  if (simd::Enabled()) {
+    simd::NotWords(words_.data(), words_.size());
+  } else {
+    for (std::uint64_t& word : words_) word = ~word;
+  }
   if (bits_ % 64 != 0 && !words_.empty()) {
     words_.back() &= (1ULL << (bits_ % 64)) - 1;
   }
@@ -387,12 +418,73 @@ FilterBitmap CompiledQuery::EvalNode(const Node& node,
         if (auto hit = cache->Lookup(key)) return *hit;
       }
       FilterBitmap out(n, false);
-      for (std::size_t pos = 0; pos < n; ++pos) {
-        if (MatchesNode(node, pos, docs[pos])) out.Set(pos);
+      if (!EvalLeafKernel(node, n, &out)) {
+        for (std::size_t pos = 0; pos < n; ++pos) {
+          if (MatchesNode(node, pos, docs[pos])) out.Set(pos);
+        }
       }
       if (cache != nullptr) cache->Insert(key, out);
       return out;
     }
+  }
+}
+
+bool CompiledQuery::EvalLeafKernel(const Node& node, std::size_t n,
+                                   FilterBitmap* out) {
+  if (n == 0) return true;  // nothing to fill either way
+  if (!simd::Enabled()) return false;
+  const DocValueColumn* col = node.col;
+  switch (node.query->type()) {
+    case Query::Type::kRange: {
+      // A missing column matches nothing: `out` is already all-zero.
+      if (col == nullptr) return true;
+      if (col->kinds.size() < n) return false;
+      const std::int64_t lo =
+          node.query->gte().value_or(std::numeric_limits<std::int64_t>::min());
+      const std::int64_t hi =
+          node.query->lte().value_or(std::numeric_limits<std::int64_t>::max());
+      simd::RangeMaskInt64(col->ints.data(), col->kinds.data(), n, lo, hi,
+                           out->words().data());
+      return true;
+    }
+    case Query::Type::kExists: {
+      if (col == nullptr) return true;
+      if (col->kinds.size() < n) return false;
+      simd::NonMissingMask(col->kinds.data(), n, out->words().data());
+      return true;
+    }
+    case Query::Type::kTerm:
+    case Query::Type::kTerms: {
+      if (col == nullptr) return true;
+      if (col->kinds.size() < n) return false;
+      // Only string and bool term lists vectorize: both compare a single
+      // int64 cell under a single kind byte, and neither can equal a kOther
+      // slot under Json equality (null/array/object never equals a string
+      // or bool), so skipping the per-row doc fallback is exact. Numeric
+      // terms keep the scalar loop (int-vs-double cross-type equality reads
+      // two arrays).
+      for (const TermValue& tv : node.values) {
+        if (tv.kind != ValueKind::kString && tv.kind != ValueKind::kBool) {
+          return false;
+        }
+      }
+      for (const TermValue& tv : node.values) {
+        if (tv.kind == ValueKind::kString) {
+          if (!tv.ord_resolved) continue;  // not in this dict: matches nothing
+          simd::EqMaskInt64(col->ints.data(), col->kinds.data(), n,
+                            static_cast<std::uint8_t>(ValueKind::kString),
+                            static_cast<std::int64_t>(tv.ord),
+                            out->words().data());
+        } else {
+          simd::EqMaskInt64(col->ints.data(), col->kinds.data(), n,
+                            static_cast<std::uint8_t>(ValueKind::kBool), tv.i,
+                            out->words().data());
+        }
+      }
+      return true;
+    }
+    default:
+      return false;  // kPrefix (rank lookup) stays scalar
   }
 }
 

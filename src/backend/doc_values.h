@@ -69,6 +69,14 @@ struct DocValueColumn {
   std::vector<std::uint32_t> rank_to_ord;  // rank -> ordinal
   bool ranks_dirty = false;
 
+  // Pads the parallel arrays with kMissing slots up to `slots` entries.
+  void EnsureSlots(std::size_t slots) {
+    if (kinds.size() >= slots) return;
+    kinds.resize(slots, static_cast<std::uint8_t>(ValueKind::kMissing));
+    ints.resize(slots, 0);
+    dbls.resize(slots, 0.0);
+  }
+
   [[nodiscard]] ValueKind kind(std::size_t pos) const {
     return static_cast<ValueKind>(kinds[pos]);
   }
@@ -96,11 +104,31 @@ class ColumnSet {
   void FinishBatch();
   void Clear();
 
+  // Typed-ingest append path (backend/typed_ingest.cc): claims the next
+  // document slot without reading any Json. The appender then writes field
+  // values directly into TypedColumn() cells; untouched columns are padded
+  // kMissing by the next FinishBatch, exactly like a Json row that lacked
+  // the field.
+  std::size_t BeginTypedRow() { return num_docs_++; }
+  // The named column, created empty on first use. References stay stable
+  // across later insertions (std::map nodes don't move).
+  DocValueColumn& TypedColumn(const std::string& field) {
+    return columns_[field];
+  }
+
+  // Rewrites one existing slot from `doc` (update-by-query over a shard that
+  // holds typed rows): every column's cell at `pos` is reset to kMissing,
+  // then the document's members are re-decoded in place. Dictionaries only
+  // grow; call FinishBatch afterwards to refresh ranks.
+  void ReplaceRow(std::size_t pos, const Json& doc);
+
   [[nodiscard]] std::size_t num_docs() const { return num_docs_; }
   [[nodiscard]] std::size_t num_fields() const { return columns_.size(); }
   [[nodiscard]] const DocValueColumn* Find(std::string_view field) const;
 
  private:
+  void DecodeMember(DocValueColumn& col, std::size_t pos, const Json& value);
+
   std::map<std::string, DocValueColumn, std::less<>> columns_;
   std::size_t num_docs_ = 0;
 };
@@ -120,6 +148,10 @@ class FilterBitmap {
   void AndWith(const FilterBitmap& other);
   void OrWith(const FilterBitmap& other);
   void Negate();  // complement, with the tail bits past bits() kept zero
+
+  // Raw word storage for the simd mask kernels (bits() bits, tail zero).
+  [[nodiscard]] std::span<std::uint64_t> words() { return words_; }
+  [[nodiscard]] std::span<const std::uint64_t> words() const { return words_; }
 
   [[nodiscard]] std::size_t CountSet() const;
   template <typename Fn>
@@ -211,6 +243,12 @@ class CompiledQuery {
   static bool MatchesNode(const Node& node, std::size_t pos, const Json& doc);
   static FilterBitmap EvalNode(const Node& node, std::span<const Json> docs,
                                FilterBitmapCache* cache);
+  // Vectorized leaf evaluation (backend/simd_kernels.h): fills `out` for the
+  // predicate shapes the kernels cover (numeric ranges, exists, string/bool
+  // term lists) and returns true; returns false when the leaf needs the
+  // scalar per-row loop (prefix ranks, numeric terms, kOther fallbacks).
+  static bool EvalLeafKernel(const Node& node, std::size_t n,
+                             FilterBitmap* out);
 
   Node root_;
 };

@@ -5,7 +5,12 @@
 #include <fstream>
 #include <limits>
 #include <numeric>
+#include <optional>
 #include <thread>
+
+#include "backend/simd_kernels.h"
+#include "backend/typed_ingest.h"
+#include "tracer/event.h"
 
 namespace dio::backend {
 
@@ -70,7 +75,7 @@ Expected<SearchRequest> SearchRequest::FromJsonText(
 ElasticStoreOptions ElasticStoreOptions::FromConfig(const Config& config) {
   WarnUnknownKeys(config, "backend",
                   {"shards_per_index", "query_threads", "doc_values",
-                   "max_result_window"});
+                   "typed_ingest", "simd_kernels", "max_result_window"});
   ElasticStoreOptions opts;
   opts.shards_per_index = static_cast<std::size_t>(std::max<std::int64_t>(
       1, config.GetInt("backend.shards_per_index",
@@ -79,6 +84,10 @@ ElasticStoreOptions ElasticStoreOptions::FromConfig(const Config& config) {
       0, config.GetInt("backend.query_threads",
                        static_cast<std::int64_t>(opts.query_threads))));
   opts.doc_values = config.GetBool("backend.doc_values", opts.doc_values);
+  opts.typed_ingest =
+      config.GetBool("backend.typed_ingest", opts.typed_ingest);
+  opts.simd_kernels =
+      config.GetBool("backend.simd_kernels", opts.simd_kernels);
   opts.max_result_window = static_cast<std::size_t>(std::max<std::int64_t>(
       1, config.GetInt("backend.max_result_window",
                        static_cast<std::int64_t>(opts.max_result_window))));
@@ -95,6 +104,13 @@ ElasticStore::Index::Index(std::size_t num_shards) {
     shards.push_back(std::move(shard));
     lanes.push_back(std::make_unique<IngestLane>());
   }
+}
+
+Json ElasticStore::Index::MaterializedDoc(DocId id) const {
+  const SubShard& shard = *shards[static_cast<std::size_t>(id) % shards.size()];
+  const auto pos = static_cast<std::size_t>(id) / shards.size();
+  if (shard.IsTyped(pos)) return MaterializeWireDoc(shard.columns, pos);
+  return shard.docs[pos];
 }
 
 ElasticStore::ElasticStore(std::size_t shards_per_index)
@@ -114,6 +130,10 @@ ElasticStore::ElasticStore(const ElasticStoreOptions& options)
     query_pool_ =
         std::make_unique<ThreadPool>(options_.query_threads, "es:query");
   }
+  // The kernel switch is process-wide (the kernels are free functions under
+  // the bitmap/column types); the most recently constructed store wins,
+  // which in practice is the one store a process runs.
+  simd::SetEnabled(options_.simd_kernels);
 }
 
 Status ElasticStore::CreateIndex(const std::string& name) {
@@ -182,7 +202,31 @@ void ElasticStore::Bulk(const std::string& index_name,
       index->bulk_seq.fetch_add(1, std::memory_order_relaxed);
   IngestLane& lane = *index->lanes[seq % index->lanes.size()];
   std::scoped_lock lock(lane.mu);
-  lane.batches.push_back(PendingBatch{seq, std::move(documents)});
+  lane.batches.push_back(PendingBatch{seq, std::move(documents), {}, {}});
+}
+
+void ElasticStore::BulkWire(const std::string& index_name,
+                            std::string_view session,
+                            std::vector<tracer::WireEvent> records) {
+  if (!options_.typed_ingest || !options_.doc_values) {
+    // Parity fallback: same documents, same docids, same everything — the
+    // typed route only changes how the fields reach the columns.
+    std::vector<Json> documents;
+    documents.reserve(records.size());
+    for (const tracer::WireEvent& record : records) {
+      documents.push_back(tracer::WireEventToJson(record, session));
+    }
+    Bulk(index_name, std::move(documents));
+    return;
+  }
+  const std::shared_ptr<Index> index = FindOrCreate(index_name);
+  index->bulk_requests.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t seq =
+      index->bulk_seq.fetch_add(1, std::memory_order_relaxed);
+  IngestLane& lane = *index->lanes[seq % index->lanes.size()];
+  std::scoped_lock lock(lane.mu);
+  lane.batches.push_back(
+      PendingBatch{seq, {}, std::move(records), std::string(session)});
 }
 
 std::string ElasticStore::TermKey(const Json& value) {
@@ -259,33 +303,84 @@ void ElasticStore::Refresh(const std::string& index_name) {
               return a.seq < b.seq;
             });
 
-  // Assign docids and stage each document with its owning sub-shard.
+  // Assign docids and stage each row with its owning sub-shard. JSON rows
+  // move their document; typed rows carry a pointer into the (still-alive)
+  // batch's wire records plus its session label.
+  struct StagedRow {
+    DocId id = 0;
+    Json doc;
+    const tracer::WireEvent* wire = nullptr;
+    const std::string* session = nullptr;
+  };
   const std::size_t num_shards = index->num_shards();
-  std::vector<std::vector<std::pair<DocId, Json>>> staged(num_shards);
+  std::vector<std::vector<StagedRow>> staged(num_shards);
   std::size_t total = 0;
-  for (PendingBatch& batch : batches) total += batch.docs.size();
+  bool has_wire = false;
+  for (PendingBatch& batch : batches) {
+    total += batch.docs.size() + batch.wire.size();
+    has_wire = has_wire || !batch.wire.empty();
+  }
   for (auto& stage : staged) stage.reserve(total / num_shards + 1);
   for (PendingBatch& batch : batches) {
     for (Json& doc : batch.docs) {
       const DocId id = index->next_docid++;
-      staged[static_cast<std::size_t>(id) % num_shards].emplace_back(
-          id, std::move(doc));
+      staged[static_cast<std::size_t>(id) % num_shards].push_back(
+          StagedRow{id, std::move(doc), nullptr, nullptr});
+    }
+    for (const tracer::WireEvent& record : batch.wire) {
+      const DocId id = index->next_docid++;
+      staged[static_cast<std::size_t>(id) % num_shards].push_back(
+          StagedRow{id, Json(), &record, &batch.session});
     }
   }
 
   // Index the sub-shards — in parallel when the batch is big enough to pay
   // for the threads (refresh_mu is held, so workers touching distinct
   // shards cannot race queries or each other).
-  const auto ingest_shard = [this, &index, &staged](std::size_t s) {
+  const auto ingest_shard = [this, &index, &staged, has_wire](std::size_t s) {
     SubShard& shard = *index->shards[s];
     std::unique_lock shard_lock(shard.mu);
     const std::size_t first_pos = shard.docs.size();
-    for (auto& [id, doc] : staged[s]) {
-      shard.docs.push_back(std::move(doc));
-      IndexDoc(shard, id, shard.docs.back());
+    if (!has_wire) {
+      // Pure-JSON refresh: the original route, columns appended afterwards.
+      for (StagedRow& row : staged[s]) {
+        shard.docs.push_back(std::move(row.doc));
+        shard.typed.push_back(0);
+        IndexDoc(shard, row.id, shard.docs.back());
+      }
+      SortNumericsIfDirty(shard);
+      if (options_.doc_values) BuildColumns(*index, shard, first_pos);
+      return;
+    }
+    // Typed refresh (doc_values guaranteed on by BulkWire): column slots
+    // must be claimed in row order, so JSON rows interleave their AppendDoc
+    // with the appender's typed appends. Typed rows get a null placeholder
+    // document and skip the term/numeric indexes entirely — that skip is
+    // the bulk of the typed route's win, paid for by forcing the scan path
+    // while the shard holds typed rows.
+    const Nanos start = SteadyClock::Instance()->NowNanos();
+    std::optional<WireColumnAppender> appender;
+    for (StagedRow& row : staged[s]) {
+      if (row.wire != nullptr) {
+        shard.docs.emplace_back();
+        shard.typed.push_back(1);
+        ++shard.typed_rows;
+        if (!appender.has_value()) appender.emplace(&shard.columns);
+        appender->Append(*row.wire, *row.session);
+      } else {
+        shard.docs.push_back(std::move(row.doc));
+        shard.typed.push_back(0);
+        IndexDoc(shard, row.id, shard.docs.back());
+        shard.columns.AppendDoc(shard.docs.back());
+      }
     }
     SortNumericsIfDirty(shard);
-    if (options_.doc_values) BuildColumns(*index, shard, first_pos);
+    shard.columns.FinishBatch();
+    shard.filter_cache.Clear();
+    index->column_build_ns.fetch_add(
+        static_cast<std::uint64_t>(SteadyClock::Instance()->NowNanos() -
+                                   start),
+        std::memory_order_relaxed);
   };
   constexpr std::size_t kParallelRefreshThreshold = 4096;
   if (total >= kParallelRefreshThreshold && num_shards > 1 &&
@@ -435,7 +530,12 @@ std::vector<DocId> ElasticStore::MatchingDocsColumnar(const SubShard& shard,
                                                       const Query& query) {
   std::vector<DocId> matches;
   const CompiledQuery compiled(query, shard.columns);
-  auto candidates = Candidates(shard, query);
+  // Typed rows have no postings/numerics entries, so while the shard holds
+  // any, the candidate lists are incomplete — go straight to the scan path
+  // (the compiled bitmaps read the columns, which do cover typed rows).
+  auto candidates = shard.typed_rows == 0
+                        ? Candidates(shard, query)
+                        : std::optional<std::vector<DocId>>();
   if (candidates.has_value()) {
     for (DocId id : *candidates) {
       if (!shard.Owns(id)) continue;
@@ -580,7 +680,7 @@ Expected<SearchResult> ElasticStore::Search(const std::string& index_name,
   if (request.sort.empty()) {
     result.hits.reserve(end - start);
     for (std::size_t i = start; i < end; ++i) {
-      result.hits.push_back(Hit{matches[i], index->DocAt(matches[i])});
+      result.hits.push_back(Hit{matches[i], index->MaterializedDoc(matches[i])});
     }
     return result;
   }
@@ -653,7 +753,7 @@ Expected<SearchResult> ElasticStore::Search(const std::string& index_name,
   result.hits.reserve(end - start);
   for (std::size_t i = start; i < end; ++i) {
     const DocId id = matches[order[i]];
-    result.hits.push_back(Hit{id, index->DocAt(id)});
+    result.hits.push_back(Hit{id, index->MaterializedDoc(id)});
   }
   return result;
 }
@@ -784,19 +884,32 @@ Expected<std::size_t> ElasticStore::UpdateByQuery(
   if (index == nullptr) return NotFound("no such index: " + index_name);
   std::unique_lock refresh_lock(index->refresh_mu);
   std::vector<DocId> matches = MatchingDocs(*index, query);
-  std::vector<char> touched(index->num_shards(), 0);
+  const std::size_t num_shards = index->num_shards();
+  std::vector<std::vector<std::size_t>> modified_pos(num_shards);
   std::size_t modified = 0;
   for (DocId id : matches) {
-    const std::size_t s = static_cast<std::size_t>(id) % index->num_shards();
+    const std::size_t s = static_cast<std::size_t>(id) % num_shards;
+    const auto pos = static_cast<std::size_t>(id) / num_shards;
     SubShard& shard = *index->shards[s];
     std::unique_lock shard_lock(shard.mu);
-    Json& doc = shard.DocAt(id);
-    if (!update(doc)) continue;
+    if (shard.IsTyped(pos)) {
+      // Typed rows are updated through their materialized document; a
+      // modification converts the row to a JSON row (updates are rare —
+      // one correlation pass per session — and conversion keeps the update
+      // path identical for both routes from here on).
+      Json doc = MaterializeWireDoc(shard.columns, pos);
+      if (!update(doc)) continue;
+      shard.docs[pos] = std::move(doc);
+      shard.typed[pos] = 0;
+      --shard.typed_rows;
+    } else {
+      if (!update(shard.docs[pos])) continue;
+    }
     ++modified;
-    touched[s] = 1;
+    modified_pos[s].push_back(pos);
     // Re-index the updated document: postings become a superset (stale
     // entries are filtered by re-verification at query time).
-    IndexDoc(shard, id, doc);
+    IndexDoc(shard, id, shard.docs[pos]);
   }
   index->updates.fetch_add(modified, std::memory_order_relaxed);
   for (const auto& shard : index->shards) {
@@ -804,14 +917,24 @@ Expected<std::size_t> ElasticStore::UpdateByQuery(
     SortNumericsIfDirty(*shard);
   }
   if (options_.doc_values) {
-    // Columns of touched shards are rebuilt wholesale: updates are rare
-    // (one correlation pass per session) and rebuild keeps ordinals dense.
-    for (std::size_t s = 0; s < index->num_shards(); ++s) {
-      if (touched[s] == 0) continue;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      if (modified_pos[s].empty()) continue;
       SubShard& shard = *index->shards[s];
       std::unique_lock shard_lock(shard.mu);
-      shard.columns.Clear();
-      BuildColumns(*index, shard, 0);
+      if (shard.typed_rows == 0) {
+        // All rows are JSON-backed: rebuild wholesale, keeping ordinals
+        // dense (the pre-typed-ingest behavior).
+        shard.columns.Clear();
+        BuildColumns(*index, shard, 0);
+      } else {
+        // Typed rows remain: their cells are the only copy of their
+        // fields, so rewrite just the modified slots in place.
+        for (const std::size_t pos : modified_pos[s]) {
+          shard.columns.ReplaceRow(pos, shard.docs[pos]);
+        }
+        shard.columns.FinishBatch();
+        shard.filter_cache.Clear();
+      }
     }
   }
   return modified;
@@ -825,6 +948,7 @@ Expected<IndexStats> ElasticStore::Stats(const std::string& index_name) const {
   for (const auto& shard : index->shards) {
     std::shared_lock shard_lock(shard->mu);
     stats.doc_count += shard->docs.size();
+    stats.typed_rows += shard->typed_rows;
     stats.doc_value_fields += shard->columns.num_fields();
     stats.filter_cache_hits += shard->filter_cache.hits();
     stats.filter_cache_misses += shard->filter_cache.misses();
@@ -832,7 +956,7 @@ Expected<IndexStats> ElasticStore::Stats(const std::string& index_name) const {
   for (const auto& lane : index->lanes) {
     std::scoped_lock lane_lock(lane->mu);
     for (const PendingBatch& batch : lane->batches) {
-      stats.pending_count += batch.docs.size();
+      stats.pending_count += batch.docs.size() + batch.wire.size();
     }
   }
   stats.bulk_requests = index->bulk_requests.load(std::memory_order_relaxed);
@@ -856,7 +980,7 @@ Status ElasticStore::SaveIndex(const std::string& index_name,
   header.Set("docs", static_cast<std::int64_t>(doc_count));
   out << header.Dump() << "\n";
   for (DocId id = 0; id < doc_count; ++id) {
-    out << index->DocAt(id).Dump() << "\n";
+    out << index->MaterializedDoc(id).Dump() << "\n";
   }
   out.close();
   if (!out) return Unavailable("write failed: " + file_path);

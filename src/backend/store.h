@@ -42,6 +42,7 @@
 #include "common/json.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "tracer/wire.h"
 
 namespace dio::backend {
 
@@ -82,6 +83,7 @@ struct SearchResult {
 struct IndexStats {
   std::size_t doc_count = 0;       // searchable documents
   std::size_t pending_count = 0;   // bulked but not yet refreshed
+  std::size_t typed_rows = 0;      // rows ingested via the typed route
   std::uint64_t bulk_requests = 0;
   std::uint64_t updates = 0;
   // Columnar engine: fields with doc-value columns (summed over sub-shards),
@@ -101,6 +103,16 @@ struct ElasticStoreOptions {
   // Materialize doc-value columns at Refresh and serve queries from them.
   // Off = the serial JSON engine (the parity oracle).
   bool doc_values = true;
+  // Ingest BulkWire() batches straight into doc-value columns, skipping the
+  // per-event JSON build/parse entirely (requires doc_values). Off = wire
+  // batches are materialized to JSON and take the Bulk() route — the parity
+  // oracle for the typed path.
+  bool typed_ingest = true;
+  // Route bitmap combination / range / term-list / histogram evaluation
+  // through the vectorized kernels (backend/simd_kernels.h). Process-wide:
+  // constructing a store applies this to the kernel switch. Off = the
+  // original scalar loops (identical results, the parity fallback).
+  bool simd_kernels = true;
   // Upper bound on from + size accepted by SearchRequest parsing (like ES's
   // index.max_result_window). Programmatic SearchRequests are not clamped.
   std::size_t max_result_window = 10'000;
@@ -132,6 +144,15 @@ class ElasticStore {
   // Bulk ingestion: documents are buffered and become searchable at the
   // next Refresh() (near-real-time semantics).
   void Bulk(const std::string& index, std::vector<Json> documents);
+  // Typed bulk ingestion: buffers binary wire records; at Refresh their
+  // fields are appended straight into doc-value columns (no JSON build, no
+  // postings). Queries over typed rows read the columns; row-oriented views
+  // (hits, snapshots, update-by-query) are rebuilt on demand and are
+  // byte-identical to the documents Bulk() would have produced from
+  // WireEventToJson. Falls back to exactly that Bulk() route when
+  // typed_ingest or doc_values is off.
+  void BulkWire(const std::string& index, std::string_view session,
+                std::vector<tracer::WireEvent> records);
   // Makes all buffered documents searchable.
   void Refresh(const std::string& index);
   void RefreshAll();
@@ -194,6 +215,18 @@ class ElasticStore {
     ColumnSet columns;
     mutable FilterBitmapCache filter_cache;
 
+    // Typed-ingest state (backend.typed_ingest): typed[pos] != 0 marks a row
+    // whose fields live only in `columns` — docs[pos] is a null placeholder
+    // and the term/numeric indexes never saw it, so while typed_rows > 0
+    // queries must take the scan path (Candidates() would miss these rows).
+    // An update-by-query that modifies a typed row converts it to a JSON row.
+    std::vector<std::uint8_t> typed;
+    std::size_t typed_rows = 0;
+
+    [[nodiscard]] bool IsTyped(std::size_t pos) const {
+      return pos < typed.size() && typed[pos] != 0;
+    }
+
     [[nodiscard]] const Json& DocAt(DocId id) const {
       return docs[static_cast<std::size_t>(id) / stride];
     }
@@ -207,10 +240,13 @@ class ElasticStore {
   };
 
   // Bulked-but-unrefreshed documents, tagged with the bulk sequence number
-  // that fixes their ingestion (docid) order.
+  // that fixes their ingestion (docid) order. A batch holds either JSON
+  // documents (Bulk) or binary wire records (BulkWire), never both.
   struct PendingBatch {
     std::uint64_t seq = 0;
     std::vector<Json> docs;
+    std::vector<tracer::WireEvent> wire;
+    std::string session;  // labels the wire records' documents
   };
 
   // Ingest lane: where Bulk() parks batches. One lane per sub-shard, each
@@ -242,6 +278,10 @@ class ElasticStore {
     [[nodiscard]] Json& DocAt(DocId id) {
       return shards[static_cast<std::size_t>(id) % shards.size()]->DocAt(id);
     }
+    // Row-oriented view of any row: JSON rows copy the stored document,
+    // typed rows rebuild it from the columns (byte-identical to what the
+    // JSON route would have stored). Caller holds refresh_mu.
+    [[nodiscard]] Json MaterializedDoc(DocId id) const;
   };
 
   static std::string TermKey(const Json& value);

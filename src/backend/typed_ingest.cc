@@ -1,0 +1,173 @@
+#include "backend/typed_ingest.h"
+
+namespace dio::backend {
+
+namespace {
+
+// Indices into WireDocFields() / WireColumnAppender::cols_.
+enum Field : std::size_t {
+  kSession = 0,
+  kSyscall,
+  kCategory,
+  kPid,
+  kTid,
+  kComm,
+  kProcName,
+  kTimeEnter,
+  kTimeExit,
+  kDurationNs,
+  kRet,
+  kCpu,
+  kFd,
+  kPath,
+  kPath2,
+  kXattrName,
+  kCount,
+  kArgOffset,
+  kWhence,
+  kFlags,
+  kMode,
+  kFileType,
+  kFileOffset,
+  kFileTag,
+  kTagDev,
+  kTagIno,
+  kTagTs,
+  kNumFields,
+};
+
+}  // namespace
+
+const std::vector<std::string>& WireDocFields() {
+  static const std::vector<std::string> kFields = {
+      "session",    "syscall",     "category",  "pid",        "tid",
+      "comm",       "proc_name",   "time_enter", "time_exit", "duration_ns",
+      "ret",        "cpu",         "fd",        "path",       "path2",
+      "xattr_name", "count",       "arg_offset", "whence",    "flags",
+      "mode",       "file_type",   "file_offset", "file_tag", "tag_dev",
+      "tag_ino",    "tag_ts"};
+  return kFields;
+}
+
+WireColumnAppender::WireColumnAppender(ColumnSet* columns)
+    : columns_(columns) {
+  const std::vector<std::string>& fields = WireDocFields();
+  cols_.reserve(fields.size());
+  for (const std::string& field : fields) {
+    // Eagerly creating every canonical column is benign: an all-kMissing
+    // column behaves exactly like an absent one in every query path.
+    cols_.push_back(&columns_->TypedColumn(field));
+  }
+}
+
+void WireColumnAppender::SetInt(DocValueColumn* col, std::size_t pos,
+                                std::int64_t v) {
+  col->EnsureSlots(pos + 1);
+  col->kinds[pos] = static_cast<std::uint8_t>(ValueKind::kInt);
+  col->ints[pos] = v;
+  // Json int members carry their double shadow for cross-type numeric
+  // equality and sorting; mirror ColumnSet::DecodeMember.
+  col->dbls[pos] = static_cast<double>(v);
+}
+
+void WireColumnAppender::SetString(DocValueColumn* col, std::size_t pos,
+                                   std::string_view s) {
+  col->EnsureSlots(pos + 1);
+  scratch_.assign(s.data(), s.size());
+  auto it = col->dict_lookup.find(scratch_);
+  std::uint32_t ord;
+  if (it == col->dict_lookup.end()) {
+    ord = static_cast<std::uint32_t>(col->dict.size());
+    col->dict.push_back(scratch_);
+    col->dict_lookup.emplace(scratch_, ord);
+    col->ranks_dirty = true;
+  } else {
+    ord = it->second;
+  }
+  col->kinds[pos] = static_cast<std::uint8_t>(ValueKind::kString);
+  col->ints[pos] = static_cast<std::int64_t>(ord);
+}
+
+std::size_t WireColumnAppender::Append(const tracer::WireEvent& raw,
+                                       std::string_view session) {
+  const std::size_t pos = columns_->BeginTypedRow();
+  const auto nr = static_cast<os::SyscallNr>(raw.nr);
+  const os::SyscallDescriptor& desc = os::Describe(nr);
+
+  // Unconditional fields — present in every wire document.
+  SetString(cols_[kSession], pos, session);
+  SetString(cols_[kSyscall], pos, desc.name);
+  SetString(cols_[kCategory], pos, os::CategoryName(desc.category));
+  SetInt(cols_[kPid], pos, raw.pid);
+  SetInt(cols_[kTid], pos, raw.tid);
+  SetString(cols_[kComm], pos, {raw.comm, raw.comm_len});
+  SetString(cols_[kProcName], pos, {raw.proc_name, raw.proc_name_len});
+  SetInt(cols_[kTimeEnter], pos, raw.time_enter);
+  SetInt(cols_[kTimeExit], pos, raw.time_exit);
+  SetInt(cols_[kDurationNs], pos, raw.time_exit - raw.time_enter);
+  SetInt(cols_[kRet], pos, raw.ret);
+  SetInt(cols_[kCpu], pos, raw.cpu);
+
+  // Conditional fields — the exact WireEventToJson presence rules; a field
+  // not written here stays kMissing, matching a document without the member.
+  if (raw.fd >= 0 && desc.takes_fd) SetInt(cols_[kFd], pos, raw.fd);
+  if (raw.path_len > 0) SetString(cols_[kPath], pos, {raw.path, raw.path_len});
+  if (raw.path2_len > 0) {
+    SetString(cols_[kPath2], pos, {raw.path2, raw.path2_len});
+  }
+  if (raw.xattr_len > 0) {
+    SetString(cols_[kXattrName], pos, {raw.xattr_name, raw.xattr_len});
+  }
+  if (desc.data_related || raw.count > 0) {
+    SetInt(cols_[kCount], pos, static_cast<std::int64_t>(raw.count));
+  }
+  if (raw.arg_offset >= 0) SetInt(cols_[kArgOffset], pos, raw.arg_offset);
+  if (raw.whence >= 0) SetInt(cols_[kWhence], pos, raw.whence);
+  if (raw.flags != 0) SetInt(cols_[kFlags], pos, raw.flags);
+  if (raw.mode != 0) SetInt(cols_[kMode], pos, raw.mode);
+  if (raw.file_type != static_cast<std::uint8_t>(os::FileType::kUnknown)) {
+    SetString(cols_[kFileType], pos,
+              os::FileTypeName(static_cast<os::FileType>(raw.file_type)));
+  }
+  if (raw.file_offset >= 0) SetInt(cols_[kFileOffset], pos, raw.file_offset);
+  if (raw.tag_valid != 0) {
+    tracer::FileTag tag;
+    tag.valid = true;
+    tag.dev = raw.tag_dev;
+    tag.ino = raw.tag_ino;
+    tag.first_access_ts = raw.tag_ts;
+    SetString(cols_[kFileTag], pos, tag.ToKey());
+    SetInt(cols_[kTagDev], pos, static_cast<std::int64_t>(raw.tag_dev));
+    SetInt(cols_[kTagIno], pos, static_cast<std::int64_t>(raw.tag_ino));
+    SetInt(cols_[kTagTs], pos, raw.tag_ts);
+  }
+  return pos;
+}
+
+Json MaterializeWireDoc(const ColumnSet& columns, std::size_t pos) {
+  Json doc = Json::MakeObject();
+  for (const std::string& field : WireDocFields()) {
+    const DocValueColumn* col = columns.Find(field);
+    if (col == nullptr || col->kinds.size() <= pos) continue;
+    switch (col->kind(pos)) {
+      case ValueKind::kInt:
+        doc.Set(field, col->ints[pos]);
+        break;
+      case ValueKind::kString:
+        doc.Set(field, std::string(col->str(pos)));
+        break;
+      case ValueKind::kDouble:
+        doc.Set(field, col->dbls[pos]);
+        break;
+      case ValueKind::kBool:
+        doc.Set(field, col->ints[pos] != 0);
+        break;
+      case ValueKind::kMissing:
+      case ValueKind::kOther:  // never written by the typed appender
+        break;
+    }
+  }
+  return doc;
+}
+
+}  // namespace dio::backend

@@ -1,7 +1,11 @@
 // sim_explorer: seed-sweep driver for the deterministic simulation.
 //
 //   sim_explorer [--seeds=N] [--seed=X] [--ops=N] [--fault-plan=SPEC]
-//                [--spool-dir=DIR] [--trace]
+//                [--spool-dir=DIR] [--trace] [--json-ingest]
+//
+// --json-ingest sweeps the same seeds over the JSON-oracle ingest route
+// (backend.typed_ingest=false) instead of the default typed wire->column
+// route; every invariant must hold identically on both.
 //
 // Runs RunSimulation for each seed (1..N, or exactly X), prints one summary
 // line per seed, and on any invariant violation prints the minimal repro
@@ -60,6 +64,7 @@ int main(int argc, char** argv) {
   std::string fault_spec;
   std::string spool_dir;
   bool keep_trace = false;
+  bool json_ingest = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -76,6 +81,8 @@ int main(int argc, char** argv) {
       spool_dir = std::string(value);
     } else if (arg == "--trace") {
       keep_trace = true;
+    } else if (arg == "--json-ingest") {
+      json_ingest = true;
     } else {
       std::fprintf(stderr, "sim_explorer: unknown argument '%s'\n", argv[i]);
       return 2;
@@ -121,6 +128,7 @@ int main(int argc, char** argv) {
     options.fault_spec = fault_spec;
     options.spool_dir = spool_dir;
     options.keep_trace = keep_trace;
+    options.typed_ingest = !json_ingest;
 
     auto result = dio::sim::RunSimulation(options);
     if (!result.ok()) {
@@ -142,9 +150,10 @@ int main(int argc, char** argv) {
     }
 
     std::printf(
-        "seed %llu plan=%s steps=%llu digest=%016llx spool=%llu/%llu "
+        "seed %llu route=%s plan=%s steps=%llu digest=%016llx spool=%llu/%llu "
         "restored=%llu%s\n",
-        static_cast<unsigned long long>(seed), result->plan_spec.c_str(),
+        static_cast<unsigned long long>(seed),
+        json_ingest ? "json" : "typed", result->plan_spec.c_str(),
         static_cast<unsigned long long>(result->steps),
         static_cast<unsigned long long>(result->schedule_digest),
         static_cast<unsigned long long>(result->spool_unique),

@@ -108,6 +108,16 @@ class HeadSink final : public tracer::EventSink {
     batch.events = std::move(events);
     (void)head_->Submit(std::move(batch));
   }
+  void IndexWire(std::string_view session,
+                 std::vector<tracer::WireEvent> records) override {
+    // Typed batches enter the sim chain binary, exactly as in the service:
+    // the ledger, spool, and exactly-once invariants must hold for both
+    // ingest routes.
+    transport::EventBatch batch;
+    batch.session = std::string(session);
+    batch.wire = std::move(records);
+    (void)head_->Submit(std::move(batch));
+  }
   void Flush() override { head_->Flush(); }
 
  private:
@@ -246,7 +256,9 @@ Expected<RunData> RunOnce(const SimOptions& options, const FaultPlan& plan,
   }());
   if (!device.ok()) return device.status();
 
-  backend::ElasticStore store;
+  backend::ElasticStoreOptions store_options;
+  store_options.typed_ingest = options.typed_ingest;
+  backend::ElasticStore store(store_options);
 
   // Transport chain, bottom-up: bulk -> ackloss -> {.., spool} fanout ->
   // retry -> queue. The queue and all waits run in manual/virtual-time mode

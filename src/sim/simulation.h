@@ -49,6 +49,11 @@ struct SimOptions {
   std::string spool_dir;
   // Keep the full schedule trace of each run (memory-heavy; repro dumps).
   bool keep_trace = false;
+  // Ingest route for the run's ElasticStore: true = typed wire->column
+  // ingest (the default production path), false = the JSON-oracle route
+  // (wire records materialized to documents at the store boundary). Every
+  // invariant must hold identically on both.
+  bool typed_ingest = true;
 };
 
 // Observed outcome of one simulated run (golden or faulty).

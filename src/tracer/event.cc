@@ -52,22 +52,25 @@ void FillWireEvent(WireEvent* out, const Event& event) {
 }
 
 Event MaterializeEvent(const WireEventView& view) {
-  const WireEvent& raw = view.raw();
+  return MaterializeEvent(view.raw());
+}
+
+Event MaterializeEvent(const WireEvent& raw) {
   Event event;
   event.phase = static_cast<EventPhase>(raw.phase);
   event.nr = static_cast<os::SyscallNr>(raw.nr);
   event.pid = raw.pid;
   event.tid = raw.tid;
-  event.comm = std::string(view.comm());
-  event.proc_name = std::string(view.proc_name());
+  event.comm = std::string(raw.comm, raw.comm_len);
+  event.proc_name = std::string(raw.proc_name, raw.proc_name_len);
   event.time_enter = raw.time_enter;
   event.time_exit = raw.time_exit;
   event.ret = raw.ret;
   event.cpu = raw.cpu;
   event.fd = raw.fd;
-  event.path = std::string(view.path());
-  event.path2 = std::string(view.path2());
-  event.xattr_name = std::string(view.xattr_name());
+  event.path = std::string(raw.path, raw.path_len);
+  event.path2 = std::string(raw.path2, raw.path2_len);
+  event.xattr_name = std::string(raw.xattr_name, raw.xattr_len);
   event.count = raw.count;
   event.arg_offset = raw.arg_offset;
   event.whence = raw.whence;
@@ -80,6 +83,59 @@ Event MaterializeEvent(const WireEventView& view) {
   event.tag.ino = raw.tag_ino;
   event.tag.first_access_ts = raw.tag_ts;
   return event;
+}
+
+Json WireEventToJson(const WireEvent& raw, std::string_view session) {
+  const auto nr = static_cast<os::SyscallNr>(raw.nr);
+  const os::SyscallDescriptor& desc = os::Describe(nr);
+  Json doc = Json::MakeObject();
+  doc.Set("session", std::string(session));
+  doc.Set("syscall", std::string(desc.name));
+  doc.Set("category", std::string(os::CategoryName(desc.category)));
+  doc.Set("pid", static_cast<std::int64_t>(raw.pid));
+  doc.Set("tid", static_cast<std::int64_t>(raw.tid));
+  doc.Set("comm", std::string(raw.comm, raw.comm_len));
+  doc.Set("proc_name", std::string(raw.proc_name, raw.proc_name_len));
+  doc.Set("time_enter", raw.time_enter);
+  doc.Set("time_exit", raw.time_exit);
+  doc.Set("duration_ns", raw.time_exit - raw.time_enter);
+  doc.Set("ret", raw.ret);
+  doc.Set("cpu", static_cast<std::int64_t>(raw.cpu));
+  if (raw.fd >= 0 && desc.takes_fd) {
+    doc.Set("fd", static_cast<std::int64_t>(raw.fd));
+  }
+  if (raw.path_len > 0) doc.Set("path", std::string(raw.path, raw.path_len));
+  if (raw.path2_len > 0) {
+    doc.Set("path2", std::string(raw.path2, raw.path2_len));
+  }
+  if (raw.xattr_len > 0) {
+    doc.Set("xattr_name", std::string(raw.xattr_name, raw.xattr_len));
+  }
+  if (desc.data_related || raw.count > 0) {
+    doc.Set("count", static_cast<std::int64_t>(raw.count));
+  }
+  if (raw.arg_offset >= 0) doc.Set("arg_offset", raw.arg_offset);
+  if (raw.whence >= 0) doc.Set("whence", static_cast<std::int64_t>(raw.whence));
+  if (raw.flags != 0) doc.Set("flags", static_cast<std::int64_t>(raw.flags));
+  if (raw.mode != 0) doc.Set("mode", static_cast<std::int64_t>(raw.mode));
+  if (raw.file_type != static_cast<std::uint8_t>(os::FileType::kUnknown)) {
+    doc.Set("file_type",
+            std::string(os::FileTypeName(
+                static_cast<os::FileType>(raw.file_type))));
+  }
+  if (raw.file_offset >= 0) doc.Set("file_offset", raw.file_offset);
+  if (raw.tag_valid != 0) {
+    FileTag tag;
+    tag.valid = true;
+    tag.dev = raw.tag_dev;
+    tag.ino = raw.tag_ino;
+    tag.first_access_ts = raw.tag_ts;
+    doc.Set("file_tag", tag.ToKey());
+    doc.Set("tag_dev", static_cast<std::int64_t>(raw.tag_dev));
+    doc.Set("tag_ino", static_cast<std::int64_t>(raw.tag_ino));
+    doc.Set("tag_ts", raw.tag_ts);
+  }
+  return doc;
 }
 
 void SerializeEvent(const Event& event, std::vector<std::byte>* out) {

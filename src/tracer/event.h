@@ -90,6 +90,13 @@ struct Event {
 void FillWireEvent(WireEvent* out, const Event& event);
 // Builds the Event (allocating its strings) from a validated view.
 Event MaterializeEvent(const WireEventView& view);
+// Same, from an owned record that already passed ring-decode validation
+// (typed batches carry WireEvents by value past that point).
+Event MaterializeEvent(const WireEvent& raw);
+// Event::ToJson for an owned wire record without the intermediate Event
+// (no std::string allocations for the bounded fields). Byte-identical to
+// MaterializeEvent(raw).ToJson(session) — the JSON route's oracle form.
+Json WireEventToJson(const WireEvent& raw, std::string_view session);
 
 // Buffer-based shims over the fixed layout, for callers without a ring
 // reservation (tests, benches, baselines).

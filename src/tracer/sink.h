@@ -40,6 +40,20 @@ class EventSink {
     }
     IndexBatch(std::move(documents));
   }
+  // Fastest path: owned copies of the fixed-layout wire records, exactly as
+  // they crossed the ring (typed ingest). Sinks that understand the binary
+  // form (transport::Pipeline -> backend::BulkClient -> ElasticStore's
+  // typed-ingest route) forward it untouched; the default materializes to
+  // Events and falls back to IndexEvents so simple sinks keep working.
+  virtual void IndexWire(std::string_view session,
+                         std::vector<WireEvent> records) {
+    std::vector<Event> events;
+    events.reserve(records.size());
+    for (const WireEvent& record : records) {
+      events.push_back(MaterializeEvent(record));
+    }
+    IndexEvents(session, std::move(events));
+  }
   // Called at session end so the sink can flush/refresh.
   virtual void Flush() {}
 };

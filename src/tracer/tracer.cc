@@ -154,6 +154,7 @@ Status DioTracer::Start() {
     for (std::size_t w = 0; w < num_workers; ++w) {
       auto state = std::make_unique<ConsumerState>();
       state->batch.reserve(options_.batch_size);
+      state->wire.reserve(options_.batch_size);
       state->last_flush = kernel_->clock()->NowNanos();
       manual_states_.push_back(std::move(state));
     }
@@ -209,7 +210,7 @@ void DioTracer::Stop() {
       }
     }
     for (auto& state : manual_states_) {
-      if (!state->batch.empty()) FlushBatch(&state->batch);
+      FlushBatch(state.get());
     }
     manual_states_.clear();
   }
@@ -692,9 +693,15 @@ void DioTracer::HandleRecord(ConsumerState* state,
         return;
       }
     }
-    state->batch.push_back(MaterializeEvent(view));
+    // Aggregate-mode survivor: copy the record off the ring verbatim and
+    // ship it binary (typed ingest). No Event, no std::string, no Json on
+    // this thread — materialization happens only if a JSON-consuming sink
+    // (spool, oracle store route) asks for it downstream.
+    state->wire.push_back(view.raw());
   }
-  if (state->batch.size() >= options_.batch_size) FlushBatch(&state->batch);
+  if (state->batch.size() + state->wire.size() >= options_.batch_size) {
+    FlushBatch(state);
+  }
 }
 
 std::size_t DioTracer::DrainStripeOnce(ConsumerState* state,
@@ -712,9 +719,9 @@ std::size_t DioTracer::DrainStripeOnce(ConsumerState* state,
     n += rings_.DrainRing(cpu, handle, 4096);
   }
   const Nanos now = kernel_->clock()->NowNanos();
-  if (!state->batch.empty() &&
+  if ((!state->batch.empty() || !state->wire.empty()) &&
       now - state->last_flush >= options_.flush_interval_ns) {
-    FlushBatch(&state->batch);
+    FlushBatch(state);
     state->last_flush = now;
   }
   return n;
@@ -730,6 +737,7 @@ void DioTracer::ConsumerLoop(const std::stop_token& stop, std::size_t worker,
                              std::size_t num_workers) {
   ConsumerState state;
   state.batch.reserve(options_.batch_size);
+  state.wire.reserve(options_.batch_size);
   state.last_flush = kernel_->clock()->NowNanos();
 
   while (true) {
@@ -740,16 +748,24 @@ void DioTracer::ConsumerLoop(const std::stop_token& stop, std::size_t worker,
           std::chrono::nanoseconds(options_.poll_interval_ns));
     }
   }
-  if (!state.batch.empty()) FlushBatch(&state.batch);
+  FlushBatch(&state);
 }
 
-void DioTracer::FlushBatch(std::vector<Event>* batch) {
-  if (batch->empty()) return;
-  emitted_.fetch_add(batch->size(), std::memory_order_relaxed);
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  sink_->IndexEvents(options_.session_name, std::move(*batch));
-  batch->clear();
-  batch->reserve(options_.batch_size);
+void DioTracer::FlushBatch(ConsumerState* state) {
+  if (!state->wire.empty()) {
+    emitted_.fetch_add(state->wire.size(), std::memory_order_relaxed);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    sink_->IndexWire(options_.session_name, std::move(state->wire));
+    state->wire.clear();
+    state->wire.reserve(options_.batch_size);
+  }
+  if (!state->batch.empty()) {
+    emitted_.fetch_add(state->batch.size(), std::memory_order_relaxed);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    sink_->IndexEvents(options_.session_name, std::move(state->batch));
+    state->batch.clear();
+    state->batch.reserve(options_.batch_size);
+  }
 }
 
 TracerStats DioTracer::stats() const {

@@ -206,8 +206,13 @@ class DioTracer {
   // off). `half_events` is the raw-mode pairing map: tid -> pending enter
   // half; safe per worker because cpu_of(tid) is stable, so both halves of
   // a syscall land on the same ring and therefore on the same stripe.
+  // `batch` holds raw-mode (enter/exit-paired) events; `wire` holds
+  // aggregate-mode records copied verbatim off the ring — typed ingest ships
+  // them binary, so the consumer thread never allocates a Json or an Event
+  // for them.
   struct ConsumerState {
     std::vector<Event> batch;
+    std::vector<WireEvent> wire;
     Nanos last_flush = 0;
     std::unordered_map<os::Tid, Event> half_events;
   };
@@ -228,7 +233,8 @@ class DioTracer {
   // Decodes one drained ring record into `state` (shared by the thread and
   // manual drain paths).
   void HandleRecord(ConsumerState* state, std::span<const std::byte> bytes);
-  void FlushBatch(std::vector<Event>* batch);
+  // Ships the state's pending wire and event batches to the sink.
+  void FlushBatch(ConsumerState* state);
   [[nodiscard]] std::size_t ResolveConsumerThreads() const;
   // Copies the entry's scalars and inline strings into the reserved wire
   // record (everything except the per-site header fields).

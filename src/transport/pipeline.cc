@@ -123,6 +123,15 @@ void Pipeline::IndexEvents(std::string_view session,
   (void)head_->Submit(std::move(batch));
 }
 
+void Pipeline::IndexWire(std::string_view session,
+                         std::vector<tracer::WireEvent> records) {
+  if (records.empty()) return;
+  EventBatch batch;
+  batch.session = std::string(session);
+  batch.wire = std::move(records);
+  (void)head_->Submit(std::move(batch));
+}
+
 void Pipeline::Flush() { head_->Flush(); }
 
 std::vector<StageStats> Pipeline::Stats() const {

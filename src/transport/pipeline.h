@@ -77,6 +77,11 @@ class Pipeline final : public tracer::EventSink {
   void IndexBatch(std::vector<Json> documents) override;
   void IndexEvents(std::string_view session,
                    std::vector<tracer::Event> events) override;
+  // Typed-ingest fast path: the batch enters the chain as tagged binary wire
+  // records and stays binary until a stage needs JSON (spool sink) or the
+  // store's typed route ingests it directly (bulk sink).
+  void IndexWire(std::string_view session,
+                 std::vector<tracer::WireEvent> records) override;
   // Drains the chain deterministically: queue first, then retry, then
   // sinks. After it returns, every accepted batch is delivered or counted.
   void Flush() override;

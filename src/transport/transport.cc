@@ -23,12 +23,16 @@ Expected<Backpressure> BackpressureFromString(std::string_view name) {
 }
 
 void EventBatch::Materialize() {
-  if (events.empty()) return;
-  documents.reserve(documents.size() + events.size());
+  if (events.empty() && wire.empty()) return;
+  documents.reserve(documents.size() + events.size() + wire.size());
   for (const tracer::Event& event : events) {
     documents.push_back(event.ToJson(session));
   }
+  for (const tracer::WireEvent& record : wire) {
+    documents.push_back(tracer::WireEventToJson(record, session));
+  }
   events.clear();
+  wire.clear();
 }
 
 Json StageStats::ToJson() const {

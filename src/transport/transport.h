@@ -40,19 +40,24 @@ Expected<Backpressure> BackpressureFromString(std::string_view name);
 
 // The unit shipped through the pipeline: a batch of events for one session,
 // in deferred binary form (`events`, materialized as late as possible, on
-// the far side of the queue hop) and/or pre-materialized JSON `documents`.
+// the far side of the queue hop), as tagged fixed-layout binary records
+// (`wire`, the typed-ingest fast path: never converted to JSON unless a
+// JSON-consuming sink asks), and/or pre-materialized JSON `documents`.
 struct EventBatch {
   std::string session;
   std::vector<tracer::Event> events;
+  std::vector<tracer::WireEvent> wire;
   std::vector<Json> documents;
 
   [[nodiscard]] std::size_t size() const {
-    return events.size() + documents.size();
+    return events.size() + wire.size() + documents.size();
   }
   [[nodiscard]] bool empty() const { return size() == 0; }
 
-  // Converts all deferred events into documents (appended after any
-  // pre-materialized ones) and clears `events`.
+  // Converts all deferred events — `events` first, then `wire` — into
+  // documents (appended after any pre-materialized ones) and clears both.
+  // Wire records materialize through WireEventToJson, byte-identical to the
+  // Event route, so a sink's output does not depend on which form arrived.
   void Materialize();
 };
 
