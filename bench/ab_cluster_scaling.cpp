@@ -1,0 +1,215 @@
+// Ablation: multi-node backend cluster — ingest scaling with node count and
+// the replication/ack-level cost.
+//
+// The paper's deployment (§II-F) ships every traced syscall into one
+// Elasticsearch backend; the cluster layer spreads the same stream across
+// hash-routed primary/replica nodes. This harness drives identical synthetic
+// syscall batches through ClusterRouter::Ingest under a nodes x replicas x
+// ack sweep and separates the two costs an operator tunes between:
+//
+//   * ack_ms    — the synchronous ingest path: route, append to the shard
+//                 log, apply to enough owners to satisfy the ack level.
+//   * settle_ms — draining the deferred replication backlog (async applies)
+//                 plus the refresh that makes every copy searchable.
+//
+// ack=primary defers all replica work to settle (fast acks, long drain);
+// ack=all pays every copy synchronously (slow acks, empty drain). Every
+// configuration must converge to the same one-copy document count and
+// byte-identical replicas. Emits BENCH_ab_cluster_scaling.json.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/harness_util.h"
+#include "cluster/router.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "transport/transport.h"
+
+using namespace dio;
+using cluster::AckLevel;
+using cluster::ClusterOptions;
+using cluster::ClusterRouter;
+
+namespace {
+
+constexpr std::size_t kDefaultEvents = 200'000;
+constexpr std::size_t kBatchEvents = 256;
+constexpr char kIndex[] = "cluster-bench";
+
+// Synthetic traced-syscall batches, the same document shape the transport
+// ships: the routing key fields (tid, time_enter) spread batches across the
+// logical shards exactly as a real multi-thread trace would.
+std::vector<transport::EventBatch> MakeBatches(std::size_t events) {
+  static const char* kSyscalls[] = {"read",  "write", "openat",
+                                    "close", "fsync", "pwrite64"};
+  Random rng(7);
+  std::vector<transport::EventBatch> batches;
+  batches.reserve(events / kBatchEvents + 1);
+  transport::EventBatch batch;
+  batch.session = kIndex;
+  for (std::size_t i = 0; i < events; ++i) {
+    Json doc = Json::MakeObject();
+    doc.Set("syscall", kSyscalls[rng.Uniform(6)]);
+    doc.Set("tid", static_cast<std::int64_t>(100 + rng.Uniform(64)));
+    doc.Set("time_enter", static_cast<std::int64_t>(i * 17 + rng.Uniform(5)));
+    doc.Set("ret", static_cast<std::int64_t>(rng.Uniform(1 << 14)));
+    batch.documents.push_back(std::move(doc));
+    if (batch.documents.size() == kBatchEvents) {
+      batches.push_back(std::move(batch));
+      batch = transport::EventBatch{};
+      batch.session = kIndex;
+    }
+  }
+  if (!batch.documents.empty()) batches.push_back(std::move(batch));
+  return batches;
+}
+
+double MsSince(Nanos start) {
+  return static_cast<double>(SteadyClock::Instance()->NowNanos() - start) /
+         1e6;
+}
+
+struct SweepPoint {
+  std::size_t nodes;
+  std::size_t replicas;
+  AckLevel ack;
+};
+
+struct SweepRun {
+  SweepPoint point{};
+  double ack_ms = 0.0;      // synchronous ingest (ack-gated) wall time
+  double settle_ms = 0.0;   // replication drain + refresh wall time
+  std::uint64_t sync_applies = 0;
+  std::uint64_t async_applies = 0;
+  std::uint64_t doc_count = 0;
+  bool converged = false;
+  bool ok = false;
+
+  [[nodiscard]] double total_ms() const { return ack_ms + settle_ms; }
+};
+
+SweepRun RunSweepPoint(const SweepPoint& point,
+                       const std::vector<transport::EventBatch>& batches,
+                       std::size_t events) {
+  ClusterOptions options;
+  options.nodes = point.nodes;
+  options.replicas = point.replicas;
+  options.ack = point.ack;
+  ClusterRouter router(options);
+
+  SweepRun run;
+  run.point = point;
+
+  const Nanos ack_start = SteadyClock::Instance()->NowNanos();
+  for (const transport::EventBatch& batch : batches) {
+    transport::EventBatch copy = batch;  // Ingest consumes its argument
+    if (!router.Ingest(kIndex, std::move(copy)).ok()) return run;
+  }
+  run.ack_ms = MsSince(ack_start);
+
+  const Nanos settle_start = SteadyClock::Instance()->NowNanos();
+  if (!router.Settle().ok()) return run;
+  router.Refresh(kIndex);
+  run.settle_ms = MsSince(settle_start);
+
+  run.sync_applies = router.sync_applies();
+  run.async_applies = router.async_applies();
+  run.converged = router.VerifyConvergence(kIndex).empty();
+  auto count = router.Count(kIndex, backend::Query::MatchAll());
+  run.doc_count = count.ok() ? *count : 0;
+  run.ok = run.converged && run.doc_count == events;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t events = kDefaultEvents;
+  if (argc > 1) events = static_cast<std::size_t>(std::atoll(argv[1]));
+
+  std::printf("ABLATION: cluster ingest — node-count scaling at ack=primary, "
+              "replication/ack cost at fixed topology (%zu events, %zu-event "
+              "batches)\n\n",
+              events, kBatchEvents);
+
+  // Two families: node scaling with replication held at zero (the pure
+  // routing/fan-out cost), then the replication and ack-level cost on a
+  // fixed 4-node topology.
+  const SweepPoint sweep[] = {
+      {1, 0, AckLevel::kPrimary},  {2, 0, AckLevel::kPrimary},
+      {4, 0, AckLevel::kPrimary},  {4, 1, AckLevel::kPrimary},
+      {4, 1, AckLevel::kQuorum},   {4, 1, AckLevel::kAll},
+      {4, 2, AckLevel::kPrimary},  {4, 2, AckLevel::kQuorum},
+      {4, 2, AckLevel::kAll},
+  };
+
+  const std::vector<transport::EventBatch> batches = MakeBatches(events);
+
+  bench::BenchReport report("ab_cluster_scaling");
+  report.SetConfig("events", Json(static_cast<std::int64_t>(events)));
+  report.SetConfig("batch_events", Json(static_cast<std::int64_t>(kBatchEvents)));
+
+  std::printf("%-6s %-9s %-8s %-9s %-10s %-10s %-11s %-12s %-9s\n", "nodes",
+              "replicas", "ack", "ack_ms", "settle_ms", "total_ms",
+              "ack_keps", "sync/async", "converged");
+
+  bool all_ok = true;
+  double primary_1node_ack_ms = 0.0;
+  double primary_4node_ack_ms = 0.0;
+  double all_4node_ack_ms = 0.0;
+  for (const SweepPoint& point : sweep) {
+    const SweepRun run = RunSweepPoint(point, batches, events);
+    all_ok = all_ok && run.ok;
+    const double ack_keps =
+        run.ack_ms > 0 ? static_cast<double>(events) / run.ack_ms : 0.0;
+    if (point.ack == AckLevel::kPrimary && point.replicas == 0) {
+      if (point.nodes == 1) primary_1node_ack_ms = run.ack_ms;
+      if (point.nodes == 4) primary_4node_ack_ms = run.ack_ms;
+    }
+    if (point.nodes == 4 && point.replicas == 2 &&
+        point.ack == AckLevel::kAll) {
+      all_4node_ack_ms = run.ack_ms;
+    }
+    std::printf("%-6zu %-9zu %-8s %-9.2f %-10.2f %-10.2f %-11.1f %-12s %-9s\n",
+                point.nodes, point.replicas,
+                std::string(cluster::ToString(point.ack)).c_str(), run.ack_ms,
+                run.settle_ms, run.total_ms(), ack_keps,
+                (std::to_string(run.sync_applies) + "/" +
+                 std::to_string(run.async_applies))
+                    .c_str(),
+                run.ok ? "yes" : "NO");
+
+    Json row = Json::MakeObject();
+    row.Set("nodes", static_cast<std::int64_t>(point.nodes));
+    row.Set("replicas", static_cast<std::int64_t>(point.replicas));
+    row.Set("ack", std::string(cluster::ToString(point.ack)));
+    row.Set("ack_ms", run.ack_ms);
+    row.Set("settle_ms", run.settle_ms);
+    row.Set("total_ms", run.total_ms());
+    row.Set("ack_events_per_ms", ack_keps);
+    row.Set("sync_applies", static_cast<std::int64_t>(run.sync_applies));
+    row.Set("async_applies", static_cast<std::int64_t>(run.async_applies));
+    row.Set("doc_count", static_cast<std::int64_t>(run.doc_count));
+    row.Set("converged", run.converged);
+    report.AddRow(std::move(row));
+  }
+  report.Write();
+
+  if (primary_1node_ack_ms > 0 && primary_4node_ack_ms > 0) {
+    std::printf("\nack=primary ingest, 4 nodes vs 1: %.2fx the single-node "
+                "ack rate (shards spread over more, smaller stores)\n",
+                primary_1node_ack_ms / primary_4node_ack_ms);
+  }
+  if (primary_4node_ack_ms > 0 && all_4node_ack_ms > 0) {
+    std::printf("ack cost, 4 nodes: ack=all/replicas=2 pays %.2fx the "
+                "ack=primary/replicas=0 synchronous ingest time\n",
+                all_4node_ack_ms / primary_4node_ack_ms);
+  }
+  std::printf("every configuration converged to the same one-copy corpus: "
+              "%s\n",
+              all_ok ? "yes" : "NO — see table");
+  return all_ok ? 0 : 1;
+}

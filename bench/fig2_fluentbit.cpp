@@ -96,8 +96,8 @@ int main() {
   std::printf("FIG 2b: Fluent Bit (v2.0.5) correct access pattern\n%s\n",
               fixed.table.c_str());
 
-  viz::WriteTextFile("fig2a_table.txt", buggy.table);
-  viz::WriteTextFile("fig2b_table.txt", fixed.table);
+  viz::WriteTextFile("out/fig2a_table.txt", buggy.table);
+  viz::WriteTextFile("out/fig2b_table.txt", fixed.table);
 
   struct Check {
     const char* what;
@@ -123,6 +123,6 @@ int main() {
     all_ok = all_ok && ok;
     std::printf("  [%s] %s\n", ok ? "OK" : "MISMATCH", check.what);
   }
-  std::printf("artifacts: fig2a_table.txt fig2b_table.txt\n");
+  std::printf("artifacts: out/fig2a_table.txt out/fig2b_table.txt\n");
   return all_ok ? 0 : 1;
 }

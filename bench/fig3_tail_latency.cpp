@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
     min_p99 = std::min(min_p99, w.p99);
   }
   std::printf("%s", viz::ChartRenderer::LineChart(p99, 14, "us").c_str());
-  viz::WriteTextFile("fig3_p99_series.csv",
+  viz::WriteTextFile("out/fig3_p99_series.csv",
                      viz::ChartRenderer::SeriesCsv({p99}));
 
   std::printf("\nwindow    p99(us)  p50(us)  throughput(ops/s)\n");
@@ -69,6 +69,6 @@ int main(int argc, char** argv) {
               spike_ratio >= 2.0 && result.db_stats.compactions > 0
                   ? "SHAPE REPRODUCED"
                   : "SHAPE NOT REPRODUCED");
-  std::printf("artifacts: fig3_p99_series.csv\n");
+  std::printf("artifacts: out/fig3_p99_series.csv\n");
   return 0;
 }

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   }
   auto series = dashboards.ThreadTimelineSeries(window);
   if (series.ok()) {
-    viz::WriteTextFile("fig4_thread_series.csv",
+    viz::WriteTextFile("out/fig4_thread_series.csv",
                        viz::ChartRenderer::SeriesCsv(*series));
   }
   auto heatmap = dashboards.LatencyHeatmap(window, 100);
@@ -148,6 +148,6 @@ int main(int argc, char** argv) {
   std::printf("traced %llu events (%.2f%% dropped at the ring buffer)\n",
               static_cast<unsigned long long>(stats.emitted),
               stats.drop_ratio() * 100.0);
-  std::printf("artifacts: fig4_thread_series.csv\n");
+  std::printf("artifacts: out/fig4_thread_series.csv\n");
   return 0;
 }

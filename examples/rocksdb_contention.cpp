@@ -96,8 +96,8 @@ int main(int argc, char** argv) {
     report.AddHeading("Automated detectors");
     auto findings = backend::RunAllDetectors(&store, "rocksdb-ycsba");
     if (findings.ok()) report.AddFindings("findings", *findings);
-    if (viz::WriteTextFile("dio_report.html", report.Build()).ok()) {
-      std::printf("\nwrote dio_report.html\n");
+    if (viz::WriteTextFile("out/dio_report.html", report.Build()).ok()) {
+      std::printf("\nwrote out/dio_report.html\n");
     }
   }
 

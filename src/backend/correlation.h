@@ -19,7 +19,7 @@
 #include <map>
 #include <string>
 
-#include "backend/store.h"
+#include "backend/query_backend.h"
 #include "common/status.h"
 
 namespace dio::backend {
@@ -40,7 +40,7 @@ struct CorrelationStats {
 
 class FilePathCorrelator {
  public:
-  explicit FilePathCorrelator(ElasticStore* store) : store_(store) {}
+  explicit FilePathCorrelator(QueryBackend* store) : store_(store) {}
 
   // Runs the algorithm over one tracing session's index. Can be re-run
   // on-demand as more data arrives (§II-E: "automatically executed by the
@@ -53,7 +53,7 @@ class FilePathCorrelator {
   }
 
  private:
-  ElasticStore* store_;
+  QueryBackend* store_;
   std::map<std::string, std::string> tag_to_path_;
 };
 

@@ -17,7 +17,7 @@ std::vector<Json> DataSyscallNames() {
 }  // namespace
 
 Expected<std::vector<Finding>> DetectStaleOffsets(
-    ElasticStore* store, const std::string& index,
+    QueryBackend* store, const std::string& index,
     const StaleOffsetOptions& options) {
   // All reads with tags and offsets, in time order; track the first read of
   // every file generation (tag).
@@ -61,7 +61,7 @@ Expected<std::vector<Finding>> DetectStaleOffsets(
 }
 
 Expected<std::vector<Finding>> DetectContention(
-    ElasticStore* store, const std::string& index,
+    QueryBackend* store, const std::string& index,
     const ContentionOptions& options) {
   // Foreground latency per window.
   auto fg_agg =
@@ -140,7 +140,7 @@ Expected<std::vector<Finding>> DetectContention(
 }
 
 Expected<std::vector<Finding>> DetectSmallIo(
-    ElasticStore* store, const std::string& index,
+    QueryBackend* store, const std::string& index,
     const SmallIoOptions& options) {
   // Count per file: all data syscalls, then small ones.
   auto all = store->Aggregate(
@@ -188,7 +188,7 @@ Expected<std::vector<Finding>> DetectSmallIo(
 }
 
 Expected<std::vector<Finding>> DetectRandomAccess(
-    ElasticStore* store, const std::string& index,
+    QueryBackend* store, const std::string& index,
     const RandomAccessOptions& options) {
   SearchRequest request;
   request.query = Query::And({Query::Terms("syscall", DataSyscallNames()),
@@ -238,7 +238,7 @@ Expected<std::vector<Finding>> DetectRandomAccess(
 }
 
 Expected<std::vector<Finding>> DetectSyscallErrors(
-    ElasticStore* store, const std::string& index,
+    QueryBackend* store, const std::string& index,
     const ErrorRateOptions& options) {
   // Group failures by (syscall, ret); find the dominant comm per group.
   auto agg = Aggregation::Terms("syscall").SubAgg(
@@ -284,7 +284,7 @@ Expected<std::vector<Finding>> DetectSyscallErrors(
   return findings;
 }
 
-Expected<std::vector<Finding>> RunAllDetectors(ElasticStore* store,
+Expected<std::vector<Finding>> RunAllDetectors(QueryBackend* store,
                                                const std::string& index) {
   std::vector<Finding> all;
   auto stale = DetectStaleOffsets(store, index);

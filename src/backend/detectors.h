@@ -23,7 +23,7 @@
 #include <string>
 #include <vector>
 
-#include "backend/store.h"
+#include "backend/query_backend.h"
 #include "common/status.h"
 
 namespace dio::backend {
@@ -47,7 +47,7 @@ struct StaleOffsetOptions {
 // generation (identified by its file tag): the reader skipped leading bytes
 // that were never consumed — the Fluent Bit bug signature.
 Expected<std::vector<Finding>> DetectStaleOffsets(
-    ElasticStore* store, const std::string& index,
+    QueryBackend* store, const std::string& index,
     const StaleOffsetOptions& options = {});
 
 // -- background/foreground contention (§III-C) --------------------------------
@@ -65,7 +65,7 @@ struct ContentionOptions {
 };
 
 Expected<std::vector<Finding>> DetectContention(
-    ElasticStore* store, const std::string& index,
+    QueryBackend* store, const std::string& index,
     const ContentionOptions& options = {});
 
 // -- inefficient access patterns ----------------------------------------------
@@ -79,7 +79,7 @@ struct SmallIoOptions {
 };
 
 Expected<std::vector<Finding>> DetectSmallIo(
-    ElasticStore* store, const std::string& index,
+    QueryBackend* store, const std::string& index,
     const SmallIoOptions& options = {});
 
 struct RandomAccessOptions {
@@ -89,7 +89,7 @@ struct RandomAccessOptions {
 };
 
 Expected<std::vector<Finding>> DetectRandomAccess(
-    ElasticStore* store, const std::string& index,
+    QueryBackend* store, const std::string& index,
     const RandomAccessOptions& options = {});
 
 // -- failing syscalls (dependability) -----------------------------------------
@@ -105,11 +105,11 @@ struct ErrorRateOptions {
 // errno, with the dominant process — surfacing dependability problems like
 // a filesystem running out of space.
 Expected<std::vector<Finding>> DetectSyscallErrors(
-    ElasticStore* store, const std::string& index,
+    QueryBackend* store, const std::string& index,
     const ErrorRateOptions& options = {});
 
 // Runs every detector with default options and concatenates findings.
-Expected<std::vector<Finding>> RunAllDetectors(ElasticStore* store,
+Expected<std::vector<Finding>> RunAllDetectors(QueryBackend* store,
                                                const std::string& index);
 
 // One-line-per-finding report.

@@ -37,6 +37,7 @@
 #include "backend/aggregation.h"
 #include "backend/doc_values.h"
 #include "backend/query.h"
+#include "backend/query_backend.h"
 #include "common/clock.h"
 #include "common/config.h"
 #include "common/json.h"
@@ -46,53 +47,9 @@
 
 namespace dio::backend {
 
-using DocId = std::uint64_t;
-
-struct Hit {
-  DocId id = 0;
-  Json source;
-};
-
-struct SortSpec {
-  std::string field;
-  bool ascending = true;
-};
-
-struct SearchRequest {
-  Query query = Query::MatchAll();
-  std::vector<SortSpec> sort;  // empty = docid (ingestion) order
-  std::size_t from = 0;
-  std::size_t size = 10'000;
-
-  // Parses an Elasticsearch-style search body:
-  //   {"query": {...}, "sort": ["time_enter", {"ret": {"order": "desc"}}],
-  //    "from": 0, "size": 100}
-  // Rejects requests paging past `max_result_window` (from + size), like
-  // ES's index.max_result_window guard.
-  static Expected<SearchRequest> FromJson(
-      const Json& body, std::size_t max_result_window = 10'000);
-  static Expected<SearchRequest> FromJsonText(
-      std::string_view text, std::size_t max_result_window = 10'000);
-};
-
-struct SearchResult {
-  std::vector<Hit> hits;
-  std::size_t total = 0;  // matches before from/size paging
-};
-
-struct IndexStats {
-  std::size_t doc_count = 0;       // searchable documents
-  std::size_t pending_count = 0;   // bulked but not yet refreshed
-  std::size_t typed_rows = 0;      // rows ingested via the typed route
-  std::uint64_t bulk_requests = 0;
-  std::uint64_t updates = 0;
-  // Columnar engine: fields with doc-value columns (summed over sub-shards),
-  // cumulative time spent building columns, and filter-bitmap cache traffic.
-  std::size_t doc_value_fields = 0;
-  std::uint64_t column_build_ns = 0;
-  std::uint64_t filter_cache_hits = 0;
-  std::uint64_t filter_cache_misses = 0;
-};
+// The request/result vocabulary (DocId, Hit, SortSpec, SearchRequest,
+// SearchResult, IndexStats) lives in backend/query_backend.h, shared with
+// the cluster router and every analysis consumer.
 
 // Store-wide tuning knobs (the `[backend]` config section).
 struct ElasticStoreOptions {
@@ -120,7 +77,7 @@ struct ElasticStoreOptions {
   static ElasticStoreOptions FromConfig(const Config& config);
 };
 
-class ElasticStore {
+class ElasticStore : public QueryBackend {
  public:
   // Each index is split into `shards_per_index` sub-shards (documents are
   // assigned by docid % shards): bulk ingest lands on per-sub-shard lanes
@@ -139,7 +96,7 @@ class ElasticStore {
   Status CreateIndex(const std::string& name);
   Status DeleteIndex(const std::string& name);
   [[nodiscard]] std::vector<std::string> ListIndices() const;
-  [[nodiscard]] bool HasIndex(const std::string& name) const;
+  [[nodiscard]] bool HasIndex(const std::string& name) const override;
 
   // Bulk ingestion: documents are buffered and become searchable at the
   // next Refresh() (near-real-time semantics).
@@ -154,29 +111,30 @@ class ElasticStore {
   void BulkWire(const std::string& index, std::string_view session,
                 std::vector<tracer::WireEvent> records);
   // Makes all buffered documents searchable.
-  void Refresh(const std::string& index);
+  void Refresh(const std::string& index) override;
   void RefreshAll();
 
-  [[nodiscard]] Expected<SearchResult> Search(const std::string& index,
-                                              const SearchRequest& request) const;
+  [[nodiscard]] Expected<SearchResult> Search(
+      const std::string& index, const SearchRequest& request) const override;
   // Parses an ES-style search body (clamped to options().max_result_window)
   // and runs it.
   [[nodiscard]] Expected<SearchResult> Search(const std::string& index,
                                               const Json& body) const;
-  [[nodiscard]] Expected<std::size_t> Count(const std::string& index,
-                                            const Query& query) const;
-  [[nodiscard]] Expected<AggResult> Aggregate(const std::string& index,
-                                              const Query& query,
-                                              const Aggregation& agg) const;
+  [[nodiscard]] Expected<std::size_t> Count(
+      const std::string& index, const Query& query) const override;
+  [[nodiscard]] Expected<AggResult> Aggregate(
+      const std::string& index, const Query& query,
+      const Aggregation& agg) const override;
 
   // Applies `update` to every matching document. The callback returns
   // whether it modified the document; only modified documents are re-indexed
   // and counted. Returns the number of documents actually modified.
-  Expected<std::size_t> UpdateByQuery(const std::string& index,
-                                      const Query& query,
-                                      const std::function<bool(Json&)>& update);
+  Expected<std::size_t> UpdateByQuery(
+      const std::string& index, const Query& query,
+      const std::function<bool(Json&)>& update) override;
 
-  [[nodiscard]] Expected<IndexStats> Stats(const std::string& index) const;
+  [[nodiscard]] Expected<IndexStats> Stats(
+      const std::string& index) const override;
 
   // Durable snapshots (post-mortem analysis across process restarts, §II):
   // writes one JSON document per line, prefixed by a header line.

@@ -1,0 +1,808 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <utility>
+
+namespace dio::cluster {
+
+namespace {
+
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Routing key: (tid, time_enter) — the fields EventKey uniqueness is built
+// on, present in every traced event. All per-thread context stays within
+// one shard only by accident of hashing; queries never rely on locality,
+// so a plain well-mixed hash is enough.
+std::uint64_t RoutingHash(std::int64_t tid, std::int64_t time_enter) {
+  return Mix64(static_cast<std::uint64_t>(tid) ^
+               Mix64(static_cast<std::uint64_t>(time_enter)));
+}
+
+std::uint64_t Fnv1a(std::string_view bytes, std::uint64_t h) {
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t RoutingHashOfDoc(const Json& doc) {
+  const Json* tid = doc.Find("tid");
+  const Json* time_enter = doc.Find("time_enter");
+  if (tid != nullptr && tid->is_number() && time_enter != nullptr &&
+      time_enter->is_number()) {
+    return RoutingHash(tid->as_int(), time_enter->as_int());
+  }
+  // Documents without the tracer's key fields (hand-built corpora in
+  // tests): route by content so the placement is at least deterministic.
+  return Fnv1a(doc.Dump(), 0xcbf29ce484222325ULL);
+}
+
+// The serial JSON engine's sort comparator (store.cc), minus the docid
+// tiebreak: the gather merges hits in ascending global seq and stable_sorts,
+// which reproduces the oracle's stable_sort over ascending docids exactly.
+bool OracleSortBefore(const std::vector<backend::SortSpec>& specs,
+                      const Json& a, const Json& b) {
+  for (const backend::SortSpec& spec : specs) {
+    const Json* va = a.Find(spec.field);
+    const Json* vb = b.Find(spec.field);
+    if (va == nullptr && vb == nullptr) continue;
+    if (va == nullptr) return false;  // missing sorts last
+    if (vb == nullptr) return true;
+    int cmp = 0;
+    if (va->is_number() && vb->is_number()) {
+      const double da = va->as_double();
+      const double db = vb->as_double();
+      cmp = da < db ? -1 : (da > db ? 1 : 0);
+    } else if (va->is_string() && vb->is_string()) {
+      cmp = va->as_string().compare(vb->as_string());
+    }
+    if (cmp != 0) return spec.ascending ? cmp < 0 : cmp > 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view ToString(AckLevel level) {
+  switch (level) {
+    case AckLevel::kPrimary: return "primary";
+    case AckLevel::kQuorum: return "quorum";
+    case AckLevel::kAll: return "all";
+  }
+  return "quorum";
+}
+
+Expected<AckLevel> AckLevelFromString(std::string_view name) {
+  if (name == "primary") return AckLevel::kPrimary;
+  if (name == "quorum") return AckLevel::kQuorum;
+  if (name == "all") return AckLevel::kAll;
+  return InvalidArgument("unknown ack level: " + std::string(name) +
+                         " (want primary|quorum|all)");
+}
+
+Expected<ClusterOptions> ClusterOptions::FromConfig(const Config& config) {
+  WarnUnknownKeys(config, "cluster",
+                  {"nodes", "replicas", "ack", "logical_shards"});
+  ClusterOptions opts;
+  opts.nodes = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, config.GetInt("cluster.nodes", static_cast<std::int64_t>(opts.nodes))));
+  opts.replicas = static_cast<std::size_t>(std::max<std::int64_t>(
+      0, config.GetInt("cluster.replicas",
+                       static_cast<std::int64_t>(opts.replicas))));
+  opts.logical_shards = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, config.GetInt("cluster.logical_shards",
+                       static_cast<std::int64_t>(opts.logical_shards))));
+  if (config.Has("cluster.ack")) {
+    auto ack = AckLevelFromString(config.GetString("cluster.ack"));
+    if (!ack.ok()) return ack.status();
+    opts.ack = *ack;
+  }
+  return opts;
+}
+
+BackendNode::BackendNode(std::size_t id,
+                         const backend::ElasticStoreOptions& options)
+    : id_(id),
+      store_options_(options),
+      store_(std::make_unique<backend::ElasticStore>(options)) {}
+
+ClusterRouter::ClusterRouter(const ClusterOptions& options)
+    : options_(options), map_(options.logical_shards, options.replicas) {
+  for (std::size_t n = 0; n < std::max<std::size_t>(1, options.nodes); ++n) {
+    nodes_.push_back(std::make_unique<BackendNode>(map_.AddNode(),
+                                                   options_.store));
+  }
+}
+
+std::size_t ClusterRouter::node_count() const { return nodes_.size(); }
+
+std::string ClusterRouter::SubIndexName(const std::string& index,
+                                        std::size_t shard) {
+  return index + "#" + std::to_string(shard);
+}
+
+std::size_t ClusterRouter::AddNode() {
+  std::scoped_lock lock(mu_);
+  const std::size_t id = map_.AddNode();
+  nodes_.push_back(std::make_unique<BackendNode>(id, options_.store));
+  return id;
+}
+
+Status ClusterRouter::CrashNode(std::size_t id) {
+  std::scoped_lock lock(mu_);
+  if (id >= nodes_.size()) return InvalidArgument("no such node");
+  BackendNode& node = *nodes_[id];
+  if (!node.up_) return Status::Ok();
+  std::scoped_lock apply_lock(node.apply_mu_);
+  node.up_ = false;
+  map_.SetLive(id, false);
+  // Process death: everything node-local is gone. The replication log keeps
+  // every acked entry, so nothing acked is lost cluster-wide.
+  node.store_ = std::make_unique<backend::ElasticStore>(node.store_options_);
+  node.applied_.clear();
+  for (auto& [name, ix] : indices_) {
+    for (ShardLog& sl : ix.shards) {
+      if (id < sl.applied_hint.size()) sl.applied_hint[id] = 0;
+    }
+  }
+  return Status::Ok();
+}
+
+Status ClusterRouter::RestartNode(std::size_t id) {
+  std::scoped_lock lock(mu_);
+  if (id >= nodes_.size()) return InvalidArgument("no such node");
+  BackendNode& node = *nodes_[id];
+  if (node.up_) return Status::Ok();
+  node.up_ = true;
+  map_.SetLive(id, true);
+  return Status::Ok();
+}
+
+Status ClusterRouter::SetReachable(std::size_t id, bool reachable) {
+  std::scoped_lock lock(mu_);
+  if (id >= nodes_.size()) return InvalidArgument("no such node");
+  nodes_[id]->reachable_ = reachable;
+  return Status::Ok();
+}
+
+void ClusterRouter::HealAll() {
+  std::vector<std::size_t> down;
+  {
+    std::scoped_lock lock(mu_);
+    for (const auto& node : nodes_) {
+      node->reachable_ = true;
+      if (!node->up_) down.push_back(node->id());
+    }
+  }
+  for (const std::size_t id : down) (void)RestartNode(id);
+}
+
+std::size_t ClusterRouter::RequiredAcks(std::size_t owner_count) const {
+  switch (options_.ack) {
+    case AckLevel::kPrimary: return 1;
+    case AckLevel::kQuorum: return owner_count / 2 + 1;
+    case AckLevel::kAll: return owner_count;
+  }
+  return 1;
+}
+
+Expected<std::size_t> ClusterRouter::ApplyTo(
+    BackendNode& node, const std::string& index, std::size_t shard,
+    const std::vector<std::shared_ptr<const LogEntry>>& snapshot,
+    std::uint64_t through_seq, bool sync, std::size_t* applied_out) {
+  const std::string sub = SubIndexName(index, shard);
+  if (applied_out != nullptr) *applied_out = 0;
+  std::size_t modified = 0;
+  std::size_t applied = 0;
+  std::uint64_t reached = 0;
+  // Lock order is strictly apply_mu_ OR mu_, never nested: CrashNode holds
+  // mu_ while wiping watermarks under apply_mu_, so nesting them here (the
+  // other way round) would deadlock. Router-side bookkeeping happens after
+  // the apply mutex is released, re-validated against a concurrent crash.
+  {
+    std::scoped_lock apply_lock(node.apply_mu_);
+    if (!node.up_) return Unavailable("node down");
+    std::uint64_t& watermark = node.applied_[sub];
+    while (watermark <= through_seq) {
+      if (watermark >= snapshot.size() || snapshot[watermark] == nullptr) {
+        if (applied_out != nullptr) *applied_out = applied;
+        return Internal("replication log snapshot missing seq " +
+                        std::to_string(watermark));
+      }
+      const LogEntry& entry = *snapshot[watermark];
+      modified = 0;
+      if (entry.kind == LogEntry::Kind::kIngest) {
+        if (!entry.wire.empty()) {
+          node.store_->BulkWire(sub, entry.session, entry.wire);
+        }
+        if (!entry.docs.empty()) node.store_->Bulk(sub, entry.docs);
+      } else {
+        // Update barrier: visibility first, then the same update-by-query
+        // the single store ran. A shard that never received documents has
+        // no sub-index; the update is vacuously applied.
+        if (node.store_->HasIndex(sub)) {
+          node.store_->Refresh(sub);
+          auto result = node.store_->UpdateByQuery(sub, entry.query,
+                                                   entry.update);
+          if (!result.ok()) {
+            if (applied_out != nullptr) *applied_out = applied;
+            return result.status();
+          }
+          modified = *result;
+        }
+      }
+      ++watermark;
+      ++applied;
+    }
+    reached = watermark;
+  }
+  if (applied_out != nullptr) *applied_out = applied;
+  {
+    std::scoped_lock lock(mu_);
+    if (sync) {
+      sync_applies_ += applied;
+    } else {
+      async_applies_ += applied;
+    }
+    auto it = indices_.find(index);
+    // A crash between the two critical sections zeroed this node's hints;
+    // its store is gone, so the watermark we reached no longer describes it.
+    if (it != indices_.end() && node.up_) {
+      ShardLog& sl = it->second.shards[shard];
+      if (sl.applied_hint.size() < nodes_.size()) {
+        sl.applied_hint.resize(nodes_.size(), 0);
+      }
+      sl.applied_hint[node.id()] =
+          std::max(sl.applied_hint[node.id()], reached);
+    }
+  }
+  return modified;
+}
+
+Status ClusterRouter::Ingest(const std::string& index,
+                             transport::EventBatch batch) {
+  if (batch.empty()) return Status::Ok();
+  // Deferred events materialize here (the far side of the queue hop, like
+  // BulkClient); wire records stay binary end to end.
+  if (!batch.events.empty()) {
+    transport::EventBatch deferred;
+    deferred.session = batch.session;
+    deferred.events = std::move(batch.events);
+    batch.events.clear();
+    deferred.Materialize();
+    for (Json& doc : deferred.documents) {
+      batch.documents.push_back(std::move(doc));
+    }
+  }
+  const std::uint64_t fingerprint = batch.Fingerprint();
+  const std::size_t batch_events = batch.size();
+
+  struct ShardWork {
+    std::size_t shard = 0;
+    std::vector<std::size_t> owners;
+    std::size_t required = 0;
+    std::vector<std::shared_ptr<const LogEntry>> snapshot;
+    std::uint64_t through_seq = 0;
+  };
+  std::vector<ShardWork> work;
+  {
+    std::scoped_lock lock(mu_);
+    // Retry after a lost ack: the batch is already durable, ack it again.
+    if (auto it = acked_fingerprints_.find(fingerprint);
+        it != acked_fingerprints_.end()) {
+      it->second += 1;
+      duplicate_batches_ += 1;
+      return Status::Ok();
+    }
+
+    // Split into per-shard slices, wire records first then documents — the
+    // order BulkClient indexes a mixed batch, and the order global seqs
+    // are assigned in.
+    std::map<std::size_t, LogEntry> slices;
+    std::vector<std::size_t> route;
+    route.reserve(batch.wire.size() + batch.documents.size());
+    for (const tracer::WireEvent& record : batch.wire) {
+      route.push_back(map_.ShardOf(RoutingHash(record.tid, record.time_enter)));
+    }
+    for (const Json& doc : batch.documents) {
+      route.push_back(map_.ShardOf(RoutingHashOfDoc(doc)));
+    }
+
+    // Ack feasibility — checked before any state changes so a rejected
+    // batch leaves the router untouched and the retry stage can re-drive
+    // it verbatim.
+    std::map<std::size_t, std::pair<std::vector<std::size_t>, std::size_t>>
+        shard_owners;
+    for (const std::size_t shard : route) {
+      if (shard_owners.count(shard) != 0) continue;
+      std::vector<std::size_t> owners = map_.Owners(shard);
+      if (owners.empty()) {
+        rejected_batches_ += 1;
+        rejected_events_ += batch_events;
+        return Unavailable("cluster: no live nodes");
+      }
+      if (!nodes_[owners[0]]->reachable_) {
+        rejected_batches_ += 1;
+        rejected_events_ += batch_events;
+        return Unavailable("cluster: shard " + std::to_string(shard) +
+                           " primary unreachable");
+      }
+      const std::size_t required = RequiredAcks(owners.size());
+      std::size_t reachable = 0;
+      for (const std::size_t owner : owners) {
+        if (nodes_[owner]->reachable_) ++reachable;
+      }
+      if (reachable < required) {
+        rejected_batches_ += 1;
+        rejected_events_ += batch_events;
+        return Unavailable("cluster: shard " + std::to_string(shard) +
+                           " has " + std::to_string(reachable) + "/" +
+                           std::to_string(required) + " reachable owners");
+      }
+      shard_owners[shard] = {std::move(owners), required};
+    }
+
+    // Commit: assign global seqs in arrival order, append one log entry per
+    // touched shard, and record the fingerprint so a concurrent or later
+    // duplicate re-drive acks without re-applying.
+    auto [ix_it, created] = indices_.try_emplace(index, map_.logical_shards());
+    IndexState& ix = ix_it->second;
+    std::size_t pos = 0;
+    for (const tracer::WireEvent& record : batch.wire) {
+      const std::size_t shard = route[pos++];
+      slices[shard].session = batch.session;
+      slices[shard].wire.push_back(record);
+      ix.shards[shard].global_seqs.push_back(ix.next_global_seq++);
+    }
+    for (Json& doc : batch.documents) {
+      const std::size_t shard = route[pos++];
+      slices[shard].docs.push_back(std::move(doc));
+      ix.shards[shard].global_seqs.push_back(ix.next_global_seq++);
+    }
+    for (auto& [shard, slice] : slices) {
+      ShardLog& sl = ix.shards[shard];
+      sl.entries.push_back(
+          std::make_shared<const LogEntry>(std::move(slice)));
+      auto& [owners, required] = shard_owners[shard];
+      work.push_back(ShardWork{shard, std::move(owners), required,
+                               sl.entries,
+                               static_cast<std::uint64_t>(
+                                   sl.entries.size() - 1)});
+    }
+    ix.bulk_requests += 1;
+    acked_fingerprints_[fingerprint] = 1;
+    acked_batches_ += 1;
+    acked_events_ += batch_events;
+  }
+
+  // Synchronous owner applications, primary first, until the ack level is
+  // satisfied; remaining owners catch up via PumpReplication. Apply runs
+  // outside the router mutex — per-(node, shard) order is enforced by the
+  // node's applied-watermark.
+  for (ShardWork& w : work) {
+    std::size_t acked = 0;
+    for (const std::size_t owner : w.owners) {
+      if (acked >= w.required) break;
+      BackendNode& node = *nodes_[owner];
+      if (!node.reachable_) continue;
+      // A crash racing this apply just defers the entry to the promoted
+      // owners — it is already durable in the log.
+      if (ApplyTo(node, index, w.shard, w.snapshot, w.through_seq,
+                  /*sync=*/true).ok()) {
+        ++acked;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::size_t ClusterRouter::PumpReplication(std::size_t max_applies) {
+  struct Work {
+    std::string index;
+    std::size_t shard = 0;
+    std::size_t node = 0;
+    std::vector<std::shared_ptr<const LogEntry>> snapshot;
+    std::uint64_t through_seq = 0;
+  };
+  std::size_t budget = max_applies;
+  std::size_t total = 0;
+  // Collect-and-apply rounds: each round snapshots pending (entry, owner)
+  // pairs in deterministic index/shard/owner order, applies them outside
+  // the mutex, and repeats until the budget is spent or nothing is pending.
+  while (budget > 0) {
+    std::vector<Work> round;
+    {
+      std::scoped_lock lock(mu_);
+      for (auto& [name, ix] : indices_) {
+        for (std::size_t shard = 0; shard < ix.shards.size(); ++shard) {
+          ShardLog& sl = ix.shards[shard];
+          if (sl.entries.empty()) continue;
+          if (sl.applied_hint.size() < nodes_.size()) {
+            sl.applied_hint.resize(nodes_.size(), 0);
+          }
+          for (const std::size_t owner : map_.Owners(shard)) {
+            BackendNode& node = *nodes_[owner];
+            if (!node.up_ || !node.reachable_) continue;
+            const std::uint64_t hint = sl.applied_hint[owner];
+            if (hint >= sl.entries.size()) continue;
+            const std::uint64_t want =
+                std::min<std::uint64_t>(sl.entries.size() - hint, budget);
+            if (want == 0) continue;
+            round.push_back(Work{name, shard, owner, sl.entries,
+                                 hint + want - 1});
+            budget -= static_cast<std::size_t>(want);
+            if (budget == 0) break;
+          }
+          if (budget == 0) break;
+        }
+        if (budget == 0) break;
+      }
+    }
+    if (round.empty()) break;
+    std::size_t round_applied = 0;
+    for (Work& w : round) {
+      std::size_t applied = 0;
+      (void)ApplyTo(*nodes_[w.node], w.index, w.shard, w.snapshot,
+                    w.through_seq, /*sync=*/false, &applied);
+      round_applied += applied;
+    }
+    // No forward progress (owners raced away or every apply failed): stop
+    // instead of re-collecting the same work forever.
+    if (round_applied == 0) break;
+    total += round_applied;
+  }
+  return total;
+}
+
+std::size_t ClusterRouter::PendingApplies() const {
+  std::scoped_lock lock(mu_);
+  std::size_t pending = 0;
+  for (const auto& [name, ix] : indices_) {
+    for (std::size_t shard = 0; shard < ix.shards.size(); ++shard) {
+      const ShardLog& sl = ix.shards[shard];
+      if (sl.entries.empty()) continue;
+      for (const std::size_t owner : map_.Owners(shard)) {
+        const std::uint64_t hint = owner < sl.applied_hint.size()
+                                       ? sl.applied_hint[owner]
+                                       : 0;
+        if (hint < sl.entries.size()) {
+          pending += static_cast<std::size_t>(sl.entries.size() - hint);
+        }
+      }
+    }
+  }
+  return pending;
+}
+
+Status ClusterRouter::Settle() {
+  for (;;) {
+    const std::size_t applied =
+        PumpReplication(std::numeric_limits<std::size_t>::max());
+    const std::size_t pending = PendingApplies();
+    if (pending == 0) return Status::Ok();
+    if (applied == 0) {
+      return Unavailable("cluster: " + std::to_string(pending) +
+                         " applies pending behind unreachable owners");
+    }
+  }
+}
+
+const BackendNode* ClusterRouter::ReaderFor(const IndexState& ix,
+                                            std::size_t shard) const {
+  const ShardLog& sl = ix.shards[shard];
+  const BackendNode* best = nullptr;
+  std::uint64_t best_hint = 0;
+  for (const std::size_t owner : map_.Owners(shard)) {
+    const BackendNode& node = *nodes_[owner];
+    if (!node.up_ || !node.reachable_) continue;
+    const std::uint64_t hint =
+        owner < sl.applied_hint.size() ? sl.applied_hint[owner] : 0;
+    if (best == nullptr || hint > best_hint) {
+      best = &node;
+      best_hint = hint;
+    }
+  }
+  return best;
+}
+
+Expected<std::vector<std::pair<std::uint64_t, Json>>>
+ClusterRouter::GatherMatches(const IndexState& ix, const std::string& index,
+                             const backend::Query& query) const {
+  // Per-shard streams, each already in ascending row (= global seq) order.
+  std::vector<std::vector<std::pair<std::uint64_t, Json>>> streams;
+  streams.reserve(ix.shards.size());
+  backend::SearchRequest scatter;
+  scatter.query = query;
+  scatter.size = std::numeric_limits<std::size_t>::max();
+  for (std::size_t shard = 0; shard < ix.shards.size(); ++shard) {
+    const ShardLog& sl = ix.shards[shard];
+    if (sl.global_seqs.empty()) continue;
+    const BackendNode* reader = ReaderFor(ix, shard);
+    if (reader == nullptr) {
+      return Unavailable("cluster: shard " + std::to_string(shard) + " of " +
+                         index + " has no reachable owner");
+    }
+    auto result = reader->store().Search(SubIndexName(index, shard), scatter);
+    if (!result.ok()) {
+      if (result.status().code() == ErrorCode::kNotFound) continue;
+      return result.status();
+    }
+    std::vector<std::pair<std::uint64_t, Json>> stream;
+    stream.reserve(result->hits.size());
+    for (backend::Hit& hit : result->hits) {
+      const std::size_t row = static_cast<std::size_t>(hit.id);
+      if (row >= sl.global_seqs.size()) {
+        return Internal("cluster: shard " + std::to_string(shard) +
+                        " row " + std::to_string(row) +
+                        " beyond the global-seq map");
+      }
+      stream.emplace_back(sl.global_seqs[row], std::move(hit.source));
+    }
+    if (!stream.empty()) streams.push_back(std::move(stream));
+  }
+
+  // K-way merge by global seq (each stream is ascending) — the cluster-wide
+  // generalization of the store's per-sub-shard docid merge.
+  std::vector<std::pair<std::uint64_t, Json>> merged;
+  std::size_t total = 0;
+  for (const auto& stream : streams) total += stream.size();
+  merged.reserve(total);
+  using Head = std::pair<std::uint64_t, std::size_t>;  // (gseq, stream)
+  std::priority_queue<Head, std::vector<Head>, std::greater<>> heads;
+  std::vector<std::size_t> cursor(streams.size(), 0);
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    heads.emplace(streams[s][0].first, s);
+  }
+  while (!heads.empty()) {
+    const auto [gseq, s] = heads.top();
+    heads.pop();
+    merged.push_back(std::move(streams[s][cursor[s]]));
+    if (++cursor[s] < streams[s].size()) {
+      heads.emplace(streams[s][cursor[s]].first, s);
+    }
+  }
+  return merged;
+}
+
+Expected<backend::SearchResult> ClusterRouter::Search(
+    const std::string& index, const backend::SearchRequest& request) const {
+  std::scoped_lock lock(mu_);
+  auto it = indices_.find(index);
+  if (it == indices_.end()) return NotFound("no such index: " + index);
+  auto merged = GatherMatches(it->second, index, request.query);
+  if (!merged.ok()) return merged.status();
+
+  if (!request.sort.empty()) {
+    // Input is ascending global seq, so a stable sort without a tiebreak
+    // reproduces the single store's stable_sort over ascending docids.
+    std::stable_sort(merged->begin(), merged->end(),
+                     [&](const auto& a, const auto& b) {
+                       return OracleSortBefore(request.sort, a.second,
+                                               b.second);
+                     });
+  }
+
+  backend::SearchResult result;
+  result.total = merged->size();
+  const std::size_t start = std::min(request.from, merged->size());
+  const std::size_t end = std::min(start + request.size, merged->size());
+  result.hits.reserve(end - start);
+  for (std::size_t i = start; i < end; ++i) {
+    result.hits.push_back(backend::Hit{(*merged)[i].first,
+                                       std::move((*merged)[i].second)});
+  }
+  return result;
+}
+
+Expected<std::size_t> ClusterRouter::Count(const std::string& index,
+                                           const backend::Query& query) const {
+  std::scoped_lock lock(mu_);
+  auto it = indices_.find(index);
+  if (it == indices_.end()) return NotFound("no such index: " + index);
+  const IndexState& ix = it->second;
+  std::size_t total = 0;
+  for (std::size_t shard = 0; shard < ix.shards.size(); ++shard) {
+    if (ix.shards[shard].global_seqs.empty()) continue;
+    const BackendNode* reader = ReaderFor(ix, shard);
+    if (reader == nullptr) {
+      return Unavailable("cluster: shard " + std::to_string(shard) + " of " +
+                         index + " has no reachable owner");
+    }
+    auto count = reader->store().Count(SubIndexName(index, shard), query);
+    if (!count.ok()) {
+      if (count.status().code() == ErrorCode::kNotFound) continue;
+      return count.status();
+    }
+    total += *count;
+  }
+  return total;
+}
+
+Expected<backend::AggResult> ClusterRouter::Aggregate(
+    const std::string& index, const backend::Query& query,
+    const backend::Aggregation& agg) const {
+  std::scoped_lock lock(mu_);
+  auto it = indices_.find(index);
+  if (it == indices_.end()) return NotFound("no such index: " + index);
+  auto merged = GatherMatches(it->second, index, query);
+  if (!merged.ok()) return merged.status();
+  std::vector<const Json*> docs;
+  docs.reserve(merged->size());
+  for (const auto& [gseq, doc] : *merged) docs.push_back(&doc);
+  return agg.Execute(docs);
+}
+
+Expected<std::size_t> ClusterRouter::UpdateByQuery(
+    const std::string& index, const backend::Query& query,
+    const std::function<bool(Json&)>& update) {
+  struct ShardWork {
+    std::size_t shard = 0;
+    std::vector<std::size_t> owners;
+    std::vector<std::shared_ptr<const LogEntry>> snapshot;
+    std::uint64_t through_seq = 0;
+  };
+  std::vector<ShardWork> work;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = indices_.find(index);
+    if (it == indices_.end()) return NotFound("no such index: " + index);
+    IndexState& ix = it->second;
+    // Updates are an index-wide barrier applied on every owner, so they
+    // require the whole owner set reachable — otherwise a healed replica
+    // would diverge (document contents cannot be reconciled by seq alone).
+    std::vector<std::vector<std::size_t>> owner_sets(ix.shards.size());
+    for (std::size_t shard = 0; shard < ix.shards.size(); ++shard) {
+      owner_sets[shard] = map_.Owners(shard);
+      if (owner_sets[shard].empty()) {
+        return Unavailable("cluster: no live nodes");
+      }
+      for (const std::size_t owner : owner_sets[shard]) {
+        if (!nodes_[owner]->reachable_) {
+          return Unavailable("cluster: update-by-query needs every owner; "
+                             "node " + std::to_string(owner) +
+                             " is unreachable");
+        }
+      }
+    }
+    for (std::size_t shard = 0; shard < ix.shards.size(); ++shard) {
+      ShardLog& sl = ix.shards[shard];
+      auto entry = std::make_shared<LogEntry>();
+      entry->kind = LogEntry::Kind::kUpdate;
+      entry->query = query;
+      entry->update = update;
+      sl.entries.push_back(std::move(entry));
+      work.push_back(ShardWork{
+          shard, std::move(owner_sets[shard]), sl.entries,
+          static_cast<std::uint64_t>(sl.entries.size() - 1)});
+    }
+    ix.updates += 1;
+  }
+
+  std::size_t modified = 0;
+  for (ShardWork& w : work) {
+    bool primary = true;
+    for (const std::size_t owner : w.owners) {
+      auto result = ApplyTo(*nodes_[owner], index, w.shard, w.snapshot,
+                            w.through_seq, /*sync=*/true);
+      if (!result.ok()) return result.status();
+      // Owners converge, so every owner reports the same count; take the
+      // primary's.
+      if (primary) modified += *result;
+      primary = false;
+    }
+  }
+  return modified;
+}
+
+void ClusterRouter::Refresh(const std::string& index) {
+  std::scoped_lock lock(mu_);
+  auto it = indices_.find(index);
+  if (it == indices_.end()) return;
+  for (std::size_t shard = 0; shard < it->second.shards.size(); ++shard) {
+    const std::string sub = SubIndexName(index, shard);
+    for (const auto& node : nodes_) {
+      if (node->up_ && node->store_->HasIndex(sub)) node->store_->Refresh(sub);
+    }
+  }
+}
+
+bool ClusterRouter::HasIndex(const std::string& index) const {
+  std::scoped_lock lock(mu_);
+  return indices_.count(index) != 0;
+}
+
+Expected<backend::IndexStats> ClusterRouter::Stats(
+    const std::string& index) const {
+  std::scoped_lock lock(mu_);
+  auto it = indices_.find(index);
+  if (it == indices_.end()) return NotFound("no such index: " + index);
+  const IndexState& ix = it->second;
+  backend::IndexStats stats;
+  stats.bulk_requests = ix.bulk_requests;
+  stats.updates = ix.updates;
+  for (std::size_t shard = 0; shard < ix.shards.size(); ++shard) {
+    if (ix.shards[shard].global_seqs.empty()) continue;
+    const BackendNode* reader = ReaderFor(ix, shard);
+    if (reader == nullptr) {
+      return Unavailable("cluster: shard " + std::to_string(shard) + " of " +
+                         index + " has no reachable owner");
+    }
+    auto sub = reader->store().Stats(SubIndexName(index, shard));
+    if (!sub.ok()) {
+      if (sub.status().code() == ErrorCode::kNotFound) continue;
+      return sub.status();
+    }
+    stats.doc_count += sub->doc_count;
+    stats.pending_count += sub->pending_count;
+    stats.typed_rows += sub->typed_rows;
+    stats.doc_value_fields += sub->doc_value_fields;
+    stats.column_build_ns += sub->column_build_ns;
+    stats.filter_cache_hits += sub->filter_cache_hits;
+    stats.filter_cache_misses += sub->filter_cache_misses;
+  }
+  return stats;
+}
+
+std::vector<std::string> ClusterRouter::VerifyConvergence(
+    const std::string& index) const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::string> violations;
+  auto it = indices_.find(index);
+  if (it == indices_.end()) return violations;
+  const IndexState& ix = it->second;
+
+  backend::SearchRequest all;
+  all.size = std::numeric_limits<std::size_t>::max();
+  for (std::size_t shard = 0; shard < ix.shards.size(); ++shard) {
+    const std::string sub = SubIndexName(index, shard);
+    const std::vector<std::size_t> owners = map_.Owners(shard);
+    // Reference replica = the first up owner; every other up owner must be
+    // byte-identical (unreachable-but-up nodes included — after a heal and
+    // Settle a partition must leave no trace).
+    std::string reference;
+    std::size_t reference_owner = 0;
+    bool have_reference = false;
+    for (const std::size_t owner : owners) {
+      const BackendNode& node = *nodes_[owner];
+      if (!node.up_) continue;
+      std::string dump;
+      auto result = node.store_->Search(sub, all);
+      if (result.ok()) {
+        for (const backend::Hit& hit : result->hits) {
+          dump += std::to_string(hit.id);
+          dump += '|';
+          dump += hit.source.Dump();
+          dump += '\n';
+        }
+      } else if (result.status().code() != ErrorCode::kNotFound) {
+        violations.push_back("shard " + std::to_string(shard) + " node " +
+                             std::to_string(owner) + ": " +
+                             std::string(result.status().message()));
+        continue;
+      }
+      if (!have_reference) {
+        reference = std::move(dump);
+        reference_owner = owner;
+        have_reference = true;
+      } else if (dump != reference) {
+        violations.push_back(
+            "shard " + std::to_string(shard) + ": replica on node " +
+            std::to_string(owner) + " diverges from node " +
+            std::to_string(reference_owner) + " (" +
+            std::to_string(dump.size()) + " vs " +
+            std::to_string(reference.size()) + " dump bytes)");
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace dio::cluster

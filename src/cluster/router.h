@@ -1,0 +1,294 @@
+// ClusterRouter: a multi-node backend tier over embedded ElasticStores.
+//
+// The paper ships traced syscalls to a dedicated Elasticsearch backend; one
+// store caps out long before the millions-of-clients target, so this layer
+// spreads each tracing session across N `BackendNode`s the way ES spreads an
+// index across data nodes:
+//
+//   * routing — every event's routing key (tid, time_enter) hashes to one of
+//     `logical_shards` shards; a rendezvous-hash ShardMap assigns each shard
+//     a primary plus `replicas` replica nodes, and node join/leave moves
+//     only the shards whose owner set actually changes;
+//   * replicated ingest — each accepted batch is split into per-shard
+//     sub-batches, appended to a per-shard replication log, and applied to
+//     owner stores strictly in log order. The configured AckLevel decides
+//     how many owners must apply synchronously before the batch is
+//     acknowledged (primary | quorum | all); the rest catch up through
+//     `PumpReplication`. A node applies each log entry exactly once (its
+//     applied-watermark is the dedupe), and a whole batch re-driven by the
+//     retry transport after a lost ack is recognized by content fingerprint
+//     and acknowledged without re-applying — the cluster-side twin of the
+//     spool's line dedupe;
+//   * failover — `CrashNode` wipes a node (process death: store and
+//     watermarks gone) and removes it from ownership, promoting the next
+//     live node per shard. Acked-but-unreplicated entries survive in the
+//     router's log and replay to the promoted owner without duplicates;
+//     a restarted node rejoins empty and replays the log from seq 0 until
+//     byte-identical with its peers (`VerifyConvergence` checks exactly
+//     that). `SetReachable(false)` models a network partition instead: the
+//     node keeps its data and ownership, acks that require it fail until
+//     the partition heals, and the backlog drains afterwards;
+//   * scatter/gather — Search/Count/Aggregate fan out over one chosen
+//     owner per shard and k-way-merge per-shard hits by global ingestion
+//     sequence (the cluster-wide docid: assigned at accept time, in batch
+//     arrival order, so results are byte-identical to a single store that
+//     indexed the same surviving events — the sim's golden parity check).
+//
+// Thread-safety: a router mutex guards topology, logs, and sequence
+// assignment; log-entry application to node stores happens outside it,
+// ordered per (node, shard) by the node's applied-watermark (taken under
+// the node's apply mutex), so concurrent producers fan out across nodes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "backend/query_backend.h"
+#include "backend/store.h"
+#include "cluster/shard_map.h"
+#include "common/config.h"
+#include "common/json.h"
+#include "common/status.h"
+#include "transport/transport.h"
+
+namespace dio::cluster {
+
+// How many shard owners must have applied a batch before it is acked:
+// primary only, a majority of the owner group, or every owner.
+enum class AckLevel { kPrimary, kQuorum, kAll };
+
+[[nodiscard]] std::string_view ToString(AckLevel level);
+Expected<AckLevel> AckLevelFromString(std::string_view name);
+
+// The `[cluster]` config section.
+struct ClusterOptions {
+  std::size_t nodes = 3;
+  std::size_t replicas = 1;
+  AckLevel ack = AckLevel::kQuorum;
+  std::size_t logical_shards = ShardMap::kDefaultLogicalShards;
+  // Engine knobs for every node's embedded store (the `[backend]` section,
+  // parsed separately by ElasticStoreOptions::FromConfig).
+  backend::ElasticStoreOptions store;
+
+  // Parses cluster.{nodes,replicas,ack,logical_shards}, warning on unknown
+  // cluster.* keys like Pipeline::Build does for transport.*. Fails on an
+  // unparseable ack level.
+  static Expected<ClusterOptions> FromConfig(const Config& config);
+};
+
+// One backend node: an embedded ElasticStore plus liveness/reachability
+// state and the per-(index, shard) applied-watermarks that make log
+// application exactly-once. Lifecycle is driven by the router.
+class BackendNode {
+ public:
+  BackendNode(std::size_t id, const backend::ElasticStoreOptions& options);
+
+  [[nodiscard]] std::size_t id() const { return id_; }
+  // up = the process is running (false after CrashNode until RestartNode).
+  [[nodiscard]] bool up() const { return up_; }
+  // reachable = no network partition between router and node.
+  [[nodiscard]] bool reachable() const { return reachable_; }
+  [[nodiscard]] backend::ElasticStore& store() { return *store_; }
+  [[nodiscard]] const backend::ElasticStore& store() const { return *store_; }
+
+ private:
+  friend class ClusterRouter;
+
+  std::size_t id_;
+  backend::ElasticStoreOptions store_options_;
+  std::unique_ptr<backend::ElasticStore> store_;
+  // Atomic because liveness is consulted under either the router mutex
+  // (topology decisions) or the node's apply mutex (apply-time guard), and
+  // the two are never nested.
+  std::atomic<bool> up_{true};
+  std::atomic<bool> reachable_{true};
+
+  // Applied-watermark per "index#shard": the next log seq this node will
+  // apply. Entry seq < watermark ⇔ already applied (idempotence across
+  // retries and replication pumps). Guarded by apply_mu_; wiped on crash.
+  std::mutex apply_mu_;
+  std::map<std::string, std::uint64_t> applied_;
+};
+
+class ClusterRouter : public backend::QueryBackend {
+ public:
+  explicit ClusterRouter(const ClusterOptions& options);
+
+  [[nodiscard]] const ClusterOptions& options() const { return options_; }
+  [[nodiscard]] std::size_t node_count() const;
+  [[nodiscard]] BackendNode& node(std::size_t id) { return *nodes_[id]; }
+  [[nodiscard]] const BackendNode& node(std::size_t id) const {
+    return *nodes_[id];
+  }
+
+  // ---- topology -----------------------------------------------------------
+  // Node join: adds a live empty node; it owns ~1/live_count of the shards
+  // and catches up from the replication log via PumpReplication.
+  std::size_t AddNode();
+  // Process death: the node's store and watermarks are wiped and it leaves
+  // every owner set (replicas are promoted). Acked batches it alone had
+  // applied remain in the router log and replay to the promoted owners.
+  Status CrashNode(std::size_t id);
+  // Rejoins a crashed node with an empty store; it re-enters owner sets and
+  // replays the log from seq 0 (convergence is byte-exact by construction).
+  Status RestartNode(std::size_t id);
+  // Network partition toggle. An unreachable node keeps data and ownership;
+  // ingest requiring its ack fails (callers retry), replication to it
+  // defers until healed.
+  Status SetReachable(std::size_t id, bool reachable);
+  // Heals every partition and restarts every crashed node.
+  void HealAll();
+
+  // ---- ingest -------------------------------------------------------------
+  // Routes one transport batch into per-shard replication-log entries and
+  // applies them to enough owners to satisfy options().ack (the primary
+  // must always be one of them). Returns Unavailable with NO state change
+  // when the ack level cannot be met (crashed/partitioned owners) — the
+  // retry transport re-drives the batch later. A batch whose content
+  // fingerprint was already acked (retry after a lost ack) returns Ok
+  // without re-applying.
+  Status Ingest(const std::string& index, transport::EventBatch batch);
+
+  // Applies up to `max_applies` outstanding (log entry, owner) pairs, in
+  // deterministic index/shard/owner order; returns how many were applied.
+  std::size_t PumpReplication(std::size_t max_applies);
+  // Outstanding (entry, live owner) applications.
+  [[nodiscard]] std::size_t PendingApplies() const;
+  // Pumps until nothing is pending. Fails (leaving the remainder pending)
+  // if an unreachable owner blocks progress.
+  Status Settle();
+
+  // ---- ingest/ack accounting (for the transport sink's ledger) ------------
+  [[nodiscard]] std::uint64_t acked_batches() const { return acked_batches_; }
+  [[nodiscard]] std::uint64_t acked_events() const { return acked_events_; }
+  [[nodiscard]] std::uint64_t duplicate_batches() const {
+    return duplicate_batches_;
+  }
+  [[nodiscard]] std::uint64_t rejected_batches() const {
+    return rejected_batches_;
+  }
+  [[nodiscard]] std::uint64_t rejected_events() const {
+    return rejected_events_;
+  }
+  // Synchronous owner applications performed at ack time vs deferred ones
+  // drained by PumpReplication (the ack-level cost the bench quantifies).
+  [[nodiscard]] std::uint64_t sync_applies() const { return sync_applies_; }
+  [[nodiscard]] std::uint64_t async_applies() const { return async_applies_; }
+
+  // ---- QueryBackend (scatter/gather) --------------------------------------
+  [[nodiscard]] Expected<backend::SearchResult> Search(
+      const std::string& index,
+      const backend::SearchRequest& request) const override;
+  [[nodiscard]] Expected<std::size_t> Count(
+      const std::string& index, const backend::Query& query) const override;
+  [[nodiscard]] Expected<backend::AggResult> Aggregate(
+      const std::string& index, const backend::Query& query,
+      const backend::Aggregation& agg) const override;
+  Expected<std::size_t> UpdateByQuery(
+      const std::string& index, const backend::Query& query,
+      const std::function<bool(Json&)>& update) override;
+  void Refresh(const std::string& index) override;
+  [[nodiscard]] bool HasIndex(const std::string& index) const override;
+  [[nodiscard]] Expected<backend::IndexStats> Stats(
+      const std::string& index) const override;
+
+  [[nodiscard]] const ShardMap& shard_map() const { return map_; }
+
+  // ---- verification -------------------------------------------------------
+  // After quiescence (Settle + Refresh): every live owner of every shard of
+  // `index` must hold byte-identical documents in identical order and agree
+  // on the applied watermark. Returns one string per divergence (empty =
+  // converged). Unreachable-but-up owners are included: a healed partition
+  // must leave no trace.
+  [[nodiscard]] std::vector<std::string> VerifyConvergence(
+      const std::string& index) const;
+
+  // The sub-index holding `index`'s shard `shard` on any owner store.
+  static std::string SubIndexName(const std::string& index, std::size_t shard);
+
+ private:
+  // One replication-log entry: a per-shard slice of an ingested batch, or
+  // an update-by-query barrier. Immutable once appended.
+  struct LogEntry {
+    enum class Kind { kIngest, kUpdate };
+    Kind kind = Kind::kIngest;
+    // kIngest payload (exactly one of wire/docs non-empty).
+    std::string session;
+    std::vector<tracer::WireEvent> wire;
+    std::vector<Json> docs;
+    // kUpdate payload.
+    backend::Query query = backend::Query::MatchAll();
+    std::function<bool(Json&)> update;
+  };
+
+  struct ShardLog {
+    // seq = position. shared_ptr so appliers can snapshot entry pointers
+    // and run outside the router mutex while producers keep appending.
+    std::vector<std::shared_ptr<const LogEntry>> entries;
+    // Row position in the shard's sub-index -> global ingestion seq.
+    std::vector<std::uint64_t> global_seqs;
+    // Router-side lower bound of each node's applied watermark (advanced
+    // after applies complete; the node's own watermark is authoritative).
+    std::vector<std::uint64_t> applied_hint;
+  };
+
+  struct IndexState {
+    explicit IndexState(std::size_t shards) : shards(shards) {}
+    std::uint64_t next_global_seq = 0;
+    std::uint64_t bulk_requests = 0;
+    std::uint64_t updates = 0;
+    std::vector<ShardLog> shards;
+  };
+
+  // Owner acks needed for `owner_count` live owners at options().ack.
+  [[nodiscard]] std::size_t RequiredAcks(std::size_t owner_count) const;
+
+  // Applies log entries [node watermark, through_seq] of (index, shard) to
+  // `node`, under its apply mutex. `snapshot` holds entry pointers for
+  // [0, through_seq] (later positions may be absent). Returns the modified
+  // count when the final applied entry is an update, else 0. `applied_out`
+  // (optional) receives how many log entries were actually applied.
+  Expected<std::size_t> ApplyTo(
+      BackendNode& node, const std::string& index, std::size_t shard,
+      const std::vector<std::shared_ptr<const LogEntry>>& snapshot,
+      std::uint64_t through_seq, bool sync,
+      std::size_t* applied_out = nullptr);
+
+  // Picks the shard's reader for scatter/gather: the up+reachable owner
+  // with the highest applied hint (ties: owner order). Returns nullptr if
+  // none. Caller holds mu_.
+  [[nodiscard]] const BackendNode* ReaderFor(const IndexState& ix,
+                                             std::size_t shard) const;
+
+  // Gathers all matching documents of `index` in global-seq order (the
+  // scatter half of Search/Aggregate). Caller holds mu_.
+  Expected<std::vector<std::pair<std::uint64_t, Json>>> GatherMatches(
+      const IndexState& ix, const std::string& index,
+      const backend::Query& query) const;
+
+  const ClusterOptions options_;
+  mutable std::mutex mu_;
+  ShardMap map_;
+  std::vector<std::unique_ptr<BackendNode>> nodes_;
+  std::map<std::string, IndexState> indices_;
+  // Content fingerprints of acked batches (duplicate-delivery detection).
+  std::map<std::uint64_t, std::uint64_t> acked_fingerprints_;  // fp -> count
+
+  std::uint64_t acked_batches_ = 0;
+  std::uint64_t acked_events_ = 0;
+  std::uint64_t duplicate_batches_ = 0;
+  std::uint64_t rejected_batches_ = 0;
+  std::uint64_t rejected_events_ = 0;
+  std::uint64_t sync_applies_ = 0;
+  std::uint64_t async_applies_ = 0;
+};
+
+}  // namespace dio::cluster

@@ -1,0 +1,75 @@
+#include "cluster/shard_map.h"
+
+#include <algorithm>
+
+namespace dio::cluster {
+
+namespace {
+
+// SplitMix64: cheap, well-distributed 64-bit mixer (same construction the
+// doc-values string dictionary uses for hashing).
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardMap::ShardMap(std::size_t logical_shards, std::size_t replicas)
+    : logical_shards_(logical_shards == 0 ? 1 : logical_shards),
+      replicas_(replicas) {}
+
+std::size_t ShardMap::AddNode() {
+  const std::size_t id = salts_.size();
+  // Salt from the node id through two mix rounds so consecutive ids do not
+  // produce correlated score streams.
+  salts_.push_back(Mix64(Mix64(static_cast<std::uint64_t>(id) + 1)));
+  live_.push_back(1);
+  return id;
+}
+
+void ShardMap::SetLive(std::size_t node, bool live) {
+  if (node < live_.size()) live_[node] = live ? 1 : 0;
+}
+
+bool ShardMap::IsLive(std::size_t node) const {
+  return node < live_.size() && live_[node] != 0;
+}
+
+std::size_t ShardMap::live_count() const {
+  return static_cast<std::size_t>(
+      std::count(live_.begin(), live_.end(), std::uint8_t{1}));
+}
+
+std::uint64_t ShardMap::Score(std::size_t node, std::size_t shard) const {
+  return Mix64(salts_[node] ^ Mix64(static_cast<std::uint64_t>(shard) + 1));
+}
+
+std::vector<std::size_t> ShardMap::Owners(std::size_t shard) const {
+  // (score, node) over live nodes, descending; ties broken by node id so
+  // the order is total and reproducible.
+  std::vector<std::pair<std::uint64_t, std::size_t>> scored;
+  scored.reserve(salts_.size());
+  for (std::size_t n = 0; n < salts_.size(); ++n) {
+    if (live_[n] != 0) scored.emplace_back(Score(n, shard), n);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  const std::size_t want = std::min(scored.size(), replicas_ + 1);
+  std::vector<std::size_t> owners;
+  owners.reserve(want);
+  for (std::size_t i = 0; i < want; ++i) owners.push_back(scored[i].second);
+  return owners;
+}
+
+std::size_t ShardMap::Primary(std::size_t shard) const {
+  const std::vector<std::size_t> owners = Owners(shard);
+  return owners.empty() ? node_count() : owners[0];
+}
+
+}  // namespace dio::cluster

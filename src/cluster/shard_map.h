@@ -1,0 +1,59 @@
+// ShardMap: ownership of logical shards across backend nodes via rendezvous
+// (highest-random-weight) hashing.
+//
+// Every index is split into a fixed number of logical shards; an event's
+// routing key hashes to one of them (`ShardOf`). Each shard is owned by the
+// 1 + replicas live nodes with the highest per-(node, shard) scores
+// (`Owners`; the highest-scoring node is the primary). Rendezvous hashing
+// gives the rebalancing property the cluster needs without a token ring:
+// when a node joins or leaves, a shard's owner list changes only if that
+// node scores into (or out of) the shard's top group — every untouched
+// shard keeps its exact owner list, and the expected fraction of primaries
+// that move on a join is 1/(live node count). The property test
+// (shard_map_property_test.cc) pins both guarantees.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dio::cluster {
+
+class ShardMap {
+ public:
+  static constexpr std::size_t kDefaultLogicalShards = 16;
+
+  ShardMap(std::size_t logical_shards, std::size_t replicas);
+
+  // Registers a node (initially live) and returns its id (dense, 0-based).
+  std::size_t AddNode();
+  // Join/leave: a dead node owns nothing until it is marked live again.
+  void SetLive(std::size_t node, bool live);
+  [[nodiscard]] bool IsLive(std::size_t node) const;
+
+  [[nodiscard]] std::size_t node_count() const { return salts_.size(); }
+  [[nodiscard]] std::size_t live_count() const;
+  [[nodiscard]] std::size_t logical_shards() const { return logical_shards_; }
+  [[nodiscard]] std::size_t replicas() const { return replicas_; }
+
+  [[nodiscard]] std::size_t ShardOf(std::uint64_t routing_hash) const {
+    return static_cast<std::size_t>(routing_hash % logical_shards_);
+  }
+
+  // Owner node ids for a shard: primary first, then replicas, in descending
+  // rendezvous-score order over live nodes. Size is
+  // min(1 + replicas, live_count()); empty only when no node is live.
+  [[nodiscard]] std::vector<std::size_t> Owners(std::size_t shard) const;
+  // Owners(shard)[0], or node_count() when no node is live.
+  [[nodiscard]] std::size_t Primary(std::size_t shard) const;
+
+ private:
+  [[nodiscard]] std::uint64_t Score(std::size_t node, std::size_t shard) const;
+
+  std::size_t logical_shards_;
+  std::size_t replicas_;
+  std::vector<std::uint64_t> salts_;  // per-node hash salt
+  std::vector<std::uint8_t> live_;
+};
+
+}  // namespace dio::cluster

@@ -21,8 +21,35 @@ Json SessionInfo::ToJson() const {
   return out;
 }
 
+Expected<BackendTier> BuildBackendTier(const Config& config) {
+  BackendTier tier;
+  const backend::ElasticStoreOptions store_options =
+      backend::ElasticStoreOptions::FromConfig(config);
+  bool clustered = false;
+  for (const auto& [key, value] : config.entries()) {
+    if (key.rfind("cluster.", 0) == 0) {
+      clustered = true;
+      break;
+    }
+  }
+  if (clustered) {
+    auto cluster_options = cluster::ClusterOptions::FromConfig(config);
+    if (!cluster_options.ok()) return cluster_options.status();
+    cluster_options->store = store_options;
+    tier.router = std::make_unique<cluster::ClusterRouter>(*cluster_options);
+    tier.query = tier.router.get();
+  } else {
+    tier.store = std::make_unique<backend::ElasticStore>(store_options);
+    tier.query = tier.store.get();
+  }
+  return tier;
+}
+
 DioService::DioService(os::Kernel* kernel, backend::ElasticStore* store)
-    : kernel_(kernel), store_(store) {}
+    : kernel_(kernel), store_(store), backend_(store) {}
+
+DioService::DioService(os::Kernel* kernel, cluster::ClusterRouter* router)
+    : kernel_(kernel), router_(router), backend_(router) {}
 
 DioService::~DioService() { StopAll(); }
 
@@ -37,7 +64,7 @@ Expected<SessionInfo> DioService::StartSession(
   if (sessions_.contains(options.session_name)) {
     return AlreadyExists("session exists: " + options.session_name);
   }
-  if (store_->HasIndex(options.session_name)) {
+  if (backend_->HasIndex(options.session_name)) {
     return AlreadyExists("backend index exists: " + options.session_name);
   }
 
@@ -54,6 +81,15 @@ Expected<SessionInfo> DioService::StartSession(
       -> Expected<std::unique_ptr<transport::Transport>> {
     if (sink_name != "bulk") {
       return InvalidArgument("dio service: unknown sink: " + sink_name);
+    }
+    // The "bulk" terminal resolves to whichever backend tier the service
+    // fronts: a single-store bulk client, or the cluster's replicated,
+    // ack-gated ingest sink.
+    if (router_ != nullptr) {
+      return std::unique_ptr<transport::Transport>(
+          std::make_unique<cluster::ClusterBulkSink>(
+              router_, index, client_options.network_latency_ns,
+              kernel_->clock()));
     }
     return std::unique_ptr<transport::Transport>(
         std::make_unique<backend::BulkClient>(store_, index, client_options,
@@ -159,19 +195,19 @@ Expected<backend::CorrelationStats> DioService::Correlate(
     const std::string& name) {
   {
     std::scoped_lock lock(mu_);
-    if (!sessions_.contains(name) && !store_->HasIndex(name)) {
+    if (!sessions_.contains(name) && !backend_->HasIndex(name)) {
       return NotFound("no such session: " + name);
     }
   }
-  store_->Refresh(name);
-  backend::FilePathCorrelator correlator(store_);
+  backend_->Refresh(name);
+  backend::FilePathCorrelator correlator(backend_);
   return correlator.Run(name);
 }
 
 Expected<std::vector<backend::Finding>> DioService::Diagnose(
     const std::string& name) {
   DIO_RETURN_IF_ERROR(Correlate(name).status());
-  return backend::RunAllDetectors(store_, name);
+  return backend::RunAllDetectors(backend_, name);
 }
 
 }  // namespace dio::service

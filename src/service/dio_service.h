@@ -24,12 +24,28 @@
 #include "backend/correlation.h"
 #include "backend/detectors.h"
 #include "backend/store.h"
+#include "cluster/cluster_sink.h"
 #include "common/config.h"
 #include "common/status.h"
 #include "tracer/tracer.h"
 #include "transport/pipeline.h"
 
 namespace dio::service {
+
+// The service's backend tier, built from config: a single embedded store by
+// default, or — when the config sets any `cluster.*` knob — a hash-routed
+// primary/replica cluster of embedded stores (cluster.{nodes,replicas,ack},
+// see ClusterOptions::FromConfig). `query` points at whichever one serves
+// analysis.
+struct BackendTier {
+  std::unique_ptr<backend::ElasticStore> store;
+  std::unique_ptr<cluster::ClusterRouter> router;
+  backend::QueryBackend* query = nullptr;
+
+  [[nodiscard]] bool clustered() const { return router != nullptr; }
+};
+
+Expected<BackendTier> BuildBackendTier(const Config& config);
 
 struct SessionInfo {
   std::string name;
@@ -53,6 +69,9 @@ struct SessionInfo {
 class DioService {
  public:
   DioService(os::Kernel* kernel, backend::ElasticStore* store);
+  // Cluster deployment: sessions ship through a ClusterBulkSink (replicated,
+  // ack-gated ingest) and analysis scatter/gathers across the nodes.
+  DioService(os::Kernel* kernel, cluster::ClusterRouter* router);
   ~DioService();
 
   DioService(const DioService&) = delete;
@@ -86,7 +105,12 @@ class DioService {
   Expected<backend::CorrelationStats> Correlate(const std::string& name);
   Expected<std::vector<backend::Finding>> Diagnose(const std::string& name);
 
+  // The single embedded store, or nullptr in cluster deployments.
   [[nodiscard]] backend::ElasticStore* store() { return store_; }
+  // The cluster router, or nullptr in single-store deployments.
+  [[nodiscard]] cluster::ClusterRouter* router() { return router_; }
+  // The analysis surface — never null.
+  [[nodiscard]] backend::QueryBackend* query_backend() { return backend_; }
 
  private:
   struct Session {
@@ -102,7 +126,9 @@ class DioService {
   void RefreshInfoLocked(Session& session) const;
 
   os::Kernel* kernel_;
-  backend::ElasticStore* store_;
+  backend::ElasticStore* store_ = nullptr;
+  cluster::ClusterRouter* router_ = nullptr;
+  backend::QueryBackend* backend_ = nullptr;
   mutable std::mutex mu_;
   std::map<std::string, Session> sessions_;
 };

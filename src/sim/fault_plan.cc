@@ -47,7 +47,9 @@ Expected<double> ParseDouble(std::string_view text) {
 
 }  // namespace
 
-FaultPlan FaultPlan::FromSeed(std::uint64_t seed, std::size_t ops) {
+FaultPlan FaultPlan::FromSeed(std::uint64_t seed, std::size_t ops,
+                              std::size_t cluster_nodes,
+                              std::size_t cluster_replicas) {
   // Decorrelate from the scheduler's and workload's use of the same seed.
   Random rng(seed * 0x9E3779B97F4A7C15ULL + 0xFA017ULL);
   FaultPlan plan;
@@ -68,18 +70,45 @@ FaultPlan FaultPlan::FromSeed(std::uint64_t seed, std::size_t ops) {
     plan.retry_max_attempts = 2 + rng.Uniform(3);
   }
   if (rng.OneIn(2)) {
-    plan.classes |= kFaultCrashRestart;
+    // Single-store mode only: in cluster mode the crash model is a node
+    // crash, drawn below. The roll still happens so enabling the cluster
+    // does not reshuffle the other classes' parameters for the same seed.
     const std::size_t lo = ops / 4;
-    plan.crash_at_op = lo + rng.Uniform(std::max<std::size_t>(1, ops / 2));
+    const std::size_t at = lo + rng.Uniform(std::max<std::size_t>(1, ops / 2));
+    if (cluster_nodes == 0) {
+      plan.classes |= kFaultCrashRestart;
+      plan.crash_at_op = at;
+    }
   }
   if (rng.OneIn(2)) {
     plan.classes |= kFaultDuplicateAck;
     plan.dup_ack_every = 2 + rng.Uniform(3);
   }
+  if (cluster_nodes > 0) {
+    if (cluster_replicas >= 1 && rng.OneIn(2)) {
+      // Replica-less clusters skip this class: crashing the only owner of a
+      // shard genuinely loses acked data, which is a provisioning error the
+      // invariants are not meant to absorb.
+      plan.classes |= kFaultNodeCrash;
+      plan.crash_node = rng.Uniform(cluster_nodes);
+      const std::size_t lo = ops / 5;
+      plan.node_crash_at_op =
+          lo + rng.Uniform(std::max<std::size_t>(1, ops / 2));
+      plan.node_down_for_ops = rng.OneIn(2) ? 0 : ops / 4 + rng.Uniform(ops / 4 + 1);
+    }
+    if (rng.OneIn(2)) {
+      plan.classes |= kFaultPartition;
+      plan.partition_node = rng.Uniform(cluster_nodes);
+      plan.partition_from_op = rng.Uniform(std::max<std::size_t>(1, ops / 2));
+      plan.partition_for_ops =
+          rng.OneIn(2) ? 0 : ops / 6 + rng.Uniform(ops / 3 + 1);
+    }
+  }
   return plan;
 }
 
-Expected<FaultPlan> FaultPlan::Parse(std::string_view spec, std::size_t ops) {
+Expected<FaultPlan> FaultPlan::Parse(std::string_view spec, std::size_t ops,
+                                     std::size_t cluster_nodes) {
   FaultPlan plan;
   if (spec.empty()) return InvalidArgument("fault plan: empty spec");
   if (spec == "none") return plan;
@@ -97,11 +126,31 @@ Expected<FaultPlan> FaultPlan::Parse(std::string_view spec, std::size_t ops) {
       bit = kFaultTransport;
       plan.fault_rate = 0.25;
     } else if (name == "crash") {
+      if (cluster_nodes > 0) {
+        return InvalidArgument(
+            "fault plan: 'crash' is the single-store crash model; use "
+            "'nodecrash' in cluster mode");
+      }
       bit = kFaultCrashRestart;
       plan.crash_at_op = ops / 2;
     } else if (name == "dupack") {
       bit = kFaultDuplicateAck;
       plan.dup_ack_every = 3;
+    } else if (name == "nodecrash") {
+      if (cluster_nodes == 0) {
+        return InvalidArgument(
+            "fault plan: 'nodecrash' requires cluster mode (cluster.nodes)");
+      }
+      bit = kFaultNodeCrash;
+      plan.node_crash_at_op = ops / 2;
+    } else if (name == "partition") {
+      if (cluster_nodes == 0) {
+        return InvalidArgument(
+            "fault plan: 'partition' requires cluster mode (cluster.nodes)");
+      }
+      bit = kFaultPartition;
+      plan.partition_from_op = ops / 3;
+      plan.partition_for_ops = ops / 3;
     } else {
       return InvalidArgument("fault plan: unknown clause '" +
                              std::string(name) + "'");
@@ -150,6 +199,30 @@ Expected<FaultPlan> FaultPlan::Parse(std::string_view spec, std::size_t ops) {
         auto n = ParseUint(value);
         if (!n.ok()) return n.status();
         plan.dup_ack_every = std::max<std::size_t>(1, *n);
+      } else if (bit == kFaultNodeCrash && key == "node") {
+        auto n = ParseUint(value);
+        if (!n.ok()) return n.status();
+        plan.crash_node = static_cast<std::size_t>(*n);
+      } else if (bit == kFaultNodeCrash && key == "at") {
+        auto n = ParseUint(value);
+        if (!n.ok()) return n.status();
+        plan.node_crash_at_op = static_cast<std::size_t>(*n);
+      } else if (bit == kFaultNodeCrash && key == "down") {
+        auto n = ParseUint(value);
+        if (!n.ok()) return n.status();
+        plan.node_down_for_ops = static_cast<std::size_t>(*n);
+      } else if (bit == kFaultPartition && key == "node") {
+        auto n = ParseUint(value);
+        if (!n.ok()) return n.status();
+        plan.partition_node = static_cast<std::size_t>(*n);
+      } else if (bit == kFaultPartition && key == "from") {
+        auto n = ParseUint(value);
+        if (!n.ok()) return n.status();
+        plan.partition_from_op = static_cast<std::size_t>(*n);
+      } else if (bit == kFaultPartition && key == "for") {
+        auto n = ParseUint(value);
+        if (!n.ok()) return n.status();
+        plan.partition_for_ops = static_cast<std::size_t>(*n);
       } else {
         return InvalidArgument("fault plan: unknown key '" +
                                std::string(key) + "' for clause '" +
@@ -159,6 +232,14 @@ Expected<FaultPlan> FaultPlan::Parse(std::string_view spec, std::size_t ops) {
   }
   if (plan.Has(kFaultCrashRestart) && ops > 0) {
     plan.crash_at_op = std::min(plan.crash_at_op, ops);
+  }
+  if (cluster_nodes > 0) {
+    plan.crash_node %= cluster_nodes;
+    plan.partition_node %= cluster_nodes;
+    if (ops > 0) {
+      plan.node_crash_at_op = std::min(plan.node_crash_at_op, ops);
+      plan.partition_from_op = std::min(plan.partition_from_op, ops);
+    }
   }
   return plan;
 }
@@ -187,6 +268,16 @@ std::string FaultPlan::ToString() const {
   }
   if (Has(kFaultDuplicateAck)) {
     append("dupack:every=" + std::to_string(dup_ack_every));
+  }
+  if (Has(kFaultNodeCrash)) {
+    append("nodecrash:node=" + std::to_string(crash_node) +
+           ":at=" + std::to_string(node_crash_at_op) +
+           ":down=" + std::to_string(node_down_for_ops));
+  }
+  if (Has(kFaultPartition)) {
+    append("partition:node=" + std::to_string(partition_node) +
+           ":from=" + std::to_string(partition_from_op) +
+           ":for=" + std::to_string(partition_for_ops));
   }
   return out;
 }

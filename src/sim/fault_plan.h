@@ -9,11 +9,16 @@
 //             | "fault"    [":rate=F"] [":attempts=N"]   transport faults
 //             | "crash"    [":at=N"]                     backend crash+restart
 //             | "dupack"   [":every=N"]                  delivered, ack lost
+//             | "nodecrash" [":node=N"][":at=N"][":down=N"]   cluster node dies
+//             | "partition" [":node=N"][":from=N"][":for=N"]  node unreachable
 //
 // e.g. "overflow:burst=96:every=64+crash:at=120+dupack:every=3".
 // FromSeed derives a plan (classes and parameters) from the run seed, so a
 // bare seed sweep explores the fault space; Parse/ToString round-trip
-// exactly.
+// exactly. The node fault classes exist only in cluster mode
+// (`cluster_nodes > 0`): Parse rejects them otherwise, and rejects the
+// single-store `crash` clause when the cluster is on (there is no single
+// live index to delete — node crashes are the cluster's crash model).
 #pragma once
 
 #include <cstdint>
@@ -31,6 +36,8 @@ enum FaultClassBit : std::uint32_t {
   kFaultTransport = 1u << 2,     // injected delivery failures + retries
   kFaultCrashRestart = 1u << 3,  // backend index wiped mid-run
   kFaultDuplicateAck = 1u << 4,  // bulk delivered but ack lost => re-driven
+  kFaultNodeCrash = 1u << 5,     // cluster node process death + rejoin
+  kFaultPartition = 1u << 6,     // cluster node network partition window
 };
 
 struct FaultPlan {
@@ -61,15 +68,35 @@ struct FaultPlan {
   // its ack, so the retry stage re-drives an already-indexed batch.
   std::size_t dup_ack_every = 0;
 
+  // kFaultNodeCrash: cluster node `crash_node` dies (store and watermarks
+  // wiped, replicas promoted) once the workload has issued
+  // `node_crash_at_op` ops, and rejoins empty `node_down_for_ops` ops later
+  // (0 = stays down until the end-of-run heal), replaying the shard logs.
+  std::size_t crash_node = 0;
+  std::size_t node_crash_at_op = 0;
+  std::size_t node_down_for_ops = 0;
+
+  // kFaultPartition: cluster node `partition_node` becomes unreachable at
+  // op `partition_from_op` for `partition_for_ops` ops (0 = until the
+  // end-of-run heal). It keeps data and ownership; acks that need it fail.
+  std::size_t partition_node = 0;
+  std::size_t partition_from_op = 0;
+  std::size_t partition_for_ops = 0;
+
   [[nodiscard]] bool Has(std::uint32_t bit) const {
     return (classes & bit) != 0;
   }
 
   // Derives a plan from the run seed: each class is enabled with p = 1/2
   // and its parameters are jittered deterministically. `ops` bounds
-  // crash_at_op.
-  static FaultPlan FromSeed(std::uint64_t seed, std::size_t ops);
-  static Expected<FaultPlan> Parse(std::string_view spec, std::size_t ops);
+  // crash_at_op. With `cluster_nodes > 0` the single-store crash class is
+  // replaced by the node fault classes; node crashes are only drawn when
+  // `cluster_replicas >= 1` (a replica-less node crash really loses data).
+  static FaultPlan FromSeed(std::uint64_t seed, std::size_t ops,
+                            std::size_t cluster_nodes = 0,
+                            std::size_t cluster_replicas = 1);
+  static Expected<FaultPlan> Parse(std::string_view spec, std::size_t ops,
+                                   std::size_t cluster_nodes = 0);
   [[nodiscard]] std::string ToString() const;
 };
 

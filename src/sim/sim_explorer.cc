@@ -2,10 +2,17 @@
 //
 //   sim_explorer [--seeds=N] [--seed=X] [--ops=N] [--fault-plan=SPEC]
 //                [--spool-dir=DIR] [--trace] [--json-ingest]
+//                [--cluster=N] [--replicas=R] [--ack=LEVEL]
 //
 // --json-ingest sweeps the same seeds over the JSON-oracle ingest route
 // (backend.typed_ingest=false) instead of the default typed wire->column
 // route; every invariant must hold identically on both.
+//
+// --cluster=N runs every seed against an N-node ClusterRouter backend
+// (--replicas and --ack pick the replication factor and ack level): the
+// fault space gains nodecrash/partition and the invariant suite gains
+// cluster-wide ledger conservation, replica convergence, and scattered
+// vs single-store query parity.
 //
 // Runs RunSimulation for each seed (1..N, or exactly X), prints one summary
 // line per seed, and on any invariant violation prints the minimal repro
@@ -65,6 +72,9 @@ int main(int argc, char** argv) {
   std::string spool_dir;
   bool keep_trace = false;
   bool json_ingest = false;
+  std::size_t cluster_nodes = 0;
+  std::size_t cluster_replicas = 1;
+  std::string cluster_ack = "quorum";
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -79,6 +89,13 @@ int main(int argc, char** argv) {
       fault_spec = std::string(value);
     } else if (ParseFlag(arg, "--spool-dir", &value)) {
       spool_dir = std::string(value);
+    } else if (ParseFlag(arg, "--cluster", &value)) {
+      cluster_nodes = static_cast<std::size_t>(ParseCount(value, "--cluster"));
+    } else if (ParseFlag(arg, "--replicas", &value)) {
+      cluster_replicas =
+          static_cast<std::size_t>(ParseCount(value, "--replicas"));
+    } else if (ParseFlag(arg, "--ack", &value)) {
+      cluster_ack = std::string(value);
     } else if (arg == "--trace") {
       keep_trace = true;
     } else if (arg == "--json-ingest") {
@@ -109,13 +126,17 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const std::vector<std::pair<std::uint32_t, const char*>> kClasses = {
+  std::vector<std::pair<std::uint32_t, const char*>> kClasses = {
       {dio::sim::kFaultRingOverflow, "overflow"},
       {dio::sim::kFaultQueueDrop, "queue"},
       {dio::sim::kFaultTransport, "fault"},
       {dio::sim::kFaultCrashRestart, "crash"},
       {dio::sim::kFaultDuplicateAck, "dupack"},
   };
+  if (cluster_nodes > 0) {
+    kClasses.emplace_back(dio::sim::kFaultNodeCrash, "nodecrash");
+    kClasses.emplace_back(dio::sim::kFaultPartition, "partition");
+  }
   std::map<std::string, Coverage> coverage;
 
   const std::uint64_t first = only_seed != 0 ? only_seed : 1;
@@ -129,6 +150,9 @@ int main(int argc, char** argv) {
     options.spool_dir = spool_dir;
     options.keep_trace = keep_trace;
     options.typed_ingest = !json_ingest;
+    options.cluster_nodes = cluster_nodes;
+    options.cluster_replicas = cluster_replicas;
+    options.cluster_ack = cluster_ack;
 
     auto result = dio::sim::RunSimulation(options);
     if (!result.ok()) {
@@ -138,9 +162,13 @@ int main(int argc, char** argv) {
       return 2;
     }
 
-    const bool fired[] = {result->saw_ring_drop, result->saw_queue_drop,
+    const bool fired[] = {result->saw_ring_drop,
+                          result->saw_queue_drop,
                           result->saw_transport_fault || result->saw_dead_letter,
-                          result->saw_crash, result->saw_ack_drop};
+                          result->saw_crash,
+                          result->saw_ack_drop,
+                          result->saw_node_crash,
+                          result->saw_partition};
     for (std::size_t c = 0; c < kClasses.size(); ++c) {
       Coverage& cov = coverage[kClasses[c].second];
       if (result->plan.Has(kClasses[c].first) && cov.first_planned == 0) {
@@ -149,9 +177,15 @@ int main(int argc, char** argv) {
       if (fired[c] && cov.first_fired == 0) cov.first_fired = seed;
     }
 
+    std::string cluster_note;
+    if (cluster_nodes > 0) {
+      cluster_note = " cluster_docs=" + std::to_string(result->cluster_docs) +
+                     " cluster_dups=" +
+                     std::to_string(result->cluster_duplicates);
+    }
     std::printf(
         "seed %llu route=%s plan=%s steps=%llu digest=%016llx spool=%llu/%llu "
-        "restored=%llu%s\n",
+        "restored=%llu%s%s\n",
         static_cast<unsigned long long>(seed),
         json_ingest ? "json" : "typed", result->plan_spec.c_str(),
         static_cast<unsigned long long>(result->steps),
@@ -159,7 +193,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(result->spool_unique),
         static_cast<unsigned long long>(result->spool_lines),
         static_cast<unsigned long long>(result->restored_docs),
-        result->ok() ? "" : " VIOLATION");
+        cluster_note.c_str(), result->ok() ? "" : " VIOLATION");
     if (!result->ok()) {
       ++failures;
       std::printf("repro: %s\n", result->ReproLine(seed).c_str());

@@ -10,6 +10,8 @@
 #include "backend/bulk_client.h"
 #include "backend/correlation.h"
 #include "backend/store.h"
+#include "cluster/cluster_sink.h"
+#include "cluster/router.h"
 #include "common/clock.h"
 #include "common/random.h"
 #include "oskernel/kernel.h"
@@ -151,6 +153,25 @@ struct RunData {
   std::map<std::string, std::size_t> restored_key_counts;
   std::set<std::string> restored_canonical;
   std::map<std::string, std::string> tag_to_path;
+
+  // Cluster-mode harvest (options.cluster_nodes > 0).
+  bool node_crashed = false;     // the nodecrash fault actually fired
+  bool partitioned = false;      // the partition window actually opened
+  std::uint64_t cluster_acked_batches = 0;
+  std::uint64_t cluster_acked_events = 0;
+  std::uint64_t cluster_duplicate_batches = 0;
+  std::uint64_t cluster_rejected_batches = 0;
+  std::uint64_t cluster_rejected_events = 0;
+  std::uint64_t cluster_pending_applies = 0;
+  std::vector<std::string> convergence;  // VerifyConvergence violations
+  backend::IndexStats cluster_stats;
+  bool have_cluster_stats = false;
+  std::map<std::string, std::size_t> cluster_key_counts;
+  std::set<std::string> cluster_canonical;
+  // Serialized query-mix results over the cluster and the restored store
+  // (the scattered-vs-single-store golden parity check).
+  std::string cluster_query_digest;
+  std::string restored_query_digest;
 };
 
 // Dedup/identity key of one event document. Unique per event by
@@ -159,6 +180,73 @@ std::string EventKey(const Json& doc) {
   return std::to_string(doc.GetInt("tid")) + "|" +
          std::to_string(doc.GetInt("time_enter")) + "|" +
          doc.GetString("syscall");
+}
+
+// Serializes an AggResult (metrics plus buckets, recursively) for byte
+// comparison between backends.
+void AppendAgg(const backend::AggResult& agg, std::string* out) {
+  out->append("metrics=").append(agg.metrics.Dump()).push_back('\n');
+  for (const backend::AggBucket& bucket : agg.buckets) {
+    out->append("bucket ").append(bucket.key.Dump());
+    out->append(" n=").append(std::to_string(bucket.doc_count));
+    out->push_back('\n');
+    for (const auto& [name, sub] : bucket.sub) {
+      out->append("sub ").append(name).push_back('\n');
+      AppendAgg(sub, out);
+    }
+  }
+}
+
+// A fixed query mix — full scan with docids, a sorted+paged search, counts,
+// a nested terms/stats aggregation, and percentiles — serialized over any
+// QueryBackend. The cluster invariant compares the digest over the
+// scatter/gather router against the digest over a single store holding the
+// same documents: byte-identical means scattered execution is
+// indistinguishable from one store.
+Expected<std::string> QueryMixDigest(const backend::QueryBackend& backend,
+                                     const std::string& index) {
+  std::string out;
+  backend::SearchRequest all;
+  all.size = std::numeric_limits<std::size_t>::max();
+  auto hits = backend.Search(index, all);
+  if (!hits.ok()) return hits.status();
+  out += "total=" + std::to_string(hits->total) + "\n";
+  for (const backend::Hit& hit : hits->hits) {
+    out += std::to_string(hit.id) + "|" + hit.source.Dump() + "\n";
+  }
+  backend::SearchRequest sorted;
+  sorted.query = backend::Query::Term("syscall", Json("write"));
+  sorted.sort = {{"ret", false}, {"time_enter", true}};
+  sorted.from = 2;
+  sorted.size = 40;
+  auto page = backend.Search(index, sorted);
+  if (!page.ok()) return page.status();
+  out += "sorted_total=" + std::to_string(page->total) + "\n";
+  for (const backend::Hit& hit : page->hits) {
+    out += hit.source.Dump() + "\n";
+  }
+  const backend::Query counts[] = {
+      backend::Query::MatchAll(),
+      backend::Query::Exists("file_tag"),
+      backend::Query::Range("ret", 0, std::nullopt),
+  };
+  for (const backend::Query& query : counts) {
+    auto count = backend.Count(index, query);
+    if (!count.ok()) return count.status();
+    out += "count=" + std::to_string(*count) + "\n";
+  }
+  auto terms = backend.Aggregate(
+      index, backend::Query::MatchAll(),
+      backend::Aggregation::Terms("syscall").SubAgg(
+          "ret_stats", backend::Aggregation::Stats("ret")));
+  if (!terms.ok()) return terms.status();
+  AppendAgg(*terms, &out);
+  auto pct = backend.Aggregate(
+      index, backend::Query::MatchAll(),
+      backend::Aggregation::Percentiles("ret", {50.0, 95.0, 99.0}));
+  if (!pct.ok()) return pct.status();
+  AppendAgg(*pct, &out);
+  return out;
 }
 
 // Issues exactly one syscall for `task` at its pinned virtual time.
@@ -258,18 +346,42 @@ Expected<RunData> RunOnce(const SimOptions& options, const FaultPlan& plan,
 
   backend::ElasticStoreOptions store_options;
   store_options.typed_ingest = options.typed_ingest;
+  // In cluster mode `store` only serves the post-run spool restore (the
+  // single-store oracle the scattered query results are compared against);
+  // the live backend is the router's node stores.
   backend::ElasticStore store(store_options);
 
-  // Transport chain, bottom-up: bulk -> ackloss -> {.., spool} fanout ->
-  // retry -> queue. The queue and all waits run in manual/virtual-time mode
-  // so the scheduler is the only source of concurrency.
-  backend::BulkClientOptions bulk_options;
-  bulk_options.network_latency_ns = 50 * kMicrosecond;
-  bulk_options.refresh_every_batches = 4;
-  auto bulk = std::make_unique<backend::BulkClient>(&store, session,
-                                                    bulk_options, &sim_clock);
+  const bool cluster_mode = options.cluster_nodes > 0;
+  std::unique_ptr<cluster::ClusterRouter> router;
+  cluster::ClusterBulkSink* cluster_sink_ptr = nullptr;
+
+  // Transport chain, bottom-up: terminal sink (bulk client, or the cluster
+  // sink in cluster mode) -> ackloss -> {.., spool} fanout -> retry ->
+  // queue. The queue and all waits run in manual/virtual-time mode so the
+  // scheduler is the only source of concurrency.
+  std::unique_ptr<transport::Transport> terminal;
+  if (cluster_mode) {
+    cluster::ClusterOptions cluster_options;
+    cluster_options.nodes = options.cluster_nodes;
+    cluster_options.replicas = options.cluster_replicas;
+    auto ack = cluster::AckLevelFromString(options.cluster_ack);
+    if (!ack.ok()) return ack.status();
+    cluster_options.ack = *ack;
+    cluster_options.store = store_options;
+    router = std::make_unique<cluster::ClusterRouter>(cluster_options);
+    auto sink = std::make_unique<cluster::ClusterBulkSink>(
+        router.get(), session, 50 * kMicrosecond, &sim_clock);
+    cluster_sink_ptr = sink.get();
+    terminal = std::move(sink);
+  } else {
+    backend::BulkClientOptions bulk_options;
+    bulk_options.network_latency_ns = 50 * kMicrosecond;
+    bulk_options.refresh_every_batches = 4;
+    terminal = std::make_unique<backend::BulkClient>(&store, session,
+                                                     bulk_options, &sim_clock);
+  }
   auto ack_loss = std::make_unique<AckLossSink>(
-      std::move(bulk),
+      std::move(terminal),
       plan.Has(kFaultDuplicateAck) ? plan.dup_ack_every : 0);
   AckLossSink* ack_loss_ptr = ack_loss.get();
 
@@ -344,6 +456,9 @@ Expected<RunData> RunOnce(const SimOptions& options, const FaultPlan& plan,
   std::size_t workloads_alive = options.num_tasks;
   bool crashed = false;
 
+  bool node_restarted = false;
+  bool partition_healed = false;
+
   const auto issue_op = [&](WorkloadTask& task) {
     DoOneOp(kernel, workload_clock, task);
     ++global_ops;
@@ -354,6 +469,31 @@ Expected<RunData> RunOnce(const SimOptions& options, const FaultPlan& plan,
       // post-run spool replay.
       (void)store.DeleteIndex(session);
       crashed = true;
+    }
+    if (cluster_mode && plan.Has(kFaultNodeCrash)) {
+      if (!data.node_crashed && global_ops >= plan.node_crash_at_op) {
+        // Node death: store and watermarks wiped, replicas promoted. With
+        // down=0 the node stays dead until the end-of-run heal.
+        (void)router->CrashNode(plan.crash_node);
+        data.node_crashed = true;
+      } else if (data.node_crashed && !node_restarted &&
+                 plan.node_down_for_ops > 0 &&
+                 global_ops >= plan.node_crash_at_op + plan.node_down_for_ops) {
+        (void)router->RestartNode(plan.crash_node);
+        node_restarted = true;
+      }
+    }
+    if (cluster_mode && plan.Has(kFaultPartition)) {
+      if (!data.partitioned && global_ops >= plan.partition_from_op) {
+        (void)router->SetReachable(plan.partition_node, false);
+        data.partitioned = true;
+      } else if (data.partitioned && !partition_healed &&
+                 plan.partition_for_ops > 0 &&
+                 global_ops >=
+                     plan.partition_from_op + plan.partition_for_ops) {
+        (void)router->SetReachable(plan.partition_node, true);
+        partition_healed = true;
+      }
     }
   };
 
@@ -395,20 +535,40 @@ Expected<RunData> RunOnce(const SimOptions& options, const FaultPlan& plan,
       return StepResult::kIdle;
     });
   }
+  bool queue_sender_done = false;
   scheduler.AddActor("queue-sender", [&] {
     if (queue_ptr->PumpOne()) return StepResult::kWorked;
     bool consumers_done = workloads_alive == 0;
     for (std::size_t w = 0; w < workers && consumers_done; ++w) {
       consumers_done = consumer_done[w];
     }
-    return consumers_done ? StepResult::kDone : StepResult::kIdle;
+    if (!consumers_done) return StepResult::kIdle;
+    queue_sender_done = true;
+    return StepResult::kDone;
   });
+  if (cluster_mode) {
+    // Drains deferred replica applies concurrently with ingest, exactly as a
+    // background replication thread would — interleaved by the scheduler, so
+    // its timing is part of the explored schedule space. Finishes when the
+    // chain is drained; a backlog blocked by a down/partitioned node is left
+    // for the post-heal Settle in the teardown flush.
+    scheduler.AddActor("cluster-replicator", [&] {
+      if (router->PumpReplication(4) > 0) return StepResult::kWorked;
+      return queue_sender_done ? StepResult::kDone : StepResult::kIdle;
+    });
+  }
 
   data.art.completed = scheduler.Run();
   data.art.schedule_digest = scheduler.trace_digest();
   data.art.steps = scheduler.steps();
   data.art.trace = scheduler.trace();
   data.art.crashed = crashed;
+
+  // End-of-run heal: partitions close and crashed nodes rejoin BEFORE the
+  // teardown flush, so the cluster sink's Flush (Settle + Refresh) can
+  // drain the deferred backlog and replay the log into rejoined nodes —
+  // the failover-recovery path the convergence invariant then verifies.
+  if (cluster_mode) router->HealAll();
 
   // Teardown: final serial drain of rings and local batches, then the chain
   // flush (queue -> retry -> sinks), after which every accepted batch is
@@ -423,6 +583,36 @@ Expected<RunData> RunOnce(const SimOptions& options, const FaultPlan& plan,
   if (auto stats = store.Stats(session); stats.ok()) {
     data.live_stats = *stats;
     data.have_live_stats = true;
+  }
+
+  if (cluster_mode) {
+    // Harvest the quiescent cluster: counters, convergence, and the full
+    // document set plus query-mix digest (both taken BEFORE any correlator
+    // pass mutates documents, mirroring the restored-store harvest below).
+    data.cluster_acked_batches = router->acked_batches();
+    data.cluster_acked_events = router->acked_events();
+    data.cluster_duplicate_batches = router->duplicate_batches();
+    data.cluster_rejected_batches = cluster_sink_ptr->rejected_batches();
+    data.cluster_rejected_events = cluster_sink_ptr->rejected_events();
+    data.cluster_pending_applies = router->PendingApplies();
+    data.convergence = router->VerifyConvergence(session);
+    if (auto stats = router->Stats(session); stats.ok()) {
+      data.cluster_stats = *stats;
+      data.have_cluster_stats = true;
+    }
+    if (router->HasIndex(session)) {
+      backend::SearchRequest request;
+      request.size = std::numeric_limits<std::size_t>::max();
+      auto hits = router->Search(session, request);
+      if (!hits.ok()) return hits.status();
+      for (const backend::Hit& hit : hits->hits) {
+        data.cluster_key_counts[EventKey(hit.source)] += 1;
+        data.cluster_canonical.insert(hit.source.Dump());
+      }
+      auto digest = QueryMixDigest(*router, session);
+      if (!digest.ok()) return digest.status();
+      data.cluster_query_digest = *digest;
+    }
   }
 
   // Harvest the spool in canonical (parse -> dump) form.
@@ -443,8 +633,11 @@ Expected<RunData> RunOnce(const SimOptions& options, const FaultPlan& plan,
   }
 
   if (golden) {
-    // Golden reference: correlate the (lossless) live index.
-    backend::FilePathCorrelator correlator(&store);
+    // Golden reference: correlate the (lossless) live backend — the single
+    // store, or the scatter/gather router in cluster mode.
+    backend::FilePathCorrelator correlator(
+        cluster_mode ? static_cast<backend::QueryBackend*>(router.get())
+                     : &store);
     if (auto run = correlator.Run(session); !run.ok()) return run.status();
     data.tag_to_path = correlator.tag_to_path();
     return data;
@@ -477,11 +670,32 @@ Expected<RunData> RunOnce(const SimOptions& options, const FaultPlan& plan,
       data.restored_canonical.insert(hit.source.Dump());
     }
 
-    backend::FilePathCorrelator correlator(&store);
-    if (auto run = correlator.Run(restored_index); !run.ok()) {
-      return run.status();
+    if (cluster_mode) {
+      // The restored single store is the oracle for the scattered query
+      // digest: same spool, one store, no cluster.
+      auto digest = QueryMixDigest(store, restored_index);
+      if (!digest.ok()) return digest.status();
+      data.restored_query_digest = *digest;
     }
-    data.tag_to_path = correlator.tag_to_path();
+
+    // Faulty-run correlation: over the restored index, or — in cluster mode
+    // — over the router itself, exercising the analysis path through
+    // scatter/gather (tag parity against the golden run's router pass).
+    if (cluster_mode) {
+      if (router->HasIndex(session)) {
+        backend::FilePathCorrelator correlator(router.get());
+        if (auto run = correlator.Run(session); !run.ok()) {
+          return run.status();
+        }
+        data.tag_to_path = correlator.tag_to_path();
+      }
+    } else {
+      backend::FilePathCorrelator correlator(&store);
+      if (auto run = correlator.Run(restored_index); !run.ok()) {
+        return run.status();
+      }
+      data.tag_to_path = correlator.tag_to_path();
+    }
   }
   return data;
 }
@@ -504,11 +718,14 @@ std::string SimResult::ReproLine(std::uint64_t seed) const {
 
 Expected<SimResult> RunSimulation(const SimOptions& options) {
   const std::size_t total_ops = options.num_tasks * options.ops_per_task;
+  const bool cluster_mode = options.cluster_nodes > 0;
   FaultPlan plan;
   if (options.fault_spec.empty()) {
-    plan = FaultPlan::FromSeed(options.seed, total_ops);
+    plan = FaultPlan::FromSeed(options.seed, total_ops, options.cluster_nodes,
+                               options.cluster_replicas);
   } else {
-    auto parsed = FaultPlan::Parse(options.fault_spec, total_ops);
+    auto parsed = FaultPlan::Parse(options.fault_spec, total_ops,
+                                   options.cluster_nodes);
     if (!parsed.ok()) return parsed.status();
     plan = *parsed;
   }
@@ -534,7 +751,9 @@ Expected<SimResult> RunSimulation(const SimOptions& options) {
   const auto* retry = FindStage(run_a->art.stages, "retry");
   const auto* fanout = FindStage(run_a->art.stages, "fanout");
   const auto* ackloss = FindStage(run_a->art.stages, "ackloss");
-  const auto* bulk = FindStage(run_a->art.stages, "bulk");
+  // The terminal stage under ackloss: the bulk client, or the cluster sink.
+  const auto* terminal = FindStage(run_a->art.stages,
+                                   cluster_mode ? "cluster" : "bulk");
   const auto* spool = FindStage(run_a->art.stages, "spool");
 
   result.saw_ring_drop = tstats.ring_dropped > 0;
@@ -543,6 +762,12 @@ Expected<SimResult> RunSimulation(const SimOptions& options) {
   result.saw_dead_letter = retry != nullptr && retry->dead_letter_events > 0;
   result.saw_ack_drop = run_a->art.acks_dropped_events > 0;
   result.saw_crash = run_a->art.crashed;
+  result.saw_node_crash = run_a->node_crashed;
+  result.saw_partition = run_a->partitioned;
+  result.saw_cluster_reject = run_a->cluster_rejected_batches > 0;
+  result.cluster_docs =
+      run_a->have_cluster_stats ? run_a->cluster_stats.doc_count : 0;
+  result.cluster_duplicates = run_a->cluster_duplicate_batches;
 
   InvariantChecker check;
 
@@ -570,6 +795,20 @@ Expected<SimResult> RunSimulation(const SimOptions& options) {
     check.CheckEq(gr->dead_letter_events, 0, "golden dead letters");
   }
   CheckTracerCounters(golden->art.tracer, &check);
+  if (cluster_mode) {
+    // The fault-free golden cluster accepts everything, converges, and
+    // leaves no backlog.
+    check.CheckEq(golden->cluster_rejected_batches, 0,
+                  "golden cluster rejects");
+    check.Check(golden->have_cluster_stats, "golden cluster stats");
+    if (golden->have_cluster_stats) {
+      check.CheckEq(golden->cluster_stats.doc_count, total_ops,
+                    "golden cluster doc_count");
+    }
+    check.Check(golden->convergence.empty(), "golden replica convergence");
+    check.CheckEq(golden->cluster_pending_applies, 0,
+                  "golden pending applies");
+  }
 
   // Faulty run: tracer counters and per-stage ledgers (the fan-out and the
   // ack-loss decorator legitimately report upstream failures for batches
@@ -578,56 +817,100 @@ Expected<SimResult> RunSimulation(const SimOptions& options) {
   CheckTracerCounters(tstats, &check);
   check.CheckEq(tstats.enter_hits, total_ops, "workload op accounting");
   LedgerExpectations expect;
-  expect.rejected_batches["fanout"] = run_a->art.acks_dropped_batches;
-  expect.rejected_events["fanout"] = run_a->art.acks_dropped_events;
-  expect.rejected_batches["ackloss"] = run_a->art.acks_dropped_batches;
-  expect.rejected_events["ackloss"] = run_a->art.acks_dropped_events;
+  // Cluster-rejected deliveries (ack level unsatisfiable) fail the Submit,
+  // so the rejection surfaces as an in/out gap at the cluster stage AND at
+  // every decorator above it, alongside the lost-ack gaps.
+  expect.rejected_batches["fanout"] =
+      run_a->art.acks_dropped_batches + run_a->cluster_rejected_batches;
+  expect.rejected_events["fanout"] =
+      run_a->art.acks_dropped_events + run_a->cluster_rejected_events;
+  expect.rejected_batches["ackloss"] =
+      run_a->art.acks_dropped_batches + run_a->cluster_rejected_batches;
+  expect.rejected_events["ackloss"] =
+      run_a->art.acks_dropped_events + run_a->cluster_rejected_events;
+  if (cluster_mode) {
+    expect.rejected_batches["cluster"] = run_a->cluster_rejected_batches;
+    expect.rejected_events["cluster"] = run_a->cluster_rejected_events;
+  }
   CheckStageLedgers(run_a->art.stages, expect, &check);
 
   // Cross-stage conservation.
   check.Check(queue != nullptr && retry != nullptr && fanout != nullptr &&
-                  ackloss != nullptr && bulk != nullptr && spool != nullptr,
+                  ackloss != nullptr && terminal != nullptr &&
+                  spool != nullptr,
               "expected stages missing from CollectStats");
   if (queue != nullptr && retry != nullptr && fanout != nullptr &&
-      ackloss != nullptr && bulk != nullptr && spool != nullptr) {
+      ackloss != nullptr && terminal != nullptr && spool != nullptr) {
     check.CheckEq(queue->events_in, tstats.emitted,
                   "queue.events_in == tracer.emitted");
     check.CheckEq(retry->events_in, queue->events_out,
                   "retry.events_in == queue.events_out");
     check.CheckEq(fanout->events_in,
-                  retry->events_out + run_a->art.acks_dropped_events,
-                  "fanout.events_in == retry.events_out + lost acks");
+                  retry->events_out + run_a->art.acks_dropped_events +
+                      run_a->cluster_rejected_events,
+                  "fanout.events_in == retry.events_out + lost acks + "
+                  "cluster rejects");
     check.CheckEq(ackloss->events_in, fanout->events_in,
                   "ackloss.events_in == fanout.events_in");
-    check.CheckEq(bulk->events_in, ackloss->events_in,
-                  "bulk.events_in == ackloss.events_in");
+    check.CheckEq(terminal->events_in, ackloss->events_in,
+                  "terminal.events_in == ackloss.events_in");
     check.CheckEq(spool->events_in, fanout->events_in,
                   "spool.events_in == fanout.events_in");
     check.CheckEq(result.spool_lines, spool->events_out,
                   "spool file lines == spool.events_out");
     // End-to-end: every emitted event is spooled, queue-dropped, or
-    // dead-lettered; re-driven (ack-lost) deliveries are the only source of
-    // spool surplus.
+    // dead-lettered; re-driven deliveries (ack lost, or refused by the
+    // cluster's ack gate) are the only source of spool surplus.
     check.CheckEq(
         spool->events_in + queue->dropped_events + retry->dead_letter_events,
-        tstats.emitted + run_a->art.acks_dropped_events,
+        tstats.emitted + run_a->art.acks_dropped_events +
+            run_a->cluster_rejected_events,
         "end-to-end event conservation");
-    // Live-index consistency: without a crash, the store holds exactly what
-    // the bulk sink delivered (duplicates included).
-    if (!run_a->art.crashed) {
-      check.Check(run_a->have_live_stats || bulk->events_in == 0,
-                  "live index stats unavailable");
-      if (run_a->have_live_stats) {
-        check.CheckEq(run_a->live_stats.doc_count, bulk->events_in,
-                      "live doc_count == bulk.events_in");
+    if (cluster_mode) {
+      // Cluster-wide ledger conservation: after the end-of-run heal and
+      // settle, the logical index holds every acked event exactly once —
+      // crashes promote replicas and the log replays, but nothing acked is
+      // lost and nothing re-driven is double-indexed.
+      check.Check(run_a->have_cluster_stats ||
+                      run_a->cluster_acked_events == 0,
+                  "cluster stats unavailable");
+      if (run_a->have_cluster_stats) {
+        check.CheckEq(run_a->cluster_stats.doc_count,
+                      run_a->cluster_acked_events,
+                      "cluster doc_count == acked events");
+        check.CheckEq(run_a->cluster_stats.pending_count, 0,
+                      "cluster pending_count post-refresh");
+      }
+      check.CheckEq(run_a->cluster_key_counts.size(),
+                    run_a->cluster_canonical.size(),
+                    "cluster distinct keys == distinct documents");
+      for (const auto& [key, count] : run_a->cluster_key_counts) {
+        check.Check(count == 1, "event in cluster " + std::to_string(count) +
+                                    " times after failover: " + key);
+      }
+      check.CheckEq(run_a->cluster_pending_applies, 0,
+                    "no pending applies after heal + settle");
+      for (const std::string& divergence : run_a->convergence) {
+        check.Check(false, "replica convergence: " + divergence);
+      }
+    } else {
+      // Live-index consistency: without a crash, the store holds exactly
+      // what the bulk sink delivered (duplicates included).
+      if (!run_a->art.crashed) {
+        check.Check(run_a->have_live_stats || terminal->events_in == 0,
+                    "live index stats unavailable");
+        if (run_a->have_live_stats) {
+          check.CheckEq(run_a->live_stats.doc_count, terminal->events_in,
+                        "live doc_count == bulk.events_in");
+          check.CheckEq(run_a->live_stats.pending_count, 0,
+                        "live pending_count post-refresh");
+        }
+      } else if (run_a->have_live_stats) {
+        check.CheckLe(run_a->live_stats.doc_count, terminal->events_in,
+                      "live doc_count bounded by bulk.events_in post-crash");
         check.CheckEq(run_a->live_stats.pending_count, 0,
                       "live pending_count post-refresh");
       }
-    } else if (run_a->have_live_stats) {
-      check.CheckLe(run_a->live_stats.doc_count, bulk->events_in,
-                    "live doc_count bounded by bulk.events_in post-crash");
-      check.CheckEq(run_a->live_stats.pending_count, 0,
-                    "live pending_count post-refresh");
     }
   }
 
@@ -648,6 +931,28 @@ Expected<SimResult> RunSimulation(const SimOptions& options) {
     for (const auto& [key, count] : run_a->restored_key_counts) {
       check.Check(count == 1, "event indexed " + std::to_string(count) +
                                   " times after replay: " + key);
+    }
+  }
+
+  // Scattered-vs-single-store golden parity. The cluster never invents
+  // documents, and when no delivery was rejected (accept order == spool
+  // first-occurrence order) the scatter/gather results — ids, sorted pages,
+  // counts, aggregations — are byte-identical to the restored single store
+  // holding the same spool.
+  if (cluster_mode) {
+    for (const std::string& doc : run_a->cluster_canonical) {
+      check.Check(run_a->spool_unique.count(doc) > 0,
+                  "cluster document absent from spool: " + doc);
+    }
+    if (run_a->restored && run_a->cluster_rejected_batches == 0) {
+      check.Check(!run_a->cluster_query_digest.empty(),
+                  "cluster query digest missing");
+      check.CheckEq(run_a->cluster_canonical.size(),
+                    run_a->restored_canonical.size(),
+                    "cluster document set == restored document set");
+      check.Check(
+          run_a->cluster_query_digest == run_a->restored_query_digest,
+          "scattered query results diverged from the single-store oracle");
     }
   }
 

@@ -54,6 +54,15 @@ struct SimOptions {
   // (wire records materialized to documents at the store boundary). Every
   // invariant must hold identically on both.
   bool typed_ingest = true;
+  // Cluster mode: > 0 replaces the single backend store with a
+  // `cluster_nodes`-node ClusterRouter behind a ClusterBulkSink; the fault
+  // space gains nodecrash/partition and the invariant suite gains
+  // cluster-wide ledger conservation, replica convergence, and scattered
+  // vs single-store golden query parity. 0 = the original single store.
+  std::size_t cluster_nodes = 0;
+  std::size_t cluster_replicas = 1;
+  // AckLevel name: primary | quorum | all.
+  std::string cluster_ack = "quorum";
 };
 
 // Observed outcome of one simulated run (golden or faulty).
@@ -88,10 +97,15 @@ struct SimResult {
   bool saw_dead_letter = false;
   bool saw_ack_drop = false;
   bool saw_crash = false;
+  bool saw_node_crash = false;  // cluster mode: a node actually died
+  bool saw_partition = false;   // cluster mode: a partition window opened
+  bool saw_cluster_reject = false;  // an ingest was refused (ack level)
 
   std::uint64_t spool_lines = 0;     // faulty spool, including duplicates
   std::uint64_t spool_unique = 0;    // distinct documents in the spool
   std::uint64_t restored_docs = 0;   // docs in the replayed (restored) index
+  std::uint64_t cluster_docs = 0;    // cluster mode: docs in the cluster index
+  std::uint64_t cluster_duplicates = 0;  // re-driven batches deduped by fp
 
   [[nodiscard]] bool ok() const { return violations.empty(); }
   // "--seed=X --fault-plan=Y" — replays this exact run.

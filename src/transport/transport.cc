@@ -35,6 +35,58 @@ void EventBatch::Materialize() {
   wire.clear();
 }
 
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void HashBytes(std::uint64_t* h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+
+void HashInt(std::uint64_t* h, std::uint64_t v) { HashBytes(h, &v, sizeof(v)); }
+
+void HashString(std::uint64_t* h, std::string_view s) {
+  HashInt(h, s.size());
+  HashBytes(h, s.data(), s.size());
+}
+
+}  // namespace
+
+std::uint64_t EventBatch::Fingerprint() const {
+  std::uint64_t h = kFnvOffset;
+  HashString(&h, session);
+  HashInt(&h, events.size());
+  HashInt(&h, wire.size());
+  HashInt(&h, documents.size());
+  for (const tracer::Event& event : events) {
+    HashInt(&h, static_cast<std::uint64_t>(event.nr));
+    HashInt(&h, static_cast<std::uint64_t>(event.pid));
+    HashInt(&h, static_cast<std::uint64_t>(event.tid));
+    HashInt(&h, static_cast<std::uint64_t>(event.time_enter));
+    HashInt(&h, static_cast<std::uint64_t>(event.time_exit));
+    HashInt(&h, static_cast<std::uint64_t>(event.ret));
+    HashString(&h, event.path);
+  }
+  for (const tracer::WireEvent& record : wire) {
+    HashInt(&h, record.nr);
+    HashInt(&h, static_cast<std::uint64_t>(record.pid));
+    HashInt(&h, static_cast<std::uint64_t>(record.tid));
+    HashInt(&h, static_cast<std::uint64_t>(record.time_enter));
+    HashInt(&h, static_cast<std::uint64_t>(record.time_exit));
+    HashInt(&h, static_cast<std::uint64_t>(record.ret));
+    HashString(&h, {record.path, record.path_len});
+  }
+  for (const Json& doc : documents) {
+    HashString(&h, doc.Dump());
+  }
+  return h;
+}
+
 Json StageStats::ToJson() const {
   Json out = Json::MakeObject();
   out.Set("stage", stage);

@@ -59,6 +59,13 @@ struct EventBatch {
   // Wire records materialize through WireEventToJson, byte-identical to the
   // Event route, so a sink's output does not depend on which form arrived.
   void Materialize();
+
+  // Content fingerprint for duplicate-delivery detection: an acked-but-
+  // nacked batch re-driven by the retry stage hashes identically, so an
+  // ack-aware sink (the cluster router) can acknowledge it again without
+  // re-applying. Hashes the session plus every record's decoded fields —
+  // never raw struct bytes, whose padding is unspecified.
+  [[nodiscard]] std::uint64_t Fingerprint() const;
 };
 
 // Per-stage accounting, surfaced in session info and the bench reports.

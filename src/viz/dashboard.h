@@ -6,7 +6,7 @@
 #include <string>
 
 #include "backend/correlation.h"
-#include "backend/store.h"
+#include "backend/query_backend.h"
 #include "common/status.h"
 #include "viz/table.h"
 #include "viz/timeseries.h"
@@ -15,7 +15,7 @@ namespace dio::viz {
 
 class Dashboards {
  public:
-  Dashboards(backend::ElasticStore* store, std::string index)
+  Dashboards(backend::QueryBackend* store, std::string index)
       : store_(store), index_(std::move(index)) {}
 
   // Fig. 2-style table: time, proc_name, syscall, ret, file_tag, offset —
@@ -49,7 +49,7 @@ class Dashboards {
   Expected<std::string> SyscallShare() const;
 
  private:
-  backend::ElasticStore* store_;
+  backend::QueryBackend* store_;
   std::string index_;
 };
 

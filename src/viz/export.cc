@@ -1,10 +1,18 @@
 #include "viz/export.h"
 
+#include <filesystem>
 #include <fstream>
 
 namespace dio::viz {
 
 Status WriteTextFile(const std::string& path, const std::string& contents) {
+  // Artifacts land in directories like out/ that may not exist yet.
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) return Unavailable("cannot create directory: " + parent.string());
+  }
   std::ofstream out(path, std::ios::trunc);
   if (!out) return Unavailable("cannot open for writing: " + path);
   out << contents;

@@ -1,4 +1,5 @@
 #include "backend/detectors.h"
+#include "backend/store.h"
 
 #include <gtest/gtest.h>
 

@@ -1,0 +1,179 @@
+// Property tests for rendezvous-hash shard routing stability (satellite):
+// node join/leave must move only the expected fraction of shards, and must
+// NEVER change the owner list of a shard whose top group the node does not
+// enter or leave. These are the guarantees that make cluster rebalancing
+// cheap and failover targeted.
+#include "cluster/shard_map.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dio::cluster {
+namespace {
+
+ShardMap MakeMap(std::size_t shards, std::size_t replicas,
+                 std::size_t nodes) {
+  ShardMap map(shards, replicas);
+  for (std::size_t i = 0; i < nodes; ++i) map.AddNode();
+  return map;
+}
+
+std::vector<std::vector<std::size_t>> AllOwners(const ShardMap& map) {
+  std::vector<std::vector<std::size_t>> owners;
+  owners.reserve(map.logical_shards());
+  for (std::size_t s = 0; s < map.logical_shards(); ++s) {
+    owners.push_back(map.Owners(s));
+  }
+  return owners;
+}
+
+TEST(ShardMapTest, OwnersAreDistinctLiveAndPrimaryFirst) {
+  const auto map = MakeMap(64, 2, 5);
+  for (std::size_t s = 0; s < map.logical_shards(); ++s) {
+    auto owners = map.Owners(s);
+    ASSERT_EQ(owners.size(), 3u);  // 1 + replicas
+    EXPECT_EQ(owners[0], map.Primary(s));
+    auto sorted = owners;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    for (auto node : owners) EXPECT_TRUE(map.IsLive(node));
+  }
+}
+
+TEST(ShardMapTest, OwnerGroupShrinksToLiveCount) {
+  ShardMap map = MakeMap(16, 2, 2);
+  EXPECT_EQ(map.Owners(0).size(), 2u);  // want 3, only 2 live
+  map.SetLive(0, false);
+  EXPECT_EQ(map.Owners(0).size(), 1u);
+  EXPECT_EQ(map.Owners(0)[0], 1u);
+  map.SetLive(1, false);
+  EXPECT_TRUE(map.Owners(0).empty());
+  EXPECT_EQ(map.Primary(0), map.node_count());
+}
+
+TEST(ShardMapTest, RoutingIsDeterministic) {
+  const auto a = MakeMap(128, 1, 7);
+  const auto b = MakeMap(128, 1, 7);
+  EXPECT_EQ(AllOwners(a), AllOwners(b));
+  Random rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t key = rng.Next();
+    EXPECT_EQ(a.ShardOf(key), b.ShardOf(key));
+    EXPECT_LT(a.ShardOf(key), a.logical_shards());
+  }
+}
+
+// Join: every shard whose owner list changes must have the new node in its
+// new owner list — the join can only pull the new node INTO top groups, it
+// can never reshuffle a group it does not enter. The number of primaries
+// that move stays near the rendezvous expectation of shards/live_count.
+TEST(ShardMapPropertyTest, JoinMovesOnlyShardsTheNewNodeWins) {
+  constexpr std::size_t kShards = 512;
+  for (std::size_t nodes = 2; nodes <= 9; ++nodes) {
+    ShardMap map = MakeMap(kShards, 1, nodes);
+    const auto before = AllOwners(map);
+    const std::size_t joined = map.AddNode();
+    const auto after = AllOwners(map);
+
+    std::size_t moved_primaries = 0;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      if (after[s] == before[s]) continue;
+      // Changed owner lists must contain the joiner...
+      EXPECT_NE(std::find(after[s].begin(), after[s].end(), joined),
+                after[s].end())
+          << "shard " << s << " reshuffled without the joining node";
+      // ...and keep the surviving owners in their previous relative order
+      // (the joiner displaces exactly one owner, it does not permute).
+      std::vector<std::size_t> survivors;
+      for (auto node : after[s]) {
+        if (node != joined) survivors.push_back(node);
+      }
+      std::vector<std::size_t> expected(before[s].begin(),
+                                        before[s].end() - 1);
+      EXPECT_EQ(survivors, expected) << "shard " << s;
+      if (after[s][0] != before[s][0]) ++moved_primaries;
+    }
+    // E[moved primaries] = kShards / (nodes + 1). Allow a wide band — the
+    // point is "about 1/n moves", not "n stays exactly put".
+    const double expected = static_cast<double>(kShards) / (nodes + 1);
+    EXPECT_GT(moved_primaries, expected * 0.5)
+        << nodes << " -> " << nodes + 1 << " nodes";
+    EXPECT_LT(moved_primaries, expected * 2.0)
+        << nodes << " -> " << nodes + 1 << " nodes";
+  }
+}
+
+// Leave: only shards the dead node owned may change, and each promotes by
+// appending the next-ranked node — untouched shards keep their exact lists.
+TEST(ShardMapPropertyTest, LeaveTouchesOnlyShardsTheNodeOwned) {
+  constexpr std::size_t kShards = 512;
+  ShardMap map = MakeMap(kShards, 2, 6);
+  const auto before = AllOwners(map);
+  constexpr std::size_t kDead = 3;
+  map.SetLive(kDead, false);
+  const auto after = AllOwners(map);
+
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const bool owned = std::find(before[s].begin(), before[s].end(), kDead) !=
+                       before[s].end();
+    if (!owned) {
+      EXPECT_EQ(after[s], before[s])
+          << "shard " << s << " moved though node " << kDead
+          << " never owned it";
+      continue;
+    }
+    // Survivors keep their relative order; one new owner is appended.
+    std::vector<std::size_t> survivors;
+    for (auto node : before[s]) {
+      if (node != kDead) survivors.push_back(node);
+    }
+    ASSERT_EQ(after[s].size(), before[s].size());
+    EXPECT_TRUE(std::equal(survivors.begin(), survivors.end(),
+                           after[s].begin()))
+        << "shard " << s;
+  }
+
+  // Rejoin restores the exact pre-leave assignment (scores are stable).
+  map.SetLive(kDead, true);
+  EXPECT_EQ(AllOwners(map), before);
+}
+
+// Churn: random join/leave sequences never orphan a shard while any node is
+// live, and identical live sets always produce identical assignments no
+// matter the path taken to reach them.
+TEST(ShardMapPropertyTest, ChurnKeepsAssignmentAFunctionOfTheLiveSet) {
+  constexpr std::size_t kShards = 128;
+  ShardMap map = MakeMap(kShards, 1, 8);
+  std::map<std::vector<std::uint8_t>, std::vector<std::vector<std::size_t>>>
+      seen;
+  Random rng(7);
+  for (int step = 0; step < 200; ++step) {
+    const std::size_t node = rng.Uniform(map.node_count());
+    // Never kill the last live node.
+    if (map.IsLive(node) && map.live_count() == 1) continue;
+    map.SetLive(node, !map.IsLive(node));
+
+    std::vector<std::uint8_t> live_set;
+    for (std::size_t n = 0; n < map.node_count(); ++n) {
+      live_set.push_back(map.IsLive(n) ? 1 : 0);
+    }
+    auto owners = AllOwners(map);
+    for (std::size_t s = 0; s < kShards; ++s) {
+      EXPECT_FALSE(owners[s].empty()) << "orphaned shard " << s;
+    }
+    auto [it, inserted] = seen.emplace(live_set, owners);
+    if (!inserted) {
+      EXPECT_EQ(it->second, owners)
+          << "same live set, different assignment at step " << step;
+    }
+  }
+  EXPECT_GT(seen.size(), 10u);  // the walk actually explored distinct sets
+}
+
+}  // namespace
+}  // namespace dio::cluster

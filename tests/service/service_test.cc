@@ -290,6 +290,88 @@ TEST_F(ServiceTest, BadTransportConfigRejectedAtStart) {
   EXPECT_FALSE(service.StartSessionFromConfig(*bad_sink).ok());
 }
 
+// ---------------------------------------------------------------------------
+// Cluster deployment: the same service fronting a multi-node router.
+
+TEST_F(ServiceTest, ClusterSessionShipsReplicatesAndAnalyzes) {
+  cluster::ClusterOptions cluster_options;
+  cluster_options.nodes = 3;
+  cluster_options.replicas = 1;
+  cluster_options.ack = cluster::AckLevel::kQuorum;
+  cluster::ClusterRouter router(cluster_options);
+  DioService service(&env_.kernel, &router);
+  EXPECT_EQ(service.store(), nullptr);
+  EXPECT_EQ(service.router(), &router);
+
+  ASSERT_TRUE(
+      service.StartSession(Options("clustered"), "alice", FastClient()).ok());
+  {
+    auto task = env_.Bind();
+    const auto fd =
+        static_cast<os::Fd>(env_.kernel.sys_creat("/data/c.log", 0644));
+    for (int i = 0; i < 100; ++i) env_.kernel.sys_write(fd, "tiny");
+    env_.kernel.sys_close(fd);
+  }
+  ASSERT_TRUE(service.StopSession("clustered").ok());
+
+  // Every traced event is in the logical cluster index, replicated and
+  // converged after the teardown flush (Settle + Refresh).
+  EXPECT_EQ(*router.Count("clustered", backend::Query::MatchAll()), 102u);
+  EXPECT_TRUE(router.VerifyConvergence("clustered").empty());
+  EXPECT_EQ(router.PendingApplies(), 0u);
+
+  // Analysis runs through the scatter/gather surface unchanged.
+  auto correlation = service.Correlate("clustered");
+  ASSERT_TRUE(correlation.ok());
+  EXPECT_GT(correlation->events_updated, 0u);
+  auto findings = service.Diagnose("clustered");
+  ASSERT_TRUE(findings.ok());
+  bool small_io = false;
+  for (const backend::Finding& finding : *findings) {
+    if (finding.detector == "small-io") small_io = true;
+  }
+  EXPECT_TRUE(small_io);
+
+  // The cluster stage appears in the per-stage transport accounting.
+  auto info = service.GetSession("clustered");
+  ASSERT_TRUE(info.ok());
+  const JsonArray& stages = info->transport_stages.as_array();
+  ASSERT_EQ(stages.size(), 2u);  // queue, cluster
+  EXPECT_EQ(stages[1].GetString("stage"), "cluster");
+  EXPECT_EQ(stages[1].GetInt("events_out"), 102);
+}
+
+TEST_F(ServiceTest, BuildBackendTierSelectsStoreOrCluster) {
+  auto plain = Config::ParseString("[backend]\nshards_per_index = 2\n");
+  ASSERT_TRUE(plain.ok());
+  auto tier = BuildBackendTier(*plain);
+  ASSERT_TRUE(tier.ok());
+  EXPECT_FALSE(tier->clustered());
+  ASSERT_NE(tier->store, nullptr);
+  EXPECT_EQ(tier->query, tier->store.get());
+
+  auto clustered = Config::ParseString(R"(
+[cluster]
+nodes = 4
+replicas = 2
+ack = all
+)");
+  ASSERT_TRUE(clustered.ok());
+  auto cluster_tier = BuildBackendTier(*clustered);
+  ASSERT_TRUE(cluster_tier.ok());
+  ASSERT_TRUE(cluster_tier->clustered());
+  EXPECT_EQ(cluster_tier->router->node_count(), 4u);
+  EXPECT_EQ(cluster_tier->router->options().replicas, 2u);
+  EXPECT_EQ(cluster_tier->router->options().ack, cluster::AckLevel::kAll);
+  EXPECT_EQ(cluster_tier->query, cluster_tier->router.get());
+
+  // An unparseable ack level fails tier construction, like other config
+  // errors surface at session start.
+  auto bad = Config::ParseString("[cluster]\nack = eventually\n");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(BuildBackendTier(*bad).ok());
+}
+
 TEST_F(ServiceTest, DestructorStopsLiveSessions) {
   {
     DioService service(&env_.kernel, &store_);

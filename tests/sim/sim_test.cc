@@ -82,6 +82,67 @@ TEST(FaultPlanTest, RejectsUnknownClauseAndKey) {
   EXPECT_FALSE(FaultPlan::Parse("crash:at=", 100).ok());
 }
 
+TEST(FaultPlanTest, NodeFaultClausesRoundTripInClusterMode) {
+  const std::string spec =
+      "nodecrash:node=2:at=80:down=40+partition:node=1:from=30:for=60";
+  auto plan = FaultPlan::Parse(spec, 240, /*cluster_nodes=*/4);
+  ASSERT_TRUE(plan.ok()) << plan.status().message();
+  EXPECT_TRUE(plan->Has(kFaultNodeCrash));
+  EXPECT_TRUE(plan->Has(kFaultPartition));
+  EXPECT_EQ(plan->crash_node, 2u);
+  EXPECT_EQ(plan->node_crash_at_op, 80u);
+  EXPECT_EQ(plan->node_down_for_ops, 40u);
+  EXPECT_EQ(plan->partition_node, 1u);
+  EXPECT_EQ(plan->partition_from_op, 30u);
+  EXPECT_EQ(plan->partition_for_ops, 60u);
+  auto reparsed = FaultPlan::Parse(plan->ToString(), 240, 4);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->ToString(), plan->ToString());
+}
+
+TEST(FaultPlanTest, NodeFaultDefaultsAndClamping) {
+  auto plan = FaultPlan::Parse("nodecrash+partition", 120, /*cluster_nodes=*/3);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->node_crash_at_op, 60u);   // ops / 2
+  EXPECT_EQ(plan->partition_from_op, 40u);  // ops / 3
+  EXPECT_EQ(plan->partition_for_ops, 40u);  // ops / 3
+  // Node ids wrap into the cluster; op thresholds clamp to the run length.
+  auto wrapped = FaultPlan::Parse("nodecrash:node=7:at=9999", 120, 3);
+  ASSERT_TRUE(wrapped.ok());
+  EXPECT_EQ(wrapped->crash_node, 1u);  // 7 % 3
+  EXPECT_EQ(wrapped->node_crash_at_op, 120u);
+}
+
+TEST(FaultPlanTest, NodeFaultClausesRequireClusterMode) {
+  EXPECT_FALSE(FaultPlan::Parse("nodecrash", 100).ok());
+  EXPECT_FALSE(FaultPlan::Parse("partition", 100).ok());
+  // And the single-store crash model is rejected when the cluster is on.
+  EXPECT_FALSE(FaultPlan::Parse("crash:at=50", 100, /*cluster_nodes=*/3).ok());
+}
+
+TEST(FaultPlanTest, FromSeedClusterModeSwapsCrashModels) {
+  bool saw_node_crash = false;
+  bool saw_partition = false;
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    const FaultPlan plan = FaultPlan::FromSeed(seed, 240, /*cluster_nodes=*/3,
+                                               /*cluster_replicas=*/1);
+    EXPECT_FALSE(plan.Has(kFaultCrashRestart)) << "seed " << seed;
+    saw_node_crash = saw_node_crash || plan.Has(kFaultNodeCrash);
+    saw_partition = saw_partition || plan.Has(kFaultPartition);
+    auto reparsed = FaultPlan::Parse(plan.ToString(), 240, 3);
+    ASSERT_TRUE(reparsed.ok()) << "seed " << seed << ": " << plan.ToString();
+    EXPECT_EQ(reparsed->ToString(), plan.ToString()) << "seed " << seed;
+    // Replica-less clusters never draw node crashes (a crash of a shard's
+    // only owner genuinely loses acked data).
+    EXPECT_FALSE(
+        FaultPlan::FromSeed(seed, 240, 3, /*cluster_replicas=*/0)
+            .Has(kFaultNodeCrash))
+        << "seed " << seed;
+  }
+  EXPECT_TRUE(saw_node_crash);
+  EXPECT_TRUE(saw_partition);
+}
+
 TEST(FaultPlanTest, FromSeedRoundTripsForManySeeds) {
   for (std::uint64_t seed = 1; seed <= 200; ++seed) {
     const FaultPlan plan = FaultPlan::FromSeed(seed, 240);
@@ -190,6 +251,16 @@ class SimulationTest : public ::testing::Test {
     return options;
   }
 
+  SimOptions ClusterOptions(std::uint64_t seed, const std::string& spec,
+                            std::size_t nodes = 3, std::size_t replicas = 1,
+                            const std::string& ack = "quorum") {
+    SimOptions options = Options(seed, spec);
+    options.cluster_nodes = nodes;
+    options.cluster_replicas = replicas;
+    options.cluster_ack = ack;
+    return options;
+  }
+
   std::filesystem::path dir_;
 };
 
@@ -267,6 +338,68 @@ TEST_F(SimulationTest, CrashRestartExactlyOnceAcross25Seeds) {
 TEST_F(SimulationTest, SeededFaultPlansHoldInvariants) {
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
     auto result = RunSimulation(Options(seed, ""));
+    ASSERT_TRUE(result.ok()) << "seed " << seed;
+    EXPECT_TRUE(result->ok())
+        << "repro: " << result->ReproLine(seed) << "\n"
+        << ::testing::PrintToString(result->violations);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster mode: the same pipeline with the single store replaced by a
+// hash-routed primary/replica cluster behind the cluster sink.
+
+TEST_F(SimulationTest, ClusterGoldenRunIsClean) {
+  auto result = RunSimulation(ClusterOptions(1, "none"));
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_TRUE(result->ok()) << ::testing::PrintToString(result->violations);
+  EXPECT_FALSE(result->saw_node_crash);
+  EXPECT_FALSE(result->saw_partition);
+  EXPECT_FALSE(result->saw_cluster_reject);
+  // Lossless: every op is in the logical cluster index exactly once, and
+  // the scattered query results matched the single-store oracle (asserted
+  // inside the invariant suite).
+  EXPECT_EQ(result->cluster_docs, 2u * 96u);
+  EXPECT_EQ(result->cluster_duplicates, 0u);
+}
+
+// Acceptance: a primary dies mid-ingest (staying down until the end-of-run
+// heal) with lost-ack re-drives layered on top; the promoted replicas serve
+// the acked data, the rejoined node replays the log, and every acked event
+// is present exactly once, cluster-wide.
+TEST_F(SimulationTest, ClusterNodeCrashFailoverIsExactlyOnce) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const std::string spec = "dupack:every=2+nodecrash:node=" +
+                             std::to_string(seed % 3) +
+                             ":at=" + std::to_string(40 + seed * 15) +
+                             ":down=" + std::to_string(seed % 2 == 0 ? 60 : 0);
+    auto result = RunSimulation(ClusterOptions(seed, spec));
+    ASSERT_TRUE(result.ok()) << "seed " << seed << ": "
+                             << result.status().message();
+    EXPECT_TRUE(result->saw_node_crash) << "seed " << seed;
+    EXPECT_TRUE(result->ok())
+        << "repro: " << result->ReproLine(seed) << "\n"
+        << ::testing::PrintToString(result->violations);
+  }
+}
+
+// A partition under ack=all must actually refuse ingests (the strictest ack
+// cannot be met while an owner is unreachable). Refused batches are
+// re-driven by the retry stage or dead-lettered into the spool — either
+// way, conservation and exactly-once must hold through the heal.
+TEST_F(SimulationTest, ClusterPartitionUnderAckAllRejectsThenRecovers) {
+  auto result = RunSimulation(ClusterOptions(
+      3, "partition:node=1:from=20:for=0", 3, 1, "all"));
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_TRUE(result->saw_partition);
+  EXPECT_TRUE(result->saw_cluster_reject);
+  EXPECT_TRUE(result->ok()) << "repro: " << result->ReproLine(3) << "\n"
+                            << ::testing::PrintToString(result->violations);
+}
+
+TEST_F(SimulationTest, ClusterSeededFaultPlansHoldInvariants) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    auto result = RunSimulation(ClusterOptions(seed, ""));
     ASSERT_TRUE(result.ok()) << "seed " << seed;
     EXPECT_TRUE(result->ok())
         << "repro: " << result->ReproLine(seed) << "\n"

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "backend/store.h"
 #include "viz/dashboard.h"
 #include "viz/export.h"
 #include "viz/table.h"
@@ -265,7 +266,11 @@ TEST(CategoriesFromTermsTest, ConvertsBuckets) {
 
 TEST(ExportTest, WritesAndFailsGracefully) {
   EXPECT_TRUE(WriteTextFile("/tmp/dio_viz_test.txt", "content").ok());
-  EXPECT_FALSE(WriteTextFile("/no/such/dir/file.txt", "x").ok());
+  // Missing parent directories are created (artifacts land in out/).
+  EXPECT_TRUE(
+      WriteTextFile("/tmp/dio_viz_test_dir/nested/file.txt", "x").ok());
+  // A path whose parent component is a regular file cannot be created.
+  EXPECT_FALSE(WriteTextFile("/tmp/dio_viz_test.txt/sub/file.txt", "x").ok());
 }
 
 }  // namespace
