@@ -15,11 +15,21 @@
 // ack=primary defers all replica work to settle (fast acks, long drain);
 // ack=all pays every copy synchronously (slow acks, empty drain). Every
 // configuration must converge to the same one-copy document count and
-// byte-identical replicas. Emits BENCH_ab_cluster_scaling.json.
+// byte-identical replicas.
+//
+// A second family benchmarks the query side: a dashboard-style mix (counts,
+// sorted term/range searches, terms+stats and percentile aggregations) per
+// topology under cluster.query_fanout=serial vs parallel and 1 vs 4
+// concurrent clients. Every mix run must digest byte-identically to the
+// serial single-client reference — the speedup is only admissible at parity.
+// Emits BENCH_ab_cluster_scaling.json.
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/harness_util.h"
@@ -124,6 +134,113 @@ SweepRun RunSweepPoint(const SweepPoint& point,
   return run;
 }
 
+// ---------------------------------------------------------------------------
+// Query-side sweep.
+
+std::string DumpHits(const backend::SearchResult& result) {
+  std::ostringstream out;
+  out << "total=" << result.total << "\n";
+  for (const auto& hit : result.hits) {
+    out << hit.id << "|" << hit.source.Dump() << "\n";
+  }
+  return out.str();
+}
+
+std::string DumpAgg(const backend::AggResult& result) {
+  std::ostringstream out;
+  out << "metrics=" << result.metrics.Dump() << "\n";
+  for (const auto& bucket : result.buckets) {
+    out << bucket.key.Dump() << ":" << bucket.doc_count << "{";
+    for (const auto& [name, sub] : bucket.sub) {
+      out << name << "=" << DumpAgg(sub) << ";";
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+// One dashboard refresh: filtered counts, two sorted top-200 searches, a
+// terms+stats breakdown, and latency percentiles. Returns the concatenated
+// byte digest (empty string = a query failed).
+std::string QueryMixDigest(ClusterRouter& router) {
+  std::ostringstream digest;
+
+  for (const char* syscall : {"read", "fsync"}) {
+    auto count =
+        router.Count(kIndex, backend::Query::Term("syscall", Json(syscall)));
+    if (!count.ok()) return {};
+    digest << "count:" << syscall << "=" << *count << "\n";
+  }
+
+  backend::SearchRequest writes;
+  writes.query = backend::Query::Term("syscall", Json("write"));
+  writes.sort = {{"ret", false}, {"time_enter", true}};
+  writes.size = 200;
+  auto write_hits = router.Search(kIndex, writes);
+  if (!write_hits.ok()) return {};
+  digest << DumpHits(*write_hits);
+
+  backend::SearchRequest slow;
+  slow.query = backend::Query::Range("ret", 1 << 13, 1 << 14);
+  slow.sort = {{"time_enter", true}};
+  slow.size = 200;
+  auto slow_hits = router.Search(kIndex, slow);
+  if (!slow_hits.ok()) return {};
+  digest << DumpHits(*slow_hits);
+
+  auto breakdown = router.Aggregate(
+      kIndex, backend::Query::MatchAll(),
+      backend::Aggregation::Terms("syscall").SubAgg(
+          "lat", backend::Aggregation::Stats("ret")));
+  if (!breakdown.ok()) return {};
+  digest << DumpAgg(*breakdown);
+
+  auto percentiles =
+      router.Aggregate(kIndex, backend::Query::MatchAll(),
+                       backend::Aggregation::Percentiles("ret", {50, 95, 99}));
+  if (!percentiles.ok()) return {};
+  digest << DumpAgg(*percentiles);
+  return digest.str();
+}
+
+struct QueryRun {
+  double wall_ms = 0.0;
+  std::size_t iters = 0;
+  bool digest_match = false;
+
+  [[nodiscard]] double mixes_per_s() const {
+    return wall_ms > 0 ? static_cast<double>(iters) * 1e3 / wall_ms : 0.0;
+  }
+};
+
+// Runs `iters` query mixes spread over `client_threads` concurrent clients,
+// checking every digest against the quiesced serial reference.
+QueryRun RunQueryPoint(ClusterRouter& router, const std::string& reference,
+                       std::size_t client_threads, std::size_t iters) {
+  QueryRun run;
+  run.iters = iters;
+  std::atomic<bool> match{true};
+  const Nanos start = SteadyClock::Instance()->NowNanos();
+  std::vector<std::thread> clients;
+  clients.reserve(client_threads);
+  for (std::size_t c = 0; c < client_threads; ++c) {
+    clients.emplace_back([&router, &reference, &match, c, client_threads,
+                          iters] {
+      const std::size_t share =
+          iters / client_threads + (c < iters % client_threads ? 1 : 0);
+      for (std::size_t i = 0; i < share; ++i) {
+        if (QueryMixDigest(router) != reference) {
+          match.store(false, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  run.wall_ms = MsSince(start);
+  run.digest_match = match.load();
+  return run;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -183,6 +300,7 @@ int main(int argc, char** argv) {
                 run.ok ? "yes" : "NO");
 
     Json row = Json::MakeObject();
+    row.Set("phase", std::string("ingest"));
     row.Set("nodes", static_cast<std::int64_t>(point.nodes));
     row.Set("replicas", static_cast<std::int64_t>(point.replicas));
     row.Set("ack", std::string(cluster::ToString(point.ack)));
@@ -196,6 +314,82 @@ int main(int argc, char** argv) {
     row.Set("converged", run.converged);
     report.AddRow(std::move(row));
   }
+
+  // Query-side: topology x fan-out route x client concurrency on the same
+  // corpus, ack=quorum with one replica past a single node.
+  std::printf("\nABLATION: cluster query fan-out — dashboard mix (counts + "
+              "sorted searches + aggregations), serial vs parallel scatter\n");
+  std::printf("%-6s %-9s %-9s %-8s %-9s %-10s %-9s %-7s\n", "nodes",
+              "replicas", "fanout", "clients", "iters", "wall_ms", "mix/s",
+              "parity");
+  const std::size_t query_iters = events >= 100'000 ? 24 : 8;
+  double serial_4node_ms = 0.0;
+  double parallel_4node_ms = 0.0;
+  for (const std::size_t nodes : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{4}}) {
+    ClusterOptions options;
+    options.nodes = nodes;
+    options.replicas = nodes > 1 ? 1 : 0;
+    options.ack = AckLevel::kQuorum;
+    ClusterRouter router(options);
+    bool loaded = true;
+    for (const transport::EventBatch& batch : batches) {
+      transport::EventBatch copy = batch;
+      if (!router.Ingest(kIndex, std::move(copy)).ok()) {
+        loaded = false;
+        break;
+      }
+    }
+    loaded = loaded && router.Settle().ok();
+    router.Refresh(kIndex);
+    if (!loaded) {
+      all_ok = false;
+      continue;
+    }
+
+    // The quiesced serial single-client run is the byte oracle.
+    router.SetQueryFanout(cluster::QueryFanout::kSerial);
+    const std::string reference = QueryMixDigest(router);
+    all_ok = all_ok && !reference.empty();
+
+    for (const auto fanout :
+         {cluster::QueryFanout::kSerial, cluster::QueryFanout::kParallel}) {
+      router.SetQueryFanout(fanout);
+      for (const std::size_t clients : {std::size_t{1}, std::size_t{4}}) {
+        const QueryRun run =
+            RunQueryPoint(router, reference, clients, query_iters);
+        all_ok = all_ok && run.digest_match;
+        if (nodes == 4 && clients == 1) {
+          if (fanout == cluster::QueryFanout::kSerial) {
+            serial_4node_ms = run.wall_ms;
+          } else {
+            parallel_4node_ms = run.wall_ms;
+          }
+        }
+        std::printf("%-6zu %-9zu %-9s %-8zu %-9zu %-10.2f %-9.1f %-7s\n",
+                    nodes, options.replicas,
+                    std::string(cluster::ToString(fanout)).c_str(), clients,
+                    run.iters, run.wall_ms, run.mixes_per_s(),
+                    run.digest_match ? "yes" : "NO");
+
+        Json row = Json::MakeObject();
+        row.Set("phase", std::string("query"));
+        row.Set("nodes", static_cast<std::int64_t>(nodes));
+        row.Set("replicas", static_cast<std::int64_t>(options.replicas));
+        row.Set("fanout", std::string(cluster::ToString(fanout)));
+        row.Set("client_threads", static_cast<std::int64_t>(clients));
+        row.Set("iters", static_cast<std::int64_t>(run.iters));
+        row.Set("wall_ms", run.wall_ms);
+        row.Set("mixes_per_s", run.mixes_per_s());
+        row.Set("digest_match", run.digest_match);
+        report.AddRow(std::move(row));
+      }
+    }
+  }
+  if (serial_4node_ms > 0 && parallel_4node_ms > 0) {
+    report.SetConfig("query_speedup_4nodes",
+                     Json(serial_4node_ms / parallel_4node_ms));
+  }
   report.Write();
 
   if (primary_1node_ack_ms > 0 && primary_4node_ack_ms > 0) {
@@ -208,8 +402,13 @@ int main(int argc, char** argv) {
                 "ack=primary/replicas=0 synchronous ingest time\n",
                 all_4node_ack_ms / primary_4node_ack_ms);
   }
-  std::printf("every configuration converged to the same one-copy corpus: "
-              "%s\n",
+  if (serial_4node_ms > 0 && parallel_4node_ms > 0) {
+    std::printf("query fan-out, 4 nodes, 1 client: parallel runs the mix "
+                "%.2fx faster than serial, byte-identically\n",
+                serial_4node_ms / parallel_4node_ms);
+  }
+  std::printf("every configuration converged to the same one-copy corpus "
+              "and every query digest matched the serial oracle: %s\n",
               all_ok ? "yes" : "NO — see table");
   return all_ok ? 0 : 1;
 }

@@ -404,4 +404,344 @@ AggResult Aggregation::ExecuteColumnar(
   return result;
 }
 
+AggPartial Aggregation::ExecutePartial(
+    const std::vector<const Json*>& docs) const {
+  AggPartial partial;
+  switch (kind_) {
+    case Kind::kTerms: {
+      struct Group {
+        Json key;
+        std::vector<const Json*> docs;
+      };
+      std::map<std::string, Group> groups;
+      for (const Json* doc : docs) {
+        const Json* value = doc->Find(field_);
+        if (value == nullptr) continue;
+        Group& group = groups[GroupKey(*value)];
+        if (group.docs.empty()) group.key = *value;
+        group.docs.push_back(doc);
+      }
+      for (auto& [key, group] : groups) {
+        AggPartial::Bucket bucket;
+        bucket.key = std::move(group.key);
+        bucket.doc_count = static_cast<std::int64_t>(group.docs.size());
+        bucket.subs.reserve(subs_.size());
+        for (const auto& [sub_name, sub_agg] : subs_) {
+          bucket.subs.push_back(sub_agg.ExecutePartial(group.docs));
+        }
+        partial.terms.emplace(key, std::move(bucket));
+      }
+      break;
+    }
+    case Kind::kHistogram:
+    case Kind::kDateHistogram: {
+      std::map<std::int64_t, std::vector<const Json*>> groups;
+      for (const Json* doc : docs) {
+        const Json* value = doc->Find(field_);
+        if (value == nullptr || !value->is_number()) continue;
+        std::int64_t v = value->as_int();
+        std::int64_t bucket_start = (v / interval_) * interval_;
+        if (v < 0 && v % interval_ != 0) bucket_start -= interval_;
+        groups[bucket_start].push_back(doc);
+      }
+      for (auto& [start, group_docs] : groups) {
+        AggPartial::Bucket bucket;
+        bucket.doc_count = static_cast<std::int64_t>(group_docs.size());
+        bucket.subs.reserve(subs_.size());
+        for (const auto& [sub_name, sub_agg] : subs_) {
+          bucket.subs.push_back(sub_agg.ExecutePartial(group_docs));
+        }
+        partial.histo.emplace(start, std::move(bucket));
+      }
+      break;
+    }
+    case Kind::kStats: {
+      for (const Json* doc : docs) {
+        const Json* value = doc->Find(field_);
+        if (value == nullptr || !value->is_number()) continue;
+        const double v = value->as_double();
+        if (partial.count == 0) {
+          partial.min = partial.max = v;
+        } else {
+          partial.min = std::min(partial.min, v);
+          partial.max = std::max(partial.max, v);
+        }
+        partial.sum += v;
+        ++partial.count;
+      }
+      break;
+    }
+    case Kind::kPercentiles: {
+      partial.values.reserve(docs.size());
+      for (const Json* doc : docs) {
+        const Json* value = doc->Find(field_);
+        if (value != nullptr && value->is_number()) {
+          partial.values.push_back(value->as_double());
+        }
+      }
+      std::sort(partial.values.begin(), partial.values.end());
+      break;
+    }
+  }
+  return partial;
+}
+
+AggPartial Aggregation::ExecuteColumnarPartial(const AggSource& source) const {
+  std::vector<std::size_t> rows(source.rows());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  return ExecuteColumnarPartial(source, rows);
+}
+
+AggPartial Aggregation::ExecuteColumnarPartial(
+    const AggSource& source, const std::vector<std::size_t>& rows) const {
+  AggPartial partial;
+  const ColumnSlice& col = source.Slice(field_);
+  switch (kind_) {
+    case Kind::kTerms: {
+      struct Group {
+        Json key;
+        std::vector<std::size_t> rows;
+      };
+      std::map<std::string, Group> groups;
+      std::string group_key;
+      for (const std::size_t r : rows) {
+        const ValueKind kind = col.kind(r);
+        switch (kind) {
+          case ValueKind::kMissing:
+            continue;
+          case ValueKind::kString:
+            group_key = "s:";
+            group_key += col.strs[r];
+            break;
+          case ValueKind::kInt:
+            group_key = "i:" + std::to_string(col.ints[r]);
+            break;
+          case ValueKind::kDouble:
+            group_key = "d:" + std::to_string(col.dbls[r]);
+            break;
+          case ValueKind::kBool:
+            group_key = col.ints[r] != 0 ? "b:1" : "b:0";
+            break;
+          case ValueKind::kOther:
+            group_key = "?:" + col.raws[r]->Dump();
+            break;
+        }
+        Group& group = groups[group_key];
+        if (group.rows.empty()) {
+          switch (kind) {
+            case ValueKind::kString: group.key = Json(col.strs[r]); break;
+            case ValueKind::kInt: group.key = Json(col.ints[r]); break;
+            case ValueKind::kDouble: group.key = Json(col.dbls[r]); break;
+            case ValueKind::kBool: group.key = Json(col.ints[r] != 0); break;
+            case ValueKind::kOther: group.key = *col.raws[r]; break;
+            case ValueKind::kMissing: break;
+          }
+        }
+        group.rows.push_back(r);
+      }
+      for (auto& [key, group] : groups) {
+        AggPartial::Bucket bucket;
+        bucket.key = std::move(group.key);
+        bucket.doc_count = static_cast<std::int64_t>(group.rows.size());
+        bucket.subs.reserve(subs_.size());
+        for (const auto& [sub_name, sub_agg] : subs_) {
+          bucket.subs.push_back(
+              sub_agg.ExecuteColumnarPartial(source, group.rows));
+        }
+        partial.terms.emplace(key, std::move(bucket));
+      }
+      break;
+    }
+    case Kind::kHistogram:
+    case Kind::kDateHistogram: {
+      std::map<std::int64_t, std::vector<std::size_t>> groups;
+      if (simd::Enabled() && !rows.empty() &&
+          rows.size() == col.kinds.size()) {
+        std::vector<std::int64_t> bins(col.kinds.size());
+        simd::HistogramBins(col.ints.data(), col.kinds.data(),
+                            col.kinds.size(), interval_, bins.data());
+        for (const std::size_t r : rows) {
+          if (!col.is_number(r)) continue;
+          groups[bins[r]].push_back(r);
+        }
+      } else {
+        for (const std::size_t r : rows) {
+          if (!col.is_number(r)) continue;
+          const std::int64_t v = col.ints[r];
+          std::int64_t bucket_start = (v / interval_) * interval_;
+          if (v < 0 && v % interval_ != 0) bucket_start -= interval_;
+          groups[bucket_start].push_back(r);
+        }
+      }
+      for (auto& [start, group_rows] : groups) {
+        AggPartial::Bucket bucket;
+        bucket.doc_count = static_cast<std::int64_t>(group_rows.size());
+        bucket.subs.reserve(subs_.size());
+        for (const auto& [sub_name, sub_agg] : subs_) {
+          bucket.subs.push_back(
+              sub_agg.ExecuteColumnarPartial(source, group_rows));
+        }
+        partial.histo.emplace(start, std::move(bucket));
+      }
+      break;
+    }
+    case Kind::kStats: {
+      for (const std::size_t r : rows) {
+        if (!col.is_number(r)) continue;
+        const double v = col.dbls[r];
+        if (partial.count == 0) {
+          partial.min = partial.max = v;
+        } else {
+          partial.min = std::min(partial.min, v);
+          partial.max = std::max(partial.max, v);
+        }
+        partial.sum += v;
+        ++partial.count;
+      }
+      break;
+    }
+    case Kind::kPercentiles: {
+      partial.values.reserve(rows.size());
+      for (const std::size_t r : rows) {
+        if (col.is_number(r)) partial.values.push_back(col.dbls[r]);
+      }
+      std::sort(partial.values.begin(), partial.values.end());
+      break;
+    }
+  }
+  return partial;
+}
+
+void Aggregation::MergePartial(AggPartial& into, AggPartial&& from) const {
+  switch (kind_) {
+    case Kind::kTerms: {
+      for (auto& [key, bucket] : from.terms) {
+        auto it = into.terms.find(key);
+        if (it == into.terms.end()) {
+          // First shard to see this group names the bucket key. On data
+          // where distinct Json values collide to one GroupKey (double
+          // formatting), shard order can pick a different representative
+          // than global doc order would — counts are unaffected.
+          into.terms.emplace(key, std::move(bucket));
+          continue;
+        }
+        it->second.doc_count += bucket.doc_count;
+        for (std::size_t i = 0; i < subs_.size(); ++i) {
+          subs_[i].second.MergePartial(it->second.subs[i],
+                                       std::move(bucket.subs[i]));
+        }
+      }
+      break;
+    }
+    case Kind::kHistogram:
+    case Kind::kDateHistogram: {
+      for (auto& [start, bucket] : from.histo) {
+        auto it = into.histo.find(start);
+        if (it == into.histo.end()) {
+          into.histo.emplace(start, std::move(bucket));
+          continue;
+        }
+        it->second.doc_count += bucket.doc_count;
+        for (std::size_t i = 0; i < subs_.size(); ++i) {
+          subs_[i].second.MergePartial(it->second.subs[i],
+                                       std::move(bucket.subs[i]));
+        }
+      }
+      break;
+    }
+    case Kind::kStats: {
+      if (from.count == 0) break;
+      if (into.count == 0) {
+        into.min = from.min;
+        into.max = from.max;
+      } else {
+        into.min = std::min(into.min, from.min);
+        into.max = std::max(into.max, from.max);
+      }
+      into.sum += from.sum;
+      into.count += from.count;
+      break;
+    }
+    case Kind::kPercentiles: {
+      const auto mid = static_cast<std::ptrdiff_t>(into.values.size());
+      into.values.insert(into.values.end(), from.values.begin(),
+                         from.values.end());
+      std::inplace_merge(into.values.begin(), into.values.begin() + mid,
+                         into.values.end());
+      break;
+    }
+  }
+}
+
+AggResult Aggregation::FinalizePartial(AggPartial&& partial) const {
+  AggResult result;
+  switch (kind_) {
+    case Kind::kTerms: {
+      result.buckets.reserve(partial.terms.size());
+      for (auto& [key, bucket] : partial.terms) {
+        AggBucket out;
+        out.key = std::move(bucket.key);
+        out.doc_count = bucket.doc_count;
+        for (std::size_t i = 0; i < subs_.size(); ++i) {
+          out.sub[subs_[i].first] =
+              subs_[i].second.FinalizePartial(std::move(bucket.subs[i]));
+        }
+        result.buckets.push_back(std::move(out));
+      }
+      std::stable_sort(result.buckets.begin(), result.buckets.end(),
+                       [](const AggBucket& a, const AggBucket& b) {
+                         return a.doc_count > b.doc_count;
+                       });
+      if (size_ > 0 && result.buckets.size() > size_) {
+        result.buckets.resize(size_);
+      }
+      break;
+    }
+    case Kind::kHistogram:
+    case Kind::kDateHistogram: {
+      result.buckets.reserve(partial.histo.size());
+      for (auto& [start, bucket] : partial.histo) {
+        AggBucket out;
+        out.key = Json(start);
+        out.doc_count = bucket.doc_count;
+        for (std::size_t i = 0; i < subs_.size(); ++i) {
+          out.sub[subs_[i].first] =
+              subs_[i].second.FinalizePartial(std::move(bucket.subs[i]));
+        }
+        result.buckets.push_back(std::move(out));
+      }
+      break;
+    }
+    case Kind::kStats: {
+      result.metrics.Set("count", partial.count);
+      result.metrics.Set("min", partial.min);
+      result.metrics.Set("max", partial.max);
+      result.metrics.Set("sum", partial.sum);
+      result.metrics.Set(
+          "avg", partial.count == 0 ? 0.0 : partial.sum / partial.count);
+      break;
+    }
+    case Kind::kPercentiles: {
+      const std::vector<double>& values = partial.values;  // already sorted
+      Json out = Json::MakeObject();
+      for (double p : percents_) {
+        double v = 0.0;
+        if (!values.empty()) {
+          // Nearest-rank with linear interpolation.
+          const double rank =
+              (p / 100.0) * static_cast<double>(values.size() - 1);
+          const auto lo = static_cast<std::size_t>(std::floor(rank));
+          const auto hi = static_cast<std::size_t>(std::ceil(rank));
+          const double frac = rank - std::floor(rank);
+          v = values[lo] * (1.0 - frac) + values[hi] * frac;
+        }
+        out.Set(std::to_string(p), v);
+      }
+      result.metrics = std::move(out);
+      break;
+    }
+  }
+  return result;
+}
+
 }  // namespace dio::backend

@@ -32,6 +32,27 @@ struct AggResult {
   Json metrics = Json::MakeObject();
 };
 
+// Mergeable intermediate state for distributed aggregation: each shard runs
+// ExecutePartial / ExecuteColumnarPartial over its local matches, the
+// partials merge in shard order, and FinalizePartial produces what Execute
+// returns over the concatenated match set. Every combine step is exact for
+// integer-valued fields (bucket counts, min/max, sorted percentile values);
+// only the stats `sum` reassociates floating-point addition, which can
+// drift by an ulp from single-pass execution on non-integer data.
+struct AggPartial {
+  struct Bucket {
+    Json key;
+    std::int64_t doc_count = 0;
+    // One partial per sub-aggregation, aligned with Aggregation::subs().
+    std::vector<AggPartial> subs;
+  };
+  std::map<std::string, Bucket> terms;   // kTerms: GroupKey -> bucket
+  std::map<std::int64_t, Bucket> histo;  // k(Date)Histogram: start -> bucket
+  std::int64_t count = 0;                // kStats
+  double sum = 0, min = 0, max = 0;      // kStats
+  std::vector<double> values;            // kPercentiles, kept sorted
+};
+
 class Aggregation {
  public:
   enum class Kind { kTerms, kHistogram, kDateHistogram, kStats, kPercentiles };
@@ -79,11 +100,30 @@ class Aggregation {
   // docid order, which also keeps float summation order identical).
   [[nodiscard]] AggResult ExecuteColumnar(const AggSource& source) const;
 
+  // Distributed scatter half: same grouping and accumulation order as
+  // Execute / ExecuteColumnar, but returns the mergeable partial instead of
+  // a finalized result. Terms truncation (`size`) and bucket ordering are
+  // deferred to FinalizePartial so per-shard partials stay lossless.
+  [[nodiscard]] AggPartial ExecutePartial(
+      const std::vector<const Json*>& docs) const;
+  [[nodiscard]] AggPartial ExecuteColumnarPartial(const AggSource& source) const;
+
+  // Folds `from` into `into`, in caller-chosen (shard) order. Merging into a
+  // default-constructed partial copies `from`.
+  void MergePartial(AggPartial& into, AggPartial&& from) const;
+
+  // Gather half: bucket ordering, terms truncation, and metric math exactly
+  // as Execute performs them over the full match set.
+  [[nodiscard]] AggResult FinalizePartial(AggPartial&& partial) const;
+
  private:
   explicit Aggregation(Kind kind) : kind_(kind) {}
 
   AggResult ExecuteColumnar(const AggSource& source,
                             const std::vector<std::size_t>& rows) const;
+
+  AggPartial ExecuteColumnarPartial(const AggSource& source,
+                                    const std::vector<std::size_t>& rows) const;
 
   Kind kind_;
   std::string field_;

@@ -71,6 +71,10 @@ struct IndexStats {
   std::uint64_t column_build_ns = 0;
   std::uint64_t filter_cache_hits = 0;
   std::uint64_t filter_cache_misses = 0;
+  // Cluster query fan-out (zero on a single store): queries that took the
+  // pooled scatter path, and per-shard tasks they fanned out.
+  std::uint64_t fanout_queries = 0;
+  std::uint64_t fanout_shard_tasks = 0;
 };
 
 // The read/analysis contract every backend implementation honors. All

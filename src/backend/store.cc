@@ -877,6 +877,28 @@ Expected<AggResult> ElasticStore::Aggregate(const std::string& index_name,
   return agg.ExecuteColumnar(source);
 }
 
+Expected<AggPartial> ElasticStore::AggregatePartial(
+    const std::string& index_name, const Query& query,
+    const Aggregation& agg) const {
+  const std::shared_ptr<const Index> index = Find(index_name);
+  if (index == nullptr) return NotFound("no such index: " + index_name);
+  std::shared_lock refresh_lock(index->refresh_mu);
+  std::vector<DocId> matches = MatchingDocs(*index, query);
+  if (!options_.doc_values) {
+    std::vector<const Json*> docs;
+    docs.reserve(matches.size());
+    for (DocId id : matches) docs.push_back(&index->DocAt(id));
+    return agg.ExecutePartial(docs);
+  }
+  std::vector<ShardedAggSource::ShardView> views;
+  views.reserve(index->num_shards());
+  for (const auto& shard : index->shards) {
+    views.push_back({&shard->docs, &shard->columns});
+  }
+  const ShardedAggSource source(std::move(views), std::move(matches));
+  return agg.ExecuteColumnarPartial(source);
+}
+
 Expected<std::size_t> ElasticStore::UpdateByQuery(
     const std::string& index_name, const Query& query,
     const std::function<bool(Json&)>& update) {

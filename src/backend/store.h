@@ -125,6 +125,13 @@ class ElasticStore : public QueryBackend {
   [[nodiscard]] Expected<AggResult> Aggregate(
       const std::string& index, const Query& query,
       const Aggregation& agg) const override;
+  // Distributed-aggregation scatter half: the same matched set and
+  // accumulation order as Aggregate, but returns the mergeable partial so a
+  // cluster router can fold per-shard partials (Aggregation::MergePartial)
+  // and finalize once, instead of re-gathering every matched document.
+  [[nodiscard]] Expected<AggPartial> AggregatePartial(
+      const std::string& index, const Query& query,
+      const Aggregation& agg) const;
 
   // Applies `update` to every matching document. The callback returns
   // whether it modified the document; only modified documents are re-indexed

@@ -36,6 +36,9 @@ Status ClusterBulkSink::Submit(transport::EventBatch batch) {
 
 void ClusterBulkSink::Flush() {
   (void)router_->Settle();
+  // A settled cluster has every live owner at the log head — reclaim the
+  // fully-applied prefix before the session goes quiescent.
+  (void)router_->CompactLogs();
   router_->Refresh(index_);
 }
 

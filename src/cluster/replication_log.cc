@@ -1,0 +1,53 @@
+#include "cluster/replication_log.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dio::cluster {
+
+namespace {
+// Flat estimate for one JSON document's resident size; cheaper than
+// serializing every doc on the ingest path, and honest enough for a
+// retained-bytes gauge that exists to prove the log is O(lag).
+constexpr std::size_t kApproxJsonDocBytes = 320;
+}  // namespace
+
+std::size_t LogEntry::ApproxBytes() const {
+  return sizeof(LogEntry) + session.size() +
+         wire.size() * sizeof(tracer::WireEvent) +
+         docs.size() * kApproxJsonDocBytes;
+}
+
+void ShardLog::Append(std::shared_ptr<const LogEntry> entry) {
+  retained_bytes_ += entry->ApproxBytes();
+  entries_.push_back(std::move(entry));
+}
+
+LogSlice ShardLog::Slice(std::uint64_t from) const {
+  LogSlice slice;
+  slice.base = std::max(from, base_seq_);
+  const std::size_t skip = static_cast<std::size_t>(slice.base - base_seq_);
+  slice.entries.assign(entries_.begin() + static_cast<std::ptrdiff_t>(
+                                              std::min(skip, entries_.size())),
+                       entries_.end());
+  return slice;
+}
+
+ShardLog::CompactStats ShardLog::CompactBelow(std::uint64_t min_applied,
+                                              std::size_t retain) {
+  const std::uint64_t keep_floor =
+      end_seq() >= retain ? end_seq() - retain : 0;
+  const std::uint64_t cut = std::min(min_applied, keep_floor);
+  CompactStats stats;
+  while (base_seq_ < cut && !entries_.empty()) {
+    const std::size_t bytes = entries_.front()->ApproxBytes();
+    retained_bytes_ -= std::min(retained_bytes_, bytes);
+    stats.bytes += bytes;
+    stats.entries += 1;
+    entries_.pop_front();
+    ++base_seq_;
+  }
+  return stats;
+}
+
+}  // namespace dio::cluster

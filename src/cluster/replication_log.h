@@ -1,0 +1,110 @@
+// Per-shard replication log with compaction below the slowest live owner.
+//
+// PR 7's ShardLog kept every entry since seq 0 (entry seq == vector
+// position), so log memory and rejoin replay both grew with total history.
+// This module gives the log an explicit `base_seq`: entries below it have
+// been applied by every live owner and are dropped, so steady-state memory
+// is O(replication lag), and a node whose watermark falls below the base
+// (a wiped rejoin, or a fresh node promoted into an owner set after
+// compaction) bootstraps from a peer snapshot plus the retained tail
+// instead of replaying from seq 0 (ClusterRouter::SnapshotCatchUp).
+//
+// Thread-safety: ShardLog is a passive structure guarded by the router's
+// mutex. Appliers take a LogSlice snapshot (shared_ptr entries) under the
+// lock and run outside it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/query.h"
+#include "common/json.h"
+#include "tracer/wire.h"
+
+namespace dio::cluster {
+
+// One replication-log entry: a per-shard slice of an ingested batch, or an
+// update-by-query barrier. Immutable once appended.
+struct LogEntry {
+  enum class Kind { kIngest, kUpdate };
+  Kind kind = Kind::kIngest;
+  // kIngest payload (exactly one of wire/docs non-empty).
+  std::string session;
+  std::vector<tracer::WireEvent> wire;
+  std::vector<Json> docs;
+  // kUpdate payload.
+  backend::Query query = backend::Query::MatchAll();
+  std::function<bool(Json&)> update;
+
+  // Estimated resident size, computed once at append time and charged to
+  // the log's retained-bytes counter (an estimate: JSON documents are
+  // counted at a flat per-doc figure rather than serialized).
+  [[nodiscard]] std::size_t ApproxBytes() const;
+};
+
+// A contiguous tail snapshot of one shard's log: entry seq `s` lives at
+// `entries[s - base]`. Always ends at the log's append point; `base` is at
+// or above the log's compaction base.
+struct LogSlice {
+  std::uint64_t base = 0;
+  std::vector<std::shared_ptr<const LogEntry>> entries;
+
+  [[nodiscard]] std::uint64_t end() const { return base + entries.size(); }
+  [[nodiscard]] const LogEntry* At(std::uint64_t seq) const {
+    return seq >= base && seq < end() ? entries[seq - base].get() : nullptr;
+  }
+};
+
+// The bounded per-shard log. Seqs are dense and monotonically increasing
+// from 0 for the shard's lifetime; compaction only moves `base_seq` forward,
+// never renumbers.
+class ShardLog {
+ public:
+  // Appends the entry at seq end_seq().
+  void Append(std::shared_ptr<const LogEntry> entry);
+
+  // First retained seq (everything below is compacted away).
+  [[nodiscard]] std::uint64_t base_seq() const { return base_seq_; }
+  // One past the last appended seq (the next entry's seq).
+  [[nodiscard]] std::uint64_t end_seq() const {
+    return base_seq_ + entries_.size();
+  }
+  [[nodiscard]] std::size_t retained_entries() const {
+    return entries_.size();
+  }
+  [[nodiscard]] std::size_t retained_bytes() const { return retained_bytes_; }
+
+  // Snapshot of [max(from, base_seq), end_seq).
+  [[nodiscard]] LogSlice Slice(std::uint64_t from) const;
+  [[nodiscard]] LogSlice Tail() const { return Slice(base_seq_); }
+
+  struct CompactStats {
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+  };
+  // Drops entries below min(min_applied, end_seq - retain): only entries
+  // every live owner has applied may go, and the newest `retain` entries
+  // are kept regardless so a briefly-lagging owner replays from the tail
+  // instead of taking a snapshot. Returns what was dropped.
+  CompactStats CompactBelow(std::uint64_t min_applied, std::size_t retain);
+
+  // Row position in the shard's sub-index -> global ingestion seq. Grows
+  // with every ingested event and is never compacted (queries need the
+  // full map); 8 bytes/event, not O(payload).
+  std::vector<std::uint64_t> global_seqs;
+  // Router-side lower bound of each node's applied watermark (advanced
+  // after applies complete; the node's own watermark is authoritative).
+  std::vector<std::uint64_t> applied_hint;
+
+ private:
+  std::uint64_t base_seq_ = 0;
+  std::deque<std::shared_ptr<const LogEntry>> entries_;
+  std::size_t retained_bytes_ = 0;
+};
+
+}  // namespace dio::cluster

@@ -18,6 +18,7 @@ Json SessionInfo::ToJson() const {
   out.Set("transport_dead_letters",
           static_cast<std::int64_t>(transport_dead_letters));
   out.Set("transport_stages", transport_stages);
+  if (cluster_health.is_object()) out.Set("cluster", cluster_health);
   return out;
 }
 
@@ -167,6 +168,7 @@ SessionInfo DioService::SnapshotLocked(const Session& session) const {
     info.transport_dead_letters += stage.dead_letter_events;
   }
   info.transport_stages = session.pipeline->StatsJson();
+  if (router_ != nullptr) info.cluster_health = router_->HealthJson();
   return info;
 }
 

@@ -62,6 +62,10 @@ struct SessionInfo {
   std::uint64_t transport_dead_letters = 0;  // abandoned after retries
   // Per-stage StageStats::ToJson array, head to sink (queue, retry, sinks).
   Json transport_stages;
+  // Cluster deployments only: ClusterRouter::HealthJson() at snapshot time
+  // (per-node liveness, fan-out pool stats, replication/log counters,
+  // per-index watermark lag). Null in single-store deployments.
+  Json cluster_health;
 
   [[nodiscard]] Json ToJson() const;
 };

@@ -103,6 +103,14 @@ FaultPlan FaultPlan::FromSeed(std::uint64_t seed, std::size_t ops,
       plan.partition_for_ops =
           rng.OneIn(2) ? 0 : ops / 6 + rng.Uniform(ops / 3 + 1);
     }
+    // Drawn after the classes that existed before it, so enabling lag does
+    // not reshuffle older plans for the same seed.
+    if (rng.OneIn(2)) {
+      plan.classes |= kFaultLag;
+      plan.lag_node = rng.Uniform(cluster_nodes);
+      plan.lag_from_op = rng.Uniform(std::max<std::size_t>(1, ops / 2));
+      plan.lag_for_ops = rng.OneIn(2) ? 0 : ops / 6 + rng.Uniform(ops / 3 + 1);
+    }
   }
   return plan;
 }
@@ -151,6 +159,14 @@ Expected<FaultPlan> FaultPlan::Parse(std::string_view spec, std::size_t ops,
       bit = kFaultPartition;
       plan.partition_from_op = ops / 3;
       plan.partition_for_ops = ops / 3;
+    } else if (name == "lag") {
+      if (cluster_nodes == 0) {
+        return InvalidArgument(
+            "fault plan: 'lag' requires cluster mode (cluster.nodes)");
+      }
+      bit = kFaultLag;
+      plan.lag_from_op = ops / 3;
+      plan.lag_for_ops = ops / 3;
     } else {
       return InvalidArgument("fault plan: unknown clause '" +
                              std::string(name) + "'");
@@ -223,6 +239,18 @@ Expected<FaultPlan> FaultPlan::Parse(std::string_view spec, std::size_t ops,
         auto n = ParseUint(value);
         if (!n.ok()) return n.status();
         plan.partition_for_ops = static_cast<std::size_t>(*n);
+      } else if (bit == kFaultLag && key == "node") {
+        auto n = ParseUint(value);
+        if (!n.ok()) return n.status();
+        plan.lag_node = static_cast<std::size_t>(*n);
+      } else if (bit == kFaultLag && key == "from") {
+        auto n = ParseUint(value);
+        if (!n.ok()) return n.status();
+        plan.lag_from_op = static_cast<std::size_t>(*n);
+      } else if (bit == kFaultLag && key == "for") {
+        auto n = ParseUint(value);
+        if (!n.ok()) return n.status();
+        plan.lag_for_ops = static_cast<std::size_t>(*n);
       } else {
         return InvalidArgument("fault plan: unknown key '" +
                                std::string(key) + "' for clause '" +
@@ -236,9 +264,11 @@ Expected<FaultPlan> FaultPlan::Parse(std::string_view spec, std::size_t ops,
   if (cluster_nodes > 0) {
     plan.crash_node %= cluster_nodes;
     plan.partition_node %= cluster_nodes;
+    plan.lag_node %= cluster_nodes;
     if (ops > 0) {
       plan.node_crash_at_op = std::min(plan.node_crash_at_op, ops);
       plan.partition_from_op = std::min(plan.partition_from_op, ops);
+      plan.lag_from_op = std::min(plan.lag_from_op, ops);
     }
   }
   return plan;
@@ -278,6 +308,11 @@ std::string FaultPlan::ToString() const {
     append("partition:node=" + std::to_string(partition_node) +
            ":from=" + std::to_string(partition_from_op) +
            ":for=" + std::to_string(partition_for_ops));
+  }
+  if (Has(kFaultLag)) {
+    append("lag:node=" + std::to_string(lag_node) +
+           ":from=" + std::to_string(lag_from_op) +
+           ":for=" + std::to_string(lag_for_ops));
   }
   return out;
 }

@@ -11,6 +11,7 @@
 //             | "dupack"   [":every=N"]                  delivered, ack lost
 //             | "nodecrash" [":node=N"][":at=N"][":down=N"]   cluster node dies
 //             | "partition" [":node=N"][":from=N"][":for=N"]  node unreachable
+//             | "lag"       [":node=N"][":from=N"][":for=N"]  replication lags
 //
 // e.g. "overflow:burst=96:every=64+crash:at=120+dupack:every=3".
 // FromSeed derives a plan (classes and parameters) from the run seed, so a
@@ -38,6 +39,7 @@ enum FaultClassBit : std::uint32_t {
   kFaultDuplicateAck = 1u << 4,  // bulk delivered but ack lost => re-driven
   kFaultNodeCrash = 1u << 5,     // cluster node process death + rejoin
   kFaultPartition = 1u << 6,     // cluster node network partition window
+  kFaultLag = 1u << 7,           // cluster node replication throttled
 };
 
 struct FaultPlan {
@@ -82,6 +84,14 @@ struct FaultPlan {
   std::size_t partition_node = 0;
   std::size_t partition_from_op = 0;
   std::size_t partition_for_ops = 0;
+
+  // kFaultLag: cluster node `lag_node` is throttled (SetThrottled) at op
+  // `lag_from_op` for `lag_for_ops` ops (0 = until the end-of-run heal).
+  // It still serves sync acks and reads; the async pump skips it, so its
+  // replication backlog grows — and caps log compaction — until healed.
+  std::size_t lag_node = 0;
+  std::size_t lag_from_op = 0;
+  std::size_t lag_for_ops = 0;
 
   [[nodiscard]] bool Has(std::uint32_t bit) const {
     return (classes & bit) != 0;

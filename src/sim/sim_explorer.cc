@@ -136,6 +136,7 @@ int main(int argc, char** argv) {
   if (cluster_nodes > 0) {
     kClasses.emplace_back(dio::sim::kFaultNodeCrash, "nodecrash");
     kClasses.emplace_back(dio::sim::kFaultPartition, "partition");
+    kClasses.emplace_back(dio::sim::kFaultLag, "lag");
   }
   std::map<std::string, Coverage> coverage;
 
@@ -168,7 +169,8 @@ int main(int argc, char** argv) {
                           result->saw_crash,
                           result->saw_ack_drop,
                           result->saw_node_crash,
-                          result->saw_partition};
+                          result->saw_partition,
+                          result->saw_lag};
     for (std::size_t c = 0; c < kClasses.size(); ++c) {
       Coverage& cov = coverage[kClasses[c].second];
       if (result->plan.Has(kClasses[c].first) && cov.first_planned == 0) {
@@ -181,7 +183,11 @@ int main(int argc, char** argv) {
     if (cluster_nodes > 0) {
       cluster_note = " cluster_docs=" + std::to_string(result->cluster_docs) +
                      " cluster_dups=" +
-                     std::to_string(result->cluster_duplicates);
+                     std::to_string(result->cluster_duplicates) +
+                     " log=" + std::to_string(result->cluster_log_compacted) +
+                     "c/" + std::to_string(result->cluster_log_retained) +
+                     "r catchups=" +
+                     std::to_string(result->cluster_snapshot_catchups);
     }
     std::printf(
         "seed %llu route=%s plan=%s steps=%llu digest=%016llx spool=%llu/%llu "

@@ -157,6 +157,7 @@ struct RunData {
   // Cluster-mode harvest (options.cluster_nodes > 0).
   bool node_crashed = false;     // the nodecrash fault actually fired
   bool partitioned = false;      // the partition window actually opened
+  bool lagged = false;           // the lag (throttle) window actually opened
   std::uint64_t cluster_acked_batches = 0;
   std::uint64_t cluster_acked_events = 0;
   std::uint64_t cluster_duplicate_batches = 0;
@@ -168,9 +169,16 @@ struct RunData {
   bool have_cluster_stats = false;
   std::map<std::string, std::size_t> cluster_key_counts;
   std::set<std::string> cluster_canonical;
+  std::uint64_t cluster_log_appended = 0;
+  std::uint64_t cluster_log_compacted = 0;
+  std::uint64_t cluster_log_retained = 0;
+  std::uint64_t cluster_snapshot_catchups = 0;
   // Serialized query-mix results over the cluster and the restored store
-  // (the scattered-vs-single-store golden parity check).
+  // (the scattered-vs-single-store golden parity check). The cluster digest
+  // is taken through both fan-out routes: byte-equality of the two is the
+  // parallel-scatter parity invariant.
   std::string cluster_query_digest;
+  std::string cluster_query_digest_serial;
   std::string restored_query_digest;
 };
 
@@ -367,6 +375,11 @@ Expected<RunData> RunOnce(const SimOptions& options, const FaultPlan& plan,
     auto ack = cluster::AckLevelFromString(options.cluster_ack);
     if (!ack.ok()) return ack.status();
     cluster_options.ack = *ack;
+    auto fanout = cluster::QueryFanoutFromString(options.cluster_fanout);
+    if (!fanout.ok()) return fanout.status();
+    cluster_options.query_fanout = *fanout;
+    cluster_options.query_threads = options.cluster_query_threads;
+    cluster_options.log_retain_batches = options.cluster_log_retain;
     cluster_options.store = store_options;
     router = std::make_unique<cluster::ClusterRouter>(cluster_options);
     auto sink = std::make_unique<cluster::ClusterBulkSink>(
@@ -458,6 +471,7 @@ Expected<RunData> RunOnce(const SimOptions& options, const FaultPlan& plan,
 
   bool node_restarted = false;
   bool partition_healed = false;
+  bool lag_healed = false;
 
   const auto issue_op = [&](WorkloadTask& task) {
     DoOneOp(kernel, workload_clock, task);
@@ -493,6 +507,19 @@ Expected<RunData> RunOnce(const SimOptions& options, const FaultPlan& plan,
                      plan.partition_from_op + plan.partition_for_ops) {
         (void)router->SetReachable(plan.partition_node, true);
         partition_healed = true;
+      }
+    }
+    if (cluster_mode && plan.Has(kFaultLag)) {
+      // Replication throttle: the node still serves sync acks and reads,
+      // but the async pump skips it, so its backlog — and the shard logs
+      // above its watermark — grow until the window closes (or HealAll).
+      if (!data.lagged && global_ops >= plan.lag_from_op) {
+        (void)router->SetThrottled(plan.lag_node, true);
+        data.lagged = true;
+      } else if (data.lagged && !lag_healed && plan.lag_for_ops > 0 &&
+                 global_ops >= plan.lag_from_op + plan.lag_for_ops) {
+        (void)router->SetThrottled(plan.lag_node, false);
+        lag_healed = true;
       }
     }
   };
@@ -595,6 +622,14 @@ Expected<RunData> RunOnce(const SimOptions& options, const FaultPlan& plan,
     data.cluster_rejected_batches = cluster_sink_ptr->rejected_batches();
     data.cluster_rejected_events = cluster_sink_ptr->rejected_events();
     data.cluster_pending_applies = router->PendingApplies();
+    // Final compaction pass over the settled cluster, so the log-ledger
+    // conservation invariant sees steady state: all owners are at the head,
+    // everything below it (minus the retain cushion) must be reclaimed.
+    (void)router->CompactLogs();
+    data.cluster_log_appended = router->log_appended_entries();
+    data.cluster_log_compacted = router->log_compacted_entries();
+    data.cluster_log_retained = router->log_retained_entries();
+    data.cluster_snapshot_catchups = router->snapshot_catchups();
     data.convergence = router->VerifyConvergence(session);
     if (auto stats = router->Stats(session); stats.ok()) {
       data.cluster_stats = *stats;
@@ -609,9 +644,21 @@ Expected<RunData> RunOnce(const SimOptions& options, const FaultPlan& plan,
         data.cluster_key_counts[EventKey(hit.source)] += 1;
         data.cluster_canonical.insert(hit.source.Dump());
       }
+      // Digest the query mix through BOTH scatter routes on the same
+      // quiescent cluster. The parallel leg runs the real pooled path
+      // (query_threads workers); byte-equality with the serial leg is the
+      // fan-out parity invariant.
+      router->SetQueryFanout(cluster::QueryFanout::kParallel);
       auto digest = QueryMixDigest(*router, session);
       if (!digest.ok()) return digest.status();
       data.cluster_query_digest = *digest;
+      router->SetQueryFanout(cluster::QueryFanout::kSerial);
+      auto serial_digest = QueryMixDigest(*router, session);
+      if (!serial_digest.ok()) return serial_digest.status();
+      data.cluster_query_digest_serial = *serial_digest;
+      auto restored_fanout =
+          cluster::QueryFanoutFromString(options.cluster_fanout);
+      if (restored_fanout.ok()) router->SetQueryFanout(*restored_fanout);
     }
   }
 
@@ -764,10 +811,15 @@ Expected<SimResult> RunSimulation(const SimOptions& options) {
   result.saw_crash = run_a->art.crashed;
   result.saw_node_crash = run_a->node_crashed;
   result.saw_partition = run_a->partitioned;
+  result.saw_lag = run_a->lagged;
   result.saw_cluster_reject = run_a->cluster_rejected_batches > 0;
   result.cluster_docs =
       run_a->have_cluster_stats ? run_a->cluster_stats.doc_count : 0;
   result.cluster_duplicates = run_a->cluster_duplicate_batches;
+  result.cluster_log_appended = run_a->cluster_log_appended;
+  result.cluster_log_compacted = run_a->cluster_log_compacted;
+  result.cluster_log_retained = run_a->cluster_log_retained;
+  result.cluster_snapshot_catchups = run_a->cluster_snapshot_catchups;
 
   InvariantChecker check;
 
@@ -893,6 +945,30 @@ Expected<SimResult> RunSimulation(const SimOptions& options) {
       for (const std::string& divergence : run_a->convergence) {
         check.Check(false, "replica convergence: " + divergence);
       }
+      // Replication-log ledger: every appended entry is either compacted
+      // away or still retained — compaction never loses or double-counts.
+      check.CheckEq(run_a->cluster_log_appended,
+                    run_a->cluster_log_compacted + run_a->cluster_log_retained,
+                    "log appended == compacted + retained");
+      // With the settled cluster at the head of every log, retention is
+      // bounded by the configured per-shard cushion (64 logical shards) —
+      // O(lag), not O(history). The sim default retain=0 makes this exact:
+      // a settled cluster holds zero log entries.
+      check.CheckLe(run_a->cluster_log_retained,
+                    options.cluster_log_retain *
+                        cluster::ShardMap::kDefaultLogicalShards,
+                    "retained log bounded by the retain cushion");
+      // Snapshot catch-up only exists to serve rejoins stranded below a
+      // compacted prefix; only a crash (wiped watermarks) or a
+      // post-compaction promotion can strand, and both need a node death.
+      check.Check(run_a->cluster_snapshot_catchups == 0 || run_a->node_crashed,
+                  "snapshot catch-up without a node crash");
+      // Parallel scatter parity: the pooled fan-out must be byte-identical
+      // to the serial route over the same quiescent cluster — ids, sorted
+      // pages, counts, and aggregations alike.
+      check.Check(
+          run_a->cluster_query_digest == run_a->cluster_query_digest_serial,
+          "parallel query fan-out diverged from the serial route");
     } else {
       // Live-index consistency: without a crash, the store holds exactly
       // what the bulk sink delivered (duplicates included).

@@ -63,6 +63,19 @@ struct SimOptions {
   std::size_t cluster_replicas = 1;
   // AckLevel name: primary | quorum | all.
   std::string cluster_ack = "quorum";
+  // QueryFanout name: serial | parallel. The harvest digests the query mix
+  // through BOTH routes and asserts byte-parity, so this only selects which
+  // route the in-run analysis (correlator) takes.
+  std::string cluster_fanout = "parallel";
+  // Width of the router's query pool. The pool is idle during the
+  // scheduled run (nothing queries mid-run), so the schedule digest is
+  // unaffected — but the harvest-time digests exercise the real pooled
+  // scatter, making the parallel-vs-serial parity invariant non-vacuous.
+  std::size_t cluster_query_threads = 2;
+  // Per-shard replay cushion (cluster.log_retain_batches). 0 — instead of
+  // the production default — so compaction actually fires at sim scale and
+  // the snapshot catch-up path is exercised by rejoins.
+  std::size_t cluster_log_retain = 0;
 };
 
 // Observed outcome of one simulated run (golden or faulty).
@@ -99,6 +112,7 @@ struct SimResult {
   bool saw_crash = false;
   bool saw_node_crash = false;  // cluster mode: a node actually died
   bool saw_partition = false;   // cluster mode: a partition window opened
+  bool saw_lag = false;         // cluster mode: a replication throttle opened
   bool saw_cluster_reject = false;  // an ingest was refused (ack level)
 
   std::uint64_t spool_lines = 0;     // faulty spool, including duplicates
@@ -106,6 +120,13 @@ struct SimResult {
   std::uint64_t restored_docs = 0;   // docs in the replayed (restored) index
   std::uint64_t cluster_docs = 0;    // cluster mode: docs in the cluster index
   std::uint64_t cluster_duplicates = 0;  // re-driven batches deduped by fp
+  // Cluster replication-log accounting at harvest (post heal + settle):
+  // entries ever appended, dropped by compaction, still retained, and
+  // snapshot catch-ups performed by rejoins stranded below a compacted base.
+  std::uint64_t cluster_log_appended = 0;
+  std::uint64_t cluster_log_compacted = 0;
+  std::uint64_t cluster_log_retained = 0;
+  std::uint64_t cluster_snapshot_catchups = 0;
 
   [[nodiscard]] bool ok() const { return violations.empty(); }
   // "--seed=X --fault-plan=Y" — replays this exact run.

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
 namespace dio::backend {
 namespace {
 
@@ -183,6 +188,106 @@ TEST(AggregationTest, DeepSubAggregationNesting) {
   const AggResult& stats = hist.buckets[0].sub.at("lat_stats");
   EXPECT_EQ(stats.metrics.GetInt("count"), 1);
   EXPECT_DOUBLE_EQ(stats.metrics.GetDouble("avg"), 100);
+}
+
+// ---- distributed partials ---------------------------------------------------
+// ExecutePartial / MergePartial / FinalizePartial over any split of the doc
+// set must reproduce Execute over the whole set byte-for-byte (the corpus
+// keeps metric fields integer-valued, where every combine step is exact).
+
+std::string DumpAgg(const AggResult& agg) {
+  Json out = Json::MakeObject();
+  out.Set("metrics", agg.metrics);
+  Json buckets = Json::MakeArray();
+  for (const AggBucket& bucket : agg.buckets) {
+    Json b = Json::MakeObject();
+    b.Set("key", bucket.key);
+    b.Set("doc_count", bucket.doc_count);
+    for (const auto& [name, sub] : bucket.sub) {
+      b.Set("sub_" + name, DumpAgg(sub));
+    }
+    buckets.Append(std::move(b));
+  }
+  out.Set("buckets", std::move(buckets));
+  return out.Dump();
+}
+
+std::vector<Json> PartialCorpus() {
+  static const char* kComms[] = {"rocksdb", "postgres", "fluent-bit", "dio"};
+  std::vector<Json> docs;
+  std::uint64_t x = 88172645463325252ULL;  // xorshift: deterministic variety
+  for (int i = 0; i < 120; ++i) {
+    x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+    Json doc = Json::MakeObject();
+    doc.Set("comm", kComms[x % 4]);
+    doc.Set("ts", static_cast<std::int64_t>(i * 7));
+    doc.Set("lat", static_cast<std::int64_t>(x % 5000));
+    if (i % 11 == 0) doc.Set("flag", (x & 1) != 0);  // bool group keys
+    if (i % 13 != 0) docs.push_back(std::move(doc));
+    else docs.push_back(Json::MakeObject());  // kMissing everywhere
+  }
+  return docs;
+}
+
+std::vector<Aggregation> PartialAggs() {
+  std::vector<Aggregation> out;
+  out.push_back(Aggregation::Terms("comm")
+                    .SubAgg("lat", Aggregation::Stats("lat"))
+                    .SubAgg("p", Aggregation::Percentiles("lat", {50, 99})));
+  out.push_back(Aggregation::Histogram("ts", 100).SubAgg(
+      "by_comm", Aggregation::Terms("comm", 2)));
+  out.push_back(Aggregation::Terms("flag"));
+  out.push_back(Aggregation::Stats("lat"));
+  out.push_back(Aggregation::Percentiles("lat", {1.0, 50.0, 95.0, 99.9}));
+  return out;
+}
+
+TEST(AggregationPartialTest, SplitMergeFinalizeMatchesExecute) {
+  const std::vector<Json> docs = PartialCorpus();
+  const std::vector<const Json*> all = Ptrs(docs);
+  for (const Aggregation& agg : PartialAggs()) {
+    const std::string expected = DumpAgg(agg.Execute(all));
+    for (const std::size_t chunk : {120u, 64u, 17u, 1u}) {
+      AggPartial merged;
+      for (std::size_t lo = 0; lo < all.size(); lo += chunk) {
+        const std::size_t hi = std::min(lo + chunk, all.size());
+        const std::vector<const Json*> slice(all.begin() + lo,
+                                             all.begin() + hi);
+        agg.MergePartial(merged, agg.ExecutePartial(slice));
+      }
+      EXPECT_EQ(DumpAgg(agg.FinalizePartial(std::move(merged))), expected)
+          << "chunk=" << chunk;
+    }
+  }
+}
+
+TEST(AggregationPartialTest, TermsTruncationDeferredToFinalize) {
+  // "b" wins the first chunk 2:1 but "a" wins globally 3:2 — a partial that
+  // truncated per chunk would drop the global winner.
+  std::vector<Json> docs;
+  for (const char* comm : {"b", "b", "a", "a", "a"}) {
+    Json doc = Json::MakeObject();
+    doc.Set("comm", comm);
+    docs.push_back(std::move(doc));
+  }
+  const std::vector<const Json*> all = Ptrs(docs);
+  const Aggregation agg = Aggregation::Terms("comm", 1);
+  const std::string expected = DumpAgg(agg.Execute(all));
+  AggPartial merged;
+  agg.MergePartial(merged, agg.ExecutePartial({all[0], all[1], all[2]}));
+  agg.MergePartial(merged, agg.ExecutePartial({all[3], all[4]}));
+  const AggResult result = agg.FinalizePartial(std::move(merged));
+  EXPECT_EQ(DumpAgg(result), expected);
+  ASSERT_EQ(result.buckets.size(), 1u);
+  EXPECT_EQ(result.buckets[0].key.as_string(), "a");
+  EXPECT_EQ(result.buckets[0].doc_count, 3);
+}
+
+TEST(AggregationPartialTest, EmptyPartialMatchesEmptyExecute) {
+  for (const Aggregation& agg : PartialAggs()) {
+    EXPECT_EQ(DumpAgg(agg.FinalizePartial(AggPartial{})),
+              DumpAgg(agg.Execute({})));
+  }
 }
 
 }  // namespace

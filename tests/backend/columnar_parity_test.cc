@@ -262,6 +262,72 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.threads);
     });
 
+// ---- distributed partial aggregation ----------------------------------------
+// AggregatePartial over a split corpus, merged in split order and finalized,
+// must equal Aggregate over the full corpus — on both engines. The aggs keep
+// stats fields integer-valued (exact partial sums); percentile merges are
+// exact even over true doubles because they merge sorted values, not sums.
+
+TEST(AggregatePartialStoreTest, SplitPartialsFinalizeToFullAggregate) {
+  for (const bool doc_values : {false, true}) {
+    ElasticStoreOptions opts;
+    opts.shards_per_index = 4;
+    opts.doc_values = doc_values;
+    opts.query_threads = 0;
+    ElasticStore full(opts);
+    ElasticStore first(opts);
+    ElasticStore second(opts);
+    Random rng(982451653ULL);
+    int docnum = 0;
+    int batch_index = 0;
+    for (const int batch_size : {3, 41, 128, 1, 64, 17, 200}) {
+      std::vector<Json> docs;
+      for (int i = 0; i < batch_size; ++i, ++docnum) {
+        docs.push_back(RandomDoc(rng, docnum));
+      }
+      full.Bulk("ev", docs);
+      (batch_index++ < 3 ? first : second).Bulk("ev", docs);
+    }
+    for (ElasticStore* store : {&full, &first, &second}) store->Refresh("ev");
+
+    std::vector<Aggregation> aggs;
+    aggs.push_back(Aggregation::Terms("syscall")
+                       .SubAgg("lat", Aggregation::Stats("ret"))
+                       .SubAgg("p", Aggregation::Percentiles("duration_ns",
+                                                             {50, 95, 99})));
+    aggs.push_back(Aggregation::DateHistogram("time_enter", 500)
+                       .SubAgg("by_comm", Aggregation::Terms("comm", 3)));
+    aggs.push_back(Aggregation::Terms("offset"));  // mixed int/string keys
+    aggs.push_back(Aggregation::Terms("extra"));   // null members (kOther)
+    aggs.push_back(Aggregation::Stats("ret"));
+    aggs.push_back(Aggregation::Percentiles("duration_ns", {1.0, 50.0, 99.9}));
+
+    std::vector<Query> queries;
+    queries.push_back(Query::MatchAll());
+    queries.push_back(Query::Range("ret", 0, 40'000));
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      for (std::size_t i = 0; i < aggs.size(); ++i) {
+        auto ref = full.Aggregate("ev", queries[q], aggs[i]);
+        auto part_a = first.AggregatePartial("ev", queries[q], aggs[i]);
+        auto part_b = second.AggregatePartial("ev", queries[q], aggs[i]);
+        auto part_full = full.AggregatePartial("ev", queries[q], aggs[i]);
+        ASSERT_TRUE(ref.ok() && part_a.ok() && part_b.ok() && part_full.ok())
+            << "doc_values=" << doc_values << " query " << q << " agg " << i;
+        AggPartial merged;
+        aggs[i].MergePartial(merged, std::move(*part_a));
+        aggs[i].MergePartial(merged, std::move(*part_b));
+        EXPECT_EQ(DumpAgg(aggs[i].FinalizePartial(std::move(merged))),
+                  DumpAgg(*ref))
+            << "doc_values=" << doc_values << " query " << q << " agg " << i;
+        // Degenerate split: one partial over the whole corpus.
+        EXPECT_EQ(DumpAgg(aggs[i].FinalizePartial(std::move(*part_full))),
+                  DumpAgg(*ref))
+            << "doc_values=" << doc_values << " query " << q << " agg " << i;
+      }
+    }
+  }
+}
+
 // ---- prefix queries over wide term dictionaries (sorted term index) ---------
 
 TEST(ColumnarPrefixTest, PrefixSkipsNonMatchingTerms) {

@@ -452,6 +452,319 @@ TEST(ClusterRouterTest, WireEventBatchesRouteAndReplicate) {
   EXPECT_EQ(router.VerifyConvergence("wire"), std::vector<std::string>{});
 }
 
+// Tentpole: the pooled parallel scatter must be byte-identical to the
+// serial oracle route over the same cluster — same hits, ids, sorted pages,
+// counts, and aggregations.
+TEST(ClusterRouterTest, ParallelFanoutMatchesSerialByteForByte) {
+  ClusterOptions opts = Opts(4, 1, AckLevel::kQuorum);
+  opts.query_threads = 4;
+  opts.query_fanout = QueryFanout::kParallel;
+  ClusterRouter router(opts);
+  ElasticStore oracle;
+  const auto corpus = Corpus(12, 30, /*seed=*/71);
+  ASSERT_TRUE(IngestAll(router, "events", corpus).ok());
+  for (const auto& docs : corpus) oracle.Bulk("events", docs);
+  ASSERT_TRUE(router.Settle().ok());
+  router.Refresh("events");
+  oracle.Refresh("events");
+
+  SearchRequest sorted;
+  sorted.query = Query::Range("ret", 0, 3000);
+  sorted.sort = {{"ret", false}, {"time_enter", true}};
+  sorted.from = 5;
+  sorted.size = 64;
+
+  router.SetQueryFanout(QueryFanout::kSerial);
+  auto serial_hits = router.Search("events", sorted);
+  auto serial_count = router.Count("events", Query::Term("syscall",
+                                                         Json("read")));
+  auto serial_agg = router.Aggregate(
+      "events", Query::MatchAll(),
+      Aggregation::Terms("syscall").SubAgg("lat", Aggregation::Stats("ret")));
+  ASSERT_TRUE(serial_hits.ok());
+  ASSERT_TRUE(serial_count.ok());
+  ASSERT_TRUE(serial_agg.ok());
+  EXPECT_EQ(router.fanout_queries(), 0u);  // serial route bypasses the pool
+
+  router.SetQueryFanout(QueryFanout::kParallel);
+  auto parallel_hits = router.Search("events", sorted);
+  auto parallel_count = router.Count("events", Query::Term("syscall",
+                                                           Json("read")));
+  auto parallel_agg = router.Aggregate(
+      "events", Query::MatchAll(),
+      Aggregation::Terms("syscall").SubAgg("lat", Aggregation::Stats("ret")));
+  ASSERT_TRUE(parallel_hits.ok());
+  ASSERT_TRUE(parallel_count.ok());
+  ASSERT_TRUE(parallel_agg.ok());
+
+  EXPECT_EQ(DumpHits(*parallel_hits), DumpHits(*serial_hits));
+  EXPECT_EQ(*parallel_count, *serial_count);
+  EXPECT_EQ(DumpAgg(*parallel_agg), DumpAgg(*serial_agg));
+  EXPECT_GT(router.fanout_queries(), 0u);
+  EXPECT_GT(router.fanout_shard_tasks(), router.fanout_queries());
+
+  // And both routes match the single-store oracle.
+  ExpectGoldenParity(router, oracle, "events");
+  auto stats = router.Stats("events");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->fanout_queries, router.fanout_queries());
+}
+
+TEST(ClusterRouterTest, PushdownPaginationMatchesOracleAtTheEdges) {
+  // The parallel plan truncates each shard to its own top `from+size`; these
+  // pages sit at the boundaries where a wrong truncation would show: deep
+  // pages, pages past the end, empty pages, and unsorted (gseq-order) paging
+  // where `total` must still count every match, not just gathered hits.
+  ClusterOptions opts = Opts(3, 1, AckLevel::kQuorum);
+  opts.query_threads = 3;
+  opts.query_fanout = QueryFanout::kParallel;
+  ClusterRouter router(opts);
+  ElasticStore oracle;
+  const auto corpus = Corpus(10, 40, /*seed=*/29);
+  ASSERT_TRUE(IngestAll(router, "events", corpus).ok());
+  for (const auto& docs : corpus) oracle.Bulk("events", docs);
+  ASSERT_TRUE(router.Settle().ok());
+  router.Refresh("events");
+  oracle.Refresh("events");
+
+  std::vector<SearchRequest> pages;
+  SearchRequest deep;  // sorted page deeper than any one shard's match count
+  deep.query = Query::MatchAll();
+  deep.sort = {{"time_enter", true}};
+  deep.from = 350;
+  deep.size = 40;
+  pages.push_back(deep);
+  SearchRequest past_end;  // from beyond total: empty hits, full total
+  past_end.query = Query::Range("ret", 0, 3000);
+  past_end.sort = {{"ret", true}};
+  past_end.from = 100'000;
+  past_end.size = 10;
+  pages.push_back(past_end);
+  SearchRequest zero;  // size=0: count-only page
+  zero.query = Query::Term("syscall", Json("write"));
+  zero.sort = {{"ret", false}};
+  zero.size = 0;
+  pages.push_back(zero);
+  SearchRequest unsorted;  // gseq-order paging
+  unsorted.query = Query::Range("ret", 100, 2600);
+  unsorted.from = 17;
+  unsorted.size = 23;
+  pages.push_back(unsorted);
+
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    auto oracle_hits = oracle.Search("events", pages[i]);
+    ASSERT_TRUE(oracle_hits.ok()) << "page " << i;
+    router.SetQueryFanout(QueryFanout::kSerial);
+    auto serial_hits = router.Search("events", pages[i]);
+    ASSERT_TRUE(serial_hits.ok()) << "page " << i;
+    router.SetQueryFanout(QueryFanout::kParallel);
+    auto parallel_hits = router.Search("events", pages[i]);
+    ASSERT_TRUE(parallel_hits.ok()) << "page " << i;
+    EXPECT_EQ(DumpHits(*parallel_hits), DumpHits(*serial_hits)) << "page " << i;
+    EXPECT_EQ(parallel_hits->total, oracle_hits->total) << "page " << i;
+  }
+
+  // Percentiles fold per-shard sorted value runs; the merged array must be
+  // exactly the oracle's globally sorted one.
+  const auto pcts = Aggregation::Percentiles("ret", {1, 50, 95, 99.9});
+  auto oracle_pcts = oracle.Aggregate("events", Query::MatchAll(), pcts);
+  router.SetQueryFanout(QueryFanout::kSerial);
+  auto serial_pcts = router.Aggregate("events", Query::MatchAll(), pcts);
+  router.SetQueryFanout(QueryFanout::kParallel);
+  auto parallel_pcts = router.Aggregate("events", Query::MatchAll(), pcts);
+  ASSERT_TRUE(oracle_pcts.ok() && serial_pcts.ok() && parallel_pcts.ok());
+  EXPECT_EQ(DumpAgg(*parallel_pcts), DumpAgg(*serial_pcts));
+  EXPECT_EQ(DumpAgg(*parallel_pcts), DumpAgg(*oracle_pcts));
+}
+
+TEST(ClusterOptionsTest, FromConfigParsesFanoutAndLogKnobs) {
+  auto config = Config::ParseString(
+      "[cluster]\nnodes = 3\nquery_fanout = serial\nquery_threads = 2\n"
+      "log_retain_batches = 7\n");
+  ASSERT_TRUE(config.ok());
+  auto opts = ClusterOptions::FromConfig(*config);
+  ASSERT_TRUE(opts.ok());
+  EXPECT_EQ(opts->query_fanout, QueryFanout::kSerial);
+  EXPECT_EQ(opts->query_threads, 2u);
+  EXPECT_EQ(opts->log_retain_batches, 7u);
+
+  auto bad = Config::ParseString("[cluster]\nquery_fanout = warp\n");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(ClusterOptions::FromConfig(*bad).ok());
+
+  for (auto fanout : {QueryFanout::kSerial, QueryFanout::kParallel}) {
+    auto parsed = QueryFanoutFromString(ToString(fanout));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, fanout);
+  }
+}
+
+// Tentpole: the replication log is O(lag), not O(history) — once every live
+// owner has applied an entry (and it is past the retain cushion), compaction
+// reclaims it, and the ledger conserves exactly.
+TEST(ClusterRouterTest, CompactionBoundsRetainedLog) {
+  ClusterOptions opts = Opts(3, 1, AckLevel::kAll);
+  opts.log_retain_batches = 2;
+  ClusterRouter router(opts);
+  ElasticStore oracle;
+  const auto corpus = Corpus(14, 25, /*seed=*/83);
+  ASSERT_TRUE(IngestAll(router, "events", corpus).ok());
+  for (const auto& docs : corpus) oracle.Bulk("events", docs);
+
+  // ack=all applies synchronously on every owner, so the ingest path's own
+  // compaction already reclaims everything but the cushion.
+  EXPECT_GT(router.log_appended_entries(), 0u);
+  EXPECT_GT(router.log_compacted_entries(), 0u);
+  EXPECT_EQ(router.log_appended_entries(),
+            router.log_compacted_entries() + router.log_retained_entries());
+  // Retention is bounded by the per-shard cushion, not history.
+  EXPECT_LE(router.log_retained_entries(),
+            2u * router.shard_map().logical_shards());
+  EXPECT_GT(router.log_compacted_bytes(), 0u);
+
+  // The compacted cluster still answers byte-identically and accepts more.
+  ASSERT_TRUE(router.Ingest("events", MakeBatch(Corpus(1, 10, 99)[0])).ok());
+  oracle.Bulk("events", Corpus(1, 10, 99)[0]);
+  ASSERT_TRUE(router.Settle().ok());
+  router.Refresh("events");
+  oracle.Refresh("events");
+  ExpectGoldenParity(router, oracle, "events");
+  EXPECT_EQ(router.VerifyConvergence("events"), std::vector<std::string>{});
+}
+
+// Tentpole: a node that rejoins below a compacted log prefix bootstraps
+// from a peer snapshot plus the retained tail — replay work is bounded by
+// lag, not history — and still converges byte-identically.
+TEST(ClusterRouterTest, CompactedRejoinBootstrapsFromSnapshot) {
+  ClusterOptions opts = Opts(3, 1, AckLevel::kQuorum);
+  opts.log_retain_batches = 0;  // compact aggressively: rejoins must snapshot
+  ClusterRouter router(opts);
+  ElasticStore oracle;
+  const auto corpus = Corpus(10, 22, /*seed=*/59);
+  ASSERT_TRUE(IngestAll(router, "events", corpus).ok());
+  for (const auto& docs : corpus) oracle.Bulk("events", docs);
+  ASSERT_TRUE(router.Settle().ok());
+
+  ASSERT_TRUE(router.CrashNode(1).ok());
+  const auto more = Corpus(6, 22, /*seed=*/61);
+  ASSERT_TRUE(IngestAll(router, "events", more).ok());
+  for (const auto& docs : more) oracle.Bulk("events", docs);
+  ASSERT_TRUE(router.Settle().ok());
+  // The survivors are at the head; with retain=0 compaction reclaims the
+  // full history node 1 would otherwise have to replay.
+  (void)router.CompactLogs();
+  EXPECT_EQ(router.log_retained_entries(), 0u);
+  const std::uint64_t appended_before = router.log_appended_entries();
+  const std::uint64_t async_before = router.async_applies();
+
+  ASSERT_TRUE(router.RestartNode(1).ok());
+  router.HealAll();  // snapshot-bootstraps the stranded rejoin
+  ASSERT_TRUE(router.Settle().ok());
+
+  EXPECT_GT(router.snapshot_catchups(), 0u);
+  EXPECT_GT(router.snapshot_docs_copied(), 0u);
+  // Bounded-replay: the rejoin replayed only the (empty) retained tail, not
+  // the full history the log once held.
+  EXPECT_LT(router.async_applies() - async_before, appended_before);
+
+  router.Refresh("events");
+  oracle.Refresh("events");
+  ExpectGoldenParity(router, oracle, "events");
+  EXPECT_EQ(router.VerifyConvergence("events"), std::vector<std::string>{});
+}
+
+// The `lag` fault: a throttled replica still serves sync acks and reads,
+// but the async pump defers it — its backlog caps compaction (the log
+// retains exactly the tail it still needs), so healing needs no snapshot.
+TEST(ClusterRouterTest, ThrottledReplicaLagsAndLogRetainsItsTail) {
+  ClusterOptions opts = Opts(3, 1, AckLevel::kPrimary);
+  opts.log_retain_batches = 0;
+  ClusterRouter router(opts);
+  ASSERT_TRUE(router.SetThrottled(2, true).ok());
+  ASSERT_TRUE(IngestAll(router, "events", Corpus(8, 20, /*seed=*/37)).ok());
+
+  (void)router.PumpReplication(1000000);
+  if (router.PendingApplies() > 0) {
+    // The backlog behind the throttled node blocks quiescence...
+    EXPECT_FALSE(router.Settle().ok());
+    // ...and caps compaction: everything the throttled owner still needs is
+    // retained, so healing will replay from the log, never snapshot.
+    EXPECT_GT(router.log_retained_entries(), 0u);
+  }
+
+  ASSERT_TRUE(router.SetThrottled(2, false).ok());
+  ASSERT_TRUE(router.Settle().ok());
+  EXPECT_EQ(router.snapshot_catchups(), 0u);
+  (void)router.CompactLogs();
+  EXPECT_EQ(router.log_retained_entries(), 0u);
+  router.Refresh("events");
+  EXPECT_EQ(router.VerifyConvergence("events"), std::vector<std::string>{});
+}
+
+// Satellite fix: HealAll heals partitions and throttles, restarts crashed
+// nodes in ascending id order (deterministic under the sim scheduler), and
+// snapshot-bootstraps rejoins stranded below a compacted prefix.
+TEST(ClusterRouterTest, HealAllIsDeterministicAndCatchesUp) {
+  // replicas=2: every shard has 3 owners, so crashing two nodes always
+  // leaves a survivor to snapshot from (replicas=1 would lose both copies
+  // of the shards owned by exactly the crashed pair — unrecoverable by
+  // design, and Settle would rightly refuse to quiesce).
+  ClusterOptions opts = Opts(4, 2, AckLevel::kQuorum);
+  opts.log_retain_batches = 0;
+  ClusterRouter router(opts);
+  ASSERT_TRUE(IngestAll(router, "events", Corpus(9, 18, /*seed=*/41)).ok());
+  ASSERT_TRUE(router.Settle().ok());
+
+  // Crash two nodes in descending order; HealAll must restart them in
+  // ascending id order regardless.
+  ASSERT_TRUE(router.CrashNode(3).ok());
+  ASSERT_TRUE(router.CrashNode(1).ok());
+  ASSERT_TRUE(IngestAll(router, "events", Corpus(4, 18, /*seed=*/43)).ok());
+  ASSERT_TRUE(router.Settle().ok());
+  (void)router.CompactLogs();
+  ASSERT_TRUE(router.SetReachable(0, false).ok());
+  ASSERT_TRUE(router.SetThrottled(2, true).ok());
+
+  router.HealAll();
+  for (std::size_t id = 0; id < 4; ++id) {
+    EXPECT_TRUE(router.node(id).up()) << "node " << id;
+    EXPECT_TRUE(router.node(id).reachable()) << "node " << id;
+    EXPECT_FALSE(router.node(id).throttled()) << "node " << id;
+  }
+  // Rejoined nodes went through snapshot catch-up (their prefixes were
+  // compacted), not a from-seq-0 replay.
+  EXPECT_GT(router.snapshot_catchups(), 0u);
+  const Status settle = router.Settle();
+  ASSERT_TRUE(settle.ok()) << settle.message()
+                           << " pending=" << router.PendingApplies();
+  router.Refresh("events");
+  EXPECT_EQ(router.VerifyConvergence("events"), std::vector<std::string>{});
+}
+
+// A brand-new node promoted into owner sets whose logs are already
+// compacted must bootstrap via snapshot, exactly like a rejoin.
+TEST(ClusterRouterTest, NodeJoinAfterCompactionBootstrapsFromSnapshot) {
+  ClusterOptions opts = Opts(3, 1, AckLevel::kAll);
+  opts.log_retain_batches = 0;
+  ClusterRouter router(opts);
+  ElasticStore oracle;
+  const auto corpus = Corpus(10, 20, /*seed=*/53);
+  ASSERT_TRUE(IngestAll(router, "events", corpus).ok());
+  for (const auto& docs : corpus) oracle.Bulk("events", docs);
+  ASSERT_TRUE(router.Settle().ok());
+  (void)router.CompactLogs();
+  EXPECT_EQ(router.log_retained_entries(), 0u);
+
+  const std::size_t joined = router.AddNode();
+  EXPECT_EQ(joined, 3u);
+  ASSERT_TRUE(router.Settle().ok());
+  EXPECT_GT(router.snapshot_catchups(), 0u);
+  router.Refresh("events");
+  oracle.Refresh("events");
+  ExpectGoldenParity(router, oracle, "events");
+  EXPECT_EQ(router.VerifyConvergence("events"), std::vector<std::string>{});
+}
+
 TEST(ClusterBulkSinkTest, SubmitsAndReportsLedgerStats) {
   ClusterRouter router(Opts(2, 1, AckLevel::kAll));
   ManualClock clock;

@@ -339,6 +339,39 @@ TEST_F(ServiceTest, ClusterSessionShipsReplicatesAndAnalyzes) {
   ASSERT_EQ(stages.size(), 2u);  // queue, cluster
   EXPECT_EQ(stages[1].GetString("stage"), "cluster");
   EXPECT_EQ(stages[1].GetInt("events_out"), 102);
+
+  // Cluster health rides along in the session info: node liveness, the
+  // query fan-out pool, the replication-log ledger, and per-index lag.
+  const Json& health = info->cluster_health;
+  ASSERT_TRUE(health.is_object());
+  const Json* nodes = health.Find("nodes");
+  ASSERT_NE(nodes, nullptr);
+  ASSERT_EQ(nodes->as_array().size(), 3u);
+  for (const Json& node : nodes->as_array()) {
+    EXPECT_TRUE(node.GetBool("up"));
+    EXPECT_TRUE(node.GetBool("reachable"));
+    EXPECT_FALSE(node.GetBool("throttled", true));
+  }
+  const Json* fanout = health.Find("query_fanout");
+  ASSERT_NE(fanout, nullptr);
+  EXPECT_EQ(fanout->GetString("mode"), "parallel");
+  const Json* log = health.Find("replication_log");
+  ASSERT_NE(log, nullptr);
+  EXPECT_EQ(log->GetInt("appended_entries"),
+            log->GetInt("compacted_entries") + log->GetInt("retained_entries"));
+  const Json* replication = health.Find("replication");
+  ASSERT_NE(replication, nullptr);
+  EXPECT_EQ(replication->GetInt("pending_applies"), 0);
+  // And the session's JSON rendering carries the same object under
+  // "cluster" (the dashboard surface; null/absent on single-store).
+  const Json rendered = info->ToJson();
+  const Json* cluster = rendered.Find("cluster");
+  ASSERT_NE(cluster, nullptr);
+  ASSERT_NE(cluster->Find("indices"), nullptr);
+  ASSERT_EQ(cluster->Find("indices")->as_array().size(), 1u);
+  EXPECT_EQ(cluster->Find("indices")->as_array()[0].GetInt(
+                "max_replication_lag"),
+            0);
 }
 
 TEST_F(ServiceTest, BuildBackendTierSelectsStoreOrCluster) {

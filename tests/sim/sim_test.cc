@@ -116,8 +116,48 @@ TEST(FaultPlanTest, NodeFaultDefaultsAndClamping) {
 TEST(FaultPlanTest, NodeFaultClausesRequireClusterMode) {
   EXPECT_FALSE(FaultPlan::Parse("nodecrash", 100).ok());
   EXPECT_FALSE(FaultPlan::Parse("partition", 100).ok());
+  EXPECT_FALSE(FaultPlan::Parse("lag", 100).ok());
   // And the single-store crash model is rejected when the cluster is on.
   EXPECT_FALSE(FaultPlan::Parse("crash:at=50", 100, /*cluster_nodes=*/3).ok());
+}
+
+TEST(FaultPlanTest, LagClauseParsesDefaultsAndRoundTrips) {
+  auto plan = FaultPlan::Parse("lag:node=2:from=30:for=50", 240,
+                               /*cluster_nodes=*/4);
+  ASSERT_TRUE(plan.ok()) << plan.status().message();
+  EXPECT_TRUE(plan->Has(kFaultLag));
+  EXPECT_EQ(plan->lag_node, 2u);
+  EXPECT_EQ(plan->lag_from_op, 30u);
+  EXPECT_EQ(plan->lag_for_ops, 50u);
+  auto reparsed = FaultPlan::Parse(plan->ToString(), 240, 4);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->ToString(), plan->ToString());
+
+  // Bare clause: throttle the middle third of the run on node 0.
+  auto defaults = FaultPlan::Parse("lag", 120, /*cluster_nodes=*/3);
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_EQ(defaults->lag_node, 0u);
+  EXPECT_EQ(defaults->lag_from_op, 40u);  // ops / 3
+  EXPECT_EQ(defaults->lag_for_ops, 40u);  // ops / 3
+  // Node ids wrap into the cluster; op thresholds clamp to the run length.
+  auto wrapped = FaultPlan::Parse("lag:node=8:from=9999", 120, 3);
+  ASSERT_TRUE(wrapped.ok());
+  EXPECT_EQ(wrapped->lag_node, 2u);  // 8 % 3
+  EXPECT_EQ(wrapped->lag_from_op, 120u);
+  EXPECT_FALSE(FaultPlan::Parse("lag:speed=slow", 100, 3).ok());
+}
+
+TEST(FaultPlanTest, FromSeedDrawsLagOnlyInClusterMode) {
+  bool saw_lag = false;
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    EXPECT_FALSE(FaultPlan::FromSeed(seed, 240).Has(kFaultLag))
+        << "seed " << seed;
+    saw_lag = saw_lag ||
+              FaultPlan::FromSeed(seed, 240, /*cluster_nodes=*/3,
+                                  /*cluster_replicas=*/1)
+                  .Has(kFaultLag);
+  }
+  EXPECT_TRUE(saw_lag);
 }
 
 TEST(FaultPlanTest, FromSeedClusterModeSwapsCrashModels) {
@@ -394,6 +434,38 @@ TEST_F(SimulationTest, ClusterPartitionUnderAckAllRejectsThenRecovers) {
   EXPECT_TRUE(result->saw_partition);
   EXPECT_TRUE(result->saw_cluster_reject);
   EXPECT_TRUE(result->ok()) << "repro: " << result->ReproLine(3) << "\n"
+                            << ::testing::PrintToString(result->violations);
+}
+
+// A lagging (throttled) replica defers async replication but still serves
+// sync acks: the log retains exactly its backlog (compaction is capped by
+// the laggard's watermark), the end-of-run heal drains it from the log, and
+// no snapshot catch-up is ever needed — plus every standing invariant,
+// including parallel-vs-serial query parity, holds through the lag window.
+TEST_F(SimulationTest, ClusterLagThrottlesThenConverges) {
+  auto result = RunSimulation(ClusterOptions(5, "lag:node=1:from=20:for=0"));
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_TRUE(result->saw_lag);
+  EXPECT_FALSE(result->saw_node_crash);
+  EXPECT_EQ(result->cluster_snapshot_catchups, 0u);
+  EXPECT_TRUE(result->ok()) << "repro: " << result->ReproLine(5) << "\n"
+                            << ::testing::PrintToString(result->violations);
+}
+
+// Tentpole acceptance: with an aggressively compacted log (the sim runs
+// cluster.log_retain_batches=0), a node that stays down while the survivors
+// ingest and compact must rejoin through snapshot catch-up — bounded by its
+// lag — rather than a from-seq-0 replay, and still converge byte-exactly.
+TEST_F(SimulationTest, ClusterCrashRejoinBootstrapsFromSnapshot) {
+  auto result =
+      RunSimulation(ClusterOptions(7, "nodecrash:node=1:at=40:down=0"));
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_TRUE(result->saw_node_crash);
+  EXPECT_GT(result->cluster_snapshot_catchups, 0u);
+  EXPECT_GT(result->cluster_log_compacted, 0u);
+  EXPECT_EQ(result->cluster_log_appended,
+            result->cluster_log_compacted + result->cluster_log_retained);
+  EXPECT_TRUE(result->ok()) << "repro: " << result->ReproLine(7) << "\n"
                             << ::testing::PrintToString(result->violations);
 }
 
