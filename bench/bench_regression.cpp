@@ -1,0 +1,123 @@
+// Perf-regression gate over the committed bench baselines.
+//
+//   bench_regression <baselines.json>
+//
+// Each check in the baselines file names a harness report
+// (BENCH_<bench>.json, read from the working directory — in ctest that is
+// the bench build dir the smoke-tier harnesses just wrote into), selects a
+// row by exact field match, and compares one metric against its committed
+// baseline. Higher-is-better metrics fail when they fall below
+// baseline*(1-tolerance); lower-is-better when they rise above
+// baseline*(1+tolerance). Tolerances are generous — smoke-scale runs on
+// shared CI machines are noisy; the gate exists to catch order-of-magnitude
+// cliffs (an accidental O(n^2), a dropped cache), not percent-level drift.
+// Update bench/baselines.json when a deliberate perf change moves a metric.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+
+using dio::Json;
+
+namespace {
+
+bool LoadJson(const std::string& path, Json* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = Json::Parse(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bench_regression: cannot parse %s: %s\n",
+                 path.c_str(), std::string(parsed.status().message()).c_str());
+    return false;
+  }
+  *out = std::move(*parsed);
+  return true;
+}
+
+bool RowMatches(const Json& row, const Json& match) {
+  for (const auto& [key, want] : match.as_object()) {
+    const Json* have = row.Find(key);
+    if (have == nullptr || !(*have == want)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: bench_regression <baselines.json>\n");
+    return 2;
+  }
+  Json baselines;
+  if (!LoadJson(argv[1], &baselines)) {
+    std::fprintf(stderr, "bench_regression: cannot read %s\n", argv[1]);
+    return 2;
+  }
+  const double default_tolerance =
+      baselines.GetDouble("default_tolerance", 0.5);
+  const Json* checks = baselines.Find("checks");
+  if (checks == nullptr || !checks->is_array()) {
+    std::fprintf(stderr, "bench_regression: %s has no checks array\n",
+                 argv[1]);
+    return 2;
+  }
+
+  std::printf("%-18s %-28s %-12s %-12s %-10s %s\n", "bench", "metric",
+              "value", "baseline", "bound", "status");
+  int failures = 0;
+  for (const Json& check : checks->as_array()) {
+    const std::string bench = check.GetString("bench");
+    const std::string metric = check.GetString("metric");
+    const double baseline = check.GetDouble("baseline");
+    const bool higher = check.GetString("direction", "higher") == "higher";
+    const double tolerance =
+        check.GetDouble("tolerance", default_tolerance);
+
+    Json report;
+    if (!LoadJson("BENCH_" + bench + ".json", &report)) {
+      std::printf("%-18s %-28s missing BENCH_%s.json (run the smoke benches "
+                  "first)\n",
+                  bench.c_str(), metric.c_str(), bench.c_str());
+      ++failures;
+      continue;
+    }
+    const Json* metrics = report.Find("metrics");
+    const Json* rows =
+        metrics != nullptr ? metrics->Find("rows") : nullptr;
+    const Json* match = check.Find("match");
+    const Json* found = nullptr;
+    if (rows != nullptr && rows->is_array()) {
+      for (const Json& row : rows->as_array()) {
+        if (match == nullptr || RowMatches(row, *match)) {
+          found = &row;
+          break;
+        }
+      }
+    }
+    if (found == nullptr || !found->Has(metric)) {
+      std::printf("%-18s %-28s no matching row/metric in report\n",
+                  bench.c_str(), metric.c_str());
+      ++failures;
+      continue;
+    }
+    const double value = found->GetDouble(metric);
+    const double bound = higher ? baseline * (1.0 - tolerance)
+                                : baseline * (1.0 + tolerance);
+    const bool ok = higher ? value >= bound : value <= bound;
+    std::printf("%-18s %-28s %-12.1f %-12.1f %-10.1f %s\n", bench.c_str(),
+                metric.c_str(), value, baseline, bound,
+                ok ? "ok" : "REGRESSED");
+    if (!ok) ++failures;
+  }
+  if (failures > 0) {
+    std::printf("\n%d bench metric(s) regressed past tolerance — if the "
+                "change is deliberate, refresh bench/baselines.json\n",
+                failures);
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -3,11 +3,14 @@
 // paper's §III-C/§III-D experiments run.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "apps/dbbench/db_bench.h"
 #include "apps/lsmkv/db.h"
@@ -63,6 +66,18 @@ class BenchReport {
   Json config_;
   Json rows_;
 };
+
+// Nearest-rank percentile over nanosecond samples, reported in ms. Used by
+// the ingest harnesses for refresh-pause distributions; 0 when empty.
+inline double PercentileMs(std::vector<std::uint64_t> samples, double pct) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank =
+      pct / 100.0 * static_cast<double>(samples.size() - 1);
+  std::size_t idx = static_cast<std::size_t>(rank + 0.5);
+  idx = std::min(idx, samples.size() - 1);
+  return static_cast<double>(samples[idx]) / 1e6;
+}
 
 inline os::BlockDeviceOptions PaperDisk() {
   os::BlockDeviceOptions options;

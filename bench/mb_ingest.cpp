@@ -142,6 +142,12 @@ struct RouteRun {
   double column_build_ms = 0.0;
   double query_ms = 0.0;
   double events_per_sec = 0.0;
+  // Exclusive refresh-window hold time distribution (the reader-visible
+  // pause per refresh) and the filter-bitmap cache economy over the query
+  // mix — both straight from IndexStats.
+  double refresh_pause_ms_p50 = 0.0;
+  double refresh_pause_ms_p99 = 0.0;
+  double filter_cache_hit_rate = 0.0;
   std::size_t typed_rows = 0;
   std::uint64_t checksum = 0;
 };
@@ -174,11 +180,19 @@ RouteRun RunRoute(const std::string& route, std::size_t events) {
       run.ingest_ms > 0 ? static_cast<double>(events) / (run.ingest_ms / 1e3)
                         : 0.0;
 
+  run.checksum = QueryChecksum(store, events, &run.query_ms);
+  // Stats read after the query mix so the filter-cache counters cover it.
   if (auto stats = store.Stats(kIndex); stats.ok()) {
     run.column_build_ms = static_cast<double>(stats->column_build_ns) / 1e6;
     run.typed_rows = stats->typed_rows;
+    run.refresh_pause_ms_p50 = bench::PercentileMs(stats->refresh_pause_ns, 50);
+    run.refresh_pause_ms_p99 = bench::PercentileMs(stats->refresh_pause_ns, 99);
+    const double lookups = static_cast<double>(stats->filter_cache_hits +
+                                               stats->filter_cache_misses);
+    run.filter_cache_hit_rate =
+        lookups > 0 ? static_cast<double>(stats->filter_cache_hits) / lookups
+                    : 0.0;
   }
-  run.checksum = QueryChecksum(store, events, &run.query_ms);
   return run;
 }
 
@@ -197,16 +211,19 @@ int main(int argc, char** argv) {
   report.SetConfig("bulk_size", Json(static_cast<std::int64_t>(kBatch)));
   report.SetConfig("shards_per_index", Json(static_cast<std::int64_t>(4)));
 
-  std::printf("%-8s %-12s %-14s %-12s %-12s %-12s\n", "route", "ingest_ms",
-              "events_per_s", "colbuild_ms", "query_ms", "typed_rows");
+  std::printf("%-8s %-12s %-14s %-12s %-12s %-10s %-10s %-10s %-12s\n",
+              "route", "ingest_ms", "events_per_s", "colbuild_ms", "query_ms",
+              "pause_p50", "pause_p99", "cache_hit", "typed_rows");
 
   std::vector<RouteRun> runs;
   for (const char* route : {"json", "typed"}) {
     runs.push_back(RunRoute(route, events));
     const RouteRun& run = runs.back();
-    std::printf("%-8s %-12.1f %-14.0f %-12.1f %-12.1f %-12zu\n",
-                run.route.c_str(), run.ingest_ms, run.events_per_sec,
-                run.column_build_ms, run.query_ms, run.typed_rows);
+    std::printf(
+        "%-8s %-12.1f %-14.0f %-12.1f %-12.1f %-10.2f %-10.2f %-10.2f %-12zu\n",
+        run.route.c_str(), run.ingest_ms, run.events_per_sec,
+        run.column_build_ms, run.query_ms, run.refresh_pause_ms_p50,
+        run.refresh_pause_ms_p99, run.filter_cache_hit_rate, run.typed_rows);
   }
 
   const RouteRun& json = runs[0];
@@ -222,6 +239,9 @@ int main(int argc, char** argv) {
     row.Set("events_per_sec", run.events_per_sec);
     row.Set("column_build_ms", run.column_build_ms);
     row.Set("query_ms", run.query_ms);
+    row.Set("refresh_pause_ms_p50", run.refresh_pause_ms_p50);
+    row.Set("refresh_pause_ms_p99", run.refresh_pause_ms_p99);
+    row.Set("filter_cache_hit_rate", run.filter_cache_hit_rate);
     row.Set("typed_rows", static_cast<std::int64_t>(run.typed_rows));
     row.Set("speedup_vs_json",
             run.route == "typed" ? speedup : 1.0);

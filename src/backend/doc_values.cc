@@ -182,18 +182,35 @@ std::shared_ptr<const FilterBitmap> FilterBitmapCache::Lookup(
     return nullptr;
   }
   ++hits_;
-  return it->second;
+  it->second.last_used = ++tick_;
+  return it->second.bitmap;
 }
 
 void FilterBitmapCache::Insert(const std::string& key, FilterBitmap bitmap) {
+  if (capacity_ == 0) return;
   std::scoped_lock lock(mu_);
-  if (entries_.size() >= kMaxEntries) entries_.clear();
-  entries_[key] = std::make_shared<const FilterBitmap>(std::move(bitmap));
+  if (entries_.size() >= capacity_ && entries_.find(key) == entries_.end()) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    entries_.erase(victim);
+    ++evictions_;
+  }
+  entries_[key] =
+      Entry{std::make_shared<const FilterBitmap>(std::move(bitmap)), ++tick_};
 }
 
 void FilterBitmapCache::Clear() {
   std::scoped_lock lock(mu_);
   entries_.clear();
+}
+
+void FilterBitmapCache::CarryCountersFrom(const FilterBitmapCache& other) {
+  std::scoped_lock lock(mu_, other.mu_);
+  hits_ += other.hits_;
+  misses_ += other.misses_;
+  evictions_ += other.evictions_;
 }
 
 std::uint64_t FilterBitmapCache::hits() const {
@@ -204,6 +221,11 @@ std::uint64_t FilterBitmapCache::hits() const {
 std::uint64_t FilterBitmapCache::misses() const {
   std::scoped_lock lock(mu_);
   return misses_;
+}
+
+std::uint64_t FilterBitmapCache::evictions() const {
+  std::scoped_lock lock(mu_);
+  return evictions_;
 }
 
 // ---- CompiledQuery ----------------------------------------------------------

@@ -125,6 +125,10 @@ class ColumnSet {
   [[nodiscard]] std::size_t num_docs() const { return num_docs_; }
   [[nodiscard]] std::size_t num_fields() const { return columns_.size(); }
   [[nodiscard]] const DocValueColumn* Find(std::string_view field) const;
+  template <typename Fn>
+  void ForEachField(Fn&& fn) const {
+    for (const auto& [field, col] : columns_) fn(field);
+  }
 
  private:
   void DecodeMember(DocValueColumn& col, std::size_t pos, const Json& value);
@@ -171,29 +175,47 @@ class FilterBitmap {
   std::vector<std::uint64_t> words_;
 };
 
-// Per-sub-shard cache of scan-path predicate bitmaps, keyed by the
-// predicate's ToString form. Entries are dropped wholesale whenever the
-// shard's visible documents change (refresh / update-by-query), so a cached
-// bitmap is always consistent with the columns it was computed from. Hit and
-// miss counts feed the store's IndexStats.
+// Per-segment cache of scan-path predicate bitmaps, keyed by the
+// predicate's ToString form. A cached bitmap covers exactly the rows of the
+// segment it belongs to, so it stays valid for as long as those rows do:
+// sealed segments keep their entries across refreshes, the growing tail's
+// cache is replaced on every refresh, and update-by-query clears only the
+// caches of segments whose rows it rewrote. Entries evict in LRU order once
+// `capacity` is reached (capacity 0 disables caching entirely — the
+// drop-all-caches parity twin). Hit/miss/eviction counts feed IndexStats.
 class FilterBitmapCache {
  public:
+  static constexpr std::size_t kDefaultEntries = 128;
+
+  explicit FilterBitmapCache(std::size_t capacity = kDefaultEntries)
+      : capacity_(capacity) {}
+
   [[nodiscard]] std::shared_ptr<const FilterBitmap> Lookup(
       const std::string& key) const;
   void Insert(const std::string& key, FilterBitmap bitmap);
   void Clear();
+  // Adopts another cache's traffic counters. A refresh replaces the growing
+  // tail's cache with a fresh one; carrying the old counters over keeps the
+  // store's cumulative hit/miss stats from going backwards.
+  void CarryCountersFrom(const FilterBitmapCache& other);
 
   [[nodiscard]] std::uint64_t hits() const;
   [[nodiscard]] std::uint64_t misses() const;
-
-  static constexpr std::size_t kMaxEntries = 128;
+  [[nodiscard]] std::uint64_t evictions() const;
 
  private:
+  struct Entry {
+    std::shared_ptr<const FilterBitmap> bitmap;
+    std::uint64_t last_used = 0;
+  };
+
+  std::size_t capacity_;
   mutable std::mutex mu_;
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;
-  std::unordered_map<std::string, std::shared_ptr<const FilterBitmap>>
-      entries_;
+  std::uint64_t evictions_ = 0;
+  mutable std::uint64_t tick_ = 0;
+  mutable std::unordered_map<std::string, Entry> entries_;
 };
 
 // A Query resolved against one sub-shard's columns. The compiled tree owns

@@ -71,6 +71,15 @@ struct IndexStats {
   std::uint64_t column_build_ns = 0;
   std::uint64_t filter_cache_hits = 0;
   std::uint64_t filter_cache_misses = 0;
+  std::uint64_t filter_cache_evictions = 0;
+  // Sealed-segment layout: total and sealed column blocks across sub-shards,
+  // completed refreshes, and the exclusive-window duration of each recent
+  // refresh (the pause concurrent queries can observe; bounded by tail
+  // size when backend.segment_docs > 0).
+  std::size_t segments = 0;
+  std::size_t sealed_segments = 0;
+  std::uint64_t refreshes = 0;
+  std::vector<std::uint64_t> refresh_pause_ns;
   // Cluster query fan-out (zero on a single store): queries that took the
   // pooled scatter path, and per-shard tasks they fanned out.
   std::uint64_t fanout_queries = 0;

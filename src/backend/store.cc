@@ -75,7 +75,8 @@ Expected<SearchRequest> SearchRequest::FromJsonText(
 ElasticStoreOptions ElasticStoreOptions::FromConfig(const Config& config) {
   WarnUnknownKeys(config, "backend",
                   {"shards_per_index", "query_threads", "doc_values",
-                   "typed_ingest", "simd_kernels", "max_result_window"});
+                   "typed_ingest", "simd_kernels", "max_result_window",
+                   "segment_docs", "filter_cache_entries"});
   ElasticStoreOptions opts;
   opts.shards_per_index = static_cast<std::size_t>(std::max<std::int64_t>(
       1, config.GetInt("backend.shards_per_index",
@@ -91,14 +92,21 @@ ElasticStoreOptions ElasticStoreOptions::FromConfig(const Config& config) {
   opts.max_result_window = static_cast<std::size_t>(std::max<std::int64_t>(
       1, config.GetInt("backend.max_result_window",
                        static_cast<std::int64_t>(opts.max_result_window))));
+  opts.segment_docs = static_cast<std::size_t>(std::max<std::int64_t>(
+      0, config.GetInt("backend.segment_docs",
+                       static_cast<std::int64_t>(opts.segment_docs))));
+  opts.filter_cache_entries = static_cast<std::size_t>(std::max<std::int64_t>(
+      0, config.GetInt("backend.filter_cache_entries",
+                       static_cast<std::int64_t>(opts.filter_cache_entries))));
   return opts;
 }
 
-ElasticStore::Index::Index(std::size_t num_shards) {
+ElasticStore::Index::Index(std::size_t num_shards, std::size_t segment_docs,
+                           std::size_t cache_entries) {
   shards.reserve(num_shards);
   lanes.reserve(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
-    auto shard = std::make_unique<SubShard>();
+    auto shard = std::make_unique<SubShard>(segment_docs, cache_entries);
     shard->shard_index = s;
     shard->stride = num_shards;
     shards.push_back(std::move(shard));
@@ -109,7 +117,10 @@ ElasticStore::Index::Index(std::size_t num_shards) {
 Json ElasticStore::Index::MaterializedDoc(DocId id) const {
   const SubShard& shard = *shards[static_cast<std::size_t>(id) % shards.size()];
   const auto pos = static_cast<std::size_t>(id) / shards.size();
-  if (shard.IsTyped(pos)) return MaterializeWireDoc(shard.columns, pos);
+  if (shard.IsTyped(pos)) {
+    const ColumnSegment& segment = shard.segments.SegmentFor(pos);
+    return MaterializeWireDoc(segment.columns, shard.segments.LocalPos(pos));
+  }
   return shard.docs[pos];
 }
 
@@ -141,7 +152,9 @@ Status ElasticStore::CreateIndex(const std::string& name) {
   if (indices_.contains(name)) {
     return AlreadyExists("index exists: " + name);
   }
-  indices_[name] = std::make_shared<Index>(options_.shards_per_index);
+  indices_[name] = std::make_shared<Index>(
+      options_.shards_per_index, options_.segment_docs,
+      options_.filter_cache_entries);
   return Status::Ok();
 }
 
@@ -186,7 +199,10 @@ std::shared_ptr<ElasticStore::Index> ElasticStore::FindOrCreate(
   auto it = indices_.find(name);
   if (it == indices_.end()) {
     it = indices_
-             .emplace(name, std::make_shared<Index>(options_.shards_per_index))
+             .emplace(name, std::make_shared<Index>(
+                                options_.shards_per_index,
+                                options_.segment_docs,
+                                options_.filter_cache_entries))
              .first;
   }
   return it->second;
@@ -269,24 +285,12 @@ void ElasticStore::SortNumericsIfDirty(SubShard& shard) {
   shard.numerics_dirty = false;
 }
 
-void ElasticStore::BuildColumns(Index& index, SubShard& shard,
-                                std::size_t first_pos) const {
-  const Nanos start = SteadyClock::Instance()->NowNanos();
-  for (std::size_t pos = first_pos; pos < shard.docs.size(); ++pos) {
-    shard.columns.AppendDoc(shard.docs[pos]);
-  }
-  shard.columns.FinishBatch();
-  // Visible documents changed: every cached bitmap is stale.
-  shard.filter_cache.Clear();
-  index.column_build_ns.fetch_add(
-      static_cast<std::uint64_t>(SteadyClock::Instance()->NowNanos() - start),
-      std::memory_order_relaxed);
-}
-
 void ElasticStore::Refresh(const std::string& index_name) {
   const std::shared_ptr<Index> index = Find(index_name);
   if (index == nullptr) return;
-  std::unique_lock refresh_lock(index->refresh_mu);
+  // Mutators serialize end-to-end on ingest_mu; concurrent queries are not
+  // blocked until the brief exclusive swap window at the end.
+  std::scoped_lock ingest_lock(index->ingest_mu);
 
   // Collect everything bulked so far, then replay in sequence order so
   // docids match a single-shard store exactly.
@@ -305,7 +309,8 @@ void ElasticStore::Refresh(const std::string& index_name) {
 
   // Assign docids and stage each row with its owning sub-shard. JSON rows
   // move their document; typed rows carry a pointer into the (still-alive)
-  // batch's wire records plus its session label.
+  // batch's wire records plus its session label. Reading next_docid without
+  // refresh_mu is safe: only refreshes advance it, and they hold ingest_mu.
   struct StagedRow {
     DocId id = 0;
     Json doc;
@@ -315,85 +320,138 @@ void ElasticStore::Refresh(const std::string& index_name) {
   const std::size_t num_shards = index->num_shards();
   std::vector<std::vector<StagedRow>> staged(num_shards);
   std::size_t total = 0;
-  bool has_wire = false;
   for (PendingBatch& batch : batches) {
     total += batch.docs.size() + batch.wire.size();
-    has_wire = has_wire || !batch.wire.empty();
   }
   for (auto& stage : staged) stage.reserve(total / num_shards + 1);
+  std::uint64_t next_docid = index->next_docid;
   for (PendingBatch& batch : batches) {
     for (Json& doc : batch.docs) {
-      const DocId id = index->next_docid++;
+      const DocId id = next_docid++;
       staged[static_cast<std::size_t>(id) % num_shards].push_back(
           StagedRow{id, std::move(doc), nullptr, nullptr});
     }
     for (const tracer::WireEvent& record : batch.wire) {
-      const DocId id = index->next_docid++;
+      const DocId id = next_docid++;
       staged[static_cast<std::size_t>(id) % num_shards].push_back(
           StagedRow{id, Json(), &record, &batch.session});
     }
   }
 
-  // Index the sub-shards — in parallel when the batch is big enough to pay
-  // for the threads (refresh_mu is held, so workers touching distinct
-  // shards cannot race queries or each other).
-  const auto ingest_shard = [this, &index, &staged, has_wire](std::size_t s) {
-    SubShard& shard = *index->shards[s];
-    std::unique_lock shard_lock(shard.mu);
-    const std::size_t first_pos = shard.docs.size();
-    if (!has_wire) {
-      // Pure-JSON refresh: the original route, columns appended afterwards.
-      for (StagedRow& row : staged[s]) {
-        shard.docs.push_back(std::move(row.doc));
-        shard.typed.push_back(0);
-        IndexDoc(shard, row.id, shard.docs.back());
-      }
-      SortNumericsIfDirty(shard);
-      if (options_.doc_values) BuildColumns(*index, shard, first_pos);
-      return;
+  // Per-shard fan-out used by both phases — parallel when the batch is big
+  // enough to pay for the threads.
+  constexpr std::size_t kParallelRefreshThreshold = 4096;
+  const auto per_shard = [&](const std::function<void(std::size_t)>& fn) {
+    if (total >= kParallelRefreshThreshold && num_shards > 1 &&
+        std::thread::hardware_concurrency() > 1) {
+      std::vector<std::thread> workers;
+      workers.reserve(num_shards);
+      for (std::size_t s = 0; s < num_shards; ++s) workers.emplace_back(fn, s);
+      for (std::thread& worker : workers) worker.join();
+    } else {
+      for (std::size_t s = 0; s < num_shards; ++s) fn(s);
     }
-    // Typed refresh (doc_values guaranteed on by BulkWire): column slots
-    // must be claimed in row order, so JSON rows interleave their AppendDoc
-    // with the appender's typed appends. Typed rows get a null placeholder
-    // document and skip the term/numeric indexes entirely — that skip is
-    // the bulk of the typed route's win, paid for by forcing the scan path
-    // while the shard holds typed rows.
+  };
+
+  // Phase 1 (segmented mode): build the new rows' columns entirely
+  // off-lock. Queries keep running against the live segment lists the whole
+  // time — sealed segments are adopted by pointer, the growing tail is
+  // cloned and appended into, blocks seal at segment_docs. Nothing mutates
+  // the base lists underneath us: every mutator holds ingest_mu.
+  const bool segmented = options_.doc_values && options_.segment_docs != 0;
+  std::vector<std::unique_ptr<StagedSegmentBuild>> builds(num_shards);
+  if (segmented) {
     const Nanos start = SteadyClock::Instance()->NowNanos();
-    std::optional<WireColumnAppender> appender;
-    for (StagedRow& row : staged[s]) {
-      if (row.wire != nullptr) {
-        shard.docs.emplace_back();
-        shard.typed.push_back(1);
-        ++shard.typed_rows;
-        if (!appender.has_value()) appender.emplace(&shard.columns);
-        appender->Append(*row.wire, *row.session);
-      } else {
-        shard.docs.push_back(std::move(row.doc));
-        shard.typed.push_back(0);
-        IndexDoc(shard, row.id, shard.docs.back());
-        shard.columns.AppendDoc(shard.docs.back());
+    per_shard([&index, &staged, &builds](std::size_t s) {
+      if (staged[s].empty()) return;
+      auto build =
+          std::make_unique<StagedSegmentBuild>(index->shards[s]->segments);
+      std::optional<WireColumnAppender> appender;
+      for (const StagedRow& row : staged[s]) {
+        // A sealed block means a fresh tail ColumnSet: re-bind the appender
+        // (it caches column pointers into one set).
+        if (build->PrepareRow()) appender.reset();
+        if (row.wire != nullptr) {
+          if (!appender.has_value()) appender.emplace(&build->tail());
+          appender->Append(*row.wire, *row.session);
+        } else {
+          build->tail().AppendDoc(row.doc);
+        }
       }
-    }
-    SortNumericsIfDirty(shard);
-    shard.columns.FinishBatch();
-    shard.filter_cache.Clear();
+      build->Finish();
+      builds[s] = std::move(build);
+    });
     index->column_build_ns.fetch_add(
         static_cast<std::uint64_t>(SteadyClock::Instance()->NowNanos() -
                                    start),
         std::memory_order_relaxed);
-  };
-  constexpr std::size_t kParallelRefreshThreshold = 4096;
-  if (total >= kParallelRefreshThreshold && num_shards > 1 &&
-      std::thread::hardware_concurrency() > 1) {
-    std::vector<std::thread> workers;
-    workers.reserve(num_shards);
-    for (std::size_t s = 0; s < num_shards; ++s) {
-      workers.emplace_back(ingest_shard, s);
-    }
-    for (std::thread& worker : workers) worker.join();
-  } else {
-    for (std::size_t s = 0; s < num_shards; ++s) ingest_shard(s);
   }
+
+  // Phase 2: the exclusive window — append the row store, index JSON rows'
+  // postings, swap the staged segment lists in, publish the docids. In
+  // segmented mode the column work already happened, so this pause is
+  // bounded by the staged row count, never by index size.
+  std::unique_lock refresh_lock = index->LockForMutation();
+  const Nanos pause_start = SteadyClock::Instance()->NowNanos();
+  per_shard([this, &index, &staged, &builds, segmented](std::size_t s) {
+    SubShard& shard = *index->shards[s];
+    std::unique_lock shard_lock(shard.mu);
+    const bool legacy_columns = options_.doc_values && !segmented;
+    const Nanos start = SteadyClock::Instance()->NowNanos();
+    std::optional<WireColumnAppender> appender;
+    for (StagedRow& row : staged[s]) {
+      if (row.wire != nullptr) {
+        // Typed rows get a null placeholder document and skip the
+        // term/numeric indexes entirely — that skip is the bulk of the
+        // typed route's win, paid for by forcing the scan path while the
+        // shard holds typed rows.
+        shard.docs.emplace_back();
+        shard.typed.push_back(1);
+        ++shard.typed_rows;
+        if (legacy_columns) {
+          if (!appender.has_value()) {
+            appender.emplace(&shard.segments.EnsureTail().columns);
+          }
+          appender->Append(*row.wire, *row.session);
+        }
+      } else {
+        shard.docs.push_back(std::move(row.doc));
+        shard.typed.push_back(0);
+        IndexDoc(shard, row.id, shard.docs.back());
+        if (legacy_columns) {
+          shard.segments.EnsureTail().columns.AppendDoc(shard.docs.back());
+        }
+      }
+    }
+    SortNumericsIfDirty(shard);
+    if (segmented) {
+      if (builds[s] != nullptr) builds[s]->Commit(&shard.segments);
+    } else if (legacy_columns && !staged[s].empty()) {
+      // Rebuild-everything mode: one block, grown in place under the lock,
+      // every cached bitmap stale.
+      ColumnSegment& tail = shard.segments.EnsureTail();
+      tail.columns.FinishBatch();
+      tail.cache.Clear();
+      shard.segments.NoteInPlaceGrowth();
+      index->column_build_ns.fetch_add(
+          static_cast<std::uint64_t>(SteadyClock::Instance()->NowNanos() -
+                                     start),
+          std::memory_order_relaxed);
+    }
+  });
+  index->next_docid = next_docid;
+  index->refreshes.fetch_add(1, std::memory_order_relaxed);
+  const auto pause_ns = static_cast<std::uint64_t>(
+      SteadyClock::Instance()->NowNanos() - pause_start);
+  refresh_lock.unlock();
+
+  std::scoped_lock pause_lock(index->pause_mu);
+  if (index->refresh_pause_ns.size() >= Index::kPauseSamples) {
+    index->refresh_pause_ns.erase(
+        index->refresh_pause_ns.begin(),
+        index->refresh_pause_ns.begin() + Index::kPauseSamples / 2);
+  }
+  index->refresh_pause_ns.push_back(pause_ns);
 }
 
 void ElasticStore::RefreshAll() {
@@ -529,7 +587,7 @@ std::vector<DocId> ElasticStore::MatchingDocs(const SubShard& shard,
 std::vector<DocId> ElasticStore::MatchingDocsColumnar(const SubShard& shard,
                                                       const Query& query) {
   std::vector<DocId> matches;
-  const CompiledQuery compiled(query, shard.columns);
+  const SegmentedColumns& segments = shard.segments;
   // Typed rows have no postings/numerics entries, so while the shard holds
   // any, the candidate lists are incomplete — go straight to the scan path
   // (the compiled bitmaps read the columns, which do cover typed rows).
@@ -537,19 +595,39 @@ std::vector<DocId> ElasticStore::MatchingDocsColumnar(const SubShard& shard,
                         ? Candidates(shard, query)
                         : std::optional<std::vector<DocId>>();
   if (candidates.has_value()) {
+    // Candidates ascend, so the owning segment index is nondecreasing and
+    // one compiled query per touched segment suffices (term ordinals and
+    // prefix rank ranges resolve against that segment's dictionaries).
+    std::optional<CompiledQuery> compiled;
+    std::size_t current = std::numeric_limits<std::size_t>::max();
     for (DocId id : *candidates) {
       if (!shard.Owns(id)) continue;
       const std::size_t pos = static_cast<std::size_t>(id) / shard.stride;
-      if (compiled.Matches(pos, shard.docs[pos])) matches.push_back(id);
+      const std::size_t seg = segments.SegmentIndexFor(pos);
+      if (seg != current) {
+        compiled.emplace(query, segments.segments()[seg]->columns);
+        current = seg;
+      }
+      if (compiled->Matches(segments.LocalPos(pos), shard.docs[pos])) {
+        matches.push_back(id);
+      }
     }
   } else {
-    const FilterBitmap bitmap = compiled.Eval(
-        std::span<const Json>(shard.docs.data(), shard.docs.size()),
-        &shard.filter_cache);
-    bitmap.ForEachSet([&matches, &shard](std::size_t pos) {
-      matches.push_back(
-          static_cast<DocId>(pos * shard.stride + shard.shard_index));
-    });
+    // Scan path, one segment at a time against that segment's bitmap
+    // cache: sealed segments answer repeated predicates from cache, so
+    // after a refresh only the tail is actually re-evaluated.
+    for (const auto& segment : segments.segments()) {
+      const CompiledQuery compiled(query, segment->columns);
+      const FilterBitmap bitmap = compiled.Eval(
+          std::span<const Json>(shard.docs.data() + segment->base,
+                                segment->rows()),
+          &segment->cache);
+      const std::size_t base = segment->base;
+      bitmap.ForEachSet([&matches, &shard, base](std::size_t local) {
+        matches.push_back(static_cast<DocId>((base + local) * shard.stride +
+                                             shard.shard_index));
+      });
+    }
   }
   return matches;
 }
@@ -629,6 +707,7 @@ Expected<SearchResult> ElasticStore::Search(const std::string& index_name,
                                             const SearchRequest& request) const {
   const std::shared_ptr<const Index> index = Find(index_name);
   if (index == nullptr) return NotFound("no such index: " + index_name);
+  index->AwaitRefreshGate();
   std::shared_lock refresh_lock(index->refresh_mu);
 
   std::vector<DocId> matches = MatchingDocs(*index, request.query);
@@ -685,15 +764,20 @@ Expected<SearchResult> ElasticStore::Search(const std::string& index_name,
     return result;
   }
 
-  // Decorate once: resolve each sort field's column per shard, then gather
-  // one flat key per (match, spec). The comparator never touches Json.
+  // Decorate once: resolve each sort field's column per (shard, segment),
+  // then gather one flat key per (match, spec). The comparator never
+  // touches Json.
   const std::size_t nspecs = request.sort.size();
   const std::size_t num_shards = index->num_shards();
-  std::vector<const DocValueColumn*> cols(nspecs * num_shards);
+  std::vector<std::vector<const DocValueColumn*>> cols(nspecs * num_shards);
   for (std::size_t j = 0; j < nspecs; ++j) {
     for (std::size_t s = 0; s < num_shards; ++s) {
-      cols[j * num_shards + s] =
-          index->shards[s]->columns.Find(request.sort[j].field);
+      auto& per_segment = cols[j * num_shards + s];
+      const auto& segments = index->shards[s]->segments.segments();
+      per_segment.reserve(segments.size());
+      for (const auto& segment : segments) {
+        per_segment.push_back(segment->columns.Find(request.sort[j].field));
+      }
     }
   }
   std::vector<SortKey> keys(matches.size() * nspecs);
@@ -701,21 +785,24 @@ Expected<SearchResult> ElasticStore::Search(const std::string& index_name,
     const auto id = static_cast<std::size_t>(matches[r]);
     const std::size_t s = id % num_shards;
     const std::size_t pos = id / num_shards;
+    const SegmentedColumns& segments = index->shards[s]->segments;
+    const std::size_t seg = segments.SegmentIndexFor(pos);
+    const std::size_t local = segments.LocalPos(pos);
     for (std::size_t j = 0; j < nspecs; ++j) {
-      const DocValueColumn* col = cols[j * num_shards + s];
+      const DocValueColumn* col = cols[j * num_shards + s][seg];
       SortKey& key = keys[r * nspecs + j];
-      if (col == nullptr) continue;  // field absent from this whole shard
-      switch (col->kind(pos)) {
+      if (col == nullptr) continue;  // field absent from this whole segment
+      switch (col->kind(local)) {
         case ValueKind::kMissing:
           break;
         case ValueKind::kInt:
         case ValueKind::kDouble:
           key.cls = SortKey::kNumber;
-          key.num = col->dbls[pos];
+          key.num = col->dbls[local];
           break;
         case ValueKind::kString:
           key.cls = SortKey::kString;
-          key.str = col->str(pos);
+          key.str = col->str(local);
           break;
         default:  // bools and non-scalars are present but never order docs
           key.cls = SortKey::kOther;
@@ -769,6 +856,7 @@ Expected<std::size_t> ElasticStore::Count(const std::string& index_name,
                                           const Query& query) const {
   const std::shared_ptr<const Index> index = Find(index_name);
   if (index == nullptr) return NotFound("no such index: " + index_name);
+  index->AwaitRefreshGate();
   std::shared_lock refresh_lock(index->refresh_mu);
   const std::size_t num_shards = index->num_shards();
   std::vector<std::size_t> counts(num_shards, 0);
@@ -793,7 +881,7 @@ class ShardedAggSource final : public AggSource {
  public:
   struct ShardView {
     const std::vector<Json>* docs = nullptr;
-    const ColumnSet* columns = nullptr;
+    const SegmentedColumns* segments = nullptr;
   };
 
   ShardedAggSource(std::vector<ShardView> shards, std::vector<DocId> matches)
@@ -813,29 +901,36 @@ class ShardedAggSource final : public AggSource {
     slice.dbls.assign(n, 0.0);
     slice.strs.assign(n, {});
     slice.raws.assign(n, nullptr);
-    std::vector<const DocValueColumn*> cols(num_shards);
+    // The field's column resolved once per (shard, segment).
+    std::vector<std::vector<const DocValueColumn*>> cols(num_shards);
     for (std::size_t s = 0; s < num_shards; ++s) {
-      cols[s] = shards_[s].columns->Find(field);
+      const auto& segments = shards_[s].segments->segments();
+      cols[s].reserve(segments.size());
+      for (const auto& segment : segments) {
+        cols[s].push_back(segment->columns.Find(field));
+      }
     }
     for (std::size_t r = 0; r < n; ++r) {
       const auto id = static_cast<std::size_t>(matches_[r]);
       const std::size_t s = id % num_shards;
       const std::size_t pos = id / num_shards;
-      const DocValueColumn* col = cols[s];
+      const SegmentedColumns& segments = *shards_[s].segments;
+      const std::size_t local = segments.LocalPos(pos);
+      const DocValueColumn* col = cols[s][segments.SegmentIndexFor(pos)];
       if (col == nullptr) continue;
-      const ValueKind kind = col->kind(pos);
+      const ValueKind kind = col->kind(local);
       slice.kinds[r] = static_cast<std::uint8_t>(kind);
       switch (kind) {
         case ValueKind::kInt:
         case ValueKind::kDouble:
-          slice.ints[r] = col->ints[pos];
-          slice.dbls[r] = col->dbls[pos];
+          slice.ints[r] = col->ints[local];
+          slice.dbls[r] = col->dbls[local];
           break;
         case ValueKind::kString:
-          slice.strs[r] = col->str(pos);
+          slice.strs[r] = col->str(local);
           break;
         case ValueKind::kBool:
-          slice.ints[r] = col->ints[pos];
+          slice.ints[r] = col->ints[local];
           break;
         case ValueKind::kOther:
           slice.raws[r] = (*shards_[s].docs)[pos].Find(field);
@@ -860,6 +955,7 @@ Expected<AggResult> ElasticStore::Aggregate(const std::string& index_name,
                                             const Aggregation& agg) const {
   const std::shared_ptr<const Index> index = Find(index_name);
   if (index == nullptr) return NotFound("no such index: " + index_name);
+  index->AwaitRefreshGate();
   std::shared_lock refresh_lock(index->refresh_mu);
   std::vector<DocId> matches = MatchingDocs(*index, query);
   if (!options_.doc_values) {
@@ -871,7 +967,7 @@ Expected<AggResult> ElasticStore::Aggregate(const std::string& index_name,
   std::vector<ShardedAggSource::ShardView> views;
   views.reserve(index->num_shards());
   for (const auto& shard : index->shards) {
-    views.push_back({&shard->docs, &shard->columns});
+    views.push_back({&shard->docs, &shard->segments});
   }
   const ShardedAggSource source(std::move(views), std::move(matches));
   return agg.ExecuteColumnar(source);
@@ -882,6 +978,7 @@ Expected<AggPartial> ElasticStore::AggregatePartial(
     const Aggregation& agg) const {
   const std::shared_ptr<const Index> index = Find(index_name);
   if (index == nullptr) return NotFound("no such index: " + index_name);
+  index->AwaitRefreshGate();
   std::shared_lock refresh_lock(index->refresh_mu);
   std::vector<DocId> matches = MatchingDocs(*index, query);
   if (!options_.doc_values) {
@@ -893,7 +990,7 @@ Expected<AggPartial> ElasticStore::AggregatePartial(
   std::vector<ShardedAggSource::ShardView> views;
   views.reserve(index->num_shards());
   for (const auto& shard : index->shards) {
-    views.push_back({&shard->docs, &shard->columns});
+    views.push_back({&shard->docs, &shard->segments});
   }
   const ShardedAggSource source(std::move(views), std::move(matches));
   return agg.ExecuteColumnarPartial(source);
@@ -904,7 +1001,8 @@ Expected<std::size_t> ElasticStore::UpdateByQuery(
     const std::function<bool(Json&)>& update) {
   const std::shared_ptr<Index> index = Find(index_name);
   if (index == nullptr) return NotFound("no such index: " + index_name);
-  std::unique_lock refresh_lock(index->refresh_mu);
+  std::scoped_lock ingest_lock(index->ingest_mu);
+  std::unique_lock refresh_lock = index->LockForMutation();
   std::vector<DocId> matches = MatchingDocs(*index, query);
   const std::size_t num_shards = index->num_shards();
   std::vector<std::vector<std::size_t>> modified_pos(num_shards);
@@ -919,7 +1017,9 @@ Expected<std::size_t> ElasticStore::UpdateByQuery(
       // modification converts the row to a JSON row (updates are rare —
       // one correlation pass per session — and conversion keeps the update
       // path identical for both routes from here on).
-      Json doc = MaterializeWireDoc(shard.columns, pos);
+      const ColumnSegment& segment = shard.segments.SegmentFor(pos);
+      Json doc =
+          MaterializeWireDoc(segment.columns, shard.segments.LocalPos(pos));
       if (!update(doc)) continue;
       shard.docs[pos] = std::move(doc);
       shard.typed[pos] = 0;
@@ -939,23 +1039,26 @@ Expected<std::size_t> ElasticStore::UpdateByQuery(
     SortNumericsIfDirty(*shard);
   }
   if (options_.doc_values) {
+    // Rewrite just the modified slots in place and invalidate only the
+    // touched segments' caches: blocks the update never reached keep their
+    // bitmaps and their dictionary ranks (a rewrite may add dictionary
+    // entries, but FinishBatch re-ranks only dictionaries that grew).
     for (std::size_t s = 0; s < num_shards; ++s) {
       if (modified_pos[s].empty()) continue;
       SubShard& shard = *index->shards[s];
       std::unique_lock shard_lock(shard.mu);
-      if (shard.typed_rows == 0) {
-        // All rows are JSON-backed: rebuild wholesale, keeping ordinals
-        // dense (the pre-typed-ingest behavior).
-        shard.columns.Clear();
-        BuildColumns(*index, shard, 0);
-      } else {
-        // Typed rows remain: their cells are the only copy of their
-        // fields, so rewrite just the modified slots in place.
-        for (const std::size_t pos : modified_pos[s]) {
-          shard.columns.ReplaceRow(pos, shard.docs[pos]);
-        }
-        shard.columns.FinishBatch();
-        shard.filter_cache.Clear();
+      std::vector<std::uint8_t> touched(shard.segments.num_segments(), 0);
+      for (const std::size_t pos : modified_pos[s]) {
+        ColumnSegment& segment = shard.segments.SegmentFor(pos);
+        segment.columns.ReplaceRow(shard.segments.LocalPos(pos),
+                                   shard.docs[pos]);
+        touched[shard.segments.SegmentIndexFor(pos)] = 1;
+      }
+      for (std::size_t k = 0; k < touched.size(); ++k) {
+        if (touched[k] == 0) continue;
+        ColumnSegment& segment = *shard.segments.segments()[k];
+        segment.columns.FinishBatch();
+        segment.cache.Clear();
       }
     }
   }
@@ -965,15 +1068,19 @@ Expected<std::size_t> ElasticStore::UpdateByQuery(
 Expected<IndexStats> ElasticStore::Stats(const std::string& index_name) const {
   const std::shared_ptr<const Index> index = Find(index_name);
   if (index == nullptr) return NotFound("no such index: " + index_name);
+  index->AwaitRefreshGate();
   std::shared_lock refresh_lock(index->refresh_mu);
   IndexStats stats;
   for (const auto& shard : index->shards) {
     std::shared_lock shard_lock(shard->mu);
     stats.doc_count += shard->docs.size();
     stats.typed_rows += shard->typed_rows;
-    stats.doc_value_fields += shard->columns.num_fields();
-    stats.filter_cache_hits += shard->filter_cache.hits();
-    stats.filter_cache_misses += shard->filter_cache.misses();
+    stats.doc_value_fields += shard->segments.num_fields();
+    stats.filter_cache_hits += shard->segments.cache_hits();
+    stats.filter_cache_misses += shard->segments.cache_misses();
+    stats.filter_cache_evictions += shard->segments.cache_evictions();
+    stats.segments += shard->segments.num_segments();
+    stats.sealed_segments += shard->segments.num_sealed();
   }
   for (const auto& lane : index->lanes) {
     std::scoped_lock lane_lock(lane->mu);
@@ -985,6 +1092,11 @@ Expected<IndexStats> ElasticStore::Stats(const std::string& index_name) const {
   stats.updates = index->updates.load(std::memory_order_relaxed);
   stats.column_build_ns =
       index->column_build_ns.load(std::memory_order_relaxed);
+  stats.refreshes = index->refreshes.load(std::memory_order_relaxed);
+  {
+    std::scoped_lock pause_lock(index->pause_mu);
+    stats.refresh_pause_ns = index->refresh_pause_ns;
+  }
   return stats;
 }
 
@@ -994,6 +1106,7 @@ Status ElasticStore::SaveIndex(const std::string& index_name,
   if (index == nullptr) return NotFound("no such index: " + index_name);
   std::ofstream out(file_path, std::ios::trunc);
   if (!out) return Unavailable("cannot open for writing: " + file_path);
+  index->AwaitRefreshGate();
   std::shared_lock refresh_lock(index->refresh_mu);
   std::size_t doc_count = 0;
   for (const auto& shard : index->shards) doc_count += shard->docs.size();

@@ -30,6 +30,7 @@
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <thread>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,6 +39,7 @@
 #include "backend/doc_values.h"
 #include "backend/query.h"
 #include "backend/query_backend.h"
+#include "backend/segments.h"
 #include "common/clock.h"
 #include "common/config.h"
 #include "common/json.h"
@@ -60,6 +62,17 @@ struct ElasticStoreOptions {
   // Materialize doc-value columns at Refresh and serve queries from them.
   // Off = the serial JSON engine (the parity oracle).
   bool doc_values = true;
+  // Rows per sealed column segment. Each sub-shard's columns are an ordered
+  // list of immutable sealed blocks of exactly this many rows plus one
+  // growing tail: Refresh builds only the tail's columns, off-lock, and
+  // sealed blocks keep their filter-bitmap caches and dictionary ranks
+  // across refreshes. 0 = legacy rebuild-everything mode (one block, grown
+  // and invalidated wholesale under the exclusive lock — the bench baseline
+  // and the sim's full-rebuild parity oracle).
+  std::size_t segment_docs = 1 << 16;
+  // Cached filter bitmaps per segment, evicted in LRU order. 0 disables
+  // bitmap caching entirely (the drop-all-caches parity twin).
+  std::size_t filter_cache_entries = FilterBitmapCache::kDefaultEntries;
   // Ingest BulkWire() batches straight into doc-value columns, skipping the
   // per-event JSON build/parse entirely (requires doc_values). Off = wire
   // batches are materialized to JSON and take the Bulk() route — the parity
@@ -156,6 +169,9 @@ class ElasticStore : public QueryBackend {
   // docid % num_shards == shard_index (stored at position docid / num_shards)
   // plus the term/numeric indexes over exactly those documents.
   struct SubShard {
+    SubShard(std::size_t segment_docs, std::size_t cache_entries)
+        : segments(segment_docs, cache_entries) {}
+
     std::size_t shard_index = 0;
     std::size_t stride = 1;  // num_shards of the owning index
 
@@ -174,11 +190,12 @@ class ElasticStore : public QueryBackend {
         numerics;
     bool numerics_dirty = false;
 
-    // Columnar engine state (backend.doc_values): typed columns over `docs`
-    // (same position indexing), rebuilt/extended under refresh_mu unique,
-    // plus the per-shard cache of scan-path predicate bitmaps.
-    ColumnSet columns;
-    mutable FilterBitmapCache filter_cache;
+    // Columnar engine state (backend.doc_values): the sub-shard's ordered
+    // segment list — sealed immutable blocks plus one growing tail, each
+    // with its own scan-path bitmap cache. Covers the same positions as
+    // `docs` (segment index = pos / segment_docs). Swapped/extended only
+    // under refresh_mu unique; read under refresh_mu shared.
+    SegmentedColumns segments;
 
     // Typed-ingest state (backend.typed_ingest): typed[pos] != 0 marks a row
     // whose fields live only in `columns` — docs[pos] is a null placeholder
@@ -223,7 +240,8 @@ class ElasticStore : public QueryBackend {
   };
 
   struct Index {
-    explicit Index(std::size_t num_shards);
+    Index(std::size_t num_shards, std::size_t segment_docs,
+          std::size_t cache_entries);
 
     std::vector<std::unique_ptr<SubShard>> shards;
     std::vector<std::unique_ptr<IngestLane>> lanes;
@@ -231,10 +249,42 @@ class ElasticStore : public QueryBackend {
     std::atomic<std::uint64_t> bulk_requests{0};
     std::atomic<std::uint64_t> updates{0};
     std::atomic<std::uint64_t> column_build_ns{0};
-    // Readers take it shared; Refresh/UpdateByQuery take it unique, so a
-    // refresh becomes visible to queries atomically across sub-shards.
+    std::atomic<std::uint64_t> refreshes{0};
+    // Serializes mutators (Refresh, UpdateByQuery) end-to-end, so a staged
+    // off-lock column build can never race another mutation of the segment
+    // lists it snapshotted. Always acquired before refresh_mu.
+    std::mutex ingest_mu;
+    // Readers take it shared; mutators take it unique so a refresh becomes
+    // visible to queries atomically across sub-shards. With segmented
+    // columns, Refresh holds it only for the brief swap-in window.
     mutable std::shared_mutex refresh_mu;
-    std::uint64_t next_docid = 0;  // guarded by refresh_mu (unique)
+    // Writer-preference gate for refresh_mu: std::shared_mutex (glibc
+    // rwlocks) lets a continuous stream of readers barge ahead of a waiting
+    // writer indefinitely, which turns the segmented refresh's
+    // microsecond swap into an unbounded acquisition stall under a hot
+    // dashboard. Readers spin-yield while a mutator is acquiring; the flag
+    // is only set around the unique acquisition itself, so the uncontended
+    // read path pays one relaxed atomic load.
+    std::atomic<bool> refresh_waiting{false};
+    void AwaitRefreshGate() const {
+      while (refresh_waiting.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    }
+    // Unique acquisition with writer preference; mutators are already
+    // serialized by ingest_mu, so only one flag owner exists at a time.
+    [[nodiscard]] std::unique_lock<std::shared_mutex> LockForMutation() {
+      refresh_waiting.store(true, std::memory_order_release);
+      std::unique_lock lock(refresh_mu);
+      refresh_waiting.store(false, std::memory_order_release);
+      return lock;
+    }
+    std::uint64_t next_docid = 0;  // written under ingest_mu + refresh_mu
+    // Exclusive-window durations of past refreshes (the pause concurrent
+    // queries can observe), oldest first, capped at kPauseSamples.
+    static constexpr std::size_t kPauseSamples = 4096;
+    mutable std::mutex pause_mu;
+    std::vector<std::uint64_t> refresh_pause_ns;
 
     [[nodiscard]] std::size_t num_shards() const { return shards.size(); }
     [[nodiscard]] const Json& DocAt(DocId id) const {
@@ -252,10 +302,6 @@ class ElasticStore : public QueryBackend {
   static std::string TermKey(const Json& value);
   static void IndexDoc(SubShard& shard, DocId id, const Json& doc);
   static void SortNumericsIfDirty(SubShard& shard);
-  // Appends the docs at positions [first_pos, docs.size()) to the shard's
-  // doc-value columns and invalidates its bitmap cache. Caller holds
-  // refresh_mu unique; build time is charged to `index`.
-  void BuildColumns(Index& index, SubShard& shard, std::size_t first_pos) const;
   // Candidate docids for the query via this sub-shard's indexes (superset
   // of matches), or nullopt when the query cannot be served by an index
   // (falls back to scanning). Caller verifies with Query::Matches.

@@ -184,6 +184,7 @@ Status ClusterRouter::CrashNode(std::size_t id) {
   // live owner's watermark), so nothing acked is lost cluster-wide.
   node.store_ = std::make_unique<backend::ElasticStore>(node.store_options_);
   node.applied_.clear();
+  node.dirty_.clear();
   for (auto& [name, ix] : indices_) {
     for (ShardLog& sl : ix.shards) {
       if (id < sl.applied_hint.size()) sl.applied_hint[id] = 0;
@@ -285,12 +286,15 @@ ClusterRouter::ApplyOutcome ClusterRouter::ApplyToStore(
         node.store_->BulkWire(sub, entry->session, entry->wire);
       }
       if (!entry->docs.empty()) node.store_->Bulk(sub, entry->docs);
+      node.dirty_.insert(sub);
     } else {
       // Update barrier: visibility first, then the same update-by-query
       // the single store ran. A shard that never received documents has
-      // no sub-index; the update is vacuously applied.
+      // no sub-index; the update is vacuously applied. Consecutive update
+      // entries share one refresh: only ingest applied since the last
+      // barrier re-dirties the sub-index.
       if (node.store_->HasIndex(sub)) {
-        node.store_->Refresh(sub);
+        if (node.dirty_.erase(sub) != 0) node.store_->Refresh(sub);
         auto result =
             node.store_->UpdateByQuery(sub, entry->query, entry->update);
         if (!result.ok()) {
@@ -1320,6 +1324,13 @@ Expected<backend::IndexStats> ClusterRouter::Stats(
     stats.column_build_ns += sub->column_build_ns;
     stats.filter_cache_hits += sub->filter_cache_hits;
     stats.filter_cache_misses += sub->filter_cache_misses;
+    stats.filter_cache_evictions += sub->filter_cache_evictions;
+    stats.segments += sub->segments;
+    stats.sealed_segments += sub->sealed_segments;
+    stats.refreshes += sub->refreshes;
+    stats.refresh_pause_ns.insert(stats.refresh_pause_ns.end(),
+                                  sub->refresh_pause_ns.begin(),
+                                  sub->refresh_pause_ns.end());
   }
   return stats;
 }

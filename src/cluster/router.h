@@ -67,6 +67,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
@@ -159,6 +160,11 @@ class BackendNode {
   // retries and replication pumps). Guarded by apply_mu_; wiped on crash.
   std::mutex apply_mu_;
   std::map<std::string, std::uint64_t> applied_;
+  // Sub-indices with ingest applied since their last refresh, so update
+  // barriers skip redundant Refresh calls when replaying a log tail with
+  // consecutive updates (amortizes refresh across an apply batch). Guarded
+  // by apply_mu_; wiped on crash alongside applied_.
+  std::set<std::string> dirty_;
 };
 
 class ClusterRouter : public backend::QueryBackend {

@@ -19,6 +19,7 @@ Json SessionInfo::ToJson() const {
           static_cast<std::int64_t>(transport_dead_letters));
   out.Set("transport_stages", transport_stages);
   if (cluster_health.is_object()) out.Set("cluster", cluster_health);
+  if (filter_cache.is_object()) out.Set("filter_cache", filter_cache);
   return out;
 }
 
@@ -169,6 +170,14 @@ SessionInfo DioService::SnapshotLocked(const Session& session) const {
   }
   info.transport_stages = session.pipeline->StatsJson();
   if (router_ != nullptr) info.cluster_health = router_->HealthJson();
+  if (auto stats = backend_->Stats(info.name); stats.ok()) {
+    Json cache = Json::MakeObject();
+    cache.Set("hits", static_cast<std::int64_t>(stats->filter_cache_hits));
+    cache.Set("misses", static_cast<std::int64_t>(stats->filter_cache_misses));
+    cache.Set("evictions",
+              static_cast<std::int64_t>(stats->filter_cache_evictions));
+    info.filter_cache = cache;
+  }
   return info;
 }
 

@@ -66,6 +66,10 @@ struct SessionInfo {
   // (per-node liveness, fan-out pool stats, replication/log counters,
   // per-index watermark lag). Null in single-store deployments.
   Json cluster_health;
+  // Backend filter-bitmap cache traffic for this session's index
+  // (hits/misses/evictions across segments and, in a cluster, nodes). Null
+  // until the session's index exists.
+  Json filter_cache;
 
   [[nodiscard]] Json ToJson() const;
 };

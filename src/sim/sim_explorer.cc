@@ -2,11 +2,18 @@
 //
 //   sim_explorer [--seeds=N] [--seed=X] [--ops=N] [--fault-plan=SPEC]
 //                [--spool-dir=DIR] [--trace] [--json-ingest]
+//                [--segment-docs=N]
 //                [--cluster=N] [--replicas=R] [--ack=LEVEL]
 //
 // --json-ingest sweeps the same seeds over the JSON-oracle ingest route
 // (backend.typed_ingest=false) instead of the default typed wire->column
 // route; every invariant must hold identically on both.
+//
+// --segment-docs=N sets the sealed-segment size of the run's stores
+// (backend.segment_docs; 0 = legacy rebuild-everything columnar mode).
+// The sim default is deliberately tiny (32) so seal boundaries fall mid-
+// run; in cluster mode the restore oracle always runs with segment_docs=0,
+// making the scattered-vs-restored parity a segments-vs-rebuild oracle.
 //
 // --cluster=N runs every seed against an N-node ClusterRouter backend
 // (--replicas and --ack pick the replication factor and ack level): the
@@ -72,6 +79,7 @@ int main(int argc, char** argv) {
   std::string spool_dir;
   bool keep_trace = false;
   bool json_ingest = false;
+  std::size_t segment_docs = dio::sim::SimOptions{}.segment_docs;
   std::size_t cluster_nodes = 0;
   std::size_t cluster_replicas = 1;
   std::string cluster_ack = "quorum";
@@ -98,6 +106,9 @@ int main(int argc, char** argv) {
       cluster_ack = std::string(value);
     } else if (arg == "--trace") {
       keep_trace = true;
+    } else if (ParseFlag(arg, "--segment-docs", &value)) {
+      segment_docs =
+          static_cast<std::size_t>(ParseCount(value, "--segment-docs"));
     } else if (arg == "--json-ingest") {
       json_ingest = true;
     } else {
@@ -151,6 +162,7 @@ int main(int argc, char** argv) {
     options.spool_dir = spool_dir;
     options.keep_trace = keep_trace;
     options.typed_ingest = !json_ingest;
+    options.segment_docs = segment_docs;
     options.cluster_nodes = cluster_nodes;
     options.cluster_replicas = cluster_replicas;
     options.cluster_ack = cluster_ack;

@@ -354,10 +354,16 @@ Expected<RunData> RunOnce(const SimOptions& options, const FaultPlan& plan,
 
   backend::ElasticStoreOptions store_options;
   store_options.typed_ingest = options.typed_ingest;
+  store_options.segment_docs = options.segment_docs;
   // In cluster mode `store` only serves the post-run spool restore (the
   // single-store oracle the scattered query results are compared against);
-  // the live backend is the router's node stores.
-  backend::ElasticStore store(store_options);
+  // it always runs with segment_docs=0 (the rebuild-everything columnar
+  // mode) so the restored-vs-scattered parity invariant is also a
+  // sealed-segments-vs-full-rebuild oracle. The live backend is the
+  // router's node stores, which take the configured segment size.
+  backend::ElasticStoreOptions oracle_options = store_options;
+  if (options.cluster_nodes > 0) oracle_options.segment_docs = 0;
+  backend::ElasticStore store(oracle_options);
 
   const bool cluster_mode = options.cluster_nodes > 0;
   std::unique_ptr<cluster::ClusterRouter> router;

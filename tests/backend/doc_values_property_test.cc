@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "backend/doc_values.h"
+#include "backend/segments.h"
 #include "common/json.h"
 #include "common/random.h"
 
@@ -150,6 +151,98 @@ TEST(DocValuesPropertyTest, EveryPermutationOfASmallSetAgrees) {
     ColumnSet columns = Build(values, &rng);
     CheckAgainstOracle(columns, values, 0);
   } while (std::next_permutation(values.begin(), values.end()));
+}
+
+// Sealed-segment rank stability: once a segment seals, its dictionary rank
+// tables are final. Later refreshes build new tails through
+// StagedSegmentBuild and may introduce strings that would re-rank a shared
+// dictionary — sealed blocks must keep both their identity (adopted by
+// pointer, never cloned) and their exact rank tables, while every segment's
+// tables independently match the sorted oracle over just its own rows.
+// This is the property that lets compiled prefix/term queries and cached
+// bitmaps survive refreshes untouched.
+TEST(DocValuesPropertyTest, SealedSegmentRanksSurviveLaterRefreshes) {
+  const std::vector<std::string> pool = Pool();
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Random rng(seed);
+    const std::size_t segment_docs = 4 + rng.Uniform(8);
+    SegmentedColumns segments(segment_docs, FilterBitmapCache::kDefaultEntries);
+    // Rows actually appended, per segment index (the per-segment oracle).
+    std::vector<std::vector<std::string>> rows_by_segment;
+    // Snapshots taken the moment a segment sealed.
+    struct SealedSnapshot {
+      const ColumnSegment* identity;
+      std::vector<std::string> dict;
+      std::vector<std::uint32_t> sorted_rank;
+      std::vector<std::uint32_t> rank_to_ord;
+    };
+    std::vector<SealedSnapshot> sealed;
+
+    const std::size_t refreshes = 4 + rng.Uniform(5);
+    for (std::size_t r = 0; r < refreshes; ++r) {
+      StagedSegmentBuild build(segments);
+      const std::size_t batch = 1 + rng.Uniform(3 * segment_docs);
+      for (std::size_t i = 0; i < batch; ++i) {
+        build.PrepareRow();
+        Json doc = Json::MakeObject();
+        doc.Set("s", Json(pool[rng.Uniform(pool.size())]));
+        build.tail().AppendDoc(doc);
+        const std::size_t pos = segments.num_rows() + i;
+        const std::size_t seg = pos / segment_docs;
+        if (rows_by_segment.size() <= seg) rows_by_segment.resize(seg + 1);
+        rows_by_segment[seg].push_back(doc.GetString("s"));
+      }
+      build.Finish();
+      build.Commit(&segments);
+
+      // Every previously sealed block: same object, same rank tables.
+      for (const SealedSnapshot& snap : sealed) {
+        const std::size_t idx = static_cast<std::size_t>(
+            snap.identity->base / segment_docs);
+        ASSERT_LT(idx, segments.num_segments()) << "seed " << seed;
+        const ColumnSegment* current = segments.segments()[idx].get();
+        EXPECT_EQ(current, snap.identity)
+            << "seed " << seed << ": sealed segment was cloned or replaced";
+        const DocValueColumn* col = current->columns.Find("s");
+        ASSERT_NE(col, nullptr) << "seed " << seed;
+        EXPECT_EQ(col->dict, snap.dict) << "seed " << seed;
+        EXPECT_EQ(col->sorted_rank, snap.sorted_rank) << "seed " << seed;
+        EXPECT_EQ(col->rank_to_ord, snap.rank_to_ord) << "seed " << seed;
+      }
+      // Record any newly sealed blocks.
+      for (std::size_t idx = sealed.size(); idx < segments.num_segments();
+           ++idx) {
+        const ColumnSegment* segment = segments.segments()[idx].get();
+        if (!segment->sealed) break;
+        const DocValueColumn* col = segment->columns.Find("s");
+        ASSERT_NE(col, nullptr) << "seed " << seed;
+        sealed.push_back({segment, col->dict, col->sorted_rank,
+                          col->rank_to_ord});
+      }
+      // And independently of retention, every segment's rank tables must
+      // match the sorted oracle over exactly its own rows.
+      for (std::size_t idx = 0; idx < segments.num_segments(); ++idx) {
+        const ColumnSegment& segment = *segments.segments()[idx];
+        const DocValueColumn* col = segment.columns.Find("s");
+        ASSERT_NE(col, nullptr) << "seed " << seed;
+        const std::vector<std::string> oracle =
+            SortedUnique(rows_by_segment[idx]);
+        ASSERT_EQ(col->dict.size(), oracle.size())
+            << "seed " << seed << " segment " << idx;
+        for (std::uint32_t ord = 0; ord < col->dict.size(); ++ord) {
+          const auto it =
+              std::lower_bound(oracle.begin(), oracle.end(), col->dict[ord]);
+          EXPECT_EQ(col->sorted_rank[ord],
+                    static_cast<std::uint32_t>(it - oracle.begin()))
+              << "seed " << seed << " segment " << idx;
+          EXPECT_EQ(col->rank_to_ord[col->sorted_rank[ord]], ord)
+              << "seed " << seed << " segment " << idx;
+        }
+      }
+    }
+    EXPECT_GT(sealed.size(), 0u) << "seed " << seed
+                                 << ": no segment ever sealed";
+  }
 }
 
 TEST(DocValuesPropertyTest, SingleAndEmptyDictionariesHaveSaneRanges) {

@@ -10,10 +10,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "backend/store.h"
+#include "tracer/wire.h"
 
 namespace dio::backend {
 namespace {
@@ -181,6 +184,127 @@ TEST(StoreConcurrencyTest, SerialEngineHammer) {
   writer.join();
   reader.join();
   EXPECT_EQ(*store.Count("s", Query::MatchAll()), 200u);
+}
+
+// Off-lock staged-refresh hammer: typed wire ingest with a tiny
+// segment_docs so every few batches cross a seal boundary while readers
+// run. The writer's Phase-1 column build (tail clone + appends) happens
+// with no lock held — TSan must see no race between it and readers walking
+// the live segment list, and sealed-segment bitmap reuse across refreshes
+// must never produce an out-of-bounds count.
+TEST(StoreConcurrencyTest, SegmentedOffLockBuildHammer) {
+  ElasticStoreOptions options;
+  options.shards_per_index = 4;
+  options.query_threads = 2;
+  options.segment_docs = 16;
+  options.filter_cache_entries = 8;  // small: eviction runs concurrently too
+  ElasticStore store(options);
+
+  constexpr int kBatches = 50;
+  constexpr int kBatchSize = 20;
+  constexpr std::size_t kTotalDocs = kBatches * kBatchSize;
+
+  auto wire = [](int docnum) {
+    tracer::WireEvent e;
+    const os::SyscallNr nr = docnum % 3 == 0
+                                 ? os::SyscallNr::kRead
+                                 : (docnum % 3 == 1 ? os::SyscallNr::kWrite
+                                                    : os::SyscallNr::kFsync);
+    e.nr = static_cast<std::uint8_t>(nr);
+    e.phase = 2;
+    e.pid = 99;
+    e.tid = static_cast<std::int32_t>(100 + docnum % 5);
+    e.time_enter = 1000 + docnum;
+    e.time_exit = e.time_enter + 50 + docnum % 7;
+    e.ret = docnum % 16 == 0 ? -5 : docnum % 128;
+    if (docnum % 4 != 0) {
+      const std::string path = "/data/db/sstable-" + std::to_string(docnum % 7);
+      e.path_len = tracer::WireEvent::FillString(e.path, tracer::kWirePathCap,
+                                                 path, &e.path_trunc);
+    }
+    return e;
+  };
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> visible{0};
+
+  std::thread writer([&] {
+    int docnum = 0;
+    for (int b = 0; b < kBatches; ++b) {
+      std::vector<tracer::WireEvent> batch;
+      for (int i = 0; i < kBatchSize; ++i) batch.push_back(wire(docnum++));
+      store.BulkWire("seg", "hammer", std::move(batch));
+      store.Refresh("seg");
+      visible.store(static_cast<std::size_t>(docnum),
+                    std::memory_order_release);
+      if (b % 10 == 9) {
+        // Rewrites rows inside sealed blocks while readers hold their
+        // cached bitmaps; only the touched segments may drop caches.
+        auto updated = store.UpdateByQuery(
+            "seg", Query::Term("syscall", "fsync"), [](Json& d) {
+              if (d.Has("flagged")) return false;
+              d.Set("flagged", true);
+              return true;
+            });
+        EXPECT_TRUE(updated.ok());
+      }
+    }
+    stop.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      constexpr std::uint64_t kMaxIterations = 20'000;
+      std::uint64_t iterations = 0;
+      while (!stop.load(std::memory_order_acquire) &&
+             iterations < kMaxIterations) {
+        ++iterations;
+        std::this_thread::yield();
+        if (!store.HasIndex("seg")) continue;
+        const std::size_t floor = visible.load(std::memory_order_acquire);
+        auto count = store.Count("seg", Query::MatchAll());
+        if (count.ok()) {
+          EXPECT_GE(*count, floor);
+          EXPECT_LE(*count, kTotalDocs);
+        }
+        if ((iterations + static_cast<std::uint64_t>(r)) % 2 == 0) {
+          // Cached column predicate: hits sealed-segment bitmaps that
+          // survive the concurrent refreshes.
+          auto failed = store.Count(
+              "seg", Query::Range("ret", std::numeric_limits<std::int64_t>::min(),
+                                  -1));
+          if (failed.ok()) EXPECT_LE(*failed, kTotalDocs);
+        } else {
+          SearchRequest request;
+          request.query = Query::Prefix("path", "/data/db/sstable-");
+          request.sort = {{"time_enter", false}};
+          request.size = 30;
+          auto result = store.Search("seg", request);
+          if (result.ok()) {
+            for (std::size_t i = 1; i < result->hits.size(); ++i) {
+              EXPECT_GE(result->hits[i - 1].source.GetInt("time_enter"),
+                        result->hits[i].source.GetInt("time_enter"));
+            }
+          }
+        }
+      }
+    });
+  }
+
+  writer.join();
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(*store.Count("seg", Query::MatchAll()), kTotalDocs);
+  auto stats = store.Stats("seg");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->doc_count, kTotalDocs);
+  // Update-by-query materializes the rows it rewrites (they stop being
+  // typed), so typed_rows is the untouched remainder.
+  EXPECT_GT(stats->typed_rows, 0u);
+  EXPECT_LE(stats->typed_rows, kTotalDocs);
+  EXPECT_GT(stats->sealed_segments, 0u);
+  EXPECT_EQ(stats->refreshes, static_cast<std::uint64_t>(kBatches));
 }
 
 }  // namespace
