@@ -1,0 +1,185 @@
+// Macro-benchmark: trace replay at virtual speed with N-way amplification.
+//
+//   mb_replay [events]            (default 200000; the smoke tier runs 2000)
+//
+// Generates the RocksDB-class corpus stream once, then replays it through
+// ReplayDriver + StoreIngestSink under four configurations:
+//
+//   speed=1    fanout=1  merged    — the recorded cadence (pacing-bound)
+//   speed=10   fanout=1  merged    — compressed replay
+//   speed=1000 fanout=1  merged    — pacing out of the way (ingest-bound)
+//   speed=1    fanout=8  threaded  — N-way load amplification
+//
+// Each row reports events/s plus achieved-vs-requested speedup
+// (virtual_span / wall). The harness then enforces the replay contract on
+// its own output and exits non-zero if any leg fails:
+//   * determinism: the fanout-8 configuration replayed twice produces the
+//     same schedule digest and byte-identical backend digests;
+//   * mode parity: threaded fanout-8 lands the same document set as the
+//     deterministic merged fanout-8;
+//   * amplification: fanout-8 at recorded cadence sustains >= 4x the event
+//     throughput of the fanout-1 replay it amplifies (ISSUE 10 acceptance).
+// Emits BENCH_mb_replay.json.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "backend/store.h"
+#include "bench/harness_util.h"
+#include "common/clock.h"
+#include "trace/corpus.h"
+#include "trace/replay.h"
+
+using namespace dio;
+
+namespace {
+
+constexpr std::size_t kDefaultEvents = 200'000;
+
+struct RowResult {
+  trace::ReplayReport report;
+  std::uint64_t backend_digest = 0;
+  double events_per_sec = 0.0;
+};
+
+RowResult RunRow(const std::vector<tracer::WireEvent>& events,
+                 const std::string& index, double speed, int fanout,
+                 bool threaded) {
+  backend::ElasticStore store(2);
+  trace::StoreIngestSink sink(&store, index);
+  trace::ReplayOptions options;
+  options.speed = speed;
+  options.fanout = fanout;
+  options.threaded = threaded;
+  options.seed = 42;
+  auto report = trace::ReplayDriver(options, &sink).Replay(events);
+  if (!report.ok()) {
+    std::fprintf(stderr, "mb_replay: replay failed: %s\n",
+                 std::string(report.status().message()).c_str());
+    std::exit(1);
+  }
+  auto digest = trace::BackendQueryDigest(store, index);
+  if (!digest.ok()) {
+    std::fprintf(stderr, "mb_replay: digest failed: %s\n",
+                 std::string(digest.status().message()).c_str());
+    std::exit(1);
+  }
+  RowResult row;
+  row.report = *report;
+  row.backend_digest = *digest;
+  row.events_per_sec = report->wall_elapsed > 0
+                           ? static_cast<double>(report->events_injected) *
+                                 1e9 /
+                                 static_cast<double>(report->wall_elapsed)
+                           : 0.0;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t num_events = kDefaultEvents;
+  if (argc > 1) num_events = static_cast<std::size_t>(std::atoll(argv[1]));
+
+  const std::vector<tracer::WireEvent> events =
+      trace::GenerateCorpusEvents(trace::CorpusClass::kRocksDb, num_events,
+                                  42);
+  std::printf("mb_replay: %zu recorded events (rocksdb corpus)\n",
+              events.size());
+
+  struct Config {
+    const char* label;
+    double speed;
+    int fanout;
+    bool threaded;
+  };
+  const Config configs[] = {
+      {"1x", 1.0, 1, false},
+      {"10x", 10.0, 1, false},
+      {"1000x", 1000.0, 1, false},
+      {"fanout8", 1.0, 8, true},
+  };
+
+  bench::BenchReport bench_report("mb_replay");
+  bench_report.SetConfig("events", Json(static_cast<std::int64_t>(
+                                       events.size())));
+  bench_report.SetConfig("corpus", Json("rocksdb"));
+
+  std::printf("%-8s %-6s %-7s %-9s %-10s %-12s %-12s %s\n", "config",
+              "speed", "fanout", "injected", "wall_ms", "events/s",
+              "achieved_x", "digest");
+  std::vector<RowResult> rows;
+  for (const Config& config : configs) {
+    RowResult row = RunRow(events, std::string("replay-") + config.label,
+                           config.speed, config.fanout, config.threaded);
+    std::printf("%-8s %-6.0f %-7d %-9llu %-10.2f %-12.0f %-12.1f %016llx\n",
+                config.label, config.speed, config.fanout,
+                static_cast<unsigned long long>(row.report.events_injected),
+                static_cast<double>(row.report.wall_elapsed) / 1e6,
+                row.events_per_sec, row.report.achieved_speed,
+                static_cast<unsigned long long>(row.backend_digest));
+    Json json_row = Json::MakeObject();
+    json_row.Set("config", config.label);
+    json_row.Set("speed", config.speed);
+    json_row.Set("fanout", static_cast<std::int64_t>(config.fanout));
+    json_row.Set("threaded", config.threaded);
+    json_row.Set("events_injected",
+                 static_cast<std::int64_t>(row.report.events_injected));
+    json_row.Set("wall_ms",
+                 static_cast<double>(row.report.wall_elapsed) / 1e6);
+    json_row.Set("events_per_sec", row.events_per_sec);
+    json_row.Set("requested_speed", row.report.requested_speed);
+    json_row.Set("achieved_speed", row.report.achieved_speed);
+    bench_report.AddRow(std::move(json_row));
+    rows.push_back(std::move(row));
+  }
+  bench_report.Write();
+
+  // Self-checks: the contract the numbers above are only meaningful under.
+  int failures = 0;
+  const auto check = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      ++failures;
+      std::fprintf(stderr, "mb_replay: FAIL: %s\n", what);
+    }
+  };
+
+  // Determinism: same trace + same seed + same fanout, replayed twice.
+  const RowResult again = RunRow(events, "replay-fanout8-again", 1.0, 8,
+                                 /*threaded=*/true);
+  check(again.backend_digest == rows[3].backend_digest,
+        "fanout-8 backend digest not reproducible");
+  // Mode parity: the deterministic merged runner lands the same set.
+  const RowResult merged = RunRow(events, "replay-fanout8-merged", 1000.0, 8,
+                                  /*threaded=*/false);
+  check(merged.backend_digest == rows[3].backend_digest,
+        "threaded and merged fanout-8 digests differ");
+  check(merged.report.events_injected == rows[3].report.events_injected,
+        "threaded and merged fanout-8 injected counts differ");
+  const RowResult merged_again =
+      RunRow(events, "replay-fanout8-merged-again", 1000.0, 8,
+             /*threaded=*/false);
+  check(merged_again.report.schedule_digest ==
+            merged.report.schedule_digest,
+        "merged fanout-8 schedule digest not reproducible");
+
+  // Amplification: fanout-8 must sustain >= 4x the fanout-1 throughput at
+  // the same (recorded) cadence.
+  const double amplification =
+      rows[0].events_per_sec > 0
+          ? rows[3].events_per_sec / rows[0].events_per_sec
+          : 0.0;
+  std::printf("amplification: fanout-8 sustains %.1fx the 1x replay "
+              "throughput (need >= 4x)\n",
+              amplification);
+  check(amplification >= 4.0, "fanout-8 amplification below 4x");
+
+  if (failures > 0) {
+    std::fprintf(stderr, "mb_replay: %d self-check(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("mb_replay: all self-checks passed\n");
+  return 0;
+}

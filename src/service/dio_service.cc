@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "trace/writer.h"
+
 namespace dio::service {
 
 Json SessionInfo::ToJson() const {
@@ -79,8 +81,15 @@ Expected<SessionInfo> DioService::StartSession(
   const std::string index = options.session_name;
   auto make_sink = [this, &index, &client_options](
                        const std::string& sink_name,
-                       const transport::PipelineOptions&)
+                       const transport::PipelineOptions& popts)
       -> Expected<std::unique_ptr<transport::Transport>> {
+    // "trace" terminal: the binary record tap (transport.trace_path). Listed
+    // alongside "bulk" it tees the session into a replayable trace file.
+    if (sink_name == "trace") {
+      auto sink = trace::TraceRecordSink::Open(popts.trace_path);
+      if (!sink.ok()) return sink.status();
+      return std::unique_ptr<transport::Transport>(std::move(*sink));
+    }
     if (sink_name != "bulk") {
       return InvalidArgument("dio service: unknown sink: " + sink_name);
     }

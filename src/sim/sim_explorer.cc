@@ -2,8 +2,13 @@
 //
 //   sim_explorer [--seeds=N] [--seed=X] [--ops=N] [--fault-plan=SPEC]
 //                [--spool-dir=DIR] [--trace] [--json-ingest]
-//                [--segment-docs=N]
+//                [--segment-docs=N] [--replay-trace=FILE]
 //                [--cluster=N] [--replicas=R] [--ack=LEVEL]
+//
+// --replay-trace=FILE replaces the seeded random workload with a recorded
+// binary trace (see `dio-replay record`): every task replays FILE through
+// a trace::SyscallIssuer into its own directory, and --ops is ignored.
+// (--trace, by contrast, keeps the scheduler's step trace in memory.)
 //
 // --json-ingest sweeps the same seeds over the JSON-oracle ingest route
 // (backend.typed_ingest=false) instead of the default typed wire->column
@@ -77,6 +82,7 @@ int main(int argc, char** argv) {
   std::size_t ops = 120;
   std::string fault_spec;
   std::string spool_dir;
+  std::string replay_trace;
   bool keep_trace = false;
   bool json_ingest = false;
   std::size_t segment_docs = dio::sim::SimOptions{}.segment_docs;
@@ -97,6 +103,8 @@ int main(int argc, char** argv) {
       fault_spec = std::string(value);
     } else if (ParseFlag(arg, "--spool-dir", &value)) {
       spool_dir = std::string(value);
+    } else if (ParseFlag(arg, "--replay-trace", &value)) {
+      replay_trace = std::string(value);
     } else if (ParseFlag(arg, "--cluster", &value)) {
       cluster_nodes = static_cast<std::size_t>(ParseCount(value, "--cluster"));
     } else if (ParseFlag(arg, "--replicas", &value)) {
@@ -158,6 +166,7 @@ int main(int argc, char** argv) {
     dio::sim::SimOptions options;
     options.seed = seed;
     options.ops_per_task = ops;
+    options.trace_path = replay_trace;
     options.fault_spec = fault_spec;
     options.spool_dir = spool_dir;
     options.keep_trace = keep_trace;

@@ -18,6 +18,8 @@
 #include "service/replay.h"
 #include "sim/scheduler.h"
 #include "sim/invariants.h"
+#include "trace/reader.h"
+#include "trace/replay.h"
 #include "tracer/tracer.h"
 #include "transport/fan_out_sink.h"
 #include "transport/queue_transport.h"
@@ -136,6 +138,10 @@ struct WorkloadTask {
   std::size_t op_index = 0;
   std::string dir;
   std::vector<std::pair<os::Fd, std::string>> open_fds;
+  // Trace mode only: re-issues the recorded stream for this task. Each
+  // issuer consumes an identical event sequence, so its fd map — and
+  // therefore which records it executes — is schedule-independent.
+  std::unique_ptr<trace::SyscallIssuer> issuer;
 };
 
 // Everything a single run (golden or faulty) produced, for the invariant
@@ -333,6 +339,36 @@ Expected<RunData> RunOnce(const SimOptions& options, const FaultPlan& plan,
                           bool golden, const std::string& label) {
   RunData data;
   data.total_ops = options.num_tasks * options.ops_per_task;
+
+  // Trace mode: decode the recorded stream once and index every distinct
+  // recorded path (path and path2, first-use order). Each task replays the
+  // same stream into its own directory — recorded path p becomes
+  // <task.dir>/p<id> — and all of those files are pre-created below, so
+  // replayed opens allocate no inodes mid-run. Skipped records (namespace
+  // ops, unmappable fds) still advance the task's op index, which is why
+  // total_ops is the issuable count, not the record count.
+  const bool trace_mode = !options.trace_path.empty();
+  std::vector<tracer::WireEvent> trace_events;
+  std::map<std::string, std::size_t> trace_path_ids;
+  if (trace_mode) {
+    auto decoded = trace::ReadTraceFile(options.trace_path);
+    if (!decoded.ok()) return decoded.status();
+    trace_events = std::move(*decoded);
+    for (const tracer::WireEvent& event : trace_events) {
+      for (std::string path : {std::string(event.path, event.path_len),
+                               std::string(event.path2, event.path2_len)}) {
+        if (!path.empty()) {
+          trace_path_ids.emplace(std::move(path), trace_path_ids.size());
+        }
+      }
+    }
+    data.total_ops =
+        options.num_tasks *
+        trace::CountIssuableEvents(trace_events, /*skip_namespace_ops=*/true);
+  }
+  const std::size_t ops_limit =
+      trace_mode ? trace_events.size() : options.ops_per_task;
+
   const std::string session = "sim-run";
   data.art.session = session;
   data.art.spool_path = options.spool_dir + "/seed-" +
@@ -459,15 +495,36 @@ Expected<RunData> RunOnce(const SimOptions& options, const FaultPlan& plan,
     task.rng = Random(options.seed * 1000003ULL + t);
     os::ScopedTask bound(kernel, task.pid, task.tid);
     kernel.sys_mkdir(task.dir, 0755);
-    for (int i = 0; i < 6; ++i) {
-      const std::int64_t fd = kernel.sys_creat(
-          task.dir + "/f" + std::to_string(i), 0644);
-      if (fd >= 0) kernel.sys_close(static_cast<os::Fd>(fd));
-    }
-    for (int i = 0; i < 4; ++i) {
-      const std::int64_t fd = kernel.sys_creat(
-          task.dir + "/c" + std::to_string(i), 0644);
-      if (fd >= 0) kernel.sys_close(static_cast<os::Fd>(fd));
+    if (trace_mode) {
+      // One flat file per distinct recorded path; the id order is the
+      // stream's first-use order, so pre-creation order — and therefore
+      // inode numbering — is a pure function of the trace.
+      for (std::size_t p = 0; p < trace_path_ids.size(); ++p) {
+        const std::int64_t fd = kernel.sys_creat(
+            task.dir + "/p" + std::to_string(p), 0644);
+        if (fd >= 0) kernel.sys_close(static_cast<os::Fd>(fd));
+      }
+      const std::string dir = task.dir;
+      const auto* path_ids = &trace_path_ids;
+      task.issuer = std::make_unique<trace::SyscallIssuer>(
+          &kernel,
+          [dir, path_ids](const std::string& recorded) {
+            auto it = path_ids->find(recorded);
+            const std::size_t id = it == path_ids->end() ? 0 : it->second;
+            return dir + "/p" + std::to_string(id);
+          },
+          /*bind_tasks=*/false, /*skip_namespace_ops=*/true);
+    } else {
+      for (int i = 0; i < 6; ++i) {
+        const std::int64_t fd = kernel.sys_creat(
+            task.dir + "/f" + std::to_string(i), 0644);
+        if (fd >= 0) kernel.sys_close(static_cast<os::Fd>(fd));
+      }
+      for (int i = 0; i < 4; ++i) {
+        const std::int64_t fd = kernel.sys_creat(
+            task.dir + "/c" + std::to_string(i), 0644);
+        if (fd >= 0) kernel.sys_close(static_cast<os::Fd>(fd));
+      }
     }
   }
   if (Status started = tracer.Start(); !started.ok()) return started;
@@ -480,7 +537,18 @@ Expected<RunData> RunOnce(const SimOptions& options, const FaultPlan& plan,
   bool lag_healed = false;
 
   const auto issue_op = [&](WorkloadTask& task) {
-    DoOneOp(kernel, workload_clock, task);
+    if (trace_mode) {
+      // Same pinned-clock layout as DoOneOp; skipped records advance the
+      // clock too, so timestamps never depend on which records execute.
+      workload_clock.SetNanos(
+          kTimeBase + static_cast<Nanos>(task.index) * kTaskTimeStride +
+          static_cast<Nanos>(task.op_index) * kOpTimeDelta);
+      os::ScopedTask bound(kernel, task.pid, task.tid);
+      task.issuer->Issue(trace_events[task.op_index]);
+      ++task.op_index;
+    } else {
+      DoOneOp(kernel, workload_clock, task);
+    }
     ++global_ops;
     if (plan.Has(kFaultCrashRestart) && !crashed &&
         global_ops >= plan.crash_at_op) {
@@ -540,7 +608,7 @@ Expected<RunData> RunOnce(const SimOptions& options, const FaultPlan& plan,
   for (std::size_t t = 0; t < options.num_tasks; ++t) {
     scheduler.AddActor("workload-" + std::to_string(t), [&, t] {
       WorkloadTask& task = tasks[t];
-      if (task.op_index >= options.ops_per_task) {
+      if (task.op_index >= ops_limit) {
         --workloads_alive;
         return StepResult::kDone;
       }
@@ -549,8 +617,7 @@ Expected<RunData> RunOnce(const SimOptions& options, const FaultPlan& plan,
           global_ops % plan.overflow_every_ops == 0) {
         burst = plan.overflow_burst_ops;
       }
-      for (std::size_t i = 0;
-           i < burst && task.op_index < options.ops_per_task; ++i) {
+      for (std::size_t i = 0; i < burst && task.op_index < ops_limit; ++i) {
         issue_op(task);
       }
       return StepResult::kWorked;
@@ -770,7 +837,19 @@ std::string SimResult::ReproLine(std::uint64_t seed) const {
 }
 
 Expected<SimResult> RunSimulation(const SimOptions& options) {
-  const std::size_t total_ops = options.num_tasks * options.ops_per_task;
+  std::size_t total_ops = options.num_tasks * options.ops_per_task;
+  if (!options.trace_path.empty()) {
+    // Trace-replay workload: the op-accounting invariants (and the fault
+    // plan's op-count scaling) key off how many recorded events each task
+    // will actually re-issue, which CountIssuableEvents predicts statically
+    // — valid because RunOnce pre-creates every recorded path, so replayed
+    // opens always succeed.
+    auto decoded = trace::ReadTraceFile(options.trace_path);
+    if (!decoded.ok()) return decoded.status();
+    total_ops =
+        options.num_tasks *
+        trace::CountIssuableEvents(*decoded, /*skip_namespace_ops=*/true);
+  }
   const bool cluster_mode = options.cluster_nodes > 0;
   FaultPlan plan;
   if (options.fault_spec.empty()) {

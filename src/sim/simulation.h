@@ -43,6 +43,15 @@ struct SimOptions {
   // directory (so documents do not depend on cross-task interleaving).
   std::size_t num_tasks = 2;
   std::size_t ops_per_task = 120;
+  // Recorded-trace workload: when set, every task replays this binary trace
+  // (see trace/reader.h) through a trace::SyscallIssuer instead of running
+  // the seeded random op generator — `ops_per_task` is ignored. Recorded
+  // paths are rewritten into the task's directory and pre-created before
+  // tracing starts, and namespace ops are skipped, so the inode-allocation
+  // determinism contract (every inode allocated before tracer.Start())
+  // holds exactly as in random mode and all golden-parity invariants apply
+  // unchanged to replayed workloads.
+  std::string trace_path;
   // Fault plan override; empty = FaultPlan::FromSeed(seed).
   std::string fault_spec;
   // Directory for the runs' NDJSON spool files (created by the caller).

@@ -1,0 +1,336 @@
+#include "trace/corpus.h"
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "oskernel/syscall_nr.h"
+#include "oskernel/types.h"
+#include "trace/writer.h"
+#include "tracer/event.h"
+
+namespace dio::trace {
+
+namespace {
+
+// Builds one class's stream: owns the virtual clock, the fd allocator, and
+// the per-class identity (pid/comm), so the class generators below read as
+// the workload they imitate.
+class StreamBuilder {
+ public:
+  StreamBuilder(std::size_t ops, std::uint64_t seed, std::int32_t pid,
+                std::string_view comm)
+      : ops_(ops), rng_(seed), pid_(pid), comm_(comm) {}
+
+  [[nodiscard]] bool Full() const { return events_.size() >= ops_; }
+  std::vector<tracer::WireEvent>&& Take() { return std::move(events_); }
+
+  std::int32_t NextFd() { return next_fd_++; }
+
+  // Emits one completed syscall record and advances the clock by a seeded
+  // gap (20-28us, ~40k syscalls/s), so the stream has a realistic,
+  // deterministic cadence: hot enough to stress replay pacing, with enough
+  // inter-arrival headroom that an N-way amplified replay is pacing-bound
+  // rather than backend-ingest-bound.
+  tracer::WireEvent& Emit(os::SyscallNr nr, std::int64_t ret) {
+    tracer::WireEvent e{};
+    e.nr = static_cast<std::uint8_t>(nr);
+    e.phase = static_cast<std::uint8_t>(tracer::EventPhase::kFull);
+    e.pid = pid_;
+    e.tid = pid_;
+    e.cpu = static_cast<std::int32_t>(events_.size() % 4);
+    e.time_enter = now_;
+    e.time_exit = now_ + 500 + static_cast<Nanos>(rng_.Uniform(500));
+    e.ret = ret;
+    e.comm_len = tracer::WireEvent::FillString(
+        e.comm, tracer::kWireCommCap, comm_, &e.comm_trunc);
+    e.proc_name_len = tracer::WireEvent::FillString(
+        e.proc_name, tracer::kWireCommCap, comm_, &e.proc_name_trunc);
+    now_ +=
+        20 * kMicrosecond + static_cast<Nanos>(rng_.Uniform(8 * kMicrosecond));
+    events_.push_back(e);
+    return events_.back();
+  }
+
+  void SetPath(tracer::WireEvent& e, std::string_view path) {
+    e.path_len = tracer::WireEvent::FillString(e.path, tracer::kWirePathCap,
+                                               path, &e.path_trunc);
+  }
+  void SetPath2(tracer::WireEvent& e, std::string_view path) {
+    e.path2_len = tracer::WireEvent::FillString(
+        e.path2, tracer::kWirePathCap, path, &e.path2_trunc);
+  }
+
+  void Mkdir(const std::string& path) {
+    auto& e = Emit(os::SyscallNr::kMkdir, 0);
+    e.mode = 0755;
+    SetPath(e, path);
+  }
+
+  // Open with O_CREAT; records the fd as ret and tags the file identity so
+  // correlation-dependent consumers see a complete record.
+  std::int32_t OpenCreate(const std::string& path, std::uint32_t extra_flags) {
+    const std::int32_t fd = NextFd();
+    auto& e = Emit(os::SyscallNr::kOpenat, fd);
+    e.flags = os::openflag::kReadWrite | os::openflag::kCreate | extra_flags;
+    e.mode = 0644;
+    e.tag_valid = 1;
+    e.tag_dev = 1;
+    e.tag_ino = static_cast<std::uint64_t>(fd) + 1000;
+    e.tag_ts = e.time_enter;
+    e.file_type = static_cast<std::uint8_t>(os::FileType::kRegular);
+    SetPath(e, path);
+    return fd;
+  }
+
+  std::int32_t OpenRead(const std::string& path) {
+    const std::int32_t fd = NextFd();
+    auto& e = Emit(os::SyscallNr::kOpenat, fd);
+    e.flags = os::openflag::kReadOnly;
+    e.tag_valid = 1;
+    e.tag_dev = 1;
+    e.tag_ino = static_cast<std::uint64_t>(fd) + 1000;
+    e.tag_ts = e.time_enter;
+    e.file_type = static_cast<std::uint8_t>(os::FileType::kRegular);
+    SetPath(e, path);
+    return fd;
+  }
+
+  void Write(std::int32_t fd, std::uint64_t count, std::int64_t offset) {
+    auto& e = Emit(os::SyscallNr::kWrite, static_cast<std::int64_t>(count));
+    e.fd = fd;
+    e.count = count;
+    e.file_offset = offset;
+  }
+
+  void Pwrite(std::int32_t fd, std::uint64_t count, std::int64_t offset) {
+    auto& e = Emit(os::SyscallNr::kPwrite64, static_cast<std::int64_t>(count));
+    e.fd = fd;
+    e.count = count;
+    e.arg_offset = offset;
+    e.file_offset = offset;
+  }
+
+  // ret 0 models reads at EOF (the tail-follow idle poll).
+  void Read(std::int32_t fd, std::uint64_t count, std::int64_t offset,
+            std::int64_t ret) {
+    auto& e = Emit(os::SyscallNr::kRead, ret);
+    e.fd = fd;
+    e.count = count;
+    e.file_offset = offset;
+  }
+
+  void Pread(std::int32_t fd, std::uint64_t count, std::int64_t offset) {
+    auto& e = Emit(os::SyscallNr::kPread64, static_cast<std::int64_t>(count));
+    e.fd = fd;
+    e.count = count;
+    e.arg_offset = offset;
+    e.file_offset = offset;
+  }
+
+  void Fsync(std::int32_t fd) { Emit(os::SyscallNr::kFsync, 0).fd = fd; }
+  void Fdatasync(std::int32_t fd) {
+    Emit(os::SyscallNr::kFdatasync, 0).fd = fd;
+  }
+  void Close(std::int32_t fd) { Emit(os::SyscallNr::kClose, 0).fd = fd; }
+
+  void Lseek(std::int32_t fd, std::int64_t offset, int whence,
+             std::int64_t ret) {
+    auto& e = Emit(os::SyscallNr::kLseek, ret);
+    e.fd = fd;
+    e.arg_offset = offset;
+    e.whence = whence;
+  }
+
+  void Stat(const std::string& path, std::int64_t ret = 0) {
+    SetPath(Emit(os::SyscallNr::kStat, ret), path);
+  }
+
+  void Rename(const std::string& from, const std::string& to) {
+    auto& e = Emit(os::SyscallNr::kRename, 0);
+    SetPath(e, from);
+    SetPath2(e, to);
+  }
+
+  std::uint64_t Uniform(std::uint64_t bound) { return rng_.Uniform(bound); }
+
+ private:
+  std::size_t ops_;
+  Random rng_;
+  std::int32_t pid_;
+  std::string comm_;
+  Nanos now_ = kSecond;
+  std::int32_t next_fd_ = 3;
+  std::vector<tracer::WireEvent> events_;
+};
+
+// LSM engine: WAL group-commit appends with periodic fsync, memtable flushes
+// into SSTs (sequential writes then rename into place), and point reads.
+std::vector<tracer::WireEvent> GenRocksDb(std::size_t ops,
+                                          std::uint64_t seed) {
+  StreamBuilder b(ops, seed, 1200, "db_bench");
+  b.Mkdir("/data");
+  b.Mkdir("/data/db");
+  int generation = 0;
+  while (!b.Full()) {
+    const std::string wal =
+        "/data/db/wal-" + std::to_string(generation) + ".log";
+    const std::int32_t wal_fd = b.OpenCreate(wal, os::openflag::kAppend);
+    std::int64_t wal_off = 0;
+    for (int i = 0; i < 24 && !b.Full(); ++i) {
+      const std::uint64_t n = 512 + b.Uniform(3584);
+      b.Write(wal_fd, n, wal_off);
+      wal_off += static_cast<std::int64_t>(n);
+      if (i % 8 == 7) b.Fsync(wal_fd);
+    }
+    if (!b.Full()) {
+      const std::string tmp =
+          "/data/db/sst-" + std::to_string(generation) + ".tmp";
+      const std::int32_t sst_fd = b.OpenCreate(tmp, 0);
+      std::int64_t sst_off = 0;
+      for (int i = 0; i < 8 && !b.Full(); ++i) {
+        b.Write(sst_fd, 32768, sst_off);
+        sst_off += 32768;
+      }
+      b.Fsync(sst_fd);
+      b.Close(sst_fd);
+      b.Rename(tmp, "/data/db/sst-" + std::to_string(generation) + ".sst");
+    }
+    const std::int32_t read_fd =
+        b.OpenRead("/data/db/sst-" + std::to_string(generation) + ".sst");
+    for (int i = 0; i < 6 && !b.Full(); ++i) {
+      b.Pread(read_fd, 4096, static_cast<std::int64_t>(b.Uniform(8)) * 4096);
+    }
+    b.Close(read_fd);
+    b.Close(wal_fd);
+    ++generation;
+  }
+  return b.Take();
+}
+
+// Log shipper tailing rotating files: stat poll, open, chunked reads to
+// EOF, position-db pwrite, close — the Fluent-Bit tail-input signature.
+std::vector<tracer::WireEvent> GenFluentBit(std::size_t ops,
+                                            std::uint64_t seed) {
+  StreamBuilder b(ops, seed, 2300, "fluent-bit");
+  b.Mkdir("/data");
+  b.Mkdir("/data/logs");
+  const std::int32_t pos_fd = b.OpenCreate("/data/logs/tail.db", 0);
+  int cycle = 0;
+  while (!b.Full()) {
+    const std::string log =
+        "/data/logs/app-" + std::to_string(cycle % 4) + ".log";
+    b.Stat(log, cycle < 4 ? -2 : 0);  // first pass: file not there yet
+    const std::int32_t fd = b.OpenCreate(log, os::openflag::kAppend);
+    b.Lseek(fd, 0, os::kSeekEnd, 0);
+    std::int64_t off = 0;
+    const int chunks = 3 + static_cast<int>(b.Uniform(5));
+    for (int i = 0; i < chunks && !b.Full(); ++i) {
+      b.Read(fd, 16384, off, 16384);
+      off += 16384;
+    }
+    b.Read(fd, 16384, off, 0);  // EOF probe
+    b.Pwrite(pos_fd, 64, 64 * (cycle % 4));
+    b.Close(fd);
+    ++cycle;
+  }
+  return b.Take();
+}
+
+// Durability-first WAL: tiny appends, each followed by fdatasync, with
+// rotation renames — the worst-case sync-per-record pattern.
+std::vector<tracer::WireEvent> GenWalFsync(std::size_t ops,
+                                           std::uint64_t seed) {
+  StreamBuilder b(ops, seed, 3400, "wal-writer");
+  b.Mkdir("/data");
+  b.Mkdir("/data/wal");
+  int generation = 0;
+  while (!b.Full()) {
+    const std::string wal =
+        "/data/wal/seg-" + std::to_string(generation) + ".wal";
+    const std::int32_t fd = b.OpenCreate(wal, os::openflag::kAppend);
+    std::int64_t off = 0;
+    for (int i = 0; i < 56 && !b.Full(); ++i) {
+      const std::uint64_t n = 128 + b.Uniform(256);
+      b.Write(fd, n, off);
+      off += static_cast<std::int64_t>(n);
+      b.Fdatasync(fd);
+    }
+    b.Close(fd);
+    b.Rename(wal, wal + ".done");
+    ++generation;
+  }
+  return b.Take();
+}
+
+// Append-only segment store: large sequential writes, fsync every 16, roll
+// to a fresh segment when full — the Kafka-style log-segment pattern.
+std::vector<tracer::WireEvent> GenLogSegment(std::size_t ops,
+                                             std::uint64_t seed) {
+  StreamBuilder b(ops, seed, 4500, "segment-store");
+  b.Mkdir("/data");
+  b.Mkdir("/data/segments");
+  int segment = 0;
+  while (!b.Full()) {
+    const std::string path =
+        "/data/segments/" + std::to_string(segment) + ".seg";
+    const std::int32_t fd = b.OpenCreate(path, 0);
+    std::int64_t off = 0;
+    for (int i = 0; i < 48 && !b.Full(); ++i) {
+      b.Write(fd, 8192, off);
+      off += 8192;
+      if (i % 16 == 15) b.Fsync(fd);
+    }
+    b.Fsync(fd);
+    b.Close(fd);
+    ++segment;
+  }
+  return b.Take();
+}
+
+}  // namespace
+
+std::string_view CorpusClassName(CorpusClass cls) {
+  switch (cls) {
+    case CorpusClass::kRocksDb: return "rocksdb";
+    case CorpusClass::kFluentBit: return "fluentbit";
+    case CorpusClass::kWalFsync: return "walfsync";
+    case CorpusClass::kLogSegment: return "logsegment";
+  }
+  return "unknown";
+}
+
+Expected<CorpusClass> CorpusClassFromName(std::string_view name) {
+  for (const CorpusClass cls : kAllCorpusClasses) {
+    if (CorpusClassName(cls) == name) return cls;
+  }
+  return InvalidArgument("unknown corpus class: " + std::string(name) +
+                         " (expected rocksdb|fluentbit|walfsync|logsegment)");
+}
+
+std::vector<tracer::WireEvent> GenerateCorpusEvents(CorpusClass cls,
+                                                    std::size_t ops,
+                                                    std::uint64_t seed) {
+  std::vector<tracer::WireEvent> events;
+  switch (cls) {
+    case CorpusClass::kRocksDb: events = GenRocksDb(ops, seed); break;
+    case CorpusClass::kFluentBit: events = GenFluentBit(ops, seed); break;
+    case CorpusClass::kWalFsync: events = GenWalFsync(ops, seed); break;
+    case CorpusClass::kLogSegment: events = GenLogSegment(ops, seed); break;
+  }
+  // The generators stop at natural pattern boundaries (a trailing close or
+  // rename may overshoot); trim to the exact requested length.
+  if (events.size() > ops) events.resize(ops);
+  return events;
+}
+
+Status WriteCorpusTrace(const std::string& path, CorpusClass cls,
+                        std::size_t ops, std::uint64_t seed) {
+  auto writer = TraceWriter::Open(path);
+  if (!writer.ok()) return writer.status();
+  for (const tracer::WireEvent& event :
+       GenerateCorpusEvents(cls, ops, seed)) {
+    DIO_RETURN_IF_ERROR((*writer)->Append(event));
+  }
+  return (*writer)->Flush();
+}
+
+}  // namespace dio::trace

@@ -1,0 +1,50 @@
+// Golden-trace corpus generator: deterministic synthetic WireEvent streams
+// for four application classes the paper profiles, used to build the
+// committed fixtures under tests/trace/data/ (via `dio-replay record`), to
+// seed mb_replay, and to drive the replay parity tests.
+//
+// Every stream is a pure function of (class, ops, seed): timestamps advance
+// by a seeded jitter, fds/paths/pids are allocated deterministically, and
+// the op mix follows the class's signature I/O pattern. Streams are
+// well-formed for syscall replay too: directories are created first, every
+// fd that is read/written was opened earlier in the stream, and recorded
+// returns are self-consistent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "tracer/wire.h"
+
+namespace dio::trace {
+
+enum class CorpusClass {
+  kRocksDb,     // LSM engine: WAL append+fsync, SST write bursts, compaction
+  kFluentBit,   // log shipper: tail reads, stat polls, position-db pwrites
+  kWalFsync,    // fsync-heavy WAL: small write + fdatasync pairs, rotation
+  kLogSegment,  // segment store: sequential appends, periodic fsync, roll
+};
+
+inline constexpr CorpusClass kAllCorpusClasses[] = {
+    CorpusClass::kRocksDb, CorpusClass::kFluentBit, CorpusClass::kWalFsync,
+    CorpusClass::kLogSegment};
+
+// Names used by the CLI (--class=) and the fixture filenames:
+// "rocksdb", "fluentbit", "walfsync", "logsegment".
+std::string_view CorpusClassName(CorpusClass cls);
+Expected<CorpusClass> CorpusClassFromName(std::string_view name);
+
+// Generates exactly `ops` events.
+std::vector<tracer::WireEvent> GenerateCorpusEvents(CorpusClass cls,
+                                                    std::size_t ops,
+                                                    std::uint64_t seed);
+
+// Records a generated stream to `path` in the binary trace format.
+Status WriteCorpusTrace(const std::string& path, CorpusClass cls,
+                        std::size_t ops, std::uint64_t seed);
+
+}  // namespace dio::trace

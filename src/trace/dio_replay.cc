@@ -1,0 +1,286 @@
+// dio-replay: record/inspect/replay binary syscall traces.
+//
+//   dio-replay record --class=CLASS --out=FILE [--ops=N] [--seed=S]
+//       Generates a golden-corpus trace (rocksdb | fluentbit | walfsync |
+//       logsegment) — the tool that produced the fixtures under
+//       tests/trace/data/.
+//
+//   dio-replay info --in=FILE [--tolerant]
+//       Prints the trace's event/dictionary/byte counts and stream digest.
+//
+//   dio-replay replay --in=FILE [--speed=X] [--fanout=N] [--clone-base=K]
+//                     [--seed=S] [--threaded] [--tolerant]
+//                     [--mode=inject|syscall] [--index=NAME]
+//       inject (default): replays the remapped stream into an in-process
+//       ElasticStore and prints the replay report plus the backend query
+//       digest (the determinism contract's observable).
+//       syscall: re-issues the trace against a fresh os::Kernel per clone
+//       (fd remap + per-clone /data roots) and prints issue stats.
+//
+// Exit status: 0 on success, 1 on replay/trace errors, 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "backend/store.h"
+#include "common/clock.h"
+#include "oskernel/kernel.h"
+#include "trace/corpus.h"
+#include "trace/reader.h"
+#include "trace/replay.h"
+#include "trace/writer.h"
+
+namespace {
+
+bool ParseFlag(std::string_view arg, std::string_view name,
+               std::string_view* value) {
+  if (arg.substr(0, name.size()) != name) return false;
+  arg.remove_prefix(name.size());
+  if (arg.empty() || arg[0] != '=') return false;
+  *value = arg.substr(1);
+  return true;
+}
+
+std::uint64_t ParseCount(std::string_view text, const char* flag) {
+  char* end = nullptr;
+  const std::string owned(text);
+  const std::uint64_t value = std::strtoull(owned.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || owned.empty()) {
+    std::fprintf(stderr, "dio-replay: bad value for %s: '%s'\n", flag,
+                 owned.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
+double ParseDouble(std::string_view text, const char* flag) {
+  char* end = nullptr;
+  const std::string owned(text);
+  const double value = std::strtod(owned.c_str(), &end);
+  if (end == nullptr || *end != '\0' || owned.empty() || value <= 0) {
+    std::fprintf(stderr, "dio-replay: bad value for %s: '%s'\n", flag,
+                 owned.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: dio-replay record --class=CLASS --out=FILE [--ops=N] "
+      "[--seed=S]\n"
+      "       dio-replay info --in=FILE [--tolerant]\n"
+      "       dio-replay replay --in=FILE [--speed=X] [--fanout=N]\n"
+      "                  [--clone-base=K] [--seed=S] [--threaded]\n"
+      "                  [--tolerant] [--mode=inject|syscall] "
+      "[--index=NAME]\n");
+  return 2;
+}
+
+int RunRecord(const std::string& cls_name, const std::string& out,
+              std::size_t ops, std::uint64_t seed) {
+  auto cls = dio::trace::CorpusClassFromName(cls_name);
+  if (!cls.ok()) {
+    std::fprintf(stderr, "dio-replay: %s\n", cls.status().message().c_str());
+    return 2;
+  }
+  if (dio::Status s = dio::trace::WriteCorpusTrace(out, *cls, ops, seed);
+      !s.ok()) {
+    std::fprintf(stderr, "dio-replay: %s\n", s.message().c_str());
+    return 1;
+  }
+  dio::trace::TraceReadStats stats;
+  auto events = dio::trace::ReadTraceFile(out, {}, &stats);
+  if (!events.ok()) {
+    std::fprintf(stderr, "dio-replay: verify failed: %s\n",
+                 events.status().message().c_str());
+    return 1;
+  }
+  std::printf("recorded class=%s ops=%zu seed=%llu -> %s "
+              "(events=%llu dict=%llu bytes=%llu)\n",
+              cls_name.c_str(), ops, static_cast<unsigned long long>(seed),
+              out.c_str(), static_cast<unsigned long long>(stats.events),
+              static_cast<unsigned long long>(stats.dict_entries),
+              static_cast<unsigned long long>(stats.bytes));
+  return 0;
+}
+
+int RunInfo(const std::string& in, bool tolerant) {
+  dio::trace::TraceReadOptions options;
+  options.allow_truncated_tail = tolerant;
+  dio::trace::TraceReadStats stats;
+  auto events = dio::trace::ReadTraceFile(in, options, &stats);
+  if (!events.ok()) {
+    std::fprintf(stderr, "dio-replay: %s\n",
+                 events.status().message().c_str());
+    return 1;
+  }
+  std::uint64_t digest = 14695981039346656037ull;
+  for (const auto& event : *events) {
+    digest = dio::trace::HashWireEvent(digest, event);
+  }
+  std::printf("%s: events=%llu dict=%llu bytes=%llu truncated_tail=%d "
+              "stream_digest=%016llx\n",
+              in.c_str(), static_cast<unsigned long long>(stats.events),
+              static_cast<unsigned long long>(stats.dict_entries),
+              static_cast<unsigned long long>(stats.bytes),
+              stats.truncated_tail() ? 1 : 0,
+              static_cast<unsigned long long>(digest));
+  return 0;
+}
+
+int RunReplayInject(const std::string& in,
+                    const dio::trace::ReplayOptions& options,
+                    const std::string& index) {
+  dio::backend::ElasticStore store;
+  dio::trace::StoreIngestSink sink(&store, index);
+  dio::trace::ReplayDriver driver(options, &sink);
+  auto report = driver.ReplayFile(in);
+  if (!report.ok()) {
+    std::fprintf(stderr, "dio-replay: %s\n",
+                 report.status().message().c_str());
+    return 1;
+  }
+  auto digest = dio::trace::BackendQueryDigest(store, index);
+  if (!digest.ok()) {
+    std::fprintf(stderr, "dio-replay: %s\n",
+                 digest.status().message().c_str());
+    return 1;
+  }
+  std::printf(
+      "replayed %s: events=%llu injected=%llu clones=%d batches=%llu\n"
+      "  speed requested=%.1fx achieved=%.1fx virtual_span=%lldns "
+      "wall=%lldns\n"
+      "  schedule_digest=%016llx backend_digest=%016llx "
+      "truncated_tail=%d\n",
+      in.c_str(), static_cast<unsigned long long>(report->events_read),
+      static_cast<unsigned long long>(report->events_injected),
+      report->clones, static_cast<unsigned long long>(report->batches),
+      report->requested_speed, report->achieved_speed,
+      static_cast<long long>(report->virtual_span),
+      static_cast<long long>(report->wall_elapsed),
+      static_cast<unsigned long long>(report->schedule_digest),
+      static_cast<unsigned long long>(*digest),
+      report->truncated_tail ? 1 : 0);
+  return 0;
+}
+
+int RunReplaySyscall(const std::string& in,
+                     const dio::trace::ReplayOptions& options) {
+  dio::trace::TraceReadOptions read_options;
+  read_options.allow_truncated_tail = options.allow_truncated_tail;
+  auto events = dio::trace::ReadTraceFile(in, read_options);
+  if (!events.ok()) {
+    std::fprintf(stderr, "dio-replay: %s\n",
+                 events.status().message().c_str());
+    return 1;
+  }
+  dio::trace::IssueStats total;
+  for (int i = 0; i < options.fanout; ++i) {
+    const int clone = options.clone_base + i;
+    dio::os::Kernel kernel;
+    auto device = kernel.MountDevice("/data", 7340032, [] {
+      dio::os::BlockDeviceOptions device_options;
+      device_options.real_sleep = false;
+      return device_options;
+    }());
+    if (!device.ok()) {
+      std::fprintf(stderr, "dio-replay: %s\n",
+                   device.status().message().c_str());
+      return 1;
+    }
+    dio::trace::SyscallIssuer issuer(&kernel);
+    for (const auto& event : *events) {
+      auto copy = event;
+      dio::trace::RemapForClone(
+          &copy, clone, dio::trace::CloneTimeOffset(options.seed, clone));
+      issuer.Issue(copy);
+    }
+    total.issued += issuer.stats().issued;
+    total.skipped += issuer.stats().skipped;
+    total.ret_matches += issuer.stats().ret_matches;
+    total.ret_mismatches += issuer.stats().ret_mismatches;
+  }
+  std::printf("re-issued %s: clones=%d issued=%llu skipped=%llu "
+              "ret_match=%llu ret_mismatch=%llu\n",
+              in.c_str(), options.fanout,
+              static_cast<unsigned long long>(total.issued),
+              static_cast<unsigned long long>(total.skipped),
+              static_cast<unsigned long long>(total.ret_matches),
+              static_cast<unsigned long long>(total.ret_mismatches));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string_view command = argv[1];
+
+  std::string cls_name;
+  std::string in;
+  std::string out;
+  std::string mode = "inject";
+  std::string index = "dio-replay";
+  std::size_t ops = 2000;
+  bool tolerant = false;
+  dio::trace::ReplayOptions options;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string_view value;
+    if (ParseFlag(arg, "--class", &value)) {
+      cls_name = std::string(value);
+    } else if (ParseFlag(arg, "--in", &value)) {
+      in = std::string(value);
+    } else if (ParseFlag(arg, "--out", &value)) {
+      out = std::string(value);
+    } else if (ParseFlag(arg, "--ops", &value)) {
+      ops = static_cast<std::size_t>(ParseCount(value, "--ops"));
+    } else if (ParseFlag(arg, "--seed", &value)) {
+      options.seed = ParseCount(value, "--seed");
+    } else if (ParseFlag(arg, "--speed", &value)) {
+      options.speed = ParseDouble(value, "--speed");
+    } else if (ParseFlag(arg, "--fanout", &value)) {
+      options.fanout = static_cast<int>(ParseCount(value, "--fanout"));
+    } else if (ParseFlag(arg, "--clone-base", &value)) {
+      options.clone_base =
+          static_cast<int>(ParseCount(value, "--clone-base"));
+    } else if (ParseFlag(arg, "--mode", &value)) {
+      mode = std::string(value);
+    } else if (ParseFlag(arg, "--index", &value)) {
+      index = std::string(value);
+    } else if (arg == "--threaded") {
+      options.threaded = true;
+    } else if (arg == "--tolerant") {
+      tolerant = true;
+    } else {
+      std::fprintf(stderr, "dio-replay: unknown argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  options.allow_truncated_tail = tolerant;
+
+  if (command == "record") {
+    if (cls_name.empty() || out.empty()) return Usage();
+    return RunRecord(cls_name, out, ops, options.seed);
+  }
+  if (command == "info") {
+    if (in.empty()) return Usage();
+    return RunInfo(in, tolerant);
+  }
+  if (command == "replay") {
+    if (in.empty()) return Usage();
+    if (dio::Status s = options.Validate(); !s.ok()) {
+      std::fprintf(stderr, "dio-replay: %s\n", s.message().c_str());
+      return 2;
+    }
+    if (mode == "inject") return RunReplayInject(in, options, index);
+    if (mode == "syscall") return RunReplaySyscall(in, options);
+    std::fprintf(stderr, "dio-replay: unknown mode '%s'\n", mode.c_str());
+    return 2;
+  }
+  return Usage();
+}

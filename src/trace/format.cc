@@ -1,0 +1,42 @@
+#include "trace/format.h"
+
+#include <array>
+
+namespace dio::trace {
+
+namespace {
+
+std::array<std::uint32_t, 256> MakeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> kTable = MakeCrcTable();
+  std::uint32_t crc = ~seed;
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::string EncodeTraceHeader() {
+  std::string header(kTraceMagic, sizeof(kTraceMagic));
+  PutU32(&header, kTraceVersion);
+  PutU32(&header, 0);  // flags
+  PutU32(&header, 0);  // reserved
+  PutU32(&header, Crc32(header.data(), header.size()));
+  return header;
+}
+
+}  // namespace dio::trace

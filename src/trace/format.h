@@ -1,0 +1,131 @@
+// Binary trace file format: the compact, versioned, CRC-framed capture of a
+// tracer WireEvent stream (ROADMAP item 3; DiOS-style record/replay).
+//
+// Layout:
+//
+//   header (24 bytes)
+//     magic[8]   "DIOTRACE"
+//     u32 LE     version (kTraceVersion)
+//     u32 LE     flags (reserved, 0)
+//     u32 LE     reserved (0)
+//     u32 LE     CRC-32 of the preceding 20 bytes
+//   record*
+//     u8         type (TraceRecordType)
+//     u32 LE     payload length
+//     bytes      payload
+//     u32 LE     CRC-32 of [type, length, payload]
+//
+// Record payloads are varint/zigzag packed (LEB128). Dictionary records
+// intern comm/proc_name/path/path2/xattr strings in first-use order (id 0 is
+// the empty string, ids count up from 1), so an event record references
+// strings by id and repeated paths cost two or three bytes. Event records
+// delta-encode time_enter against the previous event record and carry the
+// exit time as a duration, so monotonic nanosecond timestamps shrink to a
+// few bytes. The encoding is fully deterministic: the same event sequence
+// always produces the same bytes, which is what makes the round-trip
+// property (record -> read -> re-record byte-identical) testable.
+//
+// A change to any of this is a trace FORMAT change: bump kTraceVersion and
+// update DESIGN.md "Trace record/replay" alongside.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace dio::trace {
+
+inline constexpr char kTraceMagic[8] = {'D', 'I', 'O', 'T', 'R', 'A', 'C', 'E'};
+inline constexpr std::uint32_t kTraceVersion = 1;
+inline constexpr std::size_t kTraceHeaderBytes = 24;
+// Frame prelude: type byte + u32 payload length.
+inline constexpr std::size_t kFramePreludeBytes = 5;
+// Sanity bound on one record's payload; anything larger is corruption, not
+// a legitimate record (an event packs into well under 1 KiB, a dictionary
+// entry is bounded by the wire-format string caps).
+inline constexpr std::uint32_t kMaxRecordPayload = 1u << 16;
+
+enum class TraceRecordType : std::uint8_t {
+  kDict = 1,   // varint id, then the interned string bytes to payload end
+  kEvent = 2,  // packed WireEvent (see reader/writer)
+};
+
+// CRC-32 (ISO 3309, polynomial 0xEDB88320 reflected) over a byte span —
+// the frame checksum. Plain table-driven software implementation; the
+// framing cost is measured by mb_replay, not assumed.
+std::uint32_t Crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+// ---- varint pack/unpack -----------------------------------------------
+// LEB128 unsigned varints; signed values go through zigzag so small
+// negative deltas stay small. Appenders grow `out`; readers advance `*pos`
+// and return false on overrun (the caller reports corruption).
+
+inline void PutVarint(std::string* out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+inline std::uint64_t ZigZag(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+inline std::int64_t UnZigZag(std::uint64_t value) {
+  return static_cast<std::int64_t>(value >> 1) ^
+         -static_cast<std::int64_t>(value & 1);
+}
+
+inline void PutZigZag(std::string* out, std::int64_t value) {
+  PutVarint(out, ZigZag(value));
+}
+
+inline bool GetVarint(const std::string& buf, std::size_t* pos,
+                      std::uint64_t* out) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (*pos < buf.size() && shift < 64) {
+    const auto byte = static_cast<std::uint8_t>(buf[*pos]);
+    ++*pos;
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = value;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+inline bool GetZigZag(const std::string& buf, std::size_t* pos,
+                      std::int64_t* out) {
+  std::uint64_t raw = 0;
+  if (!GetVarint(buf, pos, &raw)) return false;
+  *out = UnZigZag(raw);
+  return true;
+}
+
+// ---- fixed-width little-endian helpers --------------------------------
+
+inline void PutU32(std::string* out, std::uint32_t value) {
+  out->push_back(static_cast<char>(value & 0xFF));
+  out->push_back(static_cast<char>((value >> 8) & 0xFF));
+  out->push_back(static_cast<char>((value >> 16) & 0xFF));
+  out->push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+inline std::uint32_t ReadU32(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[0])) |
+         static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[3])) << 24;
+}
+
+// The 24-byte header for the current version (flags 0), CRC included.
+std::string EncodeTraceHeader();
+
+}  // namespace dio::trace

@@ -1,0 +1,262 @@
+#include "trace/reader.h"
+
+#include <cstring>
+#include <utility>
+
+namespace dio::trace {
+
+namespace {
+
+// Reads up to `want` bytes; returns the count actually read (short at EOF).
+std::size_t ReadSome(std::ifstream& in, char* dst, std::size_t want) {
+  in.read(dst, static_cast<std::streamsize>(want));
+  return static_cast<std::size_t>(in.gcount());
+}
+
+}  // namespace
+
+Expected<std::unique_ptr<TraceReader>> TraceReader::Open(
+    const std::string& path, TraceReadOptions options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFound("trace file not found: " + path);
+  auto reader =
+      std::unique_ptr<TraceReader>(new TraceReader(std::move(in), options));
+
+  char header[kTraceHeaderBytes];
+  const std::size_t got = ReadSome(reader->in_, header, sizeof(header));
+  reader->stats_.bytes = got;
+  if (got < kTraceHeaderBytes) {
+    // Short (or empty) file: the header itself is the torn record.
+    if (options.allow_truncated_tail) {
+      reader->stats_.torn_tail_records = 1;
+      reader->done_ = true;
+      return reader;
+    }
+    return InvalidArgument("trace header torn at offset 0: " +
+                           std::to_string(got) + " of " +
+                           std::to_string(kTraceHeaderBytes) + " bytes");
+  }
+  if (std::memcmp(header, kTraceMagic, sizeof(kTraceMagic)) != 0) {
+    return InvalidArgument("not a DIO trace file (bad magic at offset 0)");
+  }
+  const std::uint32_t version = ReadU32(header + 8);
+  if (version != kTraceVersion) {
+    return InvalidArgument("unsupported trace version " +
+                           std::to_string(version) + " (expected " +
+                           std::to_string(kTraceVersion) + ")");
+  }
+  const std::uint32_t crc = ReadU32(header + kTraceHeaderBytes - 4);
+  if (crc != Crc32(header, kTraceHeaderBytes - 4)) {
+    return InvalidArgument("trace header crc mismatch at offset 0");
+  }
+  return reader;
+}
+
+TraceReader::TraceReader(std::ifstream in, TraceReadOptions options)
+    : in_(std::move(in)), options_(options) {}
+
+Status TraceReader::CorruptAt(std::uint64_t offset,
+                              const std::string& what) const {
+  return InvalidArgument("trace record " + std::to_string(record_index_) +
+                         " at offset " + std::to_string(offset) + ": " +
+                         what);
+}
+
+Expected<bool> TraceReader::Next(tracer::WireEvent* out) {
+  while (!done_) {
+    const std::uint64_t offset = stats_.bytes;
+    ++record_index_;
+
+    char prelude[kFramePreludeBytes];
+    const std::size_t got_prelude = ReadSome(in_, prelude, sizeof(prelude));
+    if (got_prelude == 0) {
+      // Clean end: EOF exactly on a record boundary.
+      done_ = true;
+      return false;
+    }
+    stats_.bytes += got_prelude;
+    if (got_prelude < kFramePreludeBytes) {
+      if (options_.allow_truncated_tail) {
+        stats_.torn_tail_records = 1;
+        done_ = true;
+        return false;
+      }
+      return CorruptAt(offset, "torn frame prelude (" +
+                                   std::to_string(got_prelude) + " of " +
+                                   std::to_string(kFramePreludeBytes) +
+                                   " bytes)");
+    }
+
+    const auto type = static_cast<std::uint8_t>(prelude[0]);
+    const std::uint32_t payload_len = ReadU32(prelude + 1);
+    if (payload_len > kMaxRecordPayload) {
+      return CorruptAt(offset, "implausible payload length " +
+                                   std::to_string(payload_len));
+    }
+
+    frame_.assign(prelude, kFramePreludeBytes);
+    frame_.resize(kFramePreludeBytes + payload_len + 4);
+    const std::size_t want = payload_len + 4;
+    const std::size_t got_body =
+        ReadSome(in_, frame_.data() + kFramePreludeBytes, want);
+    stats_.bytes += got_body;
+    if (got_body < want) {
+      // EOF mid-record: the torn tail a crash mid-flush leaves behind.
+      if (options_.allow_truncated_tail) {
+        stats_.torn_tail_records = 1;
+        done_ = true;
+        return false;
+      }
+      return CorruptAt(offset,
+                       "torn record body (" + std::to_string(got_body) +
+                           " of " + std::to_string(want) + " bytes)");
+    }
+
+    const std::uint32_t stored_crc =
+        ReadU32(frame_.data() + kFramePreludeBytes + payload_len);
+    const std::uint32_t actual_crc =
+        Crc32(frame_.data(), kFramePreludeBytes + payload_len);
+    if (stored_crc != actual_crc) {
+      return CorruptAt(offset, "crc mismatch");
+    }
+
+    const std::string payload =
+        frame_.substr(kFramePreludeBytes, payload_len);
+    std::size_t pos = 0;
+
+    if (type == static_cast<std::uint8_t>(TraceRecordType::kDict)) {
+      std::uint64_t id = 0;
+      if (!GetVarint(payload, &pos, &id)) {
+        return CorruptAt(offset, "malformed dictionary id");
+      }
+      // Ids are assigned densely in first-use order; anything else means
+      // the file was not produced by this writer.
+      if (id != dict_.size()) {
+        return CorruptAt(offset, "non-sequential dictionary id " +
+                                     std::to_string(id));
+      }
+      dict_.push_back(payload.substr(pos));
+      ++stats_.dict_entries;
+      continue;  // dictionary records are internal; keep scanning
+    }
+
+    if (type != static_cast<std::uint8_t>(TraceRecordType::kEvent)) {
+      return CorruptAt(offset,
+                       "unknown record type " + std::to_string(type));
+    }
+
+    tracer::WireEvent e{};
+    std::uint64_t u = 0;
+    std::int64_t s = 0;
+    const auto get_u = [&](std::uint64_t* dst) {
+      if (!GetVarint(payload, &pos, &u)) return false;
+      *dst = u;
+      return true;
+    };
+    const auto get_s = [&](std::int64_t* dst) {
+      if (!GetZigZag(payload, &pos, &s)) return false;
+      *dst = s;
+      return true;
+    };
+    std::uint64_t nr = 0, phase = 0, flags = 0, mode = 0, file_type = 0;
+    std::int64_t pid = 0, tid = 0, cpu = 0, fd = 0, whence = 0;
+    std::int64_t d_enter = 0, duration = 0;
+    std::uint64_t ids[5] = {0, 0, 0, 0, 0};
+    std::uint64_t tag_valid = 0;
+    bool ok = get_u(&nr) && get_u(&phase) && get_s(&pid) && get_s(&tid) &&
+              get_s(&cpu) && get_s(&d_enter) && get_s(&duration) &&
+              get_s(&e.ret) && get_u(&e.count) && get_s(&e.arg_offset) &&
+              get_s(&e.file_offset) && get_s(&fd) && get_s(&whence) &&
+              get_u(&flags) && get_u(&mode) && get_u(&file_type);
+    for (std::size_t i = 0; ok && i < 5; ++i) ok = get_u(&ids[i]);
+    ok = ok && get_u(&tag_valid);
+    if (ok && tag_valid != 0) {
+      std::int64_t d_tag = 0;
+      ok = get_u(&e.tag_dev) && get_u(&e.tag_ino) && get_s(&d_tag);
+      if (ok) {
+        e.tag_valid = 1;
+        e.tag_ts = prev_time_enter_ + d_enter + d_tag;
+      }
+    }
+    std::uint64_t trunc_bits = 0;
+    std::uint16_t* trunc[5] = {&e.comm_trunc, &e.proc_name_trunc,
+                               &e.path_trunc, &e.path2_trunc, &e.xattr_trunc};
+    ok = ok && get_u(&trunc_bits);
+    for (std::size_t i = 0; ok && i < 5; ++i) {
+      if ((trunc_bits & (1ull << i)) == 0) continue;
+      std::uint64_t value = 0;
+      ok = get_u(&value) && value <= 0xFFFF;
+      if (ok) *trunc[i] = static_cast<std::uint16_t>(value);
+    }
+    if (!ok || pos != payload.size()) {
+      return CorruptAt(offset, "malformed event payload");
+    }
+
+    e.nr = static_cast<std::uint8_t>(nr);
+    e.phase = static_cast<std::uint8_t>(phase);
+    e.pid = static_cast<std::int32_t>(pid);
+    e.tid = static_cast<std::int32_t>(tid);
+    e.cpu = static_cast<std::int32_t>(cpu);
+    e.fd = static_cast<std::int32_t>(fd);
+    e.whence = static_cast<std::int32_t>(whence);
+    e.flags = static_cast<std::uint32_t>(flags);
+    e.mode = static_cast<std::uint32_t>(mode);
+    e.file_type = static_cast<std::uint8_t>(file_type);
+    e.time_enter = prev_time_enter_ + d_enter;
+    e.time_exit = e.time_enter + duration;
+
+    struct StringSlot {
+      char* dst;
+      std::size_t cap;
+      std::uint16_t* len;
+    };
+    const StringSlot slots[5] = {
+        {e.comm, tracer::kWireCommCap, &e.comm_len},
+        {e.proc_name, tracer::kWireCommCap, &e.proc_name_len},
+        {e.path, tracer::kWirePathCap, &e.path_len},
+        {e.path2, tracer::kWirePathCap, &e.path2_len},
+        {e.xattr_name, tracer::kWireXattrCap, &e.xattr_len},
+    };
+    for (std::size_t i = 0; i < 5; ++i) {
+      const std::uint64_t id = ids[i];
+      if (id >= dict_.size()) {
+        return CorruptAt(offset, "dangling dictionary reference " +
+                                     std::to_string(id));
+      }
+      const std::string& str = dict_[id];
+      if (str.size() > slots[i].cap) {
+        return CorruptAt(offset, "interned string exceeds wire capacity");
+      }
+      if (!str.empty()) std::memcpy(slots[i].dst, str.data(), str.size());
+      *slots[i].len = static_cast<std::uint16_t>(str.size());
+    }
+
+    prev_time_enter_ = e.time_enter;
+    ++stats_.events;
+    *out = e;
+    return true;
+  }
+  return false;
+}
+
+Expected<std::vector<tracer::WireEvent>> ReadTraceFile(
+    const std::string& path, TraceReadOptions options,
+    TraceReadStats* stats) {
+  auto reader = TraceReader::Open(path, options);
+  if (!reader.ok()) return reader.status();
+  std::vector<tracer::WireEvent> events;
+  tracer::WireEvent e{};
+  for (;;) {
+    auto more = (*reader)->Next(&e);
+    if (!more.ok()) {
+      if (stats != nullptr) *stats = (*reader)->stats();
+      return more.status();
+    }
+    if (!*more) break;
+    events.push_back(e);
+  }
+  if (stats != nullptr) *stats = (*reader)->stats();
+  return events;
+}
+
+}  // namespace dio::trace

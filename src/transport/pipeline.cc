@@ -13,7 +13,7 @@ Expected<PipelineOptions> PipelineOptions::FromConfig(const Config& config) {
       {"queue_depth", "backpressure", "retry", "retry_max_attempts",
        "retry_initial_backoff_ns", "retry_backoff_multiplier",
        "retry_max_backoff_ns", "retry_jitter", "retry_deadline_ns",
-       "fault_rate", "fault_seed", "sinks", "spool_path",
+       "fault_rate", "fault_seed", "sinks", "spool_path", "trace_path",
        "network_latency_ns", "refresh_every_batches", "auto_correlate"});
 
   PipelineOptions options;
@@ -55,6 +55,8 @@ Expected<PipelineOptions> PipelineOptions::FromConfig(const Config& config) {
   }
   options.spool_path =
       config.GetString("transport.spool_path", options.spool_path);
+  options.trace_path =
+      config.GetString("transport.trace_path", options.trace_path);
   if (options.retry.fault_rate < 0.0 || options.retry.fault_rate > 1.0) {
     return InvalidArgument("transport.fault_rate must be in [0, 1]");
   }

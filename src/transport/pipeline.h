@@ -20,6 +20,7 @@
 //   fault_seed                PRNG seed for fault injection / jitter
 //   sinks                     comma list of terminal sinks (bulk, spool, ...)
 //   spool_path                NDJSON file for the spool sink
+//   trace_path                binary trace file for the "trace" record sink
 //   network_latency_ns        (bulk sink) simulated one-way hop latency
 //   refresh_every_batches     (bulk sink) near-real-time refresh cadence
 //   auto_correlate            (bulk sink) run correlation on flush
@@ -51,6 +52,9 @@ struct PipelineOptions {
   // service maps "bulk" to a backend BulkClient).
   std::vector<std::string> sinks = {"bulk"};
   std::string spool_path;
+  // Output file for the "trace" sink (trace::TraceRecordSink, resolved by
+  // the service's SinkFactory): the binary record/replay tap.
+  std::string trace_path;
 
   // Parses [transport] keys and warns (via logging) on unrecognized ones.
   // Keys consumed by the bulk sink (network_latency_ns, ...) are part of

@@ -1,0 +1,264 @@
+// Replay determinism parity satellite — the contract DESIGN.md states:
+// same trace + same seed + same fanout => byte-identical backend digest,
+// proven three ways:
+//   (a) a live traced run vs its recorded-and-replayed twin,
+//   (b) 1x vs 1000x virtual speed,
+//   (c) a fanout-N replay vs N independent fanout-1 replays merged.
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "backend/store.h"
+#include "common/clock.h"
+#include "test_util.h"
+#include "trace/corpus.h"
+#include "trace/reader.h"
+#include "trace/replay.h"
+#include "trace/writer.h"
+#include "tracer/tracer.h"
+
+namespace dio::trace {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::uint64_t Digest(const backend::ElasticStore& store,
+                     const std::string& index) {
+  auto digest = BackendQueryDigest(store, index);
+  EXPECT_TRUE(digest.ok()) << digest.status().message();
+  return digest.ok() ? *digest : 0;
+}
+
+ReplayReport ReplayInto(const std::string& trace_path,
+                        backend::ElasticStore* store,
+                        const std::string& index, ReplayOptions options) {
+  StoreIngestSink sink(store, index);
+  ReplayDriver driver(options, &sink);
+  auto report = driver.ReplayFile(trace_path);
+  EXPECT_TRUE(report.ok()) << report.status().message();
+  return report.ok() ? *report : ReplayReport{};
+}
+
+// (a) Live vs twin: drive real syscalls through the kernel's tracepoints
+// with a RecordingEventSink tee — the live stream lands in one store while
+// the trace file records it — then replay the file into a second store.
+TEST(ReplayParityTest, LiveRunVersusRecordedReplayTwin) {
+  const std::string trace_path = TempPath("dio-parity-live.trace");
+  backend::ElasticStore live_store(1);
+  {
+    testing::TestEnv env;
+    auto writer = TraceWriter::Open(trace_path);
+    ASSERT_TRUE(writer.ok()) << writer.status().message();
+    StoreIngestSink store_sink(&live_store, "live");
+    RecordingEventSink tee(writer->get(), &store_sink);
+
+    tracer::TracerOptions options;
+    options.session_name = "live";
+    options.batch_size = 8;
+    tracer::DioTracer tracer(&env.kernel, &tee, options);
+    ASSERT_TRUE(tracer.Start().ok());
+    {
+      auto bound = env.Bind();
+      // A workload with every syscall shape the corpus uses.
+      const std::int64_t fd = env.kernel.sys_openat(
+          os::kAtFdCwd, "/data/live.log",
+          os::openflag::kCreate | os::openflag::kReadWrite, 0644);
+      ASSERT_GE(fd, 0);
+      for (int i = 0; i < 40; ++i) {
+        env.kernel.sys_write(static_cast<os::Fd>(fd),
+                             std::string(64 + i, 'x'));
+        if (i % 8 == 0) env.kernel.sys_fsync(static_cast<os::Fd>(fd));
+      }
+      env.kernel.sys_lseek(static_cast<os::Fd>(fd), 0, os::kSeekSet);
+      std::string buf;
+      env.kernel.sys_read(static_cast<os::Fd>(fd), &buf, 256);
+      os::StatBuf st;
+      env.kernel.sys_stat("/data/live.log", &st);
+      env.kernel.sys_close(static_cast<os::Fd>(fd));
+    }
+    tracer.Stop();
+    tee.Flush();
+    ASSERT_GT((*writer)->stats().events, 0u);
+  }
+
+  backend::ElasticStore twin_store(1);
+  ReplayOptions options;
+  options.session = "live";  // same session stamp as the live run
+  ManualClock clock(0);
+  options.clock = &clock;
+  const ReplayReport report =
+      ReplayInto(trace_path, &twin_store, "twin", options);
+  ASSERT_GT(report.events_injected, 0u);
+  EXPECT_EQ(report.events_injected, report.events_read);
+
+  EXPECT_EQ(Digest(live_store, "live"), Digest(twin_store, "twin"));
+  std::remove(trace_path.c_str());
+}
+
+// (b) Virtual speed must not change WHAT is replayed, only how fast: 1x and
+// 1000x produce identical schedule and backend digests, and on a manual
+// clock the accounted wall time scales exactly with the requested speed.
+TEST(ReplayParityTest, SpeedOneVersusThousandIsByteIdentical) {
+  const std::string trace_path = TempPath("dio-parity-speed.trace");
+  ASSERT_TRUE(
+      WriteCorpusTrace(trace_path, CorpusClass::kRocksDb, 500, 21).ok());
+
+  backend::ElasticStore store(2);
+  ReplayOptions slow;
+  slow.fanout = 2;
+  slow.seed = 77;
+  ManualClock slow_clock(0);
+  slow.clock = &slow_clock;
+  const ReplayReport report_1x = ReplayInto(trace_path, &store, "r1", slow);
+
+  ReplayOptions fast = slow;
+  fast.speed = 1000.0;
+  ManualClock fast_clock(0);
+  fast.clock = &fast_clock;
+  const ReplayReport report_1000x =
+      ReplayInto(trace_path, &store, "r1000", fast);
+
+  EXPECT_EQ(report_1x.schedule_digest, report_1000x.schedule_digest);
+  EXPECT_EQ(report_1x.events_injected, report_1000x.events_injected);
+  EXPECT_EQ(report_1x.virtual_span, report_1000x.virtual_span);
+  EXPECT_EQ(Digest(store, "r1"), Digest(store, "r1000"));
+
+  // Pacing on a manual clock is exact: total sleep == span / speed.
+  EXPECT_EQ(slow_clock.NowNanos(), report_1x.virtual_span);
+  EXPECT_EQ(fast_clock.NowNanos(), report_1x.virtual_span / 1000);
+
+  // Double-run determinism: the same configuration replayed again matches.
+  ManualClock again_clock(0);
+  slow.clock = &again_clock;
+  const ReplayReport again = ReplayInto(trace_path, &store, "r1b", slow);
+  EXPECT_EQ(again.schedule_digest, report_1x.schedule_digest);
+  EXPECT_EQ(Digest(store, "r1"), Digest(store, "r1b"));
+  std::remove(trace_path.c_str());
+}
+
+// (c) Fanout decomposition: a fanout-N replay is the union of N independent
+// fanout-1 replays with clone_base = 0..N-1 — same seed, same per-clone
+// remap — so the backend digests (order-independent document sets) match.
+// The threaded runner must land the same set as the merged runner.
+TEST(ReplayParityTest, FanoutEqualsMergedIndependentClones) {
+  const std::string trace_path = TempPath("dio-parity-fanout.trace");
+  ASSERT_TRUE(
+      WriteCorpusTrace(trace_path, CorpusClass::kFluentBit, 400, 13).ok());
+  constexpr int kFanout = 4;
+  constexpr std::uint64_t kSeed = 99;
+
+  backend::ElasticStore store(2);
+  ManualClock clock(0);
+
+  ReplayOptions fanned;
+  fanned.fanout = kFanout;
+  fanned.seed = kSeed;
+  fanned.speed = 500.0;
+  fanned.clock = &clock;
+  const ReplayReport fanned_report =
+      ReplayInto(trace_path, &store, "fanned", fanned);
+  EXPECT_EQ(fanned_report.clones, kFanout);
+
+  // N separate fanout-1 replays into ONE index: the merged union.
+  std::uint64_t merged_injected = 0;
+  for (int clone = 0; clone < kFanout; ++clone) {
+    ReplayOptions single;
+    single.fanout = 1;
+    single.clone_base = clone;
+    single.seed = kSeed;
+    single.speed = 500.0;
+    single.clock = &clock;
+    merged_injected +=
+        ReplayInto(trace_path, &store, "merged", single).events_injected;
+  }
+  EXPECT_EQ(merged_injected, fanned_report.events_injected);
+  EXPECT_EQ(Digest(store, "fanned"), Digest(store, "merged"));
+
+  ReplayOptions threaded = fanned;
+  threaded.threaded = true;
+  threaded.clock = nullptr;  // real clock; the digest must not care
+  const ReplayReport threaded_report =
+      ReplayInto(trace_path, &store, "threaded", threaded);
+  EXPECT_EQ(threaded_report.events_injected, fanned_report.events_injected);
+  EXPECT_EQ(Digest(store, "fanned"), Digest(store, "threaded"));
+  std::remove(trace_path.c_str());
+}
+
+// The clone remap itself: pure in (seed, clone), independent of fanout, and
+// identity for clone 0.
+TEST(ReplayParityTest, CloneRemapContract) {
+  EXPECT_EQ(CloneTimeOffset(5, 0), 0);
+  for (int clone = 1; clone < 6; ++clone) {
+    const Nanos offset = CloneTimeOffset(5, clone);
+    EXPECT_EQ(offset, CloneTimeOffset(5, clone));  // pure
+    EXPECT_GE(offset, static_cast<Nanos>(clone) * kMillisecond);
+    EXPECT_LT(offset, static_cast<Nanos>(clone + 1) * kMillisecond);
+    EXPECT_NE(offset, CloneTimeOffset(6, clone));  // seed matters
+  }
+
+  const std::vector<tracer::WireEvent> events =
+      GenerateCorpusEvents(CorpusClass::kWalFsync, 10, 2);
+  tracer::WireEvent remapped = events[0];
+  RemapForClone(&remapped, 3, CloneTimeOffset(5, 3));
+  EXPECT_EQ(remapped.pid, events[0].pid + 3 * kClonePidStride);
+  EXPECT_EQ(remapped.tid, events[0].tid + 3 * kClonePidStride);
+  EXPECT_EQ(remapped.time_enter,
+            events[0].time_enter + CloneTimeOffset(5, 3));
+  EXPECT_EQ(remapped.time_exit - remapped.time_enter,
+            events[0].time_exit - events[0].time_enter);
+}
+
+// CountIssuableEvents must agree with what a SyscallIssuer actually issues
+// when every recorded path exists up front (the sim's precondition for its
+// op-accounting invariant).
+TEST(ReplayParityTest, CountIssuableEventsMatchesIssuer) {
+  for (const CorpusClass cls : kAllCorpusClasses) {
+    SCOPED_TRACE(CorpusClassName(cls));
+    const std::vector<tracer::WireEvent> events =
+        GenerateCorpusEvents(cls, 250, 17);
+
+    testing::TestEnv env;
+    // Pre-create every distinct recorded path as a flat file, exactly like
+    // the sim, so opens always succeed.
+    std::map<std::string, std::size_t> path_ids;
+    for (const tracer::WireEvent& event : events) {
+      for (std::string path : {std::string(event.path, event.path_len),
+                               std::string(event.path2, event.path2_len)}) {
+        if (!path.empty()) path_ids.emplace(std::move(path), path_ids.size());
+      }
+    }
+    {
+      auto bound = env.Bind();
+      for (std::size_t p = 0; p < path_ids.size(); ++p) {
+        const std::int64_t fd =
+            env.kernel.sys_creat("/data/p" + std::to_string(p), 0644);
+        ASSERT_GE(fd, 0);
+        env.kernel.sys_close(static_cast<os::Fd>(fd));
+      }
+    }
+
+    auto bound = env.Bind();
+    SyscallIssuer issuer(
+        &env.kernel,
+        [&path_ids](const std::string& recorded) {
+          auto it = path_ids.find(recorded);
+          return "/data/p" +
+                 std::to_string(it == path_ids.end() ? 0 : it->second);
+        },
+        /*bind_tasks=*/false, /*skip_namespace_ops=*/true);
+    for (const tracer::WireEvent& event : events) issuer.Issue(event);
+
+    EXPECT_EQ(issuer.stats().issued,
+              CountIssuableEvents(events, /*skip_namespace_ops=*/true));
+    EXPECT_EQ(issuer.stats().issued + issuer.stats().skipped, events.size());
+  }
+}
+
+}  // namespace
+}  // namespace dio::trace
